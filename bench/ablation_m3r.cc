@@ -1,0 +1,134 @@
+// Ablations of M3R's individual mechanisms (DESIGN.md "design choices"):
+// each row disables one mechanism and reruns the relevant workload, so the
+// contribution of each §3.2 technique is visible in isolation.
+#include "api/sequence_file.h"
+#include "bench_util.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/micro_gen.h"
+#include "workloads/shuffle_micro.h"
+#include "workloads/spmv.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+constexpr int kPartitions = 160;
+
+/// Two iterations of the shuffle micro-benchmark under `opts`; returns
+/// {iter1, iter2, remote_pairs_iter2} simulated stats.
+struct MicroStats {
+  double iter1_s;
+  double iter2_s;
+  int64_t remote_pairs2;
+  int64_t wire_bytes2;
+};
+
+MicroStats RunMicro(const engine::M3REngineOptions& opts,
+                    double remote_ratio) {
+  auto fs = bench::PaperDfs();
+  M3R_CHECK_OK(workloads::GenerateMicroInput(*fs, "/in", 10000, 1024,
+                                             kPartitions, 42, false));
+  engine::M3REngine engine(fs, opts);
+  auto r1 = engine.Submit(workloads::MakeMicroJob("/in", "/temp-1",
+                                                  kPartitions, remote_ratio,
+                                                  1));
+  M3R_CHECK(r1.ok()) << r1.status.ToString();
+  auto r2 = engine.Submit(workloads::MakeMicroJob("/temp-1", "/temp-2",
+                                                  kPartitions, remote_ratio,
+                                                  2));
+  M3R_CHECK(r2.ok()) << r2.status.ToString();
+  MicroStats s;
+  s.iter1_s = r1.sim_seconds;
+  s.iter2_s = r2.sim_seconds;
+  s.remote_pairs2 = r2.metrics.at("shuffle_remote_pairs");
+  s.wire_bytes2 = r2.metrics.at("shuffle_wire_bytes");
+  return s;
+}
+
+void AblateCacheAndStability() {
+  bench::Banner(
+      "Ablation: cache & partition stability (micro-benchmark, remote=20%)");
+  std::printf("%-28s %10s %10s %14s\n", "configuration", "iter1_s",
+              "iter2_s", "remote_pairs2");
+  auto print = [](const char* name, const MicroStats& s) {
+    std::printf("%-28s %10.2f %10.2f %14lld\n", name, s.iter1_s, s.iter2_s,
+                (long long)s.remote_pairs2);
+  };
+  engine::M3REngineOptions base = bench::M3ROpts();
+  print("full M3R", RunMicro(base, 0.2));
+
+  engine::M3REngineOptions no_cache = base;
+  no_cache.enable_cache = false;
+  print("no input/output cache", RunMicro(no_cache, 0.2));
+
+  engine::M3REngineOptions no_stability = base;
+  no_stability.partition_stability = false;
+  print("no partition stability", RunMicro(no_stability, 0.2));
+}
+
+void AblateDedup() {
+  bench::Banner(
+      "Ablation: de-duplication policy (SpMV job 1 broadcast of V)");
+  // 40 row blocks over 20 places: each place hosts two partitions, so the
+  // broadcast V block reaches every remote place twice -> once after dedup.
+  workloads::SpmvDataParams params;
+  params.n = 20000;
+  params.block = 500;
+  params.sparsity = 0.001;
+  params.num_partitions = 40;
+  std::printf("%-28s %14s %14s %14s\n", "dedup mode", "wire_bytes",
+              "deduped_objs", "job1_s");
+  for (auto [name, mode] :
+       {std::pair<const char*, serialize::DedupMode>{"full (X10)",
+                                                     serialize::DedupMode::kFull},
+        {"consecutive-only (§6.3)", serialize::DedupMode::kConsecutive},
+        {"off", serialize::DedupMode::kOff}}) {
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(
+        workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params));
+    engine::M3REngineOptions opts = bench::M3ROpts();
+    opts.dedup_mode = mode;
+    engine::M3REngine engine(fs, opts);
+    auto jobs = workloads::MakeSpmvIterationJobs(
+        "/spmv/g", "/spmv/v", "/spmv/temp-p", "/spmv/temp-v", 40, 40);
+    auto r = engine.Submit(jobs[0]);
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    std::printf("%-28s %14lld %14lld %14.2f\n", name,
+                (long long)r.metrics.at("shuffle_wire_bytes"),
+                (long long)r.metrics.at("dedup_objects"), r.sim_seconds);
+  }
+}
+
+void AblateImmutable() {
+  bench::Banner(
+      "Ablation: ImmutableOutput vs forced cloning (WordCount, 4 MB)");
+  std::printf("%-28s %12s %12s %12s\n", "configuration", "cloned",
+              "aliased", "sim_s");
+  for (auto [name, respect] :
+       {std::pair<const char*, bool>{"honor ImmutableOutput", true},
+        {"ignore (clone everything)", false}}) {
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(workloads::GenerateText(*fs, "/text", 4 << 20, 20, 7));
+    engine::M3REngineOptions opts = bench::M3ROpts();
+    opts.respect_immutable = respect;
+    engine::M3REngine engine(fs, opts);
+    auto r = engine.Submit(
+        workloads::MakeWordCountJob("/text", "/out", kPartitions, true));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    std::printf("%-28s %12lld %12lld %12.2f\n", name,
+                (long long)r.metrics.at("cloned_pairs"),
+                (long long)r.metrics.at("aliased_pairs"), r.sim_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace m3r
+
+int main() {
+  std::printf("M3R reproduction — mechanism ablations\n");
+  m3r::AblateCacheAndStability();
+  m3r::AblateDedup();
+  m3r::AblateImmutable();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Attribution of engine overheads (paper §6.1's discussion of why even the
+// 100%-remote first M3R iteration beats Hadoop: "overheads inherent in
+// Hadoop's task polling model, disk-based out-of-core shuffling, and JVM
+// startup/tear down costs"). Prints each engine's simulated-time breakdown
+// for an identical WordCount job.
+#include "bench_util.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+void PrintBreakdown(const char* name, const api::JobResult& r) {
+  std::printf("\n%s: total %.2f simulated seconds\n", name, r.sim_seconds);
+  for (const auto& [phase, seconds] : r.time_breakdown) {
+    std::printf("  %-14s %8.2f s\n", phase.c_str(), seconds);
+  }
+  std::printf("  bytes: ");
+  for (const char* key : {"hdfs_read_bytes", "hdfs_write_bytes",
+                          "shuffle_bytes", "shuffle_wire_bytes",
+                          "spill_write_bytes"}) {
+    auto it = r.metrics.find(key);
+    if (it != r.metrics.end()) {
+      std::printf("%s=%lld ", key, (long long)it->second);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace m3r
+
+int main() {
+  using namespace m3r;
+  std::printf("M3R reproduction — engine overhead breakdown (WordCount 8 MB,"
+              " 20x8 cluster)\n");
+  {
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(workloads::GenerateText(*fs, "/text", 8 << 20, 20, 7));
+    hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+    auto r = engine.Submit(
+        workloads::MakeWordCountJob("/text", "/out", 160, true));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    PrintBreakdown("Hadoop engine", r);
+  }
+  {
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(workloads::GenerateText(*fs, "/text", 8 << 20, 20, 7));
+    engine::M3REngine engine(fs, bench::M3ROpts());
+    auto r = engine.Submit(
+        workloads::MakeWordCountJob("/text", "/out", 160, true));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    PrintBreakdown("M3R engine", r);
+    std::printf("  (one-time M3R instance start, not charged per job: %.1f"
+                " s)\n",
+                engine.InstanceStartSeconds());
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Figure 10: mini-SystemML linear regression (conjugate
+// gradient on the normal equations), Hadoop vs M3R (paper §6.4).
+#include "bench_util.h"
+#include "sysml/algorithms.h"
+
+int main() {
+  using namespace m3r;
+  std::printf("M3R reproduction — Figure 10: SystemML linear regression\n");
+  const int64_t kVars = 1000;
+  const int32_t kBlock = 500;
+  const int kIterations = 2;
+  const int kReducers = 40;
+  std::printf("vars=%lld block=%d cg_iterations=%d sparsity=0.001\n",
+              (long long)kVars, kBlock, kIterations);
+  bench::Banner("Figure 10: total seconds vs sample points");
+  bench::Table table({"points", "jobs", "hadoop_s", "m3r_s", "speedup"});
+
+  for (int64_t points : {10000, 20000, 40000, 80000}) {
+    sysml::MatrixDescriptor x{"/X", points, kVars, kBlock};
+    sysml::MatrixDescriptor y{"/y", points, 1, kBlock};
+    double hadoop_s, m3r_s;
+    int jobs = 0;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, x, 0.001, 23, kReducers));
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, y, 1.0, 29, kReducers));
+      hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+      auto result = sysml::RunLinReg(engine, fs, x, y, kIterations, "/lr",
+                                     kReducers);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      hadoop_s = result.sim_seconds;
+      jobs = result.jobs;
+    }
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, x, 0.001, 23, kReducers));
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, y, 1.0, 29, kReducers));
+      engine::M3REngine engine(fs, bench::M3ROpts());
+      auto result = sysml::RunLinReg(engine, engine.Fs(), x, y, kIterations,
+                                     "/lr", kReducers);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      m3r_s = result.sim_seconds;
+    }
+    table.Row({double(points), double(jobs), hadoop_s, m3r_s,
+               hadoop_s / m3r_s});
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Figure 11: mini-SystemML PageRank, Hadoop vs M3R (§6.4).
+#include "bench_util.h"
+#include "sysml/algorithms.h"
+
+int main() {
+  using namespace m3r;
+  std::printf("M3R reproduction — Figure 11: SystemML PageRank\n");
+  const int32_t kBlock = 500;
+  const int kIterations = 3;
+  const int kReducers = 40;
+  const double kC = 0.85;
+  std::printf("block=%d iterations=%d damping=%.2f sparsity=0.001\n", kBlock,
+              kIterations, kC);
+  bench::Banner("Figure 11: total seconds vs graph size (nodes)");
+  bench::Table table({"nodes", "jobs", "hadoop_s", "m3r_s", "speedup"});
+
+  for (int64_t nodes : {2000, 4000, 8000, 16000}) {
+    sysml::MatrixDescriptor g{"/G", nodes, nodes, kBlock};
+    sysml::MatrixDescriptor v0{"/v0", nodes, 1, kBlock};
+    double hadoop_s, m3r_s;
+    int jobs = 0;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, g, 0.001, 31, kReducers));
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, v0, 1.0, 37, kReducers));
+      hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+      auto result = sysml::RunPageRank(engine, fs, g, v0, kIterations, kC,
+                                       "/pr", kReducers);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      hadoop_s = result.sim_seconds;
+      jobs = result.jobs;
+    }
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, g, 0.001, 31, kReducers));
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, v0, 1.0, 37, kReducers));
+      engine::M3REngine engine(fs, bench::M3ROpts());
+      auto result = sysml::RunPageRank(engine, engine.Fs(), g, v0,
+                                       kIterations, kC, "/pr", kReducers);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      m3r_s = result.sim_seconds;
+    }
+    table.Row({double(nodes), double(jobs), hadoop_s, m3r_s,
+               hadoop_s / m3r_s});
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates Figure 7: sparse matrix x dense vector multiply (paper §6.2).
+//
+// G is blocked into square CSC blocks (sparsity 0.001), V into matching
+// dense chunks; rows are swept. Each of 3 iterations runs the two-job
+// multiply/sum sequence. All mappers/reducers are ImmutableOutput; pairs
+// are partitioned by row index; the M3R cache is pre-populated as in the
+// paper ("this means that the initial I/O overhead ... is not measured").
+#include "api/sequence_file.h"
+#include "bench_util.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+
+namespace m3r {
+namespace {
+
+constexpr int32_t kBlock = 500;
+constexpr double kSparsity = 0.001;
+constexpr int kIterations = 3;
+
+double RunIterations(api::Engine& engine, int row_blocks, int reducers) {
+  double total = 0;
+  std::string v_in = "/spmv/v";
+  for (int it = 0; it < kIterations; ++it) {
+    std::string partial = "/spmv/temp-p" + std::to_string(it);
+    std::string v_out = "/spmv/temp-v" + std::to_string(it + 1);
+    auto jobs = workloads::MakeSpmvIterationJobs("/spmv/g", v_in, partial,
+                                                 v_out, reducers,
+                                                 row_blocks);
+    for (const auto& job : jobs) {
+      api::JobResult result = engine.Submit(job);
+      M3R_CHECK(result.ok()) << result.status.ToString();
+      total += result.sim_seconds;
+    }
+    v_in = v_out;
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace m3r
+
+int main() {
+  using namespace m3r;
+  std::printf(
+      "M3R reproduction — Figure 7: sparse matrix dense vector multiply\n");
+  std::printf("block=%d sparsity=%g iterations=%d cluster=20x8\n", kBlock,
+              kSparsity, kIterations);
+  bench::Banner("Figure 7: total seconds for 3 iterations (2 jobs each)");
+  bench::Table table({"rows", "hadoop_s", "m3r_s", "speedup"});
+
+  for (int64_t rows : {5000, 10000, 20000, 40000, 80000}) {
+    workloads::SpmvDataParams params;
+    params.n = rows;
+    params.block = kBlock;
+    params.sparsity = kSparsity;
+    int row_blocks = static_cast<int>((rows + kBlock - 1) / kBlock);
+    params.num_partitions = std::min(row_blocks, 160);
+    int reducers = params.num_partitions;
+
+    double hadoop_s;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(
+          workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params));
+      hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+      hadoop_s = RunIterations(engine, row_blocks, reducers);
+    }
+    double m3r_s;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(
+          workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params));
+      engine::M3REngine engine(fs, bench::M3ROpts());
+      // Pre-populate the cache as the paper does (§6.2).
+      api::JobConf pre;
+      pre.AddInputPath("/spmv/g");
+      pre.AddInputPath("/spmv/v");
+      pre.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+      M3R_CHECK(engine.PrepopulateCache(pre).ok());
+      m3r_s = RunIterations(engine, row_blocks, reducers);
+    }
+    table.Row({double(rows), hadoop_s, m3r_s, hadoop_s / m3r_s});
+  }
+  return 0;
+}

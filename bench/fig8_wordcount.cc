@@ -1,0 +1,49 @@
+// Regenerates Figure 8: WordCount (paper §6.3).
+//
+// Three series: Hadoop with the reuse-style mapper, Hadoop with the
+// fresh-allocation (ImmutableOutput-compatible) mapper, and M3R with the
+// ImmutableOutput mapper. None of M3R's iterative optimizations apply —
+// not iterative, no partition-stability payoff, shuffle almost entirely
+// remote — so the gap comes from engine overheads alone (~2x in the
+// paper).
+#include "bench_util.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+int main() {
+  using namespace m3r;
+  std::printf("M3R reproduction — Figure 8: WordCount\n");
+  std::printf("cluster=20x8, reducers=160, combiner enabled\n");
+  bench::Banner("Figure 8: running time (seconds) vs input size");
+  bench::Table table({"text_mb", "hadoop_fresh_s", "hadoop_reuse_s",
+                      "m3r_s"});
+  const int kReducers = 160;
+  for (uint64_t mb : {1, 2, 4, 8, 16}) {
+    uint64_t bytes = mb << 20;
+    double hadoop_fresh, hadoop_reuse, m3r_s;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(workloads::GenerateText(*fs, "/text", bytes, 20, 7));
+      hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+      auto r1 = engine.Submit(workloads::MakeWordCountJob(
+          "/text", "/out-fresh", kReducers, /*immutable_output=*/true));
+      M3R_CHECK(r1.ok()) << r1.status.ToString();
+      hadoop_fresh = r1.sim_seconds;
+      auto r2 = engine.Submit(workloads::MakeWordCountJob(
+          "/text", "/out-reuse", kReducers, /*immutable_output=*/false));
+      M3R_CHECK(r2.ok()) << r2.status.ToString();
+      hadoop_reuse = r2.sim_seconds;
+    }
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(workloads::GenerateText(*fs, "/text", bytes, 20, 7));
+      engine::M3REngine engine(fs, bench::M3ROpts());
+      auto r = engine.Submit(workloads::MakeWordCountJob(
+          "/text", "/out-m3r", kReducers, /*immutable_output=*/true));
+      M3R_CHECK(r.ok()) << r.status.ToString();
+      m3r_s = r.sim_seconds;
+    }
+    table.Row({double(mb), hadoop_fresh, hadoop_reuse, m3r_s});
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Figure 9: mini-SystemML global non-negative matrix
+// factorization, Hadoop vs M3R (paper §6.4).
+//
+// V (rows x cols, sparsity 0.001) factored with rank 10 by Lee-Seung
+// updates; each iteration is ~20 compiler-emitted MR jobs. As in the
+// paper, the generated jobs do NOT use ImmutableOutput or placement-aware
+// partitioners — M3R's win comes from the cache and in-memory shuffle
+// alone, and its COO blocks are deliberately bulky (§6.4).
+#include "bench_util.h"
+#include "sysml/algorithms.h"
+
+int main() {
+  using namespace m3r;
+  std::printf("M3R reproduction — Figure 9: SystemML GNMF\n");
+  const int64_t kCols = 1000;
+  const int32_t kBlock = 500;
+  const int kRank = 10;
+  const int kIterations = 2;
+  const int kReducers = 40;
+  std::printf("cols=%lld block=%d rank=%d iterations=%d sparsity=0.001\n",
+              (long long)kCols, kBlock, kRank, kIterations);
+  bench::Banner("Figure 9: total seconds vs rows of V");
+  bench::Table table({"rows", "jobs", "hadoop_s", "m3r_s", "speedup"});
+
+  for (int64_t rows : {2000, 4000, 8000, 16000}) {
+    sysml::MatrixDescriptor v{"/V", rows, kCols, kBlock};
+    double hadoop_s, m3r_s;
+    int jobs = 0;
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, v, 0.001, 11, kReducers));
+      hadoop::HadoopEngine engine(fs, bench::HadoopOpts());
+      auto result = sysml::RunGNMF(engine, fs, v, kRank, kIterations,
+                                   "/gnmf", kReducers, 17);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      hadoop_s = result.sim_seconds;
+      jobs = result.jobs;
+    }
+    {
+      auto fs = bench::PaperDfs();
+      M3R_CHECK_OK(sysml::WriteRandomMatrix(*fs, v, 0.001, 11, kReducers));
+      engine::M3REngine engine(fs, bench::M3ROpts());
+      auto result = sysml::RunGNMF(engine, engine.Fs(), v, kRank,
+                                   kIterations, "/gnmf", kReducers, 17);
+      M3R_CHECK(result.status.ok()) << result.status.ToString();
+      m3r_s = result.sim_seconds;
+    }
+    table.Row({double(rows), double(jobs), hadoop_s, m3r_s,
+               hadoop_s / m3r_s});
+  }
+  return 0;
+}

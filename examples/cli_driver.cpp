@@ -1,0 +1,165 @@
+// Command-line driver in the style of `hadoop jar hadoop-examples.jar`:
+// pick a workload and an engine from the command line, run against a
+// simulated cluster, and print simulated/wall times and key counters.
+//
+//   $ ./build/examples/cli_driver wordcount --engine=m3r --mb=8
+//   $ ./build/examples/cli_driver sort --engine=hadoop --records=20000
+//   $ ./build/examples/cli_driver spmv --engine=m3r --rows=10000 --iters=3
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/sequence_file.h"
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/global_sort.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+using namespace m3r;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string engine = "m3r";
+  int64_t mb = 4;
+  int64_t records = 10000;
+  int64_t rows = 5000;
+  int iters = 3;
+  int nodes = 8;
+  int reducers = 16;
+};
+
+int64_t FlagValue(const char* arg, const char* name, int64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    return std::strtoll(arg + prefix.size(), nullptr, 10);
+  }
+  return fallback;
+}
+
+void PrintResult(const char* what, const api::JobResult& r) {
+  std::printf("%-14s sim=%8.2fs wall=%6.3fs", what, r.sim_seconds,
+              r.wall_seconds);
+  for (const char* key :
+       {"cache_hit_splits", "shuffle_remote_pairs", "hdfs_read_bytes"}) {
+    auto it = r.metrics.find(key);
+    if (it != r.metrics.end()) std::printf("  %s=%lld", key,
+                                           (long long)it->second);
+  }
+  std::printf("\n");
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cli_driver <wordcount|sort|spmv> [--engine=m3r|hadoop]\n"
+      "       wordcount: [--mb=N]        text size in MiB\n"
+      "       sort:      [--records=N]   records to sort\n"
+      "       spmv:      [--rows=N --iters=K]\n"
+      "       common:    [--nodes=N --reducers=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Options opts;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      opts.engine = argv[i] + 9;
+      continue;
+    }
+    opts.mb = FlagValue(argv[i], "mb", opts.mb);
+    opts.records = FlagValue(argv[i], "records", opts.records);
+    opts.rows = FlagValue(argv[i], "rows", opts.rows);
+    opts.iters = static_cast<int>(FlagValue(argv[i], "iters", opts.iters));
+    opts.nodes = static_cast<int>(FlagValue(argv[i], "nodes", opts.nodes));
+    opts.reducers =
+        static_cast<int>(FlagValue(argv[i], "reducers", opts.reducers));
+  }
+
+  sim::ClusterSpec cluster;
+  cluster.num_nodes = opts.nodes;
+  cluster.slots_per_node = 4;
+  auto fs = dfs::MakeSimDfs(cluster.num_nodes, 64 * 1024);
+
+  std::unique_ptr<api::Engine> engine;
+  std::shared_ptr<dfs::FileSystem> read_fs = fs;
+  if (opts.engine == "m3r") {
+    auto e = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{cluster});
+    read_fs = e->Fs();
+    engine = std::move(e);
+  } else if (opts.engine == "hadoop") {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{cluster, 0});
+  } else {
+    return Usage();
+  }
+  std::printf("engine=%s nodes=%d reducers=%d\n", engine->Name().c_str(),
+              opts.nodes, opts.reducers);
+
+  if (opts.command == "wordcount") {
+    M3R_CHECK_OK(workloads::GenerateText(
+        *fs, "/in", static_cast<uint64_t>(opts.mb) << 20, opts.nodes, 1));
+    auto r = engine->Submit(
+        workloads::MakeWordCountJob("/in", "/out", opts.reducers, true));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    PrintResult("wordcount", r);
+    // Run it again to show the cache effect (or lack of it).
+    auto r2 = engine->Submit(
+        workloads::MakeWordCountJob("/in", "/out2", opts.reducers, true));
+    M3R_CHECK(r2.ok()) << r2.status.ToString();
+    PrintResult("wordcount#2", r2);
+    return 0;
+  }
+
+  if (opts.command == "sort") {
+    M3R_CHECK_OK(workloads::GenerateSortInput(*fs, "/in", opts.records,
+                                              opts.nodes, 3));
+    auto boundaries =
+        workloads::SampleBoundaries(*fs, "/in", opts.reducers, 5);
+    M3R_CHECK(boundaries.ok());
+    auto r = engine->Submit(
+        workloads::MakeGlobalSortJob("/in", "/out", *boundaries));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    PrintResult("global-sort", r);
+    auto keys = workloads::ReadSortedKeys(*read_fs, "/out");
+    M3R_CHECK(keys.ok());
+    std::printf("records=%zu sorted=%s\n", keys->size(),
+                std::is_sorted(keys->begin(), keys->end()) ? "yes" : "NO");
+    return 0;
+  }
+
+  if (opts.command == "spmv") {
+    workloads::SpmvDataParams params;
+    params.n = opts.rows;
+    params.block = 500;
+    params.num_partitions = opts.reducers;
+    M3R_CHECK_OK(workloads::GenerateSpmvData(*fs, "/g", "/v", params));
+    int row_blocks =
+        static_cast<int>((params.n + params.block - 1) / params.block);
+    std::string v = "/v";
+    for (int it = 0; it < opts.iters; ++it) {
+      auto jobs = workloads::MakeSpmvIterationJobs(
+          "/g", v, "/temp-p" + std::to_string(it),
+          "/temp-v" + std::to_string(it + 1), opts.reducers, row_blocks);
+      for (size_t j = 0; j < jobs.size(); ++j) {
+        auto r = engine->Submit(jobs[j]);
+        M3R_CHECK(r.ok()) << r.status.ToString();
+        PrintResult(j == 0 ? "spmv-multiply" : "spmv-sum", r);
+      }
+      v = "/temp-v" + std::to_string(it + 1);
+    }
+    return 0;
+  }
+
+  return Usage();
+}

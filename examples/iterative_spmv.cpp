@@ -1,0 +1,74 @@
+// Iterated sparse-matrix x dense-vector multiplication — the PageRank core
+// from paper §3/§6.2 — showing how a locality-aware HMR job sequence
+// exploits M3R's partition stability, cache, and de-duplication.
+//
+//   $ ./build/examples/iterative_spmv
+#include <cstdio>
+
+#include "api/sequence_file.h"
+#include "dfs/local_fs.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+
+using namespace m3r;
+
+int main() {
+  sim::ClusterSpec cluster;
+  cluster.num_nodes = 4;
+  cluster.slots_per_node = 4;
+
+  auto fs = dfs::MakeSimDfs(cluster.num_nodes, 1 << 20);
+
+  // G: 4000x4000 sparse (0.005), blocked 500-square; V: dense 4000-vector.
+  workloads::SpmvDataParams params;
+  params.n = 4000;
+  params.block = 500;
+  params.sparsity = 0.005;
+  params.num_partitions = 8;
+  M3R_CHECK_OK(workloads::GenerateSpmvData(*fs, "/G", "/V", params));
+  int row_blocks = 8;
+
+  engine::M3REngine engine(fs, {cluster});
+
+  // Pre-populate the cache (the paper does this to amortize the one-time
+  // load as a long iteration sequence would).
+  api::JobConf pre;
+  pre.AddInputPath("/G");
+  pre.AddInputPath("/V");
+  pre.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  M3R_CHECK(engine.PrepopulateCache(pre).ok());
+
+  std::printf("it  job            sim_s   local_pairs  remote_pairs  "
+              "dedup_objs\n");
+  std::string v = "/V";
+  for (int it = 0; it < 3; ++it) {
+    std::string partial = "/temp-partial-" + std::to_string(it);
+    std::string v_next = "/temp-v" + std::to_string(it + 1);
+    auto jobs = workloads::MakeSpmvIterationJobs(
+        "/G", v, partial, v_next, params.num_partitions, row_blocks);
+    const char* names[2] = {"multiply", "sum     "};
+    for (int j = 0; j < 2; ++j) {
+      api::JobResult r = engine.Submit(jobs[static_cast<size_t>(j)]);
+      M3R_CHECK(r.ok()) << r.status.ToString();
+      std::printf("%2d  %s  %7.2f  %12lld  %12lld  %10lld\n", it, names[j],
+                  r.sim_seconds,
+                  (long long)r.metrics.at("shuffle_local_pairs"),
+                  (long long)r.metrics.at("shuffle_remote_pairs"),
+                  (long long)r.metrics.at("dedup_objects"));
+    }
+    // The consumed vector will not be read again: free the cache memory
+    // (§6.1 hygiene).
+    if (it > 0) M3R_CHECK_OK(engine.Fs()->Delete(v, true));
+    v = v_next;
+  }
+
+  auto result = workloads::ReadDenseVector(*engine.Fs(), v, params.n,
+                                           params.block);
+  M3R_CHECK(result.ok());
+  double norm = 0;
+  for (double x : *result) norm += x * x;
+  std::printf("\nfinal |G^3 v|^2 = %.6g (vector served from the cache — "
+              "no DFS bytes were written for temp outputs)\n", norm);
+  return 0;
+}

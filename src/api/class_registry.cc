@@ -1,0 +1,13 @@
+#include "api/class_registry.h"
+
+#include "api/mr_api.h"
+
+namespace m3r::api {
+
+// Default classes every job configuration can reference by name.
+M3R_REGISTER_CLASS_AS(mapred::Mapper, mapred::IdentityMapper, IdentityMapper)
+M3R_REGISTER_CLASS_AS(mapred::Reducer, mapred::IdentityReducer,
+                      IdentityReducer)
+M3R_REGISTER_CLASS_AS(Partitioner, HashPartitioner, HashPartitioner)
+
+}  // namespace m3r::api

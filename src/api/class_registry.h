@@ -1,0 +1,66 @@
+#ifndef M3R_API_CLASS_REGISTRY_H_
+#define M3R_API_CLASS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace m3r::api {
+
+/// Name -> factory registry for user classes referenced from a job
+/// configuration (mappers, reducers, partitioners, formats...). This is the
+/// C++ analogue of Hadoop instantiating classes by reflective name lookup:
+/// a JobConf stores class *names*, and the engines create fresh instances
+/// per task through these registries.
+template <typename Base>
+class ObjectRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<Base>()>;
+
+  static ObjectRegistry& Instance() {
+    static ObjectRegistry* instance = new ObjectRegistry();
+    return *instance;
+  }
+
+  void Register(const std::string& name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    factories_.emplace(name, std::move(factory));
+  }
+
+  /// Fresh instance per call (tasks never share user-class instances).
+  /// Aborts on unknown names — a misconfigured job is a programming error.
+  std::shared_ptr<Base> Create(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    M3R_CHECK(it != factories_.end()) << "unregistered class: " << name;
+    return it->second();
+  }
+
+  bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return factories_.count(name) > 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+/// Registers `Type` under Type::kClassName in the registry for `Base`.
+/// `Tag` must be unique per registration site (used for the helper name).
+#define M3R_REGISTER_CLASS_AS(Base, Type, Tag)                         \
+  namespace {                                                          \
+  const bool m3r_class_registered_##Tag = [] {                         \
+    ::m3r::api::ObjectRegistry<Base>::Instance().Register(             \
+        Type::kClassName, [] { return std::make_shared<Type>(); });    \
+    return true;                                                       \
+  }();                                                                 \
+  }
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_CLASS_REGISTRY_H_

@@ -1,0 +1,86 @@
+#include "api/configuration.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace m3r::api {
+
+void Configuration::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Configuration::SetInt(const std::string& key, int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Configuration::SetDouble(const std::string& key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  values_[key] = buf;
+}
+
+void Configuration::SetBool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+void Configuration::SetStrings(const std::string& key,
+                               const std::vector<std::string>& values) {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) joined += ",";
+    joined += values[i];
+  }
+  values_[key] = joined;
+}
+
+std::string Configuration::Get(const std::string& key,
+                               const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Configuration::GetInt(const std::string& key,
+                              int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Configuration::GetDouble(const std::string& key,
+                                double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Configuration::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> Configuration::GetStrings(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return out;
+  std::string cur;
+  for (char c : it->second) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool Configuration::Contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+void Configuration::Unset(const std::string& key) { values_.erase(key); }
+
+}  // namespace m3r::api

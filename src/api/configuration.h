@@ -1,0 +1,45 @@
+#ifndef M3R_API_CONFIGURATION_H_
+#define M3R_API_CONFIGURATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace m3r::api {
+
+/// String-keyed configuration, the analogue of Hadoop's Configuration.
+///
+/// As in Hadoop, the configuration object is threaded through the whole job
+/// (engine, formats, user classes) and doubles as the side channel for
+/// application-specific settings — e.g. M3R's temporary-output prefix
+/// (paper §4.2.3) or the shuffle micro-benchmark's remote ratio.
+class Configuration {
+ public:
+  void Set(const std::string& key, const std::string& value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+  void SetStrings(const std::string& key,
+                  const std::vector<std::string>& values);
+
+  std::string Get(const std::string& key,
+                  const std::string& default_value = "") const;
+  int64_t GetInt(const std::string& key, int64_t default_value = 0) const;
+  double GetDouble(const std::string& key, double default_value = 0) const;
+  bool GetBool(const std::string& key, bool default_value = false) const;
+  /// Comma-separated list.
+  std::vector<std::string> GetStrings(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  void Unset(const std::string& key);
+
+  const std::map<std::string, std::string>& raw() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_CONFIGURATION_H_

@@ -1,0 +1,68 @@
+#ifndef M3R_API_COUNTERS_H_
+#define M3R_API_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace m3r::api {
+
+/// Hadoop-style counters: (group, name) -> int64, incremented by user code
+/// through the Reporter/Context and by the engines for system counters.
+/// Both engines propagate user counters and keep the standard system
+/// counters updated (paper §5.3).
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters& other);
+  Counters& operator=(const Counters& other);
+
+  void Increment(const std::string& group, const std::string& name,
+                 int64_t delta);
+  int64_t Get(const std::string& group, const std::string& name) const;
+
+  void MergeFrom(const Counters& other);
+
+  std::map<std::pair<std::string, std::string>, int64_t> Snapshot() const;
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, int64_t> values_;
+};
+
+/// Standard system counter group/name constants kept by both engines.
+namespace counters {
+inline constexpr char kTaskGroup[] = "org.apache.hadoop.mapred.Task$Counter";
+inline constexpr char kMapInputRecords[] = "MAP_INPUT_RECORDS";
+inline constexpr char kMapOutputRecords[] = "MAP_OUTPUT_RECORDS";
+inline constexpr char kMapOutputBytes[] = "MAP_OUTPUT_BYTES";
+inline constexpr char kCombineInputRecords[] = "COMBINE_INPUT_RECORDS";
+inline constexpr char kCombineOutputRecords[] = "COMBINE_OUTPUT_RECORDS";
+inline constexpr char kReduceInputGroups[] = "REDUCE_INPUT_GROUPS";
+inline constexpr char kReduceInputRecords[] = "REDUCE_INPUT_RECORDS";
+inline constexpr char kReduceOutputRecords[] = "REDUCE_OUTPUT_RECORDS";
+inline constexpr char kReduceShuffleBytes[] = "REDUCE_SHUFFLE_BYTES";
+inline constexpr char kSpilledRecords[] = "SPILLED_RECORDS";
+
+inline constexpr char kFsGroup[] = "FileSystemCounters";
+inline constexpr char kHdfsBytesRead[] = "HDFS_BYTES_READ";
+inline constexpr char kHdfsBytesWritten[] = "HDFS_BYTES_WRITTEN";
+inline constexpr char kFileBytesRead[] = "FILE_BYTES_READ";
+inline constexpr char kFileBytesWritten[] = "FILE_BYTES_WRITTEN";
+
+inline constexpr char kM3rGroup[] = "M3R";
+inline constexpr char kCacheHits[] = "CACHE_HIT_SPLITS";
+inline constexpr char kCacheMisses[] = "CACHE_MISS_SPLITS";
+inline constexpr char kLocalShufflePairs[] = "LOCAL_SHUFFLE_PAIRS";
+inline constexpr char kRemoteShufflePairs[] = "REMOTE_SHUFFLE_PAIRS";
+inline constexpr char kDedupedObjects[] = "DEDUPED_OBJECTS";
+inline constexpr char kDedupSavedBytes[] = "DEDUP_SAVED_BYTES";
+inline constexpr char kClonedPairs[] = "CLONED_PAIRS";
+inline constexpr char kAliasedPairs[] = "ALIASED_PAIRS";
+}  // namespace counters
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_COUNTERS_H_

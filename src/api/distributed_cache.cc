@@ -1,0 +1,47 @@
+#include "api/distributed_cache.h"
+
+namespace m3r::api {
+
+void DistributedCache::AddCacheFile(const std::string& path, JobConf* conf) {
+  std::string cur = conf->Get(conf::kCacheFiles);
+  conf->Set(conf::kCacheFiles, cur.empty() ? path : cur + "," + path);
+}
+
+std::vector<std::string> DistributedCache::GetCacheFiles(
+    const JobConf& conf) {
+  return conf.GetStrings(conf::kCacheFiles);
+}
+
+namespace {
+constexpr char kContentPrefix[] = "distributed.cache.content.";
+}  // namespace
+
+void DistributedCache::InstallIntoConf(
+    const std::vector<
+        std::pair<std::string, std::shared_ptr<const std::string>>>&
+        localized,
+    JobConf* conf) {
+  for (const auto& [path, content] : localized) {
+    conf->Set(kContentPrefix + path, *content);
+  }
+}
+
+std::optional<std::string> DistributedCache::GetLocalFile(
+    const Configuration& conf, const std::string& path) {
+  std::string key = kContentPrefix + path;
+  if (!conf.Contains(key)) return std::nullopt;
+  return conf.Get(key);
+}
+
+Result<std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>>
+DistributedCache::Localize(const JobConf& conf, dfs::FileSystem& fs) {
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> out;
+  for (const std::string& path : GetCacheFiles(conf)) {
+    M3R_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> content,
+                         fs.Open(path));
+    out.emplace_back(path, std::move(content));
+  }
+  return out;
+}
+
+}  // namespace m3r::api

@@ -1,0 +1,49 @@
+#ifndef M3R_API_DISTRIBUTED_CACHE_H_
+#define M3R_API_DISTRIBUTED_CACHE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::api {
+
+/// Hadoop's DistributedCache: read-only side files shipped to every task's
+/// node before the job runs. Both engines support it (paper §5.3); the
+/// Hadoop engine charges one localization transfer per node per job, M3R
+/// localizes once per instance lifetime.
+class DistributedCache {
+ public:
+  /// Declares `path` (a DFS file) as a cache file of the job.
+  static void AddCacheFile(const std::string& path, JobConf* conf);
+
+  static std::vector<std::string> GetCacheFiles(const JobConf& conf);
+
+  /// Resolves the declared files to their contents ("localization").
+  static Result<
+      std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>>
+  Localize(const JobConf& conf, dfs::FileSystem& fs);
+
+  /// Engine-side: copies localized contents into the task configuration,
+  /// the C++ stand-in for Hadoop dropping cache files into each task's
+  /// working directory. Task code then reads them with GetLocalFile.
+  static void InstallIntoConf(
+      const std::vector<
+          std::pair<std::string, std::shared_ptr<const std::string>>>&
+          localized,
+      JobConf* conf);
+
+  /// Task-side: contents of a localized cache file (empty optional if the
+  /// path was not shipped).
+  static std::optional<std::string> GetLocalFile(const Configuration& conf,
+                                                 const std::string& path);
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_DISTRIBUTED_CACHE_H_

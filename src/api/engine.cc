@@ -1,0 +1,56 @@
+#include "api/engine.h"
+
+#include "common/logging.h"
+
+namespace m3r::api {
+
+std::vector<std::string> Engine::Notifications() const {
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  return notifications_;
+}
+
+void Engine::SetProgressCallback(ProgressCallback callback) {
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  progress_callback_ = std::move(callback);
+}
+
+void Engine::ReportProgress(const JobConf& conf, double progress,
+                            const Counters* live) const {
+  ProgressCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    cb = progress_callback_;
+  }
+  if (cb) cb(conf.JobName(), progress, live);
+}
+
+void Engine::NotifyJobEnd(const JobConf& conf, const JobResult& result) {
+  std::string url = conf.Get(conf::kJobEndNotificationUrl);
+  if (url.empty()) return;
+  std::lock_guard<std::mutex> lock(notify_mu_);
+  notifications_.push_back(url + "?jobName=" + conf.JobName() + "&status=" +
+                           (result.ok() ? "SUCCEEDED" : "FAILED"));
+}
+
+JobResult JobClient::SubmitJob(const JobConf& conf) {
+  if (conf.GetBool(conf::kForceHadoopEngine) && fallback_ != nullptr) {
+    return fallback_->Submit(conf);
+  }
+  return primary_->Submit(conf);
+}
+
+std::vector<JobResult> JobClient::RunSequence(
+    const std::vector<JobConf>& jobs) {
+  std::vector<JobResult> results;
+  for (const JobConf& job : jobs) {
+    results.push_back(SubmitJob(job));
+    if (!results.back().ok()) {
+      M3R_LOG(Error) << "job '" << job.JobName()
+                     << "' failed: " << results.back().status.ToString();
+      break;
+    }
+  }
+  return results;
+}
+
+}  // namespace m3r::api

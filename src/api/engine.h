@@ -1,0 +1,94 @@
+#ifndef M3R_API_ENGINE_H_
+#define M3R_API_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/counters.h"
+#include "api/job_conf.h"
+#include "common/status.h"
+
+namespace m3r::api {
+
+/// Outcome of one job: status, counters, and the two time scales — wall
+/// seconds (what this host actually spent) and simulated seconds (what the
+/// paper's 20-node cluster would have spent, from the sim ledger).
+struct JobResult {
+  Status status;
+  Counters counters;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  /// Physical activity counters (bytes shuffled/spilled, cache hits, ...).
+  std::map<std::string, int64_t> metrics;
+  /// Simulated-seconds attribution per phase/overhead.
+  std::map<std::string, double> time_breakdown;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// A MapReduce execution engine. Both the baseline Hadoop engine and M3R
+/// implement this; jobs (JobConf + registered user classes) are engine
+/// agnostic — the paper's headline property.
+///
+/// Engines are stateful across Submit calls: M3R keeps its places and cache
+/// alive for the whole job sequence; the Hadoop engine keeps only the
+/// simulated-cluster clock.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual std::string Name() const = 0;
+  virtual JobResult Submit(const JobConf& conf) = 0;
+
+  /// Job-end notification URLs "pinged" (recorded) by this engine, in
+  /// submission order — models Hadoop's job.end.notification.url support.
+  std::vector<std::string> Notifications() const;
+
+  /// Asynchronous progress and counter updates (paper §5.3): while a job
+  /// runs, the engine invokes the callback with the job name, a fraction
+  /// in [0,1], and a live view of the job's counters (thread-safe to read
+  /// through Counters' own locking). Used by server mode's status polls.
+  using ProgressCallback = std::function<void(
+      const std::string& job_name, double progress, const Counters* live)>;
+  void SetProgressCallback(ProgressCallback callback);
+
+ protected:
+  /// Called by implementations at the end of Submit.
+  void NotifyJobEnd(const JobConf& conf, const JobResult& result);
+  /// Called by implementations at task/phase milestones.
+  void ReportProgress(const JobConf& conf, double progress,
+                      const Counters* live) const;
+
+ private:
+  mutable std::mutex notify_mu_;
+  std::vector<std::string> notifications_;
+  ProgressCallback progress_callback_;
+};
+
+/// Integrated-mode job client (paper §5.3): submits every job to the
+/// primary (M3R) engine, unless the job sets m3r.force.hadoop, in which
+/// case it is routed to the fallback Hadoop engine "as usual".
+class JobClient {
+ public:
+  JobClient(std::shared_ptr<Engine> primary,
+            std::shared_ptr<Engine> hadoop_fallback = nullptr)
+      : primary_(std::move(primary)),
+        fallback_(std::move(hadoop_fallback)) {}
+
+  JobResult SubmitJob(const JobConf& conf);
+
+  /// Runs a sequence of jobs, stopping at the first failure. Returns the
+  /// per-job results.
+  std::vector<JobResult> RunSequence(const std::vector<JobConf>& jobs);
+
+ private:
+  std::shared_ptr<Engine> primary_;
+  std::shared_ptr<Engine> fallback_;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_ENGINE_H_

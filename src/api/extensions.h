@@ -1,0 +1,59 @@
+#ifndef M3R_API_EXTENSIONS_H_
+#define M3R_API_EXTENSIONS_H_
+
+#include <string>
+
+namespace m3r::api {
+
+class InputSplit;
+
+/// M3R's backwards-compatible HMR API extensions (paper §4). These are
+/// marker/mix-in interfaces: the Hadoop engine ignores them entirely, so a
+/// job carrying them runs unchanged on both engines — the paper's central
+/// compatibility claim.
+
+/// Promise that a Mapper/Reducer/MapRunnable never mutates a key or value
+/// after passing it to the engine (paper §4.1). M3R then shuffles aliases
+/// instead of defensively cloning every pair.
+class ImmutableOutput {
+ public:
+  virtual ~ImmutableOutput() = default;
+};
+
+/// Lets a user-defined InputSplit tell M3R what cache name its data carries
+/// (paper §4.2.1). Splits of standard types (FileSplit) are understood
+/// natively and don't need this.
+class NamedSplit {
+ public:
+  virtual ~NamedSplit() = default;
+  virtual std::string GetName() const = 0;
+};
+
+/// For wrapper splits (e.g. MultipleInputs' TaggedInputSplit): exposes the
+/// underlying split so M3R can recover cache naming through the wrapper
+/// (paper §4.2.1).
+class DelegatingSplit {
+ public:
+  virtual ~DelegatingSplit() = default;
+  virtual const InputSplit& GetBaseSplit() const = 0;
+};
+
+/// Lets an input split declare which partition its data belongs to; M3R
+/// then runs the split's mapper at the place owning that partition
+/// (paper §4.3), seeding partition-stable pipelines.
+class PlacedSplit {
+ public:
+  virtual ~PlacedSplit() = default;
+  virtual int GetPlacedPartition() const = 0;
+};
+
+/// Returns true if `obj` (a mapper/reducer/runnable instance) implements
+/// the ImmutableOutput promise.
+template <typename T>
+bool IsImmutableOutput(const T* obj) {
+  return dynamic_cast<const ImmutableOutput*>(obj) != nullptr;
+}
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_EXTENSIONS_H_

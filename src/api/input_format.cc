@@ -1,0 +1,77 @@
+#include "api/input_format.h"
+
+#include <algorithm>
+
+#include "common/path.h"
+
+namespace m3r::api {
+
+Result<std::vector<dfs::FileStatus>> ListInputFiles(const JobConf& conf,
+                                                    dfs::FileSystem& fs) {
+  std::vector<dfs::FileStatus> files;
+  for (const std::string& input : conf.InputPaths()) {
+    M3R_ASSIGN_OR_RETURN(dfs::FileStatus st, fs.GetFileStatus(input));
+    if (!st.is_directory) {
+      files.push_back(std::move(st));
+      continue;
+    }
+    M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> children,
+                         fs.ListStatus(input));
+    for (auto& child : children) {
+      if (child.is_directory) continue;
+      std::string base = path::BaseName(child.path);
+      if (!base.empty() && (base[0] == '_' || base[0] == '.')) continue;
+      files.push_back(std::move(child));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
+  return files;
+}
+
+Result<std::vector<InputSplitPtr>> FileInputFormat::GetSplits(
+    const JobConf& conf, dfs::FileSystem& fs, int num_splits_hint) {
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       ListInputFiles(conf, fs));
+  uint64_t total = 0;
+  for (const auto& f : files) total += f.length;
+  // Hadoop's policy: splitSize = max(minSize, min(goalSize, blockSize)),
+  // where goalSize = totalBytes / requested number of splits.
+  uint64_t goal = num_splits_hint > 0 ? total / num_splits_hint : 0;
+  uint64_t split_size = std::max<uint64_t>(
+      1, std::min<uint64_t>(fs.BlockSize(), std::max<uint64_t>(goal, 1)));
+
+  std::vector<InputSplitPtr> splits;
+  for (const auto& f : files) {
+    if (f.length == 0) continue;
+    M3R_ASSIGN_OR_RETURN(std::vector<dfs::BlockLocation> blocks,
+                         fs.GetBlockLocations(f.path));
+    auto nodes_for = [&](uint64_t offset) -> std::vector<int> {
+      for (const auto& b : blocks) {
+        if (offset >= b.offset && offset < b.offset + b.length) {
+          return b.nodes;
+        }
+      }
+      return {};
+    };
+    if (!IsSplitable()) {
+      splits.push_back(
+          std::make_shared<FileSplit>(f.path, 0, f.length, nodes_for(0)));
+      continue;
+    }
+    uint64_t offset = 0;
+    while (offset < f.length) {
+      uint64_t len = std::min(split_size, f.length - offset);
+      // Avoid a tiny tail split (Hadoop's SPLIT_SLOP).
+      if (f.length - (offset + len) < split_size / 10) {
+        len = f.length - offset;
+      }
+      splits.push_back(std::make_shared<FileSplit>(f.path, offset, len,
+                                                   nodes_for(offset)));
+      offset += len;
+    }
+  }
+  return splits;
+}
+
+}  // namespace m3r::api

@@ -1,0 +1,101 @@
+#ifndef M3R_API_INPUT_FORMAT_H_
+#define M3R_API_INPUT_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::api {
+
+/// Metadata describing one chunk of job input (Hadoop's InputSplit).
+class InputSplit {
+ public:
+  virtual ~InputSplit() = default;
+  /// Bytes covered by this split (drives scheduling and I/O charging).
+  virtual uint64_t GetLength() const = 0;
+  /// Simulated nodes holding the split's data (HDFS block locations).
+  virtual std::vector<int> GetLocations() const { return {}; }
+  virtual std::string DebugString() const { return "split"; }
+};
+
+using InputSplitPtr = std::shared_ptr<InputSplit>;
+
+/// The standard file split: a byte range of one file.
+class FileSplit : public InputSplit {
+ public:
+  FileSplit(std::string path, uint64_t start, uint64_t length,
+            std::vector<int> locations)
+      : path_(std::move(path)),
+        start_(start),
+        length_(length),
+        locations_(std::move(locations)) {}
+
+  const std::string& Path() const { return path_; }
+  uint64_t Start() const { return start_; }
+  uint64_t GetLength() const override { return length_; }
+  std::vector<int> GetLocations() const override { return locations_; }
+  std::string DebugString() const override {
+    return path_ + "[" + std::to_string(start_) + "+" +
+           std::to_string(length_) + "]";
+  }
+
+ private:
+  std::string path_;
+  uint64_t start_;
+  uint64_t length_;
+  std::vector<int> locations_;
+};
+
+/// Streams (key, value) records out of one split (Hadoop's RecordReader).
+///
+/// Contract (identical to Hadoop's mapred API): Next() *fills* the objects
+/// passed in, which the default MapRunner allocates once via CreateKey()/
+/// CreateValue() and reuses for every record.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  virtual WritablePtr CreateKey() const = 0;
+  virtual WritablePtr CreateValue() const = 0;
+  /// Fills `key`/`value` with the next record; false at end of split.
+  virtual bool Next(Writable& key, Writable& value) = 0;
+  virtual double GetProgress() const { return 0.0; }
+  virtual void Close() {}
+};
+
+/// Produces splits and readers for a job's input (Hadoop's InputFormat).
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+  virtual Result<std::vector<InputSplitPtr>> GetSplits(
+      const JobConf& conf, dfs::FileSystem& fs, int num_splits_hint) = 0;
+  virtual Result<std::unique_ptr<RecordReader>> GetRecordReader(
+      const InputSplit& split, const JobConf& conf, dfs::FileSystem& fs) = 0;
+};
+
+/// Base for file-based input formats: expands the configured input paths
+/// into files (skipping "_"-prefixed bookkeeping files like _SUCCESS),
+/// splits them on block boundaries when splitable, and attaches block
+/// locations for locality-aware scheduling.
+class FileInputFormat : public InputFormat {
+ public:
+  Result<std::vector<InputSplitPtr>> GetSplits(const JobConf& conf,
+                                               dfs::FileSystem& fs,
+                                               int num_splits_hint) override;
+
+ protected:
+  virtual bool IsSplitable() const { return true; }
+};
+
+/// Enumerates the data files under the configured input paths.
+Result<std::vector<dfs::FileStatus>> ListInputFiles(const JobConf& conf,
+                                                    dfs::FileSystem& fs);
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_INPUT_FORMAT_H_

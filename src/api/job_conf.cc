@@ -1,0 +1,14 @@
+#include "api/job_conf.h"
+
+namespace m3r::api {
+
+void JobConf::AddInputPath(const std::string& path) {
+  std::string cur = Get(conf::kInputDirs);
+  if (cur.empty()) {
+    Set(conf::kInputDirs, path);
+  } else {
+    Set(conf::kInputDirs, cur + "," + path);
+  }
+}
+
+}  // namespace m3r::api

@@ -1,0 +1,169 @@
+#ifndef M3R_API_JOB_CONF_H_
+#define M3R_API_JOB_CONF_H_
+
+#include <string>
+#include <vector>
+
+#include "api/configuration.h"
+
+namespace m3r::api {
+
+/// Well-known configuration keys, mirroring Hadoop's property names so that
+/// ported jobs read naturally.
+namespace conf {
+inline constexpr char kJobName[] = "mapred.job.name";
+inline constexpr char kNumReduceTasks[] = "mapred.reduce.tasks";
+
+// Old-style (mapred) user classes.
+inline constexpr char kMapredMapper[] = "mapred.mapper.class";
+inline constexpr char kMapredCombiner[] = "mapred.combiner.class";
+inline constexpr char kMapredReducer[] = "mapred.reducer.class";
+inline constexpr char kMapRunner[] = "mapred.map.runner.class";
+
+// New-style (mapreduce) user classes.
+inline constexpr char kMapreduceMapper[] = "mapreduce.job.map.class";
+inline constexpr char kMapreduceCombiner[] = "mapreduce.job.combine.class";
+inline constexpr char kMapreduceReducer[] = "mapreduce.job.reduce.class";
+
+inline constexpr char kPartitioner[] = "mapred.partitioner.class";
+inline constexpr char kInputFormat[] = "mapred.input.format.class";
+inline constexpr char kOutputFormat[] = "mapred.output.format.class";
+inline constexpr char kInputDirs[] = "mapred.input.dir";
+inline constexpr char kOutputDir[] = "mapred.output.dir";
+
+inline constexpr char kOutputKeyClass[] = "mapred.output.key.class";
+inline constexpr char kOutputValueClass[] = "mapred.output.value.class";
+/// Map-output (intermediate) types; default to the job output types.
+inline constexpr char kMapOutputKeyClass[] = "mapred.mapoutput.key.class";
+inline constexpr char kMapOutputValueClass[] = "mapred.mapoutput.value.class";
+/// Sort (output key) comparator; raw-byte comparator registry name.
+inline constexpr char kSortComparator[] =
+    "mapred.output.key.comparator.class";
+/// Grouping comparator for reduce-group boundaries (secondary sort).
+inline constexpr char kGroupingComparator[] =
+    "mapred.output.value.groupfn.class";
+
+inline constexpr char kCacheFiles[] = "mapreduce.job.cache.files";
+inline constexpr char kJobEndNotificationUrl[] =
+    "mapred.job.end.notification.url";
+inline constexpr char kQueueName[] = "mapred.job.queue.name";
+
+/// Ask an M3R-aware client to force this job onto the Hadoop engine
+/// (integrated-mode escape hatch, paper §5.3).
+inline constexpr char kForceHadoopEngine[] = "m3r.force.hadoop";
+/// Outputs whose final path component starts with this prefix are treated
+/// as temporary by M3R: cached but never written to the DFS (paper §4.2.3).
+inline constexpr char kTempPrefix[] = "m3r.temp.prefix";
+/// Explicit comma-separated list of output paths to treat as temporary.
+inline constexpr char kTempPaths[] = "m3r.temp.paths";
+}  // namespace conf
+
+/// Job configuration: a Configuration plus convenience accessors for the
+/// standard job properties. Submitted to an Engine; also passed to every
+/// user class, and commonly used to smuggle app-specific settings.
+class JobConf : public Configuration {
+ public:
+  void SetJobName(const std::string& name) { Set(conf::kJobName, name); }
+  std::string JobName() const { return Get(conf::kJobName, "job"); }
+
+  void SetNumReduceTasks(int n) { SetInt(conf::kNumReduceTasks, n); }
+  int NumReduceTasks() const {
+    return static_cast<int>(GetInt(conf::kNumReduceTasks, 1));
+  }
+
+  // --- user classes (old API) ---
+  void SetMapperClass(const std::string& name) {
+    Set(conf::kMapredMapper, name);
+  }
+  void SetCombinerClass(const std::string& name) {
+    Set(conf::kMapredCombiner, name);
+  }
+  void SetReducerClass(const std::string& name) {
+    Set(conf::kMapredReducer, name);
+  }
+  void SetMapRunnerClass(const std::string& name) {
+    Set(conf::kMapRunner, name);
+  }
+
+  // --- user classes (new API) ---
+  void SetMapreduceMapperClass(const std::string& name) {
+    Set(conf::kMapreduceMapper, name);
+  }
+  void SetMapreduceCombinerClass(const std::string& name) {
+    Set(conf::kMapreduceCombiner, name);
+  }
+  void SetMapreduceReducerClass(const std::string& name) {
+    Set(conf::kMapreduceReducer, name);
+  }
+
+  void SetPartitionerClass(const std::string& name) {
+    Set(conf::kPartitioner, name);
+  }
+  void SetInputFormatClass(const std::string& name) {
+    Set(conf::kInputFormat, name);
+  }
+  void SetOutputFormatClass(const std::string& name) {
+    Set(conf::kOutputFormat, name);
+  }
+
+  void AddInputPath(const std::string& path);
+  std::vector<std::string> InputPaths() const {
+    return GetStrings(conf::kInputDirs);
+  }
+  void SetOutputPath(const std::string& path) {
+    Set(conf::kOutputDir, path);
+  }
+  std::string OutputPath() const { return Get(conf::kOutputDir); }
+
+  void SetOutputKeyClass(const std::string& name) {
+    Set(conf::kOutputKeyClass, name);
+  }
+  void SetOutputValueClass(const std::string& name) {
+    Set(conf::kOutputValueClass, name);
+  }
+  void SetMapOutputKeyClass(const std::string& name) {
+    Set(conf::kMapOutputKeyClass, name);
+  }
+  void SetMapOutputValueClass(const std::string& name) {
+    Set(conf::kMapOutputValueClass, name);
+  }
+  /// Intermediate key type: map-output key class if set, else output key.
+  std::string MapOutputKeyClass() const {
+    std::string v = Get(conf::kMapOutputKeyClass);
+    return v.empty() ? Get(conf::kOutputKeyClass) : v;
+  }
+  std::string MapOutputValueClass() const {
+    std::string v = Get(conf::kMapOutputValueClass);
+    return v.empty() ? Get(conf::kOutputValueClass) : v;
+  }
+
+  void SetSortComparatorClass(const std::string& name) {
+    Set(conf::kSortComparator, name);
+  }
+  void SetGroupingComparatorClass(const std::string& name) {
+    Set(conf::kGroupingComparator, name);
+  }
+
+  /// True if the job declares a new-API mapper (the new class wins if both
+  /// are configured, as in Hadoop when the new API is enabled).
+  bool UsesNewApiMapper() const { return Contains(conf::kMapreduceMapper); }
+  bool UsesNewApiReducer() const { return Contains(conf::kMapreduceReducer); }
+  bool UsesNewApiCombiner() const {
+    return Contains(conf::kMapreduceCombiner);
+  }
+
+  bool HasMapper() const {
+    return Contains(conf::kMapredMapper) || Contains(conf::kMapreduceMapper);
+  }
+  bool HasCombiner() const {
+    return Contains(conf::kMapredCombiner) ||
+           Contains(conf::kMapreduceCombiner);
+  }
+  /// A job with zero reducers is "map-only": map output goes straight to
+  /// the OutputFormat (paper §5.3).
+  bool IsMapOnly() const { return NumReduceTasks() == 0; }
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_JOB_CONF_H_

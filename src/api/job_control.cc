@@ -1,0 +1,62 @@
+#include "api/job_control.h"
+
+#include "common/logging.h"
+
+namespace m3r::api {
+
+int JobControl::AddJob(JobConf conf, std::vector<int> depends_on) {
+  for (int d : depends_on) {
+    M3R_CHECK(d >= 0 && d < static_cast<int>(nodes_.size()))
+        << "dependency on unknown job " << d;
+  }
+  nodes_.push_back({std::move(conf), std::move(depends_on)});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+JobControl::RunSummary JobControl::Run() {
+  RunSummary summary;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    summary.states[static_cast<int>(i)] = State::kWaiting;
+  }
+
+  size_t completed = 0;
+  while (completed < nodes_.size()) {
+    bool progressed = false;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      int id = static_cast<int>(i);
+      if (summary.states[id] != State::kWaiting) continue;
+      bool ready = true;
+      bool dep_failed = false;
+      for (int d : nodes_[i].deps) {
+        State ds = summary.states[d];
+        if (ds == State::kWaiting) ready = false;
+        if (ds == State::kFailed || ds == State::kSkipped) {
+          dep_failed = true;
+        }
+      }
+      if (dep_failed) {
+        summary.states[id] = State::kSkipped;
+        ++completed;
+        progressed = true;
+        continue;
+      }
+      if (!ready) continue;
+      JobResult result = engine_->Submit(nodes_[i].conf);
+      summary.total_sim_seconds += result.sim_seconds;
+      summary.states[id] =
+          result.ok() ? State::kSucceeded : State::kFailed;
+      summary.results.emplace(id, std::move(result));
+      ++completed;
+      progressed = true;
+    }
+    M3R_CHECK(progressed) << "JobControl: dependency cycle";
+  }
+
+  summary.all_succeeded = true;
+  for (const auto& [id, state] : summary.states) {
+    if (state != State::kSucceeded) summary.all_succeeded = false;
+  }
+  return summary;
+}
+
+}  // namespace m3r::api

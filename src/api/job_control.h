@@ -1,0 +1,51 @@
+#ifndef M3R_API_JOB_CONTROL_H_
+#define M3R_API_JOB_CONTROL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace m3r::api {
+
+/// Hadoop's org.apache.hadoop.mapred.jobcontrol: a DAG of jobs with
+/// dependencies, run in dependency order. This is how multi-job pipelines
+/// (like the paper's iterated matrix-vector sequence) are driven by
+/// Hadoop-stack tools; under M3R the same driver gets the cache/locality
+/// wins with no code change.
+class JobControl {
+ public:
+  explicit JobControl(Engine* engine) : engine_(engine) {}
+
+  /// Adds a job; returns its handle id. `depends_on` lists handle ids that
+  /// must succeed before this job runs.
+  int AddJob(JobConf conf, std::vector<int> depends_on = {});
+
+  enum class State { kWaiting, kSucceeded, kFailed, kSkipped };
+
+  struct RunSummary {
+    bool all_succeeded = false;
+    std::map<int, State> states;
+    std::map<int, JobResult> results;
+    double total_sim_seconds = 0;
+  };
+
+  /// Runs the whole DAG in topological order (jobs whose dependencies
+  /// failed are skipped, matching Hadoop's DEPENDENT_FAILED state).
+  /// Aborts on dependency cycles.
+  RunSummary Run();
+
+ private:
+  struct Node {
+    JobConf conf;
+    std::vector<int> deps;
+  };
+
+  Engine* engine_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_JOB_CONTROL_H_

@@ -1,0 +1,79 @@
+#include "api/kv_text_format.h"
+
+#include "api/class_registry.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::api {
+
+namespace {
+
+using serialize::Text;
+
+class KeyValueLineReader : public RecordReader {
+ public:
+  KeyValueLineReader(std::shared_ptr<const std::string> content,
+                     uint64_t start, uint64_t length, char separator)
+      : content_(std::move(content)),
+        pos_(start),
+        end_(start + length),
+        separator_(separator) {
+    const std::string& data = *content_;
+    if (end_ > data.size()) end_ = data.size();
+    if (pos_ > data.size()) pos_ = data.size();
+    if (start != 0) {
+      while (pos_ < data.size() && data[pos_ - 1] != '\n') ++pos_;
+    }
+  }
+
+  WritablePtr CreateKey() const override { return std::make_shared<Text>(); }
+  WritablePtr CreateValue() const override {
+    return std::make_shared<Text>();
+  }
+
+  bool Next(Writable& key, Writable& value) override {
+    const std::string& data = *content_;
+    if (pos_ >= end_ || pos_ >= data.size()) return false;
+    uint64_t line_start = pos_;
+    uint64_t eol = data.find('\n', pos_);
+    uint64_t line_end = eol == std::string::npos ? data.size() : eol;
+    std::string line = data.substr(line_start, line_end - line_start);
+    size_t sep = line.find(separator_);
+    if (sep == std::string::npos) {
+      static_cast<Text&>(key).Set(std::move(line));
+      static_cast<Text&>(value).Set("");
+    } else {
+      static_cast<Text&>(key).Set(line.substr(0, sep));
+      static_cast<Text&>(value).Set(line.substr(sep + 1));
+    }
+    pos_ = eol == std::string::npos ? data.size() : eol + 1;
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::string> content_;
+  uint64_t pos_;
+  uint64_t end_;
+  char separator_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RecordReader>> KeyValueTextInputFormat::GetRecordReader(
+    const InputSplit& split, const JobConf& conf, dfs::FileSystem& fs) {
+  const auto* fsplit = dynamic_cast<const FileSplit*>(&split);
+  if (fsplit == nullptr) {
+    return Status::InvalidArgument(
+        "KeyValueTextInputFormat needs FileSplit");
+  }
+  M3R_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> content,
+                       fs.Open(fsplit->Path()));
+  std::string sep = conf.Get(kSeparatorKey, "\t");
+  return std::unique_ptr<RecordReader>(new KeyValueLineReader(
+      std::move(content), fsplit->Start(), fsplit->GetLength(),
+      sep.empty() ? '\t' : sep[0]));
+}
+
+M3R_REGISTER_CLASS_AS(InputFormat, KeyValueTextInputFormat,
+                      KeyValueTextInputFormat)
+
+}  // namespace m3r::api

@@ -1,0 +1,28 @@
+#ifndef M3R_API_KV_TEXT_FORMAT_H_
+#define M3R_API_KV_TEXT_FORMAT_H_
+
+#include <memory>
+
+#include "api/input_format.h"
+
+namespace m3r::api {
+
+/// Hadoop's KeyValueTextInputFormat: each line is split at the first
+/// separator byte (default TAB) into (Text key, Text value); lines without
+/// a separator become (whole line, empty). The format that makes one job's
+/// TextOutputFormat output directly consumable by the next job.
+class KeyValueTextInputFormat : public FileInputFormat {
+ public:
+  static constexpr const char* kClassName = "KeyValueTextInputFormat";
+  /// Configuration key for the separator (first byte of the value used).
+  static constexpr const char* kSeparatorKey =
+      "mapreduce.input.keyvaluelinerecordreader.key.value.separator";
+
+  Result<std::unique_ptr<RecordReader>> GetRecordReader(
+      const InputSplit& split, const JobConf& conf,
+      dfs::FileSystem& fs) override;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_KV_TEXT_FORMAT_H_

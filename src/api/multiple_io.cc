@@ -1,0 +1,143 @@
+#include "api/multiple_io.h"
+
+#include <algorithm>
+
+#include "api/class_registry.h"
+#include "common/logging.h"
+
+namespace m3r::api {
+
+namespace {
+
+// MultipleInputs configuration lives in these keys, value format:
+// "path;format;mapper" entries joined by ','. Paths contain no ',' or ';'
+// in this codebase (enforced at Add time).
+constexpr char kMultiInputs[] = "mapreduce.input.multipleinputs.dir.specs";
+constexpr char kNamedOutputs[] = "mapreduce.multipleoutputs.namedoutputs";
+
+thread_local NamedOutputSink* t_named_sink = nullptr;
+
+}  // namespace
+
+void MultipleInputs::AddInputPath(JobConf* conf, const std::string& path,
+                                  const std::string& input_format,
+                                  const std::string& mapper) {
+  M3R_CHECK(path.find(',') == std::string::npos &&
+            path.find(';') == std::string::npos)
+      << "MultipleInputs path must not contain ',' or ';': " << path;
+  std::string spec = path + ";" + input_format + ";" + mapper;
+  std::string cur = conf->Get(kMultiInputs);
+  conf->Set(kMultiInputs, cur.empty() ? spec : cur + "," + spec);
+  conf->AddInputPath(path);
+  conf->SetInputFormatClass(DelegatingInputFormat::kClassName);
+}
+
+bool MultipleInputs::IsConfigured(const JobConf& conf) {
+  return conf.Contains(kMultiInputs);
+}
+
+Result<std::vector<InputSplitPtr>> DelegatingInputFormat::GetSplits(
+    const JobConf& conf, dfs::FileSystem& fs, int num_splits_hint) {
+  std::vector<InputSplitPtr> out;
+  for (const std::string& spec : conf.GetStrings(kMultiInputs)) {
+    size_t p1 = spec.find(';');
+    size_t p2 = spec.rfind(';');
+    if (p1 == std::string::npos || p2 == p1) {
+      return Status::InvalidArgument("bad MultipleInputs spec: " + spec);
+    }
+    std::string path = spec.substr(0, p1);
+    std::string format_name = spec.substr(p1 + 1, p2 - p1 - 1);
+    std::string mapper = spec.substr(p2 + 1);
+
+    JobConf sub = conf;
+    sub.Set(conf::kInputDirs, path);
+    auto format = ObjectRegistry<InputFormat>::Instance().Create(format_name);
+    M3R_ASSIGN_OR_RETURN(std::vector<InputSplitPtr> splits,
+                         format->GetSplits(sub, fs, num_splits_hint));
+    for (auto& split : splits) {
+      out.push_back(std::make_shared<TaggedInputSplit>(std::move(split),
+                                                       format_name, mapper));
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RecordReader>> DelegatingInputFormat::GetRecordReader(
+    const InputSplit& split, const JobConf& conf, dfs::FileSystem& fs) {
+  const auto* tagged = dynamic_cast<const TaggedInputSplit*>(&split);
+  if (tagged == nullptr) {
+    return Status::InvalidArgument(
+        "DelegatingInputFormat expects TaggedInputSplit");
+  }
+  auto format = ObjectRegistry<InputFormat>::Instance().Create(
+      tagged->InputFormatName());
+  return format->GetRecordReader(tagged->GetBaseSplit(), conf, fs);
+}
+
+JobConf SpecializeConfForSplit(const JobConf& conf, const InputSplit& split,
+                               const InputSplit** base_split) {
+  *base_split = &split;
+  const auto* tagged = dynamic_cast<const TaggedInputSplit*>(&split);
+  if (tagged == nullptr) return conf;
+  JobConf sub = conf;
+  sub.SetMapperClass(tagged->MapperName());
+  sub.Unset(conf::kMapreduceMapper);  // tagged mappers use the old API
+  sub.SetInputFormatClass(tagged->InputFormatName());
+  *base_split = &tagged->GetBaseSplit();
+  return sub;
+}
+
+ScopedNamedOutputSink::ScopedNamedOutputSink(NamedOutputSink* sink)
+    : previous_(t_named_sink) {
+  t_named_sink = sink;
+}
+
+ScopedNamedOutputSink::~ScopedNamedOutputSink() { t_named_sink = previous_; }
+
+void MultipleOutputs::AddNamedOutput(JobConf* conf, const std::string& name,
+                                     const std::string& output_format) {
+  M3R_CHECK(name.find(',') == std::string::npos &&
+            name.find(';') == std::string::npos)
+      << "bad named output: " << name;
+  std::string spec = name + ";" + output_format;
+  std::string cur = conf->Get(kNamedOutputs);
+  conf->Set(kNamedOutputs, cur.empty() ? spec : cur + "," + spec);
+}
+
+std::vector<std::string> MultipleOutputs::NamedOutputs(const JobConf& conf) {
+  std::vector<std::string> names;
+  for (const std::string& spec : conf.GetStrings(kNamedOutputs)) {
+    names.push_back(spec.substr(0, spec.find(';')));
+  }
+  return names;
+}
+
+std::string MultipleOutputs::OutputFormatFor(const JobConf& conf,
+                                             const std::string& name) {
+  for (const std::string& spec : conf.GetStrings(kNamedOutputs)) {
+    size_t sep = spec.find(';');
+    if (spec.substr(0, sep) == name) return spec.substr(sep + 1);
+  }
+  return "";
+}
+
+MultipleOutputs::MultipleOutputs(const JobConf& conf)
+    : declared_(NamedOutputs(conf)) {}
+
+M3R_REGISTER_CLASS_AS(InputFormat, DelegatingInputFormat,
+                      DelegatingInputFormat)
+
+Status MultipleOutputs::Write(const std::string& name, const WritablePtr& key,
+                              const WritablePtr& value) {
+  if (std::find(declared_.begin(), declared_.end(), name) ==
+      declared_.end()) {
+    return Status::InvalidArgument("undeclared named output: " + name);
+  }
+  if (t_named_sink == nullptr) {
+    return Status::FailedPrecondition(
+        "MultipleOutputs::Write outside a task");
+  }
+  return t_named_sink->WriteNamed(name, key, value);
+}
+
+}  // namespace m3r::api

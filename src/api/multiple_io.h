@@ -1,0 +1,132 @@
+#ifndef M3R_API_MULTIPLE_IO_H_
+#define M3R_API_MULTIPLE_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/extensions.h"
+#include "api/input_format.h"
+#include "api/job_conf.h"
+#include "api/output_format.h"
+
+namespace m3r::api {
+
+/// ------------------------------ MultipleInputs --------------------------
+///
+/// Hadoop's MultipleInputs: different input paths routed to different
+/// (InputFormat, Mapper) pairs within one job — the mechanism the iterated
+/// matrix-vector job uses for its G and V inputs (paper §4.2.2).
+
+class MultipleInputs {
+ public:
+  /// Adds `path` with its own input format and (old-API) mapper.
+  static void AddInputPath(JobConf* conf, const std::string& path,
+                           const std::string& input_format,
+                           const std::string& mapper);
+
+  /// True if the job was configured through MultipleInputs.
+  static bool IsConfigured(const JobConf& conf);
+};
+
+/// Split wrapper carrying the per-path format and mapper tags. Implements
+/// DelegatingSplit so M3R can see through to the base split for cache
+/// naming (paper §4.2.1) — and PlacedSplit when the base split is placed.
+class TaggedInputSplit : public InputSplit, public DelegatingSplit {
+ public:
+  TaggedInputSplit(InputSplitPtr base, std::string input_format,
+                   std::string mapper)
+      : base_(std::move(base)),
+        input_format_(std::move(input_format)),
+        mapper_(std::move(mapper)) {}
+
+  uint64_t GetLength() const override { return base_->GetLength(); }
+  std::vector<int> GetLocations() const override {
+    return base_->GetLocations();
+  }
+  std::string DebugString() const override {
+    return "tagged(" + base_->DebugString() + ", " + mapper_ + ")";
+  }
+
+  const InputSplit& GetBaseSplit() const override { return *base_; }
+  const InputSplitPtr& BaseSplitPtr() const { return base_; }
+  const std::string& InputFormatName() const { return input_format_; }
+  const std::string& MapperName() const { return mapper_; }
+
+ private:
+  InputSplitPtr base_;
+  std::string input_format_;
+  std::string mapper_;
+};
+
+/// InputFormat that fans out to the per-path formats and wraps their splits
+/// in TaggedInputSplit (Hadoop's DelegatingInputFormat).
+class DelegatingInputFormat : public InputFormat {
+ public:
+  static constexpr const char* kClassName = "DelegatingInputFormat";
+  Result<std::vector<InputSplitPtr>> GetSplits(const JobConf& conf,
+                                               dfs::FileSystem& fs,
+                                               int num_splits_hint) override;
+  Result<std::unique_ptr<RecordReader>> GetRecordReader(
+      const InputSplit& split, const JobConf& conf,
+      dfs::FileSystem& fs) override;
+};
+
+/// Engines call this before running a map task: if `split` is tagged, the
+/// returned conf has the mapper (and input format) overridden to the tagged
+/// classes and `*base_split` points at the unwrapped split — the moral
+/// equivalent of Hadoop's DelegatingMapper reading the tag from the task's
+/// serialized split.
+JobConf SpecializeConfForSplit(const JobConf& conf, const InputSplit& split,
+                               const InputSplit** base_split);
+
+/// ------------------------------ MultipleOutputs -------------------------
+///
+/// Hadoop's MultipleOutputs: reducers emit to additional *named* outputs
+/// beside the main one. The engine installs a per-task NamedOutputSink; the
+/// M3R sink is cache-aware (named outputs enter the key/value cache under
+/// their own paths, paper §4.2.2), the Hadoop sink writes straight through
+/// the named output format.
+
+class NamedOutputSink {
+ public:
+  virtual ~NamedOutputSink() = default;
+  virtual Status WriteNamed(const std::string& name, const WritablePtr& key,
+                            const WritablePtr& value) = 0;
+};
+
+/// Installs `sink` for the current thread while a task runs (engines only).
+class ScopedNamedOutputSink {
+ public:
+  explicit ScopedNamedOutputSink(NamedOutputSink* sink);
+  ~ScopedNamedOutputSink();
+  ScopedNamedOutputSink(const ScopedNamedOutputSink&) = delete;
+  ScopedNamedOutputSink& operator=(const ScopedNamedOutputSink&) = delete;
+
+ private:
+  NamedOutputSink* previous_;
+};
+
+class MultipleOutputs {
+ public:
+  /// Declares a named output with its own output format.
+  static void AddNamedOutput(JobConf* conf, const std::string& name,
+                             const std::string& output_format);
+  static std::vector<std::string> NamedOutputs(const JobConf& conf);
+  static std::string OutputFormatFor(const JobConf& conf,
+                                     const std::string& name);
+
+  /// User-side handle, constructed inside configure()/setup() like Hadoop.
+  explicit MultipleOutputs(const JobConf& conf);
+  /// Writes to the named output of the currently running task.
+  Status Write(const std::string& name, const WritablePtr& key,
+               const WritablePtr& value);
+  void Close() {}
+
+ private:
+  std::vector<std::string> declared_;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_MULTIPLE_IO_H_

@@ -1,0 +1,80 @@
+#include "api/output_format.h"
+
+#include <cstdio>
+
+#include "common/path.h"
+
+namespace m3r::api {
+
+Status OutputFormat::CheckOutputSpecs(const JobConf& conf,
+                                      dfs::FileSystem& fs) {
+  std::string out = conf.OutputPath();
+  if (out.empty()) return Status::InvalidArgument("no output path set");
+  if (fs.Exists(out)) {
+    return Status::AlreadyExists("output directory exists: " + out);
+  }
+  return Status::OK();
+}
+
+namespace file_output {
+
+std::string PartFileName(int partition) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d", partition);
+  return buf;
+}
+
+std::string FinalPath(const JobConf& conf, int partition) {
+  return path::Join(conf.OutputPath(), PartFileName(partition));
+}
+
+std::string TempPath(const JobConf& conf, int partition, int attempt) {
+  return path::Join(conf.OutputPath(),
+                    "_temporary/attempt_" + std::to_string(partition) + "_" +
+                        std::to_string(attempt) + "/" +
+                        PartFileName(partition));
+}
+
+}  // namespace file_output
+
+Status FileOutputCommitter::SetupJob(const JobConf& conf,
+                                     dfs::FileSystem& fs) {
+  return fs.Mkdirs(path::Join(conf.OutputPath(), "_temporary"));
+}
+
+Status FileOutputCommitter::CommitTask(const JobConf& conf,
+                                       dfs::FileSystem& fs, int partition,
+                                       int attempt) {
+  std::string temp = file_output::TempPath(conf, partition, attempt);
+  if (!fs.Exists(temp)) return Status::OK();  // task wrote no output
+  std::string final_path = file_output::FinalPath(conf, partition);
+  M3R_RETURN_NOT_OK(fs.Rename(temp, final_path));
+  return fs.Delete(path::Parent(temp), /*recursive=*/true);
+}
+
+Status FileOutputCommitter::AbortTask(const JobConf& conf,
+                                      dfs::FileSystem& fs, int partition,
+                                      int attempt) {
+  std::string temp = file_output::TempPath(conf, partition, attempt);
+  std::string dir = path::Parent(temp);
+  if (fs.Exists(dir)) return fs.Delete(dir, /*recursive=*/true);
+  return Status::OK();
+}
+
+Status FileOutputCommitter::CommitJob(const JobConf& conf,
+                                      dfs::FileSystem& fs) {
+  std::string tmp = path::Join(conf.OutputPath(), "_temporary");
+  if (fs.Exists(tmp)) {
+    M3R_RETURN_NOT_OK(fs.Delete(tmp, /*recursive=*/true));
+  }
+  return fs.WriteFile(path::Join(conf.OutputPath(), "_SUCCESS"), "");
+}
+
+Status FileOutputCommitter::AbortJob(const JobConf& conf,
+                                     dfs::FileSystem& fs) {
+  std::string tmp = path::Join(conf.OutputPath(), "_temporary");
+  if (fs.Exists(tmp)) return fs.Delete(tmp, /*recursive=*/true);
+  return Status::OK();
+}
+
+}  // namespace m3r::api

@@ -1,0 +1,65 @@
+#ifndef M3R_API_OUTPUT_FORMAT_H_
+#define M3R_API_OUTPUT_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::api {
+
+/// Serializes reduce (or map-only) output records to one file.
+class RecordWriter {
+ public:
+  virtual ~RecordWriter() = default;
+  virtual Status Write(const Writable& key, const Writable& value) = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t BytesWritten() const = 0;
+};
+
+/// Produces RecordWriters for a job's output (Hadoop's OutputFormat).
+class OutputFormat {
+ public:
+  virtual ~OutputFormat() = default;
+  /// Writer targeting the concrete `file_path` (the committer decides
+  /// whether that is a temporary attempt path or the final location).
+  virtual Result<std::unique_ptr<RecordWriter>> GetRecordWriter(
+      const JobConf& conf, dfs::FileSystem& fs, const std::string& file_path,
+      int preferred_node) = 0;
+  /// Fails if the output directory already exists, like Hadoop.
+  virtual Status CheckOutputSpecs(const JobConf& conf, dfs::FileSystem& fs);
+};
+
+/// Naming helpers shared by file-based output formats.
+namespace file_output {
+/// "part-00000"-style file name for a reduce partition.
+std::string PartFileName(int partition);
+/// Final output file for a partition: <outdir>/part-NNNNN.
+std::string FinalPath(const JobConf& conf, int partition);
+/// Temporary attempt file: <outdir>/_temporary/attempt_<id>/part-NNNNN.
+std::string TempPath(const JobConf& conf, int partition, int attempt);
+}  // namespace file_output
+
+/// The Hadoop output-commit protocol (FileOutputCommitter): tasks write to
+/// attempt paths under <outdir>/_temporary, successful tasks are promoted
+/// by rename, and job commit writes the _SUCCESS marker and removes the
+/// temporary tree. The Hadoop engine follows this protocol faithfully —
+/// including its extra namenode round-trips, which is part of why small
+/// HMR jobs cannot be fast (paper §3.1).
+class FileOutputCommitter {
+ public:
+  Status SetupJob(const JobConf& conf, dfs::FileSystem& fs);
+  Status CommitTask(const JobConf& conf, dfs::FileSystem& fs, int partition,
+                    int attempt);
+  Status AbortTask(const JobConf& conf, dfs::FileSystem& fs, int partition,
+                   int attempt);
+  Status CommitJob(const JobConf& conf, dfs::FileSystem& fs);
+  Status AbortJob(const JobConf& conf, dfs::FileSystem& fs);
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_OUTPUT_FORMAT_H_

@@ -1,0 +1,79 @@
+#ifndef M3R_API_SEQUENCE_FILE_H_
+#define M3R_API_SEQUENCE_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "api/input_format.h"
+#include "api/output_format.h"
+
+namespace m3r::api {
+
+/// Binary key/value container format, the analogue of Hadoop's
+/// SequenceFile — including its splittability design: a per-file random
+/// 16-byte *sync marker* is written into the header and re-emitted before
+/// every chunk of records. A reader assigned an arbitrary byte range scans
+/// forward to the first sync and processes whole chunks whose sync falls
+/// inside its range, so large files split across many map tasks exactly
+/// as on HDFS.
+///
+/// Layout:
+///   "M3RSEQ2\n"  key-type  value-type  sync[16]          (header)
+///   repeat: sync[16]  varint nrecords  varint nbytes  records
+/// Records are back-to-back serialized (key, value) field bytes
+/// (Writables self-delimit).
+namespace seqfile {
+inline constexpr char kMagic[] = "M3RSEQ2\n";
+inline constexpr size_t kSyncSize = 16;
+/// Chunk flush threshold (scaled-down analogue of Hadoop's ~2KB
+/// sync interval on 64MB blocks).
+inline constexpr size_t kChunkBytes = 4096;
+}  // namespace seqfile
+
+class SequenceFileInputFormat : public FileInputFormat {
+ public:
+  static constexpr const char* kClassName = "SequenceFileInputFormat";
+  Result<std::unique_ptr<RecordReader>> GetRecordReader(
+      const InputSplit& split, const JobConf& conf,
+      dfs::FileSystem& fs) override;
+
+ protected:
+  bool IsSplitable() const override { return true; }
+};
+
+class SequenceFileOutputFormat : public OutputFormat {
+ public:
+  static constexpr const char* kClassName = "SequenceFileOutputFormat";
+  Result<std::unique_ptr<RecordWriter>> GetRecordWriter(
+      const JobConf& conf, dfs::FileSystem& fs, const std::string& file_path,
+      int preferred_node) override;
+};
+
+/// Writes a sequence file directly (used by workload generators).
+class SequenceFileWriter {
+ public:
+  SequenceFileWriter(std::unique_ptr<dfs::FileWriter> writer,
+                     const std::string& key_type,
+                     const std::string& value_type);
+  Status Append(const Writable& key, const Writable& value);
+  Status Close();
+  uint64_t BytesWritten() const { return bytes_; }
+
+ private:
+  Status FlushChunk();
+
+  std::unique_ptr<dfs::FileWriter> writer_;
+  std::string sync_;
+  std::string chunk_;
+  uint64_t chunk_records_ = 0;
+  uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Reads a whole sequence file (verification helpers and samplers).
+Result<std::vector<std::pair<WritablePtr, WritablePtr>>> ReadSequenceFile(
+    dfs::FileSystem& fs, const std::string& path);
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_SEQUENCE_FILE_H_

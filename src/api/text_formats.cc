@@ -1,0 +1,106 @@
+#include "api/text_formats.h"
+
+#include "serialize/basic_writables.h"
+
+namespace m3r::api {
+
+namespace {
+
+using serialize::LongWritable;
+using serialize::Text;
+
+class LineRecordReader : public RecordReader {
+ public:
+  LineRecordReader(std::shared_ptr<const std::string> content, uint64_t start,
+                   uint64_t length)
+      : content_(std::move(content)), pos_(start), end_(start + length) {
+    const std::string& data = *content_;
+    if (end_ > data.size()) end_ = data.size();
+    if (pos_ > data.size()) pos_ = data.size();
+    // Not at file start: the previous split owns the line we landed in.
+    if (start != 0) {
+      while (pos_ < data.size() && data[pos_ - 1] != '\n') ++pos_;
+    }
+  }
+
+  WritablePtr CreateKey() const override {
+    return std::make_shared<LongWritable>();
+  }
+  WritablePtr CreateValue() const override {
+    return std::make_shared<Text>();
+  }
+
+  bool Next(Writable& key, Writable& value) override {
+    const std::string& data = *content_;
+    // Records starting before end_ belong to this split, even if the line
+    // itself extends past end_.
+    if (pos_ >= end_ || pos_ >= data.size()) return false;
+    uint64_t line_start = pos_;
+    uint64_t eol = data.find('\n', pos_);
+    uint64_t line_end = eol == std::string::npos ? data.size() : eol;
+    static_cast<LongWritable&>(key).Set(static_cast<int64_t>(line_start));
+    static_cast<Text&>(value).Set(
+        data.substr(line_start, line_end - line_start));
+    pos_ = eol == std::string::npos ? data.size() : eol + 1;
+    return true;
+  }
+
+  double GetProgress() const override {
+    return end_ == 0 ? 1.0 : static_cast<double>(pos_) / end_;
+  }
+
+ private:
+  std::shared_ptr<const std::string> content_;
+  uint64_t pos_;
+  uint64_t end_;
+};
+
+class TextRecordWriter : public RecordWriter {
+ public:
+  explicit TextRecordWriter(std::unique_ptr<dfs::FileWriter> writer)
+      : writer_(std::move(writer)) {}
+
+  Status Write(const Writable& key, const Writable& value) override {
+    std::string line = key.ToString();
+    line += '\t';
+    line += value.ToString();
+    line += '\n';
+    return writer_->Append(line);
+  }
+
+  Status Close() override { return writer_->Close(); }
+  uint64_t BytesWritten() const override { return writer_->BytesWritten(); }
+
+ private:
+  std::unique_ptr<dfs::FileWriter> writer_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RecordReader>> TextInputFormat::GetRecordReader(
+    const InputSplit& split, const JobConf&, dfs::FileSystem& fs) {
+  const auto* fsplit = dynamic_cast<const FileSplit*>(&split);
+  if (fsplit == nullptr) {
+    return Status::InvalidArgument("TextInputFormat needs FileSplit");
+  }
+  M3R_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> content,
+                       fs.Open(fsplit->Path()));
+  return std::unique_ptr<RecordReader>(new LineRecordReader(
+      std::move(content), fsplit->Start(), fsplit->GetLength()));
+}
+
+Result<std::unique_ptr<RecordWriter>> TextOutputFormat::GetRecordWriter(
+    const JobConf&, dfs::FileSystem& fs, const std::string& file_path,
+    int preferred_node) {
+  dfs::CreateOptions opts;
+  opts.preferred_node = preferred_node;
+  M3R_ASSIGN_OR_RETURN(std::unique_ptr<dfs::FileWriter> writer,
+                       fs.Create(file_path, opts));
+  return std::unique_ptr<RecordWriter>(
+      new TextRecordWriter(std::move(writer)));
+}
+
+M3R_REGISTER_CLASS_AS(InputFormat, TextInputFormat, TextInputFormat)
+M3R_REGISTER_CLASS_AS(OutputFormat, TextOutputFormat, TextOutputFormat)
+
+}  // namespace m3r::api

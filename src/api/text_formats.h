@@ -1,0 +1,36 @@
+#ifndef M3R_API_TEXT_FORMATS_H_
+#define M3R_API_TEXT_FORMATS_H_
+
+#include <memory>
+#include <string>
+
+#include "api/class_registry.h"
+#include "api/input_format.h"
+#include "api/output_format.h"
+
+namespace m3r::api {
+
+/// Line-oriented input: key = byte offset (LongWritable), value = the line
+/// (Text). Splits honor Hadoop's convention: a split that does not start at
+/// offset 0 skips the partial first line; every split reads through the end
+/// of the line that crosses its upper boundary.
+class TextInputFormat : public FileInputFormat {
+ public:
+  static constexpr const char* kClassName = "TextInputFormat";
+  Result<std::unique_ptr<RecordReader>> GetRecordReader(
+      const InputSplit& split, const JobConf& conf,
+      dfs::FileSystem& fs) override;
+};
+
+/// "key<TAB>value\n" output, using Writable::ToString().
+class TextOutputFormat : public OutputFormat {
+ public:
+  static constexpr const char* kClassName = "TextOutputFormat";
+  Result<std::unique_ptr<RecordWriter>> GetRecordWriter(
+      const JobConf& conf, dfs::FileSystem& fs, const std::string& file_path,
+      int preferred_node) override;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_TEXT_FORMATS_H_

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace m3r {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int InitialLevel() {
+  if (const char* env = std::getenv("M3R_LOG_LEVEL")) {
+    switch (env[0]) {
+      case 'd': case 'D': return 0;
+      case 'i': case 'I': return 1;
+      case 'w': case 'W': return 2;
+      case 'e': case 'E': return 3;
+      case 'f': case 'F': return 4;
+      default: break;
+    }
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogLevel GetLogLevel() {
+  static int initial = (g_level.store(InitialLevel()), g_level.load());
+  (void)initial;
+  return static_cast<LogLevel>(g_level.load());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(static_cast<int>(level) >= static_cast<int>(GetLogLevel())) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace m3r

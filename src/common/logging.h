@@ -1,0 +1,58 @@
+#ifndef M3R_COMMON_LOGGING_H_
+#define M3R_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace m3r {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Process-wide minimum level actually emitted; default Warn so tests and
+/// benchmarks stay quiet. Override with SetLogLevel or M3R_LOG_LEVEL env var.
+LogLevel GetLogLevel();
+
+/// Builds one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+void SetLogLevel(LogLevel level);
+
+}  // namespace m3r
+
+#define M3R_LOG(level)                                                 \
+  ::m3r::internal::LogMessage(::m3r::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that is always on (benchmark binaries included): database
+/// engines should fail loudly on internal corruption rather than limp on.
+#define M3R_CHECK(cond)                                                  \
+  if (!(cond))                                                           \
+  M3R_LOG(Fatal) << "Check failed: " #cond " "
+
+#define M3R_CHECK_OK(expr)                                             \
+  do {                                                                 \
+    ::m3r::Status _st = (expr);                                        \
+    if (!_st.ok()) M3R_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#endif  // M3R_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#include "common/path.h"
+
+namespace m3r::path {
+
+std::string Canonicalize(const std::string& p) {
+  std::vector<std::string> out;
+  std::string seg;
+  auto flush = [&] {
+    if (seg.empty() || seg == ".") {
+      // skip
+    } else if (seg == "..") {
+      if (!out.empty()) out.pop_back();
+    } else {
+      out.push_back(seg);
+    }
+    seg.clear();
+  };
+  for (char c : p) {
+    if (c == '/') {
+      flush();
+    } else {
+      seg.push_back(c);
+    }
+  }
+  flush();
+  std::string result = "/";
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i) result.push_back('/');
+    result += out[i];
+  }
+  if (out.empty()) return "/";
+  return result;
+}
+
+std::string Parent(const std::string& p) {
+  std::string c = Canonicalize(p);
+  if (c == "/") return "/";
+  size_t pos = c.find_last_of('/');
+  if (pos == 0) return "/";
+  return c.substr(0, pos);
+}
+
+std::string BaseName(const std::string& p) {
+  std::string c = Canonicalize(p);
+  if (c == "/") return "";
+  size_t pos = c.find_last_of('/');
+  return c.substr(pos + 1);
+}
+
+std::string Join(const std::string& a, const std::string& b) {
+  return Canonicalize(a + "/" + b);
+}
+
+std::vector<std::string> Segments(const std::string& p) {
+  std::string c = Canonicalize(p);
+  std::vector<std::string> segs;
+  std::string seg;
+  for (size_t i = 1; i <= c.size(); ++i) {
+    if (i == c.size() || c[i] == '/') {
+      if (!seg.empty()) segs.push_back(seg);
+      seg.clear();
+    } else {
+      seg.push_back(c[i]);
+    }
+  }
+  return segs;
+}
+
+bool IsUnder(const std::string& p, const std::string& dir) {
+  std::string cp = Canonicalize(p);
+  std::string cd = Canonicalize(dir);
+  if (cd == "/") return true;
+  if (cp == cd) return true;
+  return cp.size() > cd.size() && cp.compare(0, cd.size(), cd) == 0 &&
+         cp[cd.size()] == '/';
+}
+
+std::string LeastCommonAncestor(const std::string& a, const std::string& b) {
+  std::vector<std::string> sa = Segments(a);
+  std::vector<std::string> sb = Segments(b);
+  std::string result = "/";
+  size_t n = std::min(sa.size(), sb.size());
+  for (size_t i = 0; i < n && sa[i] == sb[i]; ++i) {
+    result = Join(result, sa[i]);
+  }
+  return result;
+}
+
+}  // namespace m3r::path

@@ -1,0 +1,33 @@
+#ifndef M3R_COMMON_PATH_H_
+#define M3R_COMMON_PATH_H_
+
+#include <string>
+#include <vector>
+
+namespace m3r::path {
+
+/// Canonical form: always starts with '/', no trailing '/', no empty or "."
+/// segments, ".." collapsed. "" and "/" both canonicalize to "/".
+std::string Canonicalize(const std::string& p);
+
+/// Parent directory of a canonical path ("/" for "/" and top-level entries).
+std::string Parent(const std::string& p);
+
+/// Final segment of a canonical path ("" for "/").
+std::string BaseName(const std::string& p);
+
+/// Joins and canonicalizes.
+std::string Join(const std::string& a, const std::string& b);
+
+/// Splits a canonical path into segments ("/a/b" -> {"a","b"}).
+std::vector<std::string> Segments(const std::string& p);
+
+/// True if `p` equals `dir` or lies strictly under directory `dir`.
+bool IsUnder(const std::string& p, const std::string& dir);
+
+/// Deepest common ancestor of two canonical paths (at least "/").
+std::string LeastCommonAncestor(const std::string& a, const std::string& b);
+
+}  // namespace m3r::path
+
+#endif  // M3R_COMMON_PATH_H_

@@ -1,0 +1,34 @@
+#ifndef M3R_COMMON_RNG_H_
+#define M3R_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace m3r {
+
+/// Deterministic, fast PRNG (splitmix64 seeded xorshift128+).
+///
+/// All workload generators and randomized engine decisions draw from this so
+/// every benchmark and test run is reproducible bit-for-bit for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_RNG_H_

@@ -1,0 +1,118 @@
+#ifndef M3R_COMMON_STATUS_H_
+#define M3R_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace m3r {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kIOError,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail: a code plus a message.
+///
+/// Follows the Arrow/Abseil convention: functions that can fail return a
+/// Status (or Result<T>), and callers are expected to check it. Statuses are
+/// cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace m3r
+
+/// Propagates a non-OK Status from the current function.
+#define M3R_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::m3r::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or propagates its Status.
+#define M3R_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto M3R_CONCAT_(_res_, __LINE__) = (expr);                \
+  if (!M3R_CONCAT_(_res_, __LINE__).ok())                    \
+    return M3R_CONCAT_(_res_, __LINE__).status();            \
+  lhs = M3R_CONCAT_(_res_, __LINE__).take()
+
+#define M3R_CONCAT_INNER_(a, b) a##b
+#define M3R_CONCAT_(a, b) M3R_CONCAT_INNER_(a, b)
+
+#endif  // M3R_COMMON_STATUS_H_

@@ -1,0 +1,3 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit anchors the library target.

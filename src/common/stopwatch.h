@@ -1,0 +1,50 @@
+#ifndef M3R_COMMON_STOPWATCH_H_
+#define M3R_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace m3r {
+
+/// Wall-clock stopwatch (job-level timing).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch. Task compute costs are measured with
+/// this (not wall clock) so that host thread contention — running 160
+/// simulated tasks on a dozen cores — does not leak into the simulated
+/// ledger, where each task owns its slot's core.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+
+  double start_ = 0;
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_STOPWATCH_H_

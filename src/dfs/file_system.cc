@@ -1,0 +1,18 @@
+#include "dfs/file_system.h"
+
+namespace m3r::dfs {
+
+Status FileSystem::WriteFile(const std::string& path, std::string_view data,
+                             const CreateOptions& opts) {
+  M3R_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> w, Create(path, opts));
+  M3R_RETURN_NOT_OK(w->Append(data));
+  return w->Close();
+}
+
+Result<std::string> FileSystem::ReadFile(const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> content,
+                       Open(path));
+  return std::string(*content);
+}
+
+}  // namespace m3r::dfs

@@ -1,0 +1,87 @@
+#ifndef M3R_DFS_FILE_SYSTEM_H_
+#define M3R_DFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace m3r::dfs {
+
+/// Metadata for one path, the analogue of Hadoop's FileStatus.
+struct FileStatus {
+  std::string path;
+  bool is_directory = false;
+  uint64_t length = 0;
+  /// Logical modification stamp (monotonic per file system).
+  int64_t mtime = 0;
+};
+
+/// One block of a file and the datanodes holding replicas of it.
+struct BlockLocation {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::vector<int> nodes;
+};
+
+/// Streaming writer returned by FileSystem::Create. Data becomes visible to
+/// readers at Close(), matching HDFS single-writer semantics.
+class FileWriter {
+ public:
+  virtual ~FileWriter() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t BytesWritten() const = 0;
+};
+
+struct CreateOptions {
+  /// Datanode that should hold the first replica of every block (HDFS
+  /// writes the first replica on the writing node). -1 = unspecified.
+  int preferred_node = -1;
+  bool overwrite = true;
+};
+
+/// The file-system abstraction both engines program against. M3R is
+/// "essentially agnostic to the file system" (paper §1); SimDFS and LocalFS
+/// implement this interface, and the M3R engine adds a cache-intercepting
+/// wrapper over any instance of it (paper §4.2.3).
+///
+/// Contents are held in memory (this is a simulator); I/O *costs* are
+/// charged by the engines via sim::CostModel using the byte counts and
+/// block locations this interface reports.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::unique_ptr<FileWriter>> Create(
+      const std::string& path, const CreateOptions& opts = {}) = 0;
+
+  /// Returns a shared handle to the full file contents (cheap; no copy).
+  virtual Result<std::shared_ptr<const std::string>> Open(
+      const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Result<FileStatus> GetFileStatus(const std::string& path) = 0;
+  virtual Result<std::vector<FileStatus>> ListStatus(
+      const std::string& dir) = 0;
+  virtual Status Mkdirs(const std::string& path) = 0;
+  virtual Status Delete(const std::string& path, bool recursive) = 0;
+  virtual Status Rename(const std::string& src, const std::string& dst) = 0;
+  virtual Result<std::vector<BlockLocation>> GetBlockLocations(
+      const std::string& path) = 0;
+
+  virtual uint64_t BlockSize() const = 0;
+
+  /// Convenience: writes `data` as the complete contents of `path`.
+  Status WriteFile(const std::string& path, std::string_view data,
+                   const CreateOptions& opts = {});
+  /// Convenience: reads complete contents.
+  Result<std::string> ReadFile(const std::string& path);
+};
+
+}  // namespace m3r::dfs
+
+#endif  // M3R_DFS_FILE_SYSTEM_H_

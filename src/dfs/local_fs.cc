@@ -1,0 +1,16 @@
+#include "dfs/local_fs.h"
+
+#include "dfs/sim_dfs.h"
+
+namespace m3r::dfs {
+
+std::shared_ptr<FileSystem> MakeLocalFs() {
+  return std::make_shared<SimDfs>(1, 1, 1ull << 40);
+}
+
+std::shared_ptr<FileSystem> MakeSimDfs(int num_nodes, uint64_t block_size,
+                                       int replication) {
+  return std::make_shared<SimDfs>(num_nodes, replication, block_size);
+}
+
+}  // namespace m3r::dfs

@@ -1,0 +1,25 @@
+#ifndef M3R_DFS_LOCAL_FS_H_
+#define M3R_DFS_LOCAL_FS_H_
+
+#include <memory>
+
+#include "dfs/file_system.h"
+
+namespace m3r::dfs {
+
+/// A single-node, unreplicated file system with one giant block per file —
+/// the "local file system" case the paper notes M3R also supports. It is a
+/// SimDfs configuration, so everything that works on HDFS works here too.
+std::shared_ptr<FileSystem> MakeLocalFs();
+
+/// Standard HDFS-like configuration used in tests/benchmarks unless a
+/// specific cluster is requested: `num_nodes` datanodes, 3-way replication
+/// (capped to the node count), 64 KB blocks (scaled down from HDFS's 64 MB
+/// in the same ratio as the scaled workloads).
+std::shared_ptr<FileSystem> MakeSimDfs(int num_nodes,
+                                       uint64_t block_size = 64 * 1024,
+                                       int replication = 3);
+
+}  // namespace m3r::dfs
+
+#endif  // M3R_DFS_LOCAL_FS_H_

@@ -1,0 +1,279 @@
+#include "dfs/sim_dfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/path.h"
+
+namespace m3r::dfs {
+
+/// Buffers appends in memory and commits the full file on Close().
+class SimDfsWriter : public FileWriter {
+ public:
+  SimDfsWriter(SimDfs* fs, std::string path, int preferred_node)
+      : fs_(fs), path_(std::move(path)), preferred_node_(preferred_node) {}
+
+  ~SimDfsWriter() override {
+    if (!closed_) M3R_LOG(Warn) << "SimDfsWriter dropped unclosed: " << path_;
+  }
+
+  Status Append(std::string_view data) override {
+    if (closed_) return Status::FailedPrecondition("writer closed: " + path_);
+    buffer_.append(data.data(), data.size());
+    bytes_written_ += data.size();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    fs_->CommitLocked(path_, std::move(buffer_), preferred_node_);
+    return Status::OK();
+  }
+
+  uint64_t BytesWritten() const override { return bytes_written_; }
+
+ private:
+  SimDfs* fs_;
+  std::string path_;
+  int preferred_node_;
+  std::string buffer_;
+  uint64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+SimDfs::SimDfs(int num_nodes, int replication, uint64_t block_size)
+    : num_nodes_(num_nodes),
+      replication_(std::min(replication, num_nodes)),
+      block_size_(block_size) {
+  M3R_CHECK(num_nodes > 0 && block_size > 0);
+  inodes_["/"].is_directory = true;
+}
+
+Result<std::unique_ptr<FileWriter>> SimDfs::Create(const std::string& path,
+                                                   const CreateOptions& opts) {
+  std::string p = path::Canonicalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(p);
+  if (it != inodes_.end()) {
+    if (it->second.is_directory) {
+      return Status::AlreadyExists("is a directory: " + p);
+    }
+    if (!opts.overwrite) return Status::AlreadyExists(p);
+  }
+  M3R_RETURN_NOT_OK(MkdirsLocked(path::Parent(p)));
+  return std::unique_ptr<FileWriter>(
+      new SimDfsWriter(this, p, opts.preferred_node));
+}
+
+void SimDfs::CommitLocked(const std::string& path, std::string data,
+                          int preferred_node) {
+  Inode& node = inodes_[path];
+  node.is_directory = false;
+  uint64_t size = data.size();
+  node.content = std::make_shared<const std::string>(std::move(data));
+  node.block_nodes.clear();
+  uint64_t num_blocks = size == 0 ? 0 : (size + block_size_ - 1) / block_size_;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    std::vector<int> replicas;
+    // Preferred nodes wrap: callers may pass a partition index directly.
+    int first = preferred_node >= 0 ? preferred_node % num_nodes_
+                                    : (next_node_rr_++ % num_nodes_);
+    replicas.push_back(first);
+    for (int r = 1; r < replication_; ++r) {
+      int candidate = next_node_rr_++ % num_nodes_;
+      // Avoid placing two replicas of one block on the same node.
+      while (std::find(replicas.begin(), replicas.end(), candidate) !=
+             replicas.end()) {
+        candidate = (candidate + 1) % num_nodes_;
+      }
+      replicas.push_back(candidate);
+    }
+    node.block_nodes.push_back(std::move(replicas));
+  }
+  node.mtime = ++mtime_counter_;
+}
+
+Status SimDfs::MkdirsLocked(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  std::vector<std::string> to_create;
+  while (true) {
+    auto it = inodes_.find(p);
+    if (it != inodes_.end()) {
+      if (!it->second.is_directory) {
+        return Status::AlreadyExists("not a directory: " + p);
+      }
+      break;
+    }
+    to_create.push_back(p);
+    if (p == "/") break;
+    p = path::Parent(p);
+  }
+  for (auto rit = to_create.rbegin(); rit != to_create.rend(); ++rit) {
+    Inode& n = inodes_[*rit];
+    n.is_directory = true;
+    n.mtime = ++mtime_counter_;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::string>> SimDfs::Open(
+    const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(p);
+  if (it == inodes_.end()) return Status::NotFound(p);
+  if (it->second.is_directory) {
+    return Status::InvalidArgument("is a directory: " + p);
+  }
+  return it->second.content;
+}
+
+bool SimDfs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inodes_.count(path::Canonicalize(path)) > 0;
+}
+
+Result<FileStatus> SimDfs::GetFileStatus(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(p);
+  if (it == inodes_.end()) return Status::NotFound(p);
+  FileStatus st;
+  st.path = p;
+  st.is_directory = it->second.is_directory;
+  st.length = it->second.content ? it->second.content->size() : 0;
+  st.mtime = it->second.mtime;
+  return st;
+}
+
+Result<std::vector<FileStatus>> SimDfs::ListStatus(const std::string& dir) {
+  std::string d = path::Canonicalize(dir);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(d);
+  if (it == inodes_.end()) return Status::NotFound(d);
+  std::vector<FileStatus> out;
+  if (!it->second.is_directory) {
+    FileStatus st;
+    st.path = d;
+    st.is_directory = false;
+    st.length = it->second.content ? it->second.content->size() : 0;
+    st.mtime = it->second.mtime;
+    out.push_back(std::move(st));
+    return out;
+  }
+  std::string prefix = d == "/" ? "/" : d + "/";
+  for (auto jt = inodes_.lower_bound(prefix); jt != inodes_.end(); ++jt) {
+    const std::string& p = jt->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    // Direct children only.
+    if (p.find('/', prefix.size()) != std::string::npos) continue;
+    FileStatus st;
+    st.path = p;
+    st.is_directory = jt->second.is_directory;
+    st.length = jt->second.content ? jt->second.content->size() : 0;
+    st.mtime = jt->second.mtime;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+Status SimDfs::Mkdirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MkdirsLocked(path);
+}
+
+Status SimDfs::Delete(const std::string& path, bool recursive) {
+  std::string p = path::Canonicalize(path);
+  if (p == "/") return Status::InvalidArgument("cannot delete root");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(p);
+  if (it == inodes_.end()) return Status::NotFound(p);
+  if (it->second.is_directory) {
+    std::string prefix = p + "/";
+    auto first_child = inodes_.lower_bound(prefix);
+    bool has_children = first_child != inodes_.end() &&
+                        first_child->first.compare(0, prefix.size(), prefix) ==
+                            0;
+    if (has_children && !recursive) {
+      return Status::FailedPrecondition("directory not empty: " + p);
+    }
+    for (auto jt = first_child; jt != inodes_.end();) {
+      if (jt->first.compare(0, prefix.size(), prefix) != 0) break;
+      jt = inodes_.erase(jt);
+    }
+  }
+  inodes_.erase(p);
+  return Status::OK();
+}
+
+Status SimDfs::Rename(const std::string& src, const std::string& dst) {
+  std::string s = path::Canonicalize(src);
+  std::string d = path::Canonicalize(dst);
+  if (s == d) return Status::OK();
+  if (path::IsUnder(d, s)) {
+    return Status::InvalidArgument("cannot rename under itself");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(s);
+  if (it == inodes_.end()) return Status::NotFound(s);
+  if (inodes_.count(d)) return Status::AlreadyExists(d);
+  M3R_RETURN_NOT_OK(MkdirsLocked(path::Parent(d)));
+  // Collect the subtree first (map iteration order is stable but we erase).
+  std::vector<std::pair<std::string, Inode>> moved;
+  moved.emplace_back(d, it->second);
+  if (it->second.is_directory) {
+    std::string prefix = s + "/";
+    for (auto jt = inodes_.lower_bound(prefix); jt != inodes_.end(); ++jt) {
+      if (jt->first.compare(0, prefix.size(), prefix) != 0) break;
+      moved.emplace_back(d + jt->first.substr(s.size()), jt->second);
+    }
+  }
+  // Erase source subtree.
+  inodes_.erase(s);
+  if (!moved.empty() && moved.front().second.is_directory) {
+    std::string prefix = s + "/";
+    for (auto jt = inodes_.lower_bound(prefix); jt != inodes_.end();) {
+      if (jt->first.compare(0, prefix.size(), prefix) != 0) break;
+      jt = inodes_.erase(jt);
+    }
+  }
+  for (auto& [p, inode] : moved) {
+    inode.mtime = ++mtime_counter_;
+    inodes_[p] = std::move(inode);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BlockLocation>> SimDfs::GetBlockLocations(
+    const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inodes_.find(p);
+  if (it == inodes_.end()) return Status::NotFound(p);
+  if (it->second.is_directory) {
+    return Status::InvalidArgument("is a directory: " + p);
+  }
+  std::vector<BlockLocation> out;
+  uint64_t size = it->second.content ? it->second.content->size() : 0;
+  for (size_t b = 0; b < it->second.block_nodes.size(); ++b) {
+    BlockLocation loc;
+    loc.offset = b * block_size_;
+    loc.length = std::min(block_size_, size - loc.offset);
+    loc.nodes = it->second.block_nodes[b];
+    out.push_back(std::move(loc));
+  }
+  return out;
+}
+
+uint64_t SimDfs::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [p, inode] : inodes_) {
+    if (inode.content) total += inode.content->size();
+  }
+  return total;
+}
+
+}  // namespace m3r::dfs

@@ -1,0 +1,261 @@
+#include "hadoop/hadoop_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "api/distributed_cache.h"
+#include "api/output_format.h"
+#include "api/task_runner.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "hadoop/map_task.h"
+#include "hadoop/reduce_task.h"
+#include "hadoop/scheduler.h"
+
+namespace m3r::hadoop {
+
+namespace {
+
+/// Serialized form of the configuration, written as the job file
+/// (job.xml) to the jobtracker's file system on submit.
+std::string SerializeConf(const api::JobConf& conf) {
+  std::string out = "<configuration>\n";
+  for (const auto& [k, v] : conf.raw()) {
+    out += "  <property><name>" + k + "</name><value>" + v +
+           "</value></property>\n";
+  }
+  out += "</configuration>\n";
+  return out;
+}
+
+api::JobResult Fail(Status status) {
+  api::JobResult r;
+  r.status = std::move(status);
+  return r;
+}
+
+}  // namespace
+
+HadoopEngine::HadoopEngine(std::shared_ptr<dfs::FileSystem> fs,
+                           HadoopEngineOptions options)
+    : fs_(std::move(fs)),
+      options_(options),
+      cost_(options_.cluster) {}
+
+api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
+  // Local copy: distributed-cache contents are installed into the
+  // configuration tasks see (Hadoop materializes them into each task's
+  // working directory).
+  api::JobConf conf = submitted_conf;
+  Stopwatch wall;
+  const sim::ClusterSpec& spec = options_.cluster;
+  api::JobResult result;
+  int job_id = job_counter_++;
+
+  const int num_reduce = conf.NumReduceTasks();
+
+  // --- Submit: jobtracker handshake, job files, splits (paper §3.1) ---
+  auto output_format = api::MakeOutputFormat(conf);
+  Status st = output_format->CheckOutputSpecs(conf, *fs_);
+  if (!st.ok()) return Fail(std::move(st));
+  api::FileOutputCommitter committer;
+  st = committer.SetupJob(conf, *fs_);
+  if (!st.ok()) return Fail(std::move(st));
+
+  std::string job_xml = SerializeConf(conf);
+  std::string job_dir = "/system/mapred/job_" + std::to_string(job_id);
+  st = fs_->WriteFile(job_dir + "/job.xml", job_xml);
+  if (!st.ok()) return Fail(std::move(st));
+
+  double t = spec.job_submit_overhead_s + cost_.DfsWrite(job_xml.size());
+
+  // Distributed cache localization: every node pulls the cache files once.
+  auto cache_files = api::DistributedCache::GetCacheFiles(conf);
+  if (!cache_files.empty()) {
+    auto localized = api::DistributedCache::Localize(conf, *fs_);
+    if (!localized.ok()) return Fail(localized.status());
+    uint64_t cache_bytes = 0;
+    for (const auto& [p, content] : *localized) cache_bytes += content->size();
+    // Nodes localize in parallel; charge one replicated read fan-out.
+    t += cost_.DfsRead(cache_bytes, /*local=*/false);
+    api::DistributedCache::InstallIntoConf(*localized, &conf);
+    result.metrics["distributed_cache_bytes"] =
+        static_cast<int64_t>(cache_bytes) * spec.num_nodes;
+  }
+
+  auto input_format = api::MakeInputFormat(conf);
+  auto splits_or = input_format->GetSplits(conf, *fs_, spec.total_slots());
+  if (!splits_or.ok()) return Fail(splits_or.status());
+  std::vector<api::InputSplitPtr> splits = splits_or.take();
+
+  // Split metadata is also written to the job directory.
+  st = fs_->WriteFile(job_dir + "/job.split",
+                      std::string(splits.size() * 64, 's'));
+  if (!st.ok()) return Fail(std::move(st));
+  result.time_breakdown["submit"] = t;
+
+  // --- Map phase: execute for real, then account on the timeline ---
+  // Hadoop's assignment of tasks to hosts is dynamic: model output
+  // placement as an arbitrary (but deterministic) host per task, which is
+  // why data written by Hadoop generally does NOT line up with M3R's
+  // stable partition->place mapping (paper §6.1.1).
+  auto arbitrary_node = [&](int task) {
+    uint64_t h = static_cast<uint64_t>(job_id) * 2654435761u +
+                 static_cast<uint64_t>(task) * 40503u + 17;
+    return static_cast<int>(h % static_cast<uint64_t>(spec.num_nodes));
+  };
+
+  ReportProgress(conf, 0.05, &result.counters);
+  std::vector<MapTaskResult> map_results(splits.size());
+  std::atomic<size_t> maps_done{0};
+  ParallelFor(
+      splits.size(),
+      [&](size_t i) {
+        map_results[i] = RunHadoopMapTask(
+            conf, *fs_, *splits[i], static_cast<int>(i), num_reduce,
+            arbitrary_node(static_cast<int>(i)));
+        size_t done = ++maps_done;
+        // Asynchronous progress/counter update per completed task (§5.3).
+        ReportProgress(conf,
+                       0.05 + 0.55 * static_cast<double>(done) /
+                                  static_cast<double>(splits.size()),
+                       &result.counters);
+      },
+      options_.host_threads);
+  for (auto& mr : map_results) {
+    if (!mr.status.ok()) return Fail(mr.status);
+    result.counters.MergeFrom(mr.counters);
+  }
+
+  PhaseScheduler map_phase(spec, t);
+  std::vector<int> map_nodes(splits.size(), 0);
+  int64_t local_maps = 0;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    const MapTaskResult& mr = map_results[i];
+    bool local = false;
+    auto duration = [&](bool is_local, int) {
+      double d = spec.task_jvm_start_s;
+      d += cost_.DfsRead(mr.input_bytes, is_local);
+      d += mr.cpu_seconds * spec.data_scale;
+      d += cost_.DiskWrite(mr.spill_write_bytes);
+      if (mr.merge_bytes > 0) {
+        d += cost_.DiskRead(mr.merge_bytes) + cost_.DiskWrite(mr.merge_bytes);
+      }
+      if (num_reduce == 0) d += cost_.DfsWrite(mr.output_bytes);
+      return d;
+    };
+    sim::ScheduledTask sched =
+        map_phase.Add(duration, splits[i]->GetLocations(), &local);
+    map_nodes[i] = sched.node;
+    if (local) ++local_maps;
+
+    result.metrics["hdfs_read_bytes"] +=
+        static_cast<int64_t>(mr.input_bytes);
+    result.metrics["spill_write_bytes"] +=
+        static_cast<int64_t>(mr.spill_write_bytes);
+    result.metrics["map_merge_bytes"] += static_cast<int64_t>(mr.merge_bytes);
+    result.counters.Increment(api::counters::kFsGroup,
+                              api::counters::kHdfsBytesRead,
+                              static_cast<int64_t>(mr.input_bytes));
+    result.counters.Increment(
+        api::counters::kFsGroup, api::counters::kFileBytesWritten,
+        static_cast<int64_t>(mr.spill_write_bytes + mr.merge_bytes));
+  }
+  result.metrics["map_tasks"] = static_cast<int64_t>(splits.size());
+  result.metrics["data_local_maps"] = local_maps;
+  double map_done = splits.empty() ? t : map_phase.Makespan();
+  result.time_breakdown["map_phase"] = map_done - t;
+
+  double phase_end = map_done;
+
+  // --- Reduce phase ---
+  if (num_reduce > 0) {
+    std::vector<std::vector<const std::string*>> reduce_inputs(
+        static_cast<size_t>(num_reduce));
+    for (int p = 0; p < num_reduce; ++p) {
+      for (const MapTaskResult& mr : map_results) {
+        reduce_inputs[static_cast<size_t>(p)].push_back(
+            &mr.partition_segments[static_cast<size_t>(p)]);
+      }
+    }
+    std::vector<ReduceTaskResult> reduce_results(
+        static_cast<size_t>(num_reduce));
+    std::atomic<size_t> reduces_done{0};
+    ParallelFor(
+        static_cast<size_t>(num_reduce),
+        [&](size_t p) {
+          reduce_results[p] = RunHadoopReduceTask(
+              conf, *fs_, static_cast<int>(p), reduce_inputs[p],
+              arbitrary_node(1000000 + static_cast<int>(p)));
+          size_t done = ++reduces_done;
+          ReportProgress(conf,
+                         0.6 + 0.35 * static_cast<double>(done) /
+                                   static_cast<double>(num_reduce),
+                         &result.counters);
+        },
+        options_.host_threads);
+    for (auto& rr : reduce_results) {
+      if (!rr.status.ok()) return Fail(rr.status);
+      result.counters.MergeFrom(rr.counters);
+    }
+
+    PhaseScheduler reduce_phase(spec, map_done);
+    for (int p = 0; p < num_reduce; ++p) {
+      const ReduceTaskResult& rr = reduce_results[static_cast<size_t>(p)];
+      auto duration = [&](bool, int node) {
+        double d = spec.task_jvm_start_s;
+        // Fetch each map task's segment: disk read at the mapper plus a
+        // network hop unless the map ran on this reducer's node.
+        for (size_t m = 0; m < map_results.size(); ++m) {
+          uint64_t bytes =
+              reduce_inputs[static_cast<size_t>(p)][m]->size();
+          if (bytes == 0) continue;
+          d += cost_.DiskRead(bytes);
+          if (map_nodes[m] != node) d += cost_.NetTransfer(bytes);
+        }
+        // Out-of-core merge: one write+read pass over the merged bytes.
+        d += cost_.DiskWrite(rr.merge_bytes) + cost_.DiskRead(rr.merge_bytes);
+        d += rr.cpu_seconds * spec.data_scale;
+        d += cost_.DfsWrite(rr.output_bytes);
+        return d;
+      };
+      reduce_phase.Add(duration);
+      result.metrics["shuffle_bytes"] +=
+          static_cast<int64_t>(rr.shuffle_bytes);
+      result.metrics["reduce_merge_bytes"] +=
+          static_cast<int64_t>(rr.merge_bytes);
+      result.metrics["hdfs_write_bytes"] +=
+          static_cast<int64_t>(rr.output_bytes);
+      result.counters.Increment(api::counters::kFsGroup,
+                                api::counters::kHdfsBytesWritten,
+                                static_cast<int64_t>(rr.output_bytes));
+    }
+    phase_end = reduce_phase.Makespan();
+    result.time_breakdown["reduce_phase"] = phase_end - map_done;
+    result.metrics["reduce_tasks"] = num_reduce;
+  } else {
+    for (const MapTaskResult& mr : map_results) {
+      result.metrics["hdfs_write_bytes"] +=
+          static_cast<int64_t>(mr.output_bytes);
+      result.counters.Increment(api::counters::kFsGroup,
+                                api::counters::kHdfsBytesWritten,
+                                static_cast<int64_t>(mr.output_bytes));
+    }
+  }
+
+  // --- Commit ---
+  st = committer.CommitJob(conf, *fs_);
+  if (!st.ok()) return Fail(std::move(st));
+  double total = phase_end + spec.job_commit_overhead_s;
+  result.time_breakdown["commit"] = spec.job_commit_overhead_s;
+
+  result.sim_seconds = total;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.status = Status::OK();
+  ReportProgress(conf, 1.0, &result.counters);
+  NotifyJobEnd(conf, result);
+  return result;
+}
+
+}  // namespace m3r::hadoop

@@ -1,0 +1,180 @@
+#include "hadoop/map_task.h"
+
+#include <map>
+
+#include "api/class_registry.h"
+#include "api/multiple_io.h"
+#include "api/output_format.h"
+#include "api/task_runner.h"
+#include "common/stopwatch.h"
+#include "hadoop/merge.h"
+#include "hadoop/spill.h"
+
+namespace m3r::hadoop {
+
+namespace {
+
+/// Map-only jobs: collect straight into a RecordWriter (the Hadoop path
+/// where map output bypasses sort/shuffle entirely).
+class DirectWriteCollector : public api::OutputCollector {
+ public:
+  DirectWriteCollector(api::RecordWriter* writer, api::Reporter* reporter)
+      : writer_(writer), reporter_(reporter) {}
+  void Collect(const api::WritablePtr& key,
+               const api::WritablePtr& value) override {
+    M3R_CHECK_OK(writer_->Write(*key, *value));
+    reporter_->IncrCounter(api::counters::kTaskGroup,
+                           api::counters::kMapOutputRecords, 1);
+  }
+
+ private:
+  api::RecordWriter* writer_;
+  api::Reporter* reporter_;
+};
+
+/// Hadoop-side MultipleOutputs sink: writes named outputs directly through
+/// their configured format to <outdir>/<name>-part-<task>.
+class HadoopNamedOutputSink : public api::NamedOutputSink {
+ public:
+  HadoopNamedOutputSink(const api::JobConf& conf, dfs::FileSystem& fs,
+                        int task_id, int node)
+      : conf_(conf), fs_(fs), task_id_(task_id), node_(node) {}
+
+  ~HadoopNamedOutputSink() override {
+    for (auto& [name, writer] : writers_) M3R_CHECK_OK(writer->Close());
+  }
+
+  Status WriteNamed(const std::string& name, const api::WritablePtr& key,
+                    const api::WritablePtr& value) override {
+    auto it = writers_.find(name);
+    if (it == writers_.end()) {
+      std::string format_name = api::MultipleOutputs::OutputFormatFor(
+          conf_, name);
+      if (format_name.empty()) {
+        return Status::InvalidArgument("unknown named output: " + name);
+      }
+      auto format =
+          api::ObjectRegistry<api::OutputFormat>::Instance().Create(
+              format_name);
+      std::string path = conf_.OutputPath() + "/" + name + "-" +
+                         api::file_output::PartFileName(task_id_);
+      M3R_ASSIGN_OR_RETURN(std::unique_ptr<api::RecordWriter> writer,
+                           format->GetRecordWriter(conf_, fs_, path, node_));
+      it = writers_.emplace(name, std::move(writer)).first;
+    }
+    return it->second->Write(*key, *value);
+  }
+
+  uint64_t BytesWritten() const {
+    uint64_t total = 0;
+    for (const auto& [name, writer] : writers_) {
+      total += writer->BytesWritten();
+    }
+    return total;
+  }
+
+ private:
+  const api::JobConf& conf_;
+  dfs::FileSystem& fs_;
+  int task_id_;
+  int node_;
+  std::map<std::string, std::unique_ptr<api::RecordWriter>> writers_;
+};
+
+}  // namespace
+
+MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
+                               dfs::FileSystem& fs,
+                               const api::InputSplit& split, int task_id,
+                               int num_reduce, int node) {
+  MapTaskResult result;
+  api::CountersReporter reporter(&result.counters);
+
+  // MultipleInputs: the tagged split overrides mapper and input format.
+  const api::InputSplit* base_split = nullptr;
+  api::JobConf conf = api::SpecializeConfForSplit(job_conf, split,
+                                                  &base_split);
+  result.input_bytes = split.GetLength();
+
+  auto input_format = api::MakeInputFormat(conf);
+  auto reader_or = input_format->GetRecordReader(*base_split, conf, fs);
+  if (!reader_or.ok()) {
+    result.status = reader_or.status();
+    return result;
+  }
+  std::unique_ptr<api::RecordReader> reader = reader_or.take();
+
+  HadoopNamedOutputSink named_sink(conf, fs, task_id, node);
+  api::ScopedNamedOutputSink scoped_sink(&named_sink);
+
+  CpuStopwatch cpu;
+  bool immutable_unused = false;
+  if (num_reduce == 0) {
+    // Map-only: write through the output format + commit protocol.
+    auto output_format = api::MakeOutputFormat(conf);
+    std::string temp_path =
+        api::file_output::TempPath(conf, task_id, /*attempt=*/0);
+    auto writer_or = output_format->GetRecordWriter(conf, fs, temp_path,
+                                                    node);
+    if (!writer_or.ok()) {
+      result.status = writer_or.status();
+      return result;
+    }
+    std::unique_ptr<api::RecordWriter> writer = writer_or.take();
+    DirectWriteCollector collector(writer.get(), &reporter);
+    result.status =
+        api::RunMapTask(conf, *reader, collector, reporter,
+                        api::MapRunnerMode::kHadoopDefault,
+                        &immutable_unused);
+    reader->Close();
+    if (!result.status.ok()) return result;
+    result.status = writer->Close();
+    if (!result.status.ok()) return result;
+    result.output_bytes = writer->BytesWritten() + named_sink.BytesWritten();
+    api::FileOutputCommitter committer;
+    result.status = committer.CommitTask(conf, fs, task_id, /*attempt=*/0);
+    result.cpu_seconds = cpu.ElapsedSeconds();
+    return result;
+  }
+
+  MapOutputBuffer buffer(conf, num_reduce, &reporter);
+  result.status = api::RunMapTask(conf, *reader, buffer, reporter,
+                                  api::MapRunnerMode::kHadoopDefault,
+                                  &immutable_unused);
+  reader->Close();
+  if (!result.status.ok()) return result;
+  buffer.Flush();
+  result.cpu_seconds = cpu.ElapsedSeconds();
+
+  // Merge spills into the final map output file, one sorted segment per
+  // partition. A single spill needs no merge pass.
+  std::vector<Spill>& spills = buffer.spills();
+  for (const Spill& spill : spills) result.spill_write_bytes += spill.bytes;
+  result.counters.Increment(api::counters::kTaskGroup,
+                            api::counters::kMapOutputBytes,
+                            static_cast<int64_t>(
+                                buffer.total_output_bytes()));
+
+  result.partition_segments.resize(static_cast<size_t>(num_reduce));
+  if (spills.size() == 1) {
+    result.partition_segments = std::move(spills[0].partition_segments);
+    for (const std::string& s : result.partition_segments) {
+      result.output_bytes += s.size();
+    }
+  } else if (!spills.empty()) {
+    auto sort_cmp = api::SortComparator(conf);
+    for (int p = 0; p < num_reduce; ++p) {
+      std::vector<const std::string*> segments;
+      for (const Spill& spill : spills) {
+        segments.push_back(&spill.partition_segments[static_cast<size_t>(p)]);
+      }
+      std::string merged = MergeSegments(segments, sort_cmp, nullptr);
+      result.merge_bytes += merged.size();
+      result.output_bytes += merged.size();
+      result.partition_segments[static_cast<size_t>(p)] = std::move(merged);
+    }
+  }
+  return result;
+}
+
+}  // namespace m3r::hadoop

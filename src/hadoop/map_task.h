@@ -1,0 +1,45 @@
+#ifndef M3R_HADOOP_MAP_TASK_H_
+#define M3R_HADOOP_MAP_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "api/counters.h"
+#include "api/input_format.h"
+#include "api/job_conf.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::hadoop {
+
+/// Everything a completed map task leaves behind for the engine: one merged
+/// sorted segment per reduce partition (the "map output file"), the byte
+/// counts needed for cost charging, measured user-code CPU time, and the
+/// task's counters.
+struct MapTaskResult {
+  Status status;
+  std::vector<std::string> partition_segments;
+  uint64_t input_bytes = 0;
+  /// Bytes written to local disk across all spills.
+  uint64_t spill_write_bytes = 0;
+  /// Bytes re-read (and re-written) by the map-side merge of spills.
+  uint64_t merge_bytes = 0;
+  uint64_t output_bytes = 0;
+  double cpu_seconds = 0;
+  api::Counters counters;
+};
+
+/// Executes one Hadoop map task for real: opens the split's reader, runs
+/// the job's mapper (via the default object-reusing MapRunner or a custom
+/// MapRunnable), sorts/combines/spills through MapOutputBuffer, and merges
+/// the spills into one segment per partition.
+///
+/// For map-only jobs (zero reducers), output goes straight to the job's
+/// OutputFormat through the commit protocol, keyed by `task_id`.
+MapTaskResult RunHadoopMapTask(const api::JobConf& conf, dfs::FileSystem& fs,
+                               const api::InputSplit& split, int task_id,
+                               int num_reduce, int node);
+
+}  // namespace m3r::hadoop
+
+#endif  // M3R_HADOOP_MAP_TASK_H_

@@ -1,0 +1,101 @@
+#include "hadoop/merge.h"
+
+#include <queue>
+
+#include "serialize/registry.h"
+
+namespace m3r::hadoop {
+
+std::string MergeSegments(const std::vector<const std::string*>& segments,
+                          const serialize::RawComparatorPtr& cmp,
+                          uint64_t* merged_records) {
+  struct Head {
+    std::string_view key;
+    std::string_view value;
+    size_t segment_index;
+  };
+  std::vector<SegmentReader> readers;
+  readers.reserve(segments.size());
+  for (const std::string* s : segments) readers.emplace_back(s);
+
+  auto greater = [&cmp](const Head& a, const Head& b) {
+    int c = cmp->Compare(a.key, b.key);
+    if (c != 0) return c > 0;
+    return a.segment_index > b.segment_index;  // stability across segments
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
+      greater);
+
+  for (size_t i = 0; i < readers.size(); ++i) {
+    Head h;
+    h.segment_index = i;
+    if (readers[i].Next(&h.key, &h.value)) heap.push(h);
+  }
+
+  SegmentWriter out;
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    out.Add(h.key, h.value);
+    Head next;
+    next.segment_index = h.segment_index;
+    if (readers[h.segment_index].Next(&next.key, &next.value)) {
+      heap.push(next);
+    }
+  }
+  if (merged_records != nullptr) *merged_records = out.records();
+  return out.Take();
+}
+
+SegmentGroupSource::SegmentGroupSource(const api::JobConf& conf,
+                                       const std::string* bytes)
+    : reader_(bytes),
+      grouping_(api::GroupingComparator(conf)),
+      key_type_(conf.MapOutputKeyClass()),
+      value_type_(conf.MapOutputValueClass()) {
+  M3R_CHECK(!key_type_.empty() && !value_type_.empty())
+      << "job must configure (map) output key/value classes for reduce";
+  has_pending_ = Advance();
+}
+
+bool SegmentGroupSource::Advance() {
+  return reader_.Next(&pending_key_, &pending_value_);
+}
+
+bool SegmentGroupSource::PendingInGroup() const {
+  return has_pending_ && in_group_ &&
+         grouping_->Compare(group_key_bytes_, pending_key_) == 0;
+}
+
+bool SegmentGroupSource::NextGroup() {
+  // Drain any unconsumed values of the current group.
+  while (PendingInGroup()) has_pending_ = Advance();
+  if (!has_pending_) {
+    in_group_ = false;
+    return false;
+  }
+  group_key_bytes_.assign(pending_key_.data(), pending_key_.size());
+  group_key_ = serialize::WritableRegistry::Instance().Create(key_type_);
+  serialize::DeserializeFromString(group_key_bytes_, group_key_.get());
+  in_group_ = true;
+  return true;
+}
+
+const api::WritablePtr& SegmentGroupSource::Key() const { return group_key_; }
+
+api::ValuesIterator& SegmentGroupSource::Values() { return iter_; }
+
+bool SegmentGroupSource::Iter::HasNext() { return src_->PendingInGroup(); }
+
+api::WritablePtr SegmentGroupSource::Iter::Next() {
+  M3R_CHECK(HasNext()) << "values iterator exhausted";
+  auto value =
+      serialize::WritableRegistry::Instance().Create(src_->value_type_);
+  serialize::DeserializeFromString(
+      std::string(src_->pending_value_.data(), src_->pending_value_.size()),
+      value.get());
+  src_->has_pending_ = src_->Advance();
+  return value;
+}
+
+}  // namespace m3r::hadoop

@@ -1,0 +1,36 @@
+#ifndef M3R_HADOOP_REDUCE_TASK_H_
+#define M3R_HADOOP_REDUCE_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "api/counters.h"
+#include "api/job_conf.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::hadoop {
+
+struct ReduceTaskResult {
+  Status status;
+  /// Bytes fetched from each map task (index-aligned with the inputs).
+  uint64_t shuffle_bytes = 0;
+  /// Bytes written+read by the reduce-side out-of-core merge.
+  uint64_t merge_bytes = 0;
+  /// Bytes written to the DFS output (before replication).
+  uint64_t output_bytes = 0;
+  double cpu_seconds = 0;
+  api::Counters counters;
+};
+
+/// Executes one Hadoop reduce task for real: merges the fetched map-output
+/// segments, streams groups through the job's reducer, and writes the
+/// partition's output file through the commit protocol.
+/// `segments[i]` is map task i's segment for this partition.
+ReduceTaskResult RunHadoopReduceTask(
+    const api::JobConf& conf, dfs::FileSystem& fs, int partition,
+    const std::vector<const std::string*>& segments, int node);
+
+}  // namespace m3r::hadoop
+
+#endif  // M3R_HADOOP_REDUCE_TASK_H_

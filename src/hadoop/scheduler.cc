@@ -1,0 +1,20 @@
+#include "hadoop/scheduler.h"
+
+namespace m3r::hadoop {
+
+PhaseScheduler::PhaseScheduler(const sim::ClusterSpec& spec,
+                               double phase_start_s)
+    : spec_(spec),
+      timeline_(spec, phase_start_s),
+      phase_start_s_(phase_start_s) {}
+
+sim::ScheduledTask PhaseScheduler::Add(
+    const std::function<double(bool, int)>& duration_fn,
+    const std::vector<int>& preferred_nodes, bool* ran_local) {
+  // Expected wait for the next tracker heartbeat: half the interval.
+  double dispatch = spec_.heartbeat_interval_s / 2;
+  return timeline_.ScheduleFn(phase_start_s_, duration_fn, dispatch,
+                              preferred_nodes, ran_local);
+}
+
+}  // namespace m3r::hadoop

@@ -1,0 +1,37 @@
+#ifndef M3R_HADOOP_SCHEDULER_H_
+#define M3R_HADOOP_SCHEDULER_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace m3r::hadoop {
+
+/// Simulates the jobtracker handing tasks to polling task trackers: every
+/// assignment waits for a heartbeat (on average half the polling interval —
+/// Hadoop's task-dispatch latency the paper calls out in §6.1), then
+/// occupies a slot on the simulated cluster.
+class PhaseScheduler {
+ public:
+  PhaseScheduler(const sim::ClusterSpec& spec, double phase_start_s);
+
+  /// Schedules one task; `duration_fn(local, node)` is evaluated after
+  /// placement, so input-read costs can depend on data locality.
+  sim::ScheduledTask Add(
+      const std::function<double(bool local, int node)>& duration_fn,
+      const std::vector<int>& preferred_nodes = {},
+      bool* ran_local = nullptr);
+
+  double Makespan() const { return timeline_.Makespan(); }
+
+ private:
+  sim::ClusterSpec spec_;
+  sim::SlotTimeline timeline_;
+  double phase_start_s_;
+};
+
+}  // namespace m3r::hadoop
+
+#endif  // M3R_HADOOP_SCHEDULER_H_

@@ -1,0 +1,146 @@
+#include "hadoop/spill.h"
+
+#include <algorithm>
+
+#include "api/counters.h"
+#include "serialize/registry.h"
+
+namespace m3r::hadoop {
+
+namespace {
+
+using api::KeyedPair;
+using serialize::WritableRegistry;
+
+/// Deserializes a sorted range of serialized records into KeyedPairs so the
+/// combiner can run over them.
+std::vector<KeyedPair> DeserializeRange(
+    const api::JobConf& conf,
+    const std::vector<std::pair<std::string, std::string>>& records) {
+  std::string kt = conf.MapOutputKeyClass();
+  std::string vt = conf.MapOutputValueClass();
+  std::vector<KeyedPair> out;
+  out.reserve(records.size());
+  for (const auto& [kbytes, vbytes] : records) {
+    KeyedPair p;
+    p.key_bytes = kbytes;
+    p.key = WritableRegistry::Instance().Create(kt);
+    serialize::DeserializeFromString(kbytes, p.key.get());
+    p.value = WritableRegistry::Instance().Create(vt);
+    serialize::DeserializeFromString(vbytes, p.value.get());
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Collector that re-serializes combiner output into a segment.
+class SegmentCollector : public api::OutputCollector {
+ public:
+  explicit SegmentCollector(SegmentWriter* segment) : segment_(segment) {}
+  void Collect(const api::WritablePtr& key,
+               const api::WritablePtr& value) override {
+    segment_->Add(serialize::SerializeToString(*key),
+                  serialize::SerializeToString(*value));
+  }
+
+ private:
+  SegmentWriter* segment_;
+};
+
+}  // namespace
+
+MapOutputBuffer::MapOutputBuffer(const api::JobConf& conf, int num_partitions,
+                                 api::Reporter* reporter)
+    : conf_(conf),
+      num_partitions_(num_partitions),
+      reporter_(reporter),
+      partitioner_(api::MakePartitioner(conf)),
+      sort_cmp_(api::SortComparator(conf)),
+      buffer_limit_bytes_(static_cast<uint64_t>(
+          conf.GetInt(kSortBufferBytesKey, kDefaultSortBufferBytes))) {}
+
+void MapOutputBuffer::Collect(const api::WritablePtr& key,
+                              const api::WritablePtr& value) {
+  // The HMR contract: output is serialized immediately, so the caller is
+  // free to mutate and reuse the objects afterwards.
+  BufferedRecord rec;
+  rec.partition = num_partitions_ > 0
+                      ? partitioner_->GetPartition(*key, *value,
+                                                   num_partitions_)
+                      : 0;
+  M3R_CHECK(rec.partition >= 0 &&
+            (num_partitions_ == 0 || rec.partition < num_partitions_))
+      << "partitioner returned " << rec.partition;
+  rec.key = serialize::SerializeToString(*key);
+  rec.value = serialize::SerializeToString(*value);
+  buffered_bytes_ += rec.key.size() + rec.value.size();
+  total_output_bytes_ += rec.key.size() + rec.value.size();
+  ++total_records_;
+  buffer_.push_back(std::move(rec));
+  reporter_->IncrCounter(api::counters::kTaskGroup,
+                         api::counters::kMapOutputRecords, 1);
+  if (buffered_bytes_ >= buffer_limit_bytes_) SortAndSpill();
+}
+
+void MapOutputBuffer::Flush() {
+  if (!buffer_.empty() || spills_.empty()) SortAndSpill();
+}
+
+void MapOutputBuffer::SortAndSpill() {
+  // Sort by (partition, key) — Hadoop's in-buffer sort before spilling.
+  std::stable_sort(buffer_.begin(), buffer_.end(),
+                   [this](const BufferedRecord& a, const BufferedRecord& b) {
+                     if (a.partition != b.partition) {
+                       return a.partition < b.partition;
+                     }
+                     return sort_cmp_->Compare(a.key, b.key) < 0;
+                   });
+
+  Spill spill;
+  spill.partition_segments.resize(
+      static_cast<size_t>(std::max(num_partitions_, 1)));
+  bool combine = conf_.HasCombiner();
+  size_t i = 0;
+  while (i < buffer_.size()) {
+    int partition = buffer_[i].partition;
+    size_t j = i;
+    while (j < buffer_.size() && buffer_[j].partition == partition) ++j;
+
+    SegmentWriter segment;
+    if (combine) {
+      std::vector<std::pair<std::string, std::string>> records;
+      records.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        records.emplace_back(buffer_[k].key, buffer_[k].value);
+      }
+      std::vector<KeyedPair> pairs = DeserializeRange(conf_, records);
+      reporter_->IncrCounter(api::counters::kTaskGroup,
+                             api::counters::kCombineInputRecords,
+                             static_cast<int64_t>(pairs.size()));
+      api::SortedPairsGroupSource groups(sort_cmp_, &pairs);
+      SegmentCollector collector(&segment);
+      M3R_CHECK_OK(api::RunCombine(conf_, groups, collector, *reporter_));
+      reporter_->IncrCounter(api::counters::kTaskGroup,
+                             api::counters::kCombineOutputRecords,
+                             static_cast<int64_t>(segment.records()));
+    } else {
+      for (size_t k = i; k < j; ++k) {
+        segment.Add(buffer_[k].key, buffer_[k].value);
+      }
+    }
+    spill.records += segment.records();
+    spill.bytes += segment.size();
+    spill.partition_segments[static_cast<size_t>(partition)] = segment.Take();
+    i = j;
+  }
+
+  spilled_records_ += spill.records;
+  reporter_->IncrCounter(api::counters::kTaskGroup,
+                         api::counters::kSpilledRecords,
+                         static_cast<int64_t>(spill.records));
+  spills_.push_back(std::move(spill));
+  buffer_.clear();
+  buffered_bytes_ = 0;
+}
+
+}  // namespace m3r::hadoop

@@ -1,0 +1,305 @@
+#include "kvstore/kv_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/path.h"
+
+namespace m3r::kvstore {
+
+KVStore::KVStore(int num_places)
+    : num_places_(num_places), shards_(static_cast<size_t>(num_places)) {
+  M3R_CHECK(num_places > 0);
+  shards_[ShardOf("/")].entries["/"].is_directory = true;
+}
+
+size_t KVStore::ShardOf(const std::string& path) const {
+  return std::hash<std::string>()(path) % shards_.size();
+}
+
+bool KVStore::WithEntry(const std::string& path, bool create,
+                        const std::function<void(Entry&)>& fn) {
+  Shard& shard = shards_[ShardOf(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(path);
+  if (it == shard.entries.end()) {
+    if (!create) return false;
+    it = shard.entries.emplace(path, Entry{}).first;
+    it->second.mtime = ++mtime_counter_;
+  }
+  fn(it->second);
+  return true;
+}
+
+bool KVStore::HasEntry(const std::string& path) const {
+  const Shard& shard = shards_[ShardOf(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(path) > 0;
+}
+
+void KVStore::EraseEntry(const std::string& path) {
+  Shard& shard = shards_[ShardOf(path)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries.erase(path);
+}
+
+void KVStore::MkdirsUnlocked(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  while (true) {
+    bool existed = HasEntry(p);
+    if (!existed) {
+      WithEntry(p, /*create=*/true, [this](Entry& e) {
+        e.is_directory = true;
+        e.mtime = ++mtime_counter_;
+      });
+    }
+    if (p == "/" || existed) break;
+    p = path::Parent(p);
+  }
+}
+
+std::optional<PathInfo> KVStore::GetInfoNoLock(const std::string& path) {
+  PathInfo info;
+  info.path = path;
+  bool exists = WithEntry(path, false, [&](Entry& e) {
+    info.is_directory = e.is_directory;
+    info.mtime = e.mtime;
+    for (const auto& [bi, seq] : e.blocks) {
+      info.blocks.push_back(bi);
+      info.total_pairs += seq->size();
+    }
+  });
+  if (!exists) return std::nullopt;
+  return info;
+}
+
+std::vector<std::string> KVStore::SubtreePaths(const std::string& path) const {
+  std::string root = path::Canonicalize(path);
+  std::vector<std::string> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [p, e] : shard.entries) {
+      if (path::IsUnder(p, root)) out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::unique_ptr<KVStore::Writer>> KVStore::CreateWriter(
+    const std::string& path, BlockInfo info) {
+  std::string p = path::Canonicalize(path);
+  if (info.place < 0 || info.place >= num_places_) {
+    return Status::InvalidArgument("bad place " + std::to_string(info.place));
+  }
+  {
+    auto guard = locks_.LockAll({p});
+    bool is_dir = false;
+    WithEntry(p, false, [&](Entry& e) { is_dir = e.is_directory; });
+    if (is_dir) return Status::AlreadyExists("is a directory: " + p);
+  }
+  return std::make_unique<Writer>(this, p, std::move(info));
+}
+
+Status KVStore::Writer::Close() {
+  std::string parent = path::Parent(path_);
+  auto guard = store_->locks_.LockAll({path_, parent});
+  bool parent_is_file = false;
+  store_->WithEntry(parent, false,
+                    [&](Entry& e) { parent_is_file = !e.is_directory; });
+  if (parent_is_file) {
+    return Status::FailedPrecondition("parent is a file: " + parent);
+  }
+  store_->MkdirsUnlocked(parent);
+  auto data = std::make_shared<const KVSeq>(std::move(buffer_));
+  BlockInfo info = info_;
+  store_->WithEntry(path_, true, [&](KVStore::Entry& e) {
+    if (e.is_directory) return;  // validated below
+    auto it = std::find_if(e.blocks.begin(), e.blocks.end(),
+                           [&](const auto& b) { return b.first == info; });
+    if (it != e.blocks.end()) {
+      it->second = data;
+    } else {
+      e.blocks.emplace_back(info, data);
+    }
+    e.mtime = ++store_->mtime_counter_;
+  });
+  return Status::OK();
+}
+
+Result<KVSeqPtr> KVStore::CreateReader(const std::string& path,
+                                       const BlockInfo& info) {
+  std::string p = path::Canonicalize(path);
+  auto guard = locks_.LockAll({p});
+  KVSeqPtr found;
+  bool exists = WithEntry(p, false, [&](Entry& e) {
+    for (const auto& [bi, seq] : e.blocks) {
+      if (bi == info) {
+        found = seq;
+        return;
+      }
+    }
+  });
+  if (!exists) return Status::NotFound(p);
+  if (!found) return Status::NotFound(p + " block " + info.name);
+  return found;
+}
+
+Result<std::vector<std::pair<BlockInfo, KVSeqPtr>>> KVStore::ReadAll(
+    const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  auto guard = locks_.LockAll({p});
+  std::vector<std::pair<BlockInfo, KVSeqPtr>> out;
+  bool exists = WithEntry(p, false, [&](Entry& e) { out = e.blocks; });
+  if (!exists) return Status::NotFound(p);
+  return out;
+}
+
+Status KVStore::Delete(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  if (p == "/") return Status::InvalidArgument("cannot delete root");
+  auto guard = locks_.LockAll({p, path::Parent(p)});
+  if (!HasEntry(p)) return Status::NotFound(p);
+  // Refuse to delete non-empty directories non-recursively.
+  bool is_dir = false;
+  WithEntry(p, false, [&](Entry& e) { is_dir = e.is_directory; });
+  if (is_dir) {
+    auto subtree = SubtreePaths(p);
+    if (subtree.size() > 1) {
+      return Status::FailedPrecondition("directory not empty: " + p);
+    }
+  }
+  EraseEntry(p);
+  return Status::OK();
+}
+
+Status KVStore::DeleteRecursive(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  if (p == "/") return Status::InvalidArgument("cannot delete root");
+  // Optimistic subtree locking: collect, lock, re-validate, retry if the
+  // subtree changed between collection and locking.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto subtree = SubtreePaths(p);
+    if (subtree.empty()) return Status::NotFound(p);
+    std::vector<std::string> lockset = subtree;
+    lockset.push_back(path::Parent(p));
+    auto guard = locks_.LockAll(lockset);
+    auto now = SubtreePaths(p);
+    if (now != subtree) continue;
+    for (const auto& q : subtree) EraseEntry(q);
+    return Status::OK();
+  }
+  return Status::Internal("DeleteRecursive retry budget exceeded: " + p);
+}
+
+Status KVStore::Rename(const std::string& src, const std::string& dst) {
+  std::string s = path::Canonicalize(src);
+  std::string d = path::Canonicalize(dst);
+  if (s == "/" || d == "/") return Status::InvalidArgument("root rename");
+  if (s == d) return Status::OK();
+  if (path::IsUnder(d, s)) {
+    return Status::InvalidArgument("cannot rename under itself");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto subtree = SubtreePaths(s);
+    if (subtree.empty()) return Status::NotFound(s);
+    std::vector<std::string> lockset = subtree;
+    lockset.push_back(path::Parent(s));
+    lockset.push_back(path::Parent(d));
+    lockset.push_back(d);
+    auto guard = locks_.LockAll(lockset);
+    auto now = SubtreePaths(s);
+    if (now != subtree) continue;
+    if (HasEntry(d)) return Status::AlreadyExists(d);
+    bool parent_is_file = false;
+    WithEntry(path::Parent(d), false,
+              [&](Entry& e) { parent_is_file = !e.is_directory; });
+    if (parent_is_file) {
+      return Status::FailedPrecondition("target parent is a file");
+    }
+    MkdirsUnlocked(path::Parent(d));
+    for (const auto& q : subtree) {
+      Entry moved;
+      WithEntry(q, false, [&](Entry& e) { moved = e; });
+      EraseEntry(q);
+      std::string nq = q == s ? d : d + q.substr(s.size());
+      moved.mtime = ++mtime_counter_;
+      WithEntry(nq, true, [&](Entry& e) { e = moved; });
+    }
+    return Status::OK();
+  }
+  return Status::Internal("Rename retry budget exceeded: " + s);
+}
+
+Result<PathInfo> KVStore::GetInfo(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  auto guard = locks_.LockAll({p});
+  PathInfo info;
+  info.path = p;
+  bool exists = WithEntry(p, false, [&](Entry& e) {
+    info.is_directory = e.is_directory;
+    info.mtime = e.mtime;
+    for (const auto& [bi, seq] : e.blocks) {
+      info.blocks.push_back(bi);
+      info.total_pairs += seq->size();
+    }
+  });
+  if (!exists) return Status::NotFound(p);
+  return info;
+}
+
+Status KVStore::Mkdirs(const std::string& path) {
+  std::string p = path::Canonicalize(path);
+  // Lock from the path up to root; the LCA augmentation in LockAll keeps
+  // the acquisition order hierarchical.
+  std::vector<std::string> chain;
+  for (std::string q = p;; q = path::Parent(q)) {
+    chain.push_back(q);
+    if (q == "/") break;
+  }
+  auto guard = locks_.LockAll(chain);
+  bool is_file = false;
+  WithEntry(p, false, [&](Entry& e) { is_file = !e.is_directory; });
+  if (is_file) return Status::AlreadyExists("file exists: " + p);
+  MkdirsUnlocked(p);
+  return Status::OK();
+}
+
+bool KVStore::Exists(const std::string& path) {
+  return HasEntry(path::Canonicalize(path));
+}
+
+Result<std::vector<PathInfo>> KVStore::List(const std::string& dir) {
+  std::string d = path::Canonicalize(dir);
+  auto guard = locks_.LockAll({d});
+  bool is_dir = false;
+  bool exists = WithEntry(d, false, [&](Entry& e) { is_dir = e.is_directory; });
+  if (!exists) return Status::NotFound(d);
+  std::vector<PathInfo> out;
+  if (!is_dir) {
+    auto info = GetInfoNoLock(d);
+    if (info) out.push_back(*info);
+    return out;
+  }
+  for (const auto& p : SubtreePaths(d)) {
+    if (p == d) continue;
+    if (path::Parent(p) != d) continue;
+    auto info = GetInfoNoLock(p);
+    if (info) out.push_back(*info);
+  }
+  return out;
+}
+
+uint64_t KVStore::TotalPairs() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [p, e] : shard.entries) {
+      for (const auto& [bi, seq] : e.blocks) total += seq->size();
+    }
+  }
+  return total;
+}
+
+}  // namespace m3r::kvstore

@@ -1,0 +1,163 @@
+#ifndef M3R_KVSTORE_KV_STORE_H_
+#define M3R_KVSTORE_KV_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/lock_manager.h"
+#include "serialize/writable.h"
+
+namespace m3r::kvstore {
+
+/// One key/value record as cached by M3R (shared_ptrs so cache entries can
+/// alias de-duplicated shuffle objects without copying).
+using KVPair = std::pair<serialize::WritablePtr, serialize::WritablePtr>;
+/// A cached key/value sequence (one block's worth).
+using KVSeq = std::vector<KVPair>;
+using KVSeqPtr = std::shared_ptr<const KVSeq>;
+
+/// Metadata identifying one block of a path (paper Fig. 5: "blocks are
+/// identified by their metadata"; the store is generic in the metadata but
+/// requires a reasonable equality). `name` distinguishes blocks of the same
+/// path (M3R uses "<split offset>" or "part-<partition>"); `place` is where
+/// the data physically lives.
+struct BlockInfo {
+  std::string name;
+  int place = 0;
+  /// Estimated serialized size of the block's pairs (caller-maintained
+  /// metadata; not part of block identity).
+  uint64_t bytes = 0;
+
+  bool operator==(const BlockInfo& o) const {
+    return name == o.name && place == o.place;
+  }
+};
+
+/// Metadata for a whole path.
+struct PathInfo {
+  std::string path;
+  bool is_directory = false;
+  std::vector<BlockInfo> blocks;
+  uint64_t total_pairs = 0;
+  int64_t mtime = 0;
+};
+
+/// The distributed in-memory key/value store underlying the M3R cache
+/// (paper §5.2). It exposes a file-system-like API (Fig. 5): paths map to
+/// blocks, each block holds a key/value sequence and lives at one place.
+///
+/// - Metadata is distributed by a static partitioning scheme: hash(path)
+///   selects the metadata shard ("place").
+/// - Data blocks can live anywhere; their location is in their metadata.
+///   CreateWriter creates the block at the invoking place.
+/// - All operations are atomic (serializable) via two-phase locking with
+///   the least-common-ancestor ordering protocol (see LockManager).
+class KVStore {
+ public:
+  explicit KVStore(int num_places);
+
+  int num_places() const { return num_places_; }
+
+  /// Streaming writer for one block of `path`. The block is created at
+  /// `info.place` (callers pass their own place). Visible after Close().
+  class Writer {
+   public:
+    Writer(KVStore* store, std::string path, BlockInfo info)
+        : store_(store), path_(std::move(path)), info_(std::move(info)) {}
+    void Append(serialize::WritablePtr key, serialize::WritablePtr value) {
+      buffer_.emplace_back(std::move(key), std::move(value));
+    }
+    void AppendSeq(const KVSeq& pairs) {
+      buffer_.insert(buffer_.end(), pairs.begin(), pairs.end());
+    }
+    /// Atomically publishes the block (replacing a block with equal
+    /// BlockInfo if present).
+    Status Close();
+    size_t PairCount() const { return buffer_.size(); }
+
+   private:
+    KVStore* store_;
+    std::string path_;
+    BlockInfo info_;
+    KVSeq buffer_;
+  };
+
+  /// Creates a writer for one block of `path`. Ancestor directories are
+  /// created implicitly at Close() (atomic with publication).
+  Result<std::unique_ptr<Writer>> CreateWriter(const std::string& path,
+                                               BlockInfo info);
+
+  /// Returns the sequence for one block; NotFound if the path or block is
+  /// missing.
+  Result<KVSeqPtr> CreateReader(const std::string& path,
+                                const BlockInfo& info);
+
+  /// Reads all blocks of `path` in block order.
+  Result<std::vector<std::pair<BlockInfo, KVSeqPtr>>> ReadAll(
+      const std::string& path);
+
+  Status Delete(const std::string& path);
+  /// Recursive delete of a directory subtree (or a single file).
+  Status DeleteRecursive(const std::string& path);
+  Status Rename(const std::string& src, const std::string& dst);
+  Result<PathInfo> GetInfo(const std::string& path);
+  Status Mkdirs(const std::string& path);
+
+  bool Exists(const std::string& path);
+  /// Paths directly under directory `dir`.
+  Result<std::vector<PathInfo>> List(const std::string& dir);
+
+  /// Total cached pairs across all paths (memory accounting for tests and
+  /// the cache-management benchmarks).
+  uint64_t TotalPairs() const;
+
+  /// Lock-table contention events (tests/benchmarks).
+  uint64_t LockContention() const { return locks_.ContentionCount(); }
+
+ private:
+  struct Entry {
+    bool is_directory = false;
+    std::vector<std::pair<BlockInfo, KVSeqPtr>> blocks;
+    int64_t mtime = 0;
+  };
+
+  /// Metadata shard for `path` (static hash partitioning).
+  size_t ShardOf(const std::string& path) const;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+  };
+
+  /// Runs `fn(entry)` for the shard-resident entry, creating it if
+  /// `create`. Returns false if missing and !create. The caller must hold
+  /// the logical path lock.
+  bool WithEntry(const std::string& path, bool create,
+                 const std::function<void(Entry&)>& fn);
+  bool HasEntry(const std::string& path) const;
+  void EraseEntry(const std::string& path);
+  /// GetInfo body without taking the logical lock (caller holds it).
+  std::optional<PathInfo> GetInfoNoLock(const std::string& path);
+  /// Creates directory entries for `path` and all missing ancestors.
+  void MkdirsUnlocked(const std::string& path);
+  /// Collects every existing path in the subtree rooted at `path`.
+  std::vector<std::string> SubtreePaths(const std::string& path) const;
+
+  const int num_places_;
+  std::vector<Shard> shards_;
+  LockManager locks_;
+  std::atomic<int64_t> mtime_counter_{0};
+};
+
+}  // namespace m3r::kvstore
+
+#endif  // M3R_KVSTORE_KV_STORE_H_

@@ -1,0 +1,87 @@
+#include "kvstore/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/path.h"
+
+namespace m3r::kvstore {
+
+LockManager::Guard& LockManager::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    held_ = std::move(other.held_);
+    other.mgr_ = nullptr;
+    other.held_.clear();
+  }
+  return *this;
+}
+
+void LockManager::Guard::Release() {
+  if (mgr_ == nullptr) return;
+  // Release in reverse acquisition order (not required for correctness with
+  // a global wakeup, but keeps traces easy to read).
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    mgr_->UnlockOne(*it);
+  }
+  mgr_ = nullptr;
+  held_.clear();
+}
+
+LockManager::Guard LockManager::LockAll(std::vector<std::string> paths) {
+  M3R_CHECK(!paths.empty()) << "empty lock set";
+  for (auto& p : paths) p = path::Canonicalize(p);
+  // Least common ancestor of the entire set.
+  std::string lca = paths[0];
+  for (size_t i = 1; i < paths.size(); ++i) {
+    lca = path::LeastCommonAncestor(lca, paths[i]);
+  }
+  paths.push_back(lca);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const auto& p : paths) LockOne(p);
+  return Guard(this, std::move(paths));
+}
+
+void LockManager::LockOne(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry& e = entries_[path];
+  if (e.locked) {
+    // Contended: upgrade to the "monitor entry" state and block.
+    ++contention_;
+    ++e.waiters;
+    cv_.wait(lock, [&] { return !entries_[path].locked; });
+    --entries_[path].waiters;
+  }
+  entries_[path].locked = true;
+}
+
+void LockManager::UnlockOne(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  M3R_CHECK(it != entries_.end() && it->second.locked)
+      << "unlock of unheld path " << path;
+  it->second.locked = false;
+  if (it->second.waiters == 0) {
+    entries_.erase(it);  // collapse back to "no entry" (free) state
+  } else {
+    cv_.notify_all();
+  }
+}
+
+size_t LockManager::LockedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [p, e] : entries_) {
+    if (e.locked) ++n;
+  }
+  return n;
+}
+
+uint64_t LockManager::ContentionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contention_;
+}
+
+}  // namespace m3r::kvstore

@@ -1,0 +1,77 @@
+#ifndef M3R_KVSTORE_LOCK_MANAGER_H_
+#define M3R_KVSTORE_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace m3r::kvstore {
+
+/// Path-granularity lock table implementing the paper's §5.2 discipline:
+/// two-phase locking (all locks held until the operation completes) with a
+/// least-common-ancestor ordering protocol to rule out deadlock.
+///
+/// The concrete rule enforced here: an operation declares its full lock set
+/// up front; LockAll() augments it with the least common ancestor of all
+/// paths and acquires everything in lexicographic order. Because '/' orders
+/// below alphanumerics, an ancestor always sorts before its descendants, so
+/// every operation holding lock `l` while acquiring lock `l2 > l` satisfies
+/// the paper's LCA invariant, and globally ordered acquisition makes wait
+/// cycles impossible.
+///
+/// The paper's implementation swaps lightweight "lock entries" into the
+/// metadata hash table and upgrades contended ones to monitor entries; we
+/// model the same states (free -> locked -> contended) with a waiter count
+/// and condition variable per entry.
+class LockManager {
+ public:
+  /// RAII guard releasing all held paths (2PL release point).
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(LockManager* mgr, std::vector<std::string> held)
+        : mgr_(mgr), held_(std::move(held)) {}
+    ~Guard() { Release(); }
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    void Release();
+    const std::vector<std::string>& held() const { return held_; }
+
+   private:
+    LockManager* mgr_ = nullptr;
+    std::vector<std::string> held_;
+  };
+
+  /// Acquires locks on the canonical `paths` plus their collective least
+  /// common ancestor, in lexicographic order. Blocks until all are held.
+  Guard LockAll(std::vector<std::string> paths);
+
+  /// Number of entries currently in the locked state (for tests).
+  size_t LockedCount() const;
+  /// Total times a lock acquisition had to wait (contention metric).
+  uint64_t ContentionCount() const;
+
+ private:
+  struct Entry {
+    bool locked = false;
+    int waiters = 0;
+  };
+
+  void LockOne(const std::string& path);
+  void UnlockOne(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t contention_ = 0;
+};
+
+}  // namespace m3r::kvstore
+
+#endif  // M3R_KVSTORE_LOCK_MANAGER_H_

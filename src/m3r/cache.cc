@@ -1,0 +1,131 @@
+#include "m3r/cache.h"
+
+#include "api/extensions.h"
+#include "common/path.h"
+
+namespace m3r::engine {
+
+Status Cache::PutBlock(const std::string& path, const std::string& block_name,
+                       int place, kvstore::KVSeq pairs, uint64_t bytes) {
+  kvstore::BlockInfo info;
+  info.name = block_name;
+  info.place = place;
+  info.bytes = bytes;
+  M3R_ASSIGN_OR_RETURN(std::unique_ptr<kvstore::KVStore::Writer> writer,
+                       store_.CreateWriter(path, std::move(info)));
+  writer->AppendSeq(pairs);
+  return writer->Close();
+}
+
+std::optional<Cache::Block> Cache::GetBlock(const std::string& path,
+                                            const std::string& block_name) {
+  auto info_or = store_.GetInfo(path);
+  if (!info_or.ok()) return std::nullopt;
+  for (const kvstore::BlockInfo& bi : info_or->blocks) {
+    if (bi.name == block_name) {
+      auto seq_or = store_.CreateReader(path, bi);
+      if (!seq_or.ok()) return std::nullopt;
+      Block b;
+      b.info = bi;
+      b.pairs = seq_or.take();
+      b.bytes = bi.bytes;
+      return b;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<Cache::Block>> Cache::GetFileBlocks(
+    const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(auto blocks, store_.ReadAll(path));
+  std::vector<Block> out;
+  for (auto& [info, seq] : blocks) {
+    Block b;
+    b.info = info;
+    b.pairs = std::move(seq);
+    b.bytes = info.bytes;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+bool Cache::ContainsFile(const std::string& path) {
+  auto info_or = store_.GetInfo(path);
+  return info_or.ok() && !info_or->is_directory && !info_or->blocks.empty();
+}
+
+uint64_t Cache::FileBytes(const std::string& path) {
+  auto info_or = store_.GetInfo(path);
+  if (!info_or.ok()) return 0;
+  uint64_t total = 0;
+  for (const auto& bi : info_or->blocks) total += bi.bytes;
+  return total;
+}
+
+std::vector<std::string> Cache::FilesUnder(const std::string& dir) {
+  auto list_or = store_.List(dir);
+  std::vector<std::string> out;
+  if (!list_or.ok()) return out;
+  for (const auto& info : *list_or) {
+    if (!info.is_directory && !info.blocks.empty()) out.push_back(info.path);
+  }
+  return out;
+}
+
+uint64_t Cache::TotalBytes() {
+  uint64_t total = 0;
+  auto walk = [&](auto&& self, const std::string& dir) -> void {
+    auto list = store_.List(dir);
+    if (!list.ok()) return;
+    for (const auto& info : *list) {
+      if (info.is_directory) {
+        self(self, info.path);
+      } else {
+        for (const auto& bi : info.blocks) total += bi.bytes;
+      }
+    }
+  };
+  walk(walk, "/");
+  return total;
+}
+
+std::optional<std::string> Cache::NameForSplit(const api::InputSplit& split) {
+  if (const auto* named = dynamic_cast<const api::NamedSplit*>(&split)) {
+    return named->GetName();
+  }
+  if (const auto* delegating =
+          dynamic_cast<const api::DelegatingSplit*>(&split)) {
+    return NameForSplit(delegating->GetBaseSplit());
+  }
+  if (const auto* file = dynamic_cast<const api::FileSplit*>(&split)) {
+    return path::Canonicalize(file->Path());
+  }
+  return std::nullopt;
+}
+
+std::string Cache::BlockNameForSplit(const api::InputSplit& split) {
+  if (const auto* delegating =
+          dynamic_cast<const api::DelegatingSplit*>(&split)) {
+    return BlockNameForSplit(delegating->GetBaseSplit());
+  }
+  if (const auto* file = dynamic_cast<const api::FileSplit*>(&split)) {
+    return std::to_string(file->Start());
+  }
+  return "0";
+}
+
+bool Cache::IsTemporary(const api::JobConf& conf,
+                        const std::string& output_path) {
+  std::string canonical = path::Canonicalize(output_path);
+  std::string base = path::BaseName(canonical);
+  std::string prefix = conf.Get(api::conf::kTempPrefix, "temp");
+  if (!prefix.empty() && base.compare(0, prefix.size(), prefix) == 0) {
+    return true;
+  }
+  for (const std::string& p : conf.GetStrings(api::conf::kTempPaths)) {
+    if (path::Canonicalize(p) == canonical) return true;
+  }
+  return false;
+}
+
+}  // namespace m3r::engine

@@ -1,0 +1,101 @@
+#ifndef M3R_M3R_CACHE_H_
+#define M3R_M3R_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/input_format.h"
+#include "api/job_conf.h"
+#include "common/status.h"
+#include "kvstore/kv_store.h"
+
+namespace m3r::engine {
+
+/// M3R's input/output key-value cache (paper §3.2.1), layered over the
+/// distributed key/value store of §5.2.
+///
+/// Naming scheme:
+///  - Input files read through a RecordReader are cached under their file
+///    path, one block per input split, block name = the split's byte
+///    offset, placed at the place that performed the read.
+///  - Job outputs are cached under their output file path
+///    (<outdir>/part-NNNNN), one block named "0" covering the whole file,
+///    placed at the reducer's place — which is what makes partition
+///    stability effective across jobs.
+///
+/// Alongside the pairs, each block records an estimated serialized byte
+/// size, so cache-only (temporary) outputs can be exposed as synthetic
+/// files with plausible lengths and locations to the next job's
+/// InputFormat.
+class Cache {
+ public:
+  explicit Cache(int num_places) : store_(num_places) {}
+
+  kvstore::KVStore& store() { return store_; }
+  int num_places() const { return store_.num_places(); }
+
+  struct Block {
+    kvstore::BlockInfo info;
+    kvstore::KVSeqPtr pairs;
+    uint64_t bytes = 0;
+  };
+
+  /// Publishes a block of pairs for `path`. `bytes` is the serialized size
+  /// estimate used for synthetic FileStatus lengths.
+  Status PutBlock(const std::string& path, const std::string& block_name,
+                  int place, kvstore::KVSeq pairs, uint64_t bytes);
+
+  /// Returns the block of `path` with the given name, if cached.
+  std::optional<Block> GetBlock(const std::string& path,
+                                const std::string& block_name);
+
+  /// All blocks of `path` in insertion order.
+  Result<std::vector<Block>> GetFileBlocks(const std::string& path);
+
+  bool ContainsFile(const std::string& path);
+  /// Total estimated serialized bytes of all blocks of `path`.
+  uint64_t FileBytes(const std::string& path);
+
+  Status Delete(const std::string& path) {
+    return store_.DeleteRecursive(path);
+  }
+  Status Rename(const std::string& src, const std::string& dst) {
+    return store_.Rename(src, dst);
+  }
+
+  /// Files (not directories) cached under directory `dir`.
+  std::vector<std::string> FilesUnder(const std::string& dir);
+
+  uint64_t TotalPairs() const { return store_.TotalPairs(); }
+
+  /// Estimated serialized bytes held by the cache — the "presence in the
+  /// cache wastes memory" quantity the paper's benchmarks manage with
+  /// explicit deletes (§6.1).
+  uint64_t TotalBytes();
+
+  /// Cache name for a split (paper §4.2.1): FileSplits map to their path,
+  /// NamedSplits to their declared name, DelegatingSplits are unwrapped
+  /// recursively. nullopt => unknown split type, the cache must be
+  /// bypassed.
+  static std::optional<std::string> NameForSplit(const api::InputSplit& split);
+  /// Block name within the file for a split ("<offset>" for FileSplits,
+  /// "0" otherwise).
+  static std::string BlockNameForSplit(const api::InputSplit& split);
+
+  /// True if `output_path` should be treated as temporary — not written to
+  /// the DFS at all (paper §4.2.3): its final path component starts with
+  /// the configured prefix (default "temp"), or it is enumerated in
+  /// m3r.temp.paths.
+  static bool IsTemporary(const api::JobConf& conf,
+                          const std::string& output_path);
+
+ private:
+  kvstore::KVStore store_;
+};
+
+}  // namespace m3r::engine
+
+#endif  // M3R_M3R_CACHE_H_

@@ -1,0 +1,262 @@
+#include "m3r/cache_fs.h"
+
+#include <algorithm>
+
+#include "common/path.h"
+
+namespace m3r::engine {
+
+namespace {
+
+/// RecordReader over a cached pair sequence. Next() fills the caller's
+/// objects (round-trip copy, standard RecordReader semantics); the zero
+/// copy path for cache hits lives inside the engine's map loop.
+class CachedSeqReader : public api::RecordReader {
+ public:
+  explicit CachedSeqReader(std::vector<Cache::Block> blocks)
+      : blocks_(std::move(blocks)) {}
+
+  api::WritablePtr CreateKey() const override {
+    const auto* p = Current();
+    // Empty sequence: Next() will immediately return false, so any
+    // placeholder type satisfies the RecordReader contract.
+    if (p == nullptr) return std::make_shared<serialize::NullWritable>();
+    return p->first->NewInstance();
+  }
+  api::WritablePtr CreateValue() const override {
+    const auto* p = Current();
+    if (p == nullptr) return std::make_shared<serialize::NullWritable>();
+    return p->second->NewInstance();
+  }
+
+  bool Next(api::Writable& key, api::Writable& value) override {
+    const kvstore::KVPair* p = Current();
+    if (p == nullptr) return false;
+    serialize::DeserializeFromString(serialize::SerializeToString(*p->first),
+                                     &key);
+    serialize::DeserializeFromString(
+        serialize::SerializeToString(*p->second), &value);
+    ++index_;
+    return true;
+  }
+
+ private:
+  const kvstore::KVPair* Current() const {
+    size_t b = block_, i = index_;
+    while (b < blocks_.size()) {
+      if (i < blocks_[b].pairs->size()) {
+        // Commit skip-ahead lazily.
+        const_cast<CachedSeqReader*>(this)->block_ = b;
+        const_cast<CachedSeqReader*>(this)->index_ = i;
+        return &(*blocks_[b].pairs)[i];
+      }
+      ++b;
+      i = 0;
+    }
+    return nullptr;
+  }
+
+  std::vector<Cache::Block> blocks_;
+  size_t block_ = 0;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<api::RecordReader> MakeCachedReader(
+    std::vector<Cache::Block> blocks) {
+  return std::make_unique<CachedSeqReader>(std::move(blocks));
+}
+
+namespace {
+
+dfs::FileStatus SyntheticStatus(const std::string& path, bool is_dir,
+                                uint64_t bytes) {
+  dfs::FileStatus st;
+  st.path = path;
+  st.is_directory = is_dir;
+  st.length = bytes;
+  st.mtime = 0;
+  return st;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<dfs::FileWriter>> M3RFileSystem::Create(
+    const std::string& path, const dfs::CreateOptions& opts) {
+  // A fresh byte-level write invalidates any cached pairs for the path.
+  if (cache_->ContainsFile(path)) {
+    M3R_RETURN_NOT_OK(cache_->Delete(path));
+  }
+  return base_->Create(path, opts);
+}
+
+Result<std::shared_ptr<const std::string>> M3RFileSystem::Open(
+    const std::string& path) {
+  return base_->Open(path);
+}
+
+bool M3RFileSystem::Exists(const std::string& path) {
+  return base_->Exists(path) || cache_->store().Exists(path);
+}
+
+Result<dfs::FileStatus> M3RFileSystem::GetFileStatus(
+    const std::string& path) {
+  auto st = base_->GetFileStatus(path);
+  if (st.ok()) return st;
+  auto info_or = cache_->store().GetInfo(path);
+  if (!info_or.ok()) return st;  // propagate the base error
+  uint64_t bytes = 0;
+  for (const auto& bi : info_or->blocks) bytes += bi.bytes;
+  return SyntheticStatus(info_or->path, info_or->is_directory, bytes);
+}
+
+Result<std::vector<dfs::FileStatus>> M3RFileSystem::ListStatus(
+    const std::string& dir) {
+  std::vector<dfs::FileStatus> out;
+  auto base_list = base_->ListStatus(dir);
+  if (base_list.ok()) out = base_list.take();
+  // Union in cache-only entries.
+  auto cache_list = cache_->store().List(dir);
+  if (cache_list.ok()) {
+    for (const auto& info : *cache_list) {
+      bool present = std::any_of(
+          out.begin(), out.end(),
+          [&](const dfs::FileStatus& st) { return st.path == info.path; });
+      if (present) continue;
+      uint64_t bytes = 0;
+      for (const auto& bi : info.blocks) bytes += bi.bytes;
+      out.push_back(SyntheticStatus(info.path, info.is_directory, bytes));
+    }
+  }
+  if (!base_list.ok() && (!cache_list.ok() || out.empty()) &&
+      !cache_->store().Exists(dir)) {
+    return base_list.status();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
+  return out;
+}
+
+Status M3RFileSystem::Mkdirs(const std::string& path) {
+  return base_->Mkdirs(path);
+}
+
+Status M3RFileSystem::Delete(const std::string& path, bool recursive) {
+  // Sent to both the cache and the underlying FS (paper §4.2.3).
+  if (cache_->store().Exists(path)) {
+    M3R_RETURN_NOT_OK(recursive ? cache_->Delete(path)
+                                : cache_->store().Delete(path));
+  }
+  if (base_->Exists(path)) return base_->Delete(path, recursive);
+  return Status::OK();
+}
+
+Status M3RFileSystem::Rename(const std::string& src, const std::string& dst) {
+  bool in_cache = cache_->store().Exists(src);
+  bool in_base = base_->Exists(src);
+  if (!in_cache && !in_base) return Status::NotFound(src);
+  if (in_cache) M3R_RETURN_NOT_OK(cache_->Rename(src, dst));
+  if (in_base) return base_->Rename(src, dst);
+  return Status::OK();
+}
+
+Result<std::vector<dfs::BlockLocation>> M3RFileSystem::GetBlockLocations(
+    const std::string& path) {
+  auto locs = base_->GetBlockLocations(path);
+  if (locs.ok()) return locs;
+  // Cache-only file: synthesize one location per cached block, at the
+  // place holding it (places correspond 1:1 to simulated nodes).
+  auto blocks_or = cache_->GetFileBlocks(path);
+  if (!blocks_or.ok()) return locs.status();
+  std::vector<dfs::BlockLocation> out;
+  uint64_t offset = 0;
+  for (const auto& b : *blocks_or) {
+    dfs::BlockLocation loc;
+    loc.offset = offset;
+    loc.length = b.bytes;
+    loc.nodes = {b.info.place};
+    offset += b.bytes;
+    out.push_back(std::move(loc));
+  }
+  return out;
+}
+
+std::shared_ptr<dfs::FileSystem> M3RFileSystem::GetRawCache() {
+  return std::make_shared<RawCacheFs>(cache_);
+}
+
+Result<std::unique_ptr<api::RecordReader>> M3RFileSystem::GetCacheRecordReader(
+    const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(std::vector<Cache::Block> blocks,
+                       cache_->GetFileBlocks(path));
+  return std::unique_ptr<api::RecordReader>(
+      new CachedSeqReader(std::move(blocks)));
+}
+
+Result<std::unique_ptr<dfs::FileWriter>> RawCacheFs::Create(
+    const std::string&, const dfs::CreateOptions&) {
+  return Status::Unimplemented(
+      "raw cache stores key/value pairs, not bytes; use the engine output "
+      "path or GetCacheRecordReader");
+}
+
+Result<std::shared_ptr<const std::string>> RawCacheFs::Open(
+    const std::string&) {
+  return Status::Unimplemented("raw cache has no byte-level contents");
+}
+
+bool RawCacheFs::Exists(const std::string& path) {
+  return cache_->store().Exists(path);
+}
+
+Result<dfs::FileStatus> RawCacheFs::GetFileStatus(const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(kvstore::PathInfo info, cache_->store().GetInfo(path));
+  uint64_t bytes = 0;
+  for (const auto& bi : info.blocks) bytes += bi.bytes;
+  return SyntheticStatus(info.path, info.is_directory, bytes);
+}
+
+Result<std::vector<dfs::FileStatus>> RawCacheFs::ListStatus(
+    const std::string& dir) {
+  M3R_ASSIGN_OR_RETURN(std::vector<kvstore::PathInfo> infos,
+                       cache_->store().List(dir));
+  std::vector<dfs::FileStatus> out;
+  for (const auto& info : infos) {
+    uint64_t bytes = 0;
+    for (const auto& bi : info.blocks) bytes += bi.bytes;
+    out.push_back(SyntheticStatus(info.path, info.is_directory, bytes));
+  }
+  return out;
+}
+
+Status RawCacheFs::Mkdirs(const std::string& path) {
+  return cache_->store().Mkdirs(path);
+}
+
+Status RawCacheFs::Delete(const std::string& path, bool recursive) {
+  return recursive ? cache_->Delete(path) : cache_->store().Delete(path);
+}
+
+Status RawCacheFs::Rename(const std::string& src, const std::string& dst) {
+  return cache_->Rename(src, dst);
+}
+
+Result<std::vector<dfs::BlockLocation>> RawCacheFs::GetBlockLocations(
+    const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(std::vector<Cache::Block> blocks,
+                       cache_->GetFileBlocks(path));
+  std::vector<dfs::BlockLocation> out;
+  uint64_t offset = 0;
+  for (const auto& b : blocks) {
+    dfs::BlockLocation loc;
+    loc.offset = offset;
+    loc.length = b.bytes;
+    loc.nodes = {b.info.place};
+    offset += b.bytes;
+    out.push_back(std::move(loc));
+  }
+  return out;
+}
+
+}  // namespace m3r::engine

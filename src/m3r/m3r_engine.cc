@@ -1,0 +1,921 @@
+#include "m3r/m3r_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "api/class_registry.h"
+#include "api/distributed_cache.h"
+#include "api/multiple_io.h"
+#include "api/output_format.h"
+#include "api/task_runner.h"
+#include "common/stopwatch.h"
+#include "m3r/shuffle.h"
+#include "sim/timeline.h"
+
+namespace m3r::engine {
+
+namespace {
+
+using api::JobConf;
+using api::WritablePtr;
+using kvstore::KVSeq;
+
+/// Finds a PlacedSplit through any DelegatingSplit wrappers (paper §4.3).
+const api::PlacedSplit* FindPlacedSplit(const api::InputSplit& split) {
+  if (const auto* placed = dynamic_cast<const api::PlacedSplit*>(&split)) {
+    return placed;
+  }
+  if (const auto* delegating =
+          dynamic_cast<const api::DelegatingSplit*>(&split)) {
+    return FindPlacedSplit(delegating->GetBaseSplit());
+  }
+  return nullptr;
+}
+
+/// Finds the underlying FileSplit through any DelegatingSplit wrappers.
+const api::FileSplit* FindFileSplit(const api::InputSplit& split) {
+  if (const auto* file = dynamic_cast<const api::FileSplit*>(&split)) {
+    return file;
+  }
+  if (const auto* delegating =
+          dynamic_cast<const api::DelegatingSplit*>(&split)) {
+    return FindFileSplit(delegating->GetBaseSplit());
+  }
+  return nullptr;
+}
+
+/// Whether the configured map chain promises immutable output. M3R decides
+/// this *before* running the task, from the classes' interfaces (§4.1).
+bool MapOutputImmutable(const JobConf& conf) {
+  if (conf.UsesNewApiMapper()) {
+    auto mapper = api::ObjectRegistry<api::mapreduce::Mapper>::Instance()
+                      .Create(conf.Get(api::conf::kMapreduceMapper));
+    return api::IsImmutableOutput(mapper.get());
+  }
+  if (!conf.Contains(api::conf::kMapredMapper)) return false;
+  auto mapper = api::ObjectRegistry<api::mapred::Mapper>::Instance().Create(
+      conf.Get(api::conf::kMapredMapper));
+  bool runner_immutable = true;  // M3R's fresh default runner
+  if (conf.Contains(api::conf::kMapRunner)) {
+    auto runner = api::ObjectRegistry<api::mapred::MapRunnable>::Instance()
+                      .Create(conf.Get(api::conf::kMapRunner));
+    runner_immutable = api::IsImmutableOutput(runner.get());
+  }
+  return runner_immutable && api::IsImmutableOutput(mapper.get());
+}
+
+bool CombineOutputImmutable(const JobConf& conf) {
+  if (conf.UsesNewApiCombiner()) {
+    auto combiner = api::ObjectRegistry<api::mapreduce::Reducer>::Instance()
+                        .Create(conf.Get(api::conf::kMapreduceCombiner));
+    return api::IsImmutableOutput(combiner.get());
+  }
+  if (!conf.Contains(api::conf::kMapredCombiner)) return false;
+  auto combiner = api::ObjectRegistry<api::mapred::Reducer>::Instance()
+                      .Create(conf.Get(api::conf::kMapredCombiner));
+  return api::IsImmutableOutput(combiner.get());
+}
+
+bool ReduceOutputImmutable(const JobConf& conf) {
+  if (conf.UsesNewApiReducer()) {
+    auto reducer = api::ObjectRegistry<api::mapreduce::Reducer>::Instance()
+                       .Create(conf.Get(api::conf::kMapreduceReducer));
+    return api::IsImmutableOutput(reducer.get());
+  }
+  if (!conf.Contains(api::conf::kMapredReducer)) return false;
+  auto reducer = api::ObjectRegistry<api::mapred::Reducer>::Instance().Create(
+      conf.Get(api::conf::kMapredReducer));
+  return api::IsImmutableOutput(reducer.get());
+}
+
+/// New-API MapContext over a cached pair sequence: keys/values are served
+/// as aliases of the cached objects — the zero-copy path.
+class SeqMapContext : public api::mapreduce::MapContext {
+ public:
+  SeqMapContext(const JobConf& conf, const KVSeq& pairs,
+                api::OutputCollector& collector, api::Reporter& reporter)
+      : conf_(conf), pairs_(pairs), collector_(collector),
+        reporter_(reporter) {}
+
+  bool NextKeyValue() override {
+    if (index_ >= pairs_.size()) return false;
+    key_ = pairs_[index_].first;
+    value_ = pairs_[index_].second;
+    ++index_;
+    reporter_.IncrCounter(api::counters::kTaskGroup,
+                          api::counters::kMapInputRecords, 1);
+    return true;
+  }
+  const WritablePtr& CurrentKey() const override { return key_; }
+  const WritablePtr& CurrentValue() const override { return value_; }
+  void Write(const WritablePtr& key, const WritablePtr& value) override {
+    collector_.Collect(key, value);
+  }
+  void IncrCounter(const std::string& group, const std::string& name,
+                   int64_t delta) override {
+    reporter_.IncrCounter(group, name, delta);
+  }
+  const JobConf& Conf() const override { return conf_; }
+
+ private:
+  const JobConf& conf_;
+  const KVSeq& pairs_;
+  api::OutputCollector& collector_;
+  api::Reporter& reporter_;
+  size_t index_ = 0;
+  WritablePtr key_;
+  WritablePtr value_;
+};
+
+/// Runs the job's mapper over an in-memory pair sequence (cache hit or
+/// just-read input). Old-API mappers get aliases directly; custom
+/// MapRunnables go through a copy-out RecordReader to honor their API.
+Status FeedMapper(const JobConf& conf, const KVSeq& pairs,
+                  api::OutputCollector& collector, api::Reporter& reporter) {
+  if (conf.Contains(api::conf::kMapRunner)) {
+    auto runner = api::ObjectRegistry<api::mapred::MapRunnable>::Instance()
+                      .Create(conf.Get(api::conf::kMapRunner));
+    runner->Configure(conf);
+    Cache::Block block;
+    block.pairs = std::make_shared<const KVSeq>(pairs);
+    std::vector<Cache::Block> blocks;
+    blocks.push_back(std::move(block));
+    auto reader = MakeCachedReader(std::move(blocks));
+    runner->Run(*reader, collector, reporter);
+    return Status::OK();
+  }
+  if (conf.UsesNewApiMapper()) {
+    auto mapper = api::ObjectRegistry<api::mapreduce::Mapper>::Instance()
+                      .Create(conf.Get(api::conf::kMapreduceMapper));
+    SeqMapContext ctx(conf, pairs, collector, reporter);
+    mapper->Run(ctx);
+    return Status::OK();
+  }
+  if (!conf.Contains(api::conf::kMapredMapper)) {
+    return Status::InvalidArgument("job has no mapper class");
+  }
+  auto mapper = api::ObjectRegistry<api::mapred::Mapper>::Instance().Create(
+      conf.Get(api::conf::kMapredMapper));
+  mapper->Configure(conf);
+  for (const auto& [k, v] : pairs) {
+    reporter.IncrCounter(api::counters::kTaskGroup,
+                         api::counters::kMapInputRecords, 1);
+    mapper->Map(k, v, collector, reporter);
+  }
+  mapper->Close();
+  return Status::OK();
+}
+
+/// Buffers one map task's output, runs the job's combiner per partition,
+/// and forwards the combined pairs into the shuffle — M3R's equivalent of
+/// Hadoop combining each spill. Combiner output objects are created inside
+/// the combine call, so their immutability is governed by the combiner
+/// class's own ImmutableOutput promise.
+class CombiningShuffleCollector : public api::OutputCollector {
+ public:
+  CombiningShuffleCollector(const JobConf& conf, ShuffleExchange* shuffle,
+                            api::Partitioner* partitioner, int src_place,
+                            int num_partitions, bool mapper_immutable,
+                            bool combiner_immutable, api::Reporter* reporter)
+      : conf_(conf), shuffle_(shuffle), partitioner_(partitioner),
+        src_place_(src_place), num_partitions_(num_partitions),
+        mapper_immutable_(mapper_immutable),
+        combiner_immutable_(combiner_immutable), reporter_(reporter),
+        buffered_(static_cast<size_t>(num_partitions)) {}
+
+  void Collect(const WritablePtr& key, const WritablePtr& value) override {
+    int partition =
+        partitioner_->GetPartition(*key, *value, num_partitions_);
+    M3R_CHECK(partition >= 0 && partition < num_partitions_);
+    api::KeyedPair kp;
+    kp.key = mapper_immutable_ ? key : key->Clone();
+    kp.value = mapper_immutable_ ? value : value->Clone();
+    if (!mapper_immutable_) {
+      reporter_->IncrCounter(api::counters::kM3rGroup,
+                             api::counters::kClonedPairs, 1);
+    }
+    kp.key_bytes = serialize::SerializeToString(*kp.key);
+    buffered_[static_cast<size_t>(partition)].push_back(std::move(kp));
+    reporter_->IncrCounter(api::counters::kTaskGroup,
+                           api::counters::kMapOutputRecords, 1);
+  }
+
+  /// Runs the combiner over every buffered partition and emits the results.
+  Status Flush() {
+    class EmitCollector : public api::OutputCollector {
+     public:
+      EmitCollector(CombiningShuffleCollector* outer, int partition)
+          : outer_(outer), partition_(partition) {}
+      void Collect(const WritablePtr& key, const WritablePtr& value) override {
+        outer_->shuffle_->Emit(outer_->src_place_, partition_, key, value,
+                               outer_->combiner_immutable_);
+        outer_->reporter_->IncrCounter(api::counters::kTaskGroup,
+                                       api::counters::kCombineOutputRecords,
+                                       1);
+      }
+
+     private:
+      CombiningShuffleCollector* outer_;
+      int partition_;
+    };
+
+    auto sort_cmp = api::SortComparator(conf_);
+    for (int p = 0; p < num_partitions_; ++p) {
+      std::vector<api::KeyedPair>& pairs =
+          buffered_[static_cast<size_t>(p)];
+      if (pairs.empty()) continue;
+      reporter_->IncrCounter(api::counters::kTaskGroup,
+                             api::counters::kCombineInputRecords,
+                             static_cast<int64_t>(pairs.size()));
+      api::SortPairs(conf_, &pairs);
+      api::SortedPairsGroupSource groups(sort_cmp, &pairs);
+      EmitCollector emit(this, p);
+      M3R_RETURN_NOT_OK(api::RunCombine(conf_, groups, emit, *reporter_));
+      pairs.clear();
+    }
+    return Status::OK();
+  }
+
+ private:
+  const JobConf& conf_;
+  ShuffleExchange* shuffle_;
+  api::Partitioner* partitioner_;
+  int src_place_;
+  int num_partitions_;
+  bool mapper_immutable_;
+  bool combiner_immutable_;
+  api::Reporter* reporter_;
+  std::vector<std::vector<api::KeyedPair>> buffered_;
+};
+
+/// Routes mapper output into the shuffle.
+class ShuffleCollector : public api::OutputCollector {
+ public:
+  ShuffleCollector(ShuffleExchange* shuffle, api::Partitioner* partitioner,
+                   int src_place, int num_partitions, bool immutable,
+                   api::Reporter* reporter)
+      : shuffle_(shuffle), partitioner_(partitioner), src_place_(src_place),
+        num_partitions_(num_partitions), immutable_(immutable),
+        reporter_(reporter) {}
+
+  void Collect(const WritablePtr& key, const WritablePtr& value) override {
+    int partition =
+        partitioner_->GetPartition(*key, *value, num_partitions_);
+    shuffle_->Emit(src_place_, partition, key, value, immutable_);
+    reporter_->IncrCounter(api::counters::kTaskGroup,
+                           api::counters::kMapOutputRecords, 1);
+  }
+
+ private:
+  ShuffleExchange* shuffle_;
+  api::Partitioner* partitioner_;
+  int src_place_;
+  int num_partitions_;
+  bool immutable_;
+  api::Reporter* reporter_;
+};
+
+/// Collects final output: into a cache sequence (alias or clone per the
+/// producer's immutability) and optionally through a RecordWriter to the
+/// DFS (skipped entirely for temporary outputs, paper §4.2.3).
+class OutputSeqCollector : public api::OutputCollector {
+ public:
+  OutputSeqCollector(bool immutable, api::RecordWriter* writer,
+                     api::Reporter* reporter, const char* records_counter)
+      : immutable_(immutable), writer_(writer), reporter_(reporter),
+        records_counter_(records_counter) {}
+
+  void Collect(const WritablePtr& key, const WritablePtr& value) override {
+    WritablePtr k = immutable_ ? key : key->Clone();
+    WritablePtr v = immutable_ ? value : value->Clone();
+    bytes_ += k->SerializedSize() + v->SerializedSize();
+    if (writer_ != nullptr) M3R_CHECK_OK(writer_->Write(*k, *v));
+    seq_.emplace_back(std::move(k), std::move(v));
+    reporter_->IncrCounter(api::counters::kTaskGroup, records_counter_, 1);
+  }
+
+  KVSeq TakeSeq() { return std::move(seq_); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  bool immutable_;
+  api::RecordWriter* writer_;
+  api::Reporter* reporter_;
+  const char* records_counter_;
+  KVSeq seq_;
+  uint64_t bytes_ = 0;
+};
+
+/// M3R-side MultipleOutputs sink: named outputs are cached (cache-aware
+/// MultipleOutputs, paper §4.2.2) and, unless the job output is temporary,
+/// written through their own output format.
+class M3RNamedOutputSink : public api::NamedOutputSink {
+ public:
+  M3RNamedOutputSink(const JobConf& conf, dfs::FileSystem& fs, Cache* cache,
+                     int partition, int place, bool temporary)
+      : conf_(conf), fs_(fs), cache_(cache), partition_(partition),
+        place_(place), temporary_(temporary) {}
+
+  Status WriteNamed(const std::string& name, const WritablePtr& key,
+                    const WritablePtr& value) override {
+    Entry& e = entries_[name];
+    if (!e.opened) {
+      e.opened = true;
+      e.path = conf_.OutputPath() + "/" + name + "-" +
+               api::file_output::PartFileName(partition_);
+      if (!temporary_) {
+        std::string format_name =
+            api::MultipleOutputs::OutputFormatFor(conf_, name);
+        if (format_name.empty()) {
+          return Status::InvalidArgument("unknown named output: " + name);
+        }
+        auto format =
+            api::ObjectRegistry<api::OutputFormat>::Instance().Create(
+                format_name);
+        M3R_ASSIGN_OR_RETURN(e.writer,
+                             format->GetRecordWriter(conf_, fs_, e.path,
+                                                     place_));
+      }
+    }
+    // Clone conservatively: MultipleOutputs carries no immutability promise.
+    WritablePtr k = key->Clone();
+    WritablePtr v = value->Clone();
+    e.bytes += k->SerializedSize() + v->SerializedSize();
+    if (e.writer != nullptr) M3R_RETURN_NOT_OK(e.writer->Write(*k, *v));
+    e.seq.emplace_back(std::move(k), std::move(v));
+    return Status::OK();
+  }
+
+  /// Publishes cache blocks and closes writers. `dfs_bytes` accumulates
+  /// bytes that went to the DFS (for cost charging).
+  Status Finish(uint64_t* dfs_bytes) {
+    for (auto& [name, e] : entries_) {
+      if (e.writer != nullptr) {
+        M3R_RETURN_NOT_OK(e.writer->Close());
+        *dfs_bytes += e.writer->BytesWritten();
+      }
+      M3R_RETURN_NOT_OK(cache_->PutBlock(e.path, "0", place_,
+                                         std::move(e.seq), e.bytes));
+    }
+    entries_.clear();
+    return Status::OK();
+  }
+
+ private:
+  struct Entry {
+    bool opened = false;
+    std::string path;
+    std::unique_ptr<api::RecordWriter> writer;
+    KVSeq seq;
+    uint64_t bytes = 0;
+  };
+  const JobConf& conf_;
+  dfs::FileSystem& fs_;
+  Cache* cache_;
+  int partition_;
+  int place_;
+  bool temporary_;
+  std::map<std::string, Entry> entries_;
+};
+
+api::JobResult Fail(Status status) {
+  api::JobResult r;
+  r.status = std::move(status);
+  return r;
+}
+
+}  // namespace
+
+struct M3REngine::TaskPlan {
+  api::InputSplitPtr split;
+  int place = 0;
+  bool cache_hit = false;
+  /// Split geometry did not line up with the cached blocks, but the whole
+  /// file is cached as a single block: the start==0 split serves the block
+  /// and its sibling splits serve nothing. This is how M3R fulfils "input
+  /// split invocations from the key value sequence" (§3.2.1) even when a
+  /// splitable format re-chops a cache-only (temporary) file.
+  bool whole_file_hit = false;
+  bool empty_hit = false;
+  std::optional<std::string> cache_path;
+  std::string block_name;
+  bool local_read = false;
+  uint64_t input_bytes = 0;
+  // Filled during execution.
+  Status status;
+  double cpu_seconds = 0;
+  uint64_t output_bytes = 0;  // map-only jobs
+};
+
+M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
+                     M3REngineOptions options)
+    : base_fs_(std::move(base_fs)),
+      options_(options),
+      cost_(options_.cluster),
+      cache_(options_.cluster.num_nodes),
+      fs_(std::make_shared<M3RFileSystem>(base_fs_, &cache_)),
+      places_(options_.cluster.num_nodes, options_.host_threads) {}
+
+Result<int> M3REngine::PrepopulateCache(const api::JobConf& conf) {
+  auto input_format = api::MakeInputFormat(conf);
+  M3R_ASSIGN_OR_RETURN(
+      std::vector<api::InputSplitPtr> splits,
+      input_format->GetSplits(conf, *fs_, options_.cluster.total_slots()));
+  std::atomic<int> loaded{0};
+  std::vector<Status> statuses(splits.size());
+  places_.FinishFor(splits.size(), [&](size_t i) {
+    const api::InputSplit& split = *splits[i];
+    auto name = Cache::NameForSplit(split);
+    if (!name) return;
+    if (cache_.GetBlock(*name, Cache::BlockNameForSplit(split))) return;
+    // Route the read to the place that would own the split.
+    const api::InputSplit* base_split = nullptr;
+    JobConf tconf = api::SpecializeConfForSplit(conf, split, &base_split);
+    auto reader_or =
+        api::MakeInputFormat(tconf)->GetRecordReader(*base_split, tconf,
+                                                     *fs_);
+    if (!reader_or.ok()) {
+      statuses[i] = reader_or.status();
+      return;
+    }
+    auto reader = reader_or.take();
+    KVSeq seq;
+    for (;;) {
+      WritablePtr k = reader->CreateKey();
+      WritablePtr v = reader->CreateValue();
+      if (!reader->Next(*k, *v)) break;
+      seq.emplace_back(std::move(k), std::move(v));
+    }
+    reader->Close();
+    int place = 0;
+    auto locs = split.GetLocations();
+    if (const auto* placed = FindPlacedSplit(split)) {
+      place = StablePlaceOfPartition(placed->GetPlacedPartition(),
+                                     places_.NumPlaces());
+    } else if (!locs.empty()) {
+      place = locs[0] % places_.NumPlaces();
+    } else {
+      place = static_cast<int>(i) % places_.NumPlaces();
+    }
+    statuses[i] = cache_.PutBlock(*name, Cache::BlockNameForSplit(split),
+                                  place, std::move(seq), split.GetLength());
+    if (statuses[i].ok()) ++loaded;
+  });
+  for (auto& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return loaded.load();
+}
+
+api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
+  // Local copy: distributed-cache contents are installed into the
+  // configuration tasks see. M3R localizes through its own FS view, so
+  // cache-resident (temporary) side files work too; places are long-lived
+  // so no per-job localization cost is charged (paper §5.3).
+  api::JobConf conf = submitted_conf;
+  if (conf.Contains(api::conf::kCacheFiles)) {
+    auto localized = api::DistributedCache::Localize(conf, *fs_);
+    if (!localized.ok()) return Fail(localized.status());
+    api::DistributedCache::InstallIntoConf(*localized, &conf);
+  }
+  Stopwatch wall;
+  const sim::ClusterSpec& spec = options_.cluster;
+  const int num_places = places_.NumPlaces();
+  const int num_reduce = conf.NumReduceTasks();
+  api::JobResult result;
+  int salt = ++job_counter_;
+
+  // Temporary outputs only exist by virtue of the cache; with the cache
+  // ablated, every output must be materialized (Hadoop behavior).
+  const bool temporary =
+      options_.enable_cache && Cache::IsTemporary(conf, conf.OutputPath());
+
+  auto output_format = api::MakeOutputFormat(conf);
+  if (!temporary) {
+    Status st = output_format->CheckOutputSpecs(conf, *fs_);
+    if (!st.ok()) return Fail(std::move(st));
+    api::FileOutputCommitter committer;
+    st = committer.SetupJob(conf, *fs_);
+    if (!st.ok()) return Fail(std::move(st));
+  } else if (fs_->Exists(conf.OutputPath())) {
+    return Fail(Status::AlreadyExists("output exists: " + conf.OutputPath()));
+  }
+
+  // --- Plan splits: cache lookups and placement ---
+  auto input_format = api::MakeInputFormat(conf);
+  auto splits_or = input_format->GetSplits(conf, *fs_, spec.total_slots());
+  if (!splits_or.ok()) return Fail(splits_or.status());
+  std::vector<api::InputSplitPtr> splits = splits_or.take();
+
+  std::vector<TaskPlan> tasks(splits.size());
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    TaskPlan& t = tasks[i];
+    t.split = splits[i];
+    t.cache_path = Cache::NameForSplit(*t.split);
+    t.block_name = Cache::BlockNameForSplit(*t.split);
+    t.input_bytes = t.split->GetLength();
+    if (options_.enable_cache && t.cache_path &&
+        cache_.GetBlock(*t.cache_path, t.block_name)) {
+      t.cache_hit = true;
+      ++cache_hits;
+    } else if (options_.enable_cache && t.cache_path) {
+      // Geometry mismatch: serve from the cache anyway iff the whole file
+      // is cached as a single block named "0".
+      auto info = cache_.store().GetInfo(*t.cache_path);
+      if (info.ok() && info->blocks.size() == 1 &&
+          info->blocks[0].name == "0") {
+        // Unwrap MultipleInputs' tagged splits etc.: exactly one split of
+        // the file (the one starting at offset 0) serves the block.
+        const api::FileSplit* fsplit = FindFileSplit(*t.split);
+        bool is_first = fsplit == nullptr || fsplit->Start() == 0;
+        t.cache_hit = true;
+        t.whole_file_hit = is_first;
+        t.empty_hit = !is_first;
+        t.block_name = "0";
+        ++cache_hits;
+      } else {
+        ++cache_misses;
+      }
+    } else {
+      ++cache_misses;
+    }
+
+    auto locations = t.split->GetLocations();
+    if (const auto* placed = FindPlacedSplit(*t.split)) {
+      // PlacedSplit overrides M3R's preference for local splits (§4.3).
+      t.place = options_.partition_stability
+                    ? StablePlaceOfPartition(placed->GetPlacedPartition(),
+                                             num_places)
+                    : (placed->GetPlacedPartition() + salt) % num_places;
+    } else if (t.cache_hit) {
+      t.place = cache_.GetBlock(*t.cache_path, t.block_name)->info.place;
+    } else if (!locations.empty()) {
+      t.place = locations[0] % num_places;
+    } else {
+      t.place = round_robin_++ % num_places;
+    }
+    t.local_read =
+        t.cache_hit ||
+        std::find_if(locations.begin(), locations.end(), [&](int n) {
+          return n % num_places == t.place;
+        }) != locations.end();
+  }
+  result.metrics["map_tasks"] = static_cast<int64_t>(tasks.size());
+  result.metrics["cache_hit_splits"] = cache_hits;
+  result.metrics["cache_miss_splits"] = cache_misses;
+  result.counters.Increment(api::counters::kM3rGroup,
+                            api::counters::kCacheHits, cache_hits);
+  result.counters.Increment(api::counters::kM3rGroup,
+                            api::counters::kCacheMisses, cache_misses);
+
+  // Group tasks by place.
+  std::vector<std::vector<size_t>> tasks_of_place(
+      static_cast<size_t>(num_places));
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    tasks_of_place[static_cast<size_t>(tasks[i].place)].push_back(i);
+  }
+
+  const int shuffle_partitions = std::max(num_reduce, 1);
+  ShuffleExchange shuffle(num_places, shuffle_partitions,
+                          options_.dedup_mode, options_.partition_stability,
+                          salt);
+
+  // --- Map phase (places run in parallel; per-place tasks sequential) ---
+  ReportProgress(conf, 0.05, &result.counters);
+  std::atomic<size_t> map_tasks_done{0};
+  places_.FinishForAll([&](int place) {
+    for (size_t i : tasks_of_place[static_cast<size_t>(place)]) {
+      TaskPlan& t = tasks[i];
+      CpuStopwatch sw;
+      const api::InputSplit* base_split = nullptr;
+      JobConf tconf = api::SpecializeConfForSplit(conf, *t.split,
+                                                  &base_split);
+      bool immutable =
+          options_.respect_immutable && MapOutputImmutable(tconf);
+
+      // 1. Obtain the split's pair sequence (cache or RecordReader).
+      kvstore::KVSeqPtr pairs;
+      if (t.empty_hit) {
+        pairs = std::make_shared<const KVSeq>();
+      } else if (t.cache_hit) {
+        pairs = cache_.GetBlock(*t.cache_path, t.block_name)->pairs;
+      } else {
+        auto reader_or = api::MakeInputFormat(tconf)->GetRecordReader(
+            *base_split, tconf, *fs_);
+        if (!reader_or.ok()) {
+          t.status = reader_or.status();
+          return;
+        }
+        auto reader = reader_or.take();
+        KVSeq seq;
+        for (;;) {
+          WritablePtr k = reader->CreateKey();
+          WritablePtr v = reader->CreateValue();
+          if (!reader->Next(*k, *v)) break;
+          seq.emplace_back(std::move(k), std::move(v));
+        }
+        reader->Close();
+        auto owned = std::make_shared<const KVSeq>(std::move(seq));
+        if (options_.enable_cache && t.cache_path) {
+          t.status = cache_.PutBlock(*t.cache_path, t.block_name, place,
+                                     *owned, t.input_bytes);
+          if (!t.status.ok()) return;
+        }
+        pairs = owned;
+      }
+
+      // 2. Run the mapper.
+      api::CountersReporter reporter(&result.counters);
+      if (num_reduce > 0 && tconf.HasCombiner()) {
+        auto partitioner = api::MakePartitioner(tconf);
+        bool combiner_immutable =
+            options_.respect_immutable && CombineOutputImmutable(tconf);
+        CombiningShuffleCollector collector(tconf, &shuffle,
+                                            partitioner.get(), place,
+                                            num_reduce, immutable,
+                                            combiner_immutable, &reporter);
+        t.status = FeedMapper(tconf, *pairs, collector, reporter);
+        if (t.status.ok()) t.status = collector.Flush();
+      } else if (num_reduce > 0) {
+        auto partitioner = api::MakePartitioner(tconf);
+        ShuffleCollector collector(&shuffle, partitioner.get(), place,
+                                   num_reduce, immutable, &reporter);
+        t.status = FeedMapper(tconf, *pairs, collector, reporter);
+      } else {
+        // Map-only: mapper output goes straight to the job output.
+        std::unique_ptr<api::RecordWriter> writer;
+        if (!temporary) {
+          std::string temp_path = api::file_output::TempPath(
+              conf, static_cast<int>(i), /*attempt=*/0);
+          auto writer_or =
+              output_format->GetRecordWriter(conf, *fs_, temp_path, place);
+          if (!writer_or.ok()) {
+            t.status = writer_or.status();
+            return;
+          }
+          writer = writer_or.take();
+        }
+        M3RNamedOutputSink named_sink(conf, *fs_, &cache_,
+                                      static_cast<int>(i), place, temporary);
+        api::ScopedNamedOutputSink scoped(&named_sink);
+        OutputSeqCollector collector(immutable, writer.get(), &reporter,
+                                     api::counters::kMapOutputRecords);
+        t.status = FeedMapper(tconf, *pairs, collector, reporter);
+        if (!t.status.ok()) return;
+        if (writer != nullptr) {
+          t.status = writer->Close();
+          if (!t.status.ok()) return;
+          t.output_bytes = writer->BytesWritten();
+          api::FileOutputCommitter committer;
+          t.status = committer.CommitTask(conf, *fs_, static_cast<int>(i),
+                                          /*attempt=*/0);
+          if (!t.status.ok()) return;
+        }
+        uint64_t named_bytes = 0;
+        t.status = named_sink.Finish(&named_bytes);
+        if (!t.status.ok()) return;
+        t.output_bytes += named_bytes;
+        if (options_.enable_cache) {
+          std::string out_file = api::file_output::FinalPath(
+              conf, static_cast<int>(i));
+          OutputSeqCollector* c = &collector;
+          t.status = cache_.PutBlock(out_file, "0", place, c->TakeSeq(),
+                                     c->bytes());
+          if (!t.status.ok()) return;
+        }
+      }
+      t.cpu_seconds = sw.ElapsedSeconds();
+      size_t done = ++map_tasks_done;
+      ReportProgress(conf,
+                     0.05 + 0.55 * static_cast<double>(done) /
+                                static_cast<double>(std::max<size_t>(
+                                    tasks.size(), 1)),
+                     &result.counters);
+    }
+  });
+  for (const TaskPlan& t : tasks) {
+    if (!t.status.ok()) return Fail(t.status);
+  }
+
+  // --- Simulated map phase time ---
+  result.metrics["hdfs_read_bytes"] = 0;
+  result.metrics["hdfs_write_bytes"] = 0;
+  double t0 = spec.m3r_job_overhead_s;
+  sim::SlotTimeline map_tl(spec, t0);
+  for (const TaskPlan& t : tasks) {
+    double d = t.cpu_seconds * spec.data_scale;
+    if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+    if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
+    map_tl.ScheduleOnNode(t.place, t0, d);
+    if (!t.cache_hit) {
+      result.metrics["hdfs_read_bytes"] += static_cast<int64_t>(
+          t.input_bytes);
+      result.counters.Increment(api::counters::kFsGroup,
+                                api::counters::kHdfsBytesRead,
+                                static_cast<int64_t>(t.input_bytes));
+    }
+  }
+  double map_end = tasks.empty() ? t0 : map_tl.Makespan();
+  result.time_breakdown["map_phase"] = map_end - t0;
+
+  double total;
+  if (num_reduce == 0) {
+    total = map_end + spec.m3r_barrier_s;
+    for (const TaskPlan& t : tasks) {
+      result.metrics["hdfs_write_bytes"] +=
+          static_cast<int64_t>(t.output_bytes);
+    }
+  } else {
+    // --- Shuffle delivery (after the Team barrier, §5.1) ---
+    std::vector<double> decode_seconds(static_cast<size_t>(num_places), 0);
+    places_.FinishForAll([&](int place) {
+      CpuStopwatch sw;
+      shuffle.DeliverTo(place);
+      decode_seconds[static_cast<size_t>(place)] = sw.ElapsedSeconds();
+    });
+
+    double shuffle_span = 0;
+    for (int p = 0; p < num_places; ++p) {
+      uint64_t send = 0;
+      uint64_t recv = 0;
+      for (int q = 0; q < num_places; ++q) {
+        if (q != p) {
+          send += shuffle.WireBytes(p, q);
+          recv += shuffle.WireBytes(q, p);
+        }
+      }
+      // Deserialization at a place is spread across its worker threads
+      // (the paper's "8 worker threads to exploit the 8 cores"); our
+      // measurement is single-threaded, so divide by the slot count.
+      double decode = decode_seconds[static_cast<size_t>(p)] *
+                      spec.data_scale / spec.slots_per_node;
+      double comm = cost_.NetTransfer(send) + cost_.NetTransfer(recv) +
+                    decode;
+      shuffle_span = std::max(shuffle_span, comm);
+    }
+    ShuffleExchange::Stats sstats = shuffle.ComputeStats();
+    result.metrics["shuffle_local_pairs"] =
+        static_cast<int64_t>(sstats.local_pairs);
+    result.metrics["shuffle_remote_pairs"] =
+        static_cast<int64_t>(sstats.remote_pairs);
+    result.metrics["shuffle_wire_bytes"] =
+        static_cast<int64_t>(sstats.total_wire_bytes);
+    result.metrics["dedup_objects"] =
+        static_cast<int64_t>(sstats.deduped_objects);
+    result.metrics["dedup_saved_bytes"] =
+        static_cast<int64_t>(sstats.dedup_saved_bytes);
+    result.metrics["aliased_pairs"] =
+        static_cast<int64_t>(sstats.aliased_pairs);
+    // Combine-path clones are tracked via the counter; fold both sources.
+    result.metrics["cloned_pairs"] =
+        static_cast<int64_t>(sstats.cloned_pairs) +
+        result.counters.Get(api::counters::kM3rGroup,
+                            api::counters::kClonedPairs);
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kLocalShufflePairs,
+                              static_cast<int64_t>(sstats.local_pairs));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kRemoteShufflePairs,
+                              static_cast<int64_t>(sstats.remote_pairs));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kDedupedObjects,
+                              static_cast<int64_t>(sstats.deduped_objects));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kDedupSavedBytes,
+                              static_cast<int64_t>(sstats.dedup_saved_bytes));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kAliasedPairs,
+                              static_cast<int64_t>(sstats.aliased_pairs));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kClonedPairs,
+                              static_cast<int64_t>(sstats.cloned_pairs));
+    result.time_breakdown["shuffle"] = shuffle_span + spec.m3r_barrier_s;
+
+    // --- Reduce phase ---
+    struct ReduceResult {
+      Status status;
+      double cpu_seconds = 0;
+      uint64_t output_bytes = 0;
+    };
+    std::vector<ReduceResult> reduce_results(
+        static_cast<size_t>(num_reduce));
+    bool reduce_immutable =
+        options_.respect_immutable && ReduceOutputImmutable(conf);
+
+    places_.FinishForAll([&](int place) {
+      for (int p = 0; p < num_reduce; ++p) {
+        if (shuffle.PlaceOfPartition(p) != place) continue;
+        ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
+        CpuStopwatch sw;
+        api::CountersReporter reporter(&result.counters);
+
+        // Sort + group (in-memory, same comparator semantics as Hadoop).
+        const KVSeq& incoming = shuffle.PartitionPairs(p);
+        std::vector<api::KeyedPair> pairs;
+        pairs.reserve(incoming.size());
+        for (const auto& [k, v] : incoming) {
+          api::KeyedPair kp;
+          kp.key_bytes = serialize::SerializeToString(*k);
+          kp.key = k;
+          kp.value = v;
+          pairs.push_back(std::move(kp));
+        }
+        api::SortPairs(conf, &pairs);
+        reporter.IncrCounter(api::counters::kTaskGroup,
+                             api::counters::kReduceInputRecords,
+                             static_cast<int64_t>(pairs.size()));
+
+        std::unique_ptr<api::RecordWriter> writer;
+        if (!temporary) {
+          std::string temp_path =
+              api::file_output::TempPath(conf, p, /*attempt=*/0);
+          auto writer_or =
+              output_format->GetRecordWriter(conf, *fs_, temp_path, place);
+          if (!writer_or.ok()) {
+            rr.status = writer_or.status();
+            return;
+          }
+          writer = writer_or.take();
+        }
+
+        M3RNamedOutputSink named_sink(conf, *fs_, &cache_, p, place,
+                                      temporary);
+        api::ScopedNamedOutputSink scoped(&named_sink);
+        OutputSeqCollector collector(reduce_immutable, writer.get(),
+                                     &reporter,
+                                     api::counters::kReduceOutputRecords);
+        api::SortedPairsGroupSource groups(conf, &pairs);
+        bool imm_unused = false;
+        rr.status = api::RunReduceTask(conf, groups, collector, reporter,
+                                       &imm_unused);
+        if (!rr.status.ok()) return;
+        if (writer != nullptr) {
+          rr.status = writer->Close();
+          if (!rr.status.ok()) return;
+          rr.output_bytes = writer->BytesWritten();
+          api::FileOutputCommitter committer;
+          rr.status = committer.CommitTask(conf, *fs_, p, /*attempt=*/0);
+          if (!rr.status.ok()) return;
+        }
+        uint64_t named_bytes = 0;
+        rr.status = named_sink.Finish(&named_bytes);
+        if (!rr.status.ok()) return;
+        rr.output_bytes += named_bytes;
+
+        // Cache the partition's output at this place — the key move that
+        // makes the next job's input land here again (§3.2.2.2).
+        if (options_.enable_cache) {
+          std::string out_file = api::file_output::FinalPath(conf, p);
+          rr.status = cache_.PutBlock(out_file, "0", place,
+                                      collector.TakeSeq(),
+                                      collector.bytes());
+          if (!rr.status.ok()) return;
+        }
+        rr.cpu_seconds += sw.ElapsedSeconds();
+      }
+    });
+    for (const ReduceResult& rr : reduce_results) {
+      if (!rr.status.ok()) return Fail(rr.status);
+    }
+
+    double reduce_start = map_end + spec.m3r_barrier_s + shuffle_span;
+    sim::SlotTimeline red_tl(spec, reduce_start);
+    for (int p = 0; p < num_reduce; ++p) {
+      const ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
+      double d = rr.cpu_seconds * spec.data_scale;
+      if (!temporary) d += cost_.DfsWrite(rr.output_bytes);
+      red_tl.ScheduleOnNode(shuffle.PlaceOfPartition(p), reduce_start, d);
+      result.metrics["hdfs_write_bytes"] +=
+          static_cast<int64_t>(rr.output_bytes);
+      result.counters.Increment(api::counters::kFsGroup,
+                                api::counters::kHdfsBytesWritten,
+                                static_cast<int64_t>(rr.output_bytes));
+    }
+    double reduce_end = red_tl.Makespan();
+    result.time_breakdown["reduce_phase"] = reduce_end - reduce_start;
+    result.metrics["reduce_tasks"] = num_reduce;
+    total = reduce_end + spec.m3r_barrier_s;
+  }
+
+  // --- Commit ---
+  if (!temporary) {
+    api::FileOutputCommitter committer;
+    Status st = committer.CommitJob(conf, *fs_);
+    if (!st.ok()) return Fail(std::move(st));
+  }
+
+  result.time_breakdown["job_overhead"] = t0;
+  result.sim_seconds = total;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.status = Status::OK();
+  ReportProgress(conf, 1.0, &result.counters);
+  NotifyJobEnd(conf, result);
+  return result;
+}
+
+}  // namespace m3r::engine

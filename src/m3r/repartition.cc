@@ -1,0 +1,25 @@
+#include "m3r/repartition.h"
+
+#include "api/mr_api.h"
+
+namespace m3r::engine {
+
+api::JobConf MakeRepartitionJob(const api::JobConf& base,
+                                const std::string& input,
+                                const std::string& output) {
+  api::JobConf job = base;
+  job.SetJobName(base.JobName() + "-repartition");
+  job.Unset(api::conf::kInputDirs);
+  job.AddInputPath(input);
+  job.SetOutputPath(output);
+  job.SetMapperClass(api::mapred::IdentityMapper::kClassName);
+  job.SetReducerClass(api::mapred::IdentityReducer::kClassName);
+  job.Unset(api::conf::kMapreduceMapper);
+  job.Unset(api::conf::kMapreduceReducer);
+  job.Unset(api::conf::kMapredCombiner);
+  job.Unset(api::conf::kMapreduceCombiner);
+  job.Unset(api::conf::kMapRunner);
+  return job;
+}
+
+}  // namespace m3r::engine

@@ -1,0 +1,23 @@
+#ifndef M3R_M3R_REPARTITION_H_
+#define M3R_M3R_REPARTITION_H_
+
+#include <string>
+
+#include "api/job_conf.h"
+
+namespace m3r::engine {
+
+/// Builds the "repartitioner" job of paper §6.1.1: identity mapper and
+/// reducer, the *same* partitioner/key/value/format configuration as
+/// `base`, reading `input` and writing `output`. Run once (on M3R) ahead of
+/// a job sequence, it redistributes data that was produced under Hadoop's
+/// arbitrary partition->host assignment so that it matches M3R's stable
+/// partition->place mapping; every later job of the sequence then shuffles
+/// locally.
+api::JobConf MakeRepartitionJob(const api::JobConf& base,
+                                const std::string& input,
+                                const std::string& output);
+
+}  // namespace m3r::engine
+
+#endif  // M3R_M3R_REPARTITION_H_

@@ -1,0 +1,154 @@
+#include "m3r/server.h"
+
+#include "common/logging.h"
+
+namespace m3r::engine {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kSucceeded: return "SUCCEEDED";
+    case JobState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+JobServer::JobServer(std::shared_ptr<api::Engine> engine)
+    : engine_(std::move(engine)), engine_name_(engine_->Name()) {
+  // Route the engine's asynchronous progress/counter updates into the
+  // currently running job's status.
+  engine_->SetProgressCallback(
+      [this](const std::string&, double progress,
+             const api::Counters* live) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(running_job_id_);
+        if (it == jobs_.end()) return;
+        it->second.progress = progress;
+        if (live != nullptr) it->second.counters = *live;
+      });
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+JobServer::~JobServer() { Shutdown(); }
+
+int JobServer::SubmitJob(const api::JobConf& conf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  M3R_CHECK(!shutdown_) << "submit to a shut-down server";
+  int id = next_job_id_++;
+  ServerJobStatus status;
+  status.job_id = id;
+  status.job_name = conf.JobName();
+  status.queue = conf.Get(api::conf::kQueueName, "default");
+  status.state = JobState::kQueued;
+  jobs_.emplace(id, std::move(status));
+  queue_.emplace_back(id, conf);
+  cv_.notify_all();
+  return id;
+}
+
+ServerJobStatus JobServer::GetJobStatus(int job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  M3R_CHECK(it != jobs_.end()) << "unknown job id " << job_id;
+  return it->second;
+}
+
+api::JobResult JobServer::WaitForCompletion(int job_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    auto it = jobs_.find(job_id);
+    M3R_CHECK(it != jobs_.end()) << "unknown job id " << job_id;
+    return it->second.state == JobState::kSucceeded ||
+           it->second.state == JobState::kFailed;
+  });
+  return jobs_.at(job_id).result;
+}
+
+std::vector<int> JobServer::ActiveJobs(const std::string& queue) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [id, status] : jobs_) {
+    if (status.state != JobState::kQueued &&
+        status.state != JobState::kRunning) {
+      continue;
+    }
+    if (!queue.empty() && status.queue != queue) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void JobServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Detach the progress hook: the engine may outlive this server.
+  engine_->SetProgressCallback(nullptr);
+}
+
+void JobServer::WorkerLoop() {
+  for (;;) {
+    std::pair<int, api::JobConf> next;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      next = std::move(queue_.front());
+      queue_.pop_front();
+      running_job_id_ = next.first;
+      jobs_[next.first].state = JobState::kRunning;
+    }
+    cv_.notify_all();
+
+    api::JobResult result = engine_->Submit(next.second);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ServerJobStatus& status = jobs_[next.first];
+      status.state = result.ok() ? JobState::kSucceeded : JobState::kFailed;
+      status.progress = 1.0;
+      status.counters = result.counters;
+      status.result = std::move(result);
+      running_job_id_ = -1;
+    }
+    cv_.notify_all();
+  }
+}
+
+ServerRegistry& ServerRegistry::Instance() {
+  static ServerRegistry* instance = new ServerRegistry();
+  return *instance;
+}
+
+void ServerRegistry::Bind(int port, std::shared_ptr<JobServer> server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_[port] = std::move(server);
+}
+
+std::shared_ptr<JobServer> ServerRegistry::Lookup(int port) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = servers_.find(port);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+void ServerRegistry::Unbind(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.erase(port);
+}
+
+Result<int> SubmitViaPort(const api::JobConf& conf) {
+  int port = static_cast<int>(conf.GetInt(kJobTrackerPortKey, 9001));
+  std::shared_ptr<JobServer> server = ServerRegistry::Instance().Lookup(port);
+  if (server == nullptr) {
+    return Status::NotFound("no job server bound to port " +
+                            std::to_string(port));
+  }
+  return server->SubmitJob(conf);
+}
+
+}  // namespace m3r::engine

@@ -1,0 +1,112 @@
+#ifndef M3R_M3R_SERVER_H_
+#define M3R_M3R_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+
+namespace m3r::engine {
+
+/// Lifecycle states reported by the jobtracker protocol.
+enum class JobState { kQueued, kRunning, kSucceeded, kFailed };
+
+const char* JobStateName(JobState state);
+
+/// One job's externally visible status: state, asynchronously updated
+/// progress and counters (paper §5.3), and — once terminal — the result.
+struct ServerJobStatus {
+  int job_id = -1;
+  std::string job_name;
+  std::string queue;
+  JobState state = JobState::kQueued;
+  double progress = 0;
+  api::Counters counters;
+  api::JobResult result;  // meaningful when state is terminal
+};
+
+/// Server mode (paper §5.3): a long-running endpoint implementing the
+/// Hadoop JobTracker protocol surface — submit, poll status, wait — backed
+/// by any Engine. "It is possible to simply replace the Hadoop server
+/// daemon with the M3R one": bind an M3RJobServer where a Hadoop-backed
+/// JobServer used to be (see ServerRegistry) and clients keep working.
+///
+/// Jobs are executed one at a time, FIFO per submission order (queue names
+/// from mapred.job.queue.name are tracked and reported). Progress and
+/// counters update asynchronously while a job runs.
+class JobServer {
+ public:
+  explicit JobServer(std::shared_ptr<api::Engine> engine);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  const std::string& EngineName() const { return engine_name_; }
+
+  /// Enqueues the job and returns its id immediately.
+  int SubmitJob(const api::JobConf& conf);
+
+  /// Snapshot of a job's status; aborts on unknown id.
+  ServerJobStatus GetJobStatus(int job_id) const;
+
+  /// Blocks until the job reaches a terminal state; returns its result.
+  api::JobResult WaitForCompletion(int job_id);
+
+  /// Ids of non-terminal jobs in `queue` ("" = all queues).
+  std::vector<int> ActiveJobs(const std::string& queue = "") const;
+
+  /// Stops accepting jobs, finishes the queue, joins the worker.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::shared_ptr<api::Engine> engine_;
+  std::string engine_name_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<int, api::JobConf>> queue_;
+  std::map<int, ServerJobStatus> jobs_;
+  int next_job_id_ = 1;
+  int running_job_id_ = -1;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+/// The "different ports" device of §5.3: servers bind to integer ports;
+/// clients pick a server by changing one number in their configuration.
+/// Swapping the server behind a port is invisible to clients.
+class ServerRegistry {
+ public:
+  static ServerRegistry& Instance();
+
+  void Bind(int port, std::shared_ptr<JobServer> server);
+  std::shared_ptr<JobServer> Lookup(int port) const;
+  void Unbind(int port);
+
+ private:
+  ServerRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<JobServer>> servers_;
+};
+
+/// Configuration key naming the server port a client submits to.
+inline constexpr char kJobTrackerPortKey[] = "mapred.job.tracker.port";
+
+/// Client-side submit: looks up the server bound to the port in `conf`
+/// (default 9001) and submits there — the paper's "a client can
+/// dynamically choose which server to submit a job to by altering the
+/// appropriate port setting in their job configuration".
+Result<int> SubmitViaPort(const api::JobConf& conf);
+
+}  // namespace m3r::engine
+
+#endif  // M3R_M3R_SERVER_H_

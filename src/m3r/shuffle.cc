@@ -1,0 +1,126 @@
+#include "m3r/shuffle.h"
+
+#include "common/logging.h"
+
+namespace m3r::engine {
+
+ShuffleExchange::ShuffleExchange(int num_places, int num_partitions,
+                                 serialize::DedupMode dedup_mode,
+                                 bool partition_stability,
+                                 int instability_salt)
+    : num_places_(num_places),
+      num_partitions_(num_partitions),
+      dedup_mode_(dedup_mode),
+      stability_(partition_stability),
+      salt_(instability_salt),
+      lanes_(static_cast<size_t>(num_places) * num_places),
+      partitions_(static_cast<size_t>(std::max(num_partitions, 1))),
+      local_pairs_(static_cast<size_t>(num_places), 0),
+      remote_pairs_(static_cast<size_t>(num_places), 0),
+      aliased_pairs_(static_cast<size_t>(num_places), 0),
+      cloned_pairs_(static_cast<size_t>(num_places), 0) {
+  M3R_CHECK(num_places > 0 && num_partitions >= 0);
+}
+
+int ShuffleExchange::PlaceOfPartition(int partition) const {
+  if (stability_) return StablePlaceOfPartition(partition, num_places_);
+  // Ablation: Hadoop-style arbitrary assignment, re-shuffled per job.
+  return (partition + salt_) % num_places_;
+}
+
+ShuffleExchange::Lane& ShuffleExchange::LaneFor(int src, int dst) {
+  return lanes_[static_cast<size_t>(src) * num_places_ + dst];
+}
+
+const ShuffleExchange::Lane& ShuffleExchange::LaneAt(int src, int dst) const {
+  return lanes_[static_cast<size_t>(src) * num_places_ + dst];
+}
+
+void ShuffleExchange::Emit(int src_place, int partition,
+                           const serialize::WritablePtr& key,
+                           const serialize::WritablePtr& value,
+                           bool immutable) {
+  M3R_CHECK(partition >= 0 && partition < num_partitions_)
+      << "bad partition " << partition;
+  int dst = PlaceOfPartition(partition);
+
+  // Without the ImmutableOutput promise the HMR contract lets the caller
+  // mutate the objects after collect(), so the engine must conservatively
+  // copy every pair before anything references it — including the identity
+  // map of the de-duplicating serializer (paper §3.2.2.1/§4.1).
+  serialize::WritablePtr k = key;
+  serialize::WritablePtr v = value;
+  if (!immutable) {
+    k = key->Clone();
+    v = value->Clone();
+    ++cloned_pairs_[static_cast<size_t>(src_place)];
+  }
+
+  if (dst == src_place) {
+    // Co-location fast path (paper §3.2.2.1): no network, no disk.
+    ++local_pairs_[static_cast<size_t>(src_place)];
+    if (immutable) ++aliased_pairs_[static_cast<size_t>(src_place)];
+    partitions_[static_cast<size_t>(partition)].emplace_back(std::move(k),
+                                                             std::move(v));
+    return;
+  }
+  ++remote_pairs_[static_cast<size_t>(src_place)];
+  Lane& lane = LaneFor(src_place, dst);
+  if (lane.out == nullptr) {
+    lane.out = std::make_unique<serialize::DedupOutputStream>(dedup_mode_);
+  }
+  lane.out->WriteControl(static_cast<uint64_t>(partition));
+  lane.out->WriteObject(k);
+  lane.out->WriteObject(v);
+}
+
+void ShuffleExchange::DeliverTo(int dst_place) {
+  for (int src = 0; src < num_places_; ++src) {
+    Lane& lane = LaneFor(src, dst_place);
+    if (lane.out == nullptr) continue;
+    M3R_CHECK(!lane.finished) << "DeliverTo called twice for a lane";
+    lane.objects = lane.out->objects_written();
+    lane.deduped = lane.out->objects_deduped();
+    lane.saved_bytes = lane.out->bytes_saved();
+    lane.wire = lane.out->TakeBuffer();
+    lane.out.reset();
+    lane.finished = true;
+
+    serialize::DedupInputStream in(lane.wire);
+    while (!in.AtEnd()) {
+      int partition = static_cast<int>(in.ReadControl());
+      serialize::WritablePtr key = in.ReadObject();
+      serialize::WritablePtr value = in.ReadObject();
+      M3R_CHECK(partition >= 0 && partition < num_partitions_);
+      partitions_[static_cast<size_t>(partition)].emplace_back(
+          std::move(key), std::move(value));
+    }
+  }
+}
+
+const kvstore::KVSeq& ShuffleExchange::PartitionPairs(int partition) const {
+  return partitions_[static_cast<size_t>(partition)];
+}
+
+uint64_t ShuffleExchange::WireBytes(int src_place, int dst_place) const {
+  const Lane& lane = LaneAt(src_place, dst_place);
+  return lane.wire.size();
+}
+
+ShuffleExchange::Stats ShuffleExchange::ComputeStats() const {
+  Stats s;
+  for (int p = 0; p < num_places_; ++p) {
+    s.local_pairs += local_pairs_[static_cast<size_t>(p)];
+    s.remote_pairs += remote_pairs_[static_cast<size_t>(p)];
+    s.aliased_pairs += aliased_pairs_[static_cast<size_t>(p)];
+    s.cloned_pairs += cloned_pairs_[static_cast<size_t>(p)];
+  }
+  for (const Lane& lane : lanes_) {
+    s.deduped_objects += lane.deduped;
+    s.dedup_saved_bytes += lane.saved_bytes;
+    s.total_wire_bytes += lane.wire.size();
+  }
+  return s;
+}
+
+}  // namespace m3r::engine

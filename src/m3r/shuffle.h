@@ -1,0 +1,102 @@
+#ifndef M3R_M3R_SHUFFLE_H_
+#define M3R_M3R_SHUFFLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kvstore/kv_store.h"
+#include "serialize/dedup.h"
+
+namespace m3r::engine {
+
+/// Deterministic partition -> place mapping, M3R's partition-stability
+/// guarantee (paper §3.2.2.2): for a fixed number of reducers, partition p
+/// always runs at the same place, across every job of the sequence.
+inline int StablePlaceOfPartition(int partition, int num_places) {
+  return partition % num_places;
+}
+
+/// One job's in-memory shuffle (paper §3.2.2).
+///
+/// Mapper emissions are routed by the partitioner's partition number:
+///  - same-place destination + ImmutableOutput producer: the pair is passed
+///    as an *alias*, no serialization, no copy (co-location fast path);
+///  - same-place destination, mutable producer: the pair is cloned
+///    (serialization round trip), preserving HMR reuse semantics;
+///  - remote destination: the pair is written to the per-(source,
+///    destination-place) X10-style serialization stream, which
+///    de-duplicates repeated objects — so a value broadcast to every
+///    reducer of a place crosses the wire once (paper §3.2.2.3).
+///
+/// After the map barrier, Exchange() decodes the remote streams at their
+/// destinations, reconstructing aliases for de-duplicated objects.
+class ShuffleExchange {
+ public:
+  ShuffleExchange(int num_places, int num_partitions,
+                  serialize::DedupMode dedup_mode, bool partition_stability,
+                  int instability_salt);
+
+  int PlaceOfPartition(int partition) const;
+
+  /// Called by the map phase at `src_place`. Not thread-safe per source
+  /// place: each place's mapper loop is single-threaded (places themselves
+  /// run in parallel), matching one serialization stream per `at (p)`.
+  void Emit(int src_place, int partition, const serialize::WritablePtr& key,
+            const serialize::WritablePtr& value, bool immutable);
+
+  /// Map barrier has passed: decode all remote streams at their
+  /// destination places. Runs the decode for `dst_place` and returns the
+  /// wall seconds it took (the engine folds this into the place's
+  /// simulated time).
+  void DeliverTo(int dst_place);
+
+  /// Pairs destined for `partition` (call after DeliverTo on its place).
+  const kvstore::KVSeq& PartitionPairs(int partition) const;
+
+  /// Wire bytes queued from src to dst (after de-duplication).
+  uint64_t WireBytes(int src_place, int dst_place) const;
+
+  struct Stats {
+    uint64_t local_pairs = 0;
+    uint64_t remote_pairs = 0;
+    uint64_t aliased_pairs = 0;
+    uint64_t cloned_pairs = 0;
+    uint64_t deduped_objects = 0;
+    uint64_t dedup_saved_bytes = 0;
+    uint64_t total_wire_bytes = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  struct Lane {
+    // Remote stream src -> dst place (lazily created).
+    std::unique_ptr<serialize::DedupOutputStream> out;
+    std::string wire;
+    uint64_t objects = 0;
+    uint64_t deduped = 0;
+    uint64_t saved_bytes = 0;
+    bool finished = false;
+  };
+
+  Lane& LaneFor(int src, int dst);
+  const Lane& LaneAt(int src, int dst) const;
+
+  const int num_places_;
+  const int num_partitions_;
+  const serialize::DedupMode dedup_mode_;
+  const bool stability_;
+  const int salt_;
+
+  std::vector<Lane> lanes_;                   // num_places^2
+  std::vector<kvstore::KVSeq> partitions_;    // per partition
+  std::vector<uint64_t> local_pairs_;         // per src place
+  std::vector<uint64_t> remote_pairs_;        // per src place
+  std::vector<uint64_t> aliased_pairs_;       // per src place
+  std::vector<uint64_t> cloned_pairs_;        // per src place
+};
+
+}  // namespace m3r::engine
+
+#endif  // M3R_M3R_SHUFFLE_H_

@@ -1,0 +1,219 @@
+#ifndef M3R_SERIALIZE_BASIC_WRITABLES_H_
+#define M3R_SERIALIZE_BASIC_WRITABLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serialize/writable.h"
+
+namespace m3r::serialize {
+
+/// Zero-byte singleton-style key/value, like Hadoop's NullWritable.
+class NullWritable : public WritableBase<NullWritable> {
+ public:
+  static constexpr const char* kTypeName = "NullWritable";
+  void Write(DataOutput&) const override {}
+  void ReadFields(DataInput&) override {}
+  int CompareTo(const Writable&) const override { return 0; }
+  size_t HashCode() const override { return 0; }
+  std::string ToString() const override { return "(null)"; }
+  size_t SerializedSize() const override { return 0; }
+};
+
+class BooleanWritable : public WritableBase<BooleanWritable> {
+ public:
+  static constexpr const char* kTypeName = "BooleanWritable";
+  BooleanWritable() = default;
+  explicit BooleanWritable(bool v) : value_(v) {}
+  bool Get() const { return value_; }
+  void Set(bool v) { value_ = v; }
+  void Write(DataOutput& out) const override { out.WriteBool(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadBool(); }
+  std::string ToString() const override { return value_ ? "true" : "false"; }
+  size_t SerializedSize() const override { return 1; }
+
+ private:
+  bool value_ = false;
+};
+
+class IntWritable : public WritableBase<IntWritable> {
+ public:
+  static constexpr const char* kTypeName = "IntWritable";
+  IntWritable() = default;
+  explicit IntWritable(int32_t v) : value_(v) {}
+  int32_t Get() const { return value_; }
+  void Set(int32_t v) { value_ = v; }
+  void Write(DataOutput& out) const override {
+    // Flip the sign bit so raw-byte comparison matches numeric order.
+    out.WriteU32(static_cast<uint32_t>(value_) ^ 0x80000000u);
+  }
+  void ReadFields(DataInput& in) override {
+    value_ = static_cast<int32_t>(in.ReadU32() ^ 0x80000000u);
+  }
+  int CompareTo(const Writable& other) const override;
+  size_t HashCode() const override { return static_cast<size_t>(value_); }
+  std::string ToString() const override { return std::to_string(value_); }
+  size_t SerializedSize() const override { return 4; }
+
+ private:
+  int32_t value_ = 0;
+};
+
+class LongWritable : public WritableBase<LongWritable> {
+ public:
+  static constexpr const char* kTypeName = "LongWritable";
+  LongWritable() = default;
+  explicit LongWritable(int64_t v) : value_(v) {}
+  int64_t Get() const { return value_; }
+  void Set(int64_t v) { value_ = v; }
+  void Write(DataOutput& out) const override {
+    out.WriteU64(static_cast<uint64_t>(value_) ^ 0x8000000000000000ull);
+  }
+  void ReadFields(DataInput& in) override {
+    value_ = static_cast<int64_t>(in.ReadU64() ^ 0x8000000000000000ull);
+  }
+  int CompareTo(const Writable& other) const override;
+  size_t HashCode() const override { return static_cast<size_t>(value_); }
+  std::string ToString() const override { return std::to_string(value_); }
+  size_t SerializedSize() const override { return 8; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class DoubleWritable : public WritableBase<DoubleWritable> {
+ public:
+  static constexpr const char* kTypeName = "DoubleWritable";
+  DoubleWritable() = default;
+  explicit DoubleWritable(double v) : value_(v) {}
+  double Get() const { return value_; }
+  void Set(double v) { value_ = v; }
+  void Write(DataOutput& out) const override { out.WriteDouble(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadDouble(); }
+  int CompareTo(const Writable& other) const override;
+  std::string ToString() const override;
+  size_t SerializedSize() const override { return 8; }
+
+ private:
+  double value_ = 0;
+};
+
+/// UTF-8 text, Hadoop's most common key type.
+class Text : public WritableBase<Text> {
+ public:
+  static constexpr const char* kTypeName = "Text";
+  Text() = default;
+  explicit Text(std::string v) : value_(std::move(v)) {}
+  const std::string& Get() const { return value_; }
+  void Set(std::string v) { value_ = std::move(v); }
+  void Write(DataOutput& out) const override { out.WriteString(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadString(); }
+  int CompareTo(const Writable& other) const override;
+  size_t HashCode() const override {
+    return std::hash<std::string>()(value_);
+  }
+  std::string ToString() const override { return value_; }
+  size_t SerializedSize() const override;
+
+ private:
+  std::string value_;
+};
+
+/// Raw byte payload; used by the shuffle micro-benchmark's 10 KB values.
+class BytesWritable : public WritableBase<BytesWritable> {
+ public:
+  static constexpr const char* kTypeName = "BytesWritable";
+  BytesWritable() = default;
+  explicit BytesWritable(std::string v) : value_(std::move(v)) {}
+  const std::string& Get() const { return value_; }
+  void Set(std::string v) { value_ = std::move(v); }
+  void Write(DataOutput& out) const override { out.WriteString(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadString(); }
+  std::string ToString() const override {
+    return "<" + std::to_string(value_.size()) + " bytes>";
+  }
+  size_t SerializedSize() const override;
+
+ private:
+  std::string value_;
+};
+
+/// Fixed-length vector of doubles (dense vector blocks).
+class DoubleArrayWritable : public WritableBase<DoubleArrayWritable> {
+ public:
+  static constexpr const char* kTypeName = "DoubleArrayWritable";
+  DoubleArrayWritable() = default;
+  explicit DoubleArrayWritable(std::vector<double> v)
+      : values_(std::move(v)) {}
+  const std::vector<double>& Get() const { return values_; }
+  std::vector<double>& Mutable() { return values_; }
+  void Set(std::vector<double> v) { values_ = std::move(v); }
+  void Write(DataOutput& out) const override;
+  void ReadFields(DataInput& in) override;
+  std::string ToString() const override;
+  size_t SerializedSize() const override;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Pair of ints used as a 2-D block index (paper §6.2's custom key class).
+class PairIntWritable : public WritableBase<PairIntWritable> {
+ public:
+  static constexpr const char* kTypeName = "PairIntWritable";
+  PairIntWritable() = default;
+  PairIntWritable(int32_t row, int32_t col) : row_(row), col_(col) {}
+  int32_t Row() const { return row_; }
+  int32_t Col() const { return col_; }
+  void Set(int32_t row, int32_t col) {
+    row_ = row;
+    col_ = col;
+  }
+  void Write(DataOutput& out) const override {
+    out.WriteU32(static_cast<uint32_t>(row_) ^ 0x80000000u);
+    out.WriteU32(static_cast<uint32_t>(col_) ^ 0x80000000u);
+  }
+  void ReadFields(DataInput& in) override {
+    row_ = static_cast<int32_t>(in.ReadU32() ^ 0x80000000u);
+    col_ = static_cast<int32_t>(in.ReadU32() ^ 0x80000000u);
+  }
+  int CompareTo(const Writable& other) const override;
+  size_t HashCode() const override {
+    return static_cast<size_t>(row_) * 1000003u + static_cast<size_t>(col_);
+  }
+  std::string ToString() const override {
+    return "(" + std::to_string(row_) + "," + std::to_string(col_) + ")";
+  }
+  size_t SerializedSize() const override { return 8; }
+
+ private:
+  int32_t row_ = 0;
+  int32_t col_ = 0;
+};
+
+/// Self-describing wrapper for jobs whose reduce input mixes value types
+/// (Hadoop's GenericWritable): serializes the inner type's registry name
+/// followed by its fields. The SpMV jobs use it to send a CSC matrix block
+/// and a dense vector block to the same reducer key.
+class GenericWritable : public WritableBase<GenericWritable> {
+ public:
+  static constexpr const char* kTypeName = "GenericWritable";
+  GenericWritable() = default;
+  explicit GenericWritable(WritablePtr inner) : inner_(std::move(inner)) {}
+
+  const WritablePtr& Get() const { return inner_; }
+  void Set(WritablePtr inner) { inner_ = std::move(inner); }
+
+  void Write(DataOutput& out) const override;
+  void ReadFields(DataInput& in) override;
+  std::string ToString() const override;
+  size_t SerializedSize() const override;
+
+ private:
+  WritablePtr inner_;
+};
+
+}  // namespace m3r::serialize
+
+#endif  // M3R_SERIALIZE_BASIC_WRITABLES_H_

@@ -1,0 +1,71 @@
+#include "serialize/extra_writables.h"
+
+#include "serialize/registry.h"
+
+namespace m3r::serialize {
+
+void ArrayWritable::Write(DataOutput& out) const {
+  out.WriteString(element_type_);
+  out.WriteVarU64(values_.size());
+  for (const auto& v : values_) v->Write(out);
+}
+
+void ArrayWritable::ReadFields(DataInput& in) {
+  element_type_ = in.ReadString();
+  size_t n = in.ReadVarU64();
+  values_.clear();
+  values_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    WritablePtr v = WritableRegistry::Instance().Create(element_type_);
+    v->ReadFields(in);
+    values_.push_back(std::move(v));
+  }
+}
+
+std::string ArrayWritable::ToString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) s += ",";
+    s += values_[i]->ToString();
+  }
+  return s + "]";
+}
+
+void MapWritable::Write(DataOutput& out) const {
+  out.WriteVarU64(entries_.size());
+  for (const auto& [k, v] : entries_) {
+    out.WriteString(k);
+    out.WriteString(v->TypeName());
+    v->Write(out);
+  }
+}
+
+void MapWritable::ReadFields(DataInput& in) {
+  size_t n = in.ReadVarU64();
+  entries_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = in.ReadString();
+    std::string type = in.ReadString();
+    WritablePtr v = WritableRegistry::Instance().Create(type);
+    v->ReadFields(in);
+    entries_[key] = std::move(v);
+  }
+}
+
+std::string MapWritable::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [k, v] : entries_) {
+    if (!first) s += ",";
+    first = false;
+    s += k + "=" + v->ToString();
+  }
+  return s + "}";
+}
+
+M3R_REGISTER_WRITABLE(FloatWritable)
+M3R_REGISTER_WRITABLE(VLongWritable)
+M3R_REGISTER_WRITABLE(ArrayWritable)
+M3R_REGISTER_WRITABLE(MapWritable)
+
+}  // namespace m3r::serialize

@@ -1,0 +1,108 @@
+#ifndef M3R_SERIALIZE_EXTRA_WRITABLES_H_
+#define M3R_SERIALIZE_EXTRA_WRITABLES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serialize/basic_writables.h"
+
+namespace m3r::serialize {
+
+class FloatWritable : public WritableBase<FloatWritable> {
+ public:
+  static constexpr const char* kTypeName = "FloatWritable";
+  FloatWritable() = default;
+  explicit FloatWritable(float v) : value_(v) {}
+  float Get() const { return value_; }
+  void Set(float v) { value_ = v; }
+  void Write(DataOutput& out) const override { out.WriteFloat(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadFloat(); }
+  int CompareTo(const Writable& other) const override {
+    float o = static_cast<const FloatWritable&>(other).value_;
+    return value_ < o ? -1 : (value_ > o ? 1 : 0);
+  }
+  std::string ToString() const override { return std::to_string(value_); }
+  size_t SerializedSize() const override { return 4; }
+
+ private:
+  float value_ = 0;
+};
+
+/// Variable-length encoded long (Hadoop's VLongWritable): 1 byte for small
+/// magnitudes. NOTE: unlike LongWritable, raw-byte order does NOT match
+/// numeric order; jobs keyed by it must use a deserializing comparator.
+class VLongWritable : public WritableBase<VLongWritable> {
+ public:
+  static constexpr const char* kTypeName = "VLongWritable";
+  VLongWritable() = default;
+  explicit VLongWritable(int64_t v) : value_(v) {}
+  int64_t Get() const { return value_; }
+  void Set(int64_t v) { value_ = v; }
+  void Write(DataOutput& out) const override { out.WriteVarI64(value_); }
+  void ReadFields(DataInput& in) override { value_ = in.ReadVarI64(); }
+  int CompareTo(const Writable& other) const override {
+    int64_t o = static_cast<const VLongWritable&>(other).value_;
+    return value_ < o ? -1 : (value_ > o ? 1 : 0);
+  }
+  size_t HashCode() const override { return static_cast<size_t>(value_); }
+  std::string ToString() const override { return std::to_string(value_); }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Homogeneous array of Writables of one registered type (Hadoop's
+/// ArrayWritable).
+class ArrayWritable : public WritableBase<ArrayWritable> {
+ public:
+  static constexpr const char* kTypeName = "ArrayWritable";
+  ArrayWritable() = default;
+  explicit ArrayWritable(std::string element_type)
+      : element_type_(std::move(element_type)) {}
+
+  const std::string& ElementType() const { return element_type_; }
+  const std::vector<WritablePtr>& Get() const { return values_; }
+  void Add(WritablePtr w) { values_.push_back(std::move(w)); }
+  void Clear() { values_.clear(); }
+
+  void Write(DataOutput& out) const override;
+  void ReadFields(DataInput& in) override;
+  std::string ToString() const override;
+
+ private:
+  std::string element_type_;
+  std::vector<WritablePtr> values_;
+};
+
+/// String-keyed map of Writables (a pragmatic take on Hadoop's
+/// MapWritable; Hadoop allows Writable keys, configs in this codebase use
+/// string keys).
+class MapWritable : public WritableBase<MapWritable> {
+ public:
+  static constexpr const char* kTypeName = "MapWritable";
+  MapWritable() = default;
+
+  void Put(const std::string& key, WritablePtr value) {
+    entries_[key] = std::move(value);
+  }
+  WritablePtr GetValue(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+  size_t Size() const { return entries_.size(); }
+  const std::map<std::string, WritablePtr>& entries() const {
+    return entries_;
+  }
+
+  void Write(DataOutput& out) const override;
+  void ReadFields(DataInput& in) override;
+  std::string ToString() const override;
+
+ private:
+  std::map<std::string, WritablePtr> entries_;
+};
+
+}  // namespace m3r::serialize
+
+#endif  // M3R_SERIALIZE_EXTRA_WRITABLES_H_

@@ -1,0 +1,3 @@
+#include "serialize/io.h"
+
+// Header-only; this translation unit anchors the library target.

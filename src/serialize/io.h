@@ -1,0 +1,177 @@
+#ifndef M3R_SERIALIZE_IO_H_
+#define M3R_SERIALIZE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace m3r::serialize {
+
+/// Append-only binary output buffer with Hadoop DataOutput-style primitives.
+/// Multi-byte integers are written big-endian, matching Hadoop's wire format
+/// so that raw-byte key comparison orders numbers numerically.
+class DataOutput {
+ public:
+  DataOutput() = default;
+  explicit DataOutput(std::string* external) : external_(external) {}
+
+  void WriteByte(uint8_t b) { Buf().push_back(static_cast<char>(b)); }
+  void WriteBool(bool b) { WriteByte(b ? 1 : 0); }
+
+  void WriteU16(uint16_t v) {
+    char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v)};
+    Buf().append(b, 2);
+  }
+  void WriteU32(uint32_t v) {
+    char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+    Buf().append(b, 4);
+  }
+  void WriteU64(uint64_t v) {
+    WriteU32(static_cast<uint32_t>(v >> 32));
+    WriteU32(static_cast<uint32_t>(v));
+  }
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+  void WriteFloat(float f) {
+    uint32_t v;
+    std::memcpy(&v, &f, sizeof(v));
+    WriteU32(v);
+  }
+  void WriteDouble(double d) {
+    uint64_t v;
+    std::memcpy(&v, &d, sizeof(v));
+    WriteU64(v);
+  }
+
+  /// Variable-length unsigned int, LEB128-style (1 byte for values < 128).
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      WriteByte(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    WriteByte(static_cast<uint8_t>(v));
+  }
+  /// Zig-zag encoded signed variant.
+  void WriteVarI64(int64_t v) {
+    WriteVarU64((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Length-prefixed byte string.
+  void WriteString(std::string_view s) {
+    WriteVarU64(s.size());
+    Buf().append(s.data(), s.size());
+  }
+  void WriteRaw(const void* data, size_t n) {
+    Buf().append(static_cast<const char*>(data), n);
+  }
+
+  size_t size() const { return Buf().size(); }
+  const std::string& buffer() const { return Buf(); }
+  std::string Take() { return std::move(Buf()); }
+  void Clear() { Buf().clear(); }
+
+ private:
+  std::string& Buf() { return external_ ? *external_ : owned_; }
+  const std::string& Buf() const { return external_ ? *external_ : owned_; }
+
+  std::string owned_;
+  std::string* external_ = nullptr;
+};
+
+/// Cursor over a byte span, mirroring DataOutput. Bounds violations are
+/// engine bugs (corrupted shuffle/spill data) and abort via M3R_CHECK.
+class DataInput {
+ public:
+  DataInput(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit DataInput(std::string_view s) : DataInput(s.data(), s.size()) {}
+
+  uint8_t ReadByte() {
+    M3R_CHECK(pos_ < size_) << "DataInput overrun";
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  bool ReadBool() { return ReadByte() != 0; }
+
+  uint16_t ReadU16() {
+    uint16_t hi = ReadByte();
+    return static_cast<uint16_t>((hi << 8) | ReadByte());
+  }
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | ReadByte();
+    return v;
+  }
+  uint64_t ReadU64() {
+    uint64_t hi = ReadU32();
+    return (hi << 32) | ReadU32();
+  }
+  int32_t ReadI32() { return static_cast<int32_t>(ReadU32()); }
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+  float ReadFloat() {
+    uint32_t v = ReadU32();
+    float f;
+    std::memcpy(&f, &v, sizeof(f));
+    return f;
+  }
+  double ReadDouble() {
+    uint64_t v = ReadU64();
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+  }
+
+  uint64_t ReadVarU64() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      uint8_t b = ReadByte();
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      M3R_CHECK(shift < 64) << "varint too long";
+    }
+  }
+  int64_t ReadVarI64() {
+    uint64_t v = ReadVarU64();
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+  std::string ReadString() {
+    size_t n = ReadVarU64();
+    M3R_CHECK(pos_ + n <= size_) << "string overrun";
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string_view ReadStringView() {
+    size_t n = ReadVarU64();
+    M3R_CHECK(pos_ + n <= size_) << "string overrun";
+    std::string_view s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void ReadRaw(void* out, size_t n) {
+    M3R_CHECK(pos_ + n <= size_) << "raw overrun";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace m3r::serialize
+
+#endif  // M3R_SERIALIZE_IO_H_

@@ -1,0 +1,56 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace m3r::sim {
+
+void Metrics::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Metrics::AddSeconds(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seconds_[name] += seconds;
+}
+
+int64_t Metrics::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Metrics::GetSeconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seconds_.find(name);
+  return it == seconds_.end() ? 0 : it->second;
+}
+
+void Metrics::MergeFrom(const Metrics& other) {
+  auto counters = other.Snapshot();
+  auto seconds = other.SnapshotSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : counters) counters_[k] += v;
+  for (const auto& [k, v] : seconds) seconds_[k] += v;
+}
+
+std::map<std::string, int64_t> Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> Metrics::SnapshotSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seconds_;
+}
+
+std::string Metrics::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << "=" << v << " ";
+  os.precision(4);
+  for (const auto& [k, v] : seconds_) os << k << "=" << v << "s ";
+  return os.str();
+}
+
+}  // namespace m3r::sim

@@ -1,0 +1,38 @@
+#ifndef M3R_SIM_METRICS_H_
+#define M3R_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace m3r::sim {
+
+/// Thread-safe named counters recording what a run physically did: bytes
+/// spilled, shuffled, de-duplicated, cache hits, records processed, and the
+/// simulated-time breakdown per phase. Benchmarks print these next to the
+/// simulated seconds so every reported number is attributable.
+class Metrics {
+ public:
+  void Add(const std::string& name, int64_t delta);
+  void AddSeconds(const std::string& name, double seconds);
+  int64_t Get(const std::string& name) const;
+  double GetSeconds(const std::string& name) const;
+
+  /// Merges all counters from `other` into this.
+  void MergeFrom(const Metrics& other);
+
+  std::map<std::string, int64_t> Snapshot() const;
+  std::map<std::string, double> SnapshotSeconds() const;
+
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> seconds_;
+};
+
+}  // namespace m3r::sim
+
+#endif  // M3R_SIM_METRICS_H_

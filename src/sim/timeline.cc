@@ -1,0 +1,91 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace m3r::sim {
+
+SlotTimeline::SlotTimeline(const ClusterSpec& spec, double start_time_s)
+    : spec_(spec),
+      start_time_s_(start_time_s),
+      free_at_(static_cast<size_t>(spec.total_slots()), start_time_s),
+      makespan_(start_time_s) {
+  M3R_CHECK(spec.total_slots() > 0) << "cluster must have slots";
+}
+
+ScheduledTask SlotTimeline::Schedule(double ready_s, double duration_s,
+                                     double dispatch_delay_s,
+                                     const std::vector<int>& preferred_nodes,
+                                     bool* ran_local) {
+  return ScheduleFn(
+      ready_s, [duration_s](bool, int) { return duration_s; },
+      dispatch_delay_s, preferred_nodes, ran_local);
+}
+
+ScheduledTask SlotTimeline::ScheduleFn(
+    double ready_s, const std::function<double(bool, int)>& fn,
+    double dispatch_delay_s, const std::vector<int>& preferred_nodes,
+    bool* ran_local) {
+  // Globally earliest slot.
+  size_t best = 0;
+  for (size_t i = 1; i < free_at_.size(); ++i) {
+    if (free_at_[i] < free_at_[best]) best = i;
+  }
+
+  // Delay scheduling: accept a preferred node's slot if it frees up within
+  // one heartbeat of the earliest slot.
+  size_t chosen = best;
+  bool local = false;
+  if (!preferred_nodes.empty()) {
+    double limit = free_at_[best] + spec_.heartbeat_interval_s;
+    double best_pref = -1;
+    for (int node : preferred_nodes) {
+      if (node < 0 || node >= spec_.num_nodes) continue;
+      for (int s = 0; s < spec_.slots_per_node; ++s) {
+        size_t idx = static_cast<size_t>(node) * spec_.slots_per_node + s;
+        if (free_at_[idx] <= limit &&
+            (best_pref < 0 || free_at_[idx] < best_pref)) {
+          best_pref = free_at_[idx];
+          chosen = idx;
+          local = true;
+        }
+      }
+    }
+  }
+  if (ran_local != nullptr) *ran_local = local;
+
+  int node = static_cast<int>(chosen) / spec_.slots_per_node;
+  double start = std::max(ready_s, free_at_[chosen]) + dispatch_delay_s;
+  double finish = start + fn(local, node);
+  free_at_[chosen] = finish;
+  makespan_ = std::max(makespan_, finish);
+  ScheduledTask t;
+  t.node = node;
+  t.start_s = start;
+  t.finish_s = finish;
+  return t;
+}
+
+ScheduledTask SlotTimeline::ScheduleOnNode(int node, double ready_s,
+                                           double duration_s) {
+  M3R_CHECK(node >= 0 && node < spec_.num_nodes) << "bad node " << node;
+  size_t base = static_cast<size_t>(node) * spec_.slots_per_node;
+  size_t chosen = base;
+  for (int s = 1; s < spec_.slots_per_node; ++s) {
+    if (free_at_[base + s] < free_at_[chosen]) chosen = base + s;
+  }
+  double start = std::max(ready_s, free_at_[chosen]);
+  double finish = start + duration_s;
+  free_at_[chosen] = finish;
+  makespan_ = std::max(makespan_, finish);
+  ScheduledTask t;
+  t.node = node;
+  t.start_s = start;
+  t.finish_s = finish;
+  return t;
+}
+
+double SlotTimeline::Makespan() const { return makespan_; }
+
+}  // namespace m3r::sim

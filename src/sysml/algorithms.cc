@@ -1,0 +1,236 @@
+#include "sysml/algorithms.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sysml/planner.h"
+
+namespace m3r::sysml {
+
+namespace {
+
+/// Runs a job list, accumulating times into `result`. Returns false (with
+/// result->status set) on the first failure.
+bool RunJobs(api::Engine& engine, const std::vector<api::JobConf>& jobs,
+             AlgorithmResult* result) {
+  for (const api::JobConf& job : jobs) {
+    api::JobResult r = engine.Submit(job);
+    ++result->jobs;
+    result->sim_seconds += r.sim_seconds;
+    result->wall_seconds += r.wall_seconds;
+    if (!r.ok()) {
+      result->status = r.status;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Deletes an iteration's temp root from both cache and DFS ("we
+/// explicitly delete the previous iteration's input, as it will not be
+/// accessed again and its presence in the cache wastes memory", §6.1).
+void DropTemps(dfs::FileSystem& fs, const std::string& root) {
+  if (fs.Exists(root)) {
+    Status st = fs.Delete(root, /*recursive=*/true);
+    if (!st.ok()) M3R_LOG(Warn) << "temp cleanup: " << st.ToString();
+  }
+}
+
+}  // namespace
+
+AlgorithmResult RunGNMF(api::Engine& engine,
+                        std::shared_ptr<dfs::FileSystem> fs,
+                        const MatrixDescriptor& v, int rank, int iterations,
+                        const std::string& work_root, int num_reducers,
+                        uint64_t seed) {
+  AlgorithmResult result;
+
+  // Initialize W (n x rank) and H (rank x m) with random positives.
+  MatrixDescriptor w{work_root + "/W0", v.rows, rank, v.block};
+  MatrixDescriptor h{work_root + "/H0", rank, v.cols, v.block};
+  {
+    Rng rng(seed);
+    std::vector<double> wv(static_cast<size_t>(w.rows) * w.cols);
+    for (auto& x : wv) x = rng.NextDouble() + 0.1;
+    std::vector<double> hv(static_cast<size_t>(h.rows) * h.cols);
+    for (auto& x : hv) x = rng.NextDouble() + 0.1;
+    result.status = WriteDenseMatrix(*fs, w, wv, num_reducers);
+    if (!result.status.ok()) return result;
+    result.status = WriteDenseMatrix(*fs, h, hv, num_reducers);
+    if (!result.status.ok()) return result;
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    std::string root = work_root + "/it" + std::to_string(it);
+    Planner planner(root, num_reducers);
+    std::vector<api::JobConf> jobs;
+
+    ExprPtr V = Expr::Var(v);
+    ExprPtr W = Expr::Var(w);
+    ExprPtr H = Expr::Var(h);
+
+    // H <- H * (WtV) / (WtW H)
+    ExprPtr Wt = Expr::Transpose(W);
+    ExprPtr WtV = Expr::MatMul(Wt, V);
+    ExprPtr WtWH = Expr::MatMul(Expr::MatMul(Wt, W), H);
+    ExprPtr Hn = Expr::EWise(H, Expr::EWise(WtV, WtWH, '/'), '*');
+    MatrixDescriptor h_new =
+        planner.Plan(Hn, &jobs, root + "/temp-Hn");
+
+    // W <- W * (V Ht) / (W (Hn Ht))
+    ExprPtr Hnv = Expr::Var(h_new);
+    ExprPtr Ht = Expr::Transpose(Hnv);
+    ExprPtr VHt = Expr::MatMul(V, Ht);
+    ExprPtr WHHt = Expr::MatMul(W, Expr::MatMul(Hnv, Ht));
+    ExprPtr Wn = Expr::EWise(W, Expr::EWise(VHt, WHHt, '/'), '*');
+    MatrixDescriptor w_new = planner.Plan(Wn, &jobs, root + "/temp-Wn");
+
+    if (!RunJobs(engine, jobs, &result)) return result;
+
+    // Previous iteration's intermediates are dead now.
+    if (it > 0) {
+      DropTemps(*fs, work_root + "/it" + std::to_string(it - 1));
+    } else {
+      DropTemps(*fs, w.path);
+      DropTemps(*fs, h.path);
+    }
+    w = w_new;
+    h = h_new;
+  }
+  result.outputs = {w, h};
+  result.status = Status::OK();
+  return result;
+}
+
+AlgorithmResult RunLinReg(api::Engine& engine,
+                          std::shared_ptr<dfs::FileSystem> fs,
+                          const MatrixDescriptor& x,
+                          const MatrixDescriptor& y, int iterations,
+                          const std::string& work_root, int num_reducers) {
+  AlgorithmResult result;
+
+  // Setup: Xt; r = -(Xt y); p = -r; norm = sum(r*r); w = 0.
+  MatrixDescriptor w_desc{work_root + "/w0", x.cols, 1, x.block};
+  {
+    std::vector<double> zeros(static_cast<size_t>(x.cols), 0.0);
+    result.status = WriteDenseMatrix(*fs, w_desc, zeros, num_reducers);
+    if (!result.status.ok()) return result;
+  }
+
+  std::string setup_root = work_root + "/setup";
+  Planner setup(setup_root, num_reducers);
+  std::vector<api::JobConf> setup_jobs;
+  MatrixDescriptor xt =
+      setup.Plan(Expr::Transpose(Expr::Var(x)), &setup_jobs,
+                 work_root + "/temp-Xt");
+  MatrixDescriptor r_desc = setup.Plan(
+      Expr::Scalar(Expr::MatMul(Expr::Var(xt), Expr::Var(y)), -1, 0),
+      &setup_jobs, work_root + "/temp-r0");
+  MatrixDescriptor p_desc =
+      setup.Plan(Expr::Scalar(Expr::Var(r_desc), -1, 0), &setup_jobs,
+                 work_root + "/temp-p0");
+  MatrixDescriptor norm_desc = setup.Plan(
+      Expr::SumAll(Expr::EWise(Expr::Var(r_desc), Expr::Var(r_desc), '*')),
+      &setup_jobs, setup_root + "/temp-norm");
+  if (!RunJobs(engine, setup_jobs, &result)) return result;
+  auto norm_or = ReadScalar(*fs, norm_desc);
+  if (!norm_or.ok()) {
+    result.status = norm_or.status();
+    return result;
+  }
+  double norm_r2 = *norm_or;
+
+  for (int it = 0; it < iterations; ++it) {
+    std::string root = work_root + "/it" + std::to_string(it);
+    Planner planner(root, num_reducers);
+
+    // q = Xt (X p); pq = sum(p*q)
+    std::vector<api::JobConf> jobs1;
+    MatrixDescriptor q_desc = planner.Plan(
+        Expr::MatMul(Expr::Var(xt),
+                     Expr::MatMul(Expr::Var(x), Expr::Var(p_desc))),
+        &jobs1, root + "/temp-q");
+    MatrixDescriptor pq_desc = planner.Plan(
+        Expr::SumAll(Expr::EWise(Expr::Var(p_desc), Expr::Var(q_desc), '*')),
+        &jobs1, root + "/temp-pq");
+    if (!RunJobs(engine, jobs1, &result)) return result;
+    auto pq_or = ReadScalar(*fs, pq_desc);
+    if (!pq_or.ok()) {
+      result.status = pq_or.status();
+      return result;
+    }
+    double alpha = *pq_or == 0 ? 0 : norm_r2 / *pq_or;
+
+    // w += alpha p; r += alpha q; new norm; beta; p = -r + beta p.
+    std::vector<api::JobConf> jobs2;
+    MatrixDescriptor w_new = planner.Plan(
+        Expr::EWise(Expr::Var(w_desc),
+                    Expr::Scalar(Expr::Var(p_desc), alpha, 0), '+'),
+        &jobs2, root + "/temp-w");
+    MatrixDescriptor r_new = planner.Plan(
+        Expr::EWise(Expr::Var(r_desc),
+                    Expr::Scalar(Expr::Var(q_desc), alpha, 0), '+'),
+        &jobs2, root + "/temp-r");
+    MatrixDescriptor norm_new_desc = planner.Plan(
+        Expr::SumAll(Expr::EWise(Expr::Var(r_new), Expr::Var(r_new), '*')),
+        &jobs2, root + "/temp-norm");
+    if (!RunJobs(engine, jobs2, &result)) return result;
+    auto nn_or = ReadScalar(*fs, norm_new_desc);
+    if (!nn_or.ok()) {
+      result.status = nn_or.status();
+      return result;
+    }
+    double beta = norm_r2 == 0 ? 0 : *nn_or / norm_r2;
+    norm_r2 = *nn_or;
+
+    std::vector<api::JobConf> jobs3;
+    MatrixDescriptor p_new = planner.Plan(
+        Expr::EWise(Expr::Scalar(Expr::Var(r_new), -1, 0),
+                    Expr::Scalar(Expr::Var(p_desc), beta, 0), '+'),
+        &jobs3, root + "/temp-p");
+    if (!RunJobs(engine, jobs3, &result)) return result;
+
+    if (it > 0) {
+      DropTemps(*fs, work_root + "/it" + std::to_string(it - 1));
+    } else {
+      DropTemps(*fs, w_desc.path);
+      DropTemps(*fs, setup_root);
+      DropTemps(*fs, r_desc.path);
+      DropTemps(*fs, p_desc.path);
+    }
+    w_desc = w_new;
+    r_desc = r_new;
+    p_desc = p_new;
+  }
+  result.outputs = {w_desc};
+  result.status = Status::OK();
+  return result;
+}
+
+AlgorithmResult RunPageRank(api::Engine& engine,
+                            std::shared_ptr<dfs::FileSystem> fs,
+                            const MatrixDescriptor& g,
+                            const MatrixDescriptor& v0, int iterations,
+                            double c, const std::string& work_root,
+                            int num_reducers) {
+  AlgorithmResult result;
+  MatrixDescriptor v = v0;
+  double teleport = (1.0 - c) / static_cast<double>(g.rows);
+  for (int it = 0; it < iterations; ++it) {
+    std::string root = work_root + "/it" + std::to_string(it);
+    Planner planner(root, num_reducers);
+    std::vector<api::JobConf> jobs;
+    MatrixDescriptor v_new = planner.Plan(
+        Expr::Scalar(Expr::MatMul(Expr::Var(g), Expr::Var(v)), c, teleport),
+        &jobs, root + "/temp-v");
+    if (!RunJobs(engine, jobs, &result)) return result;
+    if (it > 0) {
+      DropTemps(*fs, work_root + "/it" + std::to_string(it - 1));
+    }
+    v = v_new;
+  }
+  result.outputs = {v};
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace m3r::sysml

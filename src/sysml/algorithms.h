@@ -1,0 +1,57 @@
+#ifndef M3R_SYSML_ALGORITHMS_H_
+#define M3R_SYSML_ALGORITHMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "dfs/file_system.h"
+#include "sysml/block_matrix.h"
+
+namespace m3r::sysml {
+
+/// Aggregate outcome of running one algorithm through an engine.
+struct AlgorithmResult {
+  Status status;
+  int jobs = 0;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  /// Location of the algorithm's principal output(s).
+  std::vector<MatrixDescriptor> outputs;
+};
+
+/// The three iterative SystemML programs of the paper's evaluation
+/// (§6.4, Figs. 9-11), lowered per iteration through the Planner and run
+/// on `engine`. `fs` must be the engine's file-system view (for M3R, the
+/// cache-intercepting M3RFileSystem) so scalar reads and temp handling see
+/// cached data. Stale temporaries of iteration i-1 are deleted after
+/// iteration i, as the paper's benchmarks do for cache hygiene.
+
+/// Global non-negative matrix factorization: V (n x m, sparse) factored as
+/// W (n x rank) * H (rank x m) by Lee-Seung multiplicative updates.
+AlgorithmResult RunGNMF(api::Engine& engine,
+                        std::shared_ptr<dfs::FileSystem> fs,
+                        const MatrixDescriptor& v, int rank, int iterations,
+                        const std::string& work_root, int num_reducers,
+                        uint64_t seed);
+
+/// Linear regression via conjugate gradient on the normal equations:
+/// solves (XᵀX) w = Xᵀy for X (points x vars, sparse) and y (points x 1).
+AlgorithmResult RunLinReg(api::Engine& engine,
+                          std::shared_ptr<dfs::FileSystem> fs,
+                          const MatrixDescriptor& x,
+                          const MatrixDescriptor& y, int iterations,
+                          const std::string& work_root, int num_reducers);
+
+/// PageRank: v <- c*(G v) + (1-c)/n, for a square sparse G.
+AlgorithmResult RunPageRank(api::Engine& engine,
+                            std::shared_ptr<dfs::FileSystem> fs,
+                            const MatrixDescriptor& g,
+                            const MatrixDescriptor& v0, int iterations,
+                            double c, const std::string& work_root,
+                            int num_reducers);
+
+}  // namespace m3r::sysml
+
+#endif  // M3R_SYSML_ALGORITHMS_H_

@@ -1,0 +1,177 @@
+#include "sysml/block_matrix.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "api/sequence_file.h"
+#include "common/path.h"
+#include "common/rng.h"
+#include "m3r/cache_fs.h"
+
+namespace m3r::sysml {
+
+using serialize::PairIntWritable;
+
+namespace {
+
+std::string PartPath(const MatrixDescriptor& desc, int q) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part-%05d", q);
+  return path::Join(desc.path, name);
+}
+
+}  // namespace
+
+Status WriteRandomMatrix(dfs::FileSystem& fs, const MatrixDescriptor& desc,
+                         double sparsity, uint64_t seed, int parts) {
+  std::vector<std::unique_ptr<api::SequenceFileWriter>> writers;
+  for (int q = 0; q < parts; ++q) {
+    dfs::CreateOptions opts;
+    opts.preferred_node = q;
+    auto w = fs.Create(PartPath(desc, q), opts);
+    if (!w.ok()) return w.status();
+    writers.push_back(std::make_unique<api::SequenceFileWriter>(
+        w.take(), PairIntWritable::kTypeName,
+        MatrixBlockWritable::kTypeName));
+  }
+  bool dense = sparsity >= 0.5;
+  for (int32_t rb = 0; rb < desc.row_blocks(); ++rb) {
+    for (int32_t cb = 0; cb < desc.col_blocks(); ++cb) {
+      Rng rng(seed ^ (static_cast<uint64_t>(rb) << 32 | uint32_t(cb)));
+      int32_t h = desc.BlockRows(rb);
+      int32_t w = desc.BlockCols(cb);
+      MatrixBlockWritable block;
+      if (dense) {
+        block = MatrixBlockWritable::Dense(h, w);
+        for (int32_t r = 0; r < h; ++r) {
+          for (int32_t c = 0; c < w; ++c) {
+            block.Set(r, c, rng.NextDouble());
+          }
+        }
+      } else {
+        block = MatrixBlockWritable::Sparse(h, w);
+        int64_t target =
+            static_cast<int64_t>(sparsity * static_cast<double>(h) * w);
+        if (target <= 0) target = rng.NextBool(sparsity * h * w) ? 1 : 0;
+        for (int64_t k = 0; k < target; ++k) {
+          block.Append(
+              static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(h))),
+              static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(w))),
+              rng.NextDouble());
+        }
+        if (block.nnz() == 0) continue;
+      }
+      PairIntWritable key(rb, cb);
+      M3R_RETURN_NOT_OK(
+          writers[static_cast<size_t>(rb % parts)]->Append(key, block));
+    }
+  }
+  for (auto& w : writers) M3R_RETURN_NOT_OK(w->Close());
+  return Status::OK();
+}
+
+Status WriteDenseMatrix(dfs::FileSystem& fs, const MatrixDescriptor& desc,
+                        const std::vector<double>& values, int parts) {
+  if (values.size() != static_cast<size_t>(desc.rows) * desc.cols) {
+    return Status::InvalidArgument("value count does not match dims");
+  }
+  std::vector<std::unique_ptr<api::SequenceFileWriter>> writers;
+  for (int q = 0; q < parts; ++q) {
+    dfs::CreateOptions opts;
+    opts.preferred_node = q;
+    auto w = fs.Create(PartPath(desc, q), opts);
+    if (!w.ok()) return w.status();
+    writers.push_back(std::make_unique<api::SequenceFileWriter>(
+        w.take(), PairIntWritable::kTypeName,
+        MatrixBlockWritable::kTypeName));
+  }
+  for (int32_t rb = 0; rb < desc.row_blocks(); ++rb) {
+    for (int32_t cb = 0; cb < desc.col_blocks(); ++cb) {
+      int32_t h = desc.BlockRows(rb);
+      int32_t w = desc.BlockCols(cb);
+      MatrixBlockWritable block = MatrixBlockWritable::Dense(h, w);
+      for (int32_t r = 0; r < h; ++r) {
+        for (int32_t c = 0; c < w; ++c) {
+          int64_t gr = static_cast<int64_t>(rb) * desc.block + r;
+          int64_t gc = static_cast<int64_t>(cb) * desc.block + c;
+          block.Set(r, c, values[static_cast<size_t>(gr * desc.cols + gc)]);
+        }
+      }
+      PairIntWritable key(rb, cb);
+      M3R_RETURN_NOT_OK(
+          writers[static_cast<size_t>(rb % parts)]->Append(key, block));
+    }
+  }
+  for (auto& w : writers) M3R_RETURN_NOT_OK(w->Close());
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads all (index, block) pairs of a matrix, falling back to the CacheFS
+/// record reader for cache-only (temporary) files.
+Result<std::vector<std::pair<PairIntWritable, MatrixBlockWritable>>>
+ReadAllBlocks(dfs::FileSystem& fs, const std::string& dir) {
+  std::vector<std::pair<PairIntWritable, MatrixBlockWritable>> out;
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       fs.ListStatus(dir));
+  auto* cache_fs = dynamic_cast<engine::CacheFS*>(&fs);
+  for (const auto& f : files) {
+    if (f.is_directory) continue;
+    std::string base = path::BaseName(f.path);
+    if (!base.empty() && (base[0] == '_' || base[0] == '.')) continue;
+    auto bytes = fs.Open(f.path);
+    if (bytes.ok() && !(*bytes)->empty()) {
+      M3R_ASSIGN_OR_RETURN(auto pairs, api::ReadSequenceFile(fs, f.path));
+      for (const auto& [k, v] : pairs) {
+        out.emplace_back(static_cast<const PairIntWritable&>(*k),
+                         static_cast<const MatrixBlockWritable&>(*v));
+      }
+      continue;
+    }
+    if (cache_fs == nullptr) {
+      if (f.length == 0) continue;
+      return Status::NotFound(f.path);
+    }
+    // Cache-only file: use the CacheFS extension (paper §4.2.4).
+    M3R_ASSIGN_OR_RETURN(std::unique_ptr<api::RecordReader> reader,
+                         cache_fs->GetCacheRecordReader(f.path));
+    for (;;) {
+      PairIntWritable k;
+      MatrixBlockWritable v;
+      if (!reader->Next(k, v)) break;
+      out.emplace_back(k, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ReadDenseMatrix(dfs::FileSystem& fs,
+                                            const MatrixDescriptor& desc) {
+  std::vector<double> out(static_cast<size_t>(desc.rows) * desc.cols, 0.0);
+  M3R_ASSIGN_OR_RETURN(auto blocks, ReadAllBlocks(fs, desc.path));
+  for (const auto& [key, raw_block] : blocks) {
+    MatrixBlockWritable block = raw_block.Densified();
+    int64_t r0 = static_cast<int64_t>(key.Row()) * desc.block;
+    int64_t c0 = static_cast<int64_t>(key.Col()) * desc.block;
+    for (int32_t r = 0; r < block.rows(); ++r) {
+      for (int32_t c = 0; c < block.cols(); ++c) {
+        out[static_cast<size_t>((r0 + r) * desc.cols + (c0 + c))] +=
+            block.Get(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+Result<double> ReadScalar(dfs::FileSystem& fs,
+                          const MatrixDescriptor& desc) {
+  M3R_ASSIGN_OR_RETURN(auto blocks, ReadAllBlocks(fs, desc.path));
+  double v = 0;
+  for (const auto& [key, block] : blocks) v += block.Sum();
+  return v;
+}
+
+}  // namespace m3r::sysml

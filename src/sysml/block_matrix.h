@@ -1,0 +1,59 @@
+#ifndef M3R_SYSML_BLOCK_MATRIX_H_
+#define M3R_SYSML_BLOCK_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dfs/file_system.h"
+#include "sysml/matrix_block.h"
+
+namespace m3r::sysml {
+
+/// A matrix stored as sequence files of (PairIntWritable block index,
+/// MatrixBlockWritable) pairs — SystemML's on-HDFS binary-block format.
+struct MatrixDescriptor {
+  std::string path;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int32_t block = 1000;
+
+  int32_t row_blocks() const {
+    return static_cast<int32_t>((rows + block - 1) / block);
+  }
+  int32_t col_blocks() const {
+    return static_cast<int32_t>((cols + block - 1) / block);
+  }
+  int32_t BlockRows(int32_t rb) const {
+    int64_t start = static_cast<int64_t>(rb) * block;
+    return static_cast<int32_t>(std::min<int64_t>(block, rows - start));
+  }
+  int32_t BlockCols(int32_t cb) const {
+    int64_t start = static_cast<int64_t>(cb) * block;
+    return static_cast<int32_t>(std::min<int64_t>(block, cols - start));
+  }
+};
+
+/// Writes a random matrix: sparse COO blocks when `sparsity` < 0.5, dense
+/// otherwise; `parts` part files, block (r,c) in part r%parts.
+Status WriteRandomMatrix(dfs::FileSystem& fs, const MatrixDescriptor& desc,
+                         double sparsity, uint64_t seed, int parts);
+
+/// Writes a fully-materialized row-major matrix (tests / small inputs).
+Status WriteDenseMatrix(dfs::FileSystem& fs, const MatrixDescriptor& desc,
+                        const std::vector<double>& values, int parts);
+
+/// Materializes the matrix into a row-major vector. Works for both
+/// DFS-resident and cache-only (temporary) matrices: when a part file has
+/// no bytes on the DFS, the blocks are fetched through the CacheFS
+/// extension interface (paper §4.2.4).
+Result<std::vector<double>> ReadDenseMatrix(dfs::FileSystem& fs,
+                                            const MatrixDescriptor& desc);
+
+/// Reads a 1x1 matrix (the result of a SumAll job) as a scalar.
+Result<double> ReadScalar(dfs::FileSystem& fs, const MatrixDescriptor& desc);
+
+}  // namespace m3r::sysml
+
+#endif  // M3R_SYSML_BLOCK_MATRIX_H_

@@ -1,0 +1,285 @@
+#include "sysml/jobs.h"
+
+#include "api/class_registry.h"
+#include "api/multiple_io.h"
+#include "api/sequence_file.h"
+
+namespace m3r::sysml {
+
+using serialize::PairIntWritable;
+
+void RmmLeftMapper::Configure(const api::JobConf& conf) {
+  right_col_blocks_ =
+      static_cast<int32_t>(conf.GetInt(sysml_conf::kRightColBlocks, 1));
+}
+
+void RmmLeftMapper::Map(const api::WritablePtr& key,
+                        const api::WritablePtr& value,
+                        api::OutputCollector& output, api::Reporter&) {
+  const auto& k = static_cast<const PairIntWritable&>(*key);
+  const auto& block = static_cast<const MatrixBlockWritable&>(*value);
+  for (int32_t j = 0; j < right_col_blocks_; ++j) {
+    output.Collect(std::make_shared<TripleIntWritable>(k.Row(), j, k.Col()),
+                   std::make_shared<TaggedMatrixWritable>(0, block));
+  }
+}
+
+void RmmRightMapper::Configure(const api::JobConf& conf) {
+  left_row_blocks_ =
+      static_cast<int32_t>(conf.GetInt(sysml_conf::kLeftRowBlocks, 1));
+}
+
+void RmmRightMapper::Map(const api::WritablePtr& key,
+                         const api::WritablePtr& value,
+                         api::OutputCollector& output, api::Reporter&) {
+  const auto& k = static_cast<const PairIntWritable&>(*key);
+  const auto& block = static_cast<const MatrixBlockWritable&>(*value);
+  for (int32_t i = 0; i < left_row_blocks_; ++i) {
+    output.Collect(std::make_shared<TripleIntWritable>(i, k.Col(), k.Row()),
+                   std::make_shared<TaggedMatrixWritable>(1, block));
+  }
+}
+
+void RmmMultiplyReducer::Reduce(const api::WritablePtr& key,
+                                api::ValuesIterator& values,
+                                api::OutputCollector& output,
+                                api::Reporter&) {
+  const auto& k = static_cast<const TripleIntWritable&>(*key);
+  const MatrixBlockWritable* left = nullptr;
+  const MatrixBlockWritable* right = nullptr;
+  std::vector<api::WritablePtr> held;
+  while (values.HasNext()) {
+    api::WritablePtr v = values.Next();
+    const auto& tagged = static_cast<const TaggedMatrixWritable&>(*v);
+    if (tagged.tag() == 0) {
+      left = &tagged.block();
+    } else {
+      right = &tagged.block();
+    }
+    held.push_back(std::move(v));
+  }
+  if (left == nullptr || right == nullptr) return;  // zero block
+  auto product =
+      std::make_shared<MatrixBlockWritable>(left->Multiply(*right));
+  output.Collect(std::make_shared<PairIntWritable>(k.i(), k.j()), product);
+}
+
+void BlockAddReducer::Reduce(const api::WritablePtr& key,
+                             api::ValuesIterator& values,
+                             api::OutputCollector& output, api::Reporter&) {
+  std::shared_ptr<MatrixBlockWritable> acc;
+  while (values.HasNext()) {
+    api::WritablePtr v = values.Next();  // keep the value alive while used
+    const auto& block = static_cast<const MatrixBlockWritable&>(*v);
+    if (acc == nullptr) {
+      acc = std::make_shared<MatrixBlockWritable>(block.Densified());
+    } else {
+      acc->AccumulateAdd(block);
+    }
+  }
+  if (acc != nullptr) output.Collect(key, acc);
+}
+
+void EWiseLeftMapper::Map(const api::WritablePtr& key,
+                          const api::WritablePtr& value,
+                          api::OutputCollector& output, api::Reporter&) {
+  output.Collect(key, std::make_shared<TaggedMatrixWritable>(
+                          0, static_cast<const MatrixBlockWritable&>(*value)));
+}
+
+void EWiseRightMapper::Map(const api::WritablePtr& key,
+                           const api::WritablePtr& value,
+                           api::OutputCollector& output, api::Reporter&) {
+  output.Collect(key, std::make_shared<TaggedMatrixWritable>(
+                          1, static_cast<const MatrixBlockWritable&>(*value)));
+}
+
+void EWiseReducer::Configure(const api::JobConf& conf) {
+  std::string op = conf.Get(sysml_conf::kEwiseOp, "*");
+  op_ = op.empty() ? '*' : op[0];
+}
+
+void EWiseReducer::Reduce(const api::WritablePtr& key,
+                          api::ValuesIterator& values,
+                          api::OutputCollector& output, api::Reporter&) {
+  const MatrixBlockWritable* left = nullptr;
+  const MatrixBlockWritable* right = nullptr;
+  std::vector<api::WritablePtr> held;
+  while (values.HasNext()) {
+    api::WritablePtr v = values.Next();
+    const auto& tagged = static_cast<const TaggedMatrixWritable&>(*v);
+    if (tagged.tag() == 0) {
+      left = &tagged.block();
+    } else {
+      right = &tagged.block();
+    }
+    held.push_back(std::move(v));
+  }
+  if (left == nullptr && right == nullptr) return;
+  MatrixBlockWritable result;
+  if (left != nullptr && right != nullptr) {
+    result = left->Elementwise(*right, op_);
+  } else if (left != nullptr) {
+    // Missing (all-zero) right operand.
+    MatrixBlockWritable zero =
+        MatrixBlockWritable::Dense(left->rows(), left->cols());
+    result = left->Elementwise(zero, op_);
+  } else {
+    MatrixBlockWritable zero =
+        MatrixBlockWritable::Dense(right->rows(), right->cols());
+    result = zero.Elementwise(*right, op_);
+  }
+  output.Collect(key, std::make_shared<MatrixBlockWritable>(std::move(result)));
+}
+
+void ScalarMapper::Configure(const api::JobConf& conf) {
+  mul_ = conf.GetDouble(sysml_conf::kScalarMul, 1);
+  add_ = conf.GetDouble(sysml_conf::kScalarAdd, 0);
+}
+
+void ScalarMapper::Map(const api::WritablePtr& key,
+                       const api::WritablePtr& value,
+                       api::OutputCollector& output, api::Reporter&) {
+  const auto& block = static_cast<const MatrixBlockWritable&>(*value);
+  output.Collect(key, std::make_shared<MatrixBlockWritable>(
+                          block.AffineMap(mul_, add_)));
+}
+
+void TransposeMapper::Map(const api::WritablePtr& key,
+                          const api::WritablePtr& value,
+                          api::OutputCollector& output, api::Reporter&) {
+  const auto& k = static_cast<const PairIntWritable&>(*key);
+  const auto& block = static_cast<const MatrixBlockWritable&>(*value);
+  output.Collect(std::make_shared<PairIntWritable>(k.Col(), k.Row()),
+                 std::make_shared<MatrixBlockWritable>(block.Transposed()));
+}
+
+void SumAllMapper::Map(const api::WritablePtr&, const api::WritablePtr& value,
+                       api::OutputCollector& output, api::Reporter&) {
+  const auto& block = static_cast<const MatrixBlockWritable&>(*value);
+  auto cell = std::make_shared<MatrixBlockWritable>(
+      MatrixBlockWritable::Dense(1, 1));
+  cell->Set(0, 0, block.Sum());
+  output.Collect(std::make_shared<PairIntWritable>(0, 0), cell);
+}
+
+namespace {
+
+void CommonOutput(api::JobConf* job, const std::string& out) {
+  job->SetOutputPath(out);
+  job->SetOutputFormatClass(api::SequenceFileOutputFormat::kClassName);
+  job->SetOutputKeyClass(PairIntWritable::kTypeName);
+  job->SetOutputValueClass(MatrixBlockWritable::kTypeName);
+}
+
+}  // namespace
+
+std::vector<api::JobConf> MakeMatMultJobs(const MatrixDescriptor& a,
+                                          const MatrixDescriptor& b,
+                                          const std::string& partial,
+                                          const std::string& out,
+                                          int num_reducers) {
+  std::vector<api::JobConf> jobs;
+
+  api::JobConf j1;
+  j1.SetJobName("sysml-rmm");
+  api::MultipleInputs::AddInputPath(&j1, a.path,
+                                    api::SequenceFileInputFormat::kClassName,
+                                    RmmLeftMapper::kClassName);
+  api::MultipleInputs::AddInputPath(&j1, b.path,
+                                    api::SequenceFileInputFormat::kClassName,
+                                    RmmRightMapper::kClassName);
+  CommonOutput(&j1, partial);
+  j1.SetReducerClass(RmmMultiplyReducer::kClassName);
+  j1.SetNumReduceTasks(num_reducers);
+  j1.SetMapOutputKeyClass(TripleIntWritable::kTypeName);
+  j1.SetMapOutputValueClass(TaggedMatrixWritable::kTypeName);
+  j1.SetInt(sysml_conf::kLeftRowBlocks, a.row_blocks());
+  j1.SetInt(sysml_conf::kRightColBlocks, b.col_blocks());
+  jobs.push_back(std::move(j1));
+
+  api::JobConf j2;
+  j2.SetJobName("sysml-rmm-agg");
+  j2.AddInputPath(partial);
+  j2.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  CommonOutput(&j2, out);
+  j2.SetMapperClass(api::mapred::IdentityMapper::kClassName);
+  j2.SetReducerClass(BlockAddReducer::kClassName);
+  j2.SetNumReduceTasks(num_reducers);
+  jobs.push_back(std::move(j2));
+  return jobs;
+}
+
+api::JobConf MakeEWiseJob(const MatrixDescriptor& a,
+                          const MatrixDescriptor& b, char op,
+                          const std::string& out, int num_reducers) {
+  api::JobConf job;
+  job.SetJobName(std::string("sysml-ewise-") + op);
+  api::MultipleInputs::AddInputPath(&job, a.path,
+                                    api::SequenceFileInputFormat::kClassName,
+                                    EWiseLeftMapper::kClassName);
+  api::MultipleInputs::AddInputPath(&job, b.path,
+                                    api::SequenceFileInputFormat::kClassName,
+                                    EWiseRightMapper::kClassName);
+  CommonOutput(&job, out);
+  job.SetReducerClass(EWiseReducer::kClassName);
+  job.SetNumReduceTasks(num_reducers);
+  job.SetMapOutputKeyClass(PairIntWritable::kTypeName);
+  job.SetMapOutputValueClass(TaggedMatrixWritable::kTypeName);
+  job.Set(sysml_conf::kEwiseOp, std::string(1, op));
+  return job;
+}
+
+api::JobConf MakeScalarJob(const MatrixDescriptor& a, double mul, double add,
+                           const std::string& out) {
+  api::JobConf job;
+  job.SetJobName("sysml-scalar");
+  job.AddInputPath(a.path);
+  job.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  CommonOutput(&job, out);
+  job.SetMapperClass(ScalarMapper::kClassName);
+  job.SetNumReduceTasks(0);
+  job.SetDouble(sysml_conf::kScalarMul, mul);
+  job.SetDouble(sysml_conf::kScalarAdd, add);
+  return job;
+}
+
+api::JobConf MakeTransposeJob(const MatrixDescriptor& a,
+                              const std::string& out) {
+  api::JobConf job;
+  job.SetJobName("sysml-transpose");
+  job.AddInputPath(a.path);
+  job.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  CommonOutput(&job, out);
+  job.SetMapperClass(TransposeMapper::kClassName);
+  job.SetNumReduceTasks(0);
+  return job;
+}
+
+api::JobConf MakeSumAllJob(const MatrixDescriptor& a,
+                           const std::string& out) {
+  api::JobConf job;
+  job.SetJobName("sysml-sumall");
+  job.AddInputPath(a.path);
+  job.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  CommonOutput(&job, out);
+  job.SetMapperClass(SumAllMapper::kClassName);
+  job.SetReducerClass(BlockAddReducer::kClassName);
+  job.SetNumReduceTasks(1);
+  return job;
+}
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, RmmLeftMapper, RmmLeftMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, RmmRightMapper, RmmRightMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Reducer, RmmMultiplyReducer,
+                      RmmMultiplyReducer)
+M3R_REGISTER_CLASS_AS(api::mapred::Reducer, BlockAddReducer, BlockAddReducer)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, EWiseLeftMapper, EWiseLeftMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, EWiseRightMapper,
+                      EWiseRightMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Reducer, EWiseReducer, EWiseReducer)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, ScalarMapper, ScalarMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, TransposeMapper, TransposeMapper)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, SumAllMapper, SumAllMapper)
+
+}  // namespace m3r::sysml

@@ -1,0 +1,149 @@
+#ifndef M3R_SYSML_JOBS_H_
+#define M3R_SYSML_JOBS_H_
+
+#include <string>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "sysml/block_matrix.h"
+
+namespace m3r::sysml {
+
+/// The MapReduce jobs the mini-SystemML "compiler" emits. Like the jobs
+/// the real SystemML compiler generates, none of them use the M3R API
+/// extensions: no ImmutableOutput (so M3R clones their output pairs), no
+/// PlacedSplit, no partition-stability-aware partitioners (paper §6.4).
+/// They still benefit transparently from the input/output cache.
+
+namespace sysml_conf {
+inline constexpr char kLeftRowBlocks[] = "sysml.left.row.blocks";
+inline constexpr char kRightColBlocks[] = "sysml.right.col.blocks";
+inline constexpr char kEwiseOp[] = "sysml.ewise.op";
+inline constexpr char kScalarMul[] = "sysml.scalar.mul";
+inline constexpr char kScalarAdd[] = "sysml.scalar.add";
+}  // namespace sysml_conf
+
+/// Replication-based matrix multiply (SystemML's RMM), job 1 of 2: left
+/// block (i,k) fans out to every j; right block (k,j) fans out to every i;
+/// the reducer multiplies the pair that meets at (i,j,k).
+class RmmLeftMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "RmmLeftMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  int32_t right_col_blocks_ = 1;
+};
+
+class RmmRightMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "RmmRightMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  int32_t left_row_blocks_ = 1;
+};
+
+class RmmMultiplyReducer : public api::mapred::Reducer {
+ public:
+  static constexpr const char* kClassName = "RmmMultiplyReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+};
+
+/// Sums blocks sharing a key (job 2 of the multiply; also SumAll).
+class BlockAddReducer : public api::mapred::Reducer {
+ public:
+  static constexpr const char* kClassName = "BlockAddReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+};
+
+/// Tags blocks for the elementwise join (left=0 / right=1).
+class EWiseLeftMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "EWiseLeftMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+class EWiseRightMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "EWiseRightMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+class EWiseReducer : public api::mapred::Reducer {
+ public:
+  static constexpr const char* kClassName = "EWiseReducer";
+  void Configure(const api::JobConf& conf) override;
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+
+ private:
+  char op_ = '*';
+};
+
+/// Map-only v' = v*mul + add.
+class ScalarMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "ScalarMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  double mul_ = 1;
+  double add_ = 0;
+};
+
+/// Map-only (i,j) -> (j,i), block transposed.
+class TransposeMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "TransposeMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+/// Every block's scalar sum keyed to (0,0); reduce adds.
+class SumAllMapper : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "SumAllMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+/// ------------------------------ job builders ---------------------------
+
+/// C = A * B as two jobs; `partial` is the intermediate (i,j,k) products
+/// path (name it temp-* so M3R keeps it off the DFS).
+std::vector<api::JobConf> MakeMatMultJobs(const MatrixDescriptor& a,
+                                          const MatrixDescriptor& b,
+                                          const std::string& partial,
+                                          const std::string& out,
+                                          int num_reducers);
+
+api::JobConf MakeEWiseJob(const MatrixDescriptor& a,
+                          const MatrixDescriptor& b, char op,
+                          const std::string& out, int num_reducers);
+
+api::JobConf MakeScalarJob(const MatrixDescriptor& a, double mul, double add,
+                           const std::string& out);
+
+api::JobConf MakeTransposeJob(const MatrixDescriptor& a,
+                              const std::string& out);
+
+api::JobConf MakeSumAllJob(const MatrixDescriptor& a, const std::string& out);
+
+}  // namespace m3r::sysml
+
+#endif  // M3R_SYSML_JOBS_H_

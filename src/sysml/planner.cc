@@ -1,0 +1,130 @@
+#include "sysml/planner.h"
+
+#include "common/logging.h"
+#include "sysml/jobs.h"
+
+namespace m3r::sysml {
+
+ExprPtr Expr::Var(MatrixDescriptor desc) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(desc);
+  return e;
+}
+
+ExprPtr Expr::MatMul(ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kMatMul;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+
+ExprPtr Expr::EWise(ExprPtr a, ExprPtr b, char op) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kEWise;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  e->ewise_op = op;
+  return e;
+}
+
+ExprPtr Expr::Scalar(ExprPtr a, double mul, double add) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kScalar;
+  e->left = std::move(a);
+  e->mul = mul;
+  e->add = add;
+  return e;
+}
+
+ExprPtr Expr::Transpose(ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kTranspose;
+  e->left = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::SumAll(ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kSumAll;
+  e->left = std::move(a);
+  return e;
+}
+
+std::string Planner::NextTemp() {
+  return temp_root_ + "/temp-" + std::to_string(counter_++);
+}
+
+MatrixDescriptor Planner::Plan(const ExprPtr& e,
+                               std::vector<api::JobConf>* jobs,
+                               const std::string& output_path) {
+  M3R_CHECK(e != nullptr);
+  switch (e->kind) {
+    case Expr::Kind::kVar: {
+      if (output_path.empty()) return e->var;
+      // Root-of-plan variable copy: a scalar identity job.
+      MatrixDescriptor out = e->var;
+      out.path = output_path;
+      jobs->push_back(MakeScalarJob(e->var, 1, 0, output_path));
+      return out;
+    }
+    case Expr::Kind::kMatMul: {
+      MatrixDescriptor a = Plan(e->left, jobs);
+      MatrixDescriptor b = Plan(e->right, jobs);
+      M3R_CHECK(a.cols == b.rows) << "matmul dim mismatch";
+      MatrixDescriptor out;
+      out.path = output_path.empty() ? NextTemp() : output_path;
+      out.rows = a.rows;
+      out.cols = b.cols;
+      out.block = a.block;
+      std::string partial = NextTemp();
+      for (auto& job : MakeMatMultJobs(a, b, partial, out.path,
+                                       num_reducers_)) {
+        jobs->push_back(std::move(job));
+      }
+      return out;
+    }
+    case Expr::Kind::kEWise: {
+      MatrixDescriptor a = Plan(e->left, jobs);
+      MatrixDescriptor b = Plan(e->right, jobs);
+      M3R_CHECK(a.rows == b.rows && a.cols == b.cols) << "ewise mismatch";
+      MatrixDescriptor out = a;
+      out.path = output_path.empty() ? NextTemp() : output_path;
+      jobs->push_back(
+          MakeEWiseJob(a, b, e->ewise_op, out.path, num_reducers_));
+      return out;
+    }
+    case Expr::Kind::kScalar: {
+      MatrixDescriptor a = Plan(e->left, jobs);
+      MatrixDescriptor out = a;
+      out.path = output_path.empty() ? NextTemp() : output_path;
+      jobs->push_back(MakeScalarJob(a, e->mul, e->add, out.path));
+      return out;
+    }
+    case Expr::Kind::kTranspose: {
+      MatrixDescriptor a = Plan(e->left, jobs);
+      MatrixDescriptor out;
+      out.path = output_path.empty() ? NextTemp() : output_path;
+      out.rows = a.cols;
+      out.cols = a.rows;
+      out.block = a.block;
+      jobs->push_back(MakeTransposeJob(a, out.path));
+      return out;
+    }
+    case Expr::Kind::kSumAll: {
+      MatrixDescriptor a = Plan(e->left, jobs);
+      MatrixDescriptor out;
+      out.path = output_path.empty() ? NextTemp() : output_path;
+      out.rows = 1;
+      out.cols = 1;
+      out.block = a.block;
+      jobs->push_back(MakeSumAllJob(a, out.path));
+      return out;
+    }
+  }
+  M3R_LOG(Fatal) << "unreachable";
+  return {};
+}
+
+}  // namespace m3r::sysml

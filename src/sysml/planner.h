@@ -1,0 +1,64 @@
+#ifndef M3R_SYSML_PLANNER_H_
+#define M3R_SYSML_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "sysml/block_matrix.h"
+
+namespace m3r::sysml {
+
+/// A node in the mini-SystemML expression DAG. The Planner lowers a DAG to
+/// the MapReduce job sequence the SystemML compiler would emit for it.
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kVar, kMatMul, kEWise, kScalar, kTranspose, kSumAll };
+
+  Kind kind = Kind::kVar;
+  MatrixDescriptor var;  // kVar only
+  ExprPtr left;
+  ExprPtr right;
+  char ewise_op = '*';
+  double mul = 1;  // kScalar: v*mul + add
+  double add = 0;
+
+  static ExprPtr Var(MatrixDescriptor desc);
+  static ExprPtr MatMul(ExprPtr a, ExprPtr b);
+  static ExprPtr EWise(ExprPtr a, ExprPtr b, char op);
+  static ExprPtr Scalar(ExprPtr a, double mul, double add);
+  static ExprPtr Transpose(ExprPtr a);
+  static ExprPtr SumAll(ExprPtr a);
+};
+
+/// Lowers expression DAGs to job sequences. Intermediates are written to
+/// "<temp_root>/temp-N": the temp- basename makes M3R treat them as
+/// temporary outputs (cached, never written to the DFS — paper §4.2.3),
+/// while the Hadoop engine materializes them to the DFS like any output.
+class Planner {
+ public:
+  Planner(std::string temp_root, int num_reducers)
+      : temp_root_(std::move(temp_root)), num_reducers_(num_reducers) {}
+
+  /// Appends the jobs computing `e` to `jobs` and returns the result
+  /// location/shape. If `output_path` is nonempty the final result lands
+  /// there (otherwise at a fresh temp path).
+  MatrixDescriptor Plan(const ExprPtr& e, std::vector<api::JobConf>* jobs,
+                        const std::string& output_path = "");
+
+  int jobs_emitted() const { return counter_; }
+
+ private:
+  std::string NextTemp();
+
+  std::string temp_root_;
+  int num_reducers_;
+  int counter_ = 0;
+};
+
+}  // namespace m3r::sysml
+
+#endif  // M3R_SYSML_PLANNER_H_

@@ -1,0 +1,137 @@
+#include "workloads/global_sort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "api/class_registry.h"
+#include "api/sequence_file.h"
+#include "common/path.h"
+#include "common/rng.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::workloads {
+
+using serialize::Text;
+
+namespace {
+
+std::string RandomKey(Rng& rng) {
+  std::string key(10, 'a');
+  for (auto& c : key) {
+    c = static_cast<char>('A' + rng.NextBelow(26));
+  }
+  return key;
+}
+
+}  // namespace
+
+void RangePartitioner::Configure(const api::JobConf& conf) {
+  boundaries_ = conf.GetStrings(sort_conf::kBoundaries);
+}
+
+int RangePartitioner::GetPartition(const api::Writable& key,
+                                   const api::Writable&,
+                                   int num_partitions) {
+  const std::string& k = static_cast<const Text&>(key).Get();
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), k);
+  int p = static_cast<int>(it - boundaries_.begin());
+  return std::min(p, num_partitions - 1);
+}
+
+Status GenerateSortInput(dfs::FileSystem& fs, const std::string& dir,
+                         int64_t num_records, int num_files, uint64_t seed) {
+  int64_t per_file = num_records / num_files;
+  for (int f = 0; f < num_files; ++f) {
+    Rng rng(seed * 104729 + f);
+    char name[32];
+    std::snprintf(name, sizeof(name), "input-%04d", f);
+    dfs::CreateOptions opts;
+    opts.preferred_node = f;
+    auto w = fs.Create(path::Join(dir, name), opts);
+    if (!w.ok()) return w.status();
+    api::SequenceFileWriter writer(w.take(), Text::kTypeName,
+                                   Text::kTypeName);
+    int64_t count = f == num_files - 1
+                        ? num_records - per_file * (num_files - 1)
+                        : per_file;
+    for (int64_t i = 0; i < count; ++i) {
+      Text key(RandomKey(rng));
+      Text value("payload-" + std::to_string(i));
+      M3R_RETURN_NOT_OK(writer.Append(key, value));
+    }
+    M3R_RETURN_NOT_OK(writer.Close());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SampleBoundaries(dfs::FileSystem& fs,
+                                                  const std::string& dir,
+                                                  int num_partitions,
+                                                  uint64_t seed) {
+  // Collect a sample of keys across all input files.
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       fs.ListStatus(dir));
+  std::vector<std::string> sample;
+  Rng rng(seed);
+  for (const auto& f : files) {
+    if (f.is_directory || f.length == 0) continue;
+    M3R_ASSIGN_OR_RETURN(auto pairs, api::ReadSequenceFile(fs, f.path));
+    for (const auto& [k, v] : pairs) {
+      if (rng.NextBool(0.1)) {
+        sample.push_back(static_cast<const Text&>(*k).Get());
+      }
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  std::vector<std::string> boundaries;
+  for (int p = 1; p < num_partitions; ++p) {
+    size_t idx = sample.size() * static_cast<size_t>(p) /
+                 static_cast<size_t>(num_partitions);
+    if (idx < sample.size()) boundaries.push_back(sample[idx]);
+  }
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+api::JobConf MakeGlobalSortJob(const std::string& input,
+                               const std::string& output,
+                               const std::vector<std::string>& boundaries) {
+  api::JobConf job;
+  job.SetJobName("global-sort");
+  job.AddInputPath(input);
+  job.SetOutputPath(output);
+  job.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  job.SetOutputFormatClass(api::SequenceFileOutputFormat::kClassName);
+  job.SetMapperClass(api::mapred::IdentityMapper::kClassName);
+  job.SetReducerClass(api::mapred::IdentityReducer::kClassName);
+  job.SetPartitionerClass(RangePartitioner::kClassName);
+  job.SetNumReduceTasks(static_cast<int>(boundaries.size()) + 1);
+  job.SetOutputKeyClass(Text::kTypeName);
+  job.SetOutputValueClass(Text::kTypeName);
+  job.SetStrings(sort_conf::kBoundaries, boundaries);
+  return job;
+}
+
+Result<std::vector<std::string>> ReadSortedKeys(dfs::FileSystem& fs,
+                                                const std::string& output) {
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       fs.ListStatus(output));
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
+  std::vector<std::string> keys;
+  for (const auto& f : files) {
+    if (f.is_directory || f.length == 0) continue;
+    if (path::BaseName(f.path).rfind("part-", 0) != 0) continue;
+    M3R_ASSIGN_OR_RETURN(auto pairs, api::ReadSequenceFile(fs, f.path));
+    for (const auto& [k, v] : pairs) {
+      keys.push_back(static_cast<const Text&>(*k).Get());
+    }
+  }
+  return keys;
+}
+
+M3R_REGISTER_CLASS_AS(api::Partitioner, RangePartitioner, RangePartitioner)
+
+}  // namespace m3r::workloads

@@ -1,0 +1,64 @@
+#ifndef M3R_WORKLOADS_GLOBAL_SORT_H_
+#define M3R_WORKLOADS_GLOBAL_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::workloads {
+
+/// TeraSort-style globally sorted output: a range partitioner sends key
+/// ranges to consecutive reducers, so concatenating part-00000..part-N
+/// yields one totally ordered sequence — the paper's "user-specified
+/// sorting ... comparators" and custom-partitioner surface exercised the
+/// way Hadoop users actually use it.
+
+namespace sort_conf {
+/// Comma-separated boundary keys (exclusive upper bounds per partition).
+inline constexpr char kBoundaries[] = "globalsort.boundaries";
+}  // namespace sort_conf
+
+/// Routes a Text key to the first partition whose boundary exceeds it
+/// (boundaries from the job configuration, as TeraSort ships its sampled
+/// partition file via the distributed cache).
+class RangePartitioner : public api::Partitioner {
+ public:
+  static constexpr const char* kClassName = "RangePartitioner";
+  void Configure(const api::JobConf& conf) override;
+  int GetPartition(const api::Writable& key, const api::Writable& value,
+                   int num_partitions) override;
+
+ private:
+  std::vector<std::string> boundaries_;
+};
+
+/// Writes `num_records` random (Text key, Text payload) records as
+/// `num_files` sequence files under `dir`.
+Status GenerateSortInput(dfs::FileSystem& fs, const std::string& dir,
+                         int64_t num_records, int num_files, uint64_t seed);
+
+/// Samples the input to pick `num_partitions - 1` boundary keys
+/// (TeraSort's partition sampling).
+Result<std::vector<std::string>> SampleBoundaries(dfs::FileSystem& fs,
+                                                  const std::string& dir,
+                                                  int num_partitions,
+                                                  uint64_t seed);
+
+/// Builds the sort job: identity map/reduce, RangePartitioner with the
+/// given boundaries, sequence-file output.
+api::JobConf MakeGlobalSortJob(const std::string& input,
+                               const std::string& output,
+                               const std::vector<std::string>& boundaries);
+
+/// Reads back the concatenated output keys in part order (for verifying
+/// total order).
+Result<std::vector<std::string>> ReadSortedKeys(dfs::FileSystem& fs,
+                                                const std::string& output);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_GLOBAL_SORT_H_

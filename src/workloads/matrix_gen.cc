@@ -1,0 +1,208 @@
+#include "workloads/matrix_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <tuple>
+
+#include "api/sequence_file.h"
+#include "common/path.h"
+#include "common/rng.h"
+#include "m3r/cache_fs.h"
+#include "serialize/basic_writables.h"
+#include "workloads/spmv.h"
+
+namespace m3r::workloads {
+
+using serialize::DoubleArrayWritable;
+using serialize::PairIntWritable;
+
+namespace {
+
+int32_t NumBlocks(int64_t n, int32_t block) {
+  return static_cast<int32_t>((n + block - 1) / block);
+}
+
+int32_t BlockDim(int64_t n, int32_t block, int32_t index) {
+  int64_t start = static_cast<int64_t>(index) * block;
+  int64_t len = std::min<int64_t>(block, n - start);
+  return static_cast<int32_t>(len);
+}
+
+/// Reads the (key, value) pairs of one sequence file, falling back to the
+/// CacheFS extension for cache-only (temporary M3R) files.
+Result<std::vector<std::pair<serialize::WritablePtr, serialize::WritablePtr>>>
+ReadPairsMaybeCached(dfs::FileSystem& fs, const std::string& path,
+                     const serialize::Writable& key_proto,
+                     const serialize::Writable& value_proto) {
+  auto bytes = fs.Open(path);
+  if (bytes.ok() && !(*bytes)->empty()) {
+    return api::ReadSequenceFile(fs, path);
+  }
+  auto* cache_fs = dynamic_cast<engine::CacheFS*>(&fs);
+  if (cache_fs == nullptr) {
+    if (bytes.ok()) {
+      return std::vector<
+          std::pair<serialize::WritablePtr, serialize::WritablePtr>>{};
+    }
+    return bytes.status();
+  }
+  M3R_ASSIGN_OR_RETURN(std::unique_ptr<api::RecordReader> reader,
+                       cache_fs->GetCacheRecordReader(path));
+  std::vector<std::pair<serialize::WritablePtr, serialize::WritablePtr>> out;
+  for (;;) {
+    serialize::WritablePtr k = key_proto.NewInstance();
+    serialize::WritablePtr v = value_proto.NewInstance();
+    if (!reader->Next(*k, *v)) break;
+    out.emplace_back(std::move(k), std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GenerateSpmvData(dfs::FileSystem& fs, const std::string& g_dir,
+                        const std::string& v_dir,
+                        const SpmvDataParams& p) {
+  int32_t nb = NumBlocks(p.n, p.block);
+  int parts = p.num_partitions;
+
+  auto preferred = [&](int partition) {
+    if (!p.hadoop_placement) return partition;
+    return static_cast<int>(
+        (static_cast<uint64_t>(partition) * 2654435761u + p.seed) % 997);
+  };
+
+  // --- G: one sequence file per partition, blocks (r, c) with r%parts ---
+  std::vector<std::unique_ptr<api::SequenceFileWriter>> g_writers;
+  for (int q = 0; q < parts; ++q) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05d", q);
+    dfs::CreateOptions opts;
+    opts.preferred_node = preferred(q);
+    auto w = fs.Create(path::Join(g_dir, name), opts);
+    if (!w.ok()) return w.status();
+    g_writers.push_back(std::make_unique<api::SequenceFileWriter>(
+        w.take(), PairIntWritable::kTypeName, CscBlockWritable::kTypeName));
+  }
+  for (int32_t r = 0; r < nb; ++r) {
+    for (int32_t c = 0; c < nb; ++c) {
+      Rng rng(p.seed ^ (static_cast<uint64_t>(r) << 32 | uint32_t(c)));
+      int32_t rows = BlockDim(p.n, p.block, r);
+      int32_t cols = BlockDim(p.n, p.block, c);
+      int64_t target_nnz = static_cast<int64_t>(
+          p.sparsity * static_cast<double>(rows) * cols);
+      if (target_nnz <= 0 && rng.NextBool(p.sparsity * rows * cols)) {
+        target_nnz = 1;
+      }
+      std::vector<std::tuple<int32_t, int32_t, double>> triplets;
+      triplets.reserve(static_cast<size_t>(target_nnz));
+      // Column-major generation (CSC construction requires it).
+      for (int64_t k = 0; k < target_nnz; ++k) {
+        int32_t col = static_cast<int32_t>(
+            rng.NextBelow(static_cast<uint64_t>(cols)));
+        int32_t row = static_cast<int32_t>(
+            rng.NextBelow(static_cast<uint64_t>(rows)));
+        triplets.emplace_back(row, col, rng.NextDouble() * 2 - 1);
+      }
+      std::sort(triplets.begin(), triplets.end(),
+                [](const auto& a, const auto& b) {
+                  if (std::get<1>(a) != std::get<1>(b)) {
+                    return std::get<1>(a) < std::get<1>(b);
+                  }
+                  return std::get<0>(a) < std::get<0>(b);
+                });
+      if (triplets.empty()) continue;  // all-zero blocks are not stored
+      CscBlockWritable csc =
+          CscBlockWritable::FromTriplets(rows, cols, triplets);
+      PairIntWritable key(r, c);
+      M3R_RETURN_NOT_OK(
+          g_writers[static_cast<size_t>(r % parts)]->Append(key, csc));
+    }
+  }
+  for (auto& w : g_writers) M3R_RETURN_NOT_OK(w->Close());
+
+  // --- V: blocks (c, 0), file part-(c%parts) ---
+  std::vector<std::unique_ptr<api::SequenceFileWriter>> v_writers;
+  for (int q = 0; q < parts; ++q) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05d", q);
+    dfs::CreateOptions opts;
+    opts.preferred_node = preferred(q);
+    auto w = fs.Create(path::Join(v_dir, name), opts);
+    if (!w.ok()) return w.status();
+    v_writers.push_back(std::make_unique<api::SequenceFileWriter>(
+        w.take(), PairIntWritable::kTypeName,
+        DoubleArrayWritable::kTypeName));
+  }
+  Rng vrng(p.seed * 1299709);
+  for (int32_t c = 0; c < nb; ++c) {
+    std::vector<double> chunk(static_cast<size_t>(BlockDim(p.n, p.block, c)));
+    for (auto& x : chunk) x = vrng.NextDouble();
+    PairIntWritable key(c, 0);
+    DoubleArrayWritable value(std::move(chunk));
+    M3R_RETURN_NOT_OK(
+        v_writers[static_cast<size_t>(c % parts)]->Append(key, value));
+  }
+  for (auto& w : v_writers) M3R_RETURN_NOT_OK(w->Close());
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReadDenseVector(dfs::FileSystem& fs,
+                                            const std::string& v_dir,
+                                            int64_t n, int32_t block) {
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       fs.ListStatus(v_dir));
+  for (const auto& f : files) {
+    if (f.is_directory || f.length == 0) continue;
+    std::string base = path::BaseName(f.path);
+    if (!base.empty() && (base[0] == '_' || base[0] == '.')) continue;
+    M3R_ASSIGN_OR_RETURN(
+        auto pairs, ReadPairsMaybeCached(fs, f.path, PairIntWritable(),
+                                         DoubleArrayWritable()));
+    for (const auto& [k, v] : pairs) {
+      const auto& key = static_cast<const PairIntWritable&>(*k);
+      const auto& val = static_cast<const DoubleArrayWritable&>(*v);
+      int64_t start = static_cast<int64_t>(key.Row()) * block;
+      for (size_t i = 0; i < val.Get().size(); ++i) {
+        out[static_cast<size_t>(start) + i] = val.Get()[i];
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> ReferenceMultiply(dfs::FileSystem& fs,
+                                              const std::string& g_dir,
+                                              const std::vector<double>& x,
+                                              int64_t n, int32_t block) {
+  std::vector<double> y(static_cast<size_t>(n), 0.0);
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> files,
+                       fs.ListStatus(g_dir));
+  for (const auto& f : files) {
+    if (f.is_directory || f.length == 0) continue;
+    std::string base = path::BaseName(f.path);
+    if (!base.empty() && (base[0] == '_' || base[0] == '.')) continue;
+    M3R_ASSIGN_OR_RETURN(
+        auto pairs, ReadPairsMaybeCached(fs, f.path, PairIntWritable(),
+                                         CscBlockWritable()));
+    for (const auto& [k, v] : pairs) {
+      const auto& key = static_cast<const PairIntWritable&>(*k);
+      const auto& csc = static_cast<const CscBlockWritable&>(*v);
+      int64_t row0 = static_cast<int64_t>(key.Row()) * block;
+      int64_t col0 = static_cast<int64_t>(key.Col()) * block;
+      std::vector<double> xloc(
+          x.begin() + static_cast<long>(col0),
+          x.begin() + static_cast<long>(col0) + csc.cols());
+      std::vector<double> yloc(static_cast<size_t>(csc.rows()), 0.0);
+      csc.MultiplyAccumulate(xloc, &yloc);
+      for (size_t i = 0; i < yloc.size(); ++i) {
+        y[static_cast<size_t>(row0) + i] += yloc[i];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace m3r::workloads

@@ -1,0 +1,48 @@
+#ifndef M3R_WORKLOADS_MATRIX_GEN_H_
+#define M3R_WORKLOADS_MATRIX_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::workloads {
+
+/// Parameters of the §6.2 data set: an n x n sparse matrix G blocked into
+/// `block`-square CSC blocks (paper uses 1000; benchmarks scale), and a
+/// dense vector V blocked into (block x 1) chunks keyed (c, 0).
+struct SpmvDataParams {
+  int64_t n = 4000;
+  int32_t block = 1000;
+  double sparsity = 0.001;
+  /// Number of part files (= generator reducers = benchmark partitions).
+  int num_partitions = 4;
+  uint64_t seed = 42;
+  /// True mimics generation by a Hadoop job (arbitrary partition->host
+  /// placement, needing the §6.1.1 repartitioning); false writes
+  /// partition-stable placement (the post-repartition state).
+  bool hadoop_placement = false;
+};
+
+/// Writes G under `g_dir` and V under `v_dir` as sequence files; block
+/// (r, c) of G goes to part-(r mod partitions) — the RowPartitioner layout.
+Status GenerateSpmvData(dfs::FileSystem& fs, const std::string& g_dir,
+                        const std::string& v_dir,
+                        const SpmvDataParams& params);
+
+/// Reassembles the dense vector stored under `v_dir` (blocks keyed (c,0)).
+Result<std::vector<double>> ReadDenseVector(dfs::FileSystem& fs,
+                                            const std::string& v_dir,
+                                            int64_t n, int32_t block);
+
+/// Reference y = G x computed locally from the stored G blocks.
+Result<std::vector<double>> ReferenceMultiply(dfs::FileSystem& fs,
+                                              const std::string& g_dir,
+                                              const std::vector<double>& x,
+                                              int64_t n, int32_t block);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_MATRIX_GEN_H_

@@ -1,0 +1,56 @@
+#include "workloads/micro_gen.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "api/sequence_file.h"
+#include "common/path.h"
+#include "common/rng.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::workloads {
+
+using serialize::BytesWritable;
+using serialize::LongWritable;
+
+Status GenerateMicroInput(dfs::FileSystem& fs, const std::string& dir,
+                          uint64_t num_pairs, uint64_t value_bytes,
+                          int num_partitions, uint64_t seed,
+                          bool hadoop_placement) {
+  Rng rng(seed);
+  // One writer per partition file, mirroring the generator job's reducers.
+  std::vector<std::unique_ptr<api::SequenceFileWriter>> writers;
+  for (int p = 0; p < num_partitions; ++p) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05d", p);
+    dfs::CreateOptions opts;
+    if (hadoop_placement) {
+      // Arbitrary host, as a real Hadoop run would produce.
+      opts.preferred_node =
+          static_cast<int>((static_cast<uint64_t>(p) * 2654435761u + seed) %
+                           1000000);
+    } else {
+      opts.preferred_node = p;  // partition-stable placement
+    }
+    auto writer_or = fs.Create(path::Join(dir, name), opts);
+    if (!writer_or.ok()) return writer_or.status();
+    writers.push_back(std::make_unique<api::SequenceFileWriter>(
+        writer_or.take(), LongWritable::kTypeName,
+        BytesWritable::kTypeName));
+  }
+  std::string payload(value_bytes, '\0');
+  for (uint64_t i = 0; i < num_pairs; ++i) {
+    for (auto& c : payload) {
+      c = static_cast<char>('a' + (rng.NextU64() & 15));
+    }
+    LongWritable key(static_cast<int64_t>(i));
+    BytesWritable value(payload);
+    int p = static_cast<int>(i % static_cast<uint64_t>(num_partitions));
+    M3R_RETURN_NOT_OK(writers[static_cast<size_t>(p)]->Append(key, value));
+  }
+  for (auto& w : writers) M3R_RETURN_NOT_OK(w->Close());
+  return Status::OK();
+}
+
+}  // namespace m3r::workloads

@@ -1,0 +1,65 @@
+#include "workloads/shuffle_micro.h"
+
+#include "api/class_registry.h"
+#include "api/sequence_file.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::workloads {
+
+using serialize::BytesWritable;
+using serialize::LongWritable;
+
+void MicroMapper::Configure(const api::JobConf& conf) {
+  remote_ratio_ = conf.GetDouble(micro_conf::kRemoteRatio, 0);
+  seed_ = static_cast<uint64_t>(conf.GetInt(micro_conf::kSeed, 1));
+  num_partitions_ = conf.NumReduceTasks();
+}
+
+void MicroMapper::Map(const api::WritablePtr& key,
+                      const api::WritablePtr& value,
+                      api::OutputCollector& output, api::Reporter&) {
+  int64_t k = static_cast<const LongWritable&>(*key).Get();
+  // Deterministic per-key coin weighted by the remote ratio.
+  uint64_t h = (static_cast<uint64_t>(k) + seed_) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (u < remote_ratio_) {
+    // Replace with a key that partitions to the adjacent host.
+    output.Collect(std::make_shared<LongWritable>(k + 1), value);
+  } else {
+    output.Collect(key, value);
+  }
+}
+
+int ModPartitioner::GetPartition(const api::Writable& key,
+                                 const api::Writable&, int num_partitions) {
+  int64_t k = static_cast<const LongWritable&>(key).Get();
+  int64_t p = k % num_partitions;
+  if (p < 0) p += num_partitions;
+  return static_cast<int>(p);
+}
+
+api::JobConf MakeMicroJob(const std::string& input, const std::string& output,
+                          int num_reducers, double remote_ratio,
+                          uint64_t seed) {
+  api::JobConf job;
+  job.SetJobName("shuffle-micro");
+  job.AddInputPath(input);
+  job.SetOutputPath(output);
+  job.SetInputFormatClass(api::SequenceFileInputFormat::kClassName);
+  job.SetOutputFormatClass(api::SequenceFileOutputFormat::kClassName);
+  job.SetMapperClass(MicroMapper::kClassName);
+  job.SetReducerClass(api::mapred::IdentityReducer::kClassName);
+  job.SetPartitionerClass(ModPartitioner::kClassName);
+  job.SetNumReduceTasks(num_reducers);
+  job.SetOutputKeyClass(LongWritable::kTypeName);
+  job.SetOutputValueClass(BytesWritable::kTypeName);
+  job.SetDouble(micro_conf::kRemoteRatio, remote_ratio);
+  job.SetInt(micro_conf::kSeed, static_cast<int64_t>(seed));
+  return job;
+}
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, MicroMapper, MicroMapper)
+M3R_REGISTER_CLASS_AS(api::Partitioner, ModPartitioner, ModPartitioner)
+
+}  // namespace m3r::workloads

@@ -1,0 +1,52 @@
+#ifndef M3R_WORKLOADS_SHUFFLE_MICRO_H_
+#define M3R_WORKLOADS_SHUFFLE_MICRO_H_
+
+#include <string>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+
+namespace m3r::workloads {
+
+/// The paper's §6.1 micro-benchmark: input pairs carry an ascending integer
+/// key and a fixed-size byte-array value. The mapper — which implements
+/// ImmutableOutput — randomly (weighted by micro.remote.ratio) emits each
+/// pair either with its key unchanged (stays local under partition
+/// stability) or with a key created during setup that partitions to an
+/// adjacent host (requiring serialization and network). The partitioner
+/// mods the key; the reducer is the identity reducer.
+namespace micro_conf {
+inline constexpr char kRemoteRatio[] = "micro.remote.ratio";
+inline constexpr char kSeed[] = "micro.seed";
+}  // namespace micro_conf
+
+class MicroMapper : public api::mapred::Mapper, public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "MicroMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  double remote_ratio_ = 0;
+  uint64_t seed_ = 1;
+  int num_partitions_ = 1;
+};
+
+/// Partitions a LongWritable key by key mod partitions.
+class ModPartitioner : public api::Partitioner {
+ public:
+  static constexpr const char* kClassName = "ModPartitioner";
+  int GetPartition(const api::Writable& key, const api::Writable& value,
+                   int num_partitions) override;
+};
+
+/// Builds one iteration job: SequenceFile in/out, MicroMapper, identity
+/// reducer, ModPartitioner.
+api::JobConf MakeMicroJob(const std::string& input, const std::string& output,
+                          int num_reducers, double remote_ratio,
+                          uint64_t seed);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_SHUFFLE_MICRO_H_

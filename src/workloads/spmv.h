@@ -1,0 +1,137 @@
+#ifndef M3R_WORKLOADS_SPMV_H_
+#define M3R_WORKLOADS_SPMV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::workloads {
+
+/// Compressed-sparse-column block of a sparse matrix (paper §6.2: "the
+/// value of such pairs is a compressed sparse column (CSC) representation
+/// of the sparse block"). Hand-optimized storage, ~10x more compact than
+/// the mini-SystemML COO blocks.
+class CscBlockWritable : public serialize::WritableBase<CscBlockWritable> {
+ public:
+  static constexpr const char* kTypeName = "CscBlockWritable";
+
+  CscBlockWritable() = default;
+  CscBlockWritable(int32_t rows, int32_t cols)
+      : rows_(rows), cols_(cols), col_ptr_(static_cast<size_t>(cols) + 1, 0) {}
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Builds from column-major sorted triplets (col-major order required).
+  static CscBlockWritable FromTriplets(
+      int32_t rows, int32_t cols,
+      const std::vector<std::tuple<int32_t, int32_t, double>>& triplets);
+
+  /// y += this * x   (x sized cols(), y sized rows()).
+  void MultiplyAccumulate(const std::vector<double>& x,
+                          std::vector<double>* y) const;
+
+  void Write(serialize::DataOutput& out) const override;
+  void ReadFields(serialize::DataInput& in) override;
+  std::string ToString() const override;
+  size_t SerializedSize() const override;
+
+  const std::vector<int32_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<int32_t>& row_idx() const { return row_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  // Always sized cols_+1 (a single 0 for an empty block).
+  std::vector<int32_t> col_ptr_{0};
+  std::vector<int32_t> row_idx_;
+  std::vector<double> values_;
+};
+
+/// §6.2's two-job iteration, G row-block partitioned, V broadcast:
+///
+/// Job 1 (scalar products), MultipleInputs:
+///  - G mapper passes each block ((r,c), CSC) through unchanged;
+///  - V mapper broadcasts each V block ((c,0), dense) to every row block:
+///    emits ((r,c), dense) for all r — the broadcast that X10
+///    de-duplication collapses to one copy per place (§3.2.2.3);
+///  - reducer at (r,c) multiplies the G block by its V block and emits
+///    ((r,c), partial dense result).
+/// Job 2 (summation): mapper rewrites (r,c) -> (r,0); reducer sums the
+/// partials into the new V block.
+///
+/// Both jobs use RowPartitioner (key.Row() mod partitions), so under
+/// partition stability G never moves and job 2 shuffles entirely locally.
+class GPassMapper : public api::mapred::Mapper, public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "GPassMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+class VBroadcastMapper : public api::mapred::Mapper,
+                         public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "VBroadcastMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  int32_t num_row_blocks_ = 0;
+};
+
+class MultiplyReducer : public api::mapred::Reducer,
+                        public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "MultiplyReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+};
+
+class SumKeyRewriteMapper : public api::mapred::Mapper,
+                            public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "SumKeyRewriteMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+};
+
+class SumReducer : public api::mapred::Reducer, public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "SumReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+};
+
+/// Partitions PairIntWritable keys by row index (paper: "the pairs are
+/// partitioned using the row index").
+class RowPartitioner : public api::Partitioner {
+ public:
+  static constexpr const char* kClassName = "RowPartitioner";
+  int GetPartition(const api::Writable& key, const api::Writable& value,
+                   int num_partitions) override;
+};
+
+namespace spmv_conf {
+inline constexpr char kNumRowBlocks[] = "spmv.num.row.blocks";
+}
+
+/// The two JobConfs of one iteration. `g_path` + `v_in` -> `partial` ->
+/// `v_out`. `partial` and (if `temp_output`) `v_out` are temporary paths.
+std::vector<api::JobConf> MakeSpmvIterationJobs(
+    const std::string& g_path, const std::string& v_in,
+    const std::string& partial, const std::string& v_out, int num_reducers,
+    int num_row_blocks);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_SPMV_H_

@@ -1,0 +1,71 @@
+#include "workloads/stopword_filter.h"
+
+#include "api/class_registry.h"
+#include "api/distributed_cache.h"
+#include "api/text_formats.h"
+#include "common/logging.h"
+#include "serialize/basic_writables.h"
+#include "workloads/wordcount.h"
+
+namespace m3r::workloads {
+
+using serialize::IntWritable;
+using serialize::Text;
+
+void StopwordFilterMapper::Configure(const api::JobConf& conf) {
+  stopwords_.clear();
+  std::string path = conf.Get(stopword_conf::kStopwordsPath);
+  auto content = api::DistributedCache::GetLocalFile(conf, path);
+  M3R_CHECK(content.has_value())
+      << "stopword list not localized: " << path;
+  std::string word;
+  for (char c : *content) {
+    if (c == '\n') {
+      if (!word.empty()) stopwords_.insert(word);
+      word.clear();
+    } else {
+      word.push_back(c);
+    }
+  }
+  if (!word.empty()) stopwords_.insert(word);
+}
+
+void StopwordFilterMapper::Map(const api::WritablePtr&,
+                               const api::WritablePtr& value,
+                               api::OutputCollector& output,
+                               api::Reporter& reporter) {
+  static const auto kOne = std::make_shared<IntWritable>(1);
+  const std::string& line = static_cast<const Text&>(*value).Get();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) {
+      std::string word = line.substr(pos, end - pos);
+      if (stopwords_.count(word)) {
+        reporter.IncrCounter("StopwordFilter", "DROPPED", 1);
+      } else {
+        output.Collect(std::make_shared<Text>(std::move(word)), kOne);
+      }
+    }
+    pos = end;
+  }
+}
+
+api::JobConf MakeStopwordCountJob(const std::string& input,
+                                  const std::string& output,
+                                  const std::string& stopwords_file,
+                                  int num_reducers) {
+  api::JobConf job = MakeWordCountJob(input, output, num_reducers, true);
+  job.SetJobName("stopword-count");
+  job.SetMapperClass(StopwordFilterMapper::kClassName);
+  job.Set(stopword_conf::kStopwordsPath, stopwords_file);
+  api::DistributedCache::AddCacheFile(stopwords_file, &job);
+  return job;
+}
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, StopwordFilterMapper,
+                      StopwordFilterMapper)
+
+}  // namespace m3r::workloads

@@ -1,0 +1,41 @@
+#ifndef M3R_WORKLOADS_STOPWORD_FILTER_H_
+#define M3R_WORKLOADS_STOPWORD_FILTER_H_
+
+#include <set>
+#include <string>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+
+namespace m3r::workloads {
+
+/// WordCount variant whose mapper drops words listed in a side file
+/// shipped through the DistributedCache — the canonical Hadoop idiom the
+/// paper's §5.3 "distributed cache" support exists for.
+namespace stopword_conf {
+/// DFS path of the newline-separated stopword list (also added as a cache
+/// file by MakeStopwordCountJob).
+inline constexpr char kStopwordsPath[] = "stopwords.path";
+}  // namespace stopword_conf
+
+class StopwordFilterMapper : public api::mapred::Mapper,
+                             public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "StopwordFilterMapper";
+  void Configure(const api::JobConf& conf) override;
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  std::set<std::string> stopwords_;
+};
+
+/// WordCount that ignores the words in `stopwords_file` (a DFS file).
+api::JobConf MakeStopwordCountJob(const std::string& input,
+                                  const std::string& output,
+                                  const std::string& stopwords_file,
+                                  int num_reducers);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_STOPWORD_FILTER_H_

@@ -1,0 +1,73 @@
+#include "workloads/text_gen.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/path.h"
+#include "common/rng.h"
+
+namespace m3r::workloads {
+
+namespace {
+
+/// Small vocabulary with skewed (rank-inverse) selection probability.
+const char* const kVocabulary[] = {
+    "the",    "of",     "and",     "to",       "data",    "map",
+    "reduce", "cluster", "memory",  "engine",   "hadoop",  "job",
+    "key",    "value",  "shuffle", "cache",    "place",   "x10",
+    "matrix", "vector", "sparse",  "dense",    "block",   "iteration",
+    "split",  "task",   "node",    "partition", "stable",  "performance"};
+constexpr int kVocabSize = 30;
+
+/// Number of distinct tail words; keeps the word-frequency distribution
+/// realistic so the combiner reduces but does not collapse the shuffle
+/// (a 30-word vocabulary would make WordCount's shuffle trivial).
+constexpr int kTailVocab = 20000;
+
+std::string PickWord(Rng& rng) {
+  // Half the tokens come from a Zipf-ish 30-word head, half from a skewed
+  // long tail of synthetic words.
+  if (rng.NextBool(0.5)) {
+    double u = rng.NextDouble();
+    double total = 0;
+    for (int r = 0; r < kVocabSize; ++r) total += 1.0 / (r + 1);
+    double acc = 0;
+    for (int r = 0; r < kVocabSize; ++r) {
+      acc += (1.0 / (r + 1)) / total;
+      if (u <= acc) return kVocabulary[r];
+    }
+    return kVocabulary[kVocabSize - 1];
+  }
+  double u = rng.NextDouble();
+  int idx = static_cast<int>(u * u * kTailVocab);  // mild rank skew
+  return "w" + std::to_string(idx);
+}
+
+}  // namespace
+
+Status GenerateText(dfs::FileSystem& fs, const std::string& dir,
+                    uint64_t total_bytes, int num_files, uint64_t seed) {
+  if (num_files <= 0) num_files = 1;
+  uint64_t per_file = total_bytes / num_files;
+  for (int f = 0; f < num_files; ++f) {
+    Rng rng(seed * 7919 + f);
+    std::string content;
+    content.reserve(per_file + 128);
+    while (content.size() < per_file) {
+      // ~10 words per line.
+      for (int w = 0; w < 10; ++w) {
+        if (w) content.push_back(' ');
+        content += PickWord(rng);
+      }
+      content.push_back('\n');
+    }
+    dfs::CreateOptions opts;
+    opts.preferred_node = f;  // spread first replicas across nodes
+    char name[32];
+    std::snprintf(name, sizeof(name), "text-%04d.txt", f);
+    M3R_RETURN_NOT_OK(fs.WriteFile(path::Join(dir, name), content, opts));
+  }
+  return Status::OK();
+}
+
+}  // namespace m3r::workloads

@@ -1,0 +1,20 @@
+#ifndef M3R_WORKLOADS_TEXT_GEN_H_
+#define M3R_WORKLOADS_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dfs/file_system.h"
+
+namespace m3r::workloads {
+
+/// Generates ~`total_bytes` of synthetic English-ish text under `dir`
+/// (`num_files` part files, Zipf-ish word frequencies so WordCount's
+/// combiner has realistic work), spreading first replicas across nodes.
+Status GenerateText(dfs::FileSystem& fs, const std::string& dir,
+                    uint64_t total_bytes, int num_files, uint64_t seed);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_TEXT_GEN_H_

@@ -1,0 +1,149 @@
+#include "workloads/wordcount.h"
+
+#include "api/class_registry.h"
+#include "api/text_formats.h"
+#include "serialize/basic_writables.h"
+
+namespace m3r::workloads {
+
+using serialize::IntWritable;
+using serialize::Text;
+
+WordCountMapperReuse::WordCountMapperReuse()
+    : one_(std::make_shared<IntWritable>(1)),
+      word_(std::make_shared<Text>()) {}
+
+void WordCountMapperReuse::Map(const api::WritablePtr&,
+                               const api::WritablePtr& value,
+                               api::OutputCollector& output,
+                               api::Reporter&) {
+  const std::string& line = static_cast<const Text&>(*value).Get();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) {
+      // Mutate-and-reuse, exactly like the Hadoop tutorial mapper.
+      static_cast<Text&>(*word_).Set(line.substr(pos, end - pos));
+      output.Collect(word_, one_);
+    }
+    pos = end;
+  }
+}
+
+WordCountMapperImmutable::WordCountMapperImmutable()
+    : one_(std::make_shared<IntWritable>(1)) {}
+
+void WordCountMapperImmutable::Map(const api::WritablePtr&,
+                                   const api::WritablePtr& value,
+                                   api::OutputCollector& output,
+                                   api::Reporter&) {
+  const std::string& line = static_cast<const Text&>(*value).Get();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) {
+      auto word = std::make_shared<Text>(line.substr(pos, end - pos));
+      output.Collect(word, one_);
+    }
+    pos = end;
+  }
+}
+
+void WordCountReducer::Reduce(const api::WritablePtr& key,
+                              api::ValuesIterator& values,
+                              api::OutputCollector& output,
+                              api::Reporter&) {
+  int64_t sum = 0;
+  while (values.HasNext()) {
+    sum += static_cast<const IntWritable&>(*values.Next()).Get();
+  }
+  output.Collect(key,
+                 std::make_shared<IntWritable>(static_cast<int32_t>(sum)));
+}
+
+void WordCountNewMapper::Map(const api::WritablePtr&,
+                             const api::WritablePtr& value,
+                             api::mapreduce::MapContext& context) {
+  static const auto kOne = std::make_shared<IntWritable>(1);
+  const std::string& line = static_cast<const Text&>(*value).Get();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > pos) {
+      context.Write(std::make_shared<Text>(line.substr(pos, end - pos)),
+                    kOne);
+    }
+    pos = end;
+  }
+}
+
+void WordCountNewReducer::Reduce(const api::WritablePtr& key,
+                                 api::ValuesIterator& values,
+                                 api::mapreduce::ReduceContext& context) {
+  int64_t sum = 0;
+  while (values.HasNext()) {
+    sum += static_cast<const IntWritable&>(*values.Next()).Get();
+  }
+  context.Write(key,
+                std::make_shared<IntWritable>(static_cast<int32_t>(sum)));
+}
+
+api::JobConf MakeWordCountJob(const std::string& input,
+                              const std::string& output, int num_reducers,
+                              bool immutable_output) {
+  api::JobConf job;
+  job.SetJobName(immutable_output ? "wordcount-immutable"
+                                  : "wordcount-reuse");
+  job.AddInputPath(input);
+  job.SetOutputPath(output);
+  job.SetInputFormatClass(api::TextInputFormat::kClassName);
+  job.SetOutputFormatClass(api::TextOutputFormat::kClassName);
+  job.SetMapperClass(immutable_output ? WordCountMapperImmutable::kClassName
+                                      : WordCountMapperReuse::kClassName);
+  job.SetCombinerClass(WordCountReducer::kClassName);
+  job.SetReducerClass(WordCountReducer::kClassName);
+  job.SetNumReduceTasks(num_reducers);
+  job.SetOutputKeyClass(Text::kTypeName);
+  job.SetOutputValueClass(IntWritable::kTypeName);
+  return job;
+}
+
+api::JobConf MakeMixedApiWordCountJob(const std::string& input,
+                                      const std::string& output,
+                                      int num_reducers, bool new_mapper,
+                                      bool new_combiner, bool new_reducer) {
+  api::JobConf job = MakeWordCountJob(input, output, num_reducers, true);
+  job.SetJobName("wordcount-mixed-api");
+  if (new_mapper) {
+    job.Unset(api::conf::kMapredMapper);
+    job.SetMapreduceMapperClass(WordCountNewMapper::kClassName);
+  }
+  if (new_combiner) {
+    job.Unset(api::conf::kMapredCombiner);
+    job.SetMapreduceCombinerClass(WordCountNewReducer::kClassName);
+  }
+  if (new_reducer) {
+    job.Unset(api::conf::kMapredReducer);
+    job.SetMapreduceReducerClass(WordCountNewReducer::kClassName);
+  }
+  return job;
+}
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, WordCountMapperReuse,
+                      WordCountMapperReuse)
+M3R_REGISTER_CLASS_AS(api::mapreduce::Mapper, WordCountNewMapper,
+                      WordCountNewMapper)
+M3R_REGISTER_CLASS_AS(api::mapreduce::Reducer, WordCountNewReducer,
+                      WordCountNewReducer)
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, WordCountMapperImmutable,
+                      WordCountMapperImmutable)
+M3R_REGISTER_CLASS_AS(api::mapred::Reducer, WordCountReducer,
+                      WordCountReducer)
+
+}  // namespace m3r::workloads

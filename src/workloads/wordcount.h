@@ -1,0 +1,89 @@
+#ifndef M3R_WORKLOADS_WORDCOUNT_H_
+#define M3R_WORKLOADS_WORDCOUNT_H_
+
+#include <string>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+
+namespace m3r::workloads {
+
+/// The paper's WordCount study (§6.3, Fig. 4/8) in both flavors.
+
+/// Figure 4 (left): the classic Hadoop mapper that allocates `word` and
+/// `one` once and mutates/reuses them across collect() calls. Correct under
+/// the HMR contract (output is serialized immediately), but it can NOT be
+/// marked ImmutableOutput, so M3R must clone every pair it emits.
+class WordCountMapperReuse : public api::mapred::Mapper {
+ public:
+  static constexpr const char* kClassName = "WordCountMapperReuse";
+  WordCountMapperReuse();
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  api::WritablePtr one_;
+  api::WritablePtr word_;
+};
+
+/// Figure 4 (right): allocates a fresh Text per token and promises
+/// ImmutableOutput, letting M3R shuffle aliases. Slightly more GC pressure
+/// under Hadoop for small inputs (visible in Fig. 8).
+class WordCountMapperImmutable : public api::mapred::Mapper,
+                                 public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "WordCountMapperImmutable";
+  WordCountMapperImmutable();
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override;
+
+ private:
+  api::WritablePtr one_;
+};
+
+/// Sums counts; allocates a fresh IntWritable per group and promises
+/// ImmutableOutput (safe on both engines; Hadoop ignores the marker).
+class WordCountReducer : public api::mapred::Reducer,
+                         public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "WordCountReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output,
+              api::Reporter& reporter) override;
+};
+
+/// New-style (mapreduce) API versions of the same job, for exercising the
+/// engines' support for "any combination of old (mapred) and new
+/// (mapreduce) style mapper, combiner, and reducer" (paper §5.3).
+class WordCountNewMapper : public api::mapreduce::Mapper,
+                           public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "WordCountNewMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::mapreduce::MapContext& context) override;
+};
+
+class WordCountNewReducer : public api::mapreduce::Reducer,
+                            public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "WordCountNewReducer";
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::mapreduce::ReduceContext& context) override;
+};
+
+/// Builds the WordCount job: TextInputFormat over `input`, the chosen
+/// mapper flavor, combiner = reducer, `num_reducers` reduce tasks, text
+/// output to `output`.
+api::JobConf MakeWordCountJob(const std::string& input,
+                              const std::string& output, int num_reducers,
+                              bool immutable_output);
+
+/// WordCount with any old/new API combination per role.
+api::JobConf MakeMixedApiWordCountJob(const std::string& input,
+                                      const std::string& output,
+                                      int num_reducers, bool new_mapper,
+                                      bool new_combiner, bool new_reducer);
+
+}  // namespace m3r::workloads
+
+#endif  // M3R_WORKLOADS_WORDCOUNT_H_

@@ -1,0 +1,23 @@
+#include "x10rt/channel.h"
+
+namespace m3r::x10rt {
+
+Channel::Wire Channel::Finish() {
+  Wire w;
+  w.objects = out_.objects_written();
+  w.objects_deduped = out_.objects_deduped();
+  w.bytes_saved = out_.bytes_saved();
+  w.bytes = out_.TakeBuffer();
+  return w;
+}
+
+std::vector<serialize::WritablePtr> Channel::Decode(const std::string& bytes) {
+  serialize::DedupInputStream in(bytes);
+  std::vector<serialize::WritablePtr> out;
+  while (!in.AtEnd()) {
+    out.push_back(in.ReadObject());
+  }
+  return out;
+}
+
+}  // namespace m3r::x10rt

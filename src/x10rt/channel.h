@@ -1,0 +1,49 @@
+#ifndef M3R_X10RT_CHANNEL_H_
+#define M3R_X10RT_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serialize/dedup.h"
+
+namespace m3r::x10rt {
+
+/// One logical `at (p)` transmission: objects serialized with the X10
+/// protocol's identity de-duplication, transmitted as a byte buffer, and
+/// reconstructed (with aliasing of repeats) at the destination.
+///
+/// M3R's remote shuffle builds one Channel per (source place, destination
+/// place) per job, which is exactly the granularity at which X10
+/// serialization de-duplicates (paper §3.2.2.3).
+class Channel {
+ public:
+  explicit Channel(serialize::DedupMode mode) : out_(mode) {}
+
+  void Send(const serialize::WritablePtr& obj) { out_.WriteObject(obj); }
+
+  /// Statistics and the wire buffer of a finished channel.
+  struct Wire {
+    std::string bytes;
+    uint64_t objects = 0;
+    uint64_t objects_deduped = 0;
+    uint64_t bytes_saved = 0;
+  };
+
+  /// Closes the channel and returns the wire form; the channel must not be
+  /// sent on afterwards.
+  Wire Finish();
+
+  uint64_t PendingObjects() const { return out_.objects_written(); }
+
+  /// Decodes a wire buffer back into objects; repeats come back as aliases
+  /// of one copy.
+  static std::vector<serialize::WritablePtr> Decode(const std::string& bytes);
+
+ private:
+  serialize::DedupOutputStream out_;
+};
+
+}  // namespace m3r::x10rt
+
+#endif  // M3R_X10RT_CHANNEL_H_

@@ -1,0 +1,26 @@
+#include "x10rt/team.h"
+
+#include "common/logging.h"
+
+namespace m3r::x10rt {
+
+Team::Team(int size) : size_(size) { M3R_CHECK(size > 0); }
+
+void Team::Barrier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t my_generation = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+uint64_t Team::Generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+}  // namespace m3r::x10rt

@@ -1,0 +1,39 @@
+#ifndef M3R_X10RT_TEAM_H_
+#define M3R_X10RT_TEAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace m3r::x10rt {
+
+/// Cyclic barrier modelled on X10's Team API (paper §5.1): "no reducer is
+/// allowed to run until globally all shuffle messages have been sent".
+///
+/// The M3R engine's bulk-synchronous phases use PlaceGroup::FinishForAll,
+/// which is itself a barrier; Team exists for code that keeps long-lived
+/// per-place activities and needs explicit synchronization points (and for
+/// tests of the coordination substrate). Callers must guarantee `size`
+/// concurrent participants or the barrier blocks, as with any barrier.
+class Team {
+ public:
+  explicit Team(int size);
+
+  /// Blocks until `size` participants have arrived, then releases all.
+  /// Reusable across rounds.
+  void Barrier();
+
+  /// Rounds completed so far.
+  uint64_t Generation() const;
+
+ private:
+  const int size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace m3r::x10rt
+
+#endif  // M3R_X10RT_TEAM_H_

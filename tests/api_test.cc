@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "api/class_registry.h"
+#include "api/distributed_cache.h"
+#include "api/engine.h"
+#include "api/input_format.h"
+#include "api/job_conf.h"
+#include "api/multiple_io.h"
+#include "api/output_format.h"
+#include "api/sequence_file.h"
+#include "api/task_runner.h"
+#include "api/text_formats.h"
+#include "dfs/local_fs.h"
+#include "dfs/sim_dfs.h"
+
+namespace m3r::api {
+namespace {
+
+using serialize::IntWritable;
+using serialize::LongWritable;
+using serialize::Text;
+
+TEST(ConfigurationTest, TypedAccessors) {
+  Configuration conf;
+  conf.SetInt("i", -42);
+  conf.SetDouble("d", 2.5);
+  conf.SetBool("b", true);
+  conf.SetStrings("s", {"a", "b", "c"});
+  EXPECT_EQ(conf.GetInt("i"), -42);
+  EXPECT_DOUBLE_EQ(conf.GetDouble("d"), 2.5);
+  EXPECT_TRUE(conf.GetBool("b"));
+  EXPECT_EQ(conf.GetStrings("s").size(), 3u);
+  EXPECT_EQ(conf.GetInt("missing", 9), 9);
+  conf.Unset("i");
+  EXPECT_FALSE(conf.Contains("i"));
+}
+
+TEST(JobConfTest, ApiSelection) {
+  JobConf job;
+  EXPECT_FALSE(job.HasMapper());
+  job.SetMapperClass("X");
+  EXPECT_TRUE(job.HasMapper());
+  EXPECT_FALSE(job.UsesNewApiMapper());
+  job.SetMapreduceMapperClass("Y");
+  EXPECT_TRUE(job.UsesNewApiMapper());
+  job.SetNumReduceTasks(0);
+  EXPECT_TRUE(job.IsMapOnly());
+}
+
+TEST(JobConfTest, MapOutputClassFallback) {
+  JobConf job;
+  job.SetOutputKeyClass("Text");
+  job.SetOutputValueClass("IntWritable");
+  EXPECT_EQ(job.MapOutputKeyClass(), "Text");
+  job.SetMapOutputKeyClass("LongWritable");
+  EXPECT_EQ(job.MapOutputKeyClass(), "LongWritable");
+  EXPECT_EQ(job.MapOutputValueClass(), "IntWritable");
+}
+
+TEST(CountersTest, IncrementMergeSnapshot) {
+  Counters a;
+  a.Increment("g", "n", 2);
+  a.Increment("g", "n", 3);
+  Counters b;
+  b.Increment("g", "n", 1);
+  b.MergeFrom(a);
+  EXPECT_EQ(b.Get("g", "n"), 6);
+  Counters c = b;  // copyable
+  EXPECT_EQ(c.Get("g", "n"), 6);
+}
+
+TEST(TextFormatsTest, SplitBoundariesRespectLines) {
+  auto fs = dfs::MakeLocalFs();
+  // Lines of varying length; total 60 bytes.
+  std::string text = "aaaa\nbbbbbbbb\ncc\nddddddddddddd\ne\nfff\n";
+  ASSERT_TRUE(fs->WriteFile("/t.txt", text).ok());
+
+  JobConf conf;
+  conf.AddInputPath("/t.txt");
+  TextInputFormat format;
+  // Force several small splits by hint.
+  auto splits = format.GetSplits(conf, *fs, 4);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_GE(splits->size(), 2u);
+
+  // Reading all splits must reproduce every line exactly once.
+  std::vector<std::string> lines;
+  for (const auto& split : *splits) {
+    auto reader = format.GetRecordReader(*split, conf, *fs);
+    ASSERT_TRUE(reader.ok());
+    auto key = (*reader)->CreateKey();
+    auto value = (*reader)->CreateValue();
+    while ((*reader)->Next(*key, *value)) {
+      lines.push_back(static_cast<Text&>(*value).Get());
+    }
+  }
+  std::vector<std::string> expected = {"aaaa", "bbbbbbbb",      "cc",
+                                       "ddddddddddddd", "e",    "fff"};
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(SequenceFileTest, RoundTrip) {
+  auto fs = dfs::MakeLocalFs();
+  {
+    auto w = fs->Create("/seq", {});
+    ASSERT_TRUE(w.ok());
+    SequenceFileWriter writer(w.take(), Text::kTypeName,
+                              IntWritable::kTypeName);
+    for (int i = 0; i < 100; ++i) {
+      Text k("key" + std::to_string(i));
+      IntWritable v(i);
+      ASSERT_TRUE(writer.Append(k, v).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto pairs = ReadSequenceFile(*fs, "/seq");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 100u);
+  EXPECT_EQ(static_cast<Text&>(*(*pairs)[7].first).Get(), "key7");
+  EXPECT_EQ(static_cast<IntWritable&>(*(*pairs)[99].second).Get(), 99);
+}
+
+TEST(FileInputFormatTest, SkipsBookkeepingFiles) {
+  auto fs = dfs::MakeSimDfs(2, 1024);
+  ASSERT_TRUE(fs->WriteFile("/in/part-00000", "data\n").ok());
+  ASSERT_TRUE(fs->WriteFile("/in/_SUCCESS", "").ok());
+  ASSERT_TRUE(fs->WriteFile("/in/.hidden", "x").ok());
+  JobConf conf;
+  conf.AddInputPath("/in");
+  TextInputFormat format;
+  auto splits = format.GetSplits(conf, *fs, 1);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 1u);
+}
+
+TEST(FileOutputCommitterTest, TaskAndJobCommitFlow) {
+  auto fs = dfs::MakeLocalFs();
+  JobConf conf;
+  conf.SetOutputPath("/out");
+  FileOutputCommitter committer;
+  ASSERT_TRUE(committer.SetupJob(conf, *fs).ok());
+  EXPECT_TRUE(fs->Exists("/out/_temporary"));
+
+  std::string temp = file_output::TempPath(conf, 3, 0);
+  ASSERT_TRUE(fs->WriteFile(temp, "result").ok());
+  ASSERT_TRUE(committer.CommitTask(conf, *fs, 3, 0).ok());
+  EXPECT_EQ(*fs->ReadFile("/out/part-00003"), "result");
+
+  // An aborted task's temp dir vanishes.
+  std::string temp2 = file_output::TempPath(conf, 4, 0);
+  ASSERT_TRUE(fs->WriteFile(temp2, "junk").ok());
+  ASSERT_TRUE(committer.AbortTask(conf, *fs, 4, 0).ok());
+  EXPECT_FALSE(fs->Exists("/out/part-00004"));
+
+  ASSERT_TRUE(committer.CommitJob(conf, *fs).ok());
+  EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+  EXPECT_FALSE(fs->Exists("/out/_temporary"));
+}
+
+TEST(MultipleInputsTest, TaggedSplitsRouteFormatsAndMappers) {
+  auto fs = dfs::MakeLocalFs();
+  ASSERT_TRUE(fs->WriteFile("/a/f", "line\n").ok());
+  ASSERT_TRUE(fs->WriteFile("/b/g", "other\n").ok());
+  JobConf conf;
+  MultipleInputs::AddInputPath(&conf, "/a", TextInputFormat::kClassName,
+                               mapred::IdentityMapper::kClassName);
+  MultipleInputs::AddInputPath(&conf, "/b", TextInputFormat::kClassName,
+                               "OtherMapper");
+  EXPECT_TRUE(MultipleInputs::IsConfigured(conf));
+  EXPECT_EQ(conf.Get(conf::kInputFormat),
+            DelegatingInputFormat::kClassName);
+
+  DelegatingInputFormat format;
+  auto splits = format.GetSplits(conf, *fs, 1);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 2u);
+
+  int other_count = 0;
+  for (const auto& split : *splits) {
+    const auto* tagged = dynamic_cast<const TaggedInputSplit*>(split.get());
+    ASSERT_NE(tagged, nullptr);
+    const InputSplit* base = nullptr;
+    JobConf task_conf = SpecializeConfForSplit(conf, *split, &base);
+    EXPECT_NE(base, split.get());  // unwrapped
+    if (task_conf.Get(conf::kMapredMapper) == "OtherMapper") ++other_count;
+    // Reading through the delegating format works.
+    auto reader = format.GetRecordReader(*split, conf, *fs);
+    ASSERT_TRUE(reader.ok());
+  }
+  EXPECT_EQ(other_count, 1);
+}
+
+TEST(DistributedCacheTest, AddAndLocalize) {
+  auto fs = dfs::MakeLocalFs();
+  ASSERT_TRUE(fs->WriteFile("/cache/model", "weights").ok());
+  JobConf conf;
+  DistributedCache::AddCacheFile("/cache/model", &conf);
+  DistributedCache::AddCacheFile("/cache/missing", &conf);
+  EXPECT_EQ(DistributedCache::GetCacheFiles(conf).size(), 2u);
+  EXPECT_FALSE(DistributedCache::Localize(conf, *fs).ok());  // missing file
+
+  JobConf conf2;
+  DistributedCache::AddCacheFile("/cache/model", &conf2);
+  auto localized = DistributedCache::Localize(conf2, *fs);
+  ASSERT_TRUE(localized.ok());
+  ASSERT_EQ(localized->size(), 1u);
+  EXPECT_EQ(*(*localized)[0].second, "weights");
+}
+
+// Key = (primary, secondary) pair serialized as two ints; grouping
+// comparator looks at the primary only (secondary-sort idiom).
+class FirstIntComparator : public serialize::RawComparator {
+ public:
+  static constexpr const char* kName = "FirstIntComparator";
+  int Compare(std::string_view a, std::string_view b) const override {
+    int c = a.substr(0, 4).compare(b.substr(0, 4));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  const char* Name() const override { return kName; }
+};
+
+TEST(TaskRunnerTest, SortAndGroupWithSecondarySortSemantics) {
+  static bool registered = [] {
+    serialize::ComparatorRegistry::Instance().Register(
+        FirstIntComparator::kName,
+        [] { return std::make_shared<const FirstIntComparator>(); });
+    return true;
+  }();
+  (void)registered;
+
+  JobConf conf;
+  conf.SetGroupingComparatorClass(FirstIntComparator::kName);
+
+  std::vector<KeyedPair> pairs;
+  auto add = [&](int primary, int secondary, int value) {
+    KeyedPair kp;
+    kp.key = std::make_shared<serialize::PairIntWritable>(primary, secondary);
+    kp.value = std::make_shared<IntWritable>(value);
+    kp.key_bytes = serialize::SerializeToString(*kp.key);
+    pairs.push_back(std::move(kp));
+  };
+  add(2, 1, 21);
+  add(1, 2, 12);
+  add(1, 1, 11);
+  add(2, 0, 20);
+  SortPairs(conf, &pairs);
+
+  SortedPairsGroupSource groups(conf, &pairs);
+  std::vector<std::vector<int>> seen;
+  while (groups.NextGroup()) {
+    seen.emplace_back();
+    auto& values = groups.Values();
+    while (values.HasNext()) {
+      seen.back().push_back(
+          static_cast<IntWritable&>(*values.Next()).Get());
+    }
+  }
+  // Two groups (primary 1 and 2), values ordered by secondary sort.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::vector<int>{11, 12}));
+  EXPECT_EQ(seen[1], (std::vector<int>{20, 21}));
+}
+
+class FakeEngine : public Engine {
+ public:
+  std::string Name() const override { return "fake"; }
+  JobResult Submit(const JobConf& conf) override {
+    JobResult r;
+    r.status = Status::OK();
+    NotifyJobEnd(conf, r);
+    return r;
+  }
+};
+
+TEST(EngineApiTest, NotificationsRecorded) {
+  FakeEngine engine;
+  JobConf job;
+  job.SetJobName("j1");
+  job.Set(conf::kJobEndNotificationUrl, "http://x/notify");
+  ASSERT_TRUE(engine.Submit(job).ok());
+  ASSERT_EQ(engine.Notifications().size(), 1u);
+  EXPECT_NE(engine.Notifications()[0].find("SUCCEEDED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3r::api

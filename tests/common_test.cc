@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/path.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace m3r {
+namespace {
+
+TEST(PathTest, Canonicalize) {
+  EXPECT_EQ(path::Canonicalize(""), "/");
+  EXPECT_EQ(path::Canonicalize("/"), "/");
+  EXPECT_EQ(path::Canonicalize("a/b"), "/a/b");
+  EXPECT_EQ(path::Canonicalize("/a//b/"), "/a/b");
+  EXPECT_EQ(path::Canonicalize("/a/./b"), "/a/b");
+  EXPECT_EQ(path::Canonicalize("/a/../b"), "/b");
+  EXPECT_EQ(path::Canonicalize("/../.."), "/");
+}
+
+TEST(PathTest, ParentAndBase) {
+  EXPECT_EQ(path::Parent("/a/b/c"), "/a/b");
+  EXPECT_EQ(path::Parent("/a"), "/");
+  EXPECT_EQ(path::Parent("/"), "/");
+  EXPECT_EQ(path::BaseName("/a/b/c"), "c");
+  EXPECT_EQ(path::BaseName("/"), "");
+}
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(path::Join("/a", "b/c"), "/a/b/c");
+  EXPECT_EQ(path::Join("/a/", "/b"), "/a/b");
+  EXPECT_EQ(path::Join("/", ""), "/");
+}
+
+TEST(PathTest, IsUnder) {
+  EXPECT_TRUE(path::IsUnder("/a/b", "/a"));
+  EXPECT_TRUE(path::IsUnder("/a", "/a"));
+  EXPECT_TRUE(path::IsUnder("/a", "/"));
+  EXPECT_FALSE(path::IsUnder("/ab", "/a"));
+  EXPECT_FALSE(path::IsUnder("/a", "/a/b"));
+}
+
+TEST(PathTest, LeastCommonAncestor) {
+  EXPECT_EQ(path::LeastCommonAncestor("/a/b/c", "/a/b/d"), "/a/b");
+  EXPECT_EQ(path::LeastCommonAncestor("/a", "/b"), "/");
+  EXPECT_EQ(path::LeastCommonAncestor("/a/b", "/a/b"), "/a/b");
+  EXPECT_EQ(path::LeastCommonAncestor("/a/b", "/a"), "/a");
+}
+
+TEST(PathTest, SegmentsRoundTrip) {
+  auto segs = path::Segments("/x/y/z");
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], "x");
+  EXPECT_EQ(segs[2], "z");
+  EXPECT_TRUE(path::Segments("/").empty());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status nf = Status::NotFound("x");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: x");
+}
+
+TEST(StatusTest, ResultCarriesValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::IOError("disk"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace m3r

@@ -1,0 +1,64 @@
+// End-to-end DistributedCache (paper §5.3): a side file shipped to every
+// task, on both engines, with identical filtering results.
+#include <gtest/gtest.h>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/stopword_filter.h"
+#include "workloads/text_gen.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+class DistributedCacheE2eTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DistributedCacheE2eTest, StopwordsShippedToEveryMapper) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 4, 21).ok());
+  // "the" and "of" are the two most frequent head words in the generator.
+  ASSERT_TRUE(fs->WriteFile("/aux/stopwords", "the\nof\n").ok());
+
+  std::unique_ptr<api::Engine> engine;
+  if (GetParam()) {
+    engine = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{SmallCluster()});
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+  }
+  auto result = engine->Submit(
+      workloads::MakeStopwordCountJob("/in", "/out", "/aux/stopwords", 3));
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  // Stopwords were dropped by every mapper...
+  EXPECT_GT(result.counters.Get("StopwordFilter", "DROPPED"), 0);
+  // ...and do not appear in the output.
+  auto files = fs->ListStatus("/out");
+  ASSERT_TRUE(files.ok());
+  for (const auto& f : *files) {
+    if (f.is_directory || f.path.find("part-") == std::string::npos) {
+      continue;
+    }
+    auto content = fs->ReadFile(f.path);
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(content->find("the\t"), std::string::npos);
+    EXPECT_EQ(content->find("of\t"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DistributedCacheE2eTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "M3R" : "Hadoop";
+                         });
+
+}  // namespace
+}  // namespace m3r

@@ -1,0 +1,108 @@
+// Failure handling: misconfigured or failing jobs must surface Status
+// errors (never crash or silently truncate), and must leave the file
+// system in a sane state. M3R, like the paper's engine, offers no
+// *resilience* — a failure fails the job — but it must fail cleanly.
+#include <gtest/gtest.h>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 2;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+class FailureTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    fs_ = dfs::MakeSimDfs(2, 16 * 1024);
+    ASSERT_TRUE(workloads::GenerateText(*fs_, "/in", 8 * 1024, 1, 3).ok());
+    if (GetParam()) {
+      m3r_ = std::make_unique<engine::M3REngine>(
+          fs_, engine::M3REngineOptions{SmallCluster()});
+      engine_ = m3r_.get();
+    } else {
+      hadoop_ = std::make_unique<hadoop::HadoopEngine>(
+          fs_, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+      engine_ = hadoop_.get();
+    }
+  }
+
+  std::shared_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<engine::M3REngine> m3r_;
+  std::unique_ptr<hadoop::HadoopEngine> hadoop_;
+  api::Engine* engine_ = nullptr;
+};
+
+TEST_P(FailureTest, MissingInputFailsCleanly) {
+  auto result = engine_->Submit(
+      workloads::MakeWordCountJob("/no/such/dir", "/out", 2, true));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status.IsNotFound()) << result.status.ToString();
+  // No partial output directory contents committed.
+  EXPECT_FALSE(fs_->Exists("/out/_SUCCESS"));
+}
+
+TEST_P(FailureTest, ExistingOutputFailsBeforeRunningAnything) {
+  ASSERT_TRUE(fs_->WriteFile("/out/part-00000", "old").ok());
+  auto result = engine_->Submit(
+      workloads::MakeWordCountJob("/in", "/out", 2, true));
+  EXPECT_TRUE(result.status.IsAlreadyExists());
+  // The pre-existing data is untouched.
+  EXPECT_EQ(*fs_->ReadFile("/out/part-00000"), "old");
+}
+
+TEST_P(FailureTest, MissingMapperClassIsAnError) {
+  api::JobConf job;
+  job.AddInputPath("/in");
+  job.SetOutputPath("/out2");
+  job.SetReducerClass(workloads::WordCountReducer::kClassName);
+  job.SetNumReduceTasks(1);
+  job.SetOutputKeyClass(serialize::Text::kTypeName);
+  job.SetOutputValueClass(serialize::IntWritable::kTypeName);
+  auto result = engine_->Submit(job);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument)
+      << result.status.ToString();
+}
+
+TEST_P(FailureTest, FailedJobDoesNotPoisonSubsequentJobs) {
+  auto bad = engine_->Submit(
+      workloads::MakeWordCountJob("/missing", "/o1", 2, true));
+  EXPECT_FALSE(bad.ok());
+  auto good =
+      engine_->Submit(workloads::MakeWordCountJob("/in", "/o2", 2, true));
+  EXPECT_TRUE(good.ok()) << good.status.ToString();
+  EXPECT_TRUE(fs_->Exists("/o2/_SUCCESS"));
+}
+
+TEST_P(FailureTest, NotificationSentOnFailureToo) {
+  api::JobConf job = workloads::MakeWordCountJob("/missing", "/o3", 1, true);
+  job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  auto result = engine_->Submit(job);
+  EXPECT_FALSE(result.ok());
+  // Our engines notify only on completed submissions that reach the end of
+  // Submit; early validation failures do not ping. A successful job does.
+  api::JobConf ok_job = workloads::MakeWordCountJob("/in", "/o4", 1, true);
+  ok_job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  ASSERT_TRUE(engine_->Submit(ok_job).ok());
+  ASSERT_EQ(engine_->Notifications().size(), 1u);
+  EXPECT_NE(engine_->Notifications()[0].find("SUCCEEDED"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FailureTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "M3R" : "Hadoop";
+                         });
+
+}  // namespace
+}  // namespace m3r

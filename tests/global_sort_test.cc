@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/global_sort.h"
+
+namespace m3r::workloads {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+TEST(RangePartitionerTest, RoutesByBoundaries) {
+  api::JobConf conf;
+  conf.SetStrings(sort_conf::kBoundaries, {"h", "p"});
+  RangePartitioner partitioner;
+  partitioner.Configure(conf);
+  serialize::Text low("abc");
+  serialize::Text mid("m");
+  serialize::Text high("zzz");
+  // Boundaries are exclusive upper bounds: a key equal to boundary i
+  // belongs to partition i+1.
+  serialize::Text boundary("h");
+  serialize::NullWritable null;
+  EXPECT_EQ(partitioner.GetPartition(low, null, 3), 0);
+  EXPECT_EQ(partitioner.GetPartition(mid, null, 3), 1);
+  EXPECT_EQ(partitioner.GetPartition(high, null, 3), 2);
+  EXPECT_EQ(partitioner.GetPartition(boundary, null, 3), 1);
+}
+
+class GlobalSortTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GlobalSortTest, OutputIsTotallyOrdered) {
+  bool use_m3r = GetParam();
+  auto fs = dfs::MakeSimDfs(4, 64 * 1024);
+  ASSERT_TRUE(GenerateSortInput(*fs, "/sort/in", 3000, 4, 77).ok());
+  auto boundaries = SampleBoundaries(*fs, "/sort/in", 4, 99);
+  ASSERT_TRUE(boundaries.ok());
+  ASSERT_GE(boundaries->size(), 2u);
+
+  std::unique_ptr<api::Engine> engine;
+  if (use_m3r) {
+    engine = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{SmallCluster()});
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+  }
+  auto job = MakeGlobalSortJob("/sort/in", "/sort/out", *boundaries);
+  auto result = engine->Submit(job);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  auto keys = ReadSortedKeys(*fs, "/sort/out");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 3000u);
+  // Concatenation of part files in order is globally sorted.
+  EXPECT_TRUE(std::is_sorted(keys->begin(), keys->end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, GlobalSortTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "M3R" : "Hadoop";
+                         });
+
+}  // namespace
+}  // namespace m3r::workloads

@@ -1,0 +1,106 @@
+// JobControl: dependency-DAG pipelines over either engine — the driver
+// shape behind the paper's multi-job sequences (§3: "the client must
+// submit two MR jobs (for each iteration), using the output of the first
+// as an input to the second").
+#include <gtest/gtest.h>
+
+#include "dfs/local_fs.h"
+#include "api/job_control.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r::api {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+/// First-stage WordCount writing a *sequence file* so downstream jobs see
+/// identically typed (Text, IntWritable) pairs on both engines. (Under
+/// M3R, a cache hit serves the original typed pairs and bypasses the input
+/// format entirely — §3.2.1 — so chained jobs must agree on types.)
+JobConf MakeStage1Job(const std::string& input, const std::string& output) {
+  JobConf job = workloads::MakeWordCountJob(input, output, 2, true);
+  job.SetOutputFormatClass("SequenceFileOutputFormat");
+  return job;
+}
+
+/// Second-stage job: re-aggregates the (word, count) pairs.
+JobConf MakeRecountJob(const std::string& input, const std::string& output) {
+  JobConf job = workloads::MakeWordCountJob(input, output, 2, true);
+  job.SetJobName("recount");
+  job.SetInputFormatClass("SequenceFileInputFormat");
+  job.SetOutputFormatClass("SequenceFileOutputFormat");
+  job.SetMapperClass(api::mapred::IdentityMapper::kClassName);
+  return job;
+}
+
+TEST(JobControlTest, PipelineRunsInDependencyOrder) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 32 * 1024, 2, 3).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  JobControl control(&engine);
+
+  int stage1 = control.AddJob(MakeStage1Job("/in", "/stage1"));
+  int stage2 = control.AddJob(MakeRecountJob("/stage1", "/stage2"),
+                              {stage1});
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(stage1), JobControl::State::kSucceeded);
+  EXPECT_EQ(summary.states.at(stage2), JobControl::State::kSucceeded);
+  EXPECT_TRUE(fs->Exists("/stage2/_SUCCESS"));
+  // Stage 2 consumed stage 1's output from the M3R cache.
+  EXPECT_GT(summary.results.at(stage2).metrics.at("cache_hit_splits"), 0);
+}
+
+TEST(JobControlTest, DependentsOfFailedJobsAreSkipped) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
+  hadoop::HadoopEngine engine(fs, {SmallCluster(), 0});
+  JobControl control(&engine);
+
+  int bad = control.AddJob(
+      workloads::MakeWordCountJob("/missing-input", "/b1", 1, true));
+  int dependent = control.AddJob(MakeRecountJob("/b1", "/b2"), {bad});
+  int independent = control.AddJob(
+      workloads::MakeWordCountJob("/in", "/ok", 1, true));
+
+  auto summary = control.Run();
+  EXPECT_FALSE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(bad), JobControl::State::kFailed);
+  EXPECT_EQ(summary.states.at(dependent), JobControl::State::kSkipped);
+  EXPECT_EQ(summary.states.at(independent),
+            JobControl::State::kSucceeded);
+  EXPECT_TRUE(fs->Exists("/ok/_SUCCESS"));
+  EXPECT_FALSE(fs->Exists("/b2"));
+}
+
+TEST(JobControlTest, DiamondDependencies) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  JobControl control(&engine);
+
+  int root = control.AddJob(MakeStage1Job("/in", "/root"));
+  int left = control.AddJob(MakeRecountJob("/root", "/left"), {root});
+  int right = control.AddJob(MakeRecountJob("/root", "/right"), {root});
+  int join = control.AddJob(
+      [&] {
+        JobConf job = MakeRecountJob("/left", "/join");
+        job.AddInputPath("/right");
+        return job;
+      }(),
+      {left, right});
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(join), JobControl::State::kSucceeded);
+}
+
+}  // namespace
+}  // namespace m3r::api

@@ -1,0 +1,102 @@
+// "The implementation supports any combination of old (mapred) and new
+// (mapreduce) style mapper, combiner, and reducer" (paper §5.3): all 8
+// combinations, on both engines, must produce the same output as the
+// all-old-API baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+std::vector<std::string> SortedOutput(dfs::FileSystem& fs,
+                                      const std::string& dir) {
+  std::vector<std::string> lines;
+  auto files = fs.ListStatus(dir);
+  EXPECT_TRUE(files.ok());
+  for (const auto& f : *files) {
+    if (f.is_directory || f.path.find("part-") == std::string::npos) {
+      continue;
+    }
+    auto content = fs.ReadFile(f.path);
+    EXPECT_TRUE(content.ok());
+    std::string cur;
+    for (char c : *content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Param: bit 0 = new mapper, bit 1 = new combiner, bit 2 = new reducer,
+/// bit 3 = run on M3R (else Hadoop).
+class MixedApiTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedApiTest, CombinationMatchesOldApiBaseline) {
+  int param = GetParam();
+  bool new_mapper = param & 1;
+  bool new_combiner = param & 2;
+  bool new_reducer = param & 4;
+  bool use_m3r = param & 8;
+
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 48 * 1024, 2, 11).ok());
+
+  std::unique_ptr<api::Engine> engine;
+  if (use_m3r) {
+    engine = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{SmallCluster()});
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+  }
+
+  // Baseline: all-old-API job.
+  auto baseline = engine->Submit(
+      workloads::MakeWordCountJob("/in", "/baseline", 3, true));
+  ASSERT_TRUE(baseline.ok()) << baseline.status.ToString();
+
+  auto mixed = engine->Submit(workloads::MakeMixedApiWordCountJob(
+      "/in", "/mixed", 3, new_mapper, new_combiner, new_reducer));
+  ASSERT_TRUE(mixed.ok()) << mixed.status.ToString();
+
+  EXPECT_EQ(SortedOutput(*fs, "/baseline"), SortedOutput(*fs, "/mixed"))
+      << "mapper=" << (new_mapper ? "new" : "old")
+      << " combiner=" << (new_combiner ? "new" : "old")
+      << " reducer=" << (new_reducer ? "new" : "old")
+      << " engine=" << engine->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, MixedApiTest,
+                         ::testing::Range(0, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           int p = info.param;
+                           std::string name;
+                           name += (p & 1) ? "NewMap" : "OldMap";
+                           name += (p & 2) ? "NewCmb" : "OldCmb";
+                           name += (p & 4) ? "NewRed" : "OldRed";
+                           name += (p & 8) ? "M3R" : "Hadoop";
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace m3r

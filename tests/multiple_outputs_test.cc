@@ -1,0 +1,135 @@
+// MultipleOutputs end-to-end on both engines, including M3R's cache
+// awareness for named outputs (paper §4.2.2).
+#include <gtest/gtest.h>
+
+#include "api/class_registry.h"
+#include "api/multiple_io.h"
+#include "api/text_formats.h"
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "serialize/basic_writables.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+using serialize::IntWritable;
+using serialize::Text;
+
+/// Counts words; additionally writes words longer than 5 characters to the
+/// named output "longwords".
+class SplittingReducer : public api::mapred::Reducer,
+                         public api::ImmutableOutput {
+ public:
+  static constexpr const char* kClassName = "SplittingReducer";
+
+  void Configure(const api::JobConf& conf) override {
+    outputs_ = std::make_unique<api::MultipleOutputs>(conf);
+  }
+
+  void Reduce(const api::WritablePtr& key, api::ValuesIterator& values,
+              api::OutputCollector& output, api::Reporter&) override {
+    int64_t sum = 0;
+    while (values.HasNext()) {
+      sum += static_cast<const IntWritable&>(*values.Next()).Get();
+    }
+    auto count = std::make_shared<IntWritable>(static_cast<int32_t>(sum));
+    output.Collect(key, count);
+    if (static_cast<const Text&>(*key).Get().size() > 5) {
+      M3R_CHECK_OK(outputs_->Write("longwords", key, count));
+    }
+  }
+
+  void Close() override { outputs_->Close(); }
+
+ private:
+  std::unique_ptr<api::MultipleOutputs> outputs_;
+};
+
+M3R_REGISTER_CLASS_AS(api::mapred::Reducer, SplittingReducer,
+                      SplittingReducer)
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+class MultipleOutputsTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MultipleOutputsTest, NamedOutputsWrittenAlongsideMain) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 48 * 1024, 2, 3).ok());
+
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 2, true);
+  job.SetReducerClass(SplittingReducer::kClassName);
+  api::MultipleOutputs::AddNamedOutput(&job, "longwords",
+                                       api::TextOutputFormat::kClassName);
+
+  std::unique_ptr<api::Engine> engine;
+  engine::M3REngine* m3r = nullptr;
+  if (GetParam()) {
+    auto e = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{SmallCluster()});
+    m3r = e.get();
+    engine = std::move(e);
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+  }
+  auto result = engine->Submit(job);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  // Main output and named outputs both exist on the DFS.
+  EXPECT_TRUE(fs->Exists("/out/part-00000"));
+  auto listing = fs->ListStatus("/out");
+  ASSERT_TRUE(listing.ok());
+  int named_files = 0;
+  uint64_t named_bytes = 0;
+  for (const auto& f : *listing) {
+    if (f.path.find("longwords-part-") != std::string::npos) {
+      ++named_files;
+      named_bytes += f.length;
+    }
+  }
+  EXPECT_GT(named_files, 0);
+  EXPECT_GT(named_bytes, 0u);
+
+  // Named output content holds only long words.
+  for (const auto& f : *listing) {
+    if (f.path.find("longwords-part-") == std::string::npos) continue;
+    auto content = fs->ReadFile(f.path);
+    ASSERT_TRUE(content.ok());
+    size_t pos = 0;
+    while (pos < content->size()) {
+      size_t tab = content->find('\t', pos);
+      ASSERT_NE(tab, std::string::npos);
+      EXPECT_GT(tab - pos, 5u) << content->substr(pos, tab - pos);
+      pos = content->find('\n', tab);
+      ASSERT_NE(pos, std::string::npos);
+      ++pos;
+    }
+  }
+
+  // M3R additionally caches named outputs (§4.2.2).
+  if (m3r != nullptr) {
+    bool cached_any = false;
+    for (int p = 0; p < 2; ++p) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/out/longwords-part-%05d", p);
+      cached_any = cached_any || m3r->cache().ContainsFile(name);
+    }
+    EXPECT_TRUE(cached_any);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, MultipleOutputsTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "M3R" : "Hadoop";
+                         });
+
+}  // namespace
+}  // namespace m3r

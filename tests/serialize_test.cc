@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "serialize/basic_writables.h"
+#include "serialize/comparators.h"
+#include "serialize/dedup.h"
+#include "serialize/io.h"
+#include "serialize/registry.h"
+
+namespace m3r::serialize {
+namespace {
+
+TEST(DataIoTest, PrimitivesRoundTrip) {
+  DataOutput out;
+  out.WriteByte(0xab);
+  out.WriteBool(true);
+  out.WriteU16(0x1234);
+  out.WriteI32(-5);
+  out.WriteI64(-1234567890123ll);
+  out.WriteFloat(1.5f);
+  out.WriteDouble(-2.25);
+  out.WriteVarU64(300);
+  out.WriteVarI64(-300);
+  out.WriteString("hello");
+
+  DataInput in(out.buffer());
+  EXPECT_EQ(in.ReadByte(), 0xab);
+  EXPECT_TRUE(in.ReadBool());
+  EXPECT_EQ(in.ReadU16(), 0x1234);
+  EXPECT_EQ(in.ReadI32(), -5);
+  EXPECT_EQ(in.ReadI64(), -1234567890123ll);
+  EXPECT_EQ(in.ReadFloat(), 1.5f);
+  EXPECT_EQ(in.ReadDouble(), -2.25);
+  EXPECT_EQ(in.ReadVarU64(), 300u);
+  EXPECT_EQ(in.ReadVarI64(), -300);
+  EXPECT_EQ(in.ReadString(), "hello");
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(DataIoTest, VarintBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     ~0ull, 1ull << 63}) {
+    DataOutput out;
+    out.WriteVarU64(v);
+    DataInput in(out.buffer());
+    EXPECT_EQ(in.ReadVarU64(), v);
+  }
+}
+
+TEST(WritableTest, IntOrderMatchesByteOrder) {
+  // The sign-flipped big-endian encoding must sort like the integers.
+  BytesComparator cmp;
+  for (int32_t a : {-100, -1, 0, 1, 99, 1 << 30, -(1 << 30)}) {
+    for (int32_t b : {-100, -1, 0, 1, 99, 1 << 30, -(1 << 30)}) {
+      IntWritable wa(a);
+      IntWritable wb(b);
+      int byte_cmp = cmp.Compare(SerializeToString(wa), SerializeToString(wb));
+      int num_cmp = a < b ? -1 : (a > b ? 1 : 0);
+      EXPECT_EQ(byte_cmp, num_cmp) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(WritableTest, RoundTripBasicTypes) {
+  Text t("hello world");
+  auto t2 = t.Clone();
+  EXPECT_EQ(t2->ToString(), "hello world");
+  EXPECT_TRUE(t.Equals(*t2));
+
+  DoubleArrayWritable arr({1.0, -2.5, 3.75});
+  auto arr2 = std::static_pointer_cast<DoubleArrayWritable>(arr.Clone());
+  EXPECT_EQ(arr2->Get(), arr.Get());
+
+  PairIntWritable p(3, -4);
+  auto p2 = std::static_pointer_cast<PairIntWritable>(p.Clone());
+  EXPECT_EQ(p2->Row(), 3);
+  EXPECT_EQ(p2->Col(), -4);
+}
+
+TEST(WritableTest, PairOrdering) {
+  PairIntWritable a(1, 2);
+  PairIntWritable b(1, 3);
+  PairIntWritable c(2, 0);
+  EXPECT_LT(a.CompareTo(b), 0);
+  EXPECT_LT(b.CompareTo(c), 0);
+  EXPECT_EQ(a.CompareTo(a), 0);
+  // Byte order agrees with CompareTo.
+  BytesComparator cmp;
+  EXPECT_LT(cmp.Compare(SerializeToString(a), SerializeToString(b)), 0);
+  EXPECT_LT(cmp.Compare(SerializeToString(b), SerializeToString(c)), 0);
+}
+
+TEST(RegistryTest, CreatesRegisteredTypes) {
+  auto& reg = WritableRegistry::Instance();
+  for (const char* name :
+       {"IntWritable", "LongWritable", "Text", "BytesWritable",
+        "DoubleWritable", "NullWritable", "DoubleArrayWritable",
+        "PairIntWritable", "GenericWritable"}) {
+    ASSERT_TRUE(reg.Contains(name)) << name;
+    auto w = reg.Create(name);
+    EXPECT_STREQ(w->TypeName(), name);
+  }
+}
+
+TEST(GenericWritableTest, WrapsAndRestoresDynamicType) {
+  GenericWritable g(std::make_shared<Text>("abc"));
+  std::string bytes = SerializeToString(g);
+  GenericWritable g2;
+  DeserializeFromString(bytes, &g2);
+  auto* inner = dynamic_cast<Text*>(g2.Get().get());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->Get(), "abc");
+}
+
+TEST(DedupTest, FullModeDeduplicatesRepeats) {
+  auto shared = std::make_shared<Text>("payload");
+  DedupOutputStream out(DedupMode::kFull);
+  out.WriteObject(shared);
+  out.WriteObject(std::make_shared<Text>("other"));
+  out.WriteObject(shared);
+  out.WriteObject(shared);
+  EXPECT_EQ(out.objects_written(), 4u);
+  EXPECT_EQ(out.objects_deduped(), 2u);
+  EXPECT_GT(out.bytes_saved(), 0u);
+
+  DedupInputStream in(out.TakeBuffer());
+  auto a = in.ReadObject();
+  auto b = in.ReadObject();
+  auto c = in.ReadObject();
+  auto d = in.ReadObject();
+  EXPECT_TRUE(in.AtEnd());
+  // Repeats come back as aliases of one copy (paper §3.2.2.3).
+  EXPECT_EQ(a.get(), c.get());
+  EXPECT_EQ(c.get(), d.get());
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->ToString(), "payload");
+  EXPECT_EQ(b->ToString(), "other");
+}
+
+TEST(DedupTest, OffModeNeverDeduplicates) {
+  auto shared = std::make_shared<Text>("x");
+  DedupOutputStream out(DedupMode::kOff);
+  out.WriteObject(shared);
+  out.WriteObject(shared);
+  EXPECT_EQ(out.objects_deduped(), 0u);
+  DedupInputStream in(out.TakeBuffer());
+  auto a = in.ReadObject();
+  auto b = in.ReadObject();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST(DedupTest, ConsecutiveModeSeesOnlyAPairWindow) {
+  auto shared = std::make_shared<Text>("x");
+  DedupOutputStream out(DedupMode::kConsecutive);
+  out.WriteObject(shared);
+  out.WriteObject(shared);  // deduped: within the look-back window
+  // Push five distinct objects through to evict `shared` from the window.
+  for (int i = 0; i < 5; ++i) {
+    out.WriteObject(std::make_shared<Text>("filler" + std::to_string(i)));
+  }
+  out.WriteObject(shared);  // NOT deduped: outside the window
+  EXPECT_EQ(out.objects_deduped(), 1u);
+
+  DedupInputStream in(out.TakeBuffer());
+  auto a = in.ReadObject();
+  auto b = in.ReadObject();
+  for (int i = 0; i < 5; ++i) in.ReadObject();
+  auto c = in.ReadObject();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->ToString(), "x");
+}
+
+TEST(DedupTest, ConsecutiveModeCatchesBroadcastPairIdiom) {
+  // The §6.3 idiom: a loop emits (fresh key, same value) pairs. On the
+  // wire that is k0,v,k1,v,... — the value repeats two objects apart and
+  // must still be de-duplicated.
+  auto value = std::make_shared<Text>(std::string(256, 'v'));
+  DedupOutputStream out(DedupMode::kConsecutive);
+  for (int i = 0; i < 8; ++i) {
+    out.WriteObject(std::make_shared<IntWritable>(i));
+    out.WriteObject(value);
+  }
+  EXPECT_EQ(out.objects_deduped(), 7u);
+}
+
+TEST(DedupTest, ControlVarintsInterleave) {
+  DedupOutputStream out(DedupMode::kFull);
+  out.WriteControl(7);
+  out.WriteObject(std::make_shared<IntWritable>(1));
+  out.WriteControl(9);
+  out.WriteObject(std::make_shared<IntWritable>(2));
+  DedupInputStream in(out.TakeBuffer());
+  EXPECT_EQ(in.ReadControl(), 7u);
+  EXPECT_EQ(static_cast<IntWritable&>(*in.ReadObject()).Get(), 1);
+  EXPECT_EQ(in.ReadControl(), 9u);
+  EXPECT_EQ(static_cast<IntWritable&>(*in.ReadObject()).Get(), 2);
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(ComparatorTest, RegistryAndDeserializing) {
+  auto& reg = ComparatorRegistry::Instance();
+  ASSERT_TRUE(reg.Contains(BytesComparator::kName));
+  auto cmp = reg.Create(BytesComparator::kName);
+  EXPECT_LT(cmp->Compare("a", "b"), 0);
+  EXPECT_EQ(cmp->Compare("a", "a"), 0);
+
+  DeserializingComparator dcmp("IntWritable");
+  IntWritable a(-5);
+  IntWritable b(3);
+  EXPECT_LT(dcmp.Compare(SerializeToString(a), SerializeToString(b)), 0);
+}
+
+}  // namespace
+}  // namespace m3r::serialize
+
+namespace m3r::serialize {
+namespace {
+
+/// Round-trip property over EVERY registered Writable type in the binary:
+/// default instance -> bytes -> fresh instance -> identical bytes.
+TEST(RegistryPropertyTest, AllRegisteredTypesRoundTripDefaults) {
+  auto names = WritableRegistry::Instance().Names();
+  ASSERT_GT(names.size(), 10u);
+  for (const std::string& name : names) {
+    if (name == "GenericWritable") continue;  // needs a payload to write
+    auto original = WritableRegistry::Instance().Create(name);
+    std::string bytes = SerializeToString(*original);
+    auto restored = WritableRegistry::Instance().Create(name);
+    DeserializeFromString(bytes, restored.get());
+    EXPECT_EQ(SerializeToString(*restored), bytes) << name;
+    EXPECT_STREQ(restored->TypeName(), name.c_str()) << name;
+    // Clone agrees with the serialize round-trip.
+    EXPECT_EQ(SerializeToString(*original->Clone()), bytes) << name;
+  }
+}
+
+}  // namespace
+}  // namespace m3r::serialize

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+
+namespace m3r::workloads {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+TEST(CscBlockTest, FromTripletsAndMultiply) {
+  // 3x3 block: (0,0)=1, (2,0)=2, (1,1)=3, (0,2)=4 (column-major order).
+  std::vector<std::tuple<int32_t, int32_t, double>> triplets = {
+      {0, 0, 1.0}, {2, 0, 2.0}, {1, 1, 3.0}, {0, 2, 4.0}};
+  CscBlockWritable block = CscBlockWritable::FromTriplets(3, 3, triplets);
+  EXPECT_EQ(block.nnz(), 4);
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3, 0.0);
+  block.MultiplyAccumulate(x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 4.0 * 3);
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 2);
+  EXPECT_DOUBLE_EQ(y[2], 2.0 * 1);
+}
+
+TEST(CscBlockTest, SerializationRoundTrip) {
+  std::vector<std::tuple<int32_t, int32_t, double>> triplets = {
+      {5, 0, -1.5}, {1, 3, 2.25}};
+  CscBlockWritable block = CscBlockWritable::FromTriplets(10, 7, triplets);
+  auto clone = std::static_pointer_cast<CscBlockWritable>(block.Clone());
+  EXPECT_EQ(clone->rows(), 10);
+  EXPECT_EQ(clone->cols(), 7);
+  EXPECT_EQ(clone->nnz(), 2);
+  EXPECT_EQ(clone->values(), block.values());
+  EXPECT_EQ(clone->row_idx(), block.row_idx());
+  EXPECT_EQ(clone->col_ptr(), block.col_ptr());
+}
+
+/// Runs `iterations` of V <- G*V on the given engine and checks against a
+/// locally computed reference.
+void RunIterationsAndVerify(api::Engine& engine, dfs::FileSystem& gen_fs,
+                            dfs::FileSystem& read_fs,
+                            const SpmvDataParams& params, int iterations) {
+  const int reducers = params.num_partitions;
+  int row_blocks = static_cast<int>((params.n + params.block - 1) /
+                                    params.block);
+  std::string v_in = "/spmv/v";
+  auto v_ref = ReadDenseVector(gen_fs, v_in, params.n, params.block);
+  ASSERT_TRUE(v_ref.ok());
+  std::vector<double> expected = v_ref.take();
+
+  for (int it = 0; it < iterations; ++it) {
+    std::string partial = "/spmv/temp-partial-" + std::to_string(it);
+    std::string v_out = "/spmv/temp-v" + std::to_string(it + 1);
+    auto jobs = MakeSpmvIterationJobs("/spmv/g", v_in, partial, v_out,
+                                      reducers, row_blocks);
+    for (const auto& job : jobs) {
+      auto result = engine.Submit(job);
+      ASSERT_TRUE(result.ok()) << result.status.ToString();
+    }
+    auto ref = ReferenceMultiply(gen_fs, "/spmv/g", expected, params.n,
+                                 params.block);
+    ASSERT_TRUE(ref.ok());
+    expected = ref.take();
+    v_in = v_out;
+  }
+
+  auto v_final = ReadDenseVector(read_fs, v_in, params.n, params.block);
+  ASSERT_TRUE(v_final.ok()) << v_final.status().ToString();
+  ASSERT_EQ(v_final->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*v_final)[i], expected[i], 1e-9 + std::fabs(expected[i]) *
+                                                       1e-9);
+  }
+}
+
+TEST(SpmvTest, HadoopIterationsMatchReference) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  SpmvDataParams params;
+  params.n = 600;
+  params.block = 200;
+  params.sparsity = 0.02;
+  params.num_partitions = 3;
+  ASSERT_TRUE(GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params).ok());
+  hadoop::HadoopEngine engine(fs, {SmallCluster(), 0});
+  RunIterationsAndVerify(engine, *fs, *fs, params, 2);
+}
+
+TEST(SpmvTest, M3RIterationsMatchReference) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  SpmvDataParams params;
+  params.n = 600;
+  params.block = 200;
+  params.sparsity = 0.02;
+  params.num_partitions = 3;
+  ASSERT_TRUE(GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  // Outputs are temp- paths: read back through the union FS view.
+  RunIterationsAndVerify(engine, *fs, *engine.Fs(), params, 2);
+}
+
+TEST(SpmvTest, M3RKeepsGLocalAndSecondJobShufflesNothing) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  SpmvDataParams params;
+  params.n = 800;
+  params.block = 100;  // 8 row blocks over 4 places: 2 partitions/place
+  params.sparsity = 0.02;
+  params.num_partitions = 8;
+  ASSERT_TRUE(GenerateSpmvData(*fs, "/spmv/g", "/spmv/v", params).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  int row_blocks = 8;
+  auto jobs = MakeSpmvIterationJobs("/spmv/g", "/spmv/v", "/spmv/temp-p0",
+                                    "/spmv/temp-v1", 8, row_blocks);
+  auto r1 = engine.Submit(jobs[0]);
+  ASSERT_TRUE(r1.ok()) << r1.status.ToString();
+  auto r2 = engine.Submit(jobs[1]);
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+
+  // Job 1: G blocks stay local (row partitioner + placement by row), only
+  // the broadcast V blocks travel.
+  EXPECT_GT(r1.metrics.at("shuffle_local_pairs"), 0);
+  // Job 2: partial sums are already at the right places — the shuffle is
+  // entirely local (paper §3.2.2.2).
+  EXPECT_EQ(r2.metrics.at("shuffle_remote_pairs"), 0);
+
+  // The V broadcast is de-duplicated: each V block crosses to each remote
+  // place once, not once per row-block (paper §3.2.2.3).
+  EXPECT_GT(r1.metrics.at("dedup_objects"), 0);
+}
+
+TEST(SpmvTest, EnginesProduceSameVector) {
+  SpmvDataParams params;
+  params.n = 400;
+  params.block = 100;
+  params.sparsity = 0.05;
+  params.num_partitions = 2;
+
+  auto fs_h = dfs::MakeSimDfs(4, 256 * 1024);
+  ASSERT_TRUE(GenerateSpmvData(*fs_h, "/spmv/g", "/spmv/v", params).ok());
+  hadoop::HadoopEngine hadoop_engine(fs_h, {SmallCluster(), 0});
+
+  auto fs_m = dfs::MakeSimDfs(4, 256 * 1024);
+  ASSERT_TRUE(GenerateSpmvData(*fs_m, "/spmv/g", "/spmv/v", params).ok());
+  engine::M3REngine m3r_engine(fs_m, {SmallCluster()});
+
+  int row_blocks = 4;
+  auto jobs = MakeSpmvIterationJobs("/spmv/g", "/spmv/v", "/spmv/temp-p",
+                                    "/spmv/temp-out", 2, row_blocks);
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(hadoop_engine.Submit(job).ok());
+    ASSERT_TRUE(m3r_engine.Submit(job).ok());
+  }
+  auto vh = ReadDenseVector(*fs_h, "/spmv/temp-out", params.n, params.block);
+  auto vm = ReadDenseVector(*m3r_engine.Fs(), "/spmv/temp-out", params.n,
+                            params.block);
+  ASSERT_TRUE(vh.ok());
+  ASSERT_TRUE(vm.ok());
+  for (size_t i = 0; i < vh->size(); ++i) {
+    EXPECT_NEAR((*vh)[i], (*vm)[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace m3r::workloads

@@ -1,0 +1,134 @@
+// Parameterized sweeps of the mini-SystemML compiler jobs over matrix
+// shapes and blocking factors, verified against local references — the
+// property being that blocking is invisible: any (dims, block) partition
+// of the computation produces the same matrix.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dfs/local_fs.h"
+#include "m3r/m3r_engine.h"
+#include "sysml/jobs.h"
+#include "sysml/planner.h"
+
+namespace m3r::sysml {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+std::vector<double> FillMatrix(int64_t rows, int64_t cols, int salt) {
+  std::vector<double> v(static_cast<size_t>(rows * cols));
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>((static_cast<int>(i) * 7 + salt) % 11) - 5;
+  }
+  return v;
+}
+
+std::vector<double> LocalMatMul(const std::vector<double>& a,
+                                const std::vector<double>& b, int64_t n,
+                                int64_t k, int64_t m) {
+  std::vector<double> c(static_cast<size_t>(n * m), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t x = 0; x < k; ++x) {
+      double av = a[static_cast<size_t>(i * k + x)];
+      if (av == 0) continue;
+      for (int64_t j = 0; j < m; ++j) {
+        c[static_cast<size_t>(i * m + j)] +=
+            av * b[static_cast<size_t>(x * m + j)];
+      }
+    }
+  }
+  return c;
+}
+
+/// (rows, inner, cols, block)
+using Shape = std::tuple<int, int, int, int>;
+
+class MatMulSweepTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MatMulSweepTest, BlockingIsInvisible) {
+  auto [n, k, m, block] = GetParam();
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  MatrixDescriptor a{"/A", n, k, block};
+  MatrixDescriptor b{"/B", k, m, block};
+  auto av = FillMatrix(n, k, 1);
+  auto bv = FillMatrix(k, m, 2);
+  ASSERT_TRUE(WriteDenseMatrix(*fs, a, av, 2).ok());
+  ASSERT_TRUE(WriteDenseMatrix(*fs, b, bv, 2).ok());
+
+  engine::M3REngine engine(fs, {SmallCluster()});
+  for (const auto& job : MakeMatMultJobs(a, b, "/temp-p", "/temp-c", 3)) {
+    auto r = engine.Submit(job);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+  MatrixDescriptor c{"/temp-c", n, m, block};
+  auto got = ReadDenseMatrix(*engine.Fs(), c);
+  ASSERT_TRUE(got.ok());
+  auto expected = LocalMatMul(av, bv, n, k, m);
+  ASSERT_EQ(got->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR((*got)[i], expected[i], 1e-9) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulSweepTest,
+    ::testing::Values(Shape{1, 1, 1, 1},      // degenerate
+                      Shape{5, 3, 4, 2},      // uneven tail blocks
+                      Shape{6, 6, 6, 3},      // exact tiling
+                      Shape{7, 2, 9, 4},      // skinny inner
+                      Shape{8, 8, 1, 3},      // vector result
+                      Shape{4, 4, 4, 16}),    // one oversized block
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "m" +
+             std::to_string(std::get<2>(info.param)) + "b" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class UnaryOpSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnaryOpSweepTest, TransposeScalarSumAgreeAcrossBlockings) {
+  int block = GetParam();
+  const int64_t n = 6, m = 5;
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  MatrixDescriptor a{"/A", n, m, block};
+  auto av = FillMatrix(n, m, 3);
+  ASSERT_TRUE(WriteDenseMatrix(*fs, a, av, 2).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+
+  ASSERT_TRUE(engine.Submit(MakeTransposeJob(a, "/temp-t")).ok());
+  auto t = ReadDenseMatrix(*engine.Fs(), {"/temp-t", m, n, block});
+  ASSERT_TRUE(t.ok());
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < m; ++c) {
+      ASSERT_EQ((*t)[static_cast<size_t>(c * n + r)],
+                av[static_cast<size_t>(r * m + c)]);
+    }
+  }
+
+  ASSERT_TRUE(engine.Submit(MakeScalarJob(a, -2, 3, "/temp-s")).ok());
+  auto s = ReadDenseMatrix(*engine.Fs(), {"/temp-s", n, m, block});
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ((*s)[i], av[i] * -2 + 3);
+  }
+
+  ASSERT_TRUE(engine.Submit(MakeSumAllJob(a, "/temp-sum")).ok());
+  auto total = ReadScalar(*engine.Fs(), {"/temp-sum", 1, 1, block});
+  ASSERT_TRUE(total.ok());
+  double expected = 0;
+  for (double v : av) expected += v;
+  EXPECT_NEAR(*total, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, UnaryOpSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+}  // namespace
+}  // namespace m3r::sysml

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "sysml/algorithms.h"
+#include "sysml/block_matrix.h"
+#include "sysml/jobs.h"
+#include "sysml/planner.h"
+
+namespace m3r::sysml {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+TEST(MatrixBlockTest, DenseOps) {
+  auto a = MatrixBlockWritable::Dense(2, 3);
+  a.Set(0, 0, 1);
+  a.Set(0, 2, 2);
+  a.Set(1, 1, 3);
+  auto b = MatrixBlockWritable::Dense(3, 2);
+  b.Set(0, 0, 1);
+  b.Set(1, 0, 2);
+  b.Set(2, 1, 4);
+  auto c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.Get(0, 0), 1);
+  EXPECT_DOUBLE_EQ(c.Get(0, 1), 8);
+  EXPECT_DOUBLE_EQ(c.Get(1, 0), 6);
+  EXPECT_DOUBLE_EQ(c.Get(1, 1), 0);
+
+  auto t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t.Get(2, 0), 2);
+  EXPECT_DOUBLE_EQ(a.Sum(), 6);
+
+  auto scaled = a.AffineMap(2, 1);
+  EXPECT_DOUBLE_EQ(scaled.Get(0, 0), 3);
+  EXPECT_DOUBLE_EQ(scaled.Get(1, 0), 1);
+}
+
+TEST(MatrixBlockTest, SparseOpsAndSerialization) {
+  auto s = MatrixBlockWritable::Sparse(3, 3);
+  s.Append(0, 1, 2.0);
+  s.Append(2, 2, -1.0);
+  EXPECT_EQ(s.nnz(), 2);
+  EXPECT_DOUBLE_EQ(s.Get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(s.Get(1, 1), 0.0);
+
+  auto clone = std::static_pointer_cast<MatrixBlockWritable>(s.Clone());
+  EXPECT_FALSE(clone->is_dense());
+  EXPECT_DOUBLE_EQ(clone->Get(2, 2), -1.0);
+
+  auto dense = MatrixBlockWritable::Dense(3, 3);
+  dense.Set(1, 1, 5);
+  dense.AccumulateAdd(s);
+  EXPECT_DOUBLE_EQ(dense.Get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dense.Get(1, 1), 5.0);
+
+  // Sparse-left multiply.
+  auto x = MatrixBlockWritable::Dense(3, 1);
+  x.Set(1, 0, 10);
+  x.Set(2, 0, 1);
+  auto y = s.Multiply(x);
+  EXPECT_DOUBLE_EQ(y.Get(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(y.Get(2, 0), -1.0);
+}
+
+TEST(MatrixBlockTest, CooWireFormatIsBulky) {
+  // The SystemML-style COO serialization is ~an order of magnitude less
+  // compact than dense packing would be for dense-ish data — the paper's
+  // §6.4 caveat, reproduced by construction.
+  auto s = MatrixBlockWritable::Sparse(100, 100);
+  for (int i = 0; i < 100; ++i) s.Append(i, i, 1.0);
+  EXPECT_GE(s.SerializedSize(), 100 * 16u);
+}
+
+TEST(TripleIntTest, OrderingAndHash) {
+  TripleIntWritable a(1, 2, 3);
+  TripleIntWritable b(1, 2, 4);
+  TripleIntWritable c(2, 0, 0);
+  EXPECT_LT(a.CompareTo(b), 0);
+  EXPECT_LT(b.CompareTo(c), 0);
+  EXPECT_NE(a.HashCode(), b.HashCode());
+  auto clone = std::static_pointer_cast<TripleIntWritable>(a.Clone());
+  EXPECT_EQ(clone->k(), 3);
+}
+
+TEST(BlockMatrixTest, WriteReadDense) {
+  auto fs = dfs::MakeLocalFs();
+  MatrixDescriptor desc{"/m", 5, 4, 2};
+  std::vector<double> values(20);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = double(i);
+  ASSERT_TRUE(WriteDenseMatrix(*fs, desc, values, 2).ok());
+  auto back = ReadDenseMatrix(*fs, desc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, values);
+}
+
+TEST(BlockMatrixTest, RandomSparseRoundTripPreservesNnz) {
+  auto fs = dfs::MakeLocalFs();
+  MatrixDescriptor desc{"/s", 200, 200, 50};
+  ASSERT_TRUE(WriteRandomMatrix(*fs, desc, 0.01, 7, 2).ok());
+  auto dense = ReadDenseMatrix(*fs, desc);
+  ASSERT_TRUE(dense.ok());
+  int64_t nnz = 0;
+  for (double v : *dense) {
+    if (v != 0) ++nnz;
+  }
+  // ~0.01 * 200 * 200 = 400, allow slack for collisions.
+  EXPECT_GT(nnz, 200);
+  EXPECT_LT(nnz, 600);
+}
+
+/// Local reference implementations for verifying job output.
+std::vector<double> LocalMatMul(const std::vector<double>& a,
+                                const std::vector<double>& b, int64_t n,
+                                int64_t k, int64_t m) {
+  std::vector<double> c(static_cast<size_t>(n * m), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t x = 0; x < k; ++x) {
+      double av = a[static_cast<size_t>(i * k + x)];
+      if (av == 0) continue;
+      for (int64_t j = 0; j < m; ++j) {
+        c[static_cast<size_t>(i * m + j)] +=
+            av * b[static_cast<size_t>(x * m + j)];
+      }
+    }
+  }
+  return c;
+}
+
+class SysmlJobsTest : public ::testing::TestWithParam<bool> {
+ protected:
+  /// Builds the engine named by the parameter (true => M3R).
+  void SetUp() override {
+    fs_ = dfs::MakeSimDfs(4, 256 * 1024);
+    if (GetParam()) {
+      m3r_ = std::make_unique<engine::M3REngine>(
+          fs_, engine::M3REngineOptions{SmallCluster()});
+      engine_ = m3r_.get();
+      read_fs_ = m3r_->Fs();
+    } else {
+      hadoop_ = std::make_unique<hadoop::HadoopEngine>(
+          fs_, hadoop::HadoopEngineOptions{SmallCluster(), 0});
+      engine_ = hadoop_.get();
+      read_fs_ = fs_;
+    }
+  }
+
+  std::shared_ptr<dfs::FileSystem> fs_;
+  std::shared_ptr<dfs::FileSystem> read_fs_;
+  std::unique_ptr<engine::M3REngine> m3r_;
+  std::unique_ptr<hadoop::HadoopEngine> hadoop_;
+  api::Engine* engine_ = nullptr;
+};
+
+TEST_P(SysmlJobsTest, MatMultMatchesLocalReference) {
+  MatrixDescriptor a{"/A", 6, 4, 2};
+  MatrixDescriptor b{"/B", 4, 5, 2};
+  std::vector<double> av(24), bv(20);
+  for (size_t i = 0; i < av.size(); ++i) av[i] = double(i % 7) - 3;
+  for (size_t i = 0; i < bv.size(); ++i) bv[i] = double(i % 5) - 2;
+  ASSERT_TRUE(WriteDenseMatrix(*fs_, a, av, 2).ok());
+  ASSERT_TRUE(WriteDenseMatrix(*fs_, b, bv, 2).ok());
+
+  auto jobs = MakeMatMultJobs(a, b, "/temp-part", "/temp-c", 3);
+  for (const auto& job : jobs) {
+    auto r = engine_->Submit(job);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+  }
+  MatrixDescriptor c{"/temp-c", 6, 5, 2};
+  auto got = ReadDenseMatrix(*read_fs_, c);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto expected = LocalMatMul(av, bv, 6, 4, 5);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*got)[i], expected[i], 1e-9) << "index " << i;
+  }
+}
+
+TEST_P(SysmlJobsTest, EWiseAndScalarAndTransposeAndSum) {
+  MatrixDescriptor a{"/A", 4, 4, 2};
+  MatrixDescriptor b{"/B", 4, 4, 2};
+  std::vector<double> av(16), bv(16);
+  for (size_t i = 0; i < 16; ++i) {
+    av[i] = double(i);
+    bv[i] = double(i) + 1;
+  }
+  ASSERT_TRUE(WriteDenseMatrix(*fs_, a, av, 2).ok());
+  ASSERT_TRUE(WriteDenseMatrix(*fs_, b, bv, 2).ok());
+
+  ASSERT_TRUE(engine_->Submit(MakeEWiseJob(a, b, '*', "/temp-m", 2)).ok());
+  MatrixDescriptor m{"/temp-m", 4, 4, 2};
+  auto got = ReadDenseMatrix(*read_fs_, m);
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR((*got)[i], av[i] * bv[i], 1e-9);
+
+  ASSERT_TRUE(engine_->Submit(MakeScalarJob(a, 2, -1, "/temp-s")).ok());
+  MatrixDescriptor s{"/temp-s", 4, 4, 2};
+  got = ReadDenseMatrix(*read_fs_, s);
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR((*got)[i], av[i] * 2 - 1, 1e-9);
+
+  ASSERT_TRUE(engine_->Submit(MakeTransposeJob(a, "/temp-t")).ok());
+  MatrixDescriptor t{"/temp-t", 4, 4, 2};
+  got = ReadDenseMatrix(*read_fs_, t);
+  ASSERT_TRUE(got.ok());
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR((*got)[static_cast<size_t>(c * 4 + r)],
+                  av[static_cast<size_t>(r * 4 + c)], 1e-9);
+    }
+  }
+
+  ASSERT_TRUE(engine_->Submit(MakeSumAllJob(a, "/temp-sum")).ok());
+  MatrixDescriptor sum{"/temp-sum", 1, 1, 2};
+  auto scalar = ReadScalar(*read_fs_, sum);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_NEAR(*scalar, 120.0, 1e-9);  // sum 0..15
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SysmlJobsTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "M3R" : "Hadoop";
+                         });
+
+TEST(PlannerTest, EmitsExpectedJobCounts) {
+  MatrixDescriptor a{"/A", 4, 4, 2};
+  MatrixDescriptor b{"/B", 4, 4, 2};
+  Planner planner("/tmp", 2);
+  std::vector<api::JobConf> jobs;
+  // (A*B) ∘ A : 2 jobs for the multiply + 1 elementwise.
+  auto expr = Expr::EWise(Expr::MatMul(Expr::Var(a), Expr::Var(b)),
+                          Expr::Var(a), '*');
+  auto out = planner.Plan(expr, &jobs, "/tmp/temp-final");
+  EXPECT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(out.path, "/tmp/temp-final");
+  EXPECT_EQ(out.rows, 4);
+  EXPECT_EQ(out.cols, 4);
+}
+
+TEST(AlgorithmsTest, PageRankConvergesToUniformOnCompleteGraph) {
+  // Column-stochastic complete graph: G(i,j) = 1/n. PageRank converges to
+  // the uniform vector in one iteration regardless of start.
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  const int64_t n = 8;
+  MatrixDescriptor g{"/G", n, n, 4};
+  std::vector<double> gv(static_cast<size_t>(n * n), 1.0 / double(n));
+  ASSERT_TRUE(WriteDenseMatrix(*fs, g, gv, 2).ok());
+  MatrixDescriptor v0{"/v0", n, 1, 4};
+  std::vector<double> v0v(static_cast<size_t>(n), 0.0);
+  v0v[0] = 1.0;
+  ASSERT_TRUE(WriteDenseMatrix(*fs, v0, v0v, 2).ok());
+
+  engine::M3REngine engine(fs, {SmallCluster()});
+  auto result = RunPageRank(engine, engine.Fs(), g, v0, 3, 0.85, "/pr", 2);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.outputs.size(), 1u);
+  auto v = ReadDenseMatrix(*engine.Fs(), result.outputs[0]);
+  ASSERT_TRUE(v.ok());
+  for (double x : *v) EXPECT_NEAR(x, 1.0 / double(n), 1e-9);
+}
+
+TEST(AlgorithmsTest, LinRegCGSolvesSmallSystem) {
+  // X square and well-conditioned: CG on the normal equations converges to
+  // the least-squares solution (= exact solution here).
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  const int64_t n = 6;
+  MatrixDescriptor x{"/X", n, n, 3};
+  std::vector<double> xv(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    xv[static_cast<size_t>(i * n + i)] = 4.0;
+    if (i + 1 < n) xv[static_cast<size_t>(i * n + i + 1)] = 1.0;
+    if (i > 0) xv[static_cast<size_t>(i * n + i - 1)] = 1.0;
+  }
+  MatrixDescriptor y{"/y", n, 1, 3};
+  std::vector<double> yv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) yv[static_cast<size_t>(i)] = double(i + 1);
+  ASSERT_TRUE(WriteDenseMatrix(*fs, x, xv, 2).ok());
+  ASSERT_TRUE(WriteDenseMatrix(*fs, y, yv, 2).ok());
+
+  engine::M3REngine engine(fs, {SmallCluster()});
+  auto result = RunLinReg(engine, engine.Fs(), x, y, int(n), "/lr", 2);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  auto w = ReadDenseMatrix(*engine.Fs(), result.outputs[0]);
+  ASSERT_TRUE(w.ok());
+  // Check residual X w ≈ y.
+  for (int64_t i = 0; i < n; ++i) {
+    double got = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      got += xv[static_cast<size_t>(i * n + j)] * (*w)[static_cast<size_t>(j)];
+    }
+    EXPECT_NEAR(got, yv[static_cast<size_t>(i)], 1e-6);
+  }
+}
+
+TEST(AlgorithmsTest, GnmfReducesReconstructionError) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  const int64_t n = 12, m = 10, rank = 3;
+  MatrixDescriptor v{"/V", n, m, 5};
+  // Low-rank-ish nonnegative data.
+  std::vector<double> vv(static_cast<size_t>(n * m));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      vv[static_cast<size_t>(i * m + j)] =
+          (double((i % 3) + 1) * double((j % 2) + 1)) / 4.0;
+    }
+  }
+  ASSERT_TRUE(WriteDenseMatrix(*fs, v, vv, 2).ok());
+
+  engine::M3REngine engine(fs, {SmallCluster()});
+  auto result = RunGNMF(engine, engine.Fs(), v, rank, 8, "/gnmf", 2, 17);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.outputs.size(), 2u);
+  auto w = ReadDenseMatrix(*engine.Fs(), result.outputs[0]);
+  auto h = ReadDenseMatrix(*engine.Fs(), result.outputs[1]);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(h.ok());
+  // Reconstruction error is small relative to ||V||.
+  auto wh = LocalMatMul(*w, *h, n, rank, m);
+  double err = 0, norm = 0;
+  for (size_t i = 0; i < vv.size(); ++i) {
+    err += (wh[i] - vv[i]) * (wh[i] - vv[i]);
+    norm += vv[i] * vv[i];
+  }
+  EXPECT_LT(err / norm, 0.05);
+  EXPECT_GT(result.jobs, 20);  // many compiler-emitted jobs, as on SystemML
+}
+
+}  // namespace
+}  // namespace m3r::sysml

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_m3r.dir/ablation_m3r.cc.o"
+  "CMakeFiles/ablation_m3r.dir/ablation_m3r.cc.o.d"
+  "ablation_m3r"
+  "ablation_m3r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_m3r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_m3r.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_linreg.dir/fig10_linreg.cc.o"
+  "CMakeFiles/fig10_linreg.dir/fig10_linreg.cc.o.d"
+  "fig10_linreg"
+  "fig10_linreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

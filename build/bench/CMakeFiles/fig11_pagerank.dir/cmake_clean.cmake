@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pagerank.dir/fig11_pagerank.cc.o"
+  "CMakeFiles/fig11_pagerank.dir/fig11_pagerank.cc.o.d"
+  "fig11_pagerank"
+  "fig11_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

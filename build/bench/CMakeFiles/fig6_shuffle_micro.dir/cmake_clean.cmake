@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shuffle_micro.dir/fig6_shuffle_micro.cc.o"
+  "CMakeFiles/fig6_shuffle_micro.dir/fig6_shuffle_micro.cc.o.d"
+  "fig6_shuffle_micro"
+  "fig6_shuffle_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shuffle_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spmv.dir/fig7_spmv.cc.o"
+  "CMakeFiles/fig7_spmv.dir/fig7_spmv.cc.o.d"
+  "fig7_spmv"
+  "fig7_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wordcount.dir/fig8_wordcount.cc.o"
+  "CMakeFiles/fig8_wordcount.dir/fig8_wordcount.cc.o.d"
+  "fig8_wordcount"
+  "fig8_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

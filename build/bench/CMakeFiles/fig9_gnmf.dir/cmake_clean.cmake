@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gnmf.dir/fig9_gnmf.cc.o"
+  "CMakeFiles/fig9_gnmf.dir/fig9_gnmf.cc.o.d"
+  "fig9_gnmf"
+  "fig9_gnmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gnmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

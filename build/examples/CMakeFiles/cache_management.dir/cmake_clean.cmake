@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_management.dir/cache_management.cpp.o"
+  "CMakeFiles/cache_management.dir/cache_management.cpp.o.d"
+  "cache_management"
+  "cache_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_driver.dir/cli_driver.cpp.o"
+  "CMakeFiles/cli_driver.dir/cli_driver.cpp.o.d"
+  "cli_driver"
+  "cli_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

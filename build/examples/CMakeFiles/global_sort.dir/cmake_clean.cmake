@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_sort.dir/global_sort.cpp.o"
+  "CMakeFiles/global_sort.dir/global_sort.cpp.o.d"
+  "global_sort"
+  "global_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

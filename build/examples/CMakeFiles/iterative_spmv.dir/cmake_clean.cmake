@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_spmv.dir/iterative_spmv.cpp.o"
+  "CMakeFiles/iterative_spmv.dir/iterative_spmv.cpp.o.d"
+  "iterative_spmv"
+  "iterative_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_mode.dir/server_mode.cpp.o"
+  "CMakeFiles/server_mode.dir/server_mode.cpp.o.d"
+  "server_mode"
+  "server_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

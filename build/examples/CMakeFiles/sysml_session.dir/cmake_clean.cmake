@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysml_session.dir/sysml_session.cpp.o"
+  "CMakeFiles/sysml_session.dir/sysml_session.cpp.o.d"
+  "sysml_session"
+  "sysml_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysml_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

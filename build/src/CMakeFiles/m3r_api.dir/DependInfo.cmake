@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/class_registry.cc" "src/CMakeFiles/m3r_api.dir/api/class_registry.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/class_registry.cc.o.d"
+  "/root/repo/src/api/configuration.cc" "src/CMakeFiles/m3r_api.dir/api/configuration.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/configuration.cc.o.d"
+  "/root/repo/src/api/counters.cc" "src/CMakeFiles/m3r_api.dir/api/counters.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/counters.cc.o.d"
+  "/root/repo/src/api/distributed_cache.cc" "src/CMakeFiles/m3r_api.dir/api/distributed_cache.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/distributed_cache.cc.o.d"
+  "/root/repo/src/api/engine.cc" "src/CMakeFiles/m3r_api.dir/api/engine.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/engine.cc.o.d"
+  "/root/repo/src/api/input_format.cc" "src/CMakeFiles/m3r_api.dir/api/input_format.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/input_format.cc.o.d"
+  "/root/repo/src/api/job_conf.cc" "src/CMakeFiles/m3r_api.dir/api/job_conf.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/job_conf.cc.o.d"
+  "/root/repo/src/api/job_control.cc" "src/CMakeFiles/m3r_api.dir/api/job_control.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/job_control.cc.o.d"
+  "/root/repo/src/api/kv_text_format.cc" "src/CMakeFiles/m3r_api.dir/api/kv_text_format.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/kv_text_format.cc.o.d"
+  "/root/repo/src/api/multiple_io.cc" "src/CMakeFiles/m3r_api.dir/api/multiple_io.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/multiple_io.cc.o.d"
+  "/root/repo/src/api/output_format.cc" "src/CMakeFiles/m3r_api.dir/api/output_format.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/output_format.cc.o.d"
+  "/root/repo/src/api/sequence_file.cc" "src/CMakeFiles/m3r_api.dir/api/sequence_file.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/sequence_file.cc.o.d"
+  "/root/repo/src/api/task_runner.cc" "src/CMakeFiles/m3r_api.dir/api/task_runner.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/task_runner.cc.o.d"
+  "/root/repo/src/api/text_formats.cc" "src/CMakeFiles/m3r_api.dir/api/text_formats.cc.o" "gcc" "src/CMakeFiles/m3r_api.dir/api/text_formats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

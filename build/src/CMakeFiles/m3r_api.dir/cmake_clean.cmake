@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_api.dir/api/class_registry.cc.o"
+  "CMakeFiles/m3r_api.dir/api/class_registry.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/configuration.cc.o"
+  "CMakeFiles/m3r_api.dir/api/configuration.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/counters.cc.o"
+  "CMakeFiles/m3r_api.dir/api/counters.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/distributed_cache.cc.o"
+  "CMakeFiles/m3r_api.dir/api/distributed_cache.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/engine.cc.o"
+  "CMakeFiles/m3r_api.dir/api/engine.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/input_format.cc.o"
+  "CMakeFiles/m3r_api.dir/api/input_format.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/job_conf.cc.o"
+  "CMakeFiles/m3r_api.dir/api/job_conf.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/job_control.cc.o"
+  "CMakeFiles/m3r_api.dir/api/job_control.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/kv_text_format.cc.o"
+  "CMakeFiles/m3r_api.dir/api/kv_text_format.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/multiple_io.cc.o"
+  "CMakeFiles/m3r_api.dir/api/multiple_io.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/output_format.cc.o"
+  "CMakeFiles/m3r_api.dir/api/output_format.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/sequence_file.cc.o"
+  "CMakeFiles/m3r_api.dir/api/sequence_file.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/task_runner.cc.o"
+  "CMakeFiles/m3r_api.dir/api/task_runner.cc.o.d"
+  "CMakeFiles/m3r_api.dir/api/text_formats.cc.o"
+  "CMakeFiles/m3r_api.dir/api/text_formats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

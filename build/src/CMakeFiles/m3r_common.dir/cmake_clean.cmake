@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_common.dir/common/logging.cc.o"
+  "CMakeFiles/m3r_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/m3r_common.dir/common/path.cc.o"
+  "CMakeFiles/m3r_common.dir/common/path.cc.o.d"
+  "CMakeFiles/m3r_common.dir/common/rng.cc.o"
+  "CMakeFiles/m3r_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/m3r_common.dir/common/status.cc.o"
+  "CMakeFiles/m3r_common.dir/common/status.cc.o.d"
+  "CMakeFiles/m3r_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/m3r_common.dir/common/stopwatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/file_system.cc" "src/CMakeFiles/m3r_dfs.dir/dfs/file_system.cc.o" "gcc" "src/CMakeFiles/m3r_dfs.dir/dfs/file_system.cc.o.d"
+  "/root/repo/src/dfs/local_fs.cc" "src/CMakeFiles/m3r_dfs.dir/dfs/local_fs.cc.o" "gcc" "src/CMakeFiles/m3r_dfs.dir/dfs/local_fs.cc.o.d"
+  "/root/repo/src/dfs/sim_dfs.cc" "src/CMakeFiles/m3r_dfs.dir/dfs/sim_dfs.cc.o" "gcc" "src/CMakeFiles/m3r_dfs.dir/dfs/sim_dfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_dfs.dir/dfs/file_system.cc.o"
+  "CMakeFiles/m3r_dfs.dir/dfs/file_system.cc.o.d"
+  "CMakeFiles/m3r_dfs.dir/dfs/local_fs.cc.o"
+  "CMakeFiles/m3r_dfs.dir/dfs/local_fs.cc.o.d"
+  "CMakeFiles/m3r_dfs.dir/dfs/sim_dfs.cc.o"
+  "CMakeFiles/m3r_dfs.dir/dfs/sim_dfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

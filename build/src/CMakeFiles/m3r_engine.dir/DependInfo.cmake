@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/m3r/cache.cc" "src/CMakeFiles/m3r_engine.dir/m3r/cache.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/cache.cc.o.d"
+  "/root/repo/src/m3r/cache_fs.cc" "src/CMakeFiles/m3r_engine.dir/m3r/cache_fs.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/cache_fs.cc.o.d"
+  "/root/repo/src/m3r/m3r_engine.cc" "src/CMakeFiles/m3r_engine.dir/m3r/m3r_engine.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/m3r_engine.cc.o.d"
+  "/root/repo/src/m3r/repartition.cc" "src/CMakeFiles/m3r_engine.dir/m3r/repartition.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/repartition.cc.o.d"
+  "/root/repo/src/m3r/server.cc" "src/CMakeFiles/m3r_engine.dir/m3r/server.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/server.cc.o.d"
+  "/root/repo/src/m3r/shuffle.cc" "src/CMakeFiles/m3r_engine.dir/m3r/shuffle.cc.o" "gcc" "src/CMakeFiles/m3r_engine.dir/m3r/shuffle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_engine.dir/m3r/cache.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/cache.cc.o.d"
+  "CMakeFiles/m3r_engine.dir/m3r/cache_fs.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/cache_fs.cc.o.d"
+  "CMakeFiles/m3r_engine.dir/m3r/m3r_engine.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/m3r_engine.cc.o.d"
+  "CMakeFiles/m3r_engine.dir/m3r/repartition.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/repartition.cc.o.d"
+  "CMakeFiles/m3r_engine.dir/m3r/server.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/server.cc.o.d"
+  "CMakeFiles/m3r_engine.dir/m3r/shuffle.cc.o"
+  "CMakeFiles/m3r_engine.dir/m3r/shuffle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

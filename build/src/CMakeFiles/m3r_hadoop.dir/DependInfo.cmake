@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/hadoop_engine.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/hadoop_engine.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/hadoop_engine.cc.o.d"
+  "/root/repo/src/hadoop/map_task.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/map_task.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/map_task.cc.o.d"
+  "/root/repo/src/hadoop/merge.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/merge.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/merge.cc.o.d"
+  "/root/repo/src/hadoop/reduce_task.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/reduce_task.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/reduce_task.cc.o.d"
+  "/root/repo/src/hadoop/scheduler.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/scheduler.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/scheduler.cc.o.d"
+  "/root/repo/src/hadoop/spill.cc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/spill.cc.o" "gcc" "src/CMakeFiles/m3r_hadoop.dir/hadoop/spill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

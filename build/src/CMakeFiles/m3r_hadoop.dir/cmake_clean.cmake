@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_hadoop.dir/hadoop/hadoop_engine.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/hadoop_engine.cc.o.d"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/map_task.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/map_task.cc.o.d"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/merge.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/merge.cc.o.d"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/reduce_task.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/reduce_task.cc.o.d"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/scheduler.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/scheduler.cc.o.d"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/spill.cc.o"
+  "CMakeFiles/m3r_hadoop.dir/hadoop/spill.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for m3r_hadoop.
+# This may be replaced when dependencies are built.

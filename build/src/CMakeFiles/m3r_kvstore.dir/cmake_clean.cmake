@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_kvstore.dir/kvstore/kv_store.cc.o"
+  "CMakeFiles/m3r_kvstore.dir/kvstore/kv_store.cc.o.d"
+  "CMakeFiles/m3r_kvstore.dir/kvstore/lock_manager.cc.o"
+  "CMakeFiles/m3r_kvstore.dir/kvstore/lock_manager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

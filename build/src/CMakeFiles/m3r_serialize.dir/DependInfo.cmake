@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/basic_writables.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/basic_writables.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/basic_writables.cc.o.d"
+  "/root/repo/src/serialize/comparators.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/comparators.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/comparators.cc.o.d"
+  "/root/repo/src/serialize/dedup.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/dedup.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/dedup.cc.o.d"
+  "/root/repo/src/serialize/extra_writables.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/extra_writables.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/extra_writables.cc.o.d"
+  "/root/repo/src/serialize/io.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/io.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/io.cc.o.d"
+  "/root/repo/src/serialize/registry.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/registry.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/registry.cc.o.d"
+  "/root/repo/src/serialize/writable.cc" "src/CMakeFiles/m3r_serialize.dir/serialize/writable.cc.o" "gcc" "src/CMakeFiles/m3r_serialize.dir/serialize/writable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

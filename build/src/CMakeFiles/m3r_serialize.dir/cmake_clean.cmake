@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_serialize.dir/serialize/basic_writables.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/basic_writables.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/comparators.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/comparators.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/dedup.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/dedup.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/extra_writables.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/extra_writables.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/io.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/io.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/registry.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/registry.cc.o.d"
+  "CMakeFiles/m3r_serialize.dir/serialize/writable.cc.o"
+  "CMakeFiles/m3r_serialize.dir/serialize/writable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

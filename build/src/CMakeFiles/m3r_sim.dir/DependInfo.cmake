@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/m3r_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/m3r_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/m3r_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/m3r_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/m3r_sim.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/m3r_sim.dir/sim/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

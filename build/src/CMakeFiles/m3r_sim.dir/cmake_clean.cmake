@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/m3r_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/m3r_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/m3r_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/m3r_sim.dir/sim/timeline.cc.o"
+  "CMakeFiles/m3r_sim.dir/sim/timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysml/algorithms.cc" "src/CMakeFiles/m3r_sysml.dir/sysml/algorithms.cc.o" "gcc" "src/CMakeFiles/m3r_sysml.dir/sysml/algorithms.cc.o.d"
+  "/root/repo/src/sysml/block_matrix.cc" "src/CMakeFiles/m3r_sysml.dir/sysml/block_matrix.cc.o" "gcc" "src/CMakeFiles/m3r_sysml.dir/sysml/block_matrix.cc.o.d"
+  "/root/repo/src/sysml/jobs.cc" "src/CMakeFiles/m3r_sysml.dir/sysml/jobs.cc.o" "gcc" "src/CMakeFiles/m3r_sysml.dir/sysml/jobs.cc.o.d"
+  "/root/repo/src/sysml/matrix_block.cc" "src/CMakeFiles/m3r_sysml.dir/sysml/matrix_block.cc.o" "gcc" "src/CMakeFiles/m3r_sysml.dir/sysml/matrix_block.cc.o.d"
+  "/root/repo/src/sysml/planner.cc" "src/CMakeFiles/m3r_sysml.dir/sysml/planner.cc.o" "gcc" "src/CMakeFiles/m3r_sysml.dir/sysml/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

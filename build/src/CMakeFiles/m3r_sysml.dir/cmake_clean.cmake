@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_sysml.dir/sysml/algorithms.cc.o"
+  "CMakeFiles/m3r_sysml.dir/sysml/algorithms.cc.o.d"
+  "CMakeFiles/m3r_sysml.dir/sysml/block_matrix.cc.o"
+  "CMakeFiles/m3r_sysml.dir/sysml/block_matrix.cc.o.d"
+  "CMakeFiles/m3r_sysml.dir/sysml/jobs.cc.o"
+  "CMakeFiles/m3r_sysml.dir/sysml/jobs.cc.o.d"
+  "CMakeFiles/m3r_sysml.dir/sysml/matrix_block.cc.o"
+  "CMakeFiles/m3r_sysml.dir/sysml/matrix_block.cc.o.d"
+  "CMakeFiles/m3r_sysml.dir/sysml/planner.cc.o"
+  "CMakeFiles/m3r_sysml.dir/sysml/planner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_sysml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for m3r_sysml.
+# This may be replaced when dependencies are built.

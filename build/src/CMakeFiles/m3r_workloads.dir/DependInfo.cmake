@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/global_sort.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/global_sort.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/global_sort.cc.o.d"
+  "/root/repo/src/workloads/matrix_gen.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/matrix_gen.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/matrix_gen.cc.o.d"
+  "/root/repo/src/workloads/micro_gen.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/micro_gen.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/micro_gen.cc.o.d"
+  "/root/repo/src/workloads/shuffle_micro.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/shuffle_micro.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/shuffle_micro.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/stopword_filter.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/stopword_filter.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/stopword_filter.cc.o.d"
+  "/root/repo/src/workloads/text_gen.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/text_gen.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/text_gen.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "src/CMakeFiles/m3r_workloads.dir/workloads/wordcount.cc.o" "gcc" "src/CMakeFiles/m3r_workloads.dir/workloads/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_workloads.dir/workloads/global_sort.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/global_sort.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/matrix_gen.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/matrix_gen.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/micro_gen.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/micro_gen.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/shuffle_micro.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/shuffle_micro.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/spmv.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/spmv.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/stopword_filter.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/stopword_filter.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/text_gen.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/text_gen.cc.o.d"
+  "CMakeFiles/m3r_workloads.dir/workloads/wordcount.cc.o"
+  "CMakeFiles/m3r_workloads.dir/workloads/wordcount.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

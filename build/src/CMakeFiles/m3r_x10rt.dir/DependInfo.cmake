@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x10rt/channel.cc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/channel.cc.o" "gcc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/channel.cc.o.d"
+  "/root/repo/src/x10rt/place_group.cc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/place_group.cc.o" "gcc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/place_group.cc.o.d"
+  "/root/repo/src/x10rt/team.cc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/team.cc.o" "gcc" "src/CMakeFiles/m3r_x10rt.dir/x10rt/team.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

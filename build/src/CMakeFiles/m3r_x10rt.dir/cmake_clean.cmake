@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_x10rt.dir/x10rt/channel.cc.o"
+  "CMakeFiles/m3r_x10rt.dir/x10rt/channel.cc.o.d"
+  "CMakeFiles/m3r_x10rt.dir/x10rt/place_group.cc.o"
+  "CMakeFiles/m3r_x10rt.dir/x10rt/place_group.cc.o.d"
+  "CMakeFiles/m3r_x10rt.dir/x10rt/team.cc.o"
+  "CMakeFiles/m3r_x10rt.dir/x10rt/team.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_x10rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

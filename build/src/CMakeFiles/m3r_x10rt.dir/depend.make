@@ -1,0 +1,2 @@
+# Empty dependencies file for m3r_x10rt.
+# This may be replaced when dependencies are built.

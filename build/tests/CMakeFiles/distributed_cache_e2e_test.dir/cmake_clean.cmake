@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cache_e2e_test.dir/distributed_cache_e2e_test.cc.o"
+  "CMakeFiles/distributed_cache_e2e_test.dir/distributed_cache_e2e_test.cc.o.d"
+  "distributed_cache_e2e_test"
+  "distributed_cache_e2e_test.pdb"
+  "distributed_cache_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cache_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formats_extra_test.dir/formats_extra_test.cc.o"
+  "CMakeFiles/formats_extra_test.dir/formats_extra_test.cc.o.d"
+  "formats_extra_test"
+  "formats_extra_test.pdb"
+  "formats_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formats_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_sort_test.dir/global_sort_test.cc.o"
+  "CMakeFiles/global_sort_test.dir/global_sort_test.cc.o.d"
+  "global_sort_test"
+  "global_sort_test.pdb"
+  "global_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

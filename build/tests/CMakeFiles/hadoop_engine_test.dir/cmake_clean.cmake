@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_engine_test.dir/hadoop_engine_test.cc.o"
+  "CMakeFiles/hadoop_engine_test.dir/hadoop_engine_test.cc.o.d"
+  "hadoop_engine_test"
+  "hadoop_engine_test.pdb"
+  "hadoop_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3r_engine_test.dir/m3r_engine_test.cc.o"
+  "CMakeFiles/m3r_engine_test.dir/m3r_engine_test.cc.o.d"
+  "m3r_engine_test"
+  "m3r_engine_test.pdb"
+  "m3r_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3r_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

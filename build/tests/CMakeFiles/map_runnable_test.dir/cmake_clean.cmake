@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_runnable_test.dir/map_runnable_test.cc.o"
+  "CMakeFiles/map_runnable_test.dir/map_runnable_test.cc.o.d"
+  "map_runnable_test"
+  "map_runnable_test.pdb"
+  "map_runnable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_runnable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

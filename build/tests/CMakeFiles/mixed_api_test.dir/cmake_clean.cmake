@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_api_test.dir/mixed_api_test.cc.o"
+  "CMakeFiles/mixed_api_test.dir/mixed_api_test.cc.o.d"
+  "mixed_api_test"
+  "mixed_api_test.pdb"
+  "mixed_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_outputs_test.dir/multiple_outputs_test.cc.o"
+  "CMakeFiles/multiple_outputs_test.dir/multiple_outputs_test.cc.o.d"
+  "multiple_outputs_test"
+  "multiple_outputs_test.pdb"
+  "multiple_outputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_outputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

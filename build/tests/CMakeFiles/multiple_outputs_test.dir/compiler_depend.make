@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiple_outputs_test.
+# This may be replaced when dependencies are built.

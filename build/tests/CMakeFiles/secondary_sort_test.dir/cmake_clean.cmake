@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_sort_test.dir/secondary_sort_test.cc.o"
+  "CMakeFiles/secondary_sort_test.dir/secondary_sort_test.cc.o.d"
+  "secondary_sort_test"
+  "secondary_sort_test.pdb"
+  "secondary_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

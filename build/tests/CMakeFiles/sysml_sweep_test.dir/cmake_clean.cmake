@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysml_sweep_test.dir/sysml_sweep_test.cc.o"
+  "CMakeFiles/sysml_sweep_test.dir/sysml_sweep_test.cc.o.d"
+  "sysml_sweep_test"
+  "sysml_sweep_test.pdb"
+  "sysml_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysml_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x10rt_test.dir/x10rt_test.cc.o"
+  "CMakeFiles/x10rt_test.dir/x10rt_test.cc.o.d"
+  "x10rt_test"
+  "x10rt_test.pdb"
+  "x10rt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x10rt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

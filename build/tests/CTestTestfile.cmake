@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/x10rt_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/hadoop_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/m3r_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/spmv_test[1]_include.cmake")
+include("/root/repo/build/tests/sysml_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/mixed_api_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/global_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_cache_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/job_control_test[1]_include.cmake")
+include("/root/repo/build/tests/multiple_outputs_test[1]_include.cmake")
+include("/root/repo/build/tests/secondary_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/sysml_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/map_runnable_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_fs_test[1]_include.cmake")

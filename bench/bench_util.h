@@ -2,6 +2,7 @@
 #define M3R_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ inline hadoop::HadoopEngineOptions HadoopOpts() {
 inline engine::M3REngineOptions M3ROpts() {
   engine::M3REngineOptions opts;
   opts.cluster = PaperCluster();
+  // Intra-place worker strands: default auto (hardware threads / places);
+  // override with M3R_PLACE_WORKERS=<n> to study host scaling.
+  if (const char* env = std::getenv("M3R_PLACE_WORKERS")) {
+    opts.workers_per_place = std::atoi(env);
+  }
   return opts;
 }
 

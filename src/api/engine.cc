@@ -1,8 +1,106 @@
 #include "api/engine.h"
 
+#include <chrono>
+#include <condition_variable>
+
 #include "common/logging.h"
 
 namespace m3r::api {
+
+/// Shared between a JobHandle and the engine thread running its job.
+struct JobHandle::State {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::string job_name;
+  bool done = false;
+  double progress = 0;
+  Counters live;
+  JobResult result;
+};
+
+JobHandle::JobHandle(std::shared_ptr<State> state, std::thread worker)
+    : state_(std::move(state)), worker_(std::move(worker)) {}
+
+JobHandle::JobHandle(JobHandle&& other) noexcept
+    : state_(std::move(other.state_)), worker_(std::move(other.worker_)) {}
+
+JobHandle& JobHandle::operator=(JobHandle&& other) noexcept {
+  if (this != &other) {
+    if (worker_.joinable()) worker_.join();
+    state_ = std::move(other.state_);
+    worker_ = std::move(other.worker_);
+  }
+  return *this;
+}
+
+JobHandle::~JobHandle() {
+  if (worker_.joinable()) worker_.join();
+}
+
+const std::string& JobHandle::JobName() const {
+  M3R_CHECK(state_ != nullptr);
+  return state_->job_name;
+}
+
+const JobResult& JobHandle::Wait() {
+  M3R_CHECK(state_ != nullptr) << "Wait on an empty JobHandle";
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+  if (worker_.joinable()) worker_.join();
+  return state_->result;
+}
+
+bool JobHandle::WaitFor(double seconds) {
+  M3R_CHECK(state_ != nullptr) << "WaitFor on an empty JobHandle";
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock,
+                             std::chrono::duration<double>(seconds),
+                             [&] { return state_->done; });
+}
+
+bool JobHandle::Done() const {
+  M3R_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+double JobHandle::Progress() const {
+  M3R_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->progress;
+}
+
+Counters JobHandle::LiveCounters() const {
+  M3R_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->live;
+}
+
+JobHandle Engine::SubmitAsync(const JobConf& conf) {
+  auto state = std::make_shared<JobHandle::State>();
+  state->job_name = conf.JobName();
+  std::thread worker([this, conf, state] {
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    {
+      std::lock_guard<std::mutex> lock(notify_mu_);
+      active_async_ = state;
+    }
+    JobResult result = Submit(conf);
+    {
+      std::lock_guard<std::mutex> lock(notify_mu_);
+      active_async_.reset();
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->progress = 1.0;
+    state->live = result.counters;
+    state->result = std::move(result);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  return JobHandle(std::move(state), std::move(worker));
+}
 
 std::vector<std::string> Engine::Notifications() const {
   std::lock_guard<std::mutex> lock(notify_mu_);
@@ -17,9 +115,18 @@ void Engine::SetProgressCallback(ProgressCallback callback) {
 void Engine::ReportProgress(const JobConf& conf, double progress,
                             const Counters* live) const {
   ProgressCallback cb;
+  std::shared_ptr<JobHandle::State> async;
   {
     std::lock_guard<std::mutex> lock(notify_mu_);
     cb = progress_callback_;
+    async = active_async_;
+  }
+  if (async != nullptr) {
+    // Counters' copy goes through its own lock, so the live snapshot is
+    // safe against concurrent task increments.
+    std::lock_guard<std::mutex> lock(async->mu);
+    async->progress = progress;
+    if (live != nullptr) async->live = *live;
   }
   if (cb) cb(conf.JobName(), progress, live);
 }
@@ -32,11 +139,20 @@ void Engine::NotifyJobEnd(const JobConf& conf, const JobResult& result) {
                            (result.ok() ? "SUCCEEDED" : "FAILED"));
 }
 
-JobResult JobClient::SubmitJob(const JobConf& conf) {
+Engine& JobClient::EngineFor(const JobConf& conf) {
   if (conf.GetBool(conf::kForceHadoopEngine) && fallback_ != nullptr) {
-    return fallback_->Submit(conf);
+    return *fallback_;
   }
-  return primary_->Submit(conf);
+  return *primary_;
+}
+
+JobHandle JobClient::SubmitJobAsync(const JobConf& conf) {
+  return EngineFor(conf).SubmitAsync(conf);
+}
+
+JobResult JobClient::SubmitJob(const JobConf& conf) {
+  JobHandle handle = SubmitJobAsync(conf);
+  return handle.Wait();
 }
 
 std::vector<JobResult> JobClient::RunSequence(

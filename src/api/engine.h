@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/counters.h"
@@ -30,6 +31,48 @@ struct JobResult {
   bool ok() const { return status.ok(); }
 };
 
+/// Handle to a job submitted with Engine::SubmitAsync. Observes the job
+/// while it runs (Progress, LiveCounters) and joins it on Wait. Move-only;
+/// the destructor blocks until the job finishes, std::async-style, so a
+/// handle can never outlive a running job silently.
+class JobHandle {
+ public:
+  struct State;
+
+  JobHandle() = default;
+  JobHandle(JobHandle&& other) noexcept;
+  JobHandle& operator=(JobHandle&& other) noexcept;
+  JobHandle(const JobHandle&) = delete;
+  JobHandle& operator=(const JobHandle&) = delete;
+  ~JobHandle();
+
+  bool Valid() const { return state_ != nullptr; }
+  const std::string& JobName() const;
+
+  /// Blocks until the job finishes; returns its result (valid as long as
+  /// the handle lives).
+  const JobResult& Wait();
+
+  /// Waits up to `seconds`; returns true once the job is terminal.
+  bool WaitFor(double seconds);
+
+  bool Done() const;
+
+  /// Last reported progress fraction in [0, 1].
+  double Progress() const;
+
+  /// Snapshot of the job's counters as of the last progress report (the
+  /// full counters once the job is done).
+  Counters LiveCounters() const;
+
+ private:
+  friend class Engine;
+  JobHandle(std::shared_ptr<State> state, std::thread worker);
+
+  std::shared_ptr<State> state_;
+  std::thread worker_;
+};
+
 /// A MapReduce execution engine. Both the baseline Hadoop engine and M3R
 /// implement this; jobs (JobConf + registered user classes) are engine
 /// agnostic — the paper's headline property.
@@ -41,7 +84,16 @@ class Engine {
  public:
   virtual ~Engine() = default;
   virtual std::string Name() const = 0;
+
+  /// Runs the job to completion on the calling thread. The synchronous
+  /// primitive that SubmitAsync wraps.
   virtual JobResult Submit(const JobConf& conf) = 0;
+
+  /// Submits the job on a background thread and returns a handle for
+  /// polling progress/counters and joining the result (server mode's
+  /// asynchronous status surface, paper §5.3). Engines execute one job at
+  /// a time: concurrent SubmitAsync calls queue behind each other.
+  JobHandle SubmitAsync(const JobConf& conf);
 
   /// Job-end notification URLs "pinged" (recorded) by this engine, in
   /// submission order — models Hadoop's job.end.notification.url support.
@@ -50,7 +102,8 @@ class Engine {
   /// Asynchronous progress and counter updates (paper §5.3): while a job
   /// runs, the engine invokes the callback with the job name, a fraction
   /// in [0,1], and a live view of the job's counters (thread-safe to read
-  /// through Counters' own locking). Used by server mode's status polls.
+  /// through Counters' own locking). Kept for callers that want a push
+  /// feed; new code should poll the JobHandle instead.
   using ProgressCallback = std::function<void(
       const std::string& job_name, double progress, const Counters* live)>;
   void SetProgressCallback(ProgressCallback callback);
@@ -66,6 +119,11 @@ class Engine {
   mutable std::mutex notify_mu_;
   std::vector<std::string> notifications_;
   ProgressCallback progress_callback_;
+  /// The state of the currently running async job, fed by ReportProgress.
+  std::shared_ptr<JobHandle::State> active_async_;
+  /// Serializes async submissions: engines are stateful and Submit is not
+  /// re-entrant.
+  std::mutex submit_mu_;
 };
 
 /// Integrated-mode job client (paper §5.3): submits every job to the
@@ -78,13 +136,19 @@ class JobClient {
       : primary_(std::move(primary)),
         fallback_(std::move(hadoop_fallback)) {}
 
+  /// Blocking submit — SubmitJobAsync + Wait.
   JobResult SubmitJob(const JobConf& conf);
+
+  /// Routes to the engine the conf selects and returns its handle.
+  JobHandle SubmitJobAsync(const JobConf& conf);
 
   /// Runs a sequence of jobs, stopping at the first failure. Returns the
   /// per-job results.
   std::vector<JobResult> RunSequence(const std::vector<JobConf>& jobs);
 
  private:
+  Engine& EngineFor(const JobConf& conf);
+
   std::shared_ptr<Engine> primary_;
   std::shared_ptr<Engine> fallback_;
 };

@@ -56,6 +56,10 @@ inline constexpr char kForceHadoopEngine[] = "m3r.force.hadoop";
 inline constexpr char kTempPrefix[] = "m3r.temp.prefix";
 /// Explicit comma-separated list of output paths to treat as temporary.
 inline constexpr char kTempPaths[] = "m3r.temp.paths";
+/// Per-job override of the M3R engine's worker strands per place (map
+/// execution, shuffle decode, reduce execution). 0 or unset defers to
+/// M3REngineOptions::workers_per_place.
+inline constexpr char kPlaceWorkers[] = "m3r.place.workers";
 }  // namespace conf
 
 /// Job configuration: a Configuration plus convenience accessors for the

@@ -1,0 +1,228 @@
+#include "common/executor.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace m3r {
+
+/// One ParallelFor invocation. The iteration space [0, n) is pre-split
+/// into contiguous lanes; participants own one lane (pop front) and steal
+/// from the back of the others when theirs runs dry.
+struct Executor::Batch {
+  struct Lane {
+    std::mutex mu;
+    size_t next = 0;
+    size_t end = 0;
+  };
+
+  Executor* owner = nullptr;
+  const std::function<void(size_t)>* body = nullptr;
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::atomic<size_t> pending{0};     // items not yet claimed
+  std::atomic<size_t> unfinished{0};  // items not yet completed
+  std::atomic<int> active{0};         // threads currently participating
+  int max_active = std::numeric_limits<int>::max();
+  std::atomic<size_t> next_lane{0};   // round-robins lane affinity
+  std::atomic<bool> failed{false};
+  std::mutex state_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+
+  /// Claims one item: own-lane front first, then steal from the back of
+  /// the next non-empty lane. Returns false when the batch is drained.
+  bool TryClaim(size_t lane_hint, size_t* out) {
+    const size_t num_lanes = lanes.size();
+    while (pending.load(std::memory_order_relaxed) > 0) {
+      for (size_t k = 0; k < num_lanes; ++k) {
+        Lane& lane = *lanes[(lane_hint + k) % num_lanes];
+        std::lock_guard<std::mutex> lock(lane.mu);
+        if (lane.next >= lane.end) continue;
+        *out = (k == 0) ? lane.next++ : --lane.end;
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      // All lanes looked empty; re-check pending (a concurrent claimer may
+      // have raced us) and give up once it reads zero.
+      if (pending.load(std::memory_order_acquire) == 0) break;
+    }
+    return false;
+  }
+
+  /// Tries to occupy a participant slot (respecting max_active).
+  bool TryJoin() {
+    int a = active.load(std::memory_order_relaxed);
+    while (a < max_active) {
+      if (active.compare_exchange_weak(a, a + 1)) return true;
+    }
+    return false;
+  }
+
+  /// Releases a participant slot and wakes workers that were over the cap.
+  void Leave() {
+    active.fetch_sub(1, std::memory_order_release);
+    if (max_active != std::numeric_limits<int>::max()) {
+      {
+        std::lock_guard<std::mutex> lock(owner->mu_);
+        ++owner->version_;
+      }
+      owner->work_cv_.notify_all();
+    }
+  }
+
+  /// Runs item i (skipped if the batch already failed), records the first
+  /// exception, and signals completion when the last item retires.
+  void RunOne(size_t i) {
+    if (!failed.load(std::memory_order_acquire)) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state_mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state_mu);
+      done_cv.notify_all();
+    }
+  }
+
+  /// Claims and runs items until the batch drains or the cap forbids us.
+  void Participate() {
+    size_t hint = next_lane.fetch_add(1, std::memory_order_relaxed) %
+                  lanes.size();
+    size_t i;
+    while (TryClaim(hint, &i)) RunOne(i);
+  }
+};
+
+Executor::Executor(int num_threads) {
+  int n = num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 4;
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    M3R_CHECK(batches_.empty()) << "Executor destroyed with work in flight";
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Executor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = version_ - 1;  // force an initial scan
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || version_ != seen; });
+    if (shutdown_) return;
+    // Snapshot the version *before* scanning: any enqueue/slot-release that
+    // happens during the scan bumps it and triggers an immediate re-scan.
+    seen = version_;
+    std::vector<std::shared_ptr<Batch>> snapshot(batches_.begin(),
+                                                 batches_.end());
+    lock.unlock();
+    for (const auto& batch : snapshot) {
+      if (batch->pending.load(std::memory_order_acquire) == 0) continue;
+      if (!batch->TryJoin()) continue;  // at its max_workers cap
+      batch->Participate();
+      batch->Leave();
+    }
+    lock.lock();
+  }
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                           int max_workers) {
+  if (n == 0) return;
+  if (n == 1 || max_workers == 1) {
+    // Nothing to fan out: run inline (exceptions propagate naturally).
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->owner = this;
+  batch->body = &body;
+  if (max_workers > 0) batch->max_active = max_workers;
+  size_t num_lanes = std::min(n, static_cast<size_t>(num_threads()) + 1);
+  if (max_workers > 0) {
+    num_lanes = std::min(num_lanes, static_cast<size_t>(max_workers));
+  }
+  batch->lanes.reserve(num_lanes);
+  const size_t base = n / num_lanes;
+  const size_t rem = n % num_lanes;
+  size_t pos = 0;
+  for (size_t l = 0; l < num_lanes; ++l) {
+    auto lane = std::make_unique<Batch::Lane>();
+    lane->next = pos;
+    pos += base + (l < rem ? 1 : 0);
+    lane->end = pos;
+    batch->lanes.push_back(std::move(lane));
+  }
+  batch->pending.store(n, std::memory_order_relaxed);
+  batch->unfinished.store(n, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    M3R_CHECK(!shutdown_);
+    batches_.push_back(batch);
+    ++version_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates in its own batch — this is what keeps nested
+  // calls deadlock-free — but it occupies one of the capped slots like any
+  // worker. If the cap is already full, the slot holders are actively
+  // draining this batch, so waiting below cannot deadlock.
+  if (batch->TryJoin()) {
+    batch->Participate();
+    batch->Leave();
+  }
+
+  {
+    std::unique_lock<std::mutex> slock(batch->state_mu);
+    batch->done_cv.wait(slock, [&] {
+      return batch->unfinished.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+      if (*it == batch) {
+        batches_.erase(it);
+        break;
+      }
+    }
+    ++version_;
+  }
+
+  if (batch->first_error != nullptr) {
+    std::rethrow_exception(batch->first_error);
+  }
+}
+
+Executor& Executor::Shared() {
+  // Intentionally leaked: worker threads must outlive every static whose
+  // destructor might still submit work.
+  static Executor* shared = new Executor();
+  return *shared;
+}
+
+}  // namespace m3r

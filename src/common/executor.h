@@ -1,0 +1,75 @@
+#ifndef M3R_COMMON_EXECUTOR_H_
+#define M3R_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m3r {
+
+/// A shared work-stealing executor backing every host-parallel loop in the
+/// system: the Hadoop engine's task fan-out, x10rt::PlaceGroup's
+/// finish/async idiom, and the M3R engine's intra-place worker pool (the
+/// paper's "8 worker threads to exploit the 8 cores").
+///
+/// Design:
+///  - A fixed set of persistent worker threads; ParallelFor enqueues a
+///    *batch* whose iteration space is pre-split into contiguous lanes.
+///  - Workers (and the submitting caller, which always participates) pop
+///    from the front of their own lane and steal from the back of other
+///    lanes, so mostly-balanced loops run without contention and skewed
+///    loops still load-balance.
+///  - The caller participates in its own batch, which makes nested
+///    ParallelFor calls deadlock-free even on a single-core host: the
+///    innermost caller can always drain its own work.
+///  - The first exception thrown by any body is captured; remaining
+///    unstarted items of that batch are skipped, and the exception is
+///    rethrown on the calling thread once the batch has drained.
+///  - `max_workers` caps the number of threads concurrently inside one
+///    batch (including the caller), independent of pool size.
+class Executor {
+ public:
+  /// `num_threads` <= 0 means one per hardware thread.
+  explicit Executor(int num_threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs body(i) for every i in [0, n) and waits for completion. The
+  /// calling thread participates. If any body throws, the first exception
+  /// is rethrown here after the batch drains; items not yet started are
+  /// skipped. `max_workers` <= 0 means no cap.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   int max_workers = 0);
+
+  /// Process-wide executor (never destroyed), shared by engines that do
+  /// not own a pool of their own.
+  static Executor& Shared();
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> batches_;  // FIFO; owner removes
+  /// Bumped (under mu_) whenever batches_ changes or a capped batch frees
+  /// a participant slot; workers re-scan when it moves, which avoids both
+  /// lost wakeups and busy spinning on batches they cannot join.
+  uint64_t version_ = 0;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_EXECUTOR_H_

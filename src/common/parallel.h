@@ -1,41 +1,23 @@
 #ifndef M3R_COMMON_PARALLEL_H_
 #define M3R_COMMON_PARALLEL_H_
 
-#include <atomic>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/executor.h"
 
 namespace m3r {
 
-/// Runs body(i) for i in [0, n) across up to `max_threads` host threads
-/// (0 = hardware concurrency) and waits for completion. Used by the Hadoop
-/// engine to execute simulated tasks in parallel on the host; simulated
-/// time is accounted separately by sim::SlotTimeline.
+/// Runs body(i) for i in [0, n) across up to `max_threads` workers of the
+/// process-wide Executor (0 = no cap) and waits for completion. The caller
+/// participates, so this never deadlocks when nested. If a body throws,
+/// the first exception is rethrown on the calling thread after the loop
+/// drains (it used to escape a worker thread and std::terminate the
+/// process). Used by the Hadoop engine to execute simulated tasks in
+/// parallel on the host; simulated time is accounted separately by
+/// sim::SlotTimeline.
 inline void ParallelFor(size_t n, const std::function<void(size_t)>& body,
                         int max_threads = 0) {
-  if (n == 0) return;
-  size_t threads = max_threads > 0
-                       ? static_cast<size_t>(max_threads)
-                       : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, n);
-  if (threads <= 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        body(i);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
+  Executor::Shared().ParallelFor(n, body, max_threads);
 }
 
 }  // namespace m3r

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "api/class_registry.h"
@@ -178,10 +179,12 @@ class CombiningShuffleCollector : public api::OutputCollector {
  public:
   CombiningShuffleCollector(const JobConf& conf, ShuffleExchange* shuffle,
                             api::Partitioner* partitioner, int src_place,
-                            int num_partitions, bool mapper_immutable,
-                            bool combiner_immutable, api::Reporter* reporter)
+                            int worker_lane, int num_partitions,
+                            bool mapper_immutable, bool combiner_immutable,
+                            api::Reporter* reporter)
       : conf_(conf), shuffle_(shuffle), partitioner_(partitioner),
-        src_place_(src_place), num_partitions_(num_partitions),
+        src_place_(src_place), worker_lane_(worker_lane),
+        num_partitions_(num_partitions),
         mapper_immutable_(mapper_immutable),
         combiner_immutable_(combiner_immutable), reporter_(reporter),
         buffered_(static_cast<size_t>(num_partitions)) {}
@@ -211,7 +214,8 @@ class CombiningShuffleCollector : public api::OutputCollector {
           : outer_(outer), partition_(partition) {}
       void Collect(const WritablePtr& key, const WritablePtr& value) override {
         outer_->shuffle_->Emit(outer_->src_place_, partition_, key, value,
-                               outer_->combiner_immutable_);
+                               outer_->combiner_immutable_,
+                               outer_->worker_lane_);
         outer_->reporter_->IncrCounter(api::counters::kTaskGroup,
                                        api::counters::kCombineOutputRecords,
                                        1);
@@ -244,6 +248,7 @@ class CombiningShuffleCollector : public api::OutputCollector {
   ShuffleExchange* shuffle_;
   api::Partitioner* partitioner_;
   int src_place_;
+  int worker_lane_;
   int num_partitions_;
   bool mapper_immutable_;
   bool combiner_immutable_;
@@ -255,16 +260,17 @@ class CombiningShuffleCollector : public api::OutputCollector {
 class ShuffleCollector : public api::OutputCollector {
  public:
   ShuffleCollector(ShuffleExchange* shuffle, api::Partitioner* partitioner,
-                   int src_place, int num_partitions, bool immutable,
-                   api::Reporter* reporter)
+                   int src_place, int worker_lane, int num_partitions,
+                   bool immutable, api::Reporter* reporter)
       : shuffle_(shuffle), partitioner_(partitioner), src_place_(src_place),
-        num_partitions_(num_partitions), immutable_(immutable),
-        reporter_(reporter) {}
+        worker_lane_(worker_lane), num_partitions_(num_partitions),
+        immutable_(immutable), reporter_(reporter) {}
 
   void Collect(const WritablePtr& key, const WritablePtr& value) override {
     int partition =
         partitioner_->GetPartition(*key, *value, num_partitions_);
-    shuffle_->Emit(src_place_, partition, key, value, immutable_);
+    shuffle_->Emit(src_place_, partition, key, value, immutable_,
+                   worker_lane_);
     reporter_->IncrCounter(api::counters::kTaskGroup,
                            api::counters::kMapOutputRecords, 1);
   }
@@ -273,6 +279,7 @@ class ShuffleCollector : public api::OutputCollector {
   ShuffleExchange* shuffle_;
   api::Partitioner* partitioner_;
   int src_place_;
+  int worker_lane_;
   int num_partitions_;
   bool immutable_;
   api::Reporter* reporter_;
@@ -580,16 +587,32 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     tasks_of_place[static_cast<size_t>(tasks[i].place)].push_back(i);
   }
 
-  const int shuffle_partitions = std::max(num_reduce, 1);
-  ShuffleExchange shuffle(num_places, shuffle_partitions,
-                          options_.dedup_mode, options_.partition_stability,
-                          salt);
+  // Intra-place worker strands (the paper's "8 worker threads to exploit
+  // the 8 cores"): a per-job override, else the engine option, else
+  // hardware threads spread across the places.
+  int workers = static_cast<int>(
+      conf.GetInt(api::conf::kPlaceWorkers, options_.workers_per_place));
+  if (workers <= 0) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    workers = std::max(1, hw / std::max(num_places, 1));
+  }
+  result.metrics["place_workers"] = workers;
 
-  // --- Map phase (places run in parallel; per-place tasks sequential) ---
+  const int shuffle_partitions = std::max(num_reduce, 1);
+  ShuffleOptions shuffle_options;
+  shuffle_options.num_partitions = shuffle_partitions;
+  shuffle_options.dedup_mode = options_.dedup_mode;
+  shuffle_options.partition_stability = options_.partition_stability;
+  shuffle_options.instability_salt = salt;
+  shuffle_options.workers_per_place = workers;
+  ShuffleExchange shuffle(num_places, shuffle_options);
+
+  // --- Map phase (places run in parallel; each place fans its tasks out
+  // over `workers` strands of the shared executor) ---
   ReportProgress(conf, 0.05, &result.counters);
   std::atomic<size_t> map_tasks_done{0};
-  places_.FinishForAll([&](int place) {
-    for (size_t i : tasks_of_place[static_cast<size_t>(place)]) {
+  std::atomic<bool> map_aborted{false};
+  auto run_map_task = [&](size_t i, int place, int lane) {
       TaskPlan& t = tasks[i];
       CpuStopwatch sw;
       const api::InputSplit* base_split = nullptr;
@@ -636,14 +659,14 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         bool combiner_immutable =
             options_.respect_immutable && CombineOutputImmutable(tconf);
         CombiningShuffleCollector collector(tconf, &shuffle,
-                                            partitioner.get(), place,
+                                            partitioner.get(), place, lane,
                                             num_reduce, immutable,
                                             combiner_immutable, &reporter);
         t.status = FeedMapper(tconf, *pairs, collector, reporter);
         if (t.status.ok()) t.status = collector.Flush();
       } else if (num_reduce > 0) {
         auto partitioner = api::MakePartitioner(tconf);
-        ShuffleCollector collector(&shuffle, partitioner.get(), place,
+        ShuffleCollector collector(&shuffle, partitioner.get(), place, lane,
                                    num_reduce, immutable, &reporter);
         t.status = FeedMapper(tconf, *pairs, collector, reporter);
       } else {
@@ -696,6 +719,29 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
                                 static_cast<double>(std::max<size_t>(
                                     tasks.size(), 1)),
                      &result.counters);
+  };
+  places_.FinishForAll([&](int place) {
+    const std::vector<size_t>& mine =
+        tasks_of_place[static_cast<size_t>(place)];
+    if (mine.empty()) return;
+    // Strand s runs tasks j with j % strands == s and owns serialization
+    // lane s, so each remote stream has exactly one writer and wire bytes
+    // stay deterministic for a fixed worker count.
+    const int strands =
+        static_cast<int>(std::min<size_t>(mine.size(),
+                                          static_cast<size_t>(workers)));
+    auto run_strand = [&](size_t s) {
+      for (size_t j = s; j < mine.size();
+           j += static_cast<size_t>(strands)) {
+        if (map_aborted.load(std::memory_order_relaxed)) return;
+        run_map_task(mine[j], place, static_cast<int>(s));
+        if (!tasks[mine[j]].status.ok()) map_aborted.store(true);
+      }
+    };
+    if (strands <= 1) {
+      run_strand(0);
+    } else {
+      places_.pool().ParallelFor(static_cast<size_t>(strands), run_strand);
     }
   });
   for (const TaskPlan& t : tasks) {
@@ -732,11 +778,9 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     }
   } else {
     // --- Shuffle delivery (after the Team barrier, §5.1) ---
-    std::vector<double> decode_seconds(static_cast<size_t>(num_places), 0);
     places_.FinishForAll([&](int place) {
-      CpuStopwatch sw;
-      shuffle.DeliverTo(place);
-      decode_seconds[static_cast<size_t>(place)] = sw.ElapsedSeconds();
+      shuffle.DeliverTo(place, workers > 1 ? &places_.pool() : nullptr,
+                        workers);
     });
 
     double shuffle_span = 0;
@@ -750,10 +794,18 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         }
       }
       // Deserialization at a place is spread across its worker threads
-      // (the paper's "8 worker threads to exploit the 8 cores"); our
-      // measurement is single-threaded, so divide by the slot count.
-      double decode = decode_seconds[static_cast<size_t>(p)] *
-                      spec.data_scale / spec.slots_per_node;
+      // (the paper's "8 worker threads to exploit the 8 cores"): pack the
+      // measured per-stream decode CPU seconds onto the place's simulated
+      // slots in deterministic stream order; the longest slot is the
+      // place's decode time. A single fat stream cannot be split, which
+      // the old "divide the total by the slot count" shortcut got wrong.
+      std::vector<double> slot_busy(
+          static_cast<size_t>(std::max(spec.slots_per_node, 1)), 0.0);
+      for (double stream_seconds : shuffle.DecodeSeconds(p)) {
+        *std::min_element(slot_busy.begin(), slot_busy.end()) +=
+            stream_seconds * spec.data_scale;
+      }
+      double decode = *std::max_element(slot_busy.begin(), slot_busy.end());
       double comm = cost_.NetTransfer(send) + cost_.NetTransfer(recv) +
                     decode;
       shuffle_span = std::max(shuffle_span, comm);
@@ -807,9 +859,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     bool reduce_immutable =
         options_.respect_immutable && ReduceOutputImmutable(conf);
 
-    places_.FinishForAll([&](int place) {
-      for (int p = 0; p < num_reduce; ++p) {
-        if (shuffle.PlaceOfPartition(p) != place) continue;
+    auto run_reduce_task = [&](int p, int place) {
         ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
         CpuStopwatch sw;
         api::CountersReporter reporter(&result.counters);
@@ -877,6 +927,18 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
           if (!rr.status.ok()) return;
         }
         rr.cpu_seconds += sw.ElapsedSeconds();
+    };
+    places_.FinishForAll([&](int place) {
+      std::vector<int> mine;
+      for (int p = 0; p < num_reduce; ++p) {
+        if (shuffle.PlaceOfPartition(p) == place) mine.push_back(p);
+      }
+      if (mine.size() <= 1 || workers <= 1) {
+        for (int p : mine) run_reduce_task(p, place);
+      } else {
+        places_.pool().ParallelFor(
+            mine.size(),
+            [&](size_t k) { run_reduce_task(mine[k], place); }, workers);
       }
     });
     for (const ReduceResult& rr : reduce_results) {
@@ -910,6 +972,9 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   }
 
   result.time_breakdown["job_overhead"] = t0;
+  // Both paths end on one Team barrier; attribute it explicitly so the
+  // per-phase breakdown sums exactly to sim_seconds.
+  result.time_breakdown["exit_barrier"] = spec.m3r_barrier_s;
   result.sim_seconds = total;
   result.wall_seconds = wall.ElapsedSeconds();
   result.status = Status::OK();

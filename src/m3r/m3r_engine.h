@@ -26,6 +26,11 @@ struct M3REngineOptions {
   /// When false, ImmutableOutput promises are ignored and every pair is
   /// cloned (measures the cost of the HMR reuse contract).
   bool respect_immutable = true;
+  /// Worker strands per place for map execution, shuffle-stream decode,
+  /// and reduce execution (the paper's "8 worker threads to exploit the 8
+  /// cores"). 0 = auto: hardware threads / number of places, at least 1.
+  /// Jobs may override per submission via m3r.place.workers.
+  int workers_per_place = 0;
 };
 
 /// The M3R engine (paper §3.2): a fixed set of long-lived places that run

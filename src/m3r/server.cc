@@ -16,17 +16,6 @@ const char* JobStateName(JobState state) {
 
 JobServer::JobServer(std::shared_ptr<api::Engine> engine)
     : engine_(std::move(engine)), engine_name_(engine_->Name()) {
-  // Route the engine's asynchronous progress/counter updates into the
-  // currently running job's status.
-  engine_->SetProgressCallback(
-      [this](const std::string&, double progress,
-             const api::Counters* live) {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = jobs_.find(running_job_id_);
-        if (it == jobs_.end()) return;
-        it->second.progress = progress;
-        if (live != nullptr) it->second.counters = *live;
-      });
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -87,8 +76,6 @@ void JobServer::Shutdown() {
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
-  // Detach the progress hook: the engine may outlive this server.
-  engine_->SetProgressCallback(nullptr);
 }
 
 void JobServer::WorkerLoop() {
@@ -100,12 +87,20 @@ void JobServer::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       next = std::move(queue_.front());
       queue_.pop_front();
-      running_job_id_ = next.first;
       jobs_[next.first].state = JobState::kRunning;
     }
     cv_.notify_all();
 
-    api::JobResult result = engine_->Submit(next.second);
+    // Run through the async handle and mirror its progress/counters into
+    // the job's externally visible status while it runs (paper §5.3).
+    api::JobHandle handle = engine_->SubmitAsync(next.second);
+    while (!handle.WaitFor(/*seconds=*/0.005)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ServerJobStatus& status = jobs_[next.first];
+      status.progress = handle.Progress();
+      status.counters = handle.LiveCounters();
+    }
+    api::JobResult result = handle.Wait();
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -114,7 +109,6 @@ void JobServer::WorkerLoop() {
       status.progress = 1.0;
       status.counters = result.counters;
       status.result = std::move(result);
-      running_job_id_ = -1;
     }
     cv_.notify_all();
   }

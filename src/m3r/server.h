@@ -76,7 +76,6 @@ class JobServer {
   std::deque<std::pair<int, api::JobConf>> queue_;
   std::map<int, ServerJobStatus> jobs_;
   int next_job_id_ = 1;
-  int running_job_id_ = -1;
   bool shutdown_ = false;
   std::thread worker_;
 };

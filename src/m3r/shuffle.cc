@@ -1,25 +1,30 @@
 #include "m3r/shuffle.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace m3r::engine {
 
-ShuffleExchange::ShuffleExchange(int num_places, int num_partitions,
-                                 serialize::DedupMode dedup_mode,
-                                 bool partition_stability,
-                                 int instability_salt)
+ShuffleExchange::ShuffleExchange(int num_places,
+                                 const ShuffleOptions& options)
     : num_places_(num_places),
-      num_partitions_(num_partitions),
-      dedup_mode_(dedup_mode),
-      stability_(partition_stability),
-      salt_(instability_salt),
-      lanes_(static_cast<size_t>(num_places) * num_places),
-      partitions_(static_cast<size_t>(std::max(num_partitions, 1))),
-      local_pairs_(static_cast<size_t>(num_places), 0),
-      remote_pairs_(static_cast<size_t>(num_places), 0),
-      aliased_pairs_(static_cast<size_t>(num_places), 0),
-      cloned_pairs_(static_cast<size_t>(num_places), 0) {
-  M3R_CHECK(num_places > 0 && num_partitions >= 0);
+      num_partitions_(options.num_partitions),
+      dedup_mode_(options.dedup_mode),
+      stability_(options.partition_stability),
+      salt_(options.instability_salt),
+      workers_(std::max(options.workers_per_place, 1)),
+      lanes_(static_cast<size_t>(num_places) * num_places * workers_),
+      partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
+      partition_mu_(new std::mutex[static_cast<size_t>(
+          std::max(options.num_partitions, 1))]),
+      decode_seconds_(static_cast<size_t>(num_places)),
+      local_pairs_(static_cast<size_t>(num_places)),
+      remote_pairs_(static_cast<size_t>(num_places)),
+      aliased_pairs_(static_cast<size_t>(num_places)),
+      cloned_pairs_(static_cast<size_t>(num_places)) {
+  M3R_CHECK(num_places > 0 && options.num_partitions >= 0);
 }
 
 int ShuffleExchange::PlaceOfPartition(int partition) const {
@@ -28,20 +33,26 @@ int ShuffleExchange::PlaceOfPartition(int partition) const {
   return (partition + salt_) % num_places_;
 }
 
-ShuffleExchange::Lane& ShuffleExchange::LaneFor(int src, int dst) {
-  return lanes_[static_cast<size_t>(src) * num_places_ + dst];
+ShuffleExchange::Lane& ShuffleExchange::LaneFor(int src, int dst,
+                                                int worker) {
+  return lanes_[(static_cast<size_t>(src) * num_places_ + dst) * workers_ +
+                worker];
 }
 
-const ShuffleExchange::Lane& ShuffleExchange::LaneAt(int src, int dst) const {
-  return lanes_[static_cast<size_t>(src) * num_places_ + dst];
+const ShuffleExchange::Lane& ShuffleExchange::LaneAt(int src, int dst,
+                                                     int worker) const {
+  return lanes_[(static_cast<size_t>(src) * num_places_ + dst) * workers_ +
+                worker];
 }
 
 void ShuffleExchange::Emit(int src_place, int partition,
                            const serialize::WritablePtr& key,
                            const serialize::WritablePtr& value,
-                           bool immutable) {
+                           bool immutable, int worker_lane) {
   M3R_CHECK(partition >= 0 && partition < num_partitions_)
       << "bad partition " << partition;
+  M3R_CHECK(worker_lane >= 0 && worker_lane < workers_)
+      << "bad worker lane " << worker_lane;
   int dst = PlaceOfPartition(partition);
 
   // Without the ImmutableOutput promise the HMR contract lets the caller
@@ -53,19 +64,31 @@ void ShuffleExchange::Emit(int src_place, int partition,
   if (!immutable) {
     k = key->Clone();
     v = value->Clone();
-    ++cloned_pairs_[static_cast<size_t>(src_place)];
+    cloned_pairs_[static_cast<size_t>(src_place)].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   if (dst == src_place) {
-    // Co-location fast path (paper §3.2.2.1): no network, no disk.
-    ++local_pairs_[static_cast<size_t>(src_place)];
-    if (immutable) ++aliased_pairs_[static_cast<size_t>(src_place)];
+    // Co-location fast path (paper §3.2.2.1): no network, no disk. The
+    // partition sequence is shared by every strand of this place, so the
+    // append itself is the one synchronized step.
+    local_pairs_[static_cast<size_t>(src_place)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (immutable) {
+      aliased_pairs_[static_cast<size_t>(src_place)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(
+        partition_mu_[static_cast<size_t>(partition)]);
     partitions_[static_cast<size_t>(partition)].emplace_back(std::move(k),
                                                              std::move(v));
     return;
   }
-  ++remote_pairs_[static_cast<size_t>(src_place)];
-  Lane& lane = LaneFor(src_place, dst);
+  remote_pairs_[static_cast<size_t>(src_place)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Lane-confined: only the strand owning `worker_lane` touches this
+  // stream, so no lock is needed and its bytes are deterministic.
+  Lane& lane = LaneFor(src_place, dst, worker_lane);
   if (lane.out == nullptr) {
     lane.out = std::make_unique<serialize::DedupOutputStream>(dedup_mode_);
   }
@@ -74,28 +97,73 @@ void ShuffleExchange::Emit(int src_place, int partition,
   lane.out->WriteObject(v);
 }
 
-void ShuffleExchange::DeliverTo(int dst_place) {
-  for (int src = 0; src < num_places_; ++src) {
-    Lane& lane = LaneFor(src, dst_place);
-    if (lane.out == nullptr) continue;
-    M3R_CHECK(!lane.finished) << "DeliverTo called twice for a lane";
-    lane.objects = lane.out->objects_written();
-    lane.deduped = lane.out->objects_deduped();
-    lane.saved_bytes = lane.out->bytes_saved();
-    lane.wire = lane.out->TakeBuffer();
-    lane.out.reset();
-    lane.finished = true;
+void ShuffleExchange::DecodeLane(Lane* lane, int dst_place,
+                                 double* cpu_seconds) {
+  CpuStopwatch sw;
+  lane->objects = lane->out->objects_written();
+  lane->deduped = lane->out->objects_deduped();
+  lane->saved_bytes = lane->out->bytes_saved();
+  lane->wire = lane->out->TakeBuffer();
+  lane->out.reset();
+  lane->finished = true;
 
-    serialize::DedupInputStream in(lane.wire);
-    while (!in.AtEnd()) {
-      int partition = static_cast<int>(in.ReadControl());
-      serialize::WritablePtr key = in.ReadObject();
-      serialize::WritablePtr value = in.ReadObject();
-      M3R_CHECK(partition >= 0 && partition < num_partitions_);
-      partitions_[static_cast<size_t>(partition)].emplace_back(
-          std::move(key), std::move(value));
+  // Decode into per-partition scratch first, then splice each partition
+  // under its lock in one step: less lock churn, and a stream's pairs
+  // arrive contiguously.
+  std::vector<std::pair<int, kvstore::KVSeq>> scratch;
+  serialize::DedupInputStream in(lane->wire);
+  while (!in.AtEnd()) {
+    int partition = static_cast<int>(in.ReadControl());
+    serialize::WritablePtr key = in.ReadObject();
+    serialize::WritablePtr value = in.ReadObject();
+    M3R_CHECK(partition >= 0 && partition < num_partitions_);
+    M3R_CHECK(PlaceOfPartition(partition) == dst_place);
+    if (scratch.empty() || scratch.back().first != partition) {
+      scratch.emplace_back(partition, kvstore::KVSeq());
+    }
+    scratch.back().second.emplace_back(std::move(key), std::move(value));
+  }
+  for (auto& [partition, seq] : scratch) {
+    std::lock_guard<std::mutex> lock(
+        partition_mu_[static_cast<size_t>(partition)]);
+    kvstore::KVSeq& dest = partitions_[static_cast<size_t>(partition)];
+    dest.insert(dest.end(), std::make_move_iterator(seq.begin()),
+                std::make_move_iterator(seq.end()));
+  }
+  *cpu_seconds = sw.ElapsedSeconds();
+}
+
+void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
+                                int max_workers) {
+  // Gather this destination's non-empty streams in deterministic
+  // (source place, lane) order.
+  std::vector<Lane*> inbound;
+  for (int src = 0; src < num_places_; ++src) {
+    for (int w = 0; w < workers_; ++w) {
+      Lane& lane = LaneFor(src, dst_place, w);
+      if (lane.out == nullptr) continue;
+      M3R_CHECK(!lane.finished) << "DeliverTo called twice for a lane";
+      inbound.push_back(&lane);
     }
   }
+  std::vector<double>& seconds = decode_seconds_[static_cast<size_t>(
+      dst_place)];
+  seconds.assign(inbound.size(), 0.0);
+  if (executor != nullptr && inbound.size() > 1 && max_workers > 1) {
+    executor->ParallelFor(
+        inbound.size(),
+        [&](size_t i) { DecodeLane(inbound[i], dst_place, &seconds[i]); },
+        max_workers);
+  } else {
+    for (size_t i = 0; i < inbound.size(); ++i) {
+      DecodeLane(inbound[i], dst_place, &seconds[i]);
+    }
+  }
+}
+
+const std::vector<double>& ShuffleExchange::DecodeSeconds(
+    int dst_place) const {
+  return decode_seconds_[static_cast<size_t>(dst_place)];
 }
 
 const kvstore::KVSeq& ShuffleExchange::PartitionPairs(int partition) const {
@@ -103,17 +171,20 @@ const kvstore::KVSeq& ShuffleExchange::PartitionPairs(int partition) const {
 }
 
 uint64_t ShuffleExchange::WireBytes(int src_place, int dst_place) const {
-  const Lane& lane = LaneAt(src_place, dst_place);
-  return lane.wire.size();
+  uint64_t bytes = 0;
+  for (int w = 0; w < workers_; ++w) {
+    bytes += LaneAt(src_place, dst_place, w).wire.size();
+  }
+  return bytes;
 }
 
 ShuffleExchange::Stats ShuffleExchange::ComputeStats() const {
   Stats s;
   for (int p = 0; p < num_places_; ++p) {
-    s.local_pairs += local_pairs_[static_cast<size_t>(p)];
-    s.remote_pairs += remote_pairs_[static_cast<size_t>(p)];
-    s.aliased_pairs += aliased_pairs_[static_cast<size_t>(p)];
-    s.cloned_pairs += cloned_pairs_[static_cast<size_t>(p)];
+    s.local_pairs += local_pairs_[static_cast<size_t>(p)].load();
+    s.remote_pairs += remote_pairs_[static_cast<size_t>(p)].load();
+    s.aliased_pairs += aliased_pairs_[static_cast<size_t>(p)].load();
+    s.cloned_pairs += cloned_pairs_[static_cast<size_t>(p)].load();
   }
   for (const Lane& lane : lanes_) {
     s.deduped_objects += lane.deduped;

@@ -1,11 +1,13 @@
 #ifndef M3R_M3R_SHUFFLE_H_
 #define M3R_M3R_SHUFFLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/executor.h"
 #include "kvstore/kv_store.h"
 #include "serialize/dedup.h"
 
@@ -18,6 +20,21 @@ inline int StablePlaceOfPartition(int partition, int num_places) {
   return partition % num_places;
 }
 
+/// Construction-time knobs for one job's shuffle.
+struct ShuffleOptions {
+  int num_partitions = 1;
+  /// X10 serialization de-duplication policy for the remote streams.
+  serialize::DedupMode dedup_mode = serialize::DedupMode::kFull;
+  /// Ablation: when false, partition -> place assignment is re-salted per
+  /// job (Hadoop-style arbitrary placement).
+  bool partition_stability = true;
+  int instability_salt = 0;
+  /// Concurrent mapper strands per source place. Each strand owns its own
+  /// serialization lane per destination, so Emit never contends on a
+  /// stream and every lane's wire bytes stay deterministic.
+  int workers_per_place = 1;
+};
+
 /// One job's in-memory shuffle (paper §3.2.2).
 ///
 /// Mapper emissions are routed by the partitioner's partition number:
@@ -25,37 +42,46 @@ inline int StablePlaceOfPartition(int partition, int num_places) {
 ///    as an *alias*, no serialization, no copy (co-location fast path);
 ///  - same-place destination, mutable producer: the pair is cloned
 ///    (serialization round trip), preserving HMR reuse semantics;
-///  - remote destination: the pair is written to the per-(source,
-///    destination-place) X10-style serialization stream, which
+///  - remote destination: the pair is written to the per-(source place,
+///    destination place, worker lane) X10-style serialization stream, which
 ///    de-duplicates repeated objects — so a value broadcast to every
-///    reducer of a place crosses the wire once (paper §3.2.2.3).
+///    reducer of a place crosses the wire once per lane (paper §3.2.2.3).
 ///
-/// After the map barrier, Exchange() decodes the remote streams at their
-/// destinations, reconstructing aliases for de-duplicated objects.
+/// Concurrency contract: Emit is safe for concurrent callers at one source
+/// place as long as each caller sticks to its own `worker_lane` (streams
+/// are lane-confined; local-delivery appends and stat counters are
+/// internally synchronized). DeliverTo for distinct destination places may
+/// run concurrently after the map barrier.
 class ShuffleExchange {
  public:
-  ShuffleExchange(int num_places, int num_partitions,
-                  serialize::DedupMode dedup_mode, bool partition_stability,
-                  int instability_salt);
+  ShuffleExchange(int num_places, const ShuffleOptions& options);
 
   int PlaceOfPartition(int partition) const;
+  int workers_per_place() const { return workers_; }
 
-  /// Called by the map phase at `src_place`. Not thread-safe per source
-  /// place: each place's mapper loop is single-threaded (places themselves
-  /// run in parallel), matching one serialization stream per `at (p)`.
+  /// Called by the map phase at `src_place` from the strand owning
+  /// `worker_lane` (in [0, workers_per_place)).
   void Emit(int src_place, int partition, const serialize::WritablePtr& key,
-            const serialize::WritablePtr& value, bool immutable);
+            const serialize::WritablePtr& value, bool immutable,
+            int worker_lane = 0);
 
-  /// Map barrier has passed: decode all remote streams at their
-  /// destination places. Runs the decode for `dst_place` and returns the
-  /// wall seconds it took (the engine folds this into the place's
-  /// simulated time).
-  void DeliverTo(int dst_place);
+  /// Map barrier has passed: decode all remote streams inbound to
+  /// `dst_place`, reconstructing aliases for de-duplicated objects. When
+  /// `executor` is non-null the streams decode concurrently (at most
+  /// `max_workers` strands). Per-stream decode CPU seconds are recorded
+  /// for the engine's simulated-time attribution (DecodeSeconds).
+  void DeliverTo(int dst_place, Executor* executor = nullptr,
+                 int max_workers = 1);
+
+  /// CPU seconds spent decoding each inbound stream of `dst_place`, in
+  /// deterministic (source place, lane) order. Valid after DeliverTo.
+  const std::vector<double>& DecodeSeconds(int dst_place) const;
 
   /// Pairs destined for `partition` (call after DeliverTo on its place).
   const kvstore::KVSeq& PartitionPairs(int partition) const;
 
-  /// Wire bytes queued from src to dst (after de-duplication).
+  /// Wire bytes queued from src to dst (after de-duplication), summed
+  /// over all worker lanes.
   uint64_t WireBytes(int src_place, int dst_place) const;
 
   struct Stats {
@@ -71,7 +97,8 @@ class ShuffleExchange {
 
  private:
   struct Lane {
-    // Remote stream src -> dst place (lazily created).
+    // Remote stream src -> dst place for one worker strand (lazily
+    // created; written by exactly one strand, so unsynchronized).
     std::unique_ptr<serialize::DedupOutputStream> out;
     std::string wire;
     uint64_t objects = 0;
@@ -80,21 +107,25 @@ class ShuffleExchange {
     bool finished = false;
   };
 
-  Lane& LaneFor(int src, int dst);
-  const Lane& LaneAt(int src, int dst) const;
+  Lane& LaneFor(int src, int dst, int worker);
+  const Lane& LaneAt(int src, int dst, int worker) const;
+  void DecodeLane(Lane* lane, int dst_place, double* cpu_seconds);
 
   const int num_places_;
   const int num_partitions_;
   const serialize::DedupMode dedup_mode_;
   const bool stability_;
   const int salt_;
+  const int workers_;
 
-  std::vector<Lane> lanes_;                   // num_places^2
-  std::vector<kvstore::KVSeq> partitions_;    // per partition
-  std::vector<uint64_t> local_pairs_;         // per src place
-  std::vector<uint64_t> remote_pairs_;        // per src place
-  std::vector<uint64_t> aliased_pairs_;       // per src place
-  std::vector<uint64_t> cloned_pairs_;        // per src place
+  std::vector<Lane> lanes_;  // num_places^2 * workers_
+  std::vector<kvstore::KVSeq> partitions_;             // per partition
+  std::unique_ptr<std::mutex[]> partition_mu_;         // per partition
+  std::vector<std::vector<double>> decode_seconds_;    // per dst place
+  std::vector<std::atomic<uint64_t>> local_pairs_;     // per src place
+  std::vector<std::atomic<uint64_t>> remote_pairs_;    // per src place
+  std::vector<std::atomic<uint64_t>> aliased_pairs_;   // per src place
+  std::vector<std::atomic<uint64_t>> cloned_pairs_;    // per src place
 };
 
 }  // namespace m3r::engine

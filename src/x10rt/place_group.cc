@@ -1,110 +1,17 @@
 #include "x10rt/place_group.h"
 
-#include <chrono>
-#include <memory>
-
 #include "common/logging.h"
 
 namespace m3r::x10rt {
 
 PlaceGroup::PlaceGroup(int num_places, int host_threads)
-    : num_places_(num_places) {
+    : num_places_(num_places), executor_(host_threads) {
   M3R_CHECK(num_places > 0);
-  int n = host_threads;
-  if (n <= 0) {
-    n = static_cast<int>(std::thread::hardware_concurrency());
-    if (n <= 0) n = 4;
-  }
-  threads_.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-PlaceGroup::~PlaceGroup() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
-
-void PlaceGroup::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
 }
 
 void PlaceGroup::FinishFor(size_t count,
                            const std::function<void(size_t)>& body) {
-  if (count == 0) return;
-
-  // Per-call completion state so nested FinishFor calls (X10's arbitrarily
-  // nestable finish) track only their own asyncs.
-  struct CallState {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
-  };
-  auto state = std::make_shared<CallState>();
-  state->remaining = count;
-
-  auto wrap = [&body, state](size_t i) {
-    body(i);
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      --state->remaining;
-    }
-    state->cv.notify_all();
-  };
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    M3R_CHECK(!shutdown_);
-    for (size_t i = 0; i < count; ++i) {
-      queue_.emplace_back([wrap, i] { wrap(i); });
-    }
-  }
-  work_cv_.notify_all();
-
-  // The submitting thread helps drain the global queue until its own tasks
-  // are all done. This keeps nested calls deadlock-free and lets
-  // single-threaded hosts make progress.
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (state->remaining == 0) return;
-    }
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!queue_.empty()) {
-        task = std::move(queue_.front());
-        queue_.pop_front();
-      }
-    }
-    if (task) {
-      task();
-    } else {
-      std::unique_lock<std::mutex> lock(state->mu);
-      // Re-check under the state lock, then wait briefly; a timed wait
-      // avoids a lost-wakeup race between the two mutexes.
-      if (state->remaining == 0) return;
-      state->cv.wait_for(lock, std::chrono::milliseconds(1));
-    }
-  }
+  executor_.ParallelFor(count, body);
 }
 
 void PlaceGroup::FinishForAll(const std::function<void(int)>& body) {

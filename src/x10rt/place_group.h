@@ -1,18 +1,15 @@
 #ifndef M3R_X10RT_PLACE_GROUP_H_
 #define M3R_X10RT_PLACE_GROUP_H_
 
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "common/executor.h"
 
 namespace m3r::x10rt {
 
-/// A fixed set of long-lived logical places backed by a persistent host
-/// thread pool — the C++ stand-in for X10's "one JVM per place, reused for
-/// every job" model that M3R builds on.
+/// A fixed set of long-lived logical places backed by a persistent
+/// work-stealing Executor — the C++ stand-in for X10's "one JVM per place,
+/// reused for every job" model that M3R builds on.
 ///
 /// Places are *logical*: the simulated cluster may have 20 places while the
 /// host has 8 cores. Engine phases use FinishForAll (X10's
@@ -24,7 +21,6 @@ class PlaceGroup {
   /// `num_places` logical places; `host_threads` <= 0 means one per
   /// hardware thread.
   explicit PlaceGroup(int num_places, int host_threads = 0);
-  ~PlaceGroup();
 
   PlaceGroup(const PlaceGroup&) = delete;
   PlaceGroup& operator=(const PlaceGroup&) = delete;
@@ -32,23 +28,21 @@ class PlaceGroup {
   int NumPlaces() const { return num_places_; }
 
   /// Runs body(place) for every place and waits for all to finish
-  /// (X10 finish). Exceptions in bodies abort the process: engine phases
-  /// must not throw, matching M3R's "no resilience" design point.
+  /// (X10 finish). The first exception thrown by a body is rethrown on
+  /// the calling thread after all places drain.
   void FinishForAll(const std::function<void(int place)>& body);
 
   /// Generic fan-out: runs body(i) for i in [0, count) and waits.
   void FinishFor(size_t count, const std::function<void(size_t i)>& body);
 
+  /// The executor backing this group. Place bodies may submit nested
+  /// parallel loops here (the intra-place worker pool): the caller always
+  /// participates, so nesting cannot deadlock.
+  Executor& pool() { return executor_; }
+
  private:
-  void WorkerLoop();
-
   const int num_places_;
-  std::vector<std::thread> threads_;
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Executor executor_;
 };
 
 }  // namespace m3r::x10rt

@@ -1,0 +1,172 @@
+// Engine::SubmitAsync / JobHandle surface, and end-to-end equivalence of
+// the M3R engine's intra-place worker pool (m3r.place.workers) against the
+// single-strand run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/logging.h"
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec TestCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+std::vector<std::string> ReadOutputLines(dfs::FileSystem& fs,
+                                         const std::string& dir) {
+  std::vector<std::string> lines;
+  auto files = fs.ListStatus(dir);
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  for (const auto& f : *files) {
+    if (f.is_directory) continue;
+    if (f.path.find("part-") == std::string::npos) continue;
+    auto content = fs.ReadFile(f.path);
+    EXPECT_TRUE(content.ok());
+    std::string cur;
+    for (char c : *content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(SubmitAsync, HandleWaitsAndMatchesBlockingSubmit) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 100 * 1024, 2, 11).ok());
+  engine::M3REngine engine(fs, {TestCluster()});
+
+  api::JobHandle handle = engine.SubmitAsync(
+      workloads::MakeWordCountJob("/in", "/out-async", 2, true));
+  ASSERT_TRUE(handle.Valid());
+  EXPECT_EQ(handle.JobName(), "wordcount-immutable");
+  const api::JobResult& async_result = handle.Wait();
+  ASSERT_TRUE(async_result.ok()) << async_result.status.ToString();
+  EXPECT_TRUE(handle.Done());
+  EXPECT_DOUBLE_EQ(handle.Progress(), 1.0);
+
+  // Terminal counters are visible through the handle.
+  EXPECT_EQ(handle.LiveCounters().Get(api::counters::kTaskGroup,
+                                      api::counters::kMapInputRecords),
+            async_result.counters.Get(api::counters::kTaskGroup,
+                                      api::counters::kMapInputRecords));
+
+  api::JobResult blocking = engine.Submit(
+      workloads::MakeWordCountJob("/in", "/out-blocking", 2, true));
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_EQ(ReadOutputLines(*fs, "/out-async"),
+            ReadOutputLines(*fs, "/out-blocking"));
+}
+
+TEST(SubmitAsync, ConcurrentSubmissionsSerializeAndBothSucceed) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 60 * 1024, 2, 5).ok());
+  engine::M3REngine engine(fs, {TestCluster()});
+
+  api::JobHandle h1 = engine.SubmitAsync(
+      workloads::MakeWordCountJob("/in", "/o1", 2, true));
+  api::JobHandle h2 = engine.SubmitAsync(
+      workloads::MakeWordCountJob("/in", "/o2", 2, true));
+  ASSERT_TRUE(h1.Wait().ok()) << h1.Wait().status.ToString();
+  ASSERT_TRUE(h2.Wait().ok()) << h2.Wait().status.ToString();
+  EXPECT_EQ(ReadOutputLines(*fs, "/o1"), ReadOutputLines(*fs, "/o2"));
+}
+
+TEST(SubmitAsync, HandleReportsFailure) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  engine::M3REngine engine(fs, {TestCluster()});
+  // No input generated: the job must fail, and the handle must say so.
+  api::JobHandle handle = engine.SubmitAsync(
+      workloads::MakeWordCountJob("/missing", "/out", 2, true));
+  EXPECT_FALSE(handle.Wait().ok());
+  EXPECT_TRUE(handle.Done());
+}
+
+TEST(SubmitAsync, JobClientRoutesAsyncToForcedEngine) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 40 * 1024, 2, 3).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{TestCluster()});
+  auto hadoop = std::make_shared<hadoop::HadoopEngine>(
+      fs, hadoop::HadoopEngineOptions{TestCluster(), 0});
+  api::JobClient client(m3r, hadoop);
+
+  api::JobConf forced = workloads::MakeWordCountJob("/in", "/out-h", 2, true);
+  forced.SetBool(api::conf::kForceHadoopEngine, true);
+  api::JobHandle h = client.SubmitJobAsync(forced);
+  ASSERT_TRUE(h.Wait().ok());
+  // The Hadoop engine ran it: M3R's cache never saw the input.
+  api::JobResult m3r_probe = client.SubmitJob(
+      workloads::MakeWordCountJob("/in", "/out-m", 2, true));
+  ASSERT_TRUE(m3r_probe.ok());
+  EXPECT_EQ(m3r_probe.metrics.at("cache_hit_splits"), 0);
+}
+
+TEST(PlaceWorkers, MultiStrandRunMatchesSingleStrand) {
+  auto run = [](int workers) {
+    auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+    M3R_CHECK_OK(workloads::GenerateText(*fs, "/in", 150 * 1024, 4, 42));
+    engine::M3REngineOptions opts{TestCluster()};
+    opts.workers_per_place = workers;
+    engine::M3REngine engine(fs, opts);
+    api::JobResult r =
+        engine.Submit(workloads::MakeWordCountJob("/in", "/out", 3, true));
+    M3R_CHECK(r.ok()) << r.status.ToString();
+    return std::make_pair(r, ReadOutputLines(*fs, "/out"));
+  };
+  auto [r1, lines1] = run(1);
+  auto [r4, lines4] = run(4);
+  EXPECT_EQ(r4.metrics.at("place_workers"), 4);
+  EXPECT_EQ(r1.metrics.at("place_workers"), 1);
+  EXPECT_EQ(lines1, lines4);
+  ASSERT_FALSE(lines1.empty());
+  // Semantic counts are identical under intra-place parallelism.
+  EXPECT_EQ(r1.metrics.at("shuffle_local_pairs"),
+            r4.metrics.at("shuffle_local_pairs"));
+  EXPECT_EQ(r1.metrics.at("shuffle_remote_pairs"),
+            r4.metrics.at("shuffle_remote_pairs"));
+  EXPECT_EQ(r1.counters.Get(api::counters::kTaskGroup,
+                            api::counters::kReduceOutputRecords),
+            r4.counters.Get(api::counters::kTaskGroup,
+                            api::counters::kReduceOutputRecords));
+  // Per-phase attribution still sums to the simulated total.
+  for (const api::JobResult* r : {&r1, &r4}) {
+    double sum = 0;
+    for (const auto& [phase, seconds] : r->time_breakdown) sum += seconds;
+    EXPECT_NEAR(sum, r->sim_seconds, 1e-9);
+  }
+}
+
+TEST(PlaceWorkers, ConfKeyOverridesEngineOption) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 40 * 1024, 2, 9).ok());
+  engine::M3REngineOptions opts{TestCluster()};
+  opts.workers_per_place = 1;
+  engine::M3REngine engine(fs, opts);
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 2, true);
+  job.SetInt(api::conf::kPlaceWorkers, 3);
+  api::JobResult r = engine.Submit(job);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.metrics.at("place_workers"), 3);
+}
+
+}  // namespace
+}  // namespace m3r

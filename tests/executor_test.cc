@@ -1,0 +1,140 @@
+#include "common/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace m3r {
+namespace {
+
+TEST(Executor, RunsEveryIndexExactlyOnce) {
+  Executor ex(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ex.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Executor, WorksWithSingleThreadPool) {
+  Executor ex(1);
+  std::atomic<uint64_t> sum{0};
+  ex.ParallelFor(1000, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(Executor, RethrowsFirstExceptionOnCaller) {
+  Executor ex(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ex.ParallelFor(100,
+                     [&](size_t i) {
+                       ++ran;
+                       if (i == 3) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // The failing batch drains before rethrow: no stragglers remain.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 100);
+  // The executor stays usable after a failed batch.
+  std::atomic<int> after{0};
+  ex.ParallelFor(10, [&](size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(Executor, ExceptionSkipsRemainingItems) {
+  Executor ex(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ex.ParallelFor(1000,
+                              [&](size_t) {
+                                ++ran;
+                                throw std::runtime_error("first");
+                              }),
+               std::runtime_error);
+  // After the first failure, unstarted items are skipped, so far fewer
+  // than all bodies actually execute (racing claimers may run a handful).
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(Executor, MaxWorkersCapsConcurrency) {
+  Executor ex(8);
+  std::atomic<int> inside{0};
+  std::atomic<int> high_water{0};
+  ex.ParallelFor(
+      64,
+      [&](size_t) {
+        int now = ++inside;
+        int seen = high_water.load();
+        while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        --inside;
+      },
+      /*max_workers=*/2);
+  EXPECT_LE(high_water.load(), 2);
+}
+
+TEST(Executor, NestedParallelForCompletes) {
+  Executor ex(2);
+  std::atomic<int> total{0};
+  ex.ParallelFor(8, [&](size_t) {
+    ex.ParallelFor(16, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(Executor, DeeplyNestedOnSharedExecutor) {
+  std::atomic<int> total{0};
+  Executor::Shared().ParallelFor(4, [&](size_t) {
+    Executor::Shared().ParallelFor(4, [&](size_t) {
+      Executor::Shared().ParallelFor(4, [&](size_t) { ++total; });
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Executor, ManyRoundsReuseThePool) {
+  Executor ex(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    ex.ParallelFor(17, [&](size_t) { ++count; });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+TEST(Executor, ConcurrentCallersShareThePool) {
+  Executor ex(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back(
+        [&] { ex.ParallelFor(500, [&](size_t) { ++total; }); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 500);
+}
+
+TEST(ParallelForShim, RethrowsInsteadOfTerminating) {
+  // The legacy free function used to let worker-thread exceptions escape
+  // to std::terminate; it now reports them to the caller.
+  EXPECT_THROW(ParallelFor(50,
+                           [](size_t i) {
+                             if (i == 7) throw std::logic_error("bad");
+                           },
+                           4),
+               std::logic_error);
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(100, [&](size_t i) { sum += i; }, 4);
+  EXPECT_EQ(sum.load(), 100u * 99u / 2);
+}
+
+}  // namespace
+}  // namespace m3r

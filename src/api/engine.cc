@@ -1,9 +1,12 @@
 #include "api/engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace m3r::api {
 
@@ -16,6 +19,8 @@ struct JobHandle::State {
   double progress = 0;
   Counters live;
   JobResult result;
+  /// Set by JobHandle::Cancel, polled by the engine at task boundaries.
+  std::atomic<bool> cancel_requested{false};
 };
 
 JobHandle::JobHandle(std::shared_ptr<State> state, std::thread worker)
@@ -64,6 +69,11 @@ bool JobHandle::Done() const {
   M3R_CHECK(state_ != nullptr);
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->done;
+}
+
+void JobHandle::Cancel() {
+  M3R_CHECK(state_ != nullptr) << "Cancel on an empty JobHandle";
+  state_->cancel_requested.store(true, std::memory_order_relaxed);
 }
 
 double JobHandle::Progress() const {
@@ -131,6 +141,16 @@ void Engine::ReportProgress(const JobConf& conf, double progress,
   if (cb) cb(conf.JobName(), progress, live);
 }
 
+bool Engine::CancelRequested() const {
+  std::shared_ptr<JobHandle::State> async;
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    async = active_async_;
+  }
+  return async != nullptr &&
+         async->cancel_requested.load(std::memory_order_relaxed);
+}
+
 void Engine::NotifyJobEnd(const JobConf& conf, const JobResult& result) {
   std::string url = conf.Get(conf::kJobEndNotificationUrl);
   if (url.empty()) return;
@@ -151,8 +171,24 @@ JobHandle JobClient::SubmitJobAsync(const JobConf& conf) {
 }
 
 JobResult JobClient::SubmitJob(const JobConf& conf) {
-  JobHandle handle = SubmitJobAsync(conf);
-  return handle.Wait();
+  BackoffPolicy policy;
+  policy.max_attempts =
+      std::max<int>(1, static_cast<int>(conf.GetInt(conf::kJobMaxAttempts,
+                                                    1)));
+  policy.initial_backoff_us =
+      static_cast<double>(conf.GetInt(conf::kJobRetryBackoffMs, 10)) * 1000;
+  policy.max_backoff_us = policy.initial_backoff_us * 64;
+  Backoff backoff(policy);
+  JobResult result;
+  while (backoff.Next()) {
+    JobHandle handle = SubmitJobAsync(conf);
+    result = handle.Wait();
+    if (result.ok() || !result.status.IsRetriable()) return result;
+    M3R_LOG(Warn) << "job '" << conf.JobName() << "' attempt "
+                  << backoff.attempts()
+                  << " failed: " << result.status.ToString();
+  }
+  return result;
 }
 
 std::vector<JobResult> JobClient::RunSequence(

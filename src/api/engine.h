@@ -58,6 +58,12 @@ class JobHandle {
 
   bool Done() const;
 
+  /// Requests cancellation. The engine observes the request at its next
+  /// task boundary, stops scheduling new tasks, and finishes the job with
+  /// Status::Cancelled — no _SUCCESS marker is committed. Idempotent; a
+  /// job that already completed is unaffected.
+  void Cancel();
+
   /// Last reported progress fraction in [0, 1].
   double Progress() const;
 
@@ -114,6 +120,10 @@ class Engine {
   /// Called by implementations at task/phase milestones.
   void ReportProgress(const JobConf& conf, double progress,
                       const Counters* live) const;
+  /// True when the running async job's handle requested cancellation.
+  /// Engines poll this at task boundaries; synchronous Submit calls (no
+  /// handle) always see false.
+  bool CancelRequested() const;
 
  private:
   mutable std::mutex notify_mu_;
@@ -136,7 +146,10 @@ class JobClient {
       : primary_(std::move(primary)),
         fallback_(std::move(hadoop_fallback)) {}
 
-  /// Blocking submit — SubmitJobAsync + Wait.
+  /// Blocking submit — SubmitJobAsync + Wait. When the job sets
+  /// m3r.job.max.attempts > 1, retriable failures (IOError / Aborted /
+  /// Unavailable — e.g. injected faults or a place crash) are resubmitted
+  /// with exponential backoff starting at m3r.job.retry.backoff.ms.
   JobResult SubmitJob(const JobConf& conf);
 
   /// Routes to the engine the conf selects and returns its handle.

@@ -60,6 +60,30 @@ inline constexpr char kTempPaths[] = "m3r.temp.paths";
 /// execution, shuffle decode, reduce execution). 0 or unset defers to
 /// M3REngineOptions::workers_per_place.
 inline constexpr char kPlaceWorkers[] = "m3r.place.workers";
+
+// --- Resilience (Hadoop task retry/speculation, M3R recovery) ---
+/// Attempts allowed per map/reduce task before the job fails (Hadoop
+/// default: 4). Failed attempts are re-run and their time is charged to
+/// the simulated makespan.
+inline constexpr char kMapMaxAttempts[] = "mapred.map.max.attempts";
+inline constexpr char kReduceMaxAttempts[] = "mapred.reduce.max.attempts";
+/// Task failures tolerated on one node before it is blacklisted for the
+/// rest of the job (placement only — the node's slots stop taking tasks).
+inline constexpr char kMaxTrackerFailures[] = "mapred.max.tracker.failures";
+/// Enables speculative execution of straggler tasks (off by default here;
+/// the simulator's deterministic durations rarely produce stragglers).
+inline constexpr char kSpeculativeExecution[] =
+    "mapred.speculative.execution";
+/// A task is speculated when its duration exceeds this multiple of the
+/// phase's mean task duration.
+inline constexpr char kSpeculativeSlowTaskThreshold[] =
+    "mapred.speculative.slowtaskthreshold";
+/// M3R checkpoint policy: "off" (default), "tempout" (spill cache-only
+/// temporary outputs to the DFS in the background), or "all".
+inline constexpr char kCacheCheckpoint[] = "m3r.cache.checkpoint";
+/// Job-level retries by JobClient::SubmitJob on retriable failures.
+inline constexpr char kJobMaxAttempts[] = "m3r.job.max.attempts";
+inline constexpr char kJobRetryBackoffMs[] = "m3r.job.retry.backoff.ms";
 }  // namespace conf
 
 /// Job configuration: a Configuration plus convenience accessors for the

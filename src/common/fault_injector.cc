@@ -1,0 +1,114 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+namespace m3r {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a, folded through SplitMix64 for avalanche.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace
+
+void FaultInjector::Configure(const std::string& site, SiteConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[site].config = config;
+}
+
+bool FaultInjector::Armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !sites_.empty();
+}
+
+bool FaultInjector::ShouldFail(const std::string& site,
+                               const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteState& state = it->second;
+  ++state.evaluations;
+  if (state.config.limit >= 0 && state.injected >= state.config.limit) {
+    return false;
+  }
+  bool fire = false;
+  if (state.config.nth > 0 && state.evaluations == state.config.nth) {
+    fire = true;
+  }
+  if (!fire && state.config.probability > 0) {
+    // Keyed deterministic coin: independent of evaluation order, so
+    // concurrent task attempts always draw the same verdict.
+    uint64_t h = SplitMix64(seed_ ^ HashString(site) ^
+                            (HashString(key) * 0x9e3779b97f4a7c15ULL));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    fire = u < state.config.probability;
+  }
+  if (fire) ++state.injected;
+  return fire;
+}
+
+Status FaultInjector::Check(const std::string& site, const std::string& key) {
+  if (!ShouldFail(site, key)) return Status::OK();
+  return Status::Unavailable("injected fault at " + site + " [" + key + "]");
+}
+
+int64_t FaultInjector::InjectedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.injected;
+  return total;
+}
+
+int64_t FaultInjector::InjectedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::FromConf(
+    const std::map<std::string, std::string>& raw) {
+  static constexpr char kPrefix[] = "m3r.fault.";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  uint64_t seed = 1;
+  std::map<std::string, FaultInjector::SiteConfig> configs;
+  for (const auto& [key, value] : raw) {
+    if (key.compare(0, prefix_len, kPrefix) != 0) continue;
+    std::string rest = key.substr(prefix_len);
+    if (rest == "seed") {
+      seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
+    size_t dot = rest.rfind('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    std::string site = rest.substr(0, dot);
+    std::string attr = rest.substr(dot + 1);
+    SiteConfig& config = configs[site];
+    if (attr == "prob") {
+      config.probability = std::strtod(value.c_str(), nullptr);
+    } else if (attr == "nth") {
+      config.nth = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (attr == "limit") {
+      config.limit = std::strtoll(value.c_str(), nullptr, 10);
+    }
+  }
+  if (configs.empty()) return nullptr;
+  auto injector = std::make_shared<FaultInjector>(seed);
+  for (auto& [site, config] : configs) injector->Configure(site, config);
+  return injector;
+}
+
+}  // namespace m3r

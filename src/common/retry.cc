@@ -1,0 +1,25 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace m3r {
+
+Backoff::Backoff(const BackoffPolicy& policy)
+    : policy_(policy), next_sleep_us_(policy.initial_backoff_us) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+bool Backoff::Next() {
+  if (attempts_ >= policy_.max_attempts) return false;
+  if (attempts_ > 0 && next_sleep_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+        std::min(next_sleep_us_, policy_.max_backoff_us)));
+    next_sleep_us_ *= policy_.multiplier;
+  }
+  ++attempts_;
+  return true;
+}
+
+}  // namespace m3r

@@ -1,0 +1,46 @@
+#ifndef M3R_COMMON_RETRY_H_
+#define M3R_COMMON_RETRY_H_
+
+namespace m3r {
+
+/// Shared retry budget + exponential backoff configuration, used by the
+/// kv-store's optimistic-lock loops and JobClient's job-level retries.
+struct BackoffPolicy {
+  /// Total attempts allowed (first try included). Must be >= 1.
+  int max_attempts = 64;
+  /// Sleep before the first retry, in microseconds. 0 = spin (no sleep).
+  double initial_backoff_us = 0;
+  /// Growth factor applied to the sleep after every retry.
+  double multiplier = 2.0;
+  /// Ceiling for one sleep, in microseconds.
+  double max_backoff_us = 1000;
+};
+
+/// Drives one retry loop:
+///
+///   Backoff backoff(policy);
+///   while (backoff.Next()) {
+///     if (TryOnce()) return ...;        // success
+///   }
+///   return Status::Aborted("budget exhausted");
+///
+/// Next() returns true for the first `max_attempts` calls and false after
+/// the budget is spent; from the second attempt on it sleeps the current
+/// (exponentially growing) backoff before returning.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy = {});
+
+  bool Next();
+  /// Attempts granted so far (== number of times Next() returned true).
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  int attempts_ = 0;
+  double next_sleep_us_;
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_RETRY_H_

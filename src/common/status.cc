@@ -20,8 +20,19 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsRetriable(StatusCode code) {
+  return code == StatusCode::kIOError || code == StatusCode::kAborted ||
+         code == StatusCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

@@ -17,7 +17,20 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// Transient conflict (optimistic-lock budget exhausted, ...): safe to
+  /// retry the whole operation.
+  kAborted,
+  /// Explicitly cancelled by the caller; never retried.
+  kCancelled,
+  /// A resource (node, place, service) is temporarily gone — the code
+  /// injected faults and place crashes surface as. Retriable.
+  kUnavailable,
 };
+
+/// True for codes that denote transient conditions a caller may retry
+/// (IOError, Aborted, Unavailable) as opposed to deterministic failures
+/// (InvalidArgument, NotFound, ...) that would just fail again.
+bool IsRetriable(StatusCode code);
 
 /// Returns a short human-readable name for `code` (e.g. "NotFound").
 const char* StatusCodeName(StatusCode code);
@@ -55,6 +68,15 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -62,6 +84,10 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsRetriable() const { return ::m3r::IsRetriable(code_); }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -15,4 +15,19 @@ Result<std::string> FileSystem::ReadFile(const std::string& path) {
   return std::string(*content);
 }
 
+void FileSystem::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = std::move(injector);
+}
+
+Status FileSystem::CheckFault(const char* site, const std::string& path) {
+  std::shared_ptr<FaultInjector> injector;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    injector = fault_;
+  }
+  if (injector == nullptr) return Status::OK();
+  return injector->Check(site, path);
+}
+
 }  // namespace m3r::dfs

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 
 namespace m3r::dfs {
@@ -80,6 +82,20 @@ class FileSystem {
                    const CreateOptions& opts = {});
   /// Convenience: reads complete contents.
   Result<std::string> ReadFile(const std::string& path);
+
+  /// Installs (or clears, with null) the fault injector consulted at the
+  /// "dfs.read" / "dfs.write" sites. Engines install a per-job injector at
+  /// submit and clear it when the job finishes.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+
+ protected:
+  /// Evaluates injection site `site` keyed by `path`; implementations call
+  /// this at the top of Open (dfs.read) and Create (dfs.write).
+  Status CheckFault(const char* site, const std::string& path);
+
+ private:
+  std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_;
 };
 
 }  // namespace m3r::dfs

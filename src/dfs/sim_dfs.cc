@@ -54,6 +54,7 @@ SimDfs::SimDfs(int num_nodes, int replication, uint64_t block_size)
 Result<std::unique_ptr<FileWriter>> SimDfs::Create(const std::string& path,
                                                    const CreateOptions& opts) {
   std::string p = path::Canonicalize(path);
+  M3R_RETURN_NOT_OK(CheckFault("dfs.write", p));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = inodes_.find(p);
   if (it != inodes_.end()) {
@@ -121,6 +122,7 @@ Status SimDfs::MkdirsLocked(const std::string& path) {
 Result<std::shared_ptr<const std::string>> SimDfs::Open(
     const std::string& path) {
   std::string p = path::Canonicalize(path);
+  M3R_RETURN_NOT_OK(CheckFault("dfs.read", p));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = inodes_.find(p);
   if (it == inodes_.end()) return Status::NotFound(p);

@@ -7,6 +7,7 @@
 #include "api/distributed_cache.h"
 #include "api/output_format.h"
 #include "api/task_runner.h"
+#include "common/fault_injector.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "hadoop/map_task.h"
@@ -55,6 +56,28 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
 
   const int num_reduce = conf.NumReduceTasks();
 
+  // --- Resilience knobs (Hadoop task-retry semantics) ---
+  const int map_max_attempts = static_cast<int>(
+      std::max<int64_t>(1, conf.GetInt(api::conf::kMapMaxAttempts, 4)));
+  const int reduce_max_attempts = static_cast<int>(
+      std::max<int64_t>(1, conf.GetInt(api::conf::kReduceMaxAttempts, 4)));
+  const int max_tracker_failures = static_cast<int>(
+      std::max<int64_t>(1, conf.GetInt(api::conf::kMaxTrackerFailures, 4)));
+  const bool speculative =
+      conf.GetBool(api::conf::kSpeculativeExecution, false);
+  const double slow_threshold =
+      conf.GetDouble(api::conf::kSpeculativeSlowTaskThreshold, 1.5);
+
+  // Per-job deterministic fault injection: installed on the file system
+  // (dfs.read / dfs.write sites) and handed to tasks (hadoop.map /
+  // hadoop.reduce sites). Cleared on every exit path.
+  std::shared_ptr<FaultInjector> fault = FaultInjector::FromConf(conf.raw());
+  struct FaultGuard {
+    dfs::FileSystem* fs;
+    ~FaultGuard() { fs->SetFaultInjector(nullptr); }
+  } fault_guard{fs_.get()};
+  fs_->SetFaultInjector(fault);
+
   // --- Submit: jobtracker handshake, job files, splits (paper §3.1) ---
   auto output_format = api::MakeOutputFormat(conf);
   Status st = output_format->CheckOutputSpecs(conf, *fs_);
@@ -63,10 +86,25 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   st = committer.SetupJob(conf, *fs_);
   if (!st.ok()) return Fail(std::move(st));
 
+  // Post-setup failures take the full-cleanup path: CheckOutputSpecs
+  // guaranteed the output directory did not pre-exist, so everything under
+  // it belongs to this job — abort the commit protocol, remove the partial
+  // output (no _SUCCESS can survive), and fire the FAILED notification so
+  // job-end listeners hear about mid-run failures. Leaving the directory
+  // absent is what lets JobClient's job-level retry resubmit cleanly.
+  auto fail_job = [&](Status status) {
+    committer.AbortJob(conf, *fs_);
+    fs_->Delete(conf.OutputPath(), /*recursive=*/true);
+    result.status = std::move(status);
+    result.wall_seconds = wall.ElapsedSeconds();
+    NotifyJobEnd(conf, result);
+    return result;
+  };
+
   std::string job_xml = SerializeConf(conf);
   std::string job_dir = "/system/mapred/job_" + std::to_string(job_id);
   st = fs_->WriteFile(job_dir + "/job.xml", job_xml);
-  if (!st.ok()) return Fail(std::move(st));
+  if (!st.ok()) return fail_job(std::move(st));
 
   double t = spec.job_submit_overhead_s + cost_.DfsWrite(job_xml.size());
 
@@ -74,7 +112,7 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   auto cache_files = api::DistributedCache::GetCacheFiles(conf);
   if (!cache_files.empty()) {
     auto localized = api::DistributedCache::Localize(conf, *fs_);
-    if (!localized.ok()) return Fail(localized.status());
+    if (!localized.ok()) return fail_job(localized.status());
     uint64_t cache_bytes = 0;
     for (const auto& [p, content] : *localized) cache_bytes += content->size();
     // Nodes localize in parallel; charge one replicated read fan-out.
@@ -86,13 +124,13 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
 
   auto input_format = api::MakeInputFormat(conf);
   auto splits_or = input_format->GetSplits(conf, *fs_, spec.total_slots());
-  if (!splits_or.ok()) return Fail(splits_or.status());
+  if (!splits_or.ok()) return fail_job(splits_or.status());
   std::vector<api::InputSplitPtr> splits = splits_or.take();
 
   // Split metadata is also written to the job directory.
   st = fs_->WriteFile(job_dir + "/job.split",
                       std::string(splits.size() * 64, 's'));
-  if (!st.ok()) return Fail(std::move(st));
+  if (!st.ok()) return fail_job(std::move(st));
   result.time_breakdown["submit"] = t;
 
   // --- Map phase: execute for real, then account on the timeline ---
@@ -100,21 +138,37 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   // placement as an arbitrary (but deterministic) host per task, which is
   // why data written by Hadoop generally does NOT line up with M3R's
   // stable partition->place mapping (paper §6.1.1).
-  auto arbitrary_node = [&](int task) {
+  auto arbitrary_node = [&](int task, int attempt) {
     uint64_t h = static_cast<uint64_t>(job_id) * 2654435761u +
-                 static_cast<uint64_t>(task) * 40503u + 17;
+                 static_cast<uint64_t>(task) * 40503u +
+                 static_cast<uint64_t>(attempt) * 104729u + 17;
     return static_cast<int>(h % static_cast<uint64_t>(spec.num_nodes));
   };
 
   ReportProgress(conf, 0.05, &result.counters);
-  std::vector<MapTaskResult> map_results(splits.size());
+  // Every attempt executes for real; a failed one (injected fault, or user
+  // code surfacing a retriable status) re-runs under a fresh attempt
+  // number up to mapred.map.max.attempts. Keyed fault decisions make each
+  // task's retry history deterministic regardless of thread interleaving.
+  std::vector<std::vector<MapTaskResult>> map_attempts(splits.size());
   std::atomic<size_t> maps_done{0};
+  std::atomic<bool> cancelled{false};
   ParallelFor(
       splits.size(),
       [&](size_t i) {
-        map_results[i] = RunHadoopMapTask(
-            conf, *fs_, *splits[i], static_cast<int>(i), num_reduce,
-            arbitrary_node(static_cast<int>(i)));
+        if (CancelRequested()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::vector<MapTaskResult>& attempts = map_attempts[i];
+        for (int a = 0; a < map_max_attempts; ++a) {
+          attempts.push_back(RunHadoopMapTask(
+              conf, *fs_, *splits[i], static_cast<int>(i), num_reduce,
+              arbitrary_node(static_cast<int>(i), a), a, fault.get()));
+          if (attempts.back().status.ok()) break;
+          committer.AbortTask(conf, *fs_, static_cast<int>(i), a);
+          if (!attempts.back().status.IsRetriable()) break;
+        }
         size_t done = ++maps_done;
         // Asynchronous progress/counter update per completed task (§5.3).
         ReportProgress(conf,
@@ -123,33 +177,75 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
                        &result.counters);
       },
       options_.host_threads);
-  for (auto& mr : map_results) {
-    if (!mr.status.ok()) return Fail(mr.status);
-    result.counters.MergeFrom(mr.counters);
+  if (cancelled.load(std::memory_order_relaxed) || CancelRequested()) {
+    return fail_job(Status::Cancelled("job cancelled"));
+  }
+  for (auto& attempts : map_attempts) {
+    if (!attempts.back().status.ok()) {
+      return fail_job(attempts.back().status);
+    }
+    // Only the successful attempt's counters count, so a recovered run's
+    // counters match a fault-free run exactly.
+    result.counters.MergeFrom(attempts.back().counters);
   }
 
+  // Sim accounting. Failed attempts are charged too: a retry only becomes
+  // ready once the jobtracker has seen its predecessor fail, which is what
+  // stretches the simulated makespan under injected faults. Nodes
+  // accumulate failures and are blacklisted (excluded from placement) once
+  // they reach mapred.max.tracker.failures; a retried task also avoids the
+  // nodes its earlier attempts failed on.
   PhaseScheduler map_phase(spec, t);
   std::vector<int> map_nodes(splits.size(), 0);
+  std::vector<int> node_failures(static_cast<size_t>(spec.num_nodes), 0);
+  std::vector<int> blacklisted;
+  std::vector<double> map_finishes(splits.size(), t);
+  std::vector<double> map_durations(splits.size(), 0);
   int64_t local_maps = 0;
-  for (size_t i = 0; i < splits.size(); ++i) {
-    const MapTaskResult& mr = map_results[i];
-    bool local = false;
-    auto duration = [&](bool is_local, int) {
+  int64_t map_task_failures = 0;
+  auto map_duration_fn = [&](const MapTaskResult* mr) {
+    return [&, mr](bool is_local, int) {
       double d = spec.task_jvm_start_s;
-      d += cost_.DfsRead(mr.input_bytes, is_local);
-      d += mr.cpu_seconds * spec.data_scale;
-      d += cost_.DiskWrite(mr.spill_write_bytes);
-      if (mr.merge_bytes > 0) {
-        d += cost_.DiskRead(mr.merge_bytes) + cost_.DiskWrite(mr.merge_bytes);
+      d += cost_.DfsRead(mr->input_bytes, is_local);
+      d += mr->cpu_seconds * spec.data_scale;
+      d += cost_.DiskWrite(mr->spill_write_bytes);
+      if (mr->merge_bytes > 0) {
+        d += cost_.DiskRead(mr->merge_bytes) +
+             cost_.DiskWrite(mr->merge_bytes);
       }
-      if (num_reduce == 0) d += cost_.DfsWrite(mr.output_bytes);
+      if (num_reduce == 0) d += cost_.DfsWrite(mr->output_bytes);
       return d;
     };
-    sim::ScheduledTask sched =
-        map_phase.Add(duration, splits[i]->GetLocations(), &local);
-    map_nodes[i] = sched.node;
-    if (local) ++local_maps;
+  };
+  for (size_t i = 0; i < splits.size(); ++i) {
+    const std::vector<MapTaskResult>& attempts = map_attempts[i];
+    double ready = -1;
+    std::vector<int> failed_on;
+    for (size_t a = 0; a < attempts.size(); ++a) {
+      const MapTaskResult& mr = attempts[a];
+      std::vector<int> avoid = blacklisted;
+      avoid.insert(avoid.end(), failed_on.begin(), failed_on.end());
+      bool local = false;
+      sim::ScheduledTask sched =
+          map_phase.Add(map_duration_fn(&mr), splits[i]->GetLocations(),
+                        &local, ready, avoid);
+      if (!mr.status.ok()) {
+        ++map_task_failures;
+        failed_on.push_back(sched.node);
+        if (++node_failures[static_cast<size_t>(sched.node)] ==
+            max_tracker_failures) {
+          blacklisted.push_back(sched.node);
+        }
+        ready = sched.finish_s;
+        continue;
+      }
+      map_nodes[i] = sched.node;
+      if (local) ++local_maps;
+      map_finishes[i] = sched.finish_s;
+      map_durations[i] = sched.finish_s - sched.start_s;
+    }
 
+    const MapTaskResult& mr = attempts.back();
     result.metrics["hdfs_read_bytes"] +=
         static_cast<int64_t>(mr.input_bytes);
     result.metrics["spill_write_bytes"] +=
@@ -162,32 +258,71 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
         api::counters::kFsGroup, api::counters::kFileBytesWritten,
         static_cast<int64_t>(mr.spill_write_bytes + mr.merge_bytes));
   }
+
+  // Speculative execution: a task whose completion lags well behind the
+  // mean (typically because it is a retry chain) gets a backup copy
+  // launched once the lag is evident; the task finishes when the first of
+  // the two copies does.
+  int64_t speculative_maps = 0;
+  if (speculative && splits.size() > 1) {
+    double mean = 0;
+    for (double d : map_durations) mean += d;
+    mean /= static_cast<double>(splits.size());
+    for (size_t i = 0; i < splits.size(); ++i) {
+      if (map_finishes[i] - t <= slow_threshold * mean) continue;
+      const MapTaskResult& mr = map_attempts[i].back();
+      sim::ScheduledTask backup =
+          map_phase.Add(map_duration_fn(&mr), splits[i]->GetLocations(),
+                        nullptr, t + slow_threshold * mean, blacklisted);
+      ++speculative_maps;
+      if (backup.finish_s < map_finishes[i]) {
+        map_finishes[i] = backup.finish_s;
+        map_nodes[i] = backup.node;
+      }
+    }
+  }
+
   result.metrics["map_tasks"] = static_cast<int64_t>(splits.size());
   result.metrics["data_local_maps"] = local_maps;
-  double map_done = splits.empty() ? t : map_phase.Makespan();
+  double map_done = t;
+  for (double f : map_finishes) map_done = std::max(map_done, f);
   result.time_breakdown["map_phase"] = map_done - t;
 
   double phase_end = map_done;
+  int64_t reduce_task_failures = 0;
+  int64_t speculative_reduces = 0;
 
   // --- Reduce phase ---
   if (num_reduce > 0) {
+    if (CancelRequested()) return fail_job(Status::Cancelled("job cancelled"));
     std::vector<std::vector<const std::string*>> reduce_inputs(
         static_cast<size_t>(num_reduce));
     for (int p = 0; p < num_reduce; ++p) {
-      for (const MapTaskResult& mr : map_results) {
+      for (const std::vector<MapTaskResult>& attempts : map_attempts) {
         reduce_inputs[static_cast<size_t>(p)].push_back(
-            &mr.partition_segments[static_cast<size_t>(p)]);
+            &attempts.back().partition_segments[static_cast<size_t>(p)]);
       }
     }
-    std::vector<ReduceTaskResult> reduce_results(
+    std::vector<std::vector<ReduceTaskResult>> reduce_attempts(
         static_cast<size_t>(num_reduce));
     std::atomic<size_t> reduces_done{0};
     ParallelFor(
         static_cast<size_t>(num_reduce),
         [&](size_t p) {
-          reduce_results[p] = RunHadoopReduceTask(
-              conf, *fs_, static_cast<int>(p), reduce_inputs[p],
-              arbitrary_node(1000000 + static_cast<int>(p)));
+          if (CancelRequested()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return;
+          }
+          std::vector<ReduceTaskResult>& attempts = reduce_attempts[p];
+          for (int a = 0; a < reduce_max_attempts; ++a) {
+            attempts.push_back(RunHadoopReduceTask(
+                conf, *fs_, static_cast<int>(p), reduce_inputs[p],
+                arbitrary_node(1000000 + static_cast<int>(p), a), a,
+                fault.get()));
+            if (attempts.back().status.ok()) break;
+            committer.AbortTask(conf, *fs_, static_cast<int>(p), a);
+            if (!attempts.back().status.IsRetriable()) break;
+          }
           size_t done = ++reduces_done;
           ReportProgress(conf,
                          0.6 + 0.35 * static_cast<double>(done) /
@@ -195,19 +330,26 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
                          &result.counters);
         },
         options_.host_threads);
-    for (auto& rr : reduce_results) {
-      if (!rr.status.ok()) return Fail(rr.status);
-      result.counters.MergeFrom(rr.counters);
+    if (cancelled.load(std::memory_order_relaxed) || CancelRequested()) {
+      return fail_job(Status::Cancelled("job cancelled"));
+    }
+    for (auto& attempts : reduce_attempts) {
+      if (!attempts.back().status.ok()) {
+        return fail_job(attempts.back().status);
+      }
+      result.counters.MergeFrom(attempts.back().counters);
     }
 
     PhaseScheduler reduce_phase(spec, map_done);
-    for (int p = 0; p < num_reduce; ++p) {
-      const ReduceTaskResult& rr = reduce_results[static_cast<size_t>(p)];
-      auto duration = [&](bool, int node) {
+    std::vector<double> reduce_finishes(static_cast<size_t>(num_reduce),
+                                        map_done);
+    std::vector<double> reduce_durations(static_cast<size_t>(num_reduce), 0);
+    auto reduce_duration_fn = [&](const ReduceTaskResult* rr, int p) {
+      return [&, rr, p](bool, int node) {
         double d = spec.task_jvm_start_s;
         // Fetch each map task's segment: disk read at the mapper plus a
         // network hop unless the map ran on this reducer's node.
-        for (size_t m = 0; m < map_results.size(); ++m) {
+        for (size_t m = 0; m < map_attempts.size(); ++m) {
           uint64_t bytes =
               reduce_inputs[static_cast<size_t>(p)][m]->size();
           if (bytes == 0) continue;
@@ -215,12 +357,41 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
           if (map_nodes[m] != node) d += cost_.NetTransfer(bytes);
         }
         // Out-of-core merge: one write+read pass over the merged bytes.
-        d += cost_.DiskWrite(rr.merge_bytes) + cost_.DiskRead(rr.merge_bytes);
-        d += rr.cpu_seconds * spec.data_scale;
-        d += cost_.DfsWrite(rr.output_bytes);
+        d += cost_.DiskWrite(rr->merge_bytes) +
+             cost_.DiskRead(rr->merge_bytes);
+        d += rr->cpu_seconds * spec.data_scale;
+        d += cost_.DfsWrite(rr->output_bytes);
         return d;
       };
-      reduce_phase.Add(duration);
+    };
+    for (int p = 0; p < num_reduce; ++p) {
+      const std::vector<ReduceTaskResult>& attempts =
+          reduce_attempts[static_cast<size_t>(p)];
+      double ready = -1;
+      std::vector<int> failed_on;
+      for (size_t a = 0; a < attempts.size(); ++a) {
+        const ReduceTaskResult& rr = attempts[a];
+        std::vector<int> avoid = blacklisted;
+        avoid.insert(avoid.end(), failed_on.begin(), failed_on.end());
+        sim::ScheduledTask sched =
+            reduce_phase.Add(reduce_duration_fn(&rr, p), {}, nullptr, ready,
+                             avoid);
+        if (!rr.status.ok()) {
+          ++reduce_task_failures;
+          failed_on.push_back(sched.node);
+          if (++node_failures[static_cast<size_t>(sched.node)] ==
+              max_tracker_failures) {
+            blacklisted.push_back(sched.node);
+          }
+          ready = sched.finish_s;
+          continue;
+        }
+        reduce_finishes[static_cast<size_t>(p)] = sched.finish_s;
+        reduce_durations[static_cast<size_t>(p)] =
+            sched.finish_s - sched.start_s;
+      }
+
+      const ReduceTaskResult& rr = attempts.back();
       result.metrics["shuffle_bytes"] +=
           static_cast<int64_t>(rr.shuffle_bytes);
       result.metrics["reduce_merge_bytes"] +=
@@ -231,11 +402,34 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
                                 api::counters::kHdfsBytesWritten,
                                 static_cast<int64_t>(rr.output_bytes));
     }
-    phase_end = reduce_phase.Makespan();
+
+    if (speculative && num_reduce > 1) {
+      double mean = 0;
+      for (double d : reduce_durations) mean += d;
+      mean /= static_cast<double>(num_reduce);
+      for (int p = 0; p < num_reduce; ++p) {
+        if (reduce_finishes[static_cast<size_t>(p)] - map_done <=
+            slow_threshold * mean) {
+          continue;
+        }
+        const ReduceTaskResult& rr =
+            reduce_attempts[static_cast<size_t>(p)].back();
+        sim::ScheduledTask backup = reduce_phase.Add(
+            reduce_duration_fn(&rr, p), {}, nullptr,
+            map_done + slow_threshold * mean, blacklisted);
+        ++speculative_reduces;
+        reduce_finishes[static_cast<size_t>(p)] = std::min(
+            reduce_finishes[static_cast<size_t>(p)], backup.finish_s);
+      }
+    }
+
+    phase_end = map_done;
+    for (double f : reduce_finishes) phase_end = std::max(phase_end, f);
     result.time_breakdown["reduce_phase"] = phase_end - map_done;
     result.metrics["reduce_tasks"] = num_reduce;
   } else {
-    for (const MapTaskResult& mr : map_results) {
+    for (const std::vector<MapTaskResult>& attempts : map_attempts) {
+      const MapTaskResult& mr = attempts.back();
       result.metrics["hdfs_write_bytes"] +=
           static_cast<int64_t>(mr.output_bytes);
       result.counters.Increment(api::counters::kFsGroup,
@@ -244,9 +438,22 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
     }
   }
 
+  result.metrics["map_task_failures"] = map_task_failures;
+  result.metrics["reduce_task_failures"] = reduce_task_failures;
+  result.metrics["blacklisted_nodes"] =
+      static_cast<int64_t>(blacklisted.size());
+  if (speculative) {
+    result.metrics["speculative_map_tasks"] = speculative_maps;
+    result.metrics["speculative_reduce_tasks"] = speculative_reduces;
+  }
+  if (fault != nullptr) {
+    result.metrics["injected_faults"] = fault->InjectedCount();
+  }
+
   // --- Commit ---
+  if (CancelRequested()) return fail_job(Status::Cancelled("job cancelled"));
   st = committer.CommitJob(conf, *fs_);
-  if (!st.ok()) return Fail(std::move(st));
+  if (!st.ok()) return fail_job(std::move(st));
   double total = phase_end + spec.job_commit_overhead_s;
   result.time_breakdown["commit"] = spec.job_commit_overhead_s;
 

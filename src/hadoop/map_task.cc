@@ -86,9 +86,12 @@ class HadoopNamedOutputSink : public api::NamedOutputSink {
 MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
                                dfs::FileSystem& fs,
                                const api::InputSplit& split, int task_id,
-                               int num_reduce, int node) {
+                               int num_reduce, int node, int attempt,
+                               FaultInjector* fault) {
   MapTaskResult result;
   api::CountersReporter reporter(&result.counters);
+  const std::string attempt_key =
+      std::to_string(task_id) + "/" + std::to_string(attempt);
 
   // MultipleInputs: the tagged split overrides mapper and input format.
   const api::InputSplit* base_split = nullptr;
@@ -113,7 +116,7 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
     // Map-only: write through the output format + commit protocol.
     auto output_format = api::MakeOutputFormat(conf);
     std::string temp_path =
-        api::file_output::TempPath(conf, task_id, /*attempt=*/0);
+        api::file_output::TempPath(conf, task_id, attempt);
     auto writer_or = output_format->GetRecordWriter(conf, fs, temp_path,
                                                     node);
     if (!writer_or.ok()) {
@@ -131,9 +134,16 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
     result.status = writer->Close();
     if (!result.status.ok()) return result;
     result.output_bytes = writer->BytesWritten() + named_sink.BytesWritten();
-    api::FileOutputCommitter committer;
-    result.status = committer.CommitTask(conf, fs, task_id, /*attempt=*/0);
     result.cpu_seconds = cpu.ElapsedSeconds();
+    // Injected death after the work but before the commit: the attempt
+    // directory is left for the engine to abort, and the retried attempt
+    // commits from its own directory.
+    if (fault != nullptr) {
+      result.status = fault->Check("hadoop.map", attempt_key);
+      if (!result.status.ok()) return result;
+    }
+    api::FileOutputCommitter committer;
+    result.status = committer.CommitTask(conf, fs, task_id, attempt);
     return result;
   }
 
@@ -145,6 +155,13 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
   if (!result.status.ok()) return result;
   buffer.Flush();
   result.cpu_seconds = cpu.ElapsedSeconds();
+  // Injected death after the map ran but before its output is served to
+  // reducers (the real-world window where a lost tracker forfeits its map
+  // output and the task must re-run).
+  if (fault != nullptr) {
+    result.status = fault->Check("hadoop.map", attempt_key);
+    if (!result.status.ok()) return result;
+  }
 
   // Merge spills into the final map output file, one sorted segment per
   // partition. A single spill needs no merge pass.

@@ -7,6 +7,7 @@
 #include "api/counters.h"
 #include "api/input_format.h"
 #include "api/job_conf.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "dfs/file_system.h"
 
@@ -35,10 +36,16 @@ struct MapTaskResult {
 /// the spills into one segment per partition.
 ///
 /// For map-only jobs (zero reducers), output goes straight to the job's
-/// OutputFormat through the commit protocol, keyed by `task_id`.
+/// OutputFormat through the commit protocol, keyed by `task_id` and
+/// `attempt` (retried attempts get fresh attempt directories).
+///
+/// `fault` (optional) is consulted at the "hadoop.map" site keyed by
+/// "<task>/<attempt>" after the user code has run — modeling a task that
+/// did its work and then died before committing.
 MapTaskResult RunHadoopMapTask(const api::JobConf& conf, dfs::FileSystem& fs,
                                const api::InputSplit& split, int task_id,
-                               int num_reduce, int node);
+                               int num_reduce, int node, int attempt = 0,
+                               FaultInjector* fault = nullptr);
 
 }  // namespace m3r::hadoop
 

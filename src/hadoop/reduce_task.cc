@@ -80,7 +80,8 @@ class HadoopReduceNamedSink : public api::NamedOutputSink {
 
 ReduceTaskResult RunHadoopReduceTask(
     const api::JobConf& conf, dfs::FileSystem& fs, int partition,
-    const std::vector<const std::string*>& segments, int node) {
+    const std::vector<const std::string*>& segments, int node, int attempt,
+    FaultInjector* fault) {
   ReduceTaskResult result;
   api::CountersReporter reporter(&result.counters);
 
@@ -103,7 +104,7 @@ ReduceTaskResult RunHadoopReduceTask(
 
   auto output_format = api::MakeOutputFormat(conf);
   std::string temp_path =
-      api::file_output::TempPath(conf, partition, /*attempt=*/0);
+      api::file_output::TempPath(conf, partition, attempt);
   auto writer_or = output_format->GetRecordWriter(conf, fs, temp_path, node);
   if (!writer_or.ok()) {
     result.status = writer_or.status();
@@ -125,8 +126,17 @@ ReduceTaskResult RunHadoopReduceTask(
   result.cpu_seconds = cpu.ElapsedSeconds();
   result.output_bytes = writer->BytesWritten() + named_sink.BytesWritten();
 
+  // Injected death between the reducer finishing and the task committing —
+  // the attempt directory stays behind for the engine to abort.
+  if (fault != nullptr) {
+    result.status = fault->Check(
+        "hadoop.reduce",
+        std::to_string(partition) + "/" + std::to_string(attempt));
+    if (!result.status.ok()) return result;
+  }
+
   api::FileOutputCommitter committer;
-  result.status = committer.CommitTask(conf, fs, partition, /*attempt=*/0);
+  result.status = committer.CommitTask(conf, fs, partition, attempt);
   return result;
 }
 

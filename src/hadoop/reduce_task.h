@@ -6,6 +6,7 @@
 
 #include "api/counters.h"
 #include "api/job_conf.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "dfs/file_system.h"
 
@@ -27,9 +28,13 @@ struct ReduceTaskResult {
 /// segments, streams groups through the job's reducer, and writes the
 /// partition's output file through the commit protocol.
 /// `segments[i]` is map task i's segment for this partition.
+///
+/// `fault` (optional) is consulted at the "hadoop.reduce" site keyed by
+/// "<partition>/<attempt>" after the reducer has run, before task commit.
 ReduceTaskResult RunHadoopReduceTask(
     const api::JobConf& conf, dfs::FileSystem& fs, int partition,
-    const std::vector<const std::string*>& segments, int node);
+    const std::vector<const std::string*>& segments, int node,
+    int attempt = 0, FaultInjector* fault = nullptr);
 
 }  // namespace m3r::hadoop
 

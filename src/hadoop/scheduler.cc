@@ -10,11 +10,13 @@ PhaseScheduler::PhaseScheduler(const sim::ClusterSpec& spec,
 
 sim::ScheduledTask PhaseScheduler::Add(
     const std::function<double(bool, int)>& duration_fn,
-    const std::vector<int>& preferred_nodes, bool* ran_local) {
+    const std::vector<int>& preferred_nodes, bool* ran_local, double ready_s,
+    const std::vector<int>& excluded_nodes) {
   // Expected wait for the next tracker heartbeat: half the interval.
   double dispatch = spec_.heartbeat_interval_s / 2;
-  return timeline_.ScheduleFn(phase_start_s_, duration_fn, dispatch,
-                              preferred_nodes, ran_local);
+  if (ready_s < phase_start_s_) ready_s = phase_start_s_;
+  return timeline_.ScheduleFn(ready_s, duration_fn, dispatch,
+                              preferred_nodes, ran_local, excluded_nodes);
 }
 
 }  // namespace m3r::hadoop

@@ -19,10 +19,16 @@ class PhaseScheduler {
 
   /// Schedules one task; `duration_fn(local, node)` is evaluated after
   /// placement, so input-read costs can depend on data locality.
+  ///
+  /// `ready_s` overrides when the task becomes runnable (default: the
+  /// phase start). Retried attempts chain on their predecessor's failure
+  /// time, which is how recovery lengthens the simulated makespan.
+  /// `excluded_nodes` are avoided (blacklisted trackers, prior failures).
   sim::ScheduledTask Add(
       const std::function<double(bool local, int node)>& duration_fn,
       const std::vector<int>& preferred_nodes = {},
-      bool* ran_local = nullptr);
+      bool* ran_local = nullptr, double ready_s = -1,
+      const std::vector<int>& excluded_nodes = {});
 
   double Makespan() const { return timeline_.Makespan(); }
 

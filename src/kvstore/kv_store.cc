@@ -8,8 +8,10 @@
 
 namespace m3r::kvstore {
 
-KVStore::KVStore(int num_places)
-    : num_places_(num_places), shards_(static_cast<size_t>(num_places)) {
+KVStore::KVStore(int num_places, const BackoffPolicy& retry_policy)
+    : num_places_(num_places),
+      retry_policy_(retry_policy),
+      shards_(static_cast<size_t>(num_places)) {
   M3R_CHECK(num_places > 0);
   shards_[ShardOf("/")].entries["/"].is_directory = true;
 }
@@ -177,9 +179,10 @@ Status KVStore::Delete(const std::string& path) {
 Status KVStore::DeleteRecursive(const std::string& path) {
   std::string p = path::Canonicalize(path);
   if (p == "/") return Status::InvalidArgument("cannot delete root");
-  // Optimistic subtree locking: collect, lock, re-validate, retry if the
-  // subtree changed between collection and locking.
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  // Optimistic subtree locking: collect, lock, re-validate, retry (with
+  // backoff) if the subtree changed between collection and locking.
+  Backoff backoff(retry_policy_);
+  while (backoff.Next()) {
     auto subtree = SubtreePaths(p);
     if (subtree.empty()) return Status::NotFound(p);
     std::vector<std::string> lockset = subtree;
@@ -190,7 +193,7 @@ Status KVStore::DeleteRecursive(const std::string& path) {
     for (const auto& q : subtree) EraseEntry(q);
     return Status::OK();
   }
-  return Status::Internal("DeleteRecursive retry budget exceeded: " + p);
+  return Status::Aborted("DeleteRecursive retry budget exceeded: " + p);
 }
 
 Status KVStore::Rename(const std::string& src, const std::string& dst) {
@@ -201,7 +204,8 @@ Status KVStore::Rename(const std::string& src, const std::string& dst) {
   if (path::IsUnder(d, s)) {
     return Status::InvalidArgument("cannot rename under itself");
   }
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  Backoff backoff(retry_policy_);
+  while (backoff.Next()) {
     auto subtree = SubtreePaths(s);
     if (subtree.empty()) return Status::NotFound(s);
     std::vector<std::string> lockset = subtree;
@@ -229,7 +233,7 @@ Status KVStore::Rename(const std::string& src, const std::string& dst) {
     }
     return Status::OK();
   }
-  return Status::Internal("Rename retry budget exceeded: " + s);
+  return Status::Aborted("Rename retry budget exceeded: " + s);
 }
 
 Result<PathInfo> KVStore::GetInfo(const std::string& path) {
@@ -289,6 +293,28 @@ Result<std::vector<PathInfo>> KVStore::List(const std::string& dir) {
     if (info) out.push_back(*info);
   }
   return out;
+}
+
+int64_t KVStore::EvictPlace(int place) {
+  int64_t evicted = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      Entry& e = it->second;
+      auto keep_end = std::remove_if(
+          e.blocks.begin(), e.blocks.end(),
+          [&](const auto& b) { return b.first.place == place; });
+      evicted += e.blocks.end() - keep_end;
+      e.blocks.erase(keep_end, e.blocks.end());
+      // A file whose every block lived at the dead place is wholly gone.
+      if (!e.is_directory && e.blocks.empty() && it->first != "/") {
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
 }
 
 uint64_t KVStore::TotalPairs() const {

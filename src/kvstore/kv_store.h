@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "kvstore/lock_manager.h"
 #include "serialize/writable.h"
@@ -63,7 +64,10 @@ struct PathInfo {
 ///   the least-common-ancestor ordering protocol (see LockManager).
 class KVStore {
  public:
-  explicit KVStore(int num_places);
+  /// `retry_policy` bounds the optimistic subtree-locking retries of
+  /// DeleteRecursive/Rename; exhaustion surfaces as Status::Aborted
+  /// (retriable — the conflict is transient contention, not corruption).
+  explicit KVStore(int num_places, const BackoffPolicy& retry_policy = {});
 
   int num_places() const { return num_places_; }
 
@@ -116,6 +120,12 @@ class KVStore {
   /// Paths directly under directory `dir`.
   Result<std::vector<PathInfo>> List(const std::string& dir);
 
+  /// Drops every block homed at `place` — the store's view of that place
+  /// crashing. Non-directory entries left with zero blocks are erased
+  /// (their data is wholly gone); entries that keep blocks at surviving
+  /// places stay. Returns the number of blocks evicted.
+  int64_t EvictPlace(int place);
+
   /// Total cached pairs across all paths (memory accounting for tests and
   /// the cache-management benchmarks).
   uint64_t TotalPairs() const;
@@ -153,6 +163,7 @@ class KVStore {
   std::vector<std::string> SubtreePaths(const std::string& path) const;
 
   const int num_places_;
+  const BackoffPolicy retry_policy_;
   std::vector<Shard> shards_;
   LockManager locks_;
   std::atomic<int64_t> mtime_counter_{0};

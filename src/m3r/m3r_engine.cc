@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/class_registry.h"
@@ -12,9 +15,12 @@
 #include "api/multiple_io.h"
 #include "api/output_format.h"
 #include "api/task_runner.h"
+#include "common/fault_injector.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "m3r/shuffle.h"
 #include "sim/timeline.h"
+#include "x10rt/channel.h"
 
 namespace m3r::engine {
 
@@ -426,6 +432,139 @@ M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
       fs_(std::make_shared<M3RFileSystem>(base_fs_, &cache_)),
       places_(options_.cluster.num_nodes, options_.host_threads) {}
 
+M3REngine::~M3REngine() { WaitForCheckpoints(); }
+
+void M3REngine::WaitForCheckpoints() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    threads.swap(ckpt_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::vector<std::string> M3REngine::AllCacheOnlyFiles() {
+  std::vector<std::string> out;
+  std::vector<std::string> stack = {"/"};
+  while (!stack.empty()) {
+    std::string dir = stack.back();
+    stack.pop_back();
+    auto list_or = cache_.store().List(dir);
+    if (!list_or.ok()) continue;
+    for (const kvstore::PathInfo& info : *list_or) {
+      if (info.is_directory) {
+        stack.push_back(info.path);
+      } else if (!info.blocks.empty() && !base_fs_->Exists(info.path)) {
+        out.push_back(info.path);
+      }
+    }
+  }
+  return out;
+}
+
+void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
+  struct FileSnap {
+    std::string path;
+    std::vector<Cache::Block> blocks;
+  };
+  // Snapshot the blocks up front: pair sequences are shared_ptrs, so the
+  // spill thread works off an immutable view even if the cache moves on.
+  std::map<std::string, std::vector<FileSnap>> by_dir;
+  for (const std::string& f : files) {
+    auto blocks_or = cache_.GetFileBlocks(f);
+    if (!blocks_or.ok() || blocks_or->empty()) continue;
+    size_t slash = f.find_last_of('/');
+    std::string dir = slash == 0 ? "/" : f.substr(0, slash);
+    by_dir[dir].push_back(FileSnap{f, blocks_or.take()});
+  }
+  if (by_dir.empty()) return;
+  auto base = base_fs_;
+  serialize::DedupMode mode = options_.dedup_mode;
+  std::thread worker([base, mode, snap = std::move(by_dir)]() {
+    for (const auto& [dir, group] : snap) {
+      const std::string cdir =
+          std::string(kCheckpointRoot) + (dir == "/" ? "" : dir);
+      base->Delete(cdir, true);  // stale spill from an earlier job sequence
+      bool all_ok = true;
+      for (const FileSnap& file : group) {
+        std::string name = file.path.substr(file.path.find_last_of('/') + 1);
+        for (const Cache::Block& block : file.blocks) {
+          x10rt::Channel ch(mode);
+          for (const auto& [k, v] : *block.pairs) {
+            ch.Send(k);
+            ch.Send(v);
+          }
+          x10rt::Channel::Wire wire = ch.Finish();
+          std::string content = std::to_string(block.info.place) + " " +
+                                std::to_string(block.bytes) + "\n";
+          content += wire.bytes;
+          Status st = base->WriteFile(
+              cdir + "/" + name + ".blk." + block.info.name, content);
+          if (!st.ok()) {
+            all_ok = false;
+            M3R_LOG(Warn) << "checkpoint spill of " << file.path
+                          << " failed: " << st.ToString();
+          }
+        }
+      }
+      // The marker commits the directory: restores ignore markerless spills.
+      if (all_ok) {
+        Status st = base->WriteFile(cdir + "/_DONE", "1\n");
+        if (!st.ok()) {
+          M3R_LOG(Warn) << "checkpoint marker for " << cdir
+                        << " failed: " << st.ToString();
+        }
+      }
+    }
+  });
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  ckpt_threads_.push_back(std::move(worker));
+}
+
+Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
+                                           bool only_missing, int* files,
+                                           uint64_t* bytes) {
+  const std::string cdir = std::string(kCheckpointRoot) + dir;
+  if (!base_fs_->Exists(cdir + "/_DONE")) return Status::OK();
+  M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> entries,
+                       base_fs_->ListStatus(cdir));
+  for (const dfs::FileStatus& e : entries) {
+    if (e.is_directory) continue;
+    std::string name = e.path.substr(e.path.find_last_of('/') + 1);
+    if (name == "_DONE") continue;
+    size_t sep = name.rfind(".blk.");
+    if (sep == std::string::npos) continue;
+    std::string target = dir + "/" + name.substr(0, sep);
+    std::string block_name = name.substr(sep + 5);
+    if (only_missing && cache_.GetBlock(target, block_name)) continue;
+    M3R_ASSIGN_OR_RETURN(std::string content, base_fs_->ReadFile(e.path));
+    size_t nl = content.find('\n');
+    if (nl == std::string::npos) {
+      return Status::IOError("corrupt checkpoint: " + e.path);
+    }
+    char* rest = nullptr;
+    std::string header = content.substr(0, nl);
+    long place = std::strtol(header.c_str(), &rest, 10);
+    uint64_t est = std::strtoull(rest, nullptr, 10);
+    place = place % std::max(places_.NumPlaces(), 1);
+    std::vector<serialize::WritablePtr> objs =
+        x10rt::Channel::Decode(content.substr(nl + 1));
+    KVSeq seq;
+    seq.reserve(objs.size() / 2);
+    for (size_t i = 0; i + 1 < objs.size(); i += 2) {
+      seq.emplace_back(objs[i], objs[i + 1]);
+    }
+    M3R_RETURN_NOT_OK(cache_.PutBlock(target, block_name,
+                                      static_cast<int>(place),
+                                      std::move(seq), est));
+    if (files != nullptr) ++*files;
+    if (bytes != nullptr) *bytes += est;
+  }
+  return Status::OK();
+}
+
 Result<int> M3REngine::PrepopulateCache(const api::JobConf& conf) {
   auto input_format = api::MakeInputFormat(conf);
   M3R_ASSIGN_OR_RETURN(
@@ -500,6 +639,25 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   const bool temporary =
       options_.enable_cache && Cache::IsTemporary(conf, conf.OutputPath());
 
+  const std::string ckpt_policy =
+      conf.Get(api::conf::kCacheCheckpoint, "off");
+  if (ckpt_policy != "off" && ckpt_policy != "tempout" &&
+      ckpt_policy != "all") {
+    return Fail(Status::InvalidArgument(
+        std::string("bad ") + api::conf::kCacheCheckpoint + ": " +
+        ckpt_policy));
+  }
+
+  // Per-job fault injection (tests and resilience drills): faults at the
+  // DFS sites fire through the base file system; the injector is cleared
+  // when Submit leaves, whatever the exit path.
+  std::shared_ptr<FaultInjector> fault = FaultInjector::FromConf(conf.raw());
+  struct FaultGuard {
+    dfs::FileSystem* fs;
+    ~FaultGuard() { fs->SetFaultInjector(nullptr); }
+  } fault_guard{base_fs_.get()};
+  base_fs_->SetFaultInjector(fault);
+
   auto output_format = api::MakeOutputFormat(conf);
   if (!temporary) {
     Status st = output_format->CheckOutputSpecs(conf, *fs_);
@@ -507,14 +665,80 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     api::FileOutputCommitter committer;
     st = committer.SetupJob(conf, *fs_);
     if (!st.ok()) return Fail(std::move(st));
-  } else if (fs_->Exists(conf.OutputPath())) {
-    return Fail(Status::AlreadyExists("output exists: " + conf.OutputPath()));
+  } else {
+    if (fs_->Exists(conf.OutputPath())) {
+      return Fail(
+          Status::AlreadyExists("output exists: " + conf.OutputPath()));
+    }
+    // Recovery: a fresh (restarted) instance finds the output already
+    // spilled to the DFS — reload it into the cache and skip the job
+    // instead of re-running it (replay from the last materialized output).
+    if (ckpt_policy != "off") {
+      int rfiles = 0;
+      uint64_t rbytes = 0;
+      Status st = RestoreDirFromCheckpoint(conf.OutputPath(),
+                                           /*only_missing=*/false, &rfiles,
+                                           &rbytes);
+      if (!st.ok()) {
+        M3R_LOG(Warn) << "checkpoint restore of " << conf.OutputPath()
+                      << " failed, running the job: " << st.ToString();
+        cache_.Delete(conf.OutputPath());
+      } else if (rfiles > 0) {
+        result.metrics["recovered_from_checkpoint"] = 1;
+        result.metrics["recovered_files"] = rfiles;
+        result.metrics["recovered_bytes"] = static_cast<int64_t>(rbytes);
+        double t0 = spec.m3r_job_overhead_s;
+        double restore = cost_.DfsRead(rbytes, /*local=*/false);
+        result.time_breakdown["job_overhead"] = t0;
+        result.time_breakdown["checkpoint_restore"] = restore;
+        result.sim_seconds = t0 + restore;
+        result.wall_seconds = wall.ElapsedSeconds();
+        result.status = Status::OK();
+        ReportProgress(conf, 1.0, &result.counters);
+        NotifyJobEnd(conf, result);
+        return result;
+      }
+    }
+  }
+
+  // Output spec validation passed and (for materialized outputs) the output
+  // directory is ours: from here on a failure aborts and removes whatever
+  // the job produced, then pings the FAILED job-end notification — the
+  // contract JobClient's retry loop and external workflow managers rely on.
+  auto fail_job = [&](Status status) {
+    if (!temporary) {
+      api::FileOutputCommitter committer;
+      committer.AbortJob(conf, *fs_);
+      fs_->Delete(conf.OutputPath(), true);
+    } else {
+      cache_.Delete(conf.OutputPath());
+    }
+    if (fault != nullptr) {
+      result.metrics["injected_faults"] = fault->InjectedCount();
+    }
+    result.status = std::move(status);
+    result.wall_seconds = wall.ElapsedSeconds();
+    NotifyJobEnd(conf, result);
+    return result;
+  };
+
+  // Heal checkpointed temporary inputs whose cached blocks are gone (a
+  // fresh instance, or a place crash evicted part of a file).
+  if (ckpt_policy != "off") {
+    for (const std::string& in : conf.InputPaths()) {
+      Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
+                                           nullptr, nullptr);
+      if (!st.ok()) {
+        M3R_LOG(Warn) << "checkpoint heal of " << in
+                      << " failed: " << st.ToString();
+      }
+    }
   }
 
   // --- Plan splits: cache lookups and placement ---
   auto input_format = api::MakeInputFormat(conf);
   auto splits_or = input_format->GetSplits(conf, *fs_, spec.total_slots());
-  if (!splits_or.ok()) return Fail(splits_or.status());
+  if (!splits_or.ok()) return fail_job(splits_or.status());
   std::vector<api::InputSplitPtr> splits = splits_or.take();
 
   std::vector<TaskPlan> tasks(splits.size());
@@ -605,6 +829,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   shuffle_options.partition_stability = options_.partition_stability;
   shuffle_options.instability_salt = salt;
   shuffle_options.workers_per_place = workers;
+  shuffle_options.fault = fault;
   ShuffleExchange shuffle(num_places, shuffle_options);
 
   // --- Map phase (places run in parallel; each place fans its tasks out
@@ -612,8 +837,32 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   ReportProgress(conf, 0.05, &result.counters);
   std::atomic<size_t> map_tasks_done{0};
   std::atomic<bool> map_aborted{false};
+  std::atomic<bool> cancelled{false};
+  // Whole-place crash ("m3r.place" site, keyed by place id): the lost
+  // place takes exactly its homed cache blocks with it; the in-flight job
+  // fails with a retriable status and a resubmission re-reads the evicted
+  // data from the DFS (or a checkpoint heals it).
+  std::mutex crash_mu;
+  Status crash_status;
+  int64_t evicted_blocks = 0;
+  auto place_alive = [&](int place) {
+    if (fault == nullptr) return true;
+    Status st = fault->Check("m3r.place", std::to_string(place));
+    if (st.ok()) return true;
+    int64_t evicted = cache_.store().EvictPlace(place);
+    M3R_LOG(Warn) << "injected crash of place " << place << ": evicted "
+                  << evicted << " cache blocks";
+    std::lock_guard<std::mutex> lock(crash_mu);
+    if (crash_status.ok()) crash_status = std::move(st);
+    evicted_blocks += evicted;
+    return false;
+  };
   auto run_map_task = [&](size_t i, int place, int lane) {
       TaskPlan& t = tasks[i];
+      if (fault != nullptr) {
+        t.status = fault->Check("m3r.map", std::to_string(i));
+        if (!t.status.ok()) return;
+      }
       CpuStopwatch sw;
       const api::InputSplit* base_split = nullptr;
       JobConf tconf = api::SpecializeConfForSplit(conf, *t.split,
@@ -721,6 +970,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
                      &result.counters);
   };
   places_.FinishForAll([&](int place) {
+    if (!place_alive(place)) {
+      map_aborted.store(true);
+      return;
+    }
     const std::vector<size_t>& mine =
         tasks_of_place[static_cast<size_t>(place)];
     if (mine.empty()) return;
@@ -734,6 +987,11 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       for (size_t j = s; j < mine.size();
            j += static_cast<size_t>(strands)) {
         if (map_aborted.load(std::memory_order_relaxed)) return;
+        if (CancelRequested()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          map_aborted.store(true);
+          return;
+        }
         run_map_task(mine[j], place, static_cast<int>(s));
         if (!tasks[mine[j]].status.ok()) map_aborted.store(true);
       }
@@ -744,8 +1002,16 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       places_.pool().ParallelFor(static_cast<size_t>(strands), run_strand);
     }
   });
+  {
+    std::lock_guard<std::mutex> lock(crash_mu);
+    if (!crash_status.ok()) {
+      result.metrics["evicted_blocks"] = evicted_blocks;
+      return fail_job(std::move(crash_status));
+    }
+  }
+  if (cancelled.load()) return fail_job(Status::Cancelled("job cancelled"));
   for (const TaskPlan& t : tasks) {
-    if (!t.status.ok()) return Fail(t.status);
+    if (!t.status.ok()) return fail_job(t.status);
   }
 
   // --- Simulated map phase time ---
@@ -782,6 +1048,9 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       shuffle.DeliverTo(place, workers > 1 ? &places_.pool() : nullptr,
                         workers);
     });
+    // A dropped lane means a partition silently lost pairs: never reduce
+    // over partial shuffle data.
+    if (!shuffle.status().ok()) return fail_job(shuffle.status());
 
     double shuffle_span = 0;
     for (int p = 0; p < num_places; ++p) {
@@ -861,6 +1130,15 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
 
     auto run_reduce_task = [&](int p, int place) {
         ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        if (CancelRequested()) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (fault != nullptr) {
+          rr.status = fault->Check("m3r.reduce", std::to_string(p));
+          if (!rr.status.ok()) return;
+        }
         CpuStopwatch sw;
         api::CountersReporter reporter(&result.counters);
 
@@ -929,6 +1207,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         rr.cpu_seconds += sw.ElapsedSeconds();
     };
     places_.FinishForAll([&](int place) {
+      if (!place_alive(place)) return;
       std::vector<int> mine;
       for (int p = 0; p < num_reduce; ++p) {
         if (shuffle.PlaceOfPartition(p) == place) mine.push_back(p);
@@ -941,8 +1220,18 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
             [&](size_t k) { run_reduce_task(mine[k], place); }, workers);
       }
     });
+    {
+      std::lock_guard<std::mutex> lock(crash_mu);
+      if (!crash_status.ok()) {
+        result.metrics["evicted_blocks"] = evicted_blocks;
+        return fail_job(std::move(crash_status));
+      }
+    }
+    if (cancelled.load()) {
+      return fail_job(Status::Cancelled("job cancelled"));
+    }
     for (const ReduceResult& rr : reduce_results) {
-      if (!rr.status.ok()) return Fail(rr.status);
+      if (!rr.status.ok()) return fail_job(rr.status);
     }
 
     double reduce_start = map_end + spec.m3r_barrier_s + shuffle_span;
@@ -965,10 +1254,25 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   }
 
   // --- Commit ---
+  if (CancelRequested()) {
+    return fail_job(Status::Cancelled("job cancelled"));
+  }
   if (!temporary) {
     api::FileOutputCommitter committer;
     Status st = committer.CommitJob(conf, *fs_);
-    if (!st.ok()) return Fail(std::move(st));
+    if (!st.ok()) return fail_job(std::move(st));
+  }
+
+  // Spill cache-only outputs to the DFS in the background: "tempout"
+  // covers this job's temporary output, "all" sweeps every cache-only file
+  // (named outputs, earlier jobs' outputs that predate the policy).
+  if (ckpt_policy == "all") {
+    ScheduleCheckpoint(AllCacheOnlyFiles());
+  } else if (ckpt_policy == "tempout" && temporary) {
+    ScheduleCheckpoint(cache_.FilesUnder(conf.OutputPath()));
+  }
+  if (fault != nullptr) {
+    result.metrics["injected_faults"] = fault->InjectedCount();
   }
 
   result.time_breakdown["job_overhead"] = t0;

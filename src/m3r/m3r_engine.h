@@ -1,8 +1,12 @@
 #ifndef M3R_M3R_M3R_ENGINE_H_
 #define M3R_M3R_M3R_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/engine.h"
 #include "dfs/file_system.h"
@@ -39,12 +43,29 @@ struct M3REngineOptions {
 /// co-location fast path, and deterministic partition->place assignment
 /// (partition stability).
 ///
-/// Like the paper's engine it is not resilient: any task failure fails the
-/// whole instance's job, and nothing is checkpointed.
+/// Like the paper's engine it does not retry tasks: any task failure fails
+/// the whole instance's job. It degrades gracefully rather than crashing —
+/// a lost place ("m3r.place" fault site) evicts exactly the cache blocks
+/// homed there and fails the in-flight job with a retriable
+/// Status::Unavailable, committing no partial _SUCCESS — and the optional
+/// checkpoint policy (m3r.cache.checkpoint=off|tempout|all) spills
+/// cache-only temporary outputs to the DFS in the background, so a
+/// restarted instance replays a job sequence from the last materialized
+/// output instead of re-running completed jobs.
 class M3REngine : public api::Engine {
  public:
   explicit M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
                      M3REngineOptions options = {});
+  ~M3REngine() override;
+
+  /// DFS directory under which checkpoint spills live, mirroring the
+  /// cached path: /_m3r_ckpt<dir>/<file>.blk.<block> plus a _DONE marker
+  /// per directory once every file of a spill landed.
+  static constexpr const char* kCheckpointRoot = "/_m3r_ckpt";
+
+  /// Blocks until every background checkpoint spill scheduled so far has
+  /// finished writing (the destructor does this implicitly).
+  void WaitForCheckpoints();
 
   std::string Name() const override { return "m3r"; }
   api::JobResult Submit(const api::JobConf& conf) override;
@@ -72,6 +93,18 @@ class M3REngine : public api::Engine {
  private:
   struct TaskPlan;
 
+  /// Every cached file with no DFS backing (temporary outputs, named
+  /// outputs under temp paths) — the "all" checkpoint policy's spill set.
+  std::vector<std::string> AllCacheOnlyFiles();
+  /// Loads checkpointed blocks of `dir` back into the cache. With
+  /// `only_missing`, blocks already cached are left alone (healing after a
+  /// place crash evicted part of a file). No checkpoint => OK, no-op.
+  Status RestoreDirFromCheckpoint(const std::string& dir, bool only_missing,
+                                  int* files, uint64_t* bytes);
+  /// Snapshots the named files' blocks and spills them on a background
+  /// thread, directory by directory, committing each with a _DONE marker.
+  void ScheduleCheckpoint(std::vector<std::string> files);
+
   std::shared_ptr<dfs::FileSystem> base_fs_;
   M3REngineOptions options_;
   sim::CostModel cost_;
@@ -80,6 +113,8 @@ class M3REngine : public api::Engine {
   x10rt::PlaceGroup places_;
   int job_counter_ = 0;
   int round_robin_ = 0;
+  std::mutex ckpt_mu_;
+  std::vector<std::thread> ckpt_threads_;
 };
 
 }  // namespace m3r::engine

@@ -15,6 +15,7 @@ ShuffleExchange::ShuffleExchange(int num_places,
       stability_(options.partition_stability),
       salt_(options.instability_salt),
       workers_(std::max(options.workers_per_place, 1)),
+      fault_(options.fault),
       lanes_(static_cast<size_t>(num_places) * num_places * workers_),
       partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
       partition_mu_(new std::mutex[static_cast<size_t>(
@@ -97,8 +98,18 @@ void ShuffleExchange::Emit(int src_place, int partition,
   lane.out->WriteObject(v);
 }
 
-void ShuffleExchange::DecodeLane(Lane* lane, int dst_place,
-                                 double* cpu_seconds) {
+void ShuffleExchange::RecordFailure(Status s) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  if (status_.ok()) status_ = std::move(s);
+}
+
+Status ShuffleExchange::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
+                                 int dst_place, double* cpu_seconds) {
   CpuStopwatch sw;
   lane->objects = lane->out->objects_written();
   lane->deduped = lane->out->objects_deduped();
@@ -106,6 +117,17 @@ void ShuffleExchange::DecodeLane(Lane* lane, int dst_place,
   lane->wire = lane->out->TakeBuffer();
   lane->out.reset();
   lane->finished = true;
+  if (fault_ != nullptr) {
+    Status s = fault_->Check("channel.send", lane_key);
+    if (s.ok()) s = fault_->Check("channel.decode", lane_key);
+    if (!s.ok()) {
+      // The lane's pairs are lost; the partitions fed by this lane are now
+      // incomplete, so the caller must treat status() as fatal for the job.
+      RecordFailure(std::move(s));
+      *cpu_seconds = sw.ElapsedSeconds();
+      return;
+    }
+  }
 
   // Decode into per-partition scratch first, then splice each partition
   // under its lock in one step: less lock churn, and a stream's pairs
@@ -138,12 +160,15 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
   // Gather this destination's non-empty streams in deterministic
   // (source place, lane) order.
   std::vector<Lane*> inbound;
+  std::vector<std::string> keys;
   for (int src = 0; src < num_places_; ++src) {
     for (int w = 0; w < workers_; ++w) {
       Lane& lane = LaneFor(src, dst_place, w);
       if (lane.out == nullptr) continue;
       M3R_CHECK(!lane.finished) << "DeliverTo called twice for a lane";
       inbound.push_back(&lane);
+      keys.push_back(std::to_string(src) + "->" + std::to_string(dst_place) +
+                     "#" + std::to_string(w));
     }
   }
   std::vector<double>& seconds = decode_seconds_[static_cast<size_t>(
@@ -152,11 +177,13 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
   if (executor != nullptr && inbound.size() > 1 && max_workers > 1) {
     executor->ParallelFor(
         inbound.size(),
-        [&](size_t i) { DecodeLane(inbound[i], dst_place, &seconds[i]); },
+        [&](size_t i) {
+          DecodeLane(inbound[i], keys[i], dst_place, &seconds[i]);
+        },
         max_workers);
   } else {
     for (size_t i = 0; i < inbound.size(); ++i) {
-      DecodeLane(inbound[i], dst_place, &seconds[i]);
+      DecodeLane(inbound[i], keys[i], dst_place, &seconds[i]);
     }
   }
 }

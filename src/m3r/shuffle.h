@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
 #include "kvstore/kv_store.h"
 #include "serialize/dedup.h"
 
@@ -33,6 +35,11 @@ struct ShuffleOptions {
   /// serialization lane per destination, so Emit never contends on a
   /// stream and every lane's wire bytes stay deterministic.
   int workers_per_place = 1;
+  /// Optional fault injector consulted per inbound lane at DeliverTo time:
+  /// "channel.send" fires before the lane's wire is taken (lost in
+  /// transit), "channel.decode" fires before reconstruction (corrupted
+  /// receive). Keys are "src->dst#lane". Failures accumulate in status().
+  std::shared_ptr<FaultInjector> fault;
 };
 
 /// One job's in-memory shuffle (paper §3.2.2).
@@ -77,6 +84,11 @@ class ShuffleExchange {
   /// deterministic (source place, lane) order. Valid after DeliverTo.
   const std::vector<double>& DecodeSeconds(int dst_place) const;
 
+  /// First injected-fault failure observed during any DeliverTo, or OK.
+  /// A failed lane delivers no pairs, so the engine must fail the job when
+  /// this is non-ok rather than reduce over partial shuffle data.
+  Status status() const;
+
   /// Pairs destined for `partition` (call after DeliverTo on its place).
   const kvstore::KVSeq& PartitionPairs(int partition) const;
 
@@ -109,7 +121,9 @@ class ShuffleExchange {
 
   Lane& LaneFor(int src, int dst, int worker);
   const Lane& LaneAt(int src, int dst, int worker) const;
-  void DecodeLane(Lane* lane, int dst_place, double* cpu_seconds);
+  void DecodeLane(Lane* lane, const std::string& lane_key, int dst_place,
+                  double* cpu_seconds);
+  void RecordFailure(Status s);
 
   const int num_places_;
   const int num_partitions_;
@@ -117,6 +131,10 @@ class ShuffleExchange {
   const bool stability_;
   const int salt_;
   const int workers_;
+  const std::shared_ptr<FaultInjector> fault_;
+
+  mutable std::mutex status_mu_;
+  Status status_;  // first DeliverTo failure
 
   std::vector<Lane> lanes_;  // num_places^2 * workers_
   std::vector<kvstore::KVSeq> partitions_;             // per partition

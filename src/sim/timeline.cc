@@ -26,11 +26,25 @@ ScheduledTask SlotTimeline::Schedule(double ready_s, double duration_s,
 ScheduledTask SlotTimeline::ScheduleFn(
     double ready_s, const std::function<double(bool, int)>& fn,
     double dispatch_delay_s, const std::vector<int>& preferred_nodes,
-    bool* ran_local) {
-  // Globally earliest slot.
-  size_t best = 0;
-  for (size_t i = 1; i < free_at_.size(); ++i) {
-    if (free_at_[i] < free_at_[best]) best = i;
+    bool* ran_local, const std::vector<int>& excluded_nodes) {
+  auto excluded = [&](size_t slot) {
+    if (excluded_nodes.empty()) return false;
+    int node = static_cast<int>(slot) / spec_.slots_per_node;
+    return std::find(excluded_nodes.begin(), excluded_nodes.end(), node) !=
+           excluded_nodes.end();
+  };
+  // Globally earliest non-excluded slot (every node excluded degenerates
+  // to plain earliest — the job must run somewhere).
+  size_t best = free_at_.size();
+  for (size_t i = 0; i < free_at_.size(); ++i) {
+    if (excluded(i)) continue;
+    if (best == free_at_.size() || free_at_[i] < free_at_[best]) best = i;
+  }
+  if (best == free_at_.size()) {
+    best = 0;
+    for (size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
   }
 
   // Delay scheduling: accept a preferred node's slot if it frees up within
@@ -44,6 +58,7 @@ ScheduledTask SlotTimeline::ScheduleFn(
       if (node < 0 || node >= spec_.num_nodes) continue;
       for (int s = 0; s < spec_.slots_per_node; ++s) {
         size_t idx = static_cast<size_t>(node) * spec_.slots_per_node + s;
+        if (excluded(idx) && idx != best) continue;
         if (free_at_[idx] <= limit &&
             (best_pref < 0 || free_at_[idx] < best_pref)) {
           best_pref = free_at_[idx];

@@ -46,10 +46,15 @@ class SlotTimeline {
   /// (e.g. an HDFS read is cheaper when the task lands on a node holding
   /// the block). `duration_fn(local, node)` is evaluated once, after slot
   /// selection.
+  ///
+  /// `excluded_nodes` are never assigned (blacklisted trackers, or nodes a
+  /// retried task already failed on) — unless excluding them would leave no
+  /// slots at all, in which case the exclusion is ignored.
   ScheduledTask ScheduleFn(
       double ready_s, const std::function<double(bool local, int node)>& fn,
       double dispatch_delay_s, const std::vector<int>& preferred_nodes = {},
-      bool* ran_local = nullptr);
+      bool* ran_local = nullptr,
+      const std::vector<int>& excluded_nodes = {});
 
   /// Forces a task onto a specific node (M3R partition stability routes
   /// work explicitly; there is no slot competition across places because

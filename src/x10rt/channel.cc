@@ -11,6 +11,15 @@ Channel::Wire Channel::Finish() {
   return w;
 }
 
+Result<Channel::Wire> Channel::Finish(FaultInjector* fault,
+                                      const std::string& key) {
+  Wire w = Finish();
+  if (fault != nullptr) {
+    M3R_RETURN_NOT_OK(fault->Check("channel.send", key));
+  }
+  return w;
+}
+
 std::vector<serialize::WritablePtr> Channel::Decode(const std::string& bytes) {
   serialize::DedupInputStream in(bytes);
   std::vector<serialize::WritablePtr> out;
@@ -18,6 +27,14 @@ std::vector<serialize::WritablePtr> Channel::Decode(const std::string& bytes) {
     out.push_back(in.ReadObject());
   }
   return out;
+}
+
+Result<std::vector<serialize::WritablePtr>> Channel::Decode(
+    const std::string& bytes, FaultInjector* fault, const std::string& key) {
+  if (fault != nullptr) {
+    M3R_RETURN_NOT_OK(fault->Check("channel.decode", key));
+  }
+  return Decode(bytes);
 }
 
 }  // namespace m3r::x10rt

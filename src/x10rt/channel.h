@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/status.h"
 #include "serialize/dedup.h"
 
 namespace m3r::x10rt {
@@ -34,11 +36,21 @@ class Channel {
   /// sent on afterwards.
   Wire Finish();
 
+  /// Fault-aware Finish: consults the "channel.send" site keyed by `key`
+  /// (e.g. "src->dst") before handing over the wire. Models a transmission
+  /// failure: the channel is still consumed, but the bytes are lost.
+  Result<Wire> Finish(FaultInjector* fault, const std::string& key);
+
   uint64_t PendingObjects() const { return out_.objects_written(); }
 
   /// Decodes a wire buffer back into objects; repeats come back as aliases
   /// of one copy.
   static std::vector<serialize::WritablePtr> Decode(const std::string& bytes);
+
+  /// Fault-aware Decode: consults the "channel.decode" site keyed by `key`
+  /// before reconstructing, modeling a corrupted/truncated receive.
+  static Result<std::vector<serialize::WritablePtr>> Decode(
+      const std::string& bytes, FaultInjector* fault, const std::string& key);
 
  private:
   serialize::DedupOutputStream out_;

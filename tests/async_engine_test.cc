@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/class_registry.h"
 #include "api/engine.h"
 #include "common/logging.h"
 #include "dfs/local_fs.h"
@@ -98,6 +102,51 @@ TEST(SubmitAsync, HandleReportsFailure) {
       workloads::MakeWordCountJob("/missing", "/out", 2, true));
   EXPECT_FALSE(handle.Wait().ok());
   EXPECT_TRUE(handle.Done());
+}
+
+/// Word-count mapper that naps per input pair, giving Cancel() a wide
+/// window to land while the map phase is still running.
+class SlowWordCountMapper : public workloads::WordCountMapperImmutable {
+ public:
+  static constexpr const char* kClassName = "SlowWordCountMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    workloads::WordCountMapperImmutable::Map(key, value, output, reporter);
+  }
+};
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, SlowWordCountMapper,
+                      SlowWordCountMapper)
+
+TEST(SubmitAsync, CancelledJobStopsAndLeavesNoSuccessMarker) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 128 * 1024, 2, 11).ok());
+
+  for (bool use_m3r : {true, false}) {
+    const std::string out = use_m3r ? "/out-cm" : "/out-ch";
+    std::unique_ptr<api::Engine> engine;
+    if (use_m3r) {
+      engine = std::make_unique<engine::M3REngine>(
+          fs, engine::M3REngineOptions{TestCluster()});
+    } else {
+      engine = std::make_unique<hadoop::HadoopEngine>(
+          fs, hadoop::HadoopEngineOptions{TestCluster(), 0});
+    }
+    api::JobConf job = workloads::MakeWordCountJob("/in", out, 2, true);
+    job.Set(api::conf::kMapredMapper, SlowWordCountMapper::kClassName);
+    api::JobHandle handle = engine->SubmitAsync(job);
+    handle.Cancel();
+    const api::JobResult& result = handle.Wait();
+    EXPECT_FALSE(result.ok()) << engine->Name();
+    EXPECT_TRUE(result.status.IsCancelled())
+        << engine->Name() << ": " << result.status.ToString();
+    EXPECT_FALSE(fs->Exists(out + "/_SUCCESS")) << engine->Name();
+    // A cancelled job must not poison the engine for the next one.
+    auto ok = engine->Submit(
+        workloads::MakeWordCountJob("/in", out + "-retry", 2, true));
+    EXPECT_TRUE(ok.ok()) << engine->Name() << ": " << ok.status.ToString();
+  }
 }
 
 TEST(SubmitAsync, JobClientRoutesAsyncToForcedEngine) {

@@ -1,7 +1,9 @@
 // Failure handling: misconfigured or failing jobs must surface Status
 // errors (never crash or silently truncate), and must leave the file
-// system in a sane state. M3R, like the paper's engine, offers no
-// *resilience* — a failure fails the job — but it must fail cleanly.
+// system in a sane state. M3R trades Hadoop's task-level resilience for
+// speed (paper §2); the engines must still fail cleanly — no partial
+// commits, a FAILED job-end notification for runs that die mid-flight, and
+// pre-existing data untouched when validation rejects the job up front.
 #include <gtest/gtest.h>
 
 #include "dfs/local_fs.h"
@@ -85,17 +87,32 @@ TEST_P(FailureTest, FailedJobDoesNotPoisonSubsequentJobs) {
 }
 
 TEST_P(FailureTest, NotificationSentOnFailureToo) {
+  // Mid-run failure (missing input, discovered after job setup): the
+  // FAILED notification fires and no partial output survives.
   api::JobConf job = workloads::MakeWordCountJob("/missing", "/o3", 1, true);
   job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
   auto result = engine_->Submit(job);
   EXPECT_FALSE(result.ok());
-  // Our engines notify only on completed submissions that reach the end of
-  // Submit; early validation failures do not ping. A successful job does.
+  ASSERT_EQ(engine_->Notifications().size(), 1u);
+  EXPECT_NE(engine_->Notifications()[0].find("status=FAILED"),
+            std::string::npos);
+  EXPECT_FALSE(fs_->Exists("/o3/_SUCCESS"));
+
+  // Early validation failure (output already exists): no ping, and the
+  // pre-existing data stays untouched.
+  ASSERT_TRUE(fs_->WriteFile("/o5/part-00000", "old").ok());
+  api::JobConf clash = workloads::MakeWordCountJob("/in", "/o5", 1, true);
+  clash.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  EXPECT_TRUE(engine_->Submit(clash).status.IsAlreadyExists());
+  EXPECT_EQ(engine_->Notifications().size(), 1u);
+  EXPECT_EQ(*fs_->ReadFile("/o5/part-00000"), "old");
+
+  // A successful job still pings SUCCEEDED.
   api::JobConf ok_job = workloads::MakeWordCountJob("/in", "/o4", 1, true);
   ok_job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
   ASSERT_TRUE(engine_->Submit(ok_job).ok());
-  ASSERT_EQ(engine_->Notifications().size(), 1u);
-  EXPECT_NE(engine_->Notifications()[0].find("SUCCEEDED"),
+  ASSERT_EQ(engine_->Notifications().size(), 2u);
+  EXPECT_NE(engine_->Notifications()[1].find("SUCCEEDED"),
             std::string::npos);
 }
 

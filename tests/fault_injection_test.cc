@@ -1,0 +1,444 @@
+// Deterministic fault injection and the resilience layer built on it:
+// seeded injector semantics, Hadoop task retry surviving injected task
+// failures with byte-identical output (and a longer simulated makespan),
+// M3R place-crash degradation that evicts exactly the dead place's cache
+// blocks, job-level retry classification in JobClient, and checkpoint-based
+// replay of a job sequence after an instance restart.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/sequence_file.h"
+#include "common/fault_injector.h"
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/micro_gen.h"
+#include "workloads/shuffle_micro.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec Cluster4x2() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+/// Sorted lines of every part file under `dir` (sorted so the comparison
+/// is independent of partition count).
+std::vector<std::string> ReadOutputLines(dfs::FileSystem& fs,
+                                         const std::string& dir) {
+  std::vector<std::string> lines;
+  auto files = fs.ListStatus(dir);
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  if (!files.ok()) return lines;
+  for (const auto& f : *files) {
+    if (f.is_directory || f.path.find("part-") == std::string::npos) continue;
+    auto content = fs.ReadFile(f.path);
+    EXPECT_TRUE(content.ok());
+    std::string cur;
+    for (char c : *content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Canonical record rendering of the sequence-file parts under `dir`:
+/// sorted "key=value" strings (sequence files embed a random per-writer
+/// sync marker, so raw bytes differ across runs even for identical data).
+std::vector<std::string> ReadPartsCanonical(dfs::FileSystem& fs,
+                                            const std::string& dir) {
+  std::vector<std::string> records;
+  auto files = fs.ListStatus(dir);
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  if (!files.ok()) return records;
+  for (const auto& f : *files) {
+    if (f.is_directory || f.length == 0) continue;
+    if (f.path.find("part-") == std::string::npos) continue;
+    auto pairs = api::ReadSequenceFile(fs, f.path);
+    EXPECT_TRUE(pairs.ok()) << f.path;
+    if (!pairs.ok()) continue;
+    for (const auto& [k, v] : *pairs) {
+      records.push_back(k->ToString() + "=" + v->ToString());
+    }
+  }
+  std::sort(records.begin(), records.end());
+  return records;
+}
+
+// --- Injector semantics ---
+
+TEST(FaultInjectorTest, ProbabilityDecisionsAreKeyedNotOrdered) {
+  FaultInjector::SiteConfig cfg;
+  cfg.probability = 0.5;
+  FaultInjector forward(42);
+  FaultInjector backward(42);
+  forward.Configure("site", cfg);
+  backward.Configure("site", cfg);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back("key" + std::to_string(i));
+
+  std::map<std::string, bool> a;
+  for (const auto& k : keys) a[k] = forward.ShouldFail("site", k);
+  std::map<std::string, bool> b;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    b[*it] = backward.ShouldFail("site", *it);
+  }
+  // Decisions are a pure function of (seed, site, key): evaluation order —
+  // i.e. thread interleaving — cannot change which operations fail.
+  EXPECT_EQ(a, b);
+  int failures = 0;
+  for (const auto& [k, v] : a) failures += v ? 1 : 0;
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, static_cast<int>(keys.size()));
+
+  // A different seed draws a different failure set.
+  FaultInjector other(43);
+  other.Configure("site", cfg);
+  std::map<std::string, bool> c;
+  for (const auto& k : keys) c[k] = other.ShouldFail("site", k);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, NthFiresExactlyOnce) {
+  FaultInjector inj(1);
+  FaultInjector::SiteConfig cfg;
+  cfg.nth = 3;
+  inj.Configure("site", cfg);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(inj.ShouldFail("site", "k" + std::to_string(i)), i == 3) << i;
+  }
+  EXPECT_EQ(inj.InjectedCount("site"), 1);
+}
+
+TEST(FaultInjectorTest, LimitCapsInjectionsSoRetriesSucceed) {
+  FaultInjector inj(1);
+  FaultInjector::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.limit = 2;
+  inj.Configure("site", cfg);
+  EXPECT_FALSE(inj.Check("site", "a").ok());
+  EXPECT_FALSE(inj.Check("site", "b").ok());
+  EXPECT_TRUE(inj.Check("site", "c").ok());
+  EXPECT_EQ(inj.InjectedCount(), 2);
+}
+
+TEST(FaultInjectorTest, FromConfBuildsOnlyWhenFaultKeysPresent) {
+  EXPECT_EQ(FaultInjector::FromConf({}), nullptr);
+  EXPECT_EQ(FaultInjector::FromConf({{"mapred.reduce.tasks", "4"}}),
+            nullptr);
+
+  std::map<std::string, std::string> raw = {
+      {"m3r.fault.seed", "9"},
+      {"m3r.fault.dfs.read.prob", "1.0"},
+  };
+  auto inj = FaultInjector::FromConf(raw);
+  ASSERT_NE(inj, nullptr);
+  EXPECT_TRUE(inj->Armed());
+  Status st = inj->Check("dfs.read", "/some/path");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(st.IsRetriable());
+  // Unconfigured sites never fire.
+  EXPECT_TRUE(inj->Check("dfs.write", "/some/path").ok());
+}
+
+// --- Hadoop task retry (parameterized over injection sites) ---
+
+struct TaskFaultCase {
+  const char* name;
+  const char* site;
+  const char* failure_metric;
+};
+
+class HadoopTaskFaultTest : public ::testing::TestWithParam<TaskFaultCase> {};
+
+TEST_P(HadoopTaskFaultTest, RetriesSurviveInjectedFailures) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 5, 17).ok());
+
+  hadoop::HadoopEngine gold_engine(fs,
+                                   hadoop::HadoopEngineOptions{Cluster4x2(),
+                                                               0});
+  auto gold = gold_engine.Submit(
+      workloads::MakeWordCountJob("/in", "/gold", 3, true));
+  ASSERT_TRUE(gold.ok()) << gold.status.ToString();
+
+  hadoop::HadoopEngine engine(fs,
+                              hadoop::HadoopEngineOptions{Cluster4x2(), 0});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set("m3r.fault.seed", "9");
+  job.Set(std::string("m3r.fault.") + GetParam().site + ".prob", "0.5");
+  // At p=0.5 a task exhausting the default 4 attempts is too likely; a
+  // deeper attempt budget keeps the run deterministic but survivable.
+  job.Set(api::conf::kMapMaxAttempts, "10");
+  job.Set(api::conf::kReduceMaxAttempts, "10");
+  auto result = engine.Submit(job);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  // The seeded injector failed at least two attempts, all retried.
+  EXPECT_GE(result.metrics.at(GetParam().failure_metric), 2);
+  EXPECT_GE(result.metrics.at("injected_faults"), 2);
+  EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+  // Recovery is exact: the output is byte-identical to the fault-free run.
+  EXPECT_EQ(ReadOutputLines(*fs, "/out"), ReadOutputLines(*fs, "/gold"));
+  // But not free: re-executed attempts lengthen the simulated makespan.
+  EXPECT_GT(result.sim_seconds, gold.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, HadoopTaskFaultTest,
+    ::testing::Values(
+        TaskFaultCase{"MapTask", "hadoop.map", "map_task_failures"},
+        TaskFaultCase{"ReduceTask", "hadoop.reduce",
+                      "reduce_task_failures"}),
+    [](const ::testing::TestParamInfo<TaskFaultCase>& info) {
+      return info.param.name;
+    });
+
+TEST(HadoopFaultTest, SpeculationBeatsRetryChainOnStragglers) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 5, 17).ok());
+
+  auto run = [&](const char* out, bool speculative) {
+    hadoop::HadoopEngine engine(
+        fs, hadoop::HadoopEngineOptions{Cluster4x2(), 0});
+    api::JobConf job = workloads::MakeWordCountJob("/in", out, 3, true);
+    job.Set("m3r.fault.seed", "9");
+    job.Set("m3r.fault.hadoop.map.prob", "0.5");
+    job.Set(api::conf::kMapMaxAttempts, "10");
+    if (speculative) job.Set(api::conf::kSpeculativeExecution, "true");
+    return engine.Submit(job);
+  };
+  auto plain = run("/out-plain", false);
+  auto spec = run("/out-spec", true);
+  ASSERT_TRUE(plain.ok()) << plain.status.ToString();
+  ASSERT_TRUE(spec.ok()) << spec.status.ToString();
+  EXPECT_EQ(ReadOutputLines(*fs, "/out-plain"),
+            ReadOutputLines(*fs, "/out-spec"));
+  // Backup copies actually launched for the retry-delayed stragglers…
+  EXPECT_GE(spec.metrics.at("speculative_map_tasks"), 1);
+  // …and can only help the makespan. The sim ledger includes *measured*
+  // user-code CPU, so allow a small margin for measurement noise between
+  // the two runs (the fault schedule itself is deterministic).
+  EXPECT_LE(spec.sim_seconds, plain.sim_seconds * 1.10);
+}
+
+// --- M3R place crash: graceful degradation ---
+
+// Seed chosen (with the same pure decision function the engine uses) so
+// that at prob 0.25 exactly one of the four places dies.
+int FindDeadPlace(uint64_t seed, double prob, int num_places) {
+  FaultInjector probe(seed);
+  FaultInjector::SiteConfig cfg;
+  cfg.probability = prob;
+  probe.Configure("m3r.place", cfg);
+  int dead = -1;
+  int count = 0;
+  for (int p = 0; p < num_places; ++p) {
+    if (probe.ShouldFail("m3r.place", std::to_string(p))) {
+      dead = p;
+      ++count;
+    }
+  }
+  return count == 1 ? dead : -1;
+}
+
+uint64_t SeedKillingOnePlace(double prob, int num_places) {
+  for (uint64_t seed = 1; seed < 1000; ++seed) {
+    if (FindDeadPlace(seed, prob, num_places) >= 0) return seed;
+  }
+  return 0;
+}
+
+TEST(M3RPlaceCrashTest, CrashEvictsOnlyDeadPlaceAndFailsJobCleanly) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 3, 7).ok());
+  engine::M3REngine m3r(fs, engine::M3REngineOptions{Cluster4x2()});
+
+  // Warm the cache: one output block per place (4 reducers, 4 places).
+  auto warm = m3r.Submit(workloads::MakeWordCountJob("/in", "/warm", 4,
+                                                     true));
+  ASSERT_TRUE(warm.ok()) << warm.status.ToString();
+
+  const double kProb = 0.25;
+  const uint64_t seed = SeedKillingOnePlace(kProb, 4);
+  ASSERT_NE(seed, 0u);
+  const int dead = FindDeadPlace(seed, kProb, 4);
+
+  // Snapshot where /warm's blocks live before the crash.
+  struct Snap {
+    std::string path;
+    int place;
+  };
+  std::vector<Snap> warm_blocks;
+  for (const std::string& f : m3r.cache().FilesUnder("/warm")) {
+    auto blocks = m3r.cache().GetFileBlocks(f);
+    ASSERT_TRUE(blocks.ok());
+    for (const auto& b : *blocks) warm_blocks.push_back({f, b.info.place});
+  }
+  ASSERT_EQ(warm_blocks.size(), 4u);
+
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/crashed", 2, true);
+  job.Set("m3r.fault.seed", std::to_string(seed));
+  job.Set("m3r.fault.m3r.place.prob", std::to_string(kProb));
+  auto result = m3r.Submit(job);
+  EXPECT_FALSE(result.ok());
+  // A place crash is a retriable infrastructure failure, not a job bug.
+  EXPECT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
+  EXPECT_TRUE(result.status.IsRetriable());
+  // No partial commit survives.
+  EXPECT_FALSE(fs->Exists("/crashed/_SUCCESS"));
+  EXPECT_FALSE(fs->Exists("/crashed"));
+  EXPECT_GT(result.metrics.at("evicted_blocks"), 0);
+
+  // Exactly the dead place's blocks are gone; every other block survives.
+  for (const Snap& s : warm_blocks) {
+    bool cached = m3r.cache().GetBlock(s.path, "0").has_value();
+    EXPECT_EQ(cached, s.place != dead) << s.path << " @place " << s.place;
+  }
+
+  // The instance degrades instead of dying: the next job re-reads the
+  // evicted data from the DFS and produces the same answer as before.
+  auto after = m3r.Submit(workloads::MakeWordCountJob("/in", "/after", 2,
+                                                      true));
+  ASSERT_TRUE(after.ok()) << after.status.ToString();
+  EXPECT_EQ(ReadOutputLines(*fs, "/after"), ReadOutputLines(*fs, "/warm"));
+}
+
+// --- Job-level retry classification in JobClient ---
+
+TEST(JobClientRetryTest, RetriableFailuresResubmitNonRetriableDoNot) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 32 * 1024, 2, 5).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{Cluster4x2()});
+  api::JobClient client(m3r);
+
+  const double kProb = 0.25;
+  const uint64_t seed = SeedKillingOnePlace(kProb, 4);
+  ASSERT_NE(seed, 0u);
+
+  // The place crash fires on every submission (each Submit re-derives the
+  // same decisions), so the client retries until the attempt budget runs
+  // out: one FAILED notification per attempt.
+  api::JobConf flaky = workloads::MakeWordCountJob("/in", "/flaky", 2, true);
+  flaky.Set("m3r.fault.seed", std::to_string(seed));
+  flaky.Set("m3r.fault.m3r.place.prob", std::to_string(kProb));
+  flaky.Set(api::conf::kJobMaxAttempts, "3");
+  flaky.Set(api::conf::kJobRetryBackoffMs, "1");
+  flaky.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  auto result = client.SubmitJob(flaky);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
+  ASSERT_EQ(m3r->Notifications().size(), 3u);
+  for (const std::string& n : m3r->Notifications()) {
+    EXPECT_NE(n.find("status=FAILED"), std::string::npos) << n;
+  }
+
+  // A non-retriable failure (missing input) is not resubmitted.
+  api::JobConf bad = workloads::MakeWordCountJob("/missing", "/nr", 2, true);
+  bad.Set(api::conf::kJobMaxAttempts, "3");
+  bad.Set(api::conf::kJobRetryBackoffMs, "1");
+  bad.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  auto nr = client.SubmitJob(bad);
+  EXPECT_FALSE(nr.ok());
+  EXPECT_TRUE(nr.status.IsNotFound()) << nr.status.ToString();
+  EXPECT_EQ(m3r->Notifications().size(), 4u);
+}
+
+// --- Checkpointing: replay a sequence after an instance restart ---
+
+TEST(M3RCheckpointTest, RestartedInstanceReplaysSequenceFromCheckpoints) {
+  auto fs = dfs::MakeSimDfs(4, 64 * 1024);
+  ASSERT_TRUE(workloads::GenerateMicroInput(*fs, "/micro", 400, 64, 4, 3,
+                                            false)
+                  .ok());
+  engine::M3REngineOptions opts{Cluster4x2()};
+  auto with_ckpt = [](api::JobConf job) {
+    job.Set(api::conf::kCacheCheckpoint, "tempout");
+    return job;
+  };
+  api::JobConf j1 =
+      with_ckpt(workloads::MakeMicroJob("/micro", "/temp-s1", 4, 0.0, 1));
+  api::JobConf j2 =
+      with_ckpt(workloads::MakeMicroJob("/temp-s1", "/temp-s2", 4, 0.0, 2));
+
+  std::vector<std::string> final_a;
+  {
+    engine::M3REngine a(fs, opts);
+    ASSERT_TRUE(a.Submit(j1).ok());
+    ASSERT_TRUE(a.Submit(j2).ok());
+    api::JobConf j3 = with_ckpt(
+        workloads::MakeMicroJob("/temp-s2", "/final-a", 4, 0.0, 3));
+    auto r3 = a.Submit(j3);
+    ASSERT_TRUE(r3.ok()) << r3.status.ToString();
+    a.WaitForCheckpoints();
+    final_a = ReadPartsCanonical(*fs, "/final-a");
+    ASSERT_FALSE(final_a.empty());
+    // The temporary outputs were spilled and committed with markers; the
+    // materialized output needs no checkpoint.
+    EXPECT_TRUE(fs->Exists(
+        std::string(engine::M3REngine::kCheckpointRoot) +
+        "/temp-s1/_DONE"));
+    EXPECT_TRUE(fs->Exists(
+        std::string(engine::M3REngine::kCheckpointRoot) +
+        "/temp-s2/_DONE"));
+    EXPECT_FALSE(fs->Exists(
+        std::string(engine::M3REngine::kCheckpointRoot) +
+        "/final-a/_DONE"));
+  }  // Instance "crashes": the cache dies with it.
+
+  // A fresh instance replays the same sequence. The first two jobs are
+  // recognized as materialized (checkpointed) and skipped; the third runs
+  // against the restored cache.
+  engine::M3REngine b(fs, opts);
+  auto r1 = b.Submit(j1);
+  ASSERT_TRUE(r1.ok()) << r1.status.ToString();
+  EXPECT_EQ(r1.metrics.at("recovered_from_checkpoint"), 1);
+  EXPECT_EQ(r1.metrics.count("map_tasks"), 0u);  // no tasks ran
+
+  auto r2 = b.Submit(j2);
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+  EXPECT_EQ(r2.metrics.at("recovered_from_checkpoint"), 1);
+
+  api::JobConf j3 = with_ckpt(
+      workloads::MakeMicroJob("/temp-s2", "/final-b", 4, 0.0, 3));
+  auto r3 = b.Submit(j3);
+  ASSERT_TRUE(r3.ok()) << r3.status.ToString();
+  EXPECT_EQ(r3.metrics.count("recovered_from_checkpoint"), 0u);
+  EXPECT_GT(r3.metrics.at("cache_hit_splits"), 0);
+  // The replayed sequence lands on the same records as the original run.
+  EXPECT_EQ(ReadPartsCanonical(*fs, "/final-b"), final_a);
+}
+
+TEST(M3RCheckpointTest, BadPolicyValueIsRejected) {
+  auto fs = dfs::MakeSimDfs(2, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 8 * 1024, 1, 3).ok());
+  engine::M3REngine m3r(fs, engine::M3REngineOptions{Cluster4x2()});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 1, true);
+  job.Set(api::conf::kCacheCheckpoint, "sometimes");
+  auto result = m3r.Submit(job);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument)
+      << result.status.ToString();
+}
+
+}  // namespace
+}  // namespace m3r

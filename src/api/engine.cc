@@ -154,9 +154,15 @@ bool Engine::CancelRequested() const {
 void Engine::NotifyJobEnd(const JobConf& conf, const JobResult& result) {
   std::string url = conf.Get(conf::kJobEndNotificationUrl);
   if (url.empty()) return;
+  std::string ping = url + "?jobName=" + conf.JobName() + "&status=" +
+                     (result.ok() ? "SUCCEEDED" : "FAILED");
+  // FAILED pings say why (e.g. reason=DataLoss vs reason=Unavailable), so
+  // external workflow managers can apply their own retry classification.
+  if (!result.ok()) {
+    ping += std::string("&reason=") + StatusCodeName(result.status.code());
+  }
   std::lock_guard<std::mutex> lock(notify_mu_);
-  notifications_.push_back(url + "?jobName=" + conf.JobName() + "&status=" +
-                           (result.ok() ? "SUCCEEDED" : "FAILED"));
+  notifications_.push_back(ping);
 }
 
 Engine& JobClient::EngineFor(const JobConf& conf) {
@@ -178,6 +184,12 @@ JobResult JobClient::SubmitJob(const JobConf& conf) {
   policy.initial_backoff_us =
       static_cast<double>(conf.GetInt(conf::kJobRetryBackoffMs, 10)) * 1000;
   policy.max_backoff_us = policy.initial_backoff_us * 64;
+  // Decorrelated jitter de-synchronizes the retry storms of concurrent
+  // clients; seeding from m3r.fault.seed keeps resilience drills
+  // reproducible end to end.
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed =
+      static_cast<uint64_t>(conf.GetInt(conf::kFaultSeed, 1));
   Backoff backoff(policy);
   JobResult result;
   while (backoff.Next()) {

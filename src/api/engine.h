@@ -148,8 +148,10 @@ class JobClient {
 
   /// Blocking submit — SubmitJobAsync + Wait. When the job sets
   /// m3r.job.max.attempts > 1, retriable failures (IOError / Aborted /
-  /// Unavailable — e.g. injected faults or a place crash) are resubmitted
-  /// with exponential backoff starting at m3r.job.retry.backoff.ms.
+  /// Unavailable / DataLoss — e.g. injected faults, a place crash, or a
+  /// detected checksum mismatch) are resubmitted with exponential backoff
+  /// starting at m3r.job.retry.backoff.ms, decorrelated-jittered with a
+  /// deterministic stream seeded from m3r.fault.seed.
   JobResult SubmitJob(const JobConf& conf);
 
   /// Routes to the engine the conf selects and returns its handle.

@@ -84,6 +84,12 @@ inline constexpr char kCacheCheckpoint[] = "m3r.cache.checkpoint";
 /// Job-level retries by JobClient::SubmitJob on retriable failures.
 inline constexpr char kJobMaxAttempts[] = "m3r.job.max.attempts";
 inline constexpr char kJobRetryBackoffMs[] = "m3r.job.retry.backoff.ms";
+/// End-to-end CRC32C integrity: "off" (default), "detect" (checksum
+/// mismatches fail with DataLoss), or "repair" (each boundary re-reads a
+/// surviving copy before giving up). See common/integrity.h.
+inline constexpr char kIntegrityMode[] = "m3r.integrity.mode";
+/// Deterministic seed shared by the fault injector and retry jitter.
+inline constexpr char kFaultSeed[] = "m3r.fault.seed";
 }  // namespace conf
 
 /// Job configuration: a Configuration plus convenience accessors for the

@@ -23,6 +23,19 @@ uint64_t HashString(const std::string& s) {
   return SplitMix64(h);
 }
 
+// Flips one bit of `data`, chosen as a pure function of (seed, site, key)
+// from a stream independent of the fire/no-fire coin (extra SplitMix64
+// round with a different additive constant).
+void FlipSeededBit(uint64_t seed, const std::string& site,
+                   const std::string& key, std::string* data) {
+  uint64_t h = SplitMix64(
+      SplitMix64(seed ^ HashString(site) ^
+                 (HashString(key) * 0x9e3779b97f4a7c15ULL)) +
+      0xd1b54a32d192ed03ULL);
+  size_t bit = static_cast<size_t>(h % (data->size() * 8));
+  (*data)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+}
+
 }  // namespace
 
 void FaultInjector::Configure(const std::string& site, SiteConfig config) {
@@ -64,6 +77,29 @@ bool FaultInjector::ShouldFail(const std::string& site,
 Status FaultInjector::Check(const std::string& site, const std::string& key) {
   if (!ShouldFail(site, key)) return Status::OK();
   return Status::Unavailable("injected fault at " + site + " [" + key + "]");
+}
+
+bool FaultInjector::MaybeCorrupt(const std::string& site,
+                                 const std::string& key, std::string* data) {
+  if (data == nullptr || data->empty()) return false;
+  if (!ShouldFail(site, key)) return false;
+  FlipSeededBit(seed_, site, key, data);
+  return true;
+}
+
+bool FaultInjector::MaybeCorruptCopy(const std::string& site,
+                                     const std::string& key,
+                                     std::string_view in, std::string* out) {
+  if (in.empty()) return false;
+  if (!ShouldFail(site, key)) return false;
+  out->assign(in.data(), in.size());
+  FlipSeededBit(seed_, site, key, out);
+  return true;
+}
+
+bool FaultInjector::SiteArmed(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_.count(site) > 0;
 }
 
 int64_t FaultInjector::InjectedCount() const {

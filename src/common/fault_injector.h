@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -53,6 +54,30 @@ class FaultInjector {
   /// Status-flavored ShouldFail: Unavailable("injected fault ...") when the
   /// fault fires, OK otherwise.
   Status Check(const std::string& site, const std::string& key);
+
+  /// Corruption-flavored injection for the `corrupt.*` sites
+  /// ("corrupt.dfs.block", "corrupt.channel.frame", "corrupt.cache.block",
+  /// "corrupt.spill"): instead of returning an error, flips one bit of the
+  /// payload. Which bit is a pure function of (seed, site, key) — drawn
+  /// from a stream independent of the fire/no-fire coin — so a corrupted
+  /// run is byte-reproducible. Fires under the same
+  /// prob/nth/limit semantics as ShouldFail. Returns false (and leaves
+  /// `*data` untouched) when the site does not fire or the payload is
+  /// empty.
+  bool MaybeCorrupt(const std::string& site, const std::string& key,
+                    std::string* data);
+
+  /// Copy-on-corrupt variant: when the site fires, `*out = in` with the
+  /// seeded bit flipped and true is returned; otherwise `*out` is left
+  /// alone and no copy is made (keeps the common path zero-copy).
+  bool MaybeCorruptCopy(const std::string& site, const std::string& key,
+                        std::string_view in, std::string* out);
+
+  /// True when `site` has any configuration, letting hot paths skip
+  /// corruption bookkeeping entirely for unarmed sites.
+  bool SiteArmed(const std::string& site) const;
+
+  uint64_t seed() const { return seed_; }
 
   /// Total injected failures, overall or per site.
   int64_t InjectedCount() const;

@@ -6,17 +6,50 @@
 
 namespace m3r {
 
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Backoff::Backoff(const BackoffPolicy& policy)
     : policy_(policy), next_sleep_us_(policy.initial_backoff_us) {
   if (policy_.max_attempts < 1) policy_.max_attempts = 1;
 }
 
+double Backoff::JitteredSleepUs(const BackoffPolicy& policy, int attempt,
+                                double prev_sleep_us) {
+  double lo = policy.initial_backoff_us;
+  double hi = std::max(lo, 3 * prev_sleep_us);
+  uint64_t h = SplitMix64(policy.jitter_seed +
+                          static_cast<uint64_t>(attempt) *
+                              0x9e3779b97f4a7c15ULL);
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return std::min(policy.max_backoff_us, lo + u * (hi - lo));
+}
+
 bool Backoff::Next() {
   if (attempts_ >= policy_.max_attempts) return false;
-  if (attempts_ > 0 && next_sleep_us_ > 0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
-        std::min(next_sleep_us_, policy_.max_backoff_us)));
-    next_sleep_us_ *= policy_.multiplier;
+  last_sleep_us_ = 0;
+  if (attempts_ > 0) {
+    double sleep_us;
+    if (policy_.decorrelated_jitter) {
+      sleep_us = JitteredSleepUs(policy_, attempts_, next_sleep_us_);
+      next_sleep_us_ = sleep_us;
+    } else {
+      sleep_us = std::min(next_sleep_us_, policy_.max_backoff_us);
+      next_sleep_us_ *= policy_.multiplier;
+    }
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(sleep_us));
+    }
+    last_sleep_us_ = sleep_us;
   }
   ++attempts_;
   return true;

@@ -1,6 +1,8 @@
 #ifndef M3R_COMMON_RETRY_H_
 #define M3R_COMMON_RETRY_H_
 
+#include <cstdint>
+
 namespace m3r {
 
 /// Shared retry budget + exponential backoff configuration, used by the
@@ -14,6 +16,15 @@ struct BackoffPolicy {
   double multiplier = 2.0;
   /// Ceiling for one sleep, in microseconds.
   double max_backoff_us = 1000;
+  /// Decorrelated jitter: each sleep is drawn uniformly from
+  /// [initial_backoff_us, 3 * previous_sleep] (capped at max_backoff_us)
+  /// instead of growing by `multiplier`, which de-synchronizes retry
+  /// stampedes when many clients back off from the same failure. The draw
+  /// is a pure function of (jitter_seed, attempt number) so retry
+  /// timelines stay reproducible; seed it from `m3r.fault.seed` to tie the
+  /// timeline to the injected-fault schedule.
+  bool decorrelated_jitter = false;
+  uint64_t jitter_seed = 1;
 };
 
 /// Drives one retry loop:
@@ -34,11 +45,23 @@ class Backoff {
   bool Next();
   /// Attempts granted so far (== number of times Next() returned true).
   int attempts() const { return attempts_; }
+  /// Sleep taken by the most recent Next() call, in microseconds (0 before
+  /// the first retry). Lets tests assert that a jitter_seed reproduces the
+  /// exact retry timeline.
+  double last_sleep_us() const { return last_sleep_us_; }
+
+  /// The sleep the (attempt)th retry draws under decorrelated jitter:
+  /// min(max_backoff_us, U(initial_backoff_us, 3 * prev_sleep_us)) with U
+  /// deterministic in (policy.jitter_seed, attempt). Pure; exposed for
+  /// tests.
+  static double JitteredSleepUs(const BackoffPolicy& policy, int attempt,
+                                double prev_sleep_us);
 
  private:
   BackoffPolicy policy_;
   int attempts_ = 0;
   double next_sleep_us_;
+  double last_sleep_us_ = 0;
 };
 
 }  // namespace m3r

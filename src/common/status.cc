@@ -26,13 +26,19 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
 
 bool IsRetriable(StatusCode code) {
+  // DataLoss is retriable like Unavailable: a new attempt re-fetches the
+  // corrupted bytes from their authoritative source (DFS replica, mapper
+  // output, base file under a cache). Wrong data is never committed either
+  // way — the difference is only which layer noticed.
   return code == StatusCode::kIOError || code == StatusCode::kAborted ||
-         code == StatusCode::kUnavailable;
+         code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
 }
 
 std::string Status::ToString() const {

@@ -25,6 +25,10 @@ enum class StatusCode {
   /// A resource (node, place, service) is temporarily gone — the code
   /// injected faults and place crashes surface as. Retriable.
   kUnavailable,
+  /// Stored or in-flight bytes failed checksum verification and no intact
+  /// replica was available. Retriable at task granularity: a fresh attempt
+  /// re-reads/re-fetches the data from its authoritative source.
+  kDataLoss,
 };
 
 /// True for codes that denote transient conditions a caller may retry
@@ -77,6 +81,9 @@ class Status {
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +94,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsRetriable() const { return ::m3r::IsRetriable(code_); }
 
   /// "OK" or "<CodeName>: <message>".

@@ -20,6 +20,16 @@ void FileSystem::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
   fault_ = std::move(injector);
 }
 
+void FileSystem::SetIntegrity(std::shared_ptr<IntegrityContext> integrity) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  integrity_ = std::move(integrity);
+}
+
+std::shared_ptr<IntegrityContext> FileSystem::integrity() {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return integrity_;
+}
+
 Status FileSystem::CheckFault(const char* site, const std::string& path) {
   std::shared_ptr<FaultInjector> injector;
   {

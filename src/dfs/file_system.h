@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/status.h"
 
 namespace m3r::dfs {
@@ -88,14 +89,24 @@ class FileSystem {
   /// submit and clear it when the job finishes.
   void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
 
+  /// Installs (or clears) the per-job integrity context. When set, SimDFS
+  /// verifies stored per-block CRC32Cs on every Open and — in repair
+  /// mode — heals a corrupted block from a surviving replica; see
+  /// common/integrity.h.
+  void SetIntegrity(std::shared_ptr<IntegrityContext> integrity);
+
  protected:
   /// Evaluates injection site `site` keyed by `path`; implementations call
   /// this at the top of Open (dfs.read) and Create (dfs.write).
   Status CheckFault(const char* site, const std::string& path);
 
+  /// The currently installed integrity context (null when off).
+  std::shared_ptr<IntegrityContext> integrity();
+
  private:
   std::mutex fault_mu_;
   std::shared_ptr<FaultInjector> fault_;
+  std::shared_ptr<IntegrityContext> integrity_;
 };
 
 }  // namespace m3r::dfs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
+#include "common/integrity.h"
 #include "common/logging.h"
 #include "common/path.h"
 
@@ -75,7 +77,21 @@ void SimDfs::CommitLocked(const std::string& path, std::string data,
   uint64_t size = data.size();
   node.content = std::make_shared<const std::string>(std::move(data));
   node.block_nodes.clear();
+  node.block_crcs.clear();
   uint64_t num_blocks = size == 0 ? 0 : (size + block_size_ - 1) / block_size_;
+  // Per-block CRC32C, stamped unconditionally like HDFS datanode block
+  // metadata (verification is what m3r.integrity.mode gates). The stamping
+  // CPU is charged to the writing job only when a context is installed.
+  auto ctx = integrity();
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t off = b * block_size_;
+    uint64_t len = std::min(block_size_, size - off);
+    node.block_crcs.push_back(crc32c::Crc32c(node.content->data() + off, len));
+  }
+  if (ctx != nullptr && ctx->enabled()) {
+    ctx->counters->bytes_checksummed.fetch_add(static_cast<int64_t>(size),
+                                               std::memory_order_relaxed);
+  }
   for (uint64_t b = 0; b < num_blocks; ++b) {
     std::vector<int> replicas;
     // Preferred nodes wrap: callers may pass a partition index directly.
@@ -123,13 +139,76 @@ Result<std::shared_ptr<const std::string>> SimDfs::Open(
     const std::string& path) {
   std::string p = path::Canonicalize(path);
   M3R_RETURN_NOT_OK(CheckFault("dfs.read", p));
+  auto ctx = integrity();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = inodes_.find(p);
   if (it == inodes_.end()) return Status::NotFound(p);
   if (it->second.is_directory) {
     return Status::InvalidArgument("is a directory: " + p);
   }
-  return it->second.content;
+  const Inode& node = it->second;
+  if (ctx == nullptr || !node.content || node.content->empty()) {
+    return node.content;
+  }
+  FaultInjector* fault = ctx->fault.get();
+  bool corrupt_armed = fault != nullptr && fault->SiteArmed(kCorruptDfsBlock);
+  if (!ctx->enabled() && !corrupt_armed) return node.content;
+
+  // Verify (and possibly heal) block by block. The store keeps one copy of
+  // the bytes; which *replica* of a block is corrupted is a pure function
+  // of (seed, path, block, node), so "read the next replica" is modeled by
+  // consulting the corruption site under the next replica's key.
+  const std::string& content = *node.content;
+  std::shared_ptr<std::string> mutated;  // corrupted copy served in mode off
+  for (size_t b = 0; b < node.block_nodes.size(); ++b) {
+    uint64_t off = b * block_size_;
+    uint64_t len = std::min(block_size_, content.size() - off);
+    const std::vector<int>& replicas = node.block_nodes[b];
+    std::string_view slice(content.data() + off, len);
+    auto replica_key = [&](size_t r) {
+      return p + "#" + std::to_string(b) + "@" + std::to_string(replicas[r]);
+    };
+    if (!ctx->enabled()) {
+      // No verification: the reader consumes whatever the first replica
+      // holds, flipped bit included.
+      std::string scratch;
+      if (fault->MaybeCorruptCopy(kCorruptDfsBlock, replica_key(0), slice,
+                                  &scratch)) {
+        if (mutated == nullptr) mutated = std::make_shared<std::string>(content);
+        mutated->replace(off, len, scratch);
+      }
+      continue;
+    }
+    bool healthy = false;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      std::string scratch;
+      bool corrupt =
+          corrupt_armed &&
+          fault->MaybeCorruptCopy(kCorruptDfsBlock, replica_key(r), slice,
+                                  &scratch);
+      ctx->counters->bytes_checksummed.fetch_add(static_cast<int64_t>(len),
+                                                 std::memory_order_relaxed);
+      uint32_t got = corrupt ? crc32c::Crc32c(scratch)
+                             : crc32c::Crc32c(slice.data(), slice.size());
+      if (got == node.block_crcs[b]) {
+        if (r > 0) {
+          ctx->counters->repaired.fetch_add(1, std::memory_order_relaxed);
+        }
+        healthy = true;
+        break;
+      }
+      ctx->counters->detected.fetch_add(1, std::memory_order_relaxed);
+      if (!ctx->repair()) {
+        return Status::DataLoss("block checksum mismatch: " + replica_key(r));
+      }
+    }
+    if (!healthy) {
+      return Status::DataLoss("all replicas corrupt: " + p + "#" +
+                              std::to_string(b));
+    }
+  }
+  if (mutated != nullptr) return std::shared_ptr<const std::string>(mutated);
+  return node.content;
 }
 
 bool SimDfs::Exists(const std::string& path) {

@@ -47,6 +47,7 @@ class SimDfs : public FileSystem {
     bool is_directory = false;
     std::shared_ptr<const std::string> content;  // files only
     std::vector<std::vector<int>> block_nodes;   // replica nodes per block
+    std::vector<uint32_t> block_crcs;            // CRC32C per block
     int64_t mtime = 0;
   };
 

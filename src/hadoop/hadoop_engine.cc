@@ -8,6 +8,7 @@
 #include "api/output_format.h"
 #include "api/task_runner.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "hadoop/map_task.h"
@@ -72,11 +73,21 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   // (dfs.read / dfs.write sites) and handed to tasks (hadoop.map /
   // hadoop.reduce sites). Cleared on every exit path.
   std::shared_ptr<FaultInjector> fault = FaultInjector::FromConf(conf.raw());
+  // End-to-end integrity context (m3r.integrity.mode): installed on the
+  // file system (block checksums) and handed to tasks (spill/fetch
+  // checksums) for the duration of the submission, like the injector.
+  auto integrity_or = IntegrityContext::FromConf(conf.raw(), fault);
+  if (!integrity_or.ok()) return Fail(integrity_or.status());
+  std::shared_ptr<IntegrityContext> integrity = integrity_or.take();
   struct FaultGuard {
     dfs::FileSystem* fs;
-    ~FaultGuard() { fs->SetFaultInjector(nullptr); }
+    ~FaultGuard() {
+      fs->SetFaultInjector(nullptr);
+      fs->SetIntegrity(nullptr);
+    }
   } fault_guard{fs_.get()};
   fs_->SetFaultInjector(fault);
+  fs_->SetIntegrity(integrity);
 
   // --- Submit: jobtracker handshake, job files, splits (paper §3.1) ---
   auto output_format = api::MakeOutputFormat(conf);
@@ -92,9 +103,19 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   // output (no _SUCCESS can survive), and fire the FAILED notification so
   // job-end listeners hear about mid-run failures. Leaving the directory
   // absent is what lets JobClient's job-level retry resubmit cleanly.
+  auto record_integrity = [&] {
+    if (integrity == nullptr || !integrity->enabled()) return;
+    result.metrics["integrity_detected"] =
+        integrity->counters->detected.load();
+    result.metrics["integrity_repaired"] =
+        integrity->counters->repaired.load();
+    result.metrics["integrity_bytes_checksummed"] =
+        integrity->counters->bytes_checksummed.load();
+  };
   auto fail_job = [&](Status status) {
     committer.AbortJob(conf, *fs_);
     fs_->Delete(conf.OutputPath(), /*recursive=*/true);
+    record_integrity();
     result.status = std::move(status);
     result.wall_seconds = wall.ElapsedSeconds();
     NotifyJobEnd(conf, result);
@@ -164,7 +185,8 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
         for (int a = 0; a < map_max_attempts; ++a) {
           attempts.push_back(RunHadoopMapTask(
               conf, *fs_, *splits[i], static_cast<int>(i), num_reduce,
-              arbitrary_node(static_cast<int>(i), a), a, fault.get()));
+              arbitrary_node(static_cast<int>(i), a), a, fault.get(),
+              integrity.get()));
           if (attempts.back().status.ok()) break;
           committer.AbortTask(conf, *fs_, static_cast<int>(i), a);
           if (!attempts.back().status.IsRetriable()) break;
@@ -297,10 +319,17 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
     if (CancelRequested()) return fail_job(Status::Cancelled("job cancelled"));
     std::vector<std::vector<const std::string*>> reduce_inputs(
         static_cast<size_t>(num_reduce));
+    std::vector<std::vector<uint32_t>> reduce_input_crcs(
+        static_cast<size_t>(num_reduce));
     for (int p = 0; p < num_reduce; ++p) {
       for (const std::vector<MapTaskResult>& attempts : map_attempts) {
+        const MapTaskResult& mr = attempts.back();
         reduce_inputs[static_cast<size_t>(p)].push_back(
-            &attempts.back().partition_segments[static_cast<size_t>(p)]);
+            &mr.partition_segments[static_cast<size_t>(p)]);
+        reduce_input_crcs[static_cast<size_t>(p)].push_back(
+            mr.segment_crcs.empty()
+                ? 0
+                : mr.segment_crcs[static_cast<size_t>(p)]);
       }
     }
     std::vector<std::vector<ReduceTaskResult>> reduce_attempts(
@@ -318,7 +347,7 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
             attempts.push_back(RunHadoopReduceTask(
                 conf, *fs_, static_cast<int>(p), reduce_inputs[p],
                 arbitrary_node(1000000 + static_cast<int>(p), a), a,
-                fault.get()));
+                fault.get(), reduce_input_crcs[p], integrity.get()));
             if (attempts.back().status.ok()) break;
             committer.AbortTask(conf, *fs_, static_cast<int>(p), a);
             if (!attempts.back().status.IsRetriable()) break;
@@ -449,12 +478,23 @@ api::JobResult HadoopEngine::Submit(const api::JobConf& submitted_conf) {
   if (fault != nullptr) {
     result.metrics["injected_faults"] = fault->InjectedCount();
   }
+  // Integrity layer: surface the tallies and charge the checksum CPU.
+  // The work happened inside tasks spread across every slot, so the
+  // makespan pays the amortized per-slot share.
+  double integrity_s = 0;
+  record_integrity();
+  if (integrity != nullptr && integrity->enabled()) {
+    int64_t checked = integrity->counters->bytes_checksummed.load();
+    integrity_s = cost_.Checksum(static_cast<uint64_t>(checked)) /
+                  spec.total_slots();
+    result.time_breakdown["integrity"] = integrity_s;
+  }
 
   // --- Commit ---
   if (CancelRequested()) return fail_job(Status::Cancelled("job cancelled"));
   st = committer.CommitJob(conf, *fs_);
   if (!st.ok()) return fail_job(std::move(st));
-  double total = phase_end + spec.job_commit_overhead_s;
+  double total = phase_end + integrity_s + spec.job_commit_overhead_s;
   result.time_breakdown["commit"] = spec.job_commit_overhead_s;
 
   result.sim_seconds = total;

@@ -87,7 +87,8 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
                                dfs::FileSystem& fs,
                                const api::InputSplit& split, int task_id,
                                int num_reduce, int node, int attempt,
-                               FaultInjector* fault) {
+                               FaultInjector* fault,
+                               const IntegrityContext* integrity) {
   MapTaskResult result;
   api::CountersReporter reporter(&result.counters);
   const std::string attempt_key =
@@ -147,7 +148,7 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
     return result;
   }
 
-  MapOutputBuffer buffer(conf, num_reduce, &reporter);
+  MapOutputBuffer buffer(conf, num_reduce, &reporter, integrity);
   result.status = api::RunMapTask(conf, *reader, buffer, reporter,
                                   api::MapRunnerMode::kHadoopDefault,
                                   &immutable_unused);
@@ -174,21 +175,52 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
 
   result.partition_segments.resize(static_cast<size_t>(num_reduce));
   if (spills.size() == 1) {
+    // No merge pass: the spill's segments (and their spill-time stamps)
+    // become the map output file directly.
     result.partition_segments = std::move(spills[0].partition_segments);
+    result.segment_crcs = std::move(spills[0].segment_crcs);
     for (const std::string& s : result.partition_segments) {
       result.output_bytes += s.size();
     }
   } else if (!spills.empty()) {
     auto sort_cmp = api::SortComparator(conf);
     for (int p = 0; p < num_reduce; ++p) {
+      // The merge re-reads every spilled segment from "local disk" — the
+      // corrupt.spill window. Each is verified against its spill-time
+      // stamp before its bytes reach the merge's decoder; in repair mode
+      // a hit falls back to the buffer's pristine copy.
       std::vector<const std::string*> segments;
-      for (const Spill& spill : spills) {
-        segments.push_back(&spill.partition_segments[static_cast<size_t>(p)]);
+      std::vector<std::string> scratch(spills.size());
+      for (size_t s = 0; s < spills.size(); ++s) {
+        const Spill& spill = spills[s];
+        const std::string& segment =
+            spill.partition_segments[static_cast<size_t>(p)];
+        const std::string* served = &segment;
+        if (integrity != nullptr) {
+          const std::string key = "m" + std::to_string(task_id) + "/a" +
+                                  std::to_string(attempt) + "/s" +
+                                  std::to_string(s) + "/p" +
+                                  std::to_string(p);
+          uint32_t crc = spill.segment_crcs.empty()
+                             ? 0
+                             : spill.segment_crcs[static_cast<size_t>(p)];
+          result.status = ReceiveChecked(integrity, kCorruptSpill, key, crc,
+                                         segment, &scratch[s], &served);
+          if (!result.status.ok()) return result;
+        }
+        segments.push_back(served);
       }
       std::string merged = MergeSegments(segments, sort_cmp, nullptr);
       result.merge_bytes += merged.size();
       result.output_bytes += merged.size();
       result.partition_segments[static_cast<size_t>(p)] = std::move(merged);
+    }
+  }
+  if (integrity != nullptr && integrity->enabled() &&
+      result.segment_crcs.empty()) {
+    result.segment_crcs.reserve(result.partition_segments.size());
+    for (const std::string& s : result.partition_segments) {
+      result.segment_crcs.push_back(StampCrc(integrity, s));
     }
   }
   return result;

@@ -8,6 +8,7 @@
 #include "api/input_format.h"
 #include "api/job_conf.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/status.h"
 #include "dfs/file_system.h"
 
@@ -20,6 +21,9 @@ namespace m3r::hadoop {
 struct MapTaskResult {
   Status status;
   std::vector<std::string> partition_segments;
+  /// CRC32C per partition segment (the map-output-file checksums reducers
+  /// verify at fetch). Empty when integrity is off.
+  std::vector<uint32_t> segment_crcs;
   uint64_t input_bytes = 0;
   /// Bytes written to local disk across all spills.
   uint64_t spill_write_bytes = 0;
@@ -42,10 +46,17 @@ struct MapTaskResult {
 /// `fault` (optional) is consulted at the "hadoop.map" site keyed by
 /// "<task>/<attempt>" after the user code has run — modeling a task that
 /// did its work and then died before committing.
+///
+/// `integrity` (optional) stamps every spill segment at write, re-verifies
+/// each one (under the "corrupt.spill" site, keys
+/// "m<task>/a<attempt>/s<spill>/p<partition>") when the map-side merge
+/// re-reads it, and stamps the final per-partition map output segments for
+/// the reduce-side fetch to verify.
 MapTaskResult RunHadoopMapTask(const api::JobConf& conf, dfs::FileSystem& fs,
                                const api::InputSplit& split, int task_id,
                                int num_reduce, int node, int attempt = 0,
-                               FaultInjector* fault = nullptr);
+                               FaultInjector* fault = nullptr,
+                               const IntegrityContext* integrity = nullptr);
 
 }  // namespace m3r::hadoop
 

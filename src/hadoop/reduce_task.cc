@@ -81,7 +81,8 @@ class HadoopReduceNamedSink : public api::NamedOutputSink {
 ReduceTaskResult RunHadoopReduceTask(
     const api::JobConf& conf, dfs::FileSystem& fs, int partition,
     const std::vector<const std::string*>& segments, int node, int attempt,
-    FaultInjector* fault) {
+    FaultInjector* fault, const std::vector<uint32_t>& segment_crcs,
+    const IntegrityContext* integrity) {
   ReduceTaskResult result;
   api::CountersReporter reporter(&result.counters);
 
@@ -91,12 +92,29 @@ ReduceTaskResult RunHadoopReduceTask(
                             static_cast<int64_t>(result.shuffle_bytes));
 
   CpuStopwatch cpu;
+  // The shuffle fetch is a checksummed hop: every map's segment is
+  // verified against its map-side stamp before any of its bytes reach the
+  // merge's decoder.
+  std::vector<const std::string*> fetched = segments;
+  std::vector<std::string> scratch(segments.size());
+  if (integrity != nullptr) {
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const std::string key = "m" + std::to_string(i) + "/p" +
+                              std::to_string(partition) + "/a" +
+                              std::to_string(attempt);
+      uint32_t crc = i < segment_crcs.size() ? segment_crcs[i] : 0;
+      result.status = ReceiveChecked(integrity, kCorruptSpill, key, crc,
+                                     *segments[i], &scratch[i], &fetched[i]);
+      if (!result.status.ok()) return result;
+    }
+  }
+
   // Out-of-core merge of all fetched segments into one sorted stream. The
   // merged bytes are written to and re-read from local disk in Hadoop;
   // the engine charges that via merge_bytes.
   uint64_t merged_records = 0;
   std::string merged =
-      MergeSegments(segments, api::SortComparator(conf), &merged_records);
+      MergeSegments(fetched, api::SortComparator(conf), &merged_records);
   result.merge_bytes = merged.size();
   result.counters.Increment(api::counters::kTaskGroup,
                             api::counters::kReduceInputRecords,

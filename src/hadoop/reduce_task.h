@@ -7,6 +7,7 @@
 #include "api/counters.h"
 #include "api/job_conf.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/status.h"
 #include "dfs/file_system.h"
 
@@ -31,10 +32,20 @@ struct ReduceTaskResult {
 ///
 /// `fault` (optional) is consulted at the "hadoop.reduce" site keyed by
 /// "<partition>/<attempt>" after the reducer has run, before task commit.
+///
+/// `segment_crcs` (optional; index-aligned with `segments` when non-empty)
+/// carries the map-side stamps; each fetched segment is then verified at
+/// the "corrupt.spill" site, keys "m<i>/p<partition>/a<attempt>" — the
+/// shuffle-fetch hop where Hadoop's IFile checksums catch corrupt map
+/// output. In repair mode a mismatch falls back to the mapper's pristine
+/// copy (a re-fetch); otherwise the task fails with DataLoss and the
+/// re-attempt draws fresh corruption coins.
 ReduceTaskResult RunHadoopReduceTask(
     const api::JobConf& conf, dfs::FileSystem& fs, int partition,
     const std::vector<const std::string*>& segments, int node,
-    int attempt = 0, FaultInjector* fault = nullptr);
+    int attempt = 0, FaultInjector* fault = nullptr,
+    const std::vector<uint32_t>& segment_crcs = {},
+    const IntegrityContext* integrity = nullptr);
 
 }  // namespace m3r::hadoop
 

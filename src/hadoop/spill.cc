@@ -50,10 +50,12 @@ class SegmentCollector : public api::OutputCollector {
 }  // namespace
 
 MapOutputBuffer::MapOutputBuffer(const api::JobConf& conf, int num_partitions,
-                                 api::Reporter* reporter)
+                                 api::Reporter* reporter,
+                                 const IntegrityContext* integrity)
     : conf_(conf),
       num_partitions_(num_partitions),
       reporter_(reporter),
+      integrity_(integrity),
       partitioner_(api::MakePartitioner(conf)),
       sort_cmp_(api::SortComparator(conf)),
       buffer_limit_bytes_(static_cast<uint64_t>(
@@ -135,6 +137,12 @@ void MapOutputBuffer::SortAndSpill() {
   }
 
   spilled_records_ += spill.records;
+  if (integrity_ != nullptr && integrity_->enabled()) {
+    spill.segment_crcs.reserve(spill.partition_segments.size());
+    for (const std::string& segment : spill.partition_segments) {
+      spill.segment_crcs.push_back(StampCrc(integrity_, segment));
+    }
+  }
   reporter_->IncrCounter(api::counters::kTaskGroup,
                          api::counters::kSpilledRecords,
                          static_cast<int64_t>(spill.records));

@@ -10,6 +10,7 @@
 #include "api/job_conf.h"
 #include "api/mr_api.h"
 #include "api/task_runner.h"
+#include "common/integrity.h"
 #include "serialize/comparators.h"
 #include "serialize/io.h"
 
@@ -64,6 +65,9 @@ class SegmentReader {
 /// charged by the engine).
 struct Spill {
   std::vector<std::string> partition_segments;
+  /// CRC32C per partition segment, stamped at spill-write time under the
+  /// job's integrity context (empty when integrity is off).
+  std::vector<uint32_t> segment_crcs;
   uint64_t bytes = 0;
   uint64_t records = 0;
 };
@@ -71,11 +75,14 @@ struct Spill {
 /// Hadoop's map-side collector: serializes every collected pair
 /// immediately (the API contract that forces object-reuse semantics),
 /// buffers records per partition, and sorts+spills when the buffer exceeds
-/// io.sort.mb. The job's combiner runs on every spill.
+/// io.sort.mb. The job's combiner runs on every spill. Under a non-null
+/// integrity context each spilled segment is CRC32C-stamped, like the
+/// checksums Hadoop writes next to intermediate files.
 class MapOutputBuffer : public api::OutputCollector {
  public:
   MapOutputBuffer(const api::JobConf& conf, int num_partitions,
-                  api::Reporter* reporter);
+                  api::Reporter* reporter,
+                  const IntegrityContext* integrity = nullptr);
 
   void Collect(const api::WritablePtr& key,
                const api::WritablePtr& value) override;
@@ -102,6 +109,7 @@ class MapOutputBuffer : public api::OutputCollector {
   const api::JobConf& conf_;
   int num_partitions_;
   api::Reporter* reporter_;
+  const IntegrityContext* integrity_;
   std::shared_ptr<api::Partitioner> partitioner_;
   serialize::RawComparatorPtr sort_cmp_;
   uint64_t buffer_limit_bytes_;

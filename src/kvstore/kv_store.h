@@ -37,6 +37,11 @@ struct BlockInfo {
   /// Estimated serialized size of the block's pairs (caller-maintained
   /// metadata; not part of block identity).
   uint64_t bytes = 0;
+  /// CRC32C fingerprint of the block's serialized pairs, stamped at fill
+  /// when integrity is on (caller-maintained metadata; not part of block
+  /// identity). `has_crc` distinguishes "unstamped" from a genuine 0.
+  uint32_t crc = 0;
+  bool has_crc = false;
 
   bool operator==(const BlockInfo& o) const {
     return name == o.name && place == o.place;

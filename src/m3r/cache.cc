@@ -1,9 +1,37 @@
 #include "m3r/cache.h"
 
 #include "api/extensions.h"
+#include "common/crc32c.h"
 #include "common/path.h"
+#include "serialize/io.h"
 
 namespace m3r::engine {
+
+void Cache::SetIntegrity(std::shared_ptr<IntegrityContext> integrity) {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  integrity_ = std::move(integrity);
+}
+
+std::shared_ptr<IntegrityContext> Cache::integrity_snapshot() {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  return integrity_;
+}
+
+uint32_t Cache::ContentCrc(const kvstore::KVSeq& pairs,
+                           uint64_t* serialized_bytes) {
+  serialize::DataOutput out;
+  uint32_t crc = 0;
+  uint64_t total = 0;
+  for (const auto& [k, v] : pairs) {
+    out.Clear();
+    k->Write(out);
+    v->Write(out);
+    crc = crc32c::Extend(crc, out.buffer().data(), out.buffer().size());
+    total += out.buffer().size();
+  }
+  if (serialized_bytes != nullptr) *serialized_bytes = total;
+  return crc;
+}
 
 Status Cache::PutBlock(const std::string& path, const std::string& block_name,
                        int place, kvstore::KVSeq pairs, uint64_t bytes) {
@@ -11,10 +39,61 @@ Status Cache::PutBlock(const std::string& path, const std::string& block_name,
   info.name = block_name;
   info.place = place;
   info.bytes = bytes;
+  auto ctx = integrity_snapshot();
+  if (ctx != nullptr && ctx->enabled()) {
+    uint64_t stamped_bytes = 0;
+    info.crc = ContentCrc(pairs, &stamped_bytes);
+    info.has_crc = true;
+    ctx->counters->bytes_checksummed.fetch_add(
+        static_cast<int64_t>(stamped_bytes), std::memory_order_relaxed);
+  }
   M3R_ASSIGN_OR_RETURN(std::unique_ptr<kvstore::KVStore::Writer> writer,
                        store_.CreateWriter(path, std::move(info)));
   writer->AppendSeq(pairs);
   return writer->Close();
+}
+
+Status Cache::CheckBlock(const std::string& path, const Block& block) {
+  auto ctx = integrity_snapshot();
+  if (ctx == nullptr || !ctx->enabled() || !block.info.has_crc) {
+    return Status::OK();
+  }
+  const std::string key = path + "#" + block.info.name;
+  // Serialize the served copy, apply any injected bit flip to it, and
+  // verify the fill-time fingerprint — corruption hits the bytes a reader
+  // would consume, not a Status channel.
+  serialize::DataOutput out;
+  for (const auto& [k, v] : *block.pairs) {
+    k->Write(out);
+    v->Write(out);
+  }
+  std::string bytes = out.Take();
+  ctx->counters->bytes_checksummed.fetch_add(
+      static_cast<int64_t>(bytes.size()), std::memory_order_relaxed);
+  if (ctx->fault != nullptr) {
+    ctx->fault->MaybeCorrupt(kCorruptCacheBlock, key, &bytes);
+  }
+  if (crc32c::Crc32c(bytes) == block.info.crc) return Status::OK();
+  ctx->counters->detected.fetch_add(1, std::memory_order_relaxed);
+  if (ctx->repair()) {
+    // Re-read the stored pairs — the cache's own copy is the surviving
+    // source for a transient bad serve. (A recompute that *still*
+    // mismatches means the cached objects themselves changed since fill,
+    // e.g. a mutated ImmutableOutput promise; that copy is unusable.)
+    uint64_t reread_bytes = 0;
+    uint32_t recomputed = ContentCrc(*block.pairs, &reread_bytes);
+    ctx->counters->bytes_checksummed.fetch_add(
+        static_cast<int64_t>(reread_bytes), std::memory_order_relaxed);
+    if (recomputed == block.info.crc) {
+      ctx->counters->repaired.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // No intact copy (or detect mode): evict the whole cached path so the
+  // bad copy can never be served again. Job-level retry re-reads the
+  // backing file from the DFS.
+  (void)store_.DeleteRecursive(path);
+  return Status::DataLoss("cache block checksum mismatch: " + key);
 }
 
 std::optional<Cache::Block> Cache::GetBlock(const std::string& path,

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "api/input_format.h"
 #include "api/job_conf.h"
+#include "common/integrity.h"
 #include "common/status.h"
 #include "kvstore/kv_store.h"
 
@@ -44,9 +46,33 @@ class Cache {
   };
 
   /// Publishes a block of pairs for `path`. `bytes` is the serialized size
-  /// estimate used for synthetic FileStatus lengths.
+  /// estimate used for synthetic FileStatus lengths. Under an installed
+  /// integrity context the block is stamped with a CRC32C content
+  /// fingerprint at fill.
   Status PutBlock(const std::string& path, const std::string& block_name,
                   int place, kvstore::KVSeq pairs, uint64_t bytes);
+
+  /// Installs (or clears) the per-job integrity context, like the file
+  /// system's SetIntegrity: PutBlock stamps under it, CheckBlock verifies.
+  void SetIntegrity(std::shared_ptr<IntegrityContext> integrity);
+
+  /// CRC32C over the canonical serialized form of `pairs` (each key and
+  /// value written back-to-back). `serialized_bytes`, when non-null,
+  /// receives the byte count for cost accounting.
+  static uint32_t ContentCrc(const kvstore::KVSeq& pairs,
+                             uint64_t* serialized_bytes = nullptr);
+
+  /// Verifies a fetched block before it is served to a task. Applies any
+  /// injected "corrupt.cache.block" bit flip (keyed "path#block") to the
+  /// served copy, then checks the fill-time fingerprint. In repair mode a
+  /// mismatch re-reads the cache's stored pairs (the surviving in-memory
+  /// source) and serves those when they still match the stamp. If no
+  /// intact copy remains — or in detect mode — the whole cached path is
+  /// evicted (so the bad copy can never be served again) and DataLoss is
+  /// returned; job-level retry then re-reads the backing file from the
+  /// DFS. Returns OK immediately for unstamped blocks or when no context
+  /// is installed.
+  Status CheckBlock(const std::string& path, const Block& block);
 
   /// Returns the block of `path` with the given name, if cached.
   std::optional<Block> GetBlock(const std::string& path,
@@ -93,7 +119,11 @@ class Cache {
                           const std::string& output_path);
 
  private:
+  std::shared_ptr<IntegrityContext> integrity_snapshot();
+
   kvstore::KVStore store_;
+  std::mutex integrity_mu_;
+  std::shared_ptr<IntegrityContext> integrity_;
 };
 
 }  // namespace m3r::engine

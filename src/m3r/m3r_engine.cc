@@ -15,7 +15,9 @@
 #include "api/multiple_io.h"
 #include "api/output_format.h"
 #include "api/task_runner.h"
+#include "common/crc32c.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "m3r/shuffle.h"
@@ -497,8 +499,13 @@ void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
             ch.Send(v);
           }
           x10rt::Channel::Wire wire = ch.Finish();
+          // Header: home place, byte estimate, payload CRC32C. The stamp
+          // is unconditional (like the DFS's block checksums) so a restore
+          // under any future integrity mode can verify it.
           std::string content = std::to_string(block.info.place) + " " +
-                                std::to_string(block.bytes) + "\n";
+                                std::to_string(block.bytes) + " " +
+                                std::to_string(crc32c::Crc32c(wire.bytes)) +
+                                "\n";
           content += wire.bytes;
           Status st = base->WriteFile(
               cdir + "/" + name + ".blk." + block.info.name, content);
@@ -525,7 +532,8 @@ void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
 
 Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
                                            bool only_missing, int* files,
-                                           uint64_t* bytes) {
+                                           uint64_t* bytes,
+                                           const IntegrityContext* integrity) {
   const std::string cdir = std::string(kCheckpointRoot) + dir;
   if (!base_fs_->Exists(cdir + "/_DONE")) return Status::OK();
   M3R_ASSIGN_OR_RETURN(std::vector<dfs::FileStatus> entries,
@@ -547,10 +555,24 @@ Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
     char* rest = nullptr;
     std::string header = content.substr(0, nl);
     long place = std::strtol(header.c_str(), &rest, 10);
-    uint64_t est = std::strtoull(rest, nullptr, 10);
+    char* after_est = nullptr;
+    uint64_t est = std::strtoull(rest, &after_est, 10);
     place = place % std::max(places_.NumPlaces(), 1);
-    std::vector<serialize::WritablePtr> objs =
-        x10rt::Channel::Decode(content.substr(nl + 1));
+    std::string payload = content.substr(nl + 1);
+    // Third header field (absent in pre-integrity spills): the payload's
+    // CRC32C, verified before any byte reaches the channel decoder.
+    char* after_crc = nullptr;
+    uint64_t stored_crc = std::strtoull(after_est, &after_crc, 10);
+    if (integrity != nullptr && integrity->enabled() &&
+        after_crc != after_est) {
+      integrity->counters->bytes_checksummed.fetch_add(
+          static_cast<int64_t>(payload.size()), std::memory_order_relaxed);
+      if (crc32c::Crc32c(payload) != static_cast<uint32_t>(stored_crc)) {
+        integrity->counters->detected.fetch_add(1, std::memory_order_relaxed);
+        return Status::DataLoss("checkpoint checksum mismatch: " + e.path);
+      }
+    }
+    std::vector<serialize::WritablePtr> objs = x10rt::Channel::Decode(payload);
     KVSeq seq;
     seq.reserve(objs.size() / 2);
     for (size_t i = 0; i + 1 < objs.size(); i += 2) {
@@ -652,11 +674,24 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   // DFS sites fire through the base file system; the injector is cleared
   // when Submit leaves, whatever the exit path.
   std::shared_ptr<FaultInjector> fault = FaultInjector::FromConf(conf.raw());
+  // End-to-end integrity (m3r.integrity.mode): installed on the base file
+  // system (block checksums) and the cache (block fingerprints) for the
+  // duration of the submission, and carried by the shuffle for its frames.
+  auto integrity_or = IntegrityContext::FromConf(conf.raw(), fault);
+  if (!integrity_or.ok()) return Fail(integrity_or.status());
+  std::shared_ptr<IntegrityContext> integrity = integrity_or.take();
   struct FaultGuard {
     dfs::FileSystem* fs;
-    ~FaultGuard() { fs->SetFaultInjector(nullptr); }
-  } fault_guard{base_fs_.get()};
+    Cache* cache;
+    ~FaultGuard() {
+      fs->SetFaultInjector(nullptr);
+      fs->SetIntegrity(nullptr);
+      cache->SetIntegrity(nullptr);
+    }
+  } fault_guard{base_fs_.get(), &cache_};
   base_fs_->SetFaultInjector(fault);
+  base_fs_->SetIntegrity(integrity);
+  cache_.SetIntegrity(integrity);
 
   auto output_format = api::MakeOutputFormat(conf);
   if (!temporary) {
@@ -678,7 +713,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       uint64_t rbytes = 0;
       Status st = RestoreDirFromCheckpoint(conf.OutputPath(),
                                            /*only_missing=*/false, &rfiles,
-                                           &rbytes);
+                                           &rbytes, integrity.get());
       if (!st.ok()) {
         M3R_LOG(Warn) << "checkpoint restore of " << conf.OutputPath()
                       << " failed, running the job: " << st.ToString();
@@ -705,6 +740,15 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   // directory is ours: from here on a failure aborts and removes whatever
   // the job produced, then pings the FAILED job-end notification — the
   // contract JobClient's retry loop and external workflow managers rely on.
+  auto record_integrity = [&]() {
+    if (integrity == nullptr || !integrity->enabled()) return;
+    result.metrics["integrity_detected"] =
+        integrity->counters->detected.load();
+    result.metrics["integrity_repaired"] =
+        integrity->counters->repaired.load();
+    result.metrics["integrity_bytes_checksummed"] =
+        integrity->counters->bytes_checksummed.load();
+  };
   auto fail_job = [&](Status status) {
     if (!temporary) {
       api::FileOutputCommitter committer;
@@ -716,6 +760,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     if (fault != nullptr) {
       result.metrics["injected_faults"] = fault->InjectedCount();
     }
+    record_integrity();
     result.status = std::move(status);
     result.wall_seconds = wall.ElapsedSeconds();
     NotifyJobEnd(conf, result);
@@ -727,7 +772,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   if (ckpt_policy != "off") {
     for (const std::string& in : conf.InputPaths()) {
       Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
-                                           nullptr, nullptr);
+                                           nullptr, nullptr, integrity.get());
       if (!st.ok()) {
         M3R_LOG(Warn) << "checkpoint heal of " << in
                       << " failed: " << st.ToString();
@@ -830,6 +875,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   shuffle_options.instability_salt = salt;
   shuffle_options.workers_per_place = workers;
   shuffle_options.fault = fault;
+  shuffle_options.integrity = integrity;
   ShuffleExchange shuffle(num_places, shuffle_options);
 
   // --- Map phase (places run in parallel; each place fans its tasks out
@@ -875,7 +921,21 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       if (t.empty_hit) {
         pairs = std::make_shared<const KVSeq>();
       } else if (t.cache_hit) {
-        pairs = cache_.GetBlock(*t.cache_path, t.block_name)->pairs;
+        std::optional<Cache::Block> block =
+            cache_.GetBlock(*t.cache_path, t.block_name);
+        if (!block) {
+          // Evicted between planning and execution (e.g. a sibling block
+          // of the path failed its check); retriable at job granularity.
+          t.status = Status::DataLoss("cache block evicted: " +
+                                      *t.cache_path + "#" + t.block_name);
+          return;
+        }
+        // Verify the fill-time fingerprint before serving; an
+        // unrepairable mismatch evicts the path and fails the job with
+        // DataLoss, and the retried job re-reads the DFS.
+        t.status = cache_.CheckBlock(*t.cache_path, *block);
+        if (!t.status.ok()) return;
+        pairs = block->pairs;
       } else {
         auto reader_or = api::MakeInputFormat(tconf)->GetRecordReader(
             *base_split, tconf, *fs_);
@@ -1273,6 +1333,17 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   }
   if (fault != nullptr) {
     result.metrics["injected_faults"] = fault->InjectedCount();
+  }
+  // Integrity tallies + checksum CPU, amortized over the cluster's slots
+  // (the stamps and verifies ran inside tasks on every place).
+  record_integrity();
+  if (integrity != nullptr && integrity->enabled()) {
+    double integrity_s =
+        cost_.Checksum(static_cast<uint64_t>(
+            integrity->counters->bytes_checksummed.load())) /
+        spec.total_slots();
+    result.time_breakdown["integrity"] = integrity_s;
+    total += integrity_s;
   }
 
   result.time_breakdown["job_overhead"] = t0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/integrity.h"
 #include "dfs/file_system.h"
 #include "m3r/cache.h"
 #include "m3r/cache_fs.h"
@@ -99,8 +100,12 @@ class M3REngine : public api::Engine {
   /// Loads checkpointed blocks of `dir` back into the cache. With
   /// `only_missing`, blocks already cached are left alone (healing after a
   /// place crash evicted part of a file). No checkpoint => OK, no-op.
+  /// Spill files carry a CRC32C in their header; under a non-null enabled
+  /// `integrity` each payload is verified before decode and a mismatch
+  /// fails the restore with DataLoss (callers fall back to re-running).
   Status RestoreDirFromCheckpoint(const std::string& dir, bool only_missing,
-                                  int* files, uint64_t* bytes);
+                                  int* files, uint64_t* bytes,
+                                  const IntegrityContext* integrity = nullptr);
   /// Snapshots the named files' blocks and spills them on a background
   /// thread, directory by directory, committing each with a _DONE marker.
   void ScheduleCheckpoint(std::vector<std::string> files);

@@ -16,6 +16,7 @@ ShuffleExchange::ShuffleExchange(int num_places,
       salt_(options.instability_salt),
       workers_(std::max(options.workers_per_place, 1)),
       fault_(options.fault),
+      integrity_(options.integrity),
       lanes_(static_cast<size_t>(num_places) * num_places * workers_),
       partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
       partition_mu_(new std::mutex[static_cast<size_t>(
@@ -129,11 +130,27 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
     }
   }
 
+  // Sender stamps the frame; the receiver verifies before any byte is
+  // deserialized, so a flipped bit can never reach DedupInputStream (whose
+  // bounds checks abort, not error). In repair mode a bad frame falls back
+  // to the sender's buffer — the in-memory analogue of a retransmission.
+  uint32_t crc = StampCrc(integrity_.get(), lane->wire);
+  std::string corrupted;
+  const std::string* served = &lane->wire;
+  Status verdict =
+      ReceiveChecked(integrity_.get(), kCorruptChannelFrame, lane_key, crc,
+                     lane->wire, &corrupted, &served);
+  if (!verdict.ok()) {
+    RecordFailure(std::move(verdict));
+    *cpu_seconds = sw.ElapsedSeconds();
+    return;
+  }
+
   // Decode into per-partition scratch first, then splice each partition
   // under its lock in one step: less lock churn, and a stream's pairs
   // arrive contiguously.
   std::vector<std::pair<int, kvstore::KVSeq>> scratch;
-  serialize::DedupInputStream in(lane->wire);
+  serialize::DedupInputStream in(*served);
   while (!in.AtEnd()) {
     int partition = static_cast<int>(in.ReadControl());
     serialize::WritablePtr key = in.ReadObject();

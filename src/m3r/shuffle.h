@@ -9,6 +9,7 @@
 
 #include "common/executor.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/status.h"
 #include "kvstore/kv_store.h"
 #include "serialize/dedup.h"
@@ -40,6 +41,12 @@ struct ShuffleOptions {
   /// transit), "channel.decode" fires before reconstruction (corrupted
   /// receive). Keys are "src->dst#lane". Failures accumulate in status().
   std::shared_ptr<FaultInjector> fault;
+  /// Optional per-job integrity context: each remote lane's wire is
+  /// CRC32C-stamped by the sender and verified (under the
+  /// "corrupt.channel.frame" site, same keys as above) before decode; in
+  /// repair mode a mismatching frame is re-fetched from the sender's
+  /// buffer, in detect mode it surfaces as DataLoss in status().
+  std::shared_ptr<IntegrityContext> integrity;
 };
 
 /// One job's in-memory shuffle (paper §3.2.2).
@@ -132,6 +139,7 @@ class ShuffleExchange {
   const int salt_;
   const int workers_;
   const std::shared_ptr<FaultInjector> fault_;
+  const std::shared_ptr<IntegrityContext> integrity_;
 
   mutable std::mutex status_mu_;
   Status status_;  // first DeliverTo failure

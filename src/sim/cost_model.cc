@@ -46,4 +46,9 @@ double CostModel::DfsRead(uint64_t bytes, bool local) const {
   return t;
 }
 
+double CostModel::Checksum(uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  return Scaled(spec_, bytes) / spec_.checksum_bandwidth_bytes_per_s;
+}
+
 }  // namespace m3r::sim

@@ -31,6 +31,10 @@ struct ClusterSpec {
   /// HDFS replication factor for job output writes.
   int dfs_replication = 3;
 
+  /// CRC32C throughput for the integrity layer (slice-by-8 on one core,
+  /// comfortably memory-bound on the paper's blades).
+  double checksum_bandwidth_bytes_per_s = 3e9;
+
   /// M3R per-phase Team barrier cost (X10 collectives are fast).
   double m3r_barrier_s = 0.01;
   /// M3R per-job bookkeeping (job wrapping, split routing) — small.
@@ -70,6 +74,9 @@ class CostModel {
   double DfsWrite(uint64_t bytes) const;
   /// Reading `bytes` from the DFS; remote reads add a network hop.
   double DfsRead(uint64_t bytes, bool local) const;
+  /// CPU time to checksum `bytes` (the integrity layer's stamp+verify
+  /// work; no seek or latency term — it is pure streaming compute).
+  double Checksum(uint64_t bytes) const;
 
  private:
   ClusterSpec spec_;

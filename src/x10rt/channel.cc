@@ -20,6 +20,14 @@ Result<Channel::Wire> Channel::Finish(FaultInjector* fault,
   return w;
 }
 
+Result<Channel::Wire> Channel::Finish(const IntegrityContext* integrity,
+                                      FaultInjector* fault,
+                                      const std::string& key) {
+  M3R_ASSIGN_OR_RETURN(Wire w, Finish(fault, key));
+  w.crc = StampCrc(integrity, w.bytes);
+  return w;
+}
+
 std::vector<serialize::WritablePtr> Channel::Decode(const std::string& bytes) {
   serialize::DedupInputStream in(bytes);
   std::vector<serialize::WritablePtr> out;
@@ -35,6 +43,19 @@ Result<std::vector<serialize::WritablePtr>> Channel::Decode(
     M3R_RETURN_NOT_OK(fault->Check("channel.decode", key));
   }
   return Decode(bytes);
+}
+
+Result<std::vector<serialize::WritablePtr>> Channel::Decode(
+    const std::string& bytes, uint32_t crc, const IntegrityContext* integrity,
+    FaultInjector* fault, const std::string& key) {
+  if (fault != nullptr) {
+    M3R_RETURN_NOT_OK(fault->Check("channel.decode", key));
+  }
+  std::string scratch;
+  const std::string* served = &bytes;
+  M3R_RETURN_NOT_OK(ReceiveChecked(integrity, kCorruptChannelFrame, key, crc,
+                                   bytes, &scratch, &served));
+  return Decode(*served);
 }
 
 }  // namespace m3r::x10rt

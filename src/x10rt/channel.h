@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "common/status.h"
 #include "serialize/dedup.h"
 
@@ -27,6 +28,10 @@ class Channel {
   /// Statistics and the wire buffer of a finished channel.
   struct Wire {
     std::string bytes;
+    /// Sender-stamped CRC32C of `bytes` (0 when integrity is off — paired
+    /// receivers skip verification then, so the sentinel is never
+    /// compared).
+    uint32_t crc = 0;
     uint64_t objects = 0;
     uint64_t objects_deduped = 0;
     uint64_t bytes_saved = 0;
@@ -41,6 +46,11 @@ class Channel {
   /// failure: the channel is still consumed, but the bytes are lost.
   Result<Wire> Finish(FaultInjector* fault, const std::string& key);
 
+  /// Integrity-aware Finish: additionally stamps `wire.crc` under the
+  /// job's integrity context (the sender-side checksum of one frame).
+  Result<Wire> Finish(const IntegrityContext* integrity, FaultInjector* fault,
+                      const std::string& key);
+
   uint64_t PendingObjects() const { return out_.objects_written(); }
 
   /// Decodes a wire buffer back into objects; repeats come back as aliases
@@ -51,6 +61,15 @@ class Channel {
   /// before reconstructing, modeling a corrupted/truncated receive.
   static Result<std::vector<serialize::WritablePtr>> Decode(
       const std::string& bytes, FaultInjector* fault, const std::string& key);
+
+  /// Integrity-aware Decode: verifies the sender-stamped `crc` (after
+  /// applying any injected "corrupt.channel.frame" bit flip) *before*
+  /// reconstruction, so corrupted bytes never reach the deserializer. In
+  /// repair mode a mismatch falls back to the sender's buffer (a
+  /// retransmission); in detect mode it is DataLoss.
+  static Result<std::vector<serialize::WritablePtr>> Decode(
+      const std::string& bytes, uint32_t crc, const IntegrityContext* integrity,
+      FaultInjector* fault, const std::string& key);
 
  private:
   serialize::DedupOutputStream out_;

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/path.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -75,6 +79,65 @@ TEST(RngTest, BernoulliRoughlyCalibrated) {
   int hits = 0;
   for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
   EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(BackoffJitterTest, DrawIsDeterministicInSeedAndAttempt) {
+  BackoffPolicy p;
+  p.initial_backoff_us = 100;
+  p.max_backoff_us = 10000;
+  p.decorrelated_jitter = true;
+  p.jitter_seed = 42;
+  BackoffPolicy q = p;
+  q.jitter_seed = 43;
+  bool seeds_differ = false;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    EXPECT_EQ(Backoff::JitteredSleepUs(p, attempt, 300),
+              Backoff::JitteredSleepUs(p, attempt, 300));
+    seeds_differ |= Backoff::JitteredSleepUs(p, attempt, 300) !=
+                    Backoff::JitteredSleepUs(q, attempt, 300);
+  }
+  // A different seed draws a different retry timeline.
+  EXPECT_TRUE(seeds_differ);
+}
+
+TEST(BackoffJitterTest, SleepStaysWithinDecorrelatedBounds) {
+  // Decorrelated jitter: each sleep in [initial, min(cap, 3 * previous)].
+  BackoffPolicy p;
+  p.initial_backoff_us = 50;
+  p.max_backoff_us = 400;
+  p.decorrelated_jitter = true;
+  p.jitter_seed = 7;
+  double prev = p.initial_backoff_us;
+  for (int attempt = 1; attempt <= 64; ++attempt) {
+    double sleep = Backoff::JitteredSleepUs(p, attempt, prev);
+    EXPECT_GE(sleep, p.initial_backoff_us) << attempt;
+    EXPECT_LE(sleep, std::min(p.max_backoff_us, 3 * prev)) << attempt;
+    prev = sleep;
+  }
+}
+
+TEST(BackoffJitterTest, NextReplaysTimelineForSameSeed) {
+  BackoffPolicy p;
+  p.max_attempts = 6;
+  p.initial_backoff_us = 1;  // microsecond sleeps keep the test instant
+  p.max_backoff_us = 50;
+  p.decorrelated_jitter = true;
+  p.jitter_seed = 9;
+  auto timeline = [&] {
+    Backoff backoff(p);
+    std::vector<double> sleeps;
+    while (backoff.Next()) sleeps.push_back(backoff.last_sleep_us());
+    return sleeps;
+  };
+  std::vector<double> a = timeline();
+  std::vector<double> b = timeline();
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], 0);  // the first attempt never sleeps
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], p.initial_backoff_us) << i;
+    EXPECT_LE(a[i], p.max_backoff_us) << i;
+  }
 }
 
 TEST(StatusTest, OkAndErrors) {

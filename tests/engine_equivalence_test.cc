@@ -6,13 +6,18 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "api/sequence_file.h"
 #include "dfs/local_fs.h"
 #include "hadoop/hadoop_engine.h"
 #include "m3r/m3r_engine.h"
+#include "workloads/matrix_gen.h"
 #include "workloads/micro_gen.h"
 #include "workloads/shuffle_micro.h"
+#include "workloads/spmv.h"
 #include "workloads/text_gen.h"
 #include "workloads/wordcount.h"
 
@@ -169,6 +174,214 @@ TEST(EngineEquivalence, MicroBenchmarkBinaryOutputsIdentical) {
   auto m3r_records = run(true);
   ASSERT_EQ(hadoop_records.size(), 600u);
   EXPECT_EQ(hadoop_records, m3r_records);
+}
+
+// --- Integrity repair mode: corruption at any boundary, same bytes out ---
+
+/// Outcome of running WordCount twice (same input, two output dirs) on one
+/// engine. The second job exercises the M3R cache-serve boundary, which
+/// only fires on cache hits.
+struct TwoJobRun {
+  bool ok = true;
+  std::string error;
+  std::vector<std::string> out1;
+  std::vector<std::string> out2;
+  int64_t detected = 0;
+  int64_t repaired = 0;
+};
+
+TwoJobRun RunWordCountTwice(bool use_m3r,
+                            const std::map<std::string, std::string>& extra) {
+  TwoJobRun r;
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  M3R_CHECK_OK(workloads::GenerateText(*fs, "/in", 80 * 1024, 3, 21));
+  std::unique_ptr<api::Engine> engine;
+  sim::ClusterSpec spec = TestCluster();
+  if (use_m3r) {
+    engine = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{spec});
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{spec, 0});
+  }
+  for (const char* out : {"/out1", "/out2"}) {
+    api::JobConf job = workloads::MakeWordCountJob("/in", out, 3, true);
+    for (const auto& [k, v] : extra) job.Set(k, v);
+    auto result = engine->Submit(job);
+    if (!result.ok()) {
+      r.ok = false;
+      r.error = result.status.ToString();
+      return r;
+    }
+    if (result.metrics.count("integrity_detected")) {
+      r.detected += result.metrics.at("integrity_detected");
+      r.repaired += result.metrics.at("integrity_repaired");
+    }
+  }
+  r.out1 = ReadOutputLines(*fs, "/out1");
+  r.out2 = ReadOutputLines(*fs, "/out2");
+  return r;
+}
+
+struct CorruptionSiteCase {
+  const char* name;
+  const char* site;
+  /// Which engines evaluate the site (the other runs corruption-free and
+  /// must trivially match).
+  bool fires_on_hadoop;
+  bool fires_on_m3r;
+};
+
+class RepairEquivalenceTest
+    : public ::testing::TestWithParam<CorruptionSiteCase> {};
+
+TEST_P(RepairEquivalenceTest, SingleCorruptionRepairedByteIdentically) {
+  const CorruptionSiteCase& c = GetParam();
+  // prob=1.0 + limit=1: exactly one seeded bit flip per engine run, at the
+  // first evaluation of the site. A single flip always leaves a surviving
+  // copy (another replica / the sender's buffer / the file under the
+  // cache), so repair mode must recover exactly.
+  std::map<std::string, std::string> corrupt = {
+      {api::conf::kIntegrityMode, "repair"},
+      {"m3r.fault.seed", "9"},
+      {std::string("m3r.fault.") + c.site + ".prob", "1.0"},
+      {std::string("m3r.fault.") + c.site + ".limit", "1"},
+  };
+  TwoJobRun clean_h = RunWordCountTwice(false, {});
+  TwoJobRun clean_m = RunWordCountTwice(true, {});
+  ASSERT_TRUE(clean_h.ok) << clean_h.error;
+  ASSERT_TRUE(clean_m.ok) << clean_m.error;
+  ASSERT_FALSE(clean_h.out1.empty());
+  ASSERT_EQ(clean_h.out1, clean_m.out1);  // baseline equivalence
+
+  TwoJobRun faulty_h = RunWordCountTwice(false, corrupt);
+  TwoJobRun faulty_m = RunWordCountTwice(true, corrupt);
+  ASSERT_TRUE(faulty_h.ok) << c.site << ": " << faulty_h.error;
+  ASSERT_TRUE(faulty_m.ok) << c.site << ": " << faulty_m.error;
+
+  // Byte-identical to the clean run on both engines, both jobs.
+  EXPECT_EQ(faulty_h.out1, clean_h.out1);
+  EXPECT_EQ(faulty_h.out2, clean_h.out2);
+  EXPECT_EQ(faulty_m.out1, clean_m.out1);
+  EXPECT_EQ(faulty_m.out2, clean_m.out2);
+
+  // The corruption actually happened and was actually healed on every
+  // engine that has the boundary. (The injector is per-submission, so the
+  // limit=1 flip can fire once in each of the two jobs.)
+  if (c.fires_on_hadoop) {
+    EXPECT_GE(faulty_h.detected, 1) << c.site;
+    EXPECT_EQ(faulty_h.repaired, faulty_h.detected) << c.site;
+  } else {
+    EXPECT_EQ(faulty_h.detected, 0) << c.site;
+  }
+  if (c.fires_on_m3r) {
+    EXPECT_GE(faulty_m.detected, 1) << c.site;
+    EXPECT_EQ(faulty_m.repaired, faulty_m.detected) << c.site;
+  } else {
+    EXPECT_EQ(faulty_m.detected, 0) << c.site;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sites, RepairEquivalenceTest,
+    ::testing::Values(
+        CorruptionSiteCase{"DfsBlock", "corrupt.dfs.block", true, true},
+        CorruptionSiteCase{"ChannelFrame", "corrupt.channel.frame", false,
+                           true},
+        CorruptionSiteCase{"CacheBlock", "corrupt.cache.block", false, true},
+        CorruptionSiteCase{"Spill", "corrupt.spill", true, false}),
+    [](const ::testing::TestParamInfo<CorruptionSiteCase>& info) {
+      return info.param.name;
+    });
+
+// Acceptance: the iterative workload too — repair mode under a single
+// corruption leaves SpMV's result bit-identical on both engines.
+TEST(IntegrityAcceptance, SpmvRepairModeBitIdenticalOnBothEngines) {
+  workloads::SpmvDataParams params;
+  params.n = 400;
+  params.block = 100;
+  params.sparsity = 0.05;
+  params.num_partitions = 2;
+
+  auto run = [&](bool use_m3r, bool with_fault)
+      -> std::pair<std::vector<double>, int64_t> {
+    auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+    M3R_CHECK_OK(workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v",
+                                             params));
+    std::unique_ptr<api::Engine> engine;
+    std::shared_ptr<dfs::FileSystem> read_fs = fs;
+    sim::ClusterSpec spec = TestCluster();
+    if (use_m3r) {
+      auto m3r = std::make_unique<engine::M3REngine>(
+          fs, engine::M3REngineOptions{spec});
+      read_fs = m3r->Fs();
+      engine = std::move(m3r);
+    } else {
+      engine = std::make_unique<hadoop::HadoopEngine>(
+          fs, hadoop::HadoopEngineOptions{spec, 0});
+    }
+    auto jobs = workloads::MakeSpmvIterationJobs("/spmv/g", "/spmv/v",
+                                                 "/spmv/temp-p",
+                                                 "/spmv/temp-out", 2, 4);
+    int64_t detected = 0;
+    for (api::JobConf job : jobs) {
+      if (with_fault) {
+        job.Set(api::conf::kIntegrityMode, "repair");
+        job.Set("m3r.fault.seed", "9");
+        job.Set("m3r.fault.corrupt.dfs.block.prob", "1.0");
+        job.Set("m3r.fault.corrupt.dfs.block.limit", "1");
+      }
+      auto result = engine->Submit(job);
+      M3R_CHECK(result.ok()) << result.status.ToString();
+      if (result.metrics.count("integrity_detected")) {
+        detected += result.metrics.at("integrity_detected");
+      }
+    }
+    auto v = workloads::ReadDenseVector(*read_fs, "/spmv/temp-out", params.n,
+                                        params.block);
+    M3R_CHECK(v.ok()) << v.status().ToString();
+    return {v.take(), detected};
+  };
+
+  for (bool use_m3r : {false, true}) {
+    auto [clean, clean_detected] = run(use_m3r, false);
+    auto [repaired, detected] = run(use_m3r, true);
+    // Bit-identical doubles: repair served the pristine bytes, so the
+    // arithmetic consumed exactly the same inputs.
+    EXPECT_EQ(repaired, clean) << (use_m3r ? "m3r" : "hadoop");
+    EXPECT_EQ(clean_detected, 0);
+    EXPECT_GE(detected, 1) << (use_m3r ? "m3r" : "hadoop");
+  }
+}
+
+// Acceptance: detect mode refuses to commit on both engines.
+TEST(IntegrityAcceptance, DetectModeFailsDataLossOnBothEngines) {
+  for (bool use_m3r : {false, true}) {
+    auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+    ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 2, 5).ok());
+    std::unique_ptr<api::Engine> engine;
+    sim::ClusterSpec spec = TestCluster();
+    if (use_m3r) {
+      engine = std::make_unique<engine::M3REngine>(
+          fs, engine::M3REngineOptions{spec});
+    } else {
+      engine = std::make_unique<hadoop::HadoopEngine>(
+          fs, hadoop::HadoopEngineOptions{spec, 0});
+    }
+    api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 2, true);
+    job.Set(api::conf::kIntegrityMode, "detect");
+    job.Set("m3r.fault.seed", "9");
+    // Unlimited: the pure per-replica coins corrupt every read, so no task
+    // re-attempt can sneak a clean copy past detect mode.
+    job.Set("m3r.fault.corrupt.dfs.block.prob", "1.0");
+    job.Set(api::conf::kMapMaxAttempts, "2");
+    auto result = engine->Submit(job);
+    EXPECT_FALSE(result.ok()) << (use_m3r ? "m3r" : "hadoop");
+    EXPECT_TRUE(result.status.IsDataLoss())
+        << (use_m3r ? "m3r: " : "hadoop: ") << result.status.ToString();
+    EXPECT_FALSE(fs->Exists("/out/_SUCCESS"));
+    EXPECT_GE(result.metrics.at("integrity_detected"), 1);
+  }
 }
 
 }  // namespace

@@ -12,9 +12,12 @@
 #include <string>
 #include <vector>
 
+#include <set>
+
 #include "api/engine.h"
 #include "api/sequence_file.h"
 #include "common/fault_injector.h"
+#include "common/integrity.h"
 #include "dfs/local_fs.h"
 #include "hadoop/hadoop_engine.h"
 #include "m3r/m3r_engine.h"
@@ -157,6 +160,182 @@ TEST(FaultInjectorTest, FromConfBuildsOnlyWhenFaultKeysPresent) {
   EXPECT_TRUE(st.IsRetriable());
   // Unconfigured sites never fire.
   EXPECT_TRUE(inj->Check("dfs.write", "/some/path").ok());
+}
+
+// --- Corruption sites (the integrity layer's fault model) ---
+
+TEST(CorruptionSiteTest, BitFlipIsPureInSeedSiteAndKey) {
+  FaultInjector::SiteConfig cfg;
+  cfg.probability = 1.0;
+  auto corrupt_with = [&](uint64_t seed, const std::string& key) {
+    FaultInjector inj(seed);
+    inj.Configure(kCorruptDfsBlock, cfg);
+    std::string data(64, 'x');
+    EXPECT_TRUE(inj.MaybeCorrupt(kCorruptDfsBlock, key, &data));
+    return data;
+  };
+  const std::string original(64, 'x');
+  std::string a = corrupt_with(5, "/f#0@1");
+  // Byte-reproducible: the same (seed, site, key) flips the same bit.
+  EXPECT_EQ(a, corrupt_with(5, "/f#0@1"));
+  // Exactly one bit differs from the pristine payload.
+  int flipped_bits = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += __builtin_popcount(
+        static_cast<unsigned char>(a[i] ^ original[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  // Different keys (and seeds) draw different flips.
+  std::set<std::string> variants;
+  for (int k = 0; k < 6; ++k) {
+    variants.insert(corrupt_with(5, "key" + std::to_string(k)));
+  }
+  variants.insert(corrupt_with(6, "/f#0@1"));
+  EXPECT_GT(variants.size(), 1u);
+}
+
+TEST(CorruptionSiteTest, CopyVariantOnlyCopiesWhenFiring) {
+  FaultInjector inj(5);
+  FaultInjector::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.limit = 1;
+  inj.Configure(kCorruptSpill, cfg);
+  const std::string in = "spill-segment-payload";
+  std::string out = "sentinel";
+  EXPECT_TRUE(inj.MaybeCorruptCopy(kCorruptSpill, "m0/p0/a0", in, &out));
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_NE(out, in);
+  // The limit is exhausted: no fire, and *out is left untouched (the hot
+  // path stays zero-copy).
+  std::string out2 = "sentinel";
+  EXPECT_FALSE(inj.MaybeCorruptCopy(kCorruptSpill, "m1/p0/a0", in, &out2));
+  EXPECT_EQ(out2, "sentinel");
+  EXPECT_EQ(inj.InjectedCount(kCorruptSpill), 1);
+  // Empty payloads have no bit to flip and are never corrupted.
+  FaultInjector inj2(5);
+  FaultInjector::SiteConfig always;
+  always.probability = 1.0;
+  inj2.Configure(kCorruptSpill, always);
+  std::string empty;
+  EXPECT_FALSE(inj2.MaybeCorrupt(kCorruptSpill, "k", &empty));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(IntegrityContextTest, FromConfBuildsOnlyWhenRelevant) {
+  // No integrity keys, no corruption sites: the common case stays free.
+  auto none = IntegrityContext::FromConf({}, nullptr);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, nullptr);
+
+  // Mode off but a corruption site armed: a disabled context is still
+  // built so the injected flips escape honestly (pre-integrity behavior).
+  std::map<std::string, std::string> corrupt_only = {
+      {"m3r.fault.corrupt.dfs.block.prob", "1.0"}};
+  auto off = IntegrityContext::FromConf(
+      corrupt_only, FaultInjector::FromConf(corrupt_only));
+  ASSERT_TRUE(off.ok());
+  ASSERT_NE(*off, nullptr);
+  EXPECT_FALSE((*off)->enabled());
+
+  auto detect = IntegrityContext::FromConf(
+      {{api::conf::kIntegrityMode, "detect"}}, nullptr);
+  ASSERT_TRUE(detect.ok());
+  ASSERT_NE(*detect, nullptr);
+  EXPECT_TRUE((*detect)->enabled());
+  EXPECT_FALSE((*detect)->repair());
+
+  auto repair = IntegrityContext::FromConf(
+      {{api::conf::kIntegrityMode, "repair"}}, nullptr);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_TRUE((*repair)->repair());
+
+  auto bad = IntegrityContext::FromConf(
+      {{api::conf::kIntegrityMode, "sometimes"}}, nullptr);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IntegrityContextTest, ReceiveCheckedModeSemantics) {
+  auto make_ctx = [](IntegrityMode mode) {
+    auto fault = std::make_shared<FaultInjector>(9);
+    FaultInjector::SiteConfig cfg;
+    cfg.probability = 1.0;
+    fault->Configure(kCorruptChannelFrame, cfg);
+    auto ctx = std::make_shared<IntegrityContext>();
+    ctx->mode = mode;
+    ctx->fault = std::move(fault);
+    return ctx;
+  };
+  const std::string payload = "frame-payload-0123456789";
+
+  {  // detect: the mismatch surfaces as retriable DataLoss.
+    auto ctx = make_ctx(IntegrityMode::kDetect);
+    uint32_t crc = StampCrc(ctx.get(), payload);
+    std::string scratch;
+    const std::string* served = nullptr;
+    Status st = ReceiveChecked(ctx.get(), kCorruptChannelFrame, "lane", crc,
+                               payload, &scratch, &served);
+    EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+    EXPECT_TRUE(st.IsRetriable());
+    EXPECT_EQ(ctx->counters->detected.load(), 1);
+    EXPECT_EQ(ctx->counters->repaired.load(), 0);
+  }
+  {  // repair: detected, then healed from the producer's pristine copy.
+    auto ctx = make_ctx(IntegrityMode::kRepair);
+    uint32_t crc = StampCrc(ctx.get(), payload);
+    std::string scratch;
+    const std::string* served = nullptr;
+    Status st = ReceiveChecked(ctx.get(), kCorruptChannelFrame, "lane", crc,
+                               payload, &scratch, &served);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(*served, payload);
+    EXPECT_EQ(ctx->counters->detected.load(), 1);
+    EXPECT_EQ(ctx->counters->repaired.load(), 1);
+  }
+  {  // off: the corrupted copy is served — the flip escapes silently.
+    auto ctx = make_ctx(IntegrityMode::kOff);
+    std::string scratch;
+    const std::string* served = nullptr;
+    Status st = ReceiveChecked(ctx.get(), kCorruptChannelFrame, "lane",
+                               /*crc=*/0, payload, &scratch, &served);
+    EXPECT_TRUE(st.ok());
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(served, &scratch);
+    EXPECT_NE(*served, payload);
+    EXPECT_EQ(ctx->counters->detected.load(), 0);
+  }
+  {  // A clean hop serves the payload itself, zero-copy.
+    auto ctx = std::make_shared<IntegrityContext>();
+    ctx->mode = IntegrityMode::kDetect;
+    uint32_t crc = StampCrc(ctx.get(), payload);
+    std::string scratch;
+    const std::string* served = nullptr;
+    Status st = ReceiveChecked(ctx.get(), kCorruptChannelFrame, "lane", crc,
+                               payload, &scratch, &served);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(served, &payload);
+    EXPECT_GT(ctx->counters->bytes_checksummed.load(), 0);
+  }
+}
+
+// --- Retry classification: which failures are worth another attempt ---
+
+TEST(RetryClassificationTest, TableOfRetriableCodes) {
+  // Transient conditions — a fresh attempt may succeed.
+  EXPECT_TRUE(IsRetriable(StatusCode::kIOError));
+  EXPECT_TRUE(IsRetriable(StatusCode::kAborted));
+  EXPECT_TRUE(IsRetriable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetriable(StatusCode::kDataLoss));
+  // Deterministic failures — retrying would just fail again.
+  EXPECT_FALSE(IsRetriable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetriable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetriable(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetriable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetriable(StatusCode::kUnimplemented));
+  EXPECT_FALSE(IsRetriable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetriable(StatusCode::kCancelled));
 }
 
 // --- Hadoop task retry (parameterized over injection sites) ---
@@ -361,6 +540,115 @@ TEST(JobClientRetryTest, RetriableFailuresResubmitNonRetriableDoNot) {
   EXPECT_FALSE(nr.ok());
   EXPECT_TRUE(nr.status.IsNotFound()) << nr.status.ToString();
   EXPECT_EQ(m3r->Notifications().size(), 4u);
+}
+
+// --- Integrity detect mode: fail loudly instead of committing garbage ---
+
+TEST(IntegrityModeTest, DetectModeFailsWithDataLossInsteadOfCommitting) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 3, 17).ok());
+  auto engine = std::make_shared<hadoop::HadoopEngine>(
+      fs, hadoop::HadoopEngineOptions{Cluster4x2(), 0});
+  api::JobClient client(engine);
+
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set(api::conf::kIntegrityMode, "detect");
+  job.Set("m3r.fault.seed", "9");
+  job.Set("m3r.fault.corrupt.spill.nth", "1");
+  // Corruption hop keys are attempt-scoped, so a task re-attempt would
+  // re-fetch clean bytes and heal; force single attempts to observe the
+  // raw detection as a job failure.
+  job.Set(api::conf::kMapMaxAttempts, "1");
+  job.Set(api::conf::kReduceMaxAttempts, "1");
+  job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  auto result = client.SubmitJob(job);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status.IsDataLoss()) << result.status.ToString();
+  EXPECT_TRUE(result.status.IsRetriable());
+  // Nothing wrong was committed: no output directory, no _SUCCESS.
+  EXPECT_FALSE(fs->Exists("/out/_SUCCESS"));
+  EXPECT_FALSE(fs->Exists("/out"));
+  EXPECT_GE(result.metrics.at("integrity_detected"), 1);
+  EXPECT_EQ(result.metrics.at("integrity_repaired"), 0);
+  // The FAILED notification says why, for external retry classification.
+  ASSERT_EQ(engine->Notifications().size(), 1u);
+  EXPECT_NE(engine->Notifications()[0].find("status=FAILED"),
+            std::string::npos);
+  EXPECT_NE(engine->Notifications()[0].find("reason=DataLoss"),
+            std::string::npos);
+}
+
+TEST(IntegrityModeTest, HadoopTaskReattemptHealsOneShotCorruption) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 3, 17).ok());
+  hadoop::HadoopEngine gold_engine(fs,
+                                   hadoop::HadoopEngineOptions{Cluster4x2(),
+                                                               0});
+  auto gold = gold_engine.Submit(
+      workloads::MakeWordCountJob("/in", "/gold", 3, true));
+  ASSERT_TRUE(gold.ok()) << gold.status.ToString();
+
+  // One corruption fires (nth=1). Detect mode fails that task attempt with
+  // DataLoss — which is retriable at task granularity, and the re-attempt's
+  // hop keys carry the new attempt id, so the re-fetch is clean.
+  hadoop::HadoopEngine engine(fs,
+                              hadoop::HadoopEngineOptions{Cluster4x2(), 0});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set(api::conf::kIntegrityMode, "detect");
+  job.Set("m3r.fault.seed", "9");
+  job.Set("m3r.fault.corrupt.spill.nth", "1");
+  auto result = engine.Submit(job);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_EQ(result.metrics.at("integrity_detected"), 1);
+  int64_t task_failures = 0;
+  if (result.metrics.count("map_task_failures")) {
+    task_failures += result.metrics.at("map_task_failures");
+  }
+  if (result.metrics.count("reduce_task_failures")) {
+    task_failures += result.metrics.at("reduce_task_failures");
+  }
+  EXPECT_GE(task_failures, 1);
+  EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+  EXPECT_EQ(ReadOutputLines(*fs, "/out"), ReadOutputLines(*fs, "/gold"));
+}
+
+TEST(IntegrityModeTest, M3RCacheCorruptionEvictsAndJobRetryHeals) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  // A single input file: the first detection evicts the whole cached path,
+  // so the retry's re-read comes entirely from the DFS.
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 60 * 1024, 1, 3).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{Cluster4x2()});
+  api::JobClient client(m3r);
+
+  // The warm job runs with integrity on so its cache fills are stamped —
+  // blocks cached by a checksum-less job carry no CRC and cannot be
+  // verified later.
+  api::JobConf warm_job = workloads::MakeWordCountJob("/in", "/warm", 2,
+                                                      true);
+  warm_job.Set(api::conf::kIntegrityMode, "detect");
+  auto warm = client.SubmitJob(warm_job);
+  ASSERT_TRUE(warm.ok()) << warm.status.ToString();
+
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 2, true);
+  job.Set(api::conf::kIntegrityMode, "detect");
+  job.Set("m3r.fault.seed", "9");
+  job.Set("m3r.fault.corrupt.cache.block.prob", "1.0");
+  job.Set(api::conf::kJobMaxAttempts, "2");
+  job.Set(api::conf::kJobRetryBackoffMs, "1");
+  job.Set(api::conf::kJobEndNotificationUrl, "http://observer/cb");
+  auto result = client.SubmitJob(job);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  // Attempt 1 hit the poisoned cache and failed with DataLoss; attempt 2
+  // missed (the path was evicted), re-read the DFS, and succeeded.
+  auto notes = m3r->Notifications();  // warm job set no notification URL
+  ASSERT_EQ(notes.size(), 2u);
+  EXPECT_NE(notes[0].find("status=FAILED"), std::string::npos) << notes[0];
+  EXPECT_NE(notes[0].find("reason=DataLoss"), std::string::npos) << notes[0];
+  EXPECT_NE(notes[1].find("status=SUCCEEDED"), std::string::npos) << notes[1];
+  EXPECT_GT(result.metrics.at("cache_miss_splits"), 0);
+  EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+  EXPECT_EQ(ReadOutputLines(*fs, "/out"), ReadOutputLines(*fs, "/warm"));
 }
 
 // --- Checkpointing: replay a sequence after an instance restart ---

@@ -1,0 +1,435 @@
+// Perf-trajectory harness: runs the sort-kernel micro plus small-scale
+// fig6 (shuffle micro) and fig8 (WordCount) configurations, and records
+// every run as a JSON record
+//   {bench, config, wall_seconds, sim_seconds, wire_bytes, counters}
+// in BENCH_shuffle.json / BENCH_wordcount.json. CI runs it as a smoke
+// (valid JSON + byte-identical outputs, no perf thresholds); committed
+// files record how the numbers move PR over PR.
+//
+//   run_bench [--out-dir DIR] [--suffix S]
+//
+// writes DIR/BENCH_shuffle<S>.json and DIR/BENCH_wordcount<S>.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/counters.h"
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/sort.h"
+#include "serialize/comparators.h"
+#include "workloads/micro_gen.h"
+#include "workloads/shuffle_micro.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+double WallSeconds(const std::function<void()>& body) {
+  auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One benchmark run, rendered as one JSON object.
+struct Record {
+  std::string bench;
+  std::string config;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  int64_t wire_bytes = 0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ToJson(const std::vector<Record>& records) {
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    char nums[128];
+    std::snprintf(nums, sizeof(nums),
+                  "\"wall_seconds\": %.6f, \"sim_seconds\": %.3f, "
+                  "\"wire_bytes\": %lld",
+                  r.wall_seconds, r.sim_seconds,
+                  static_cast<long long>(r.wire_bytes));
+    os << "  {\"bench\": \"" << JsonEscape(r.bench) << "\", \"config\": \""
+       << JsonEscape(r.config) << "\", " << nums << ", \"counters\": {";
+    for (size_t c = 0; c < r.counters.size(); ++c) {
+      os << (c ? ", " : "") << "\"" << JsonEscape(r.counters[c].first)
+         << "\": " << r.counters[c].second;
+    }
+    os << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+/// Minimal structural validation of an emitted file: balanced
+/// brackets/braces outside strings and every required schema key present.
+bool ValidateJsonFile(const std::string& path, size_t expect_records) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  int depth = 0;
+  bool in_string = false;
+  size_t objects = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') {
+      if (--depth < 0) return false;
+    }
+    if (c == '{' && depth == 2) ++objects;  // top-level records only
+  }
+  if (depth != 0 || in_string) return false;
+  if (objects < expect_records) return false;
+  for (const char* key : {"\"bench\"", "\"config\"", "\"wall_seconds\"",
+                          "\"sim_seconds\"", "\"wire_bytes\"",
+                          "\"counters\""}) {
+    if (text.find(key) == std::string::npos) return false;
+  }
+  return true;
+}
+
+int64_t Counter(const api::JobResult& r, const char* name) {
+  return r.counters.Get(api::counters::kTaskGroup, name);
+}
+
+// --- Sort micro: the tentpole's before/after, 1M random 16-byte keys ---
+
+void RunSortMicro(std::vector<Record>* out) {
+  bench::Banner("Sort kernel: 1M random 16-byte keys");
+  constexpr size_t kKeys = 1'000'000;
+  Rng rng(42);
+  std::vector<std::string> keys(kKeys);
+  for (std::string& k : keys) {
+    k.resize(16);
+    for (size_t i = 0; i < 16; ++i) {
+      k[i] = static_cast<char>(rng.NextU64() & 0xff);
+    }
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+
+  // Baseline: the pre-overhaul SortPairs shape — std::stable_sort with a
+  // virtual RawComparator::Compare per comparison.
+  const serialize::BytesComparator bytes_cmp;
+  const serialize::RawComparator* cmp = &bytes_cmp;
+  std::vector<uint32_t> baseline(kKeys);
+  std::iota(baseline.begin(), baseline.end(), 0u);
+  double baseline_s = WallSeconds([&] {
+    std::stable_sort(baseline.begin(), baseline.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return cmp->Compare(views[a], views[b]) < 0;
+                     });
+  });
+
+  std::vector<uint32_t> serial;
+  double serial_s = WallSeconds(
+      [&] { serial = sortkit::StableSortPermutation(views, {}); });
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = std::max(2, std::min(hw, 8));
+  Executor pool(workers);
+  sortkit::SortOptions par_options;
+  par_options.executor = &pool;
+  par_options.max_workers = workers;
+  std::vector<uint32_t> parallel;
+  double parallel_s = WallSeconds(
+      [&] { parallel = sortkit::StableSortPermutation(views, par_options); });
+
+  M3R_CHECK(serial == baseline) << "kernel serial order != stable_sort";
+  M3R_CHECK(parallel == baseline) << "kernel parallel order != stable_sort";
+
+  bench::Table table({"keys_k", "stable_sort_s", "kernel_s", "parallel_s"});
+  table.Row({kKeys / 1000.0, baseline_s, serial_s, parallel_s});
+  std::printf("serial speedup %.2fx, parallel(%d) speedup %.2fx\n",
+              baseline_s / serial_s, workers, baseline_s / parallel_s);
+
+  auto rec = [&](const char* config, double wall, double speedup_pct) {
+    Record r;
+    r.bench = "sort_micro";
+    r.config = config;
+    r.wall_seconds = wall;
+    r.counters = {{"keys", static_cast<int64_t>(kKeys)},
+                  {"speedup_vs_baseline_pct",
+                   static_cast<int64_t>(speedup_pct)}};
+    out->push_back(std::move(r));
+  };
+  rec("stable_sort_baseline", baseline_s, 100);
+  rec("kernel_serial", serial_s, 100.0 * baseline_s / serial_s);
+  rec(("kernel_parallel_w" + std::to_string(workers)).c_str(), parallel_s,
+      100.0 * baseline_s / parallel_s);
+}
+
+// --- fig6 shuffle micro, small scale ---
+
+void RunShuffleMicro(std::vector<Record>* out) {
+  bench::Banner("Figure 6 smoke: shuffle micro (4000 x 512B, 32 parts)");
+  constexpr uint64_t kPairs = 4000;
+  constexpr uint64_t kValueBytes = 512;
+  constexpr int kPartitions = 32;
+  constexpr double kRemoteRatio = 0.5;
+  bench::Table table({"engine", "wall_s", "sim_s", "wire_kb"});
+  int64_t reduce_records[2] = {0, 0};
+  for (bool use_m3r : {false, true}) {
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(workloads::GenerateMicroInput(*fs, "/micro/in", kPairs,
+                                               kValueBytes, kPartitions, 42,
+                                               /*hadoop_placement=*/true));
+    std::unique_ptr<api::Engine> engine;
+    if (use_m3r) {
+      engine = std::make_unique<engine::M3REngine>(fs, bench::M3ROpts());
+    } else {
+      engine =
+          std::make_unique<hadoop::HadoopEngine>(fs, bench::HadoopOpts());
+    }
+    api::JobConf job = workloads::MakeMicroJob("/micro/in", "/micro/out",
+                                               kPartitions, kRemoteRatio, 1);
+    api::JobResult result;
+    double wall = WallSeconds([&] { result = engine->Submit(job); });
+    M3R_CHECK(result.ok()) << result.status.ToString();
+    Record r;
+    r.bench = "fig6_shuffle_micro";
+    r.config = std::string(use_m3r ? "m3r" : "hadoop") +
+               " pairs=4000 value=512 partitions=32 remote=0.5";
+    r.wall_seconds = wall;
+    r.sim_seconds = result.sim_seconds;
+    if (result.metrics.count("shuffle_wire_bytes")) {
+      r.wire_bytes = result.metrics.at("shuffle_wire_bytes");
+    }
+    reduce_records[use_m3r] =
+        Counter(result, api::counters::kReduceOutputRecords);
+    r.counters = {
+        {"map_output_records",
+         Counter(result, api::counters::kMapOutputRecords)},
+        {"reduce_output_records", reduce_records[use_m3r]},
+    };
+    table.Row({use_m3r ? 1.0 : 0.0, wall, r.sim_seconds,
+               r.wire_bytes / 1024.0});
+    out->push_back(std::move(r));
+  }
+  M3R_CHECK(reduce_records[0] == reduce_records[1] &&
+            reduce_records[0] == static_cast<int64_t>(kPairs))
+      << "engines disagree on shuffle micro output";
+}
+
+// --- fig8 WordCount, small scale, hash-combine off/on + repair mode ---
+
+std::vector<std::string> SortedOutputLines(dfs::FileSystem& fs,
+                                           const std::string& dir) {
+  std::vector<std::string> lines;
+  auto files = fs.ListStatus(dir);
+  M3R_CHECK(files.ok()) << files.status().ToString();
+  for (const auto& f : *files) {
+    if (f.is_directory || f.path.find("part-") == std::string::npos) {
+      continue;
+    }
+    auto content = fs.ReadFile(f.path);
+    M3R_CHECK(content.ok());
+    std::string cur;
+    for (char c : *content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// 4x2 cluster with 16KB blocks: 2MiB of text = ~128 splits, so each
+/// place's single worker lane runs ~32 map tasks — the scope the
+/// lane-persistent hash table folds across.
+void RunWordCount(std::vector<Record>* out) {
+  bench::Banner(
+      "Figure 8 smoke: WordCount 2MiB, hash-combine off/on (+repair)");
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  spec.data_scale = bench::kDataScale;
+  constexpr int kReducers = 16;
+
+  struct Run {
+    const char* config;
+    bool use_m3r;
+    bool hash_combine;
+    bool repair;
+  };
+  const Run runs[] = {
+      {"hadoop combine=off", false, false, false},
+      {"hadoop combine=on", false, true, false},
+      {"m3r combine=off", true, false, false},
+      {"m3r combine=on", true, true, false},
+      {"hadoop combine=on repair+corrupt.spill", false, true, true},
+      {"m3r combine=on repair+corrupt.channel.frame", true, true, true},
+  };
+  bench::Table table({"m3r", "combine", "repair", "sim_s", "wire_kb"});
+  std::vector<std::string> reference;
+  int64_t wire_off = 0, wire_on = 0;
+  for (const Run& run : runs) {
+    auto fs = dfs::MakeSimDfs(spec.num_nodes, 16 * 1024);
+    M3R_CHECK_OK(
+        workloads::GenerateText(*fs, "/text", 2 * 1024 * 1024, 4, 7));
+    std::unique_ptr<api::Engine> engine;
+    if (run.use_m3r) {
+      engine = std::make_unique<engine::M3REngine>(
+          fs, engine::M3REngineOptions{spec});
+    } else {
+      engine = std::make_unique<hadoop::HadoopEngine>(
+          fs, hadoop::HadoopEngineOptions{spec, 0});
+    }
+    api::JobConf job = workloads::MakeWordCountJob("/text", "/out",
+                                                   kReducers, true);
+    job.Set(api::conf::kPlaceWorkers, "1");
+    if (run.hash_combine) job.Set(api::conf::kMapHashCombine, "true");
+    if (run.repair) {
+      job.Set(api::conf::kIntegrityMode, "repair");
+      job.Set("m3r.fault.seed", "9");
+      const char* site =
+          run.use_m3r ? "corrupt.channel.frame" : "corrupt.spill";
+      job.Set(std::string("m3r.fault.") + site + ".prob", "1.0");
+      job.Set(std::string("m3r.fault.") + site + ".limit", "1");
+    }
+    api::JobResult result;
+    double wall = WallSeconds([&] { result = engine->Submit(job); });
+    M3R_CHECK(result.ok()) << run.config << ": "
+                           << result.status.ToString();
+
+    std::vector<std::string> lines = SortedOutputLines(*fs, "/out");
+    if (reference.empty()) {
+      reference = lines;
+      M3R_CHECK(!reference.empty());
+    } else {
+      M3R_CHECK(lines == reference)
+          << run.config << ": output differs from baseline";
+    }
+
+    Record r;
+    r.bench = "fig8_wordcount";
+    r.config = std::string(run.config) +
+               " cluster=4x2 text=2MiB reducers=16 workers=1";
+    r.wall_seconds = wall;
+    r.sim_seconds = result.sim_seconds;
+    if (result.metrics.count("shuffle_wire_bytes")) {
+      r.wire_bytes = result.metrics.at("shuffle_wire_bytes");
+    }
+    r.counters = {
+        {"map_output_records",
+         Counter(result, api::counters::kMapOutputRecords)},
+        {"combine_input_records",
+         Counter(result, api::counters::kCombineInputRecords)},
+        {"combine_output_records",
+         Counter(result, api::counters::kCombineOutputRecords)},
+        {"reduce_output_records",
+         Counter(result, api::counters::kReduceOutputRecords)},
+    };
+    if (result.metrics.count("integrity_repaired")) {
+      r.counters.emplace_back("integrity_repaired",
+                              result.metrics.at("integrity_repaired"));
+      M3R_CHECK(!run.repair ||
+                result.metrics.at("integrity_repaired") >= 1)
+          << run.config << ": no repair happened";
+    }
+    if (run.use_m3r && !run.repair) {
+      (run.hash_combine ? wire_on : wire_off) = r.wire_bytes;
+    }
+    table.Row({run.use_m3r ? 1.0 : 0.0, run.hash_combine ? 1.0 : 0.0,
+               run.repair ? 1.0 : 0.0, r.sim_seconds,
+               r.wire_bytes / 1024.0});
+    out->push_back(std::move(r));
+  }
+  M3R_CHECK(wire_off > 0 && wire_on > 0);
+  std::printf("all six runs byte-identical; m3r shuffle wire bytes: "
+              "off=%lld on=%lld (cut %.1f%%)\n",
+              static_cast<long long>(wire_off),
+              static_cast<long long>(wire_on),
+              100.0 * (1.0 - double(wire_on) / double(wire_off)));
+}
+
+}  // namespace
+}  // namespace m3r
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::string suffix;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--suffix" && i + 1 < argc) {
+      suffix = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--suffix S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::printf("M3R perf trajectory — sort kernel + fig6 + fig8 smoke\n");
+
+  std::vector<m3r::Record> shuffle_records;
+  m3r::RunSortMicro(&shuffle_records);
+  m3r::RunShuffleMicro(&shuffle_records);
+  std::vector<m3r::Record> wordcount_records;
+  m3r::RunWordCount(&wordcount_records);
+
+  const std::string shuffle_path =
+      out_dir + "/BENCH_shuffle" + suffix + ".json";
+  const std::string wordcount_path =
+      out_dir + "/BENCH_wordcount" + suffix + ".json";
+  auto emit = [](const std::string& path,
+                 const std::vector<m3r::Record>& records) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << m3r::ToJson(records);
+    out.close();
+    if (!m3r::ValidateJsonFile(path, records.size())) {
+      std::fprintf(stderr, "emitted invalid JSON: %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+    return true;
+  };
+  if (!emit(shuffle_path, shuffle_records)) return 1;
+  if (!emit(wordcount_path, wordcount_records)) return 1;
+  return 0;
+}

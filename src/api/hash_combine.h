@@ -1,0 +1,125 @@
+#ifndef M3R_API_HASH_COMBINE_H_
+#define M3R_API_HASH_COMBINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/job_conf.h"
+#include "api/mr_api.h"
+#include "common/status.h"
+
+namespace m3r::api {
+
+/// Map-side hash aggregation (paper §3.2: once the job is in memory, the
+/// sort/serialize path *is* the cost — so shrink what enters it). Wraps a
+/// map task's real collector with an open-addressed hash table keyed on
+/// serialized key bytes and runs the job's combiner incrementally at
+/// map-emit time, instead of waiting for the sort to bring equal keys
+/// together. For combiner-friendly jobs (WordCount-style) this collapses
+/// the records that reach the sort/spill/shuffle machinery from
+/// #emissions to #distinct-keys.
+///
+/// Legality leans on Hadoop's combiner contract: a combiner may run 0..n
+/// times over any subset of a key's values, so incremental folding is
+/// correct exactly when the combiner is commutative/associative and
+/// key-preserving. The wrapper self-checks the key-preserving half at run
+/// time: a fold that emits anything other than one pair with the same key
+/// bytes permanently disables the table (its outputs are forwarded, and
+/// everything afterwards passes straight through — 0 combiner runs, still
+/// legal). The commutative/associative half is the documented requirement
+/// Hadoop itself imposes on combiners.
+///
+/// Memory is bounded by m3r.map.hash.combine.memory.mb: overflow drains
+/// the whole table downstream (a map-side "spill") and starts empty.
+class HashCombineCollector : public OutputCollector {
+ public:
+  /// True when the job's shape permits hash aggregation: it has a
+  /// combiner, declares (map) output key/value classes, and groups by the
+  /// default byte-equality comparator (a custom grouping order could put
+  /// byte-distinct keys in one reduce group, which a byte-keyed table
+  /// cannot see).
+  static bool Eligible(const JobConf& conf);
+
+  /// `downstream` is the collector records would otherwise reach (the
+  /// spill buffer or shuffle); it must outlive this object. Flush() must
+  /// be called before downstream is flushed. Every pair forwarded
+  /// downstream — drained, folded, or passed through — is a freshly
+  /// deserialized object, so downstream may alias it freely regardless of
+  /// the mapper's immutability promise.
+  ///
+  /// The wrapper may outlive a single map task: M3R keeps one per worker
+  /// lane for the whole map phase (an "in-node combiner"), so keys
+  /// repeated across a place's splits still fold into one shuffle record.
+  /// That is legal for the same 0..n-runs reason, and is where the
+  /// long-lived-place engine beats Hadoop's per-spill combine scope.
+  HashCombineCollector(const JobConf& conf, OutputCollector* downstream,
+                       Reporter* reporter);
+
+  void Collect(const WritablePtr& key, const WritablePtr& value) override;
+
+  /// Drains the table downstream and settles the MAP_OUTPUT_RECORDS
+  /// counter (the table absorbs emissions that downstream never saw, so
+  /// the delta is added here to keep Hadoop's counter semantics: one per
+  /// mapper emission). Returns the first combiner failure, if any.
+  Status Flush();
+
+  /// Whole-table drains forced by the memory budget.
+  uint64_t overflow_spills() const { return overflow_spills_; }
+  /// Distinct keys currently held.
+  size_t table_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    std::string key_bytes;
+    /// Serialized pending values; folded down to one by the combiner
+    /// whenever kFoldThreshold accumulate.
+    std::vector<std::string> values;
+  };
+
+  /// Pending values per key before the combiner folds them. Folding in
+  /// batches amortizes the deserialize/run/serialize round trip.
+  static constexpr size_t kFoldThreshold = 16;
+  /// Approximate per-entry / per-value bookkeeping overhead charged
+  /// against the memory budget.
+  static constexpr size_t kEntryOverhead = 64;
+  static constexpr size_t kValueOverhead = 16;
+
+  void Insert(std::string key_bytes, std::string value_bytes);
+  /// Runs the combiner over one entry's pending values. On a conforming
+  /// result the entry holds one value afterwards; otherwise the results go
+  /// downstream and the table is disabled.
+  void FoldEntry(Entry* entry);
+  /// Emits every entry downstream (folding multi-value entries first) in
+  /// insertion order, then resets the table.
+  void DrainTable();
+  void EmitSerialized(const std::string& key_bytes,
+                      const std::string& value_bytes);
+  void Rehash(size_t new_slot_count);
+
+  const JobConf& conf_;
+  OutputCollector* downstream_;
+  Reporter* reporter_;
+  std::string key_type_;
+  std::string value_type_;
+  size_t budget_bytes_;
+
+  /// Open-addressing index: slot -> entry index, -1 empty. Linear probing.
+  std::vector<int32_t> slots_;
+  std::vector<Entry> entries_;  // insertion order
+  size_t bytes_ = 0;
+
+  bool disabled_ = false;
+  bool flushed_ = false;
+  Status deferred_;  // first combiner failure
+  uint64_t collected_ = 0;  // mapper emissions seen
+  uint64_t emitted_ = 0;    // pairs forwarded downstream
+  uint64_t overflow_spills_ = 0;
+};
+
+}  // namespace m3r::api
+
+#endif  // M3R_API_HASH_COMBINE_H_

@@ -60,6 +60,20 @@ inline constexpr char kTempPaths[] = "m3r.temp.paths";
 /// execution, shuffle decode, reduce execution). 0 or unset defers to
 /// M3REngineOptions::workers_per_place.
 inline constexpr char kPlaceWorkers[] = "m3r.place.workers";
+/// Map-side hash aggregation: run the job's combiner incrementally at
+/// map-emit time over a hash table on serialized key bytes (legal only for
+/// byte-default grouping; see api/hash_combine.h). Off by default —
+/// byte-identical output is only guaranteed for commutative/associative
+/// combiners.
+inline constexpr char kMapHashCombine[] = "m3r.map.hash.combine";
+/// Memory budget for the hash-combine table; overflowing drains the whole
+/// table downstream (a "spill") and starts over.
+inline constexpr char kMapHashCombineMemoryMb[] =
+    "m3r.map.hash.combine.memory.mb";
+/// Pair count above which SortPairs fans out over the engine's executor
+/// (parallel sorted runs + pairwise merges).
+inline constexpr char kSortParallelThreshold[] =
+    "m3r.sort.parallel.threshold";
 
 // --- Resilience (Hadoop task retry/speculation, M3R recovery) ---
 /// Attempts allowed per map/reduce task before the job fails (Hadoop

@@ -1,9 +1,11 @@
 #include "api/task_runner.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "api/class_registry.h"
 #include "api/text_formats.h"
+#include "common/sort.h"
 
 namespace m3r::api {
 
@@ -254,28 +256,76 @@ std::shared_ptr<OutputFormat> MakeOutputFormat(const JobConf& conf) {
 }
 
 void SortPairs(const JobConf& conf, std::vector<KeyedPair>* pairs) {
+  SortPairs(conf, pairs, SortOptions{}, nullptr);
+}
+
+void SortPairs(const JobConf& conf, std::vector<KeyedPair>* pairs,
+               const SortOptions& options, SortStats* stats) {
+  if (stats != nullptr) *stats = SortStats{};
+  if (pairs->size() < 2) return;
   serialize::RawComparatorPtr cmp = SortComparator(conf);
-  std::stable_sort(pairs->begin(), pairs->end(),
-                   [&cmp](const KeyedPair& a, const KeyedPair& b) {
-                     return cmp->Compare(a.key_bytes, b.key_bytes) < 0;
-                   });
+
+  std::vector<std::string_view> keys;
+  keys.reserve(pairs->size());
+  for (const KeyedPair& p : *pairs) keys.emplace_back(p.key_bytes);
+
+  sortkit::SortOptions kopts;
+  sortkit::RawCompareFn custom;
+  if (std::string_view(cmp->Name()) != serialize::BytesComparator::kName) {
+    custom = [&cmp](std::string_view a, std::string_view b) {
+      return cmp->Compare(a, b);
+    };
+    kopts.comparator = &custom;
+  }
+  kopts.executor = options.executor;
+  kopts.max_workers = options.max_workers;
+  kopts.parallel_threshold = static_cast<size_t>(
+      conf.GetInt(conf::kSortParallelThreshold,
+                  static_cast<int64_t>(sortkit::kDefaultParallelThreshold)));
+
+  sortkit::SortStats kstats;
+  std::vector<uint32_t> perm =
+      sortkit::StableSortPermutation(keys, kopts, &kstats);
+  std::vector<KeyedPair> sorted;
+  sorted.reserve(pairs->size());
+  for (uint32_t i : perm) sorted.push_back(std::move((*pairs)[i]));
+  *pairs = std::move(sorted);
+  if (stats != nullptr) {
+    stats->cpu_seconds = kstats.cpu_seconds;
+    stats->caller_cpu_seconds = kstats.caller_cpu_seconds;
+  }
 }
 
 SortedPairsGroupSource::SortedPairsGroupSource(
     const JobConf& conf, const std::vector<KeyedPair>* pairs)
-    : pairs_(pairs), grouping_(GroupingComparator(conf)) {}
+    : SortedPairsGroupSource(GroupingComparator(conf), pairs) {}
 
 SortedPairsGroupSource::SortedPairsGroupSource(
     serialize::RawComparatorPtr grouping, const std::vector<KeyedPair>* pairs)
-    : pairs_(pairs), grouping_(std::move(grouping)) {}
+    : pairs_(pairs),
+      grouping_(std::move(grouping)),
+      grouping_is_bytes_(std::string_view(grouping_->Name()) ==
+                         serialize::BytesComparator::kName) {}
 
 bool SortedPairsGroupSource::NextGroup() {
   group_start_ = group_end_;
   if (group_start_ >= pairs_->size()) return false;
   group_end_ = group_start_ + 1;
   const std::string& first = (*pairs_)[group_start_].key_bytes;
-  while (group_end_ < pairs_->size() &&
-         grouping_->Compare(first, (*pairs_)[group_end_].key_bytes) == 0) {
+  while (group_end_ < pairs_->size()) {
+    const std::string& next = (*pairs_)[group_end_].key_bytes;
+    // Byte-equal keys compare equal under any valid comparator, so they
+    // never end a group; and when grouping is the byte default, byte
+    // inequality is equally decisive. Either way the common case skips
+    // the virtual call.
+    const bool byte_equal =
+        first.data() == next.data() ||
+        (first.size() == next.size() &&
+         std::memcmp(first.data(), next.data(), first.size()) == 0);
+    if (!byte_equal) {
+      if (grouping_is_bytes_) break;
+      if (grouping_->Compare(first, next) != 0) break;
+    }
     ++group_end_;
   }
   cursor_ = group_start_;

@@ -9,6 +9,7 @@
 #include "api/job_conf.h"
 #include "api/mr_api.h"
 #include "api/output_format.h"
+#include "common/executor.h"
 #include "serialize/comparators.h"
 
 namespace m3r::api {
@@ -63,9 +64,29 @@ struct KeyedPair {
   WritablePtr value;
 };
 
+/// Host-parallelism knobs for SortPairs. The executor-parallel path only
+/// engages above m3r.sort.parallel.threshold pairs.
+struct SortOptions {
+  Executor* executor = nullptr;
+  int max_workers = 1;
+};
+
+/// Measured CPU cost of one SortPairs call, for simulated-time attribution
+/// (time_breakdown["sort"]). `caller_cpu_seconds` is the portion spent on
+/// the calling thread — already visible to any CpuStopwatch the caller has
+/// running — while work stolen by pool threads only shows up here.
+struct SortStats {
+  double cpu_seconds = 0;
+  double caller_cpu_seconds = 0;
+};
+
 /// Sorts `pairs` by the job's sort comparator (stable, preserving map
-/// emission order within equal keys, as Hadoop's sort does).
+/// emission order within equal keys, as Hadoop's sort does). Runs on the
+/// prefix-cached kernel in common/sort.h; the virtual comparator is only
+/// consulted when the job overrides the BytesComparator default.
 void SortPairs(const JobConf& conf, std::vector<KeyedPair>* pairs);
+void SortPairs(const JobConf& conf, std::vector<KeyedPair>* pairs,
+               const SortOptions& options, SortStats* stats = nullptr);
 
 /// GroupSource over sorted in-memory pairs, applying the job's grouping
 /// comparator (secondary-sort semantics: one reduce call per group of keys
@@ -96,6 +117,10 @@ class SortedPairsGroupSource : public GroupSource {
 
   const std::vector<KeyedPair>* pairs_;
   serialize::RawComparatorPtr grouping_;
+  /// True when grouping_ is the byte-equality default — then a negative
+  /// byte-equality fast path also decides group *boundaries*, and the
+  /// virtual call disappears from NextGroup entirely.
+  bool grouping_is_bytes_ = false;
   size_t group_start_ = 0;
   size_t group_end_ = 0;
   size_t cursor_ = 0;

@@ -1,0 +1,193 @@
+#include "common/sort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace m3r::sortkit {
+
+namespace {
+
+/// One sort element: the cached key prefix plus the key's input index. The
+/// index both addresses the full key for tie-breaks and makes every
+/// comparator a total order (stability by construction).
+struct Entry {
+  uint64_t prefix;
+  uint32_t index;
+};
+
+struct BytesLess {
+  const std::string_view* keys;
+
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    const std::string_view ka = keys[a.index];
+    const std::string_view kb = keys[b.index];
+    // Equal prefixes mean the first min(8, size) bytes already matched, so
+    // the tie-break can skip them; keys that both fit in the prefix are
+    // decided entirely by length (then input order).
+    if (ka.size() > 8 && kb.size() > 8) {
+      const size_t n = (ka.size() < kb.size() ? ka.size() : kb.size()) - 8;
+      const int c = std::memcmp(ka.data() + 8, kb.data() + 8, n);
+      if (c != 0) return c < 0;
+    }
+    if (ka.size() != kb.size()) return ka.size() < kb.size();
+    return a.index < b.index;
+  }
+};
+
+struct CustomLess {
+  const std::string_view* keys;
+  const RawCompareFn* cmp;
+
+  bool operator()(const Entry& a, const Entry& b) const {
+    const int c = (*cmp)(keys[a.index], keys[b.index]);
+    if (c != 0) return c < 0;
+    return a.index < b.index;
+  }
+};
+
+/// Accumulates per-thread CPU cost into the two SortStats buckets.
+struct CpuLedger {
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<double> total{0};
+  std::atomic<double> on_caller{0};
+
+  void Add(double seconds) {
+    total.fetch_add(seconds, std::memory_order_relaxed);
+    if (std::this_thread::get_id() == caller) {
+      on_caller.fetch_add(seconds, std::memory_order_relaxed);
+    }
+  }
+};
+
+template <typename Less>
+std::vector<uint32_t> SortEntries(std::vector<Entry> entries,
+                                  const Less& less,
+                                  const SortOptions& options,
+                                  SortStats* stats, CpuLedger* cpu) {
+  const size_t n = entries.size();
+  const bool parallel = options.executor != nullptr &&
+                        options.max_workers > 1 &&
+                        n >= options.parallel_threshold && n >= 2;
+  if (!parallel) {
+    CpuStopwatch sw;
+    std::sort(entries.begin(), entries.end(), less);
+    cpu->Add(sw.ElapsedSeconds());
+  } else {
+    // Split into contiguous runs, sort them in parallel, then merge with
+    // pairwise passes. Runs cover contiguous index ranges, so the
+    // index-tagged comparator keeps the merged result globally stable.
+    size_t runs = std::min<size_t>(static_cast<size_t>(options.max_workers),
+                                   std::min<size_t>(n / 2, 64));
+    runs = std::max<size_t>(runs, 2);
+    stats->parallel_runs = runs;
+    std::vector<size_t> bounds(runs + 1);
+    for (size_t r = 0; r <= runs; ++r) bounds[r] = n * r / runs;
+
+    options.executor->ParallelFor(
+        runs,
+        [&](size_t r) {
+          CpuStopwatch sw;
+          std::sort(entries.begin() + static_cast<ptrdiff_t>(bounds[r]),
+                    entries.begin() + static_cast<ptrdiff_t>(bounds[r + 1]),
+                    less);
+          cpu->Add(sw.ElapsedSeconds());
+        },
+        options.max_workers);
+
+    std::vector<Entry> scratch(n);
+    std::vector<Entry>* src = &entries;
+    std::vector<Entry>* dst = &scratch;
+    while (bounds.size() > 2) {
+      const size_t pairs = (bounds.size() - 1) / 2;
+      auto merge_pair = [&](size_t j) {
+        CpuStopwatch sw;
+        const size_t lo = bounds[2 * j];
+        const size_t mid = bounds[2 * j + 1];
+        const size_t hi = bounds[2 * j + 2];
+        std::merge(src->begin() + static_cast<ptrdiff_t>(lo),
+                   src->begin() + static_cast<ptrdiff_t>(mid),
+                   src->begin() + static_cast<ptrdiff_t>(mid),
+                   src->begin() + static_cast<ptrdiff_t>(hi),
+                   dst->begin() + static_cast<ptrdiff_t>(lo), less);
+        cpu->Add(sw.ElapsedSeconds());
+      };
+      if (pairs > 1) {
+        options.executor->ParallelFor(pairs, merge_pair,
+                                      options.max_workers);
+      } else {
+        merge_pair(0);
+      }
+      // An odd trailing run has no partner this pass; carry it over.
+      if ((bounds.size() - 1) % 2 != 0) {
+        CpuStopwatch sw;
+        std::copy(src->begin() + static_cast<ptrdiff_t>(bounds[bounds.size() - 2]),
+                  src->begin() + static_cast<ptrdiff_t>(bounds.back()),
+                  dst->begin() + static_cast<ptrdiff_t>(bounds[bounds.size() - 2]));
+        cpu->Add(sw.ElapsedSeconds());
+      }
+      std::vector<size_t> next;
+      next.reserve(pairs + 2);
+      for (size_t b = 0; b < bounds.size(); b += 2) next.push_back(bounds[b]);
+      if (next.back() != n) next.push_back(n);
+      bounds = std::move(next);
+      std::swap(src, dst);
+    }
+    if (src != &entries) entries = std::move(*src);
+  }
+
+  CpuStopwatch sw;
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = entries[i].index;
+  cpu->Add(sw.ElapsedSeconds());
+  return perm;
+}
+
+}  // namespace
+
+std::vector<uint32_t> StableSortPermutation(
+    const std::vector<std::string_view>& keys, const SortOptions& options,
+    SortStats* stats) {
+  SortStats local;
+  const size_t n = keys.size();
+  M3R_CHECK(n <= std::numeric_limits<uint32_t>::max())
+      << "too many keys for one sort: " << n;
+
+  CpuLedger cpu;
+  CpuStopwatch build_sw;
+  const bool bytes_order = options.comparator == nullptr;
+  local.used_prefix = bytes_order;
+  std::vector<Entry> entries(n);
+  if (bytes_order) {
+    for (size_t i = 0; i < n; ++i) {
+      entries[i] = Entry{KeyPrefix(keys[i]), static_cast<uint32_t>(i)};
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      entries[i] = Entry{0, static_cast<uint32_t>(i)};
+    }
+  }
+  cpu.Add(build_sw.ElapsedSeconds());
+
+  std::vector<uint32_t> perm;
+  if (bytes_order) {
+    perm = SortEntries(std::move(entries), BytesLess{keys.data()}, options,
+                       &local, &cpu);
+  } else {
+    perm = SortEntries(std::move(entries),
+                       CustomLess{keys.data(), options.comparator}, options,
+                       &local, &cpu);
+  }
+  local.cpu_seconds = cpu.total.load(std::memory_order_relaxed);
+  local.caller_cpu_seconds = cpu.on_caller.load(std::memory_order_relaxed);
+  if (stats != nullptr) *stats = local;
+  return perm;
+}
+
+}  // namespace m3r::sortkit

@@ -1,0 +1,77 @@
+#ifndef M3R_COMMON_SORT_H_
+#define M3R_COMMON_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/executor.h"
+
+namespace m3r::sortkit {
+
+/// First 8 key bytes packed big-endian into one integer, zero-padded on the
+/// right. Because the padding byte (0x00) is the minimum byte value, strict
+/// inequality of two prefixes implies the same strict lexicographic order
+/// of the full keys; only *equal* prefixes need a byte-level tie-break.
+inline uint64_t KeyPrefix(std::string_view key) {
+  uint64_t p = 0;
+  const size_t n = key.size() < 8 ? key.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    p |= static_cast<uint64_t>(static_cast<uint8_t>(key[i]))
+         << (56 - 8 * static_cast<int>(i));
+  }
+  return p;
+}
+
+/// Full comparison callback for jobs that override the byte-order default
+/// (returns <0/0/>0 like RawComparator::Compare).
+using RawCompareFn = std::function<int(std::string_view, std::string_view)>;
+
+/// Below this many keys the executor-parallel path is never taken; sorting
+/// runs and merging them only pays off once there is real work per strand.
+inline constexpr size_t kDefaultParallelThreshold = size_t{1} << 15;
+
+struct SortOptions {
+  /// Non-null only when the job overrides the default byte order: every
+  /// comparison then goes through this callback (the prefix cache cannot
+  /// stand in for an arbitrary comparator). Null selects the branch-light
+  /// prefix/memcmp path.
+  const RawCompareFn* comparator = nullptr;
+  /// Executor for the parallel path; null forces the serial path.
+  Executor* executor = nullptr;
+  /// Strand cap for the parallel path (<=1 forces the serial path).
+  int max_workers = 1;
+  size_t parallel_threshold = kDefaultParallelThreshold;
+};
+
+/// What one sort cost, for the engines' simulated-time attribution. CPU is
+/// measured per participating thread (CLOCK_THREAD_CPUTIME_ID) inside the
+/// parallel bodies, because work stolen by pool threads is invisible to
+/// the calling task's own CPU stopwatch.
+struct SortStats {
+  /// Total CPU seconds across every thread that touched the sort.
+  double cpu_seconds = 0;
+  /// The share spent on the calling thread — already inside any CpuStopwatch
+  /// the caller has running, so engines subtract it to avoid double-charging.
+  double caller_cpu_seconds = 0;
+  /// Sorted runs used by the parallel path (1 = serial).
+  size_t parallel_runs = 1;
+  /// False when the virtual-comparator fallback was taken.
+  bool used_prefix = false;
+};
+
+/// Returns the stable ascending order of `keys` as an index permutation:
+/// perm[i] is the position in `keys` of the i-th smallest key, with equal
+/// keys kept in input order. Stability costs nothing extra here: every
+/// comparison tie-breaks on the index tag, which yields a total order and
+/// lets both the serial path and the contiguous parallel runs use plain
+/// std::sort instead of std::stable_sort.
+std::vector<uint32_t> StableSortPermutation(
+    const std::vector<std::string_view>& keys, const SortOptions& options,
+    SortStats* stats = nullptr);
+
+}  // namespace m3r::sortkit
+
+#endif  // M3R_COMMON_SORT_H_

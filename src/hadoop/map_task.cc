@@ -3,6 +3,7 @@
 #include <map>
 
 #include "api/class_registry.h"
+#include "api/hash_combine.h"
 #include "api/multiple_io.h"
 #include "api/output_format.h"
 #include "api/task_runner.h"
@@ -149,13 +150,26 @@ MapTaskResult RunHadoopMapTask(const api::JobConf& job_conf,
   }
 
   MapOutputBuffer buffer(conf, num_reduce, &reporter, integrity);
-  result.status = api::RunMapTask(conf, *reader, buffer, reporter,
+  std::unique_ptr<api::HashCombineCollector> hasher;
+  api::OutputCollector* sink = &buffer;
+  if (conf.GetBool(api::conf::kMapHashCombine, false) &&
+      api::HashCombineCollector::Eligible(conf)) {
+    hasher = std::make_unique<api::HashCombineCollector>(conf, &buffer,
+                                                         &reporter);
+    sink = hasher.get();
+  }
+  result.status = api::RunMapTask(conf, *reader, *sink, reporter,
                                   api::MapRunnerMode::kHadoopDefault,
                                   &immutable_unused);
   reader->Close();
   if (!result.status.ok()) return result;
+  if (hasher != nullptr) {
+    result.status = hasher->Flush();
+    if (!result.status.ok()) return result;
+  }
   buffer.Flush();
   result.cpu_seconds = cpu.ElapsedSeconds();
+  result.sort_seconds = buffer.sort_seconds();
   // Injected death after the map ran but before its output is served to
   // reducers (the real-world window where a lost tracker forfeits its map
   // output and the task must re-run).

@@ -1,7 +1,9 @@
 #include "hadoop/merge.h"
 
+#include <cstring>
 #include <queue>
 
+#include "common/sort.h"
 #include "serialize/registry.h"
 
 namespace m3r::hadoop {
@@ -10,6 +12,7 @@ std::string MergeSegments(const std::vector<const std::string*>& segments,
                           const serialize::RawComparatorPtr& cmp,
                           uint64_t* merged_records) {
   struct Head {
+    uint64_t prefix;  // big-endian first 8 key bytes; 0 under custom orders
     std::string_view key;
     std::string_view value;
     size_t segment_index;
@@ -18,9 +21,25 @@ std::string MergeSegments(const std::vector<const std::string*>& segments,
   readers.reserve(segments.size());
   for (const std::string* s : segments) readers.emplace_back(s);
 
-  auto greater = [&cmp](const Head& a, const Head& b) {
-    int c = cmp->Compare(a.key, b.key);
-    if (c != 0) return c > 0;
+  const bool bytes_order =
+      std::string_view(cmp->Name()) == serialize::BytesComparator::kName;
+  auto greater = [&cmp, bytes_order](const Head& a, const Head& b) {
+    if (bytes_order) {
+      // Equal prefixes mean the first min(8, size) bytes matched, so the
+      // byte tie-break can skip straight to offset 8; shorter keys are
+      // fully consumed by the prefix and length alone decides.
+      if (a.prefix != b.prefix) return a.prefix > b.prefix;
+      if (a.key.size() > 8 && b.key.size() > 8) {
+        const size_t n =
+            (a.key.size() < b.key.size() ? a.key.size() : b.key.size()) - 8;
+        int c = std::memcmp(a.key.data() + 8, b.key.data() + 8, n);
+        if (c != 0) return c > 0;
+      }
+      if (a.key.size() != b.key.size()) return a.key.size() > b.key.size();
+    } else {
+      int c = cmp->Compare(a.key, b.key);
+      if (c != 0) return c > 0;
+    }
     return a.segment_index > b.segment_index;  // stability across segments
   };
   std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
@@ -29,7 +48,10 @@ std::string MergeSegments(const std::vector<const std::string*>& segments,
   for (size_t i = 0; i < readers.size(); ++i) {
     Head h;
     h.segment_index = i;
-    if (readers[i].Next(&h.key, &h.value)) heap.push(h);
+    if (readers[i].Next(&h.key, &h.value)) {
+      h.prefix = bytes_order ? sortkit::KeyPrefix(h.key) : 0;
+      heap.push(h);
+    }
   }
 
   SegmentWriter out;
@@ -40,6 +62,7 @@ std::string MergeSegments(const std::vector<const std::string*>& segments,
     Head next;
     next.segment_index = h.segment_index;
     if (readers[h.segment_index].Next(&next.key, &next.value)) {
+      next.prefix = bytes_order ? sortkit::KeyPrefix(next.key) : 0;
       heap.push(next);
     }
   }

@@ -96,6 +96,10 @@ class MapOutputBuffer : public api::OutputCollector {
   uint64_t total_output_bytes() const { return total_output_bytes_; }
   uint64_t total_records() const { return total_records_; }
   uint64_t spilled_records() const { return spilled_records_; }
+  /// CPU seconds spent in the per-spill sorts (partition bucketing + key
+  /// ordering), measured on the task thread; the engine charges them to
+  /// time_breakdown["sort"] instead of the task's generic compute.
+  double sort_seconds() const { return sort_seconds_; }
 
  private:
   struct BufferedRecord {
@@ -115,6 +119,7 @@ class MapOutputBuffer : public api::OutputCollector {
   uint64_t buffer_limit_bytes_;
 
   std::vector<BufferedRecord> buffer_;
+  double sort_seconds_ = 0;
   uint64_t buffered_bytes_ = 0;
   uint64_t total_output_bytes_ = 0;
   uint64_t total_records_ = 0;

@@ -12,6 +12,7 @@
 
 #include "api/class_registry.h"
 #include "api/distributed_cache.h"
+#include "api/hash_combine.h"
 #include "api/multiple_io.h"
 #include "api/output_format.h"
 #include "api/task_runner.h"
@@ -876,6 +877,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   shuffle_options.workers_per_place = workers;
   shuffle_options.fault = fault;
   shuffle_options.integrity = integrity;
+  shuffle_options.buffer_pool = &buffer_pool_;
   ShuffleExchange shuffle(num_places, shuffle_options);
 
   // --- Map phase (places run in parallel; each place fans its tasks out
@@ -903,7 +905,17 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     evicted_blocks += evicted;
     return false;
   };
-  auto run_map_task = [&](size_t i, int place, int lane) {
+  // Map-side hash aggregation (decided at job scope: combiner, map-output
+  // types, and grouping comparator are job-level settings, so per-split
+  // conf specialization cannot change eligibility). The collector is
+  // lane-persistent — see run_strand below.
+  const bool lane_hash_combine =
+      num_reduce > 0 && conf.GetBool(api::conf::kMapHashCombine, false) &&
+      api::HashCombineCollector::Eligible(conf);
+  std::mutex hash_mu;
+  Status hash_status;
+  auto run_map_task = [&](size_t i, int place, int lane,
+                          api::HashCombineCollector* lane_hasher) {
       TaskPlan& t = tasks[i];
       if (fault != nullptr) {
         t.status = fault->Check("m3r.map", std::to_string(i));
@@ -963,7 +975,14 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
 
       // 2. Run the mapper.
       api::CountersReporter reporter(&result.counters);
-      if (num_reduce > 0 && tconf.HasCombiner()) {
+      if (lane_hasher != nullptr) {
+        // Map-side hash aggregation: the lane's persistent table folds
+        // values at emit time across every task this strand runs, and only
+        // the folded pairs reach the shuffle (drained once, at end of the
+        // map phase). Everything it forwards is freshly deserialized, so
+        // the shuffle aliases it regardless of the mapper's immutability.
+        t.status = FeedMapper(tconf, *pairs, *lane_hasher, reporter);
+      } else if (num_reduce > 0 && tconf.HasCombiner()) {
         auto partitioner = api::MakePartitioner(tconf);
         bool combiner_immutable =
             options_.respect_immutable && CombineOutputImmutable(tconf);
@@ -1044,6 +1063,26 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         static_cast<int>(std::min<size_t>(mine.size(),
                                           static_cast<size_t>(workers)));
     auto run_strand = [&](size_t s) {
+      // Lane-persistent hash aggregation (the in-node combiner): one table
+      // lives across every map task this strand runs, so a key repeated in
+      // different splits of the place still collapses to one wire record —
+      // scope no per-task (or per-spill) combiner can reach. Each strand
+      // owns its lane's serialization stream, so the table drains into a
+      // single-writer lane and wire bytes stay deterministic.
+      std::shared_ptr<api::Partitioner> lane_partitioner;
+      std::unique_ptr<ShuffleCollector> lane_sink;
+      std::unique_ptr<api::CountersReporter> lane_reporter;
+      std::unique_ptr<api::HashCombineCollector> lane_hasher;
+      if (lane_hash_combine) {
+        lane_partitioner = api::MakePartitioner(conf);
+        lane_reporter =
+            std::make_unique<api::CountersReporter>(&result.counters);
+        lane_sink = std::make_unique<ShuffleCollector>(
+            &shuffle, lane_partitioner.get(), place, static_cast<int>(s),
+            num_reduce, /*immutable=*/true, lane_reporter.get());
+        lane_hasher = std::make_unique<api::HashCombineCollector>(
+            conf, lane_sink.get(), lane_reporter.get());
+      }
       for (size_t j = s; j < mine.size();
            j += static_cast<size_t>(strands)) {
         if (map_aborted.load(std::memory_order_relaxed)) return;
@@ -1052,8 +1091,18 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
           map_aborted.store(true);
           return;
         }
-        run_map_task(mine[j], place, static_cast<int>(s));
+        run_map_task(mine[j], place, static_cast<int>(s),
+                     lane_hasher.get());
         if (!tasks[mine[j]].status.ok()) map_aborted.store(true);
+      }
+      if (lane_hasher != nullptr &&
+          !map_aborted.load(std::memory_order_relaxed)) {
+        Status st = lane_hasher->Flush();
+        if (!st.ok()) {
+          map_aborted.store(true);
+          std::lock_guard<std::mutex> lock(hash_mu);
+          if (hash_status.ok()) hash_status = std::move(st);
+        }
       }
     };
     if (strands <= 1) {
@@ -1072,6 +1121,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   if (cancelled.load()) return fail_job(Status::Cancelled("job cancelled"));
   for (const TaskPlan& t : tasks) {
     if (!t.status.ok()) return fail_job(t.status);
+  }
+  {
+    std::lock_guard<std::mutex> lock(hash_mu);
+    if (!hash_status.ok()) return fail_job(hash_status);
   }
 
   // --- Simulated map phase time ---
@@ -1187,6 +1240,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         static_cast<size_t>(num_reduce));
     bool reduce_immutable =
         options_.respect_immutable && ReduceOutputImmutable(conf);
+    // Sort-kernel CPU across every reduce task (including work stolen by
+    // pool strands), charged to time_breakdown["sort"] below.
+    std::mutex sort_mu;
+    double sort_cpu_total = 0;
 
     auto run_reduce_task = [&](int p, int place) {
         ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
@@ -1213,7 +1270,20 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
           kp.value = v;
           pairs.push_back(std::move(kp));
         }
-        api::SortPairs(conf, &pairs);
+        api::SortOptions sort_options;
+        if (workers > 1) {
+          sort_options.executor = &places_.pool();
+          sort_options.max_workers = workers;
+        }
+        api::SortStats sort_stats;
+        api::SortPairs(conf, &pairs, sort_options, &sort_stats);
+        {
+          std::lock_guard<std::mutex> lock(sort_mu);
+          sort_cpu_total += sort_stats.cpu_seconds;
+        }
+        // The caller-thread share of the sort is already inside `sw`;
+        // remember it so the task's generic compute isn't double-charged.
+        const double sort_caller = sort_stats.caller_cpu_seconds;
         reporter.IncrCounter(api::counters::kTaskGroup,
                              api::counters::kReduceInputRecords,
                              static_cast<int64_t>(pairs.size()));
@@ -1264,7 +1334,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
                                       collector.bytes());
           if (!rr.status.ok()) return;
         }
-        rr.cpu_seconds += sw.ElapsedSeconds();
+        rr.cpu_seconds += std::max(0.0, sw.ElapsedSeconds() - sort_caller);
     };
     places_.FinishForAll([&](int place) {
       if (!place_alive(place)) return;
@@ -1311,6 +1381,13 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     result.time_breakdown["reduce_phase"] = reduce_end - reduce_start;
     result.metrics["reduce_tasks"] = num_reduce;
     total = reduce_end + spec.m3r_barrier_s;
+    // Sort kernel CPU, amortized per slot (same treatment as the
+    // integrity charge below).
+    if (sort_cpu_total > 0) {
+      double sort_s = sort_cpu_total * spec.data_scale / spec.total_slots();
+      result.time_breakdown["sort"] = sort_s;
+      total += sort_s;
+    }
   }
 
   // --- Commit ---

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/buffer_pool.h"
 #include "common/integrity.h"
 #include "dfs/file_system.h"
 #include "m3r/cache.h"
@@ -116,6 +117,11 @@ class M3REngine : public api::Engine {
   Cache cache_;
   std::shared_ptr<M3RFileSystem> fs_;
   x10rt::PlaceGroup places_;
+  /// Engine-lifetime pool of shuffle wire buffers: each job's exchange
+  /// recycles its lanes here on teardown, so a job sequence's steady state
+  /// stops paying allocator round trips and re-reserves capacity sized
+  /// from the previous job.
+  BufferPool buffer_pool_;
   int job_counter_ = 0;
   int round_robin_ = 0;
   std::mutex ckpt_mu_;

@@ -7,6 +7,12 @@
 
 namespace m3r::engine {
 
+namespace {
+/// BufferPool categories shared across every job of an engine's sequence.
+constexpr char kLaneWireCategory[] = "shuffle.lane.wire";
+constexpr char kScratchCategory[] = "shuffle.decode.scratch";
+}  // namespace
+
 ShuffleExchange::ShuffleExchange(int num_places,
                                  const ShuffleOptions& options)
     : num_places_(num_places),
@@ -17,6 +23,7 @@ ShuffleExchange::ShuffleExchange(int num_places,
       workers_(std::max(options.workers_per_place, 1)),
       fault_(options.fault),
       integrity_(options.integrity),
+      pool_(options.buffer_pool),
       lanes_(static_cast<size_t>(num_places) * num_places * workers_),
       partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
       partition_mu_(new std::mutex[static_cast<size_t>(
@@ -27,6 +34,21 @@ ShuffleExchange::ShuffleExchange(int num_places,
       aliased_pairs_(static_cast<size_t>(num_places)),
       cloned_pairs_(static_cast<size_t>(num_places)) {
   M3R_CHECK(num_places > 0 && options.num_partitions >= 0);
+}
+
+ShuffleExchange::~ShuffleExchange() {
+  if (pool_ == nullptr) return;
+  // Wire buffers must stay alive for the exchange's whole life (WireBytes
+  // and ComputeStats read them), so recycling happens only here.
+  for (Lane& lane : lanes_) {
+    if (lane.out != nullptr) {
+      pool_->Release(kLaneWireCategory, lane.out->TakeBuffer());
+      lane.out.reset();
+    }
+    if (lane.wire.capacity() > 0) {
+      pool_->Release(kLaneWireCategory, std::move(lane.wire));
+    }
+  }
 }
 
 int ShuffleExchange::PlaceOfPartition(int partition) const {
@@ -92,7 +114,11 @@ void ShuffleExchange::Emit(int src_place, int partition,
   // stream, so no lock is needed and its bytes are deterministic.
   Lane& lane = LaneFor(src_place, dst, worker_lane);
   if (lane.out == nullptr) {
-    lane.out = std::make_unique<serialize::DedupOutputStream>(dedup_mode_);
+    lane.out = pool_ != nullptr
+                   ? std::make_unique<serialize::DedupOutputStream>(
+                         dedup_mode_, pool_->Acquire(kLaneWireCategory))
+                   : std::make_unique<serialize::DedupOutputStream>(
+                         dedup_mode_);
   }
   lane.out->WriteControl(static_cast<uint64_t>(partition));
   lane.out->WriteObject(k);
@@ -150,6 +176,11 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
   // under its lock in one step: less lock churn, and a stream's pairs
   // arrive contiguously.
   std::vector<std::pair<int, kvstore::KVSeq>> scratch;
+  scratch.reserve(pool_ != nullptr
+                      ? std::max<size_t>(pool_->CountHint(kScratchCategory),
+                                         4)
+                      : std::min<size_t>(
+                            8, static_cast<size_t>(num_partitions_)));
   serialize::DedupInputStream in(*served);
   while (!in.AtEnd()) {
     int partition = static_cast<int>(in.ReadControl());
@@ -169,6 +200,7 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
     dest.insert(dest.end(), std::make_move_iterator(seq.begin()),
                 std::make_move_iterator(seq.end()));
   }
+  if (pool_ != nullptr) pool_->ObserveCount(kScratchCategory, scratch.size());
   *cpu_seconds = sw.ElapsedSeconds();
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/executor.h"
 #include "common/fault_injector.h"
 #include "common/integrity.h"
@@ -47,6 +48,11 @@ struct ShuffleOptions {
   /// repair mode a mismatching frame is re-fetched from the sender's
   /// buffer, in detect mode it surfaces as DataLoss in status().
   std::shared_ptr<IntegrityContext> integrity;
+  /// Optional engine-lifetime buffer pool. Lane wire buffers are acquired
+  /// from it (pre-sized from the previous job's lanes) and released back
+  /// when the exchange is destroyed; decode scratch sizes are tracked the
+  /// same way.
+  BufferPool* buffer_pool = nullptr;
 };
 
 /// One job's in-memory shuffle (paper §3.2.2).
@@ -69,6 +75,8 @@ struct ShuffleOptions {
 class ShuffleExchange {
  public:
   ShuffleExchange(int num_places, const ShuffleOptions& options);
+  /// Releases lane wire buffers back to the pool (when one is configured).
+  ~ShuffleExchange();
 
   int PlaceOfPartition(int partition) const;
   int workers_per_place() const { return workers_; }
@@ -140,6 +148,7 @@ class ShuffleExchange {
   const int workers_;
   const std::shared_ptr<FaultInjector> fault_;
   const std::shared_ptr<IntegrityContext> integrity_;
+  BufferPool* const pool_;
 
   mutable std::mutex status_mu_;
   Status status_;  // first DeliverTo failure

@@ -38,6 +38,11 @@ enum class DedupMode {
 class DedupOutputStream {
  public:
   explicit DedupOutputStream(DedupMode mode) : mode_(mode) {}
+  /// Starts the stream on a recycled buffer (capacity reuse via
+  /// BufferPool); contents of `recycled` are discarded.
+  DedupOutputStream(DedupMode mode, std::string recycled) : mode_(mode) {
+    out_.Adopt(std::move(recycled));
+  }
 
   /// Appends `obj` to the stream. Identity (pointer equality) triggers
   /// de-duplication, mirroring X10's heap-graph serializer.

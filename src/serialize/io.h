@@ -76,6 +76,15 @@ class DataOutput {
   std::string Take() { return std::move(Buf()); }
   void Clear() { Buf().clear(); }
 
+  /// Seeds the owned buffer with `buffer`'s allocation (cleared) — the hook
+  /// that lets a pooled buffer's capacity be reused across streams. Only
+  /// valid for owned-buffer streams.
+  void Adopt(std::string buffer) {
+    M3R_CHECK(external_ == nullptr) << "Adopt on an external-buffer stream";
+    owned_ = std::move(buffer);
+    owned_.clear();
+  }
+
  private:
   std::string& Buf() { return external_ ? *external_ : owned_; }
   const std::string& Buf() const { return external_ ? *external_ : owned_; }

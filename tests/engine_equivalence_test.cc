@@ -384,5 +384,120 @@ TEST(IntegrityAcceptance, DetectModeFailsDataLossOnBothEngines) {
   }
 }
 
+// --- Map-side hash aggregation: same bytes out, fewer bytes on the wire ---
+
+struct HashCombineRun {
+  std::vector<std::string> lines;
+  int64_t wire_bytes = 0;
+  int64_t map_output_records = 0;
+  int64_t combine_input = 0;
+  int64_t detected = 0;
+  int64_t repaired = 0;
+};
+
+/// WordCount with m3r.map.hash.combine toggled. One worker lane per place
+/// keeps the wire-byte comparison deterministic and gives each lane
+/// several splits, which is the scope the lane-persistent table folds
+/// across.
+HashCombineRun RunWordCountHashCombine(
+    bool use_m3r, bool hash_combine,
+    const std::map<std::string, std::string>& extra) {
+  HashCombineRun r;
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  M3R_CHECK_OK(workloads::GenerateText(*fs, "/in", 2048 * 1024, 4, 99));
+  std::unique_ptr<api::Engine> engine;
+  sim::ClusterSpec spec = TestCluster();
+  if (use_m3r) {
+    engine = std::make_unique<engine::M3REngine>(
+        fs, engine::M3REngineOptions{spec});
+  } else {
+    engine = std::make_unique<hadoop::HadoopEngine>(
+        fs, hadoop::HadoopEngineOptions{spec, 0});
+  }
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set(api::conf::kPlaceWorkers, "1");
+  if (hash_combine) job.Set(api::conf::kMapHashCombine, "true");
+  for (const auto& [k, v] : extra) job.Set(k, v);
+  auto result = engine->Submit(job);
+  M3R_CHECK(result.ok()) << result.status.ToString();
+  r.lines = ReadOutputLines(*fs, "/out");
+  if (result.metrics.count("shuffle_wire_bytes")) {
+    r.wire_bytes = result.metrics.at("shuffle_wire_bytes");
+  }
+  r.map_output_records = result.counters.Get(
+      api::counters::kTaskGroup, api::counters::kMapOutputRecords);
+  r.combine_input = result.counters.Get(
+      api::counters::kTaskGroup, api::counters::kCombineInputRecords);
+  if (result.metrics.count("integrity_detected")) {
+    r.detected = result.metrics.at("integrity_detected");
+    r.repaired = result.metrics.at("integrity_repaired");
+  }
+  return r;
+}
+
+TEST(HashCombineEquivalence, ByteIdenticalAndCutsWireBytes) {
+  HashCombineRun h_off = RunWordCountHashCombine(false, false, {});
+  HashCombineRun h_on = RunWordCountHashCombine(false, true, {});
+  HashCombineRun m_off = RunWordCountHashCombine(true, false, {});
+  HashCombineRun m_on = RunWordCountHashCombine(true, true, {});
+
+  // Byte-identical output: engine x {off, on} all agree.
+  ASSERT_FALSE(h_off.lines.empty());
+  EXPECT_EQ(h_off.lines, h_on.lines);
+  EXPECT_EQ(h_off.lines, m_off.lines);
+  EXPECT_EQ(h_off.lines, m_on.lines);
+
+  // Hadoop counter semantics survive the wrapper: one MAP_OUTPUT_RECORDS
+  // per mapper emission whether the table absorbed it or not, and the
+  // incremental folds feed the COMBINE counters.
+  EXPECT_EQ(h_on.map_output_records, h_off.map_output_records);
+  EXPECT_EQ(m_on.map_output_records, m_off.map_output_records);
+  EXPECT_GT(h_on.combine_input, 0);
+  EXPECT_GT(m_on.combine_input, 0);
+
+  // Acceptance: the lane-persistent table folds keys across all of a
+  // lane's splits, so the shuffle moves at most half the wire bytes of the
+  // per-task combine baseline.
+  ASSERT_GT(m_off.wire_bytes, 0);
+  EXPECT_GT(m_on.wire_bytes, 0);
+  EXPECT_LE(m_on.wire_bytes * 2, m_off.wire_bytes)
+      << "hash combine on: " << m_on.wire_bytes
+      << " off: " << m_off.wire_bytes;
+
+  // Multi-strand places: one table per lane, same bytes out (wire bytes
+  // shift with lane assignment, so only output is compared).
+  HashCombineRun m_on_2w = RunWordCountHashCombine(
+      true, true, {{api::conf::kPlaceWorkers, "2"}});
+  EXPECT_EQ(m_on_2w.lines, m_off.lines);
+  EXPECT_EQ(m_on_2w.map_output_records, m_off.map_output_records);
+}
+
+TEST(HashCombineEquivalence, RepairModeStillByteIdentical) {
+  auto corrupt = [](const std::string& site) {
+    return std::map<std::string, std::string>{
+        {api::conf::kIntegrityMode, "repair"},
+        {"m3r.fault.seed", "9"},
+        {"m3r.fault.corrupt." + site + ".prob", "1.0"},
+        {"m3r.fault.corrupt." + site + ".limit", "1"},
+    };
+  };
+  // Each engine gets a flip on the boundary the hash-combined records
+  // actually cross: Hadoop's spill files, M3R's shuffle channel frames.
+  HashCombineRun h_clean = RunWordCountHashCombine(false, true, {});
+  HashCombineRun h_rep =
+      RunWordCountHashCombine(false, true, corrupt("spill"));
+  HashCombineRun m_clean = RunWordCountHashCombine(true, true, {});
+  HashCombineRun m_rep =
+      RunWordCountHashCombine(true, true, corrupt("channel.frame"));
+
+  ASSERT_FALSE(h_clean.lines.empty());
+  EXPECT_EQ(h_rep.lines, h_clean.lines);
+  EXPECT_EQ(m_rep.lines, m_clean.lines);
+  EXPECT_GE(h_rep.detected, 1);
+  EXPECT_EQ(h_rep.repaired, h_rep.detected);
+  EXPECT_GE(m_rep.detected, 1);
+  EXPECT_EQ(m_rep.repaired, m_rep.detected);
+}
+
 }  // namespace
 }  // namespace m3r

@@ -1,0 +1,358 @@
+// Tier-1 tests for the sort/shuffle hot-path pieces: the prefix-cached
+// sort kernel (common/sort.h), the map-side hash-combine collector
+// (api/hash_combine.h), and the shuffle buffer pool (common/buffer_pool.h).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/counters.h"
+#include "api/hash_combine.h"
+#include "api/task_runner.h"
+#include "common/buffer_pool.h"
+#include "common/executor.h"
+#include "common/rng.h"
+#include "common/sort.h"
+#include "serialize/basic_writables.h"
+#include "serialize/registry.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+using api::WritablePtr;
+using serialize::IntWritable;
+using serialize::Text;
+
+// ---------------------------------------------------------------------------
+// Sort kernel
+
+std::vector<std::string_view> Views(const std::vector<std::string>& keys) {
+  std::vector<std::string_view> v;
+  v.reserve(keys.size());
+  for (const std::string& k : keys) v.emplace_back(k);
+  return v;
+}
+
+/// Reference: the permutation std::stable_sort produces under plain
+/// lexicographic byte order. Exact permutation equality against this is
+/// the stability check — equal keys must keep input order.
+std::vector<uint32_t> ReferencePermutation(
+    const std::vector<std::string>& keys) {
+  std::vector<uint32_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b];
+  });
+  return perm;
+}
+
+void ExpectMatchesReference(const std::vector<std::string>& keys,
+                            const sortkit::SortOptions& options) {
+  sortkit::SortStats stats;
+  std::vector<uint32_t> perm =
+      sortkit::StableSortPermutation(Views(keys), options, &stats);
+  EXPECT_EQ(perm, ReferencePermutation(keys));
+}
+
+std::vector<std::string> RandomKeys(size_t n, uint64_t seed,
+                                    size_t max_len = 24) {
+  Rng rng(seed);
+  std::vector<std::string> keys(n);
+  for (std::string& k : keys) {
+    size_t len = rng.NextBelow(max_len + 1);
+    k.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      k.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+  }
+  return keys;
+}
+
+TEST(SortKernelTest, RandomKeysMatchStableSort) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ExpectMatchesReference(RandomKeys(2000, seed), {});
+  }
+}
+
+TEST(SortKernelTest, DegenerateShapes) {
+  ExpectMatchesReference({}, {});
+  ExpectMatchesReference({"only"}, {});
+  ExpectMatchesReference(std::vector<std::string>(500, "same"), {});
+  std::vector<std::string> sorted = RandomKeys(1000, 7);
+  std::sort(sorted.begin(), sorted.end());
+  ExpectMatchesReference(sorted, {});
+  std::reverse(sorted.begin(), sorted.end());
+  ExpectMatchesReference(sorted, {});
+}
+
+TEST(SortKernelTest, SharedPrefixForcesTieBreaks) {
+  // Every key shares the same first 8 bytes, so every prefix comparison
+  // ties and the memcmp/length tie-break path decides everything.
+  Rng rng(11);
+  std::vector<std::string> keys(1500);
+  for (std::string& k : keys) {
+    k = "prefix!!";  // exactly 8 bytes
+    size_t extra = rng.NextBelow(6);
+    for (size_t i = 0; i < extra; ++i) {
+      k.push_back(static_cast<char>('a' + rng.NextBelow(3)));
+    }
+  }
+  ExpectMatchesReference(keys, {});
+}
+
+TEST(SortKernelTest, ShortKeysAroundPrefixBoundary) {
+  // Lengths 0..9 straddle the 8-byte prefix; zero-padding must not make
+  // "a" equal to "a\0".
+  std::vector<std::string> keys;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (size_t len = 0; len <= 9; ++len) {
+      keys.emplace_back(len, static_cast<char>(rep % 3));
+    }
+  }
+  ExpectMatchesReference(keys, {});
+}
+
+TEST(SortKernelTest, CustomComparatorFallback) {
+  std::vector<std::string> keys = RandomKeys(1200, 13);
+  sortkit::RawCompareFn reverse = [](std::string_view a, std::string_view b) {
+    return a == b ? 0 : (a < b ? 1 : -1);  // descending
+  };
+  sortkit::SortOptions options;
+  options.comparator = &reverse;
+  sortkit::SortStats stats;
+  std::vector<uint32_t> perm =
+      sortkit::StableSortPermutation(Views(keys), options, &stats);
+  EXPECT_FALSE(stats.used_prefix);
+
+  std::vector<uint32_t> expected(keys.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](uint32_t a, uint32_t b) { return keys[a] > keys[b]; });
+  EXPECT_EQ(perm, expected);
+}
+
+TEST(SortKernelTest, ParallelPathMatchesSerial) {
+  Executor executor(4);
+  std::vector<std::string> keys = RandomKeys(20000, 17);
+  sortkit::SortOptions parallel;
+  parallel.executor = &executor;
+  parallel.max_workers = 4;
+  parallel.parallel_threshold = 0;  // force the parallel path
+  sortkit::SortStats stats;
+  std::vector<uint32_t> perm =
+      sortkit::StableSortPermutation(Views(keys), parallel, &stats);
+  EXPECT_GT(stats.parallel_runs, 1u);
+  EXPECT_EQ(perm, ReferencePermutation(keys));
+}
+
+TEST(SortKernelTest, ParallelCustomComparatorMatchesSerial) {
+  Executor executor(3);
+  std::vector<std::string> keys = RandomKeys(8000, 19);
+  sortkit::RawCompareFn cmp = [](std::string_view a, std::string_view b) {
+    // Order by length, then bytes — plenty of ties.
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+  };
+  sortkit::SortOptions serial;
+  serial.comparator = &cmp;
+  sortkit::SortOptions parallel = serial;
+  parallel.executor = &executor;
+  parallel.max_workers = 3;
+  parallel.parallel_threshold = 0;
+  EXPECT_EQ(sortkit::StableSortPermutation(Views(keys), parallel),
+            sortkit::StableSortPermutation(Views(keys), serial));
+}
+
+TEST(SortKernelTest, SortPairsParallelMatchesSerialAndReportsCpu) {
+  api::JobConf conf;
+  std::vector<std::string> keys = RandomKeys(40000, 23, 12);
+  auto make_pairs = [&] {
+    std::vector<api::KeyedPair> pairs(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) pairs[i].key_bytes = keys[i];
+    return pairs;
+  };
+  std::vector<api::KeyedPair> serial = make_pairs();
+  api::SortPairs(conf, &serial);
+
+  Executor executor(4);
+  api::SortOptions options;
+  options.executor = &executor;
+  options.max_workers = 4;
+  api::SortStats stats;
+  std::vector<api::KeyedPair> parallel = make_pairs();
+  api::SortPairs(conf, &parallel, options, &stats);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].key_bytes, serial[i].key_bytes) << "at " << i;
+  }
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  EXPECT_LE(stats.caller_cpu_seconds, stats.cpu_seconds + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Hash-combine collector
+
+/// Downstream stand-in that behaves like the real sinks: counts
+/// MAP_OUTPUT_RECORDS per pair it sees and remembers (word, count) pairs.
+class RecordingCollector : public api::OutputCollector {
+ public:
+  explicit RecordingCollector(api::Reporter* reporter)
+      : reporter_(reporter) {}
+  void Collect(const WritablePtr& key, const WritablePtr& value) override {
+    pairs.emplace_back(key->ToString(),
+                       dynamic_cast<const IntWritable&>(*value).Get());
+    reporter_->IncrCounter(api::counters::kTaskGroup,
+                           api::counters::kMapOutputRecords, 1);
+  }
+
+  std::vector<std::pair<std::string, int32_t>> pairs;
+
+ private:
+  api::Reporter* reporter_;
+};
+
+api::JobConf WordCountStyleConf() {
+  api::JobConf conf;
+  conf.SetCombinerClass(workloads::WordCountReducer::kClassName);
+  conf.SetMapOutputKeyClass(Text::kTypeName);
+  conf.SetMapOutputValueClass(IntWritable::kTypeName);
+  return conf;
+}
+
+TEST(HashCombineTest, EligibilityRequiresCombinerTypesAndByteGrouping) {
+  api::JobConf conf;
+  EXPECT_FALSE(api::HashCombineCollector::Eligible(conf));  // no combiner
+  conf = WordCountStyleConf();
+  EXPECT_TRUE(api::HashCombineCollector::Eligible(conf));
+  conf.SetGroupingComparatorClass("PairRowComparator");
+  EXPECT_FALSE(api::HashCombineCollector::Eligible(conf));
+}
+
+TEST(HashCombineTest, AggregatesAndSettlesCounters) {
+  api::JobConf conf = WordCountStyleConf();
+  api::Counters counters;
+  api::CountersReporter reporter(&counters);
+  RecordingCollector downstream(&reporter);
+  api::HashCombineCollector collector(conf, &downstream, &reporter);
+
+  const std::vector<std::string> words = {"the", "quick", "fox", "the",
+                                          "the", "fox"};
+  const int kReps = 40;
+  auto one = std::make_shared<IntWritable>(1);
+  for (int r = 0; r < kReps; ++r) {
+    for (const std::string& w : words) {
+      collector.Collect(std::make_shared<Text>(w), one);
+    }
+  }
+  ASSERT_TRUE(collector.Flush().ok());
+
+  // Downstream saw one pre-summed pair per distinct word.
+  ASSERT_EQ(downstream.pairs.size(), 3u);
+  std::map<std::string, int64_t> sums;
+  for (const auto& [w, c] : downstream.pairs) sums[w] += c;
+  EXPECT_EQ(sums["the"], 3 * kReps);
+  EXPECT_EQ(sums["quick"], kReps);
+  EXPECT_EQ(sums["fox"], 2 * kReps);
+
+  // Counter semantics survive the wrapper: MAP_OUTPUT_RECORDS counts
+  // mapper emissions, and the combiner's work is visible.
+  const int64_t emissions = static_cast<int64_t>(words.size()) * kReps;
+  EXPECT_EQ(counters.Get(api::counters::kTaskGroup,
+                         api::counters::kMapOutputRecords),
+            emissions);
+  EXPECT_GT(counters.Get(api::counters::kTaskGroup,
+                         api::counters::kCombineInputRecords),
+            0);
+  EXPECT_GT(counters.Get(api::counters::kTaskGroup,
+                         api::counters::kCombineOutputRecords),
+            0);
+  EXPECT_EQ(collector.overflow_spills(), 0u);
+}
+
+TEST(HashCombineTest, BudgetOverflowDrainsAndStaysCorrect) {
+  api::JobConf conf = WordCountStyleConf();
+  // ~500 bytes of budget: a few dozen distinct keys overflow repeatedly.
+  conf.SetDouble(api::conf::kMapHashCombineMemoryMb, 500.0 / (1 << 20));
+  api::Counters counters;
+  api::CountersReporter reporter(&counters);
+  RecordingCollector downstream(&reporter);
+  api::HashCombineCollector collector(conf, &downstream, &reporter);
+
+  Rng rng(29);
+  std::map<std::string, int64_t> expected;
+  const int kEmissions = 5000;
+  for (int i = 0; i < kEmissions; ++i) {
+    std::string w = "word" + std::to_string(rng.NextBelow(64));
+    ++expected[w];
+    collector.Collect(std::make_shared<Text>(w),
+                      std::make_shared<IntWritable>(1));
+  }
+  ASSERT_TRUE(collector.Flush().ok());
+  EXPECT_GE(collector.overflow_spills(), 1u);
+
+  std::map<std::string, int64_t> sums;
+  for (const auto& [w, c] : downstream.pairs) sums[w] += c;
+  EXPECT_EQ(sums, expected);
+  EXPECT_EQ(counters.Get(api::counters::kTaskGroup,
+                         api::counters::kMapOutputRecords),
+            kEmissions);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool
+
+TEST(BufferPoolTest, ReusesBuffersAndTracksHints) {
+  BufferPool pool;
+  std::string a = pool.Acquire("wire");
+  EXPECT_EQ(pool.reused(), 0u);
+  a.assign(10000, 'x');
+  pool.Release("wire", std::move(a));
+  EXPECT_EQ(pool.SizeHint("wire"), 10000u);
+
+  std::string b = pool.Acquire("wire");
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 10000u);
+
+  // The hint decays when later buffers come back smaller.
+  pool.Release("wire", std::string(100, 'y'));
+  EXPECT_LT(pool.SizeHint("wire"), 10000u);
+
+  pool.ObserveCount("scratch", 12);
+  pool.ObserveCount("scratch", 4);
+  EXPECT_GT(pool.CountHint("scratch"), 4u);
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool;
+  std::vector<std::thread> threads;
+  std::atomic<int> total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &total, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string buf = pool.Acquire("shared");
+        buf.append(static_cast<size_t>(t + 1) * 10, 'z');
+        total.fetch_add(1, std::memory_order_relaxed);
+        pool.Release("shared", std::move(buf));
+        pool.ObserveCount("counts", static_cast<size_t>(i % 7));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total.load(), 2000);
+  EXPECT_EQ(pool.acquired(), 2000u);
+  EXPECT_GT(pool.reused(), 0u);
+}
+
+}  // namespace
+}  // namespace m3r

@@ -1,0 +1,294 @@
+// Memory-governor trajectory bench (DESIGN.md §11): iterative SpMV under a
+// sweep of m3r.memory.budget.mb values, recording cache hit rates,
+// evictions, and wall/sim seconds per budget, plus the ReStore-style
+// m3r.cache.reuse=exact resubmission short-circuit. Each run is one JSON
+// record
+//   {bench, config, wall_seconds, sim_seconds, wire_bytes, counters}
+// in BENCH_cache.json. CI runs it as a smoke (valid JSON, outputs match
+// the local reference, counters move the right way across budgets); the
+// committed file records how the numbers move PR over PR.
+//
+//   bench_cache [--out-dir DIR] [--suffix S]
+//
+// writes DIR/BENCH_cache<S>.json.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/counters.h"
+#include "api/job_conf.h"
+#include "bench_util.h"
+#include "dfs/local_fs.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+double WallSeconds(const std::function<void()>& body) {
+  auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One benchmark run, rendered as one JSON object (same schema as
+/// run_bench so downstream tooling reads every BENCH_*.json alike).
+struct Record {
+  std::string bench;
+  std::string config;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  int64_t wire_bytes = 0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ToJson(const std::vector<Record>& records) {
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    char nums[128];
+    std::snprintf(nums, sizeof(nums),
+                  "\"wall_seconds\": %.6f, \"sim_seconds\": %.3f, "
+                  "\"wire_bytes\": %lld",
+                  r.wall_seconds, r.sim_seconds,
+                  static_cast<long long>(r.wire_bytes));
+    os << "  {\"bench\": \"" << JsonEscape(r.bench) << "\", \"config\": \""
+       << JsonEscape(r.config) << "\", " << nums << ", \"counters\": {";
+    for (size_t c = 0; c < r.counters.size(); ++c) {
+      os << (c ? ", " : "") << "\"" << JsonEscape(r.counters[c].first)
+         << "\": " << r.counters[c].second;
+    }
+    os << "}}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+workloads::SpmvDataParams SweepParams() {
+  workloads::SpmvDataParams params;
+  params.n = 3000;
+  params.block = 375;  // 8 row blocks over 4 places
+  params.sparsity = 0.02;
+  params.num_partitions = 8;
+  return params;
+}
+
+/// Tallies one budget configuration of the sweep.
+struct SweepResult {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t spilled = 0;
+  int64_t rejected = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+};
+
+/// Runs `iterations` SpMV iterations on a fresh engine with the given
+/// budget (0 = ungoverned) and validates the final vector against the
+/// locally computed reference.
+SweepResult RunSpmvSweepPoint(int64_t budget_mb, int iterations) {
+  const workloads::SpmvDataParams params = SweepParams();
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  M3R_CHECK_OK(workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v",
+                                           params));
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  engine::M3REngine engine(fs, {spec});
+
+  const int row_blocks =
+      static_cast<int>((params.n + params.block - 1) / params.block);
+  auto v_ref =
+      workloads::ReadDenseVector(*fs, "/spmv/v", params.n, params.block);
+  M3R_CHECK(v_ref.ok()) << v_ref.status().ToString();
+  std::vector<double> expected = v_ref.take();
+
+  SweepResult tally;
+  std::string v_in = "/spmv/v";
+  for (int it = 0; it < iterations; ++it) {
+    std::string partial = "/spmv/temp-partial-" + std::to_string(it);
+    std::string v_out = "/spmv/temp-v" + std::to_string(it + 1);
+    auto jobs = workloads::MakeSpmvIterationJobs(
+        "/spmv/g", v_in, partial, v_out, params.num_partitions, row_blocks);
+    for (auto& job : jobs) {
+      if (budget_mb > 0) {
+        job.SetInt(api::conf::kMemoryBudgetMb, budget_mb);
+        job.Set(api::conf::kCachePolicy, "cost");
+      }
+      api::JobResult result;
+      tally.wall_seconds += WallSeconds([&] { result = engine.Submit(job); });
+      M3R_CHECK(result.ok()) << result.status.ToString();
+      tally.sim_seconds += result.sim_seconds;
+      tally.hits += result.counters.Get(api::counters::kM3rGroup,
+                                        api::counters::kCacheHits);
+      tally.misses += result.counters.Get(api::counters::kM3rGroup,
+                                          api::counters::kCacheMisses);
+      if (budget_mb > 0) {
+        tally.evictions += result.metrics.at("cache_evictions");
+        tally.spilled += result.metrics.at("cache_spilled_evictions");
+        tally.rejected += result.metrics.at("cache_rejected_fills");
+      }
+    }
+    auto ref = workloads::ReferenceMultiply(*fs, "/spmv/g", expected,
+                                            params.n, params.block);
+    M3R_CHECK(ref.ok()) << ref.status().ToString();
+    expected = ref.take();
+    v_in = v_out;
+  }
+
+  auto v_final =
+      workloads::ReadDenseVector(*engine.Fs(), v_in, params.n, params.block);
+  M3R_CHECK(v_final.ok()) << v_final.status().ToString();
+  M3R_CHECK(v_final->size() == expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    double tol = 1e-9 + std::fabs(expected[i]) * 1e-9;
+    M3R_CHECK(std::fabs((*v_final)[i] - expected[i]) <= tol)
+        << "budget=" << budget_mb << "mb row " << i << " diverged";
+  }
+  return tally;
+}
+
+/// Budget sweep: 1/2/4 MiB then ungoverned. Hit rate must not fall and
+/// eviction pressure must not rise as the budget loosens.
+void RunBudgetSweep(std::vector<Record>* out) {
+  bench::Banner("Cache budget sweep: 5-iteration SpMV, cost policy");
+  constexpr int kIterations = 5;
+  const int64_t budgets_mb[] = {1, 2, 4, 0};  // 0 = ungoverned
+  bench::Table table({"budget_mb", "hit_rate_pct", "evictions", "rejected",
+                      "sim_s"});
+  int64_t prev_hit_rate = -1;
+  int64_t prev_pressure = -1;
+  for (int64_t budget_mb : budgets_mb) {
+    SweepResult tally = RunSpmvSweepPoint(budget_mb, kIterations);
+    int64_t lookups = tally.hits + tally.misses;
+    int64_t hit_rate_pct = lookups > 0 ? 100 * tally.hits / lookups : 0;
+    Record r;
+    r.bench = "cache_budget_sweep";
+    r.config = "m3r spmv n=3000 iters=5 policy=cost budget=" +
+               (budget_mb > 0 ? std::to_string(budget_mb) + "mb"
+                              : std::string("unlimited"));
+    r.wall_seconds = tally.wall_seconds;
+    r.sim_seconds = tally.sim_seconds;
+    r.counters = {
+        {"budget_mb", budget_mb},
+        {"cache_hit_splits", tally.hits},
+        {"cache_miss_splits", tally.misses},
+        {"hit_rate_pct", hit_rate_pct},
+        {"evictions", tally.evictions},
+        {"spilled_evictions", tally.spilled},
+        {"rejected_fills", tally.rejected},
+    };
+    table.Row({static_cast<double>(budget_mb),
+               static_cast<double>(hit_rate_pct),
+               static_cast<double>(tally.evictions),
+               static_cast<double>(tally.rejected), tally.sim_seconds});
+    // Monotonic across the loosening sweep: more memory never hurts. The
+    // pressure signal is evictions + rejections — a tighter budget may
+    // trade evictions for outright rejections, but their sum only falls.
+    int64_t pressure = tally.evictions + tally.rejected;
+    M3R_CHECK(prev_hit_rate < 0 || hit_rate_pct >= prev_hit_rate)
+        << "hit rate fell when the budget grew";
+    M3R_CHECK(prev_pressure < 0 || pressure <= prev_pressure)
+        << "eviction+rejection pressure rose when the budget grew";
+    prev_hit_rate = hit_rate_pct;
+    prev_pressure = pressure;
+    out->push_back(std::move(r));
+  }
+  // The tight end of the sweep actually exercised the governor.
+  M3R_CHECK((*out)[0].counters[4].second > 0) << "no evictions at 1mb";
+}
+
+/// ReStore-style reuse: resubmitting an identical WordCount serves the
+/// cached output; the served run skips map/reduce entirely.
+void RunReuseResubmit(std::vector<Record>* out) {
+  bench::Banner("Exact-reuse resubmission: WordCount 512KiB");
+  auto fs = dfs::MakeSimDfs(4, 64 * 1024);
+  M3R_CHECK_OK(workloads::GenerateText(*fs, "/in", 512 * 1024, 2, 3));
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  engine::M3REngine engine(fs, {spec});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/temp-wc", 4, true);
+  job.Set(api::conf::kCacheReuse, "exact");
+
+  bench::Table table({"run", "sim_s", "reused"});
+  double first_sim = 0;
+  for (int run = 0; run < 2; ++run) {
+    api::JobResult result;
+    double wall = WallSeconds([&] { result = engine.Submit(job); });
+    M3R_CHECK(result.ok()) << result.status.ToString();
+    bool reused = result.metrics.count("reused_from_cache") > 0;
+    M3R_CHECK(reused == (run == 1)) << "reuse fired on the wrong run";
+    if (run == 0) {
+      first_sim = result.sim_seconds;
+    } else {
+      M3R_CHECK(result.sim_seconds < first_sim)
+          << "served resubmission was not cheaper";
+    }
+    Record r;
+    r.bench = "cache_exact_reuse";
+    r.config = std::string("m3r wordcount 512KiB ") +
+               (run == 0 ? "first_run" : "resubmit");
+    r.wall_seconds = wall;
+    r.sim_seconds = result.sim_seconds;
+    r.counters = {
+        {"reused_from_cache", reused ? 1 : 0},
+        {"map_tasks", result.metrics.count("map_tasks")
+                          ? result.metrics.at("map_tasks")
+                          : 0},
+    };
+    table.Row({static_cast<double>(run), r.sim_seconds, reused ? 1.0 : 0.0});
+    out->push_back(std::move(r));
+  }
+}
+
+}  // namespace
+}  // namespace m3r
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::string suffix;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--suffix" && i + 1 < argc) {
+      suffix = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--suffix S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::vector<m3r::Record> records;
+  m3r::RunBudgetSweep(&records);
+  m3r::RunReuseResubmit(&records);
+  const std::string path = out_dir + "/BENCH_cache" + suffix + ".json";
+  std::ofstream outf(path);
+  outf << m3r::ToJson(records);
+  outf.close();
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+  return 0;
+}

@@ -61,6 +61,16 @@ inline constexpr char kDedupedObjects[] = "DEDUPED_OBJECTS";
 inline constexpr char kDedupSavedBytes[] = "DEDUP_SAVED_BYTES";
 inline constexpr char kClonedPairs[] = "CLONED_PAIRS";
 inline constexpr char kAliasedPairs[] = "ALIASED_PAIRS";
+// Memory governance (src/memgov): per-job deltas except BYTES_RESIDENT,
+// which is the cache's live footprint at the last progress sync.
+inline constexpr char kCacheEvictions[] = "CACHE_EVICTIONS";
+inline constexpr char kCacheEvictedBytes[] = "CACHE_EVICTED_BYTES";
+inline constexpr char kCacheBytesResident[] = "CACHE_BYTES_RESIDENT";
+inline constexpr char kCacheRejectedFills[] = "CACHE_REJECTED_FILLS";
+/// 1 when the whole job was served from a live cached output with a
+/// matching lineage signature (m3r.cache.reuse=exact) — no map or reduce
+/// task ran.
+inline constexpr char kReusedFromCache[] = "REUSED_FROM_CACHE";
 }  // namespace counters
 
 }  // namespace m3r::api

@@ -98,10 +98,12 @@ bool HashCombineCollector::Eligible(const JobConf& conf) {
 
 HashCombineCollector::HashCombineCollector(const JobConf& conf,
                                            OutputCollector* downstream,
-                                           Reporter* reporter)
+                                           Reporter* reporter,
+                                           std::atomic<int64_t>* memory_gauge)
     : conf_(conf),
       downstream_(downstream),
       reporter_(reporter),
+      memory_gauge_(memory_gauge),
       key_type_(conf.MapOutputKeyClass()),
       value_type_(conf.MapOutputValueClass()),
       budget_bytes_(static_cast<size_t>(
@@ -109,6 +111,21 @@ HashCombineCollector::HashCombineCollector(const JobConf& conf,
           static_cast<double>(size_t{1} << 20))),
       slots_(64, -1) {
   M3R_CHECK(Eligible(conf)) << "hash combine on an ineligible job";
+}
+
+HashCombineCollector::~HashCombineCollector() {
+  // Withdraw this table's contribution from the shared gauge.
+  if (memory_gauge_ != nullptr && gauge_reported_ != 0) {
+    memory_gauge_->fetch_add(-gauge_reported_, std::memory_order_relaxed);
+  }
+}
+
+void HashCombineCollector::ReportGauge() {
+  if (memory_gauge_ == nullptr) return;
+  int64_t now = static_cast<int64_t>(bytes_);
+  if (now == gauge_reported_) return;
+  memory_gauge_->fetch_add(now - gauge_reported_, std::memory_order_relaxed);
+  gauge_reported_ = now;
 }
 
 void HashCombineCollector::Collect(const WritablePtr& key,
@@ -136,6 +153,7 @@ void HashCombineCollector::Collect(const WritablePtr& key,
     ++overflow_spills_;
     DrainTable();
   }
+  ReportGauge();
 }
 
 void HashCombineCollector::Insert(std::string key_bytes,
@@ -246,6 +264,7 @@ Status HashCombineCollector::Flush() {
   M3R_CHECK(!flushed_) << "HashCombineCollector flushed twice";
   flushed_ = true;
   DrainTable();
+  ReportGauge();
   if (!deferred_.ok()) return deferred_;
   // Downstream counted one MAP_OUTPUT_RECORDS per pair it saw; top the
   // counter up to one per mapper emission (Hadoop's definition).

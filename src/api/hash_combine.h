@@ -1,6 +1,7 @@
 #ifndef M3R_API_HASH_COMBINE_H_
 #define M3R_API_HASH_COMBINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -55,8 +56,14 @@ class HashCombineCollector : public OutputCollector {
   /// repeated across a place's splits still fold into one shuffle record.
   /// That is legal for the same 0..n-runs reason, and is where the
   /// long-lived-place engine beats Hadoop's per-spill combine scope.
+  /// `memory_gauge`, when non-null, receives the table's live byte
+  /// footprint as deltas (this instance's contribution is withdrawn on
+  /// destruction) — the engine aggregates every lane's table into one
+  /// gauge the memory governor polls ("hashcombine" consumer).
   HashCombineCollector(const JobConf& conf, OutputCollector* downstream,
-                       Reporter* reporter);
+                       Reporter* reporter,
+                       std::atomic<int64_t>* memory_gauge = nullptr);
+  ~HashCombineCollector() override;
 
   void Collect(const WritablePtr& key, const WritablePtr& value) override;
 
@@ -99,10 +106,14 @@ class HashCombineCollector : public OutputCollector {
   void EmitSerialized(const std::string& key_bytes,
                       const std::string& value_bytes);
   void Rehash(size_t new_slot_count);
+  /// Pushes the change in bytes_ since the last report into memory_gauge_.
+  void ReportGauge();
 
   const JobConf& conf_;
   OutputCollector* downstream_;
   Reporter* reporter_;
+  std::atomic<int64_t>* memory_gauge_;
+  int64_t gauge_reported_ = 0;
   std::string key_type_;
   std::string value_type_;
   size_t budget_bytes_;

@@ -102,6 +102,29 @@ inline constexpr char kJobRetryBackoffMs[] = "m3r.job.retry.backoff.ms";
 /// mismatches fail with DataLoss), or "repair" (each boundary re-reads a
 /// surviving copy before giving up). See common/integrity.h.
 inline constexpr char kIntegrityMode[] = "m3r.integrity.mode";
+
+// --- Memory governance (src/memgov; M3R engine only) ---
+/// Total budget for the engine's long-lived byte holders (cache, shuffle
+/// buffer pool, hash-combine tables, checkpoint spill queue), in MiB.
+/// 0 (default) = ungoverned: cache without bound, as the paper does.
+inline constexpr char kMemoryBudgetMb[] = "m3r.memory.budget.mb";
+/// Per-consumer share of the budget, a fraction in [0,1]:
+/// m3r.memory.share.<consumer> for consumers "cache", "shuffle.pool",
+/// "hashcombine", "checkpoint.queue". Unset = 1.0 (only the total binds).
+inline constexpr char kMemorySharePrefix[] = "m3r.memory.share.";
+/// Watermarks (fractions of the cache's share) driving background
+/// eviction: crossing `high` wakes the evictor, which evicts to `low`.
+inline constexpr char kMemoryHighWatermark[] = "m3r.memory.high.watermark";
+inline constexpr char kMemoryLowWatermark[] = "m3r.memory.low.watermark";
+/// Cache eviction policy under a budget: lru (default) | lfu | cost
+/// (cost-aware: evict the lowest rebuild-cost-per-byte entry, using the
+/// recorded fill time).
+inline constexpr char kCachePolicy[] = "m3r.cache.policy";
+/// ReStore-style cross-job output reuse: "off" (default) or "exact" — a
+/// submitted job whose lineage signature (inputs + conf digest + user
+/// class identity) matches a live cached output is served from the cache,
+/// skipping map/reduce entirely (REUSED_FROM_CACHE counter).
+inline constexpr char kCacheReuse[] = "m3r.cache.reuse";
 /// Deterministic seed shared by the fault injector and retry jitter.
 inline constexpr char kFaultSeed[] = "m3r.fault.seed";
 }  // namespace conf

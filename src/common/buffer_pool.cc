@@ -1,5 +1,6 @@
 #include "common/buffer_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace m3r {
@@ -12,6 +13,7 @@ std::string BufferPool::Acquire(const std::string& category) {
   if (!cat.free.empty()) {
     buffer = std::move(cat.free.back());
     cat.free.pop_back();
+    resident_bytes_ -= std::min<uint64_t>(resident_bytes_, buffer.capacity());
     ++reused_;
   }
   buffer.clear();
@@ -28,7 +30,19 @@ void BufferPool::Release(const std::string& category, std::string buffer) {
     return;  // drop: destructor frees it
   }
   buffer.clear();
+  resident_bytes_ += buffer.capacity();
   cat.free.push_back(std::move(buffer));
+}
+
+uint64_t BufferPool::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  categories_.clear();
+  resident_bytes_ = 0;
 }
 
 size_t BufferPool::SizeHint(const std::string& category) const {

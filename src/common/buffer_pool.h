@@ -36,6 +36,17 @@ class BufferPool {
   void ObserveCount(const std::string& category, size_t count);
   size_t CountHint(const std::string& category) const;
 
+  /// Total capacity currently retained on the freelists — the bytes the
+  /// pool pins between jobs. Exposed as a polled gauge to the memory
+  /// governor ("shuffle.pool" consumer).
+  uint64_t ResidentBytes() const;
+
+  /// Frees every retained buffer and resets all size/count hints. Called
+  /// when a job is cancelled mid-shuffle: the hints a torn-down exchange
+  /// decayed into the pool describe a job that never finished, and holding
+  /// its buffers until the next job would pin memory for no one.
+  void Trim();
+
   uint64_t acquired() const;
   /// Acquires that were satisfied by a recycled buffer.
   uint64_t reused() const;
@@ -62,6 +73,8 @@ class BufferPool {
   std::map<std::string, Category, std::less<>> categories_;
   uint64_t acquired_ = 0;
   uint64_t reused_ = 0;
+  /// Sum of freelist capacities, maintained on Acquire/Release/Trim.
+  uint64_t resident_bytes_ = 0;
 };
 
 }  // namespace m3r

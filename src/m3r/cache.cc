@@ -34,7 +34,14 @@ uint32_t Cache::ContentCrc(const kvstore::KVSeq& pairs,
 }
 
 Status Cache::PutBlock(const std::string& path, const std::string& block_name,
-                       int place, kvstore::KVSeq pairs, uint64_t bytes) {
+                       int place, kvstore::KVSeq pairs, uint64_t bytes,
+                       double fill_seconds, bool droppable) {
+  memgov::CacheManager* mgr = manager();
+  if (mgr != nullptr && !mgr->AdmitFill(path, bytes, /*required=*/!droppable)) {
+    // Silent bypass: the block stays uncached and a future job re-reads it
+    // from the DFS. Only droppable fills can land here.
+    return Status::OK();
+  }
   kvstore::BlockInfo info;
   info.name = block_name;
   info.place = place;
@@ -50,7 +57,9 @@ Status Cache::PutBlock(const std::string& path, const std::string& block_name,
   M3R_ASSIGN_OR_RETURN(std::unique_ptr<kvstore::KVStore::Writer> writer,
                        store_.CreateWriter(path, std::move(info)));
   writer->AppendSeq(pairs);
-  return writer->Close();
+  M3R_RETURN_NOT_OK(writer->Close());
+  if (mgr != nullptr) mgr->OnFill(path, bytes, fill_seconds);
+  return Status::OK();
 }
 
 Status Cache::CheckBlock(const std::string& path, const Block& block) {
@@ -93,6 +102,7 @@ Status Cache::CheckBlock(const std::string& path, const Block& block) {
   // bad copy can never be served again. Job-level retry re-reads the
   // backing file from the DFS.
   (void)store_.DeleteRecursive(path);
+  if (memgov::CacheManager* mgr = manager()) mgr->OnDelete(path);
   return Status::DataLoss("cache block checksum mismatch: " + key);
 }
 
@@ -108,6 +118,7 @@ std::optional<Cache::Block> Cache::GetBlock(const std::string& path,
       b.info = bi;
       b.pairs = seq_or.take();
       b.bytes = bi.bytes;
+      if (memgov::CacheManager* mgr = manager()) mgr->OnAccess(path);
       return b;
     }
   }
@@ -125,7 +136,26 @@ Result<std::vector<Cache::Block>> Cache::GetFileBlocks(
     b.bytes = info.bytes;
     out.push_back(std::move(b));
   }
+  if (!out.empty()) {
+    if (memgov::CacheManager* mgr = manager()) mgr->OnAccess(path);
+  }
   return out;
+}
+
+Status Cache::Delete(const std::string& path) {
+  Status s = store_.DeleteRecursive(path);
+  if (s.ok()) {
+    if (memgov::CacheManager* mgr = manager()) mgr->OnDelete(path);
+  }
+  return s;
+}
+
+Status Cache::Rename(const std::string& src, const std::string& dst) {
+  Status s = store_.Rename(src, dst);
+  if (s.ok()) {
+    if (memgov::CacheManager* mgr = manager()) mgr->OnRename(src, dst);
+  }
+  return s;
 }
 
 bool Cache::ContainsFile(const std::string& path) {

@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "api/input_format.h"
 #include "api/job_conf.h"
 #include "common/integrity.h"
 #include "common/status.h"
 #include "kvstore/kv_store.h"
+#include "memgov/cache_manager.h"
 
 namespace m3r::engine {
 
@@ -49,8 +52,27 @@ class Cache {
   /// estimate used for synthetic FileStatus lengths. Under an installed
   /// integrity context the block is stamped with a CRC32C content
   /// fingerprint at fill.
+  ///
+  /// Under an attached CacheManager the fill is first submitted for
+  /// admission: `droppable` fills (DFS-backed input blocks a future job
+  /// could re-read) may be silently bypassed when the memory budget cannot
+  /// be reclaimed, while required fills (cache-only outputs, checkpoint
+  /// heals) are always admitted. `fill_seconds` is the measured cost of
+  /// producing the block, feeding the cost-aware eviction policy.
   Status PutBlock(const std::string& path, const std::string& block_name,
-                  int place, kvstore::KVSeq pairs, uint64_t bytes);
+                  int place, kvstore::KVSeq pairs, uint64_t bytes,
+                  double fill_seconds = 0.0, bool droppable = false);
+
+  /// Attaches (or detaches, with nullptr) the memory-governance manager.
+  /// The cache reports every fill/serve/delete/rename so the manager's
+  /// entry table tracks residency exactly; the manager in turn gates
+  /// admission in PutBlock. Not owned.
+  void SetManager(memgov::CacheManager* manager) {
+    manager_.store(manager, std::memory_order_release);
+  }
+  memgov::CacheManager* manager() const {
+    return manager_.load(std::memory_order_acquire);
+  }
 
   /// Installs (or clears) the per-job integrity context, like the file
   /// system's SetIntegrity: PutBlock stamps under it, CheckBlock verifies.
@@ -85,12 +107,8 @@ class Cache {
   /// Total estimated serialized bytes of all blocks of `path`.
   uint64_t FileBytes(const std::string& path);
 
-  Status Delete(const std::string& path) {
-    return store_.DeleteRecursive(path);
-  }
-  Status Rename(const std::string& src, const std::string& dst) {
-    return store_.Rename(src, dst);
-  }
+  Status Delete(const std::string& path);
+  Status Rename(const std::string& src, const std::string& dst);
 
   /// Files (not directories) cached under directory `dir`.
   std::vector<std::string> FilesUnder(const std::string& dir);
@@ -124,6 +142,7 @@ class Cache {
   kvstore::KVStore store_;
   std::mutex integrity_mu_;
   std::shared_ptr<IntegrityContext> integrity_;
+  std::atomic<memgov::CacheManager*> manager_{nullptr};
 };
 
 }  // namespace m3r::engine

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -20,8 +21,10 @@
 #include "common/fault_injector.h"
 #include "common/integrity.h"
 #include "common/logging.h"
+#include "common/path.h"
 #include "common/stopwatch.h"
 #include "m3r/shuffle.h"
+#include "memgov/lineage.h"
 #include "sim/timeline.h"
 #include "x10rt/channel.h"
 
@@ -374,7 +377,9 @@ class M3RNamedOutputSink : public api::NamedOutputSink {
         *dfs_bytes += e.writer->BytesWritten();
       }
       M3R_RETURN_NOT_OK(cache_->PutBlock(e.path, "0", place_,
-                                         std::move(e.seq), e.bytes));
+                                         std::move(e.seq), e.bytes,
+                                         /*fill_seconds=*/0.0,
+                                         /*droppable=*/!temporary_));
     }
     entries_.clear();
     return Status::OK();
@@ -433,9 +438,32 @@ M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
       cost_(options_.cluster),
       cache_(options_.cluster.num_nodes),
       fs_(std::make_shared<M3RFileSystem>(base_fs_, &cache_)),
-      places_(options_.cluster.num_nodes, options_.host_threads) {}
+      places_(options_.cluster.num_nodes, options_.host_threads) {
+  memgov::CacheManager::Hooks hooks;
+  hooks.spill = [this](const std::string& path) {
+    return SpillFileToCheckpoint(path);
+  };
+  // Cache::Delete notifies the manager's OnDelete, closing the loop.
+  hooks.evict = [this](const std::string& path) { return cache_.Delete(path); };
+  hooks.has_backing = [this](const std::string& path) {
+    return base_fs_->Exists(path);
+  };
+  cache_manager_ =
+      std::make_unique<memgov::CacheManager>(&governor_, std::move(hooks));
+  cache_.SetManager(cache_manager_.get());
+  governor_.RegisterGauge("shuffle.pool",
+                          [this] { return buffer_pool_.ResidentBytes(); });
+  governor_.RegisterGauge("hashcombine", [this] {
+    int64_t v = hash_combine_bytes_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  });
+}
 
-M3REngine::~M3REngine() { WaitForCheckpoints(); }
+M3REngine::~M3REngine() {
+  WaitForCheckpoints();
+  cache_.SetManager(nullptr);
+  cache_manager_.reset();  // joins the background evictor
+}
 
 void M3REngine::WaitForCheckpoints() {
   std::vector<std::thread> threads;
@@ -485,11 +513,28 @@ void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
   if (by_dir.empty()) return;
   auto base = base_fs_;
   serialize::DedupMode mode = options_.dedup_mode;
-  std::thread worker([base, mode, snap = std::move(by_dir)]() {
+  // Meter the snapshot the spill thread keeps alive ("checkpoint.queue"
+  // consumer): the shared_ptr'd pair sequences pin their memory until the
+  // spill lands, which the governor must see.
+  uint64_t queued_bytes = 0;
+  for (const auto& [dir, group] : by_dir) {
+    for (const FileSnap& file : group) {
+      for (const Cache::Block& block : file.blocks) queued_bytes += block.bytes;
+    }
+  }
+  governor_.AddUsage("checkpoint.queue", static_cast<int64_t>(queued_bytes));
+  // Under governance, eviction spills share the checkpoint directories and
+  // must survive this thread's stale-spill cleanup: skip the pre-delete
+  // and overwrite in place instead.
+  const bool clean_stale = !governor_.governed();
+  std::thread worker([this, base, mode, clean_stale, queued_bytes,
+                      snap = std::move(by_dir)]() {
     for (const auto& [dir, group] : snap) {
       const std::string cdir =
           std::string(kCheckpointRoot) + (dir == "/" ? "" : dir);
-      base->Delete(cdir, true);  // stale spill from an earlier job sequence
+      if (clean_stale) {
+        base->Delete(cdir, true);  // stale spill from an earlier sequence
+      }
       bool all_ok = true;
       for (const FileSnap& file : group) {
         std::string name = file.path.substr(file.path.find_last_of('/') + 1);
@@ -526,9 +571,54 @@ void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
         }
       }
     }
+    governor_.AddUsage("checkpoint.queue",
+                       -static_cast<int64_t>(queued_bytes));
   });
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   ckpt_threads_.push_back(std::move(worker));
+}
+
+Status M3REngine::SpillFileToCheckpoint(const std::string& path) {
+  M3R_ASSIGN_OR_RETURN(std::vector<Cache::Block> blocks,
+                       cache_.GetFileBlocks(path));
+  if (blocks.empty()) return Status::NotFound("nothing cached: " + path);
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == 0 ? "/" : path.substr(0, slash);
+  const std::string name = path.substr(slash + 1);
+  const std::string cdir =
+      std::string(kCheckpointRoot) + (dir == "/" ? "" : dir);
+  for (const Cache::Block& block : blocks) {
+    x10rt::Channel ch(options_.dedup_mode);
+    for (const auto& [k, v] : *block.pairs) {
+      ch.Send(k);
+      ch.Send(v);
+    }
+    x10rt::Channel::Wire wire = ch.Finish();
+    std::string content = std::to_string(block.info.place) + " " +
+                          std::to_string(block.bytes) + " " +
+                          std::to_string(crc32c::Crc32c(wire.bytes)) + "\n";
+    content += wire.bytes;
+    M3R_RETURN_NOT_OK(base_fs_->WriteFile(
+        cdir + "/" + name + ".blk." + block.info.name, content));
+  }
+  // The file's spill is complete; (re)commit the directory so heals see it.
+  return base_fs_->WriteFile(cdir + "/_DONE", "1\n");
+}
+
+uint64_t M3REngine::InputVersion(const std::string& path) {
+  auto status_or = fs_->GetFileStatus(path);
+  if (!status_or.ok()) return 0;
+  if (!status_or->is_directory) {
+    return status_or->length * 1000003u +
+           static_cast<uint64_t>(status_or->mtime);
+  }
+  uint64_t version = 0;
+  auto list_or = fs_->ListStatus(path);
+  if (!list_or.ok()) return 0;
+  for (const dfs::FileStatus& e : *list_or) {
+    version = version * 31 + InputVersion(e.path);
+  }
+  return version;
 }
 
 Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
@@ -611,6 +701,7 @@ Result<int> M3REngine::PrepopulateCache(const api::JobConf& conf) {
       return;
     }
     auto reader = reader_or.take();
+    Stopwatch fill_sw;
     KVSeq seq;
     for (;;) {
       WritablePtr k = reader->CreateKey();
@@ -630,7 +721,9 @@ Result<int> M3REngine::PrepopulateCache(const api::JobConf& conf) {
       place = static_cast<int>(i) % places_.NumPlaces();
     }
     statuses[i] = cache_.PutBlock(*name, Cache::BlockNameForSplit(split),
-                                  place, std::move(seq), split.GetLength());
+                                  place, std::move(seq), split.GetLength(),
+                                  fill_sw.ElapsedSeconds(),
+                                  /*droppable=*/true);
     if (statuses[i].ok()) ++loaded;
   });
   for (auto& st : statuses) {
@@ -639,7 +732,19 @@ Result<int> M3REngine::PrepopulateCache(const api::JobConf& conf) {
   return loaded.load();
 }
 
-api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
+api::JobResult M3REngine::Submit(const api::JobConf& conf) {
+  api::JobResult result = SubmitImpl(conf);
+  if (result.status.code() == StatusCode::kCancelled) {
+    // The shuffle exchange died with SubmitImpl's scope and returned its
+    // lane buffers to the pool — but a cancelled job's decayed size hints
+    // describe work that never finished, and would pin that memory until
+    // the next job. Drop the retained buffers outright.
+    buffer_pool_.Trim();
+  }
+  return result;
+}
+
+api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   // Local copy: distributed-cache contents are installed into the
   // configuration tasks see. M3R localizes through its own FS view, so
   // cache-resident (temporary) side files work too; places are long-lived
@@ -671,6 +776,34 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         ckpt_policy));
   }
 
+  // --- Memory governance (DESIGN.md §11): re-read per submission so a job
+  // sequence can tighten or lift the budget between jobs. ---
+  governor_.SetBudget(static_cast<uint64_t>(std::max<int64_t>(
+                          0, conf.GetInt(api::conf::kMemoryBudgetMb, 0)))
+                      << 20);
+  for (const auto& [key, value] : conf.raw()) {
+    if (key.rfind(api::conf::kMemorySharePrefix, 0) == 0) {
+      governor_.SetShare(
+          key.substr(std::string_view(api::conf::kMemorySharePrefix).size()),
+          conf.GetDouble(key, 1.0));
+    }
+  }
+  memgov::EvictionPolicy cache_policy;
+  {
+    const std::string policy_name = conf.Get(api::conf::kCachePolicy, "lru");
+    Status st = memgov::ParseEvictionPolicy(policy_name, &cache_policy);
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  cache_manager_->Configure(
+      cache_policy, conf.GetDouble(api::conf::kMemoryHighWatermark, 0.90),
+      conf.GetDouble(api::conf::kMemoryLowWatermark, 0.75));
+  const std::string reuse_mode = conf.Get(api::conf::kCacheReuse, "off");
+  if (reuse_mode != "off" && reuse_mode != "exact") {
+    return Fail(Status::InvalidArgument(
+        std::string("bad ") + api::conf::kCacheReuse + ": " + reuse_mode));
+  }
+  governor_.ResetPeak();
+
   // Per-job fault injection (tests and resilience drills): faults at the
   // DFS sites fire through the base file system; the injector is cleared
   // when Submit leaves, whatever the exit path.
@@ -693,6 +826,132 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   base_fs_->SetFaultInjector(fault);
   base_fs_->SetIntegrity(integrity);
   cache_.SetIntegrity(integrity);
+
+  // Pin the job's input and output subtrees for the duration of the
+  // submission: the background evictor must never spill the data a running
+  // job is mapping over or publishing (pins also shield the reuse registry
+  // entries rooted under them).
+  struct PinGuard {
+    memgov::CacheManager* mgr;
+    std::vector<std::string> paths;
+    void Add(const std::string& p) {
+      mgr->Pin(p);
+      paths.push_back(p);
+    }
+    void ReleaseAll() {
+      for (const std::string& p : paths) mgr->Unpin(p);
+      paths.clear();
+    }
+    ~PinGuard() { ReleaseAll(); }
+  } pins{cache_manager_.get(), {}};
+  for (const std::string& in : conf.InputPaths()) {
+    pins.Add(path::Canonicalize(in));
+  }
+  if (!conf.OutputPath().empty()) {
+    pins.Add(path::Canonicalize(conf.OutputPath()));
+  }
+
+  // Memory-governance counter baseline: deltas against the engine-lifetime
+  // cache-manager counters become this job's counters/metrics.
+  const memgov::CacheManager::Counters mg0 = cache_manager_->counters();
+  std::mutex memgov_sync_mu;
+  auto sync_memgov = [&]() {
+    const memgov::CacheManager::Counters now = cache_manager_->counters();
+    std::lock_guard<std::mutex> lock(memgov_sync_mu);
+    auto set_to = [&](const char* name, int64_t target) {
+      result.counters.Increment(
+          api::counters::kM3rGroup, name,
+          target - result.counters.Get(api::counters::kM3rGroup, name));
+    };
+    set_to(api::counters::kCacheEvictions,
+           static_cast<int64_t>(now.evictions - mg0.evictions));
+    set_to(api::counters::kCacheEvictedBytes,
+           static_cast<int64_t>(now.evicted_bytes - mg0.evicted_bytes));
+    set_to(api::counters::kCacheRejectedFills,
+           static_cast<int64_t>(now.rejected_fills - mg0.rejected_fills));
+    set_to(api::counters::kCacheBytesResident,
+           static_cast<int64_t>(cache_manager_->ResidentBytes()));
+  };
+  auto record_memgov = [&]() {
+    sync_memgov();
+    const memgov::CacheManager::Counters now = cache_manager_->counters();
+    result.metrics["cache_bytes_resident"] =
+        static_cast<int64_t>(cache_manager_->ResidentBytes());
+    result.metrics["cache_evictions"] =
+        static_cast<int64_t>(now.evictions - mg0.evictions);
+    result.metrics["cache_evicted_bytes"] =
+        static_cast<int64_t>(now.evicted_bytes - mg0.evicted_bytes);
+    result.metrics["cache_spilled_evictions"] =
+        static_cast<int64_t>(now.spilled_evictions - mg0.spilled_evictions);
+    result.metrics["cache_rejected_fills"] =
+        static_cast<int64_t>(now.rejected_fills - mg0.rejected_fills);
+    result.metrics["cache_forced_fills"] =
+        static_cast<int64_t>(now.forced_fills - mg0.forced_fills);
+    if (governor_.governed()) {
+      result.metrics["memory_budget_bytes"] =
+          static_cast<int64_t>(governor_.budget());
+      result.metrics["memory_peak_bytes"] =
+          static_cast<int64_t>(governor_.PeakUsage());
+    }
+  };
+
+  // --- ReStore-style cross-job output reuse (m3r.cache.reuse=exact): a job
+  // whose lineage signature — inputs (+ content versions), configuration
+  // minus volatile keys, mapper/reducer/combiner identity — matches a
+  // previously registered output short-circuits to that output, skipping
+  // the map and reduce phases entirely. ---
+  std::string lineage_sig;
+  if (options_.enable_cache && reuse_mode == "exact") {
+    lineage_sig = memgov::LineageSignature(
+        conf, [this](const std::string& p) { return InputVersion(p); });
+    const std::string out = path::Canonicalize(conf.OutputPath());
+    if (auto src = cache_manager_->LookupReuse(lineage_sig)) {
+      bool served = false;
+      if (*src == out) {
+        // Identical output path: the cached output is already in place.
+        served = true;
+      } else if (temporary && !fs_->Exists(out)) {
+        // Same lineage under a new temporary name: clone the registered
+        // output's cached blocks to the new path.
+        served = true;
+        for (const std::string& f : cache_.FilesUnder(*src)) {
+          auto blocks_or = cache_.GetFileBlocks(f);
+          if (!blocks_or.ok()) {
+            served = false;
+            break;
+          }
+          const std::string dst = out + f.substr(src->size());
+          for (const auto& b : *blocks_or) {
+            if (b.pairs == nullptr) continue;
+            Status st = cache_.PutBlock(dst, b.info.name, b.info.place,
+                                        *b.pairs, b.bytes);
+            if (!st.ok()) {
+              M3R_LOG(Warn) << "reuse clone of " << f
+                            << " failed: " << st.ToString();
+              served = false;
+              break;
+            }
+          }
+          if (!served) break;
+        }
+        if (!served) cache_.Delete(out);
+      }
+      if (served) {
+        result.metrics["reused_from_cache"] = 1;
+        result.counters.Increment(api::counters::kM3rGroup,
+                                  api::counters::kReusedFromCache, 1);
+        double t0 = spec.m3r_job_overhead_s;
+        result.time_breakdown["job_overhead"] = t0;
+        result.sim_seconds = t0;
+        result.wall_seconds = wall.ElapsedSeconds();
+        result.status = Status::OK();
+        record_memgov();
+        ReportProgress(conf, 1.0, &result.counters);
+        NotifyJobEnd(conf, result);
+        return result;
+      }
+    }
+  }
 
   auto output_format = api::MakeOutputFormat(conf);
   if (!temporary) {
@@ -730,6 +989,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         result.sim_seconds = t0 + restore;
         result.wall_seconds = wall.ElapsedSeconds();
         result.status = Status::OK();
+        record_memgov();
         ReportProgress(conf, 1.0, &result.counters);
         NotifyJobEnd(conf, result);
         return result;
@@ -762,6 +1022,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
       result.metrics["injected_faults"] = fault->InjectedCount();
     }
     record_integrity();
+    record_memgov();
     result.status = std::move(status);
     result.wall_seconds = wall.ElapsedSeconds();
     NotifyJobEnd(conf, result);
@@ -769,8 +1030,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   };
 
   // Heal checkpointed temporary inputs whose cached blocks are gone (a
-  // fresh instance, or a place crash evicted part of a file).
-  if (ckpt_policy != "off") {
+  // fresh instance, a place crash evicted part of a file — or the memory
+  // governor spilled it, which lands in the same checkpoint layout even
+  // with checkpointing otherwise off).
+  if (ckpt_policy != "off" || governor_.governed()) {
     for (const std::string& in : conf.InputPaths()) {
       Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
                                            nullptr, nullptr, integrity.get());
@@ -845,6 +1108,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
   result.metrics["map_tasks"] = static_cast<int64_t>(tasks.size());
   result.metrics["cache_hit_splits"] = cache_hits;
   result.metrics["cache_miss_splits"] = cache_misses;
+  // Mirror the split-level outcome into the cache manager so its counters
+  // (the policy-comparison view) agree with the job counters.
+  for (int64_t i = 0; i < cache_hits; ++i) cache_manager_->RecordHit();
+  for (int64_t i = 0; i < cache_misses; ++i) cache_manager_->RecordMiss();
   result.counters.Increment(api::counters::kM3rGroup,
                             api::counters::kCacheHits, cache_hits);
   result.counters.Increment(api::counters::kM3rGroup,
@@ -882,6 +1149,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
 
   // --- Map phase (places run in parallel; each place fans its tasks out
   // over `workers` strands of the shared executor) ---
+  sync_memgov();
   ReportProgress(conf, 0.05, &result.counters);
   std::atomic<size_t> map_tasks_done{0};
   std::atomic<bool> map_aborted{false};
@@ -900,6 +1168,10 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     int64_t evicted = cache_.store().EvictPlace(place);
     M3R_LOG(Warn) << "injected crash of place " << place << ": evicted "
                   << evicted << " cache blocks";
+    // EvictPlace bypasses the manager's per-file notifications; re-derive
+    // the entry table and resident bytes from what actually survived.
+    cache_manager_->Reconcile(
+        [this](const std::string& p) { return cache_.FileBytes(p); });
     std::lock_guard<std::mutex> lock(crash_mu);
     if (crash_status.ok()) crash_status = std::move(st);
     evicted_blocks += evicted;
@@ -949,6 +1221,7 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         if (!t.status.ok()) return;
         pairs = block->pairs;
       } else {
+        Stopwatch fill_sw;
         auto reader_or = api::MakeInputFormat(tconf)->GetRecordReader(
             *base_split, tconf, *fs_);
         if (!reader_or.ok()) {
@@ -966,8 +1239,12 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
         reader->Close();
         auto owned = std::make_shared<const KVSeq>(std::move(seq));
         if (options_.enable_cache && t.cache_path) {
+          // Droppable: the split is DFS-backed, so a budget-constrained
+          // admission may bypass the cache and the next job re-reads it.
           t.status = cache_.PutBlock(*t.cache_path, t.block_name, place,
-                                     *owned, t.input_bytes);
+                                     *owned, t.input_bytes,
+                                     fill_sw.ElapsedSeconds(),
+                                     /*droppable=*/true);
           if (!t.status.ok()) return;
         }
         pairs = owned;
@@ -1036,12 +1313,14 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
               conf, static_cast<int>(i));
           OutputSeqCollector* c = &collector;
           t.status = cache_.PutBlock(out_file, "0", place, c->TakeSeq(),
-                                     c->bytes());
+                                     c->bytes(), sw.ElapsedSeconds(),
+                                     /*droppable=*/!temporary);
           if (!t.status.ok()) return;
         }
       }
       t.cpu_seconds = sw.ElapsedSeconds();
       size_t done = ++map_tasks_done;
+      sync_memgov();
       ReportProgress(conf,
                      0.05 + 0.55 * static_cast<double>(done) /
                                 static_cast<double>(std::max<size_t>(
@@ -1081,7 +1360,8 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
             &shuffle, lane_partitioner.get(), place, static_cast<int>(s),
             num_reduce, /*immutable=*/true, lane_reporter.get());
         lane_hasher = std::make_unique<api::HashCombineCollector>(
-            conf, lane_sink.get(), lane_reporter.get());
+            conf, lane_sink.get(), lane_reporter.get(),
+            &hash_combine_bytes_);
       }
       for (size_t j = s; j < mine.size();
            j += static_cast<size_t>(strands)) {
@@ -1331,7 +1611,8 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
           std::string out_file = api::file_output::FinalPath(conf, p);
           rr.status = cache_.PutBlock(out_file, "0", place,
                                       collector.TakeSeq(),
-                                      collector.bytes());
+                                      collector.bytes(), sw.ElapsedSeconds(),
+                                      /*droppable=*/!temporary);
           if (!rr.status.ok()) return;
         }
         rr.cpu_seconds += std::max(0.0, sw.ElapsedSeconds() - sort_caller);
@@ -1422,6 +1703,23 @@ api::JobResult M3REngine::Submit(const api::JobConf& submitted_conf) {
     result.time_breakdown["integrity"] = integrity_s;
     total += integrity_s;
   }
+
+  // Register the finished output for cross-job reuse: a later submission
+  // with the same lineage signature short-circuits to these cached files.
+  if (!lineage_sig.empty() && options_.enable_cache) {
+    const std::string out = path::Canonicalize(conf.OutputPath());
+    std::vector<std::string> out_files = cache_.FilesUnder(out);
+    if (!out_files.empty()) {
+      cache_manager_->RegisterReuse(lineage_sig, out, out_files);
+    }
+  }
+  // Settle the budget before declaring success: the job is done, so its
+  // pins come off and anything admitted above the cache's share is evicted
+  // (spilling through the checkpoint path) — steady-state residency honors
+  // the configured budget between jobs.
+  pins.ReleaseAll();
+  if (governor_.governed()) cache_manager_->EvictToBudget();
+  record_memgov();
 
   result.time_breakdown["job_overhead"] = t0;
   // Both paths end on one Team barrier; attribute it explicitly so the

@@ -1,6 +1,7 @@
 #ifndef M3R_M3R_M3R_ENGINE_H_
 #define M3R_M3R_M3R_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,8 @@
 #include "dfs/file_system.h"
 #include "m3r/cache.h"
 #include "m3r/cache_fs.h"
+#include "memgov/cache_manager.h"
+#include "memgov/memory_governor.h"
 #include "serialize/dedup.h"
 #include "sim/cost_model.h"
 #include "x10rt/place_group.h"
@@ -80,6 +83,14 @@ class M3REngine : public api::Engine {
   int NumPlaces() const { return places_.NumPlaces(); }
   const M3REngineOptions& options() const { return options_; }
 
+  /// Memory governance (src/memgov): the per-engine governor metering the
+  /// cache, shuffle buffer pool, hash-combine tables, and checkpoint spill
+  /// queue, and the cache manager fronting eviction/pinning/reuse. The
+  /// budget and policy knobs (m3r.memory.*, m3r.cache.*) are re-read from
+  /// each submitted job's configuration.
+  memgov::MemoryGovernor& governor() { return governor_; }
+  memgov::CacheManager& cache_manager() { return *cache_manager_; }
+
   /// One-time instance spin-up cost (charged on construction, reported
   /// separately from per-job times, as the paper's measurements do).
   double InstanceStartSeconds() const {
@@ -94,6 +105,11 @@ class M3REngine : public api::Engine {
 
  private:
   struct TaskPlan;
+
+  /// Submit minus the cross-cutting teardown the wrapper owns (buffer-pool
+  /// trim after a cancelled job, once the shuffle exchange has released
+  /// its lanes back to the pool).
+  api::JobResult SubmitImpl(const api::JobConf& conf);
 
   /// Every cached file with no DFS backing (temporary outputs, named
   /// outputs under temp paths) — the "all" checkpoint policy's spill set.
@@ -110,6 +126,15 @@ class M3REngine : public api::Engine {
   /// Snapshots the named files' blocks and spills them on a background
   /// thread, directory by directory, committing each with a _DONE marker.
   void ScheduleCheckpoint(std::vector<std::string> files);
+  /// Synchronous single-file spill through the checkpoint path — the cache
+  /// manager's eviction hook for files with no DFS backing. Unlike
+  /// ScheduleCheckpoint it never pre-cleans the checkpoint directory
+  /// (sibling files' spills must survive) and refreshes the _DONE marker
+  /// itself.
+  Status SpillFileToCheckpoint(const std::string& path);
+  /// Weak content version of an input path for the lineage signature:
+  /// total bytes + modification stamps under the union (cache + DFS) view.
+  uint64_t InputVersion(const std::string& path);
 
   std::shared_ptr<dfs::FileSystem> base_fs_;
   M3REngineOptions options_;
@@ -122,6 +147,13 @@ class M3REngine : public api::Engine {
   /// stops paying allocator round trips and re-reserves capacity sized
   /// from the previous job.
   BufferPool buffer_pool_;
+  /// Live bytes across every worker lane's hash-combine table, polled by
+  /// the governor as the "hashcombine" consumer.
+  std::atomic<int64_t> hash_combine_bytes_{0};
+  memgov::MemoryGovernor governor_;
+  /// Declared after every subsystem its hooks touch (cache_, base_fs_):
+  /// reverse destruction order joins its background evictor first.
+  std::unique_ptr<memgov::CacheManager> cache_manager_;
   int job_counter_ = 0;
   int round_robin_ = 0;
   std::mutex ckpt_mu_;

@@ -1,0 +1,442 @@
+#include "memgov/cache_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace m3r::memgov {
+namespace {
+
+bool InSubtree(const std::string& path, const std::string& root) {
+  if (path == root) return true;
+  return path.size() > root.size() + 1 && path.starts_with(root) &&
+         path[root.size()] == '/';
+}
+
+}  // namespace
+
+Status ParseEvictionPolicy(const std::string& name, EvictionPolicy* out) {
+  if (name.empty() || name == "lru") {
+    *out = EvictionPolicy::kLru;
+  } else if (name == "lfu") {
+    *out = EvictionPolicy::kLfu;
+  } else if (name == "cost") {
+    *out = EvictionPolicy::kCost;
+  } else {
+    return Status::InvalidArgument("unknown m3r.cache.policy: " + name +
+                                   " (expected lru|lfu|cost)");
+  }
+  return Status::OK();
+}
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kLfu:
+      return "lfu";
+    case EvictionPolicy::kCost:
+      return "cost";
+  }
+  return "lru";
+}
+
+CacheManager::CacheManager(MemoryGovernor* governor, Hooks hooks)
+    : governor_(governor), hooks_(std::move(hooks)) {
+  background_ = std::thread([this] { BackgroundLoop(); });
+}
+
+CacheManager::~CacheManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  evict_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+}
+
+void CacheManager::Configure(EvictionPolicy policy, double high_watermark,
+                             double low_watermark) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy_ = policy;
+    high_watermark_ = std::clamp(high_watermark, 0.0, 1.0);
+    low_watermark_ = std::clamp(low_watermark, 0.0, high_watermark_);
+  }
+  // A lower watermark may put the cache over the trigger retroactively.
+  evict_cv_.notify_one();
+}
+
+EvictionPolicy CacheManager::policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_;
+}
+
+void CacheManager::Bump(uint64_t Counters::* field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.*field += 1;
+}
+
+bool CacheManager::PinnedLocked(const std::string& path) const {
+  for (const auto& [pin, count] : pins_) {
+    if (count > 0 && InSubtree(path, pin)) return true;
+  }
+  return false;
+}
+
+uint64_t CacheManager::OverageLocked(uint64_t add_bytes) const {
+  uint64_t budget = governor_->budget();
+  if (budget == 0) return 0;
+  uint64_t overage = 0;
+  uint64_t cache_budget = governor_->ConsumerBudget(kConsumer);
+  if (resident_bytes_ + add_bytes > cache_budget) {
+    overage = resident_bytes_ + add_bytes - cache_budget;
+  }
+  // The total budget also binds: shrinking the cache is the only lever the
+  // governor has, so pressure from other consumers lands here too.
+  uint64_t total = governor_->TotalUsage();
+  if (total + add_bytes > budget) {
+    overage = std::max(overage, total + add_bytes - budget);
+  }
+  return std::min(overage, resident_bytes_);
+}
+
+std::string CacheManager::PickVictimLocked(
+    const std::vector<std::string>& skip) const {
+  std::string best;
+  const Entry* best_entry = nullptr;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.evicting || entry.bytes == 0) continue;
+    if (std::find(skip.begin(), skip.end(), path) != skip.end()) continue;
+    if (PinnedLocked(path)) continue;
+    if (best_entry == nullptr) {
+      best = path;
+      best_entry = &entry;
+      continue;
+    }
+    bool better = false;
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        better = entry.last_tick < best_entry->last_tick;
+        break;
+      case EvictionPolicy::kLfu:
+        better = entry.access_count < best_entry->access_count ||
+                 (entry.access_count == best_entry->access_count &&
+                  entry.last_tick < best_entry->last_tick);
+        break;
+      case EvictionPolicy::kCost: {
+        // Value density: seconds of rebuild work protected per byte held.
+        double lhs = entry.fill_seconds / static_cast<double>(entry.bytes);
+        double rhs = best_entry->fill_seconds /
+                     static_cast<double>(best_entry->bytes);
+        better = lhs < rhs || (lhs == rhs &&
+                               entry.last_tick < best_entry->last_tick);
+        break;
+      }
+    }
+    if (better) {
+      best = path;
+      best_entry = &entry;
+    }
+  }
+  return best;
+}
+
+bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
+  std::string victim;
+  uint64_t victim_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victim = PickVictimLocked(*skip);
+    if (victim.empty()) return false;
+    Entry& e = entries_[victim];
+    e.evicting = true;
+    victim_bytes = e.bytes;
+  }
+  // Hooks run unlocked: spill reads cache blocks (which notifies OnAccess)
+  // and evict deletes them (which notifies OnDelete) — both re-enter mu_.
+  bool need_spill =
+      hooks_.has_backing ? !hooks_.has_backing(victim) : false;
+  if (need_spill) {
+    Status spilled =
+        hooks_.spill ? hooks_.spill(victim)
+                     : Status::FailedPrecondition("no spill hook");
+    if (!spilled.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(victim);
+        if (it != entries_.end()) it->second.evicting = false;
+        skip->push_back(victim);  // unevictable this round, try the next one
+      }
+      evict_done_cv_.notify_all();
+      return true;
+    }
+  }
+  if (hooks_.evict) (void)hooks_.evict(victim);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Normally the evict hook already notified OnDelete; clean up directly
+    // in case it did not (e.g. no hook wired in a unit test).
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      uint64_t bytes = std::min(it->second.bytes, resident_bytes_);
+      resident_bytes_ -= bytes;
+      governor_->AddUsage(kConsumer, -static_cast<int64_t>(bytes));
+      entries_.erase(it);
+      InvalidateReuseLocked(victim);
+    }
+    counters_.evictions += 1;
+    counters_.evicted_bytes += victim_bytes;
+    if (need_spill) counters_.spilled_evictions += 1;
+  }
+  evict_done_cv_.notify_all();
+  return true;
+}
+
+bool CacheManager::EvictUntilFits(uint64_t add_bytes) {
+  std::vector<std::string> skip;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (OverageLocked(add_bytes) == 0) return true;
+    }
+    if (EvictOneVictim(&skip)) continue;
+    // No victim is eligible right now. If another thread (typically the
+    // background evictor) has entries claimed mid-eviction, wait for it to
+    // finish and re-evaluate rather than under-reporting eviction capacity.
+    std::unique_lock<std::mutex> lock(mu_);
+    bool in_flight = false;
+    for (const auto& [path, entry] : entries_) {
+      if (entry.evicting) {
+        in_flight = true;
+        break;
+      }
+    }
+    if (!in_flight) return OverageLocked(add_bytes) == 0;
+    evict_done_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+bool CacheManager::AdmitFill(const std::string& path, uint64_t add_bytes,
+                             bool required) {
+  if (!governor_->governed()) return true;
+  {
+    // Growing an already-cached file in place (block-by-block fills) must
+    // not race its own eviction: a partially published file is treated as
+    // required for its remaining blocks.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(path) > 0) required = true;
+  }
+  if (add_bytes > governor_->ConsumerBudget(kConsumer)) {
+    // The fill alone exceeds the cache's whole share: evicting everyone
+    // else cannot make it fit, so don't churn the cache trying. Droppable
+    // fills bounce; required ones land over budget and the job-boundary
+    // sweep settles the excess.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (required) {
+      counters_.forced_fills += 1;
+      return true;
+    }
+    counters_.rejected_fills += 1;
+    return false;
+  }
+  if (EvictUntilFits(add_bytes)) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (required) {
+    counters_.forced_fills += 1;
+    return true;
+  }
+  counters_.rejected_fills += 1;
+  return false;
+}
+
+void CacheManager::OnFill(const std::string& path, uint64_t add_bytes,
+                          double fill_seconds) {
+  bool over_high = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[path];
+    e.bytes += add_bytes;
+    e.fill_seconds += fill_seconds;
+    e.last_tick = ++tick_;
+    resident_bytes_ += add_bytes;
+    governor_->AddUsage(kConsumer, static_cast<int64_t>(add_bytes));
+    uint64_t cache_budget = governor_->ConsumerBudget(kConsumer);
+    if (governor_->governed() &&
+        cache_budget != std::numeric_limits<uint64_t>::max()) {
+      over_high = static_cast<double>(resident_bytes_) >
+                  high_watermark_ * static_cast<double>(cache_budget);
+    }
+  }
+  if (over_high) evict_cv_.notify_one();
+}
+
+void CacheManager::OnAccess(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return;
+  it->second.access_count += 1;
+  it->second.last_tick = ++tick_;
+}
+
+void CacheManager::OnDelete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseSubtreeLocked(path);
+}
+
+void CacheManager::OnRename(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Entry>> moved;
+  for (auto it = entries_.lower_bound(src); it != entries_.end();) {
+    if (!InSubtree(it->first, src)) break;
+    std::string tail = it->first.substr(src.size());
+    moved.emplace_back(dst + tail, it->second);
+    it = entries_.erase(it);
+  }
+  for (auto& [path, entry] : moved) entries_[path] = std::move(entry);
+  InvalidateReuseLocked(src);
+}
+
+void CacheManager::Pin(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pins_[path] += 1;
+}
+
+void CacheManager::Unpin(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(path);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+bool CacheManager::IsPinned(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinnedLocked(path);
+}
+
+void CacheManager::RegisterReuse(const std::string& signature,
+                                 const std::string& output_dir,
+                                 std::vector<std::string> files) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reuse_[signature] = ReuseEntry{output_dir, std::move(files)};
+}
+
+std::optional<std::string> CacheManager::LookupReuse(
+    const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = reuse_.find(signature);
+  if (it == reuse_.end()) return std::nullopt;
+  for (const auto& file : it->second.files) {
+    auto e = entries_.find(file);
+    if (e == entries_.end() || e->second.evicting) {
+      reuse_.erase(it);  // stale: a constituent file was evicted
+      return std::nullopt;
+    }
+  }
+  counters_.reuse_hits += 1;
+  return it->second.output_dir;
+}
+
+void CacheManager::EvictToBudget() { (void)EvictUntilFits(0); }
+
+void CacheManager::Reconcile(
+    const std::function<uint64_t(const std::string&)>& bytes_of) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    uint64_t actual = bytes_of(it->first);
+    uint64_t tracked = it->second.bytes;
+    if (actual != tracked) {
+      int64_t delta =
+          static_cast<int64_t>(actual) - static_cast<int64_t>(tracked);
+      governor_->AddUsage(kConsumer, delta);
+      resident_bytes_ = static_cast<uint64_t>(
+          std::max<int64_t>(0, static_cast<int64_t>(resident_bytes_) + delta));
+      it->second.bytes = actual;
+    }
+    if (actual == 0) {
+      InvalidateReuseLocked(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t CacheManager::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+size_t CacheManager::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CacheManager::Counters CacheManager::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void CacheManager::EraseSubtreeLocked(const std::string& path) {
+  uint64_t removed = 0;
+  for (auto it = entries_.lower_bound(path); it != entries_.end();) {
+    if (!InSubtree(it->first, path)) break;
+    removed += it->second.bytes;
+    it = entries_.erase(it);
+  }
+  if (removed > 0) {
+    removed = std::min(removed, resident_bytes_);
+    resident_bytes_ -= removed;
+    governor_->AddUsage(kConsumer, -static_cast<int64_t>(removed));
+  }
+  InvalidateReuseLocked(path);
+}
+
+void CacheManager::InvalidateReuseLocked(const std::string& path) {
+  for (auto it = reuse_.begin(); it != reuse_.end();) {
+    bool dead = InSubtree(it->second.output_dir, path) ||
+                InSubtree(path, it->second.output_dir);
+    if (!dead) {
+      for (const auto& file : it->second.files) {
+        if (InSubtree(file, path) || InSubtree(path, file)) {
+          dead = true;
+          break;
+        }
+      }
+    }
+    it = dead ? reuse_.erase(it) : ++it;
+  }
+}
+
+void CacheManager::BackgroundLoop() {
+  for (;;) {
+    uint64_t target = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      evict_cv_.wait(lock, [this] {
+        if (stop_) return true;
+        uint64_t cache_budget = governor_->ConsumerBudget(kConsumer);
+        if (!governor_->governed() ||
+            cache_budget == std::numeric_limits<uint64_t>::max()) {
+          return false;
+        }
+        return static_cast<double>(resident_bytes_) >
+               high_watermark_ * static_cast<double>(cache_budget);
+      });
+      if (stop_) return;
+      uint64_t cache_budget = governor_->ConsumerBudget(kConsumer);
+      target = static_cast<uint64_t>(
+          low_watermark_ * static_cast<double>(cache_budget));
+    }
+    std::vector<std::string> skip;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ || resident_bytes_ <= target) break;
+      }
+      if (!EvictOneVictim(&skip)) break;
+    }
+  }
+}
+
+}  // namespace m3r::memgov

@@ -1,0 +1,192 @@
+#ifndef M3R_MEMGOV_CACHE_MANAGER_H_
+#define M3R_MEMGOV_CACHE_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "memgov/memory_governor.h"
+
+namespace m3r::memgov {
+
+/// Eviction policy for governed cache entries (m3r.cache.policy).
+enum class EvictionPolicy {
+  kLru,  ///< evict the least-recently-accessed file
+  kLfu,  ///< evict the least-frequently-accessed file (recency tie-break)
+  /// Cost-aware (GreedyDual-style): evict the file with the lowest
+  /// rebuild-cost per byte, using the recorded fill time — frees the most
+  /// memory per second of recompute a future miss would pay.
+  kCost,
+};
+
+Status ParseEvictionPolicy(const std::string& name, EvictionPolicy* out);
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+/// Fronts the M3R cache with budgeted admission, pluggable eviction,
+/// pinning, and a lineage registry for cross-job output reuse
+/// (DESIGN.md §11). The manager never touches cache data itself: the
+/// engine supplies hooks that spill (through the checkpoint path) and
+/// evict by path, and the Cache notifies the manager of every fill,
+/// access, delete, and rename so the entry table tracks reality.
+///
+/// Granularity is one *file* (all its blocks): that is the unit the cache
+/// already evicts on integrity failures and the unit checkpoint spills
+/// commit, so eviction can reuse both paths unchanged.
+class CacheManager {
+ public:
+  struct Hooks {
+    /// Persists a cache-only file through the checkpoint path so eviction
+    /// loses no data. May be empty (evictees are then dropped; only safe
+    /// when every cached file has DFS backing).
+    std::function<Status(const std::string& path)> spill;
+    /// Drops `path` from the cache (the manager hears back via OnDelete).
+    std::function<Status(const std::string& path)> evict;
+    /// True when `path` exists in the backing DFS (re-readable, so spill
+    /// is unnecessary before eviction).
+    std::function<bool(const std::string& path)> has_backing;
+  };
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+    /// Evictions that had to spill (no DFS backing) before dropping.
+    uint64_t spilled_evictions = 0;
+    /// Droppable fills declined because no budget could be reclaimed.
+    uint64_t rejected_fills = 0;
+    /// Required fills admitted over budget (pinned inputs, temp outputs).
+    uint64_t forced_fills = 0;
+    uint64_t reuse_hits = 0;
+  };
+
+  CacheManager(MemoryGovernor* governor, Hooks hooks);
+  ~CacheManager();
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  /// Name under which cache bytes are pushed to the governor.
+  static constexpr const char* kConsumer = "cache";
+
+  /// (Re)configures policy and watermarks; called per job submission. The
+  /// watermarks are fractions of the cache's consumer budget: crossing
+  /// `high` wakes the background evictor, which evicts down to `low`.
+  void Configure(EvictionPolicy policy, double high_watermark,
+                 double low_watermark);
+  EvictionPolicy policy() const;
+
+  /// Admission decision for a fill of `add_bytes` into `path`, taken
+  /// before the block is published. Synchronously evicts unpinned victims
+  /// when over budget. Returns false only for droppable (!required) fills
+  /// that still do not fit — the caller then bypasses the cache. Required
+  /// fills (outputs with no DFS backing, checkpoint heals of in-flight
+  /// inputs) are always admitted, counted as forced when over budget.
+  bool AdmitFill(const std::string& path, uint64_t add_bytes, bool required);
+
+  /// A block of `path` was published (`fill_seconds` = measured cost of
+  /// producing it, 0 when unknown — feeds the cost policy's rebuild cost).
+  void OnFill(const std::string& path, uint64_t add_bytes,
+              double fill_seconds);
+  /// A block of `path` was served.
+  void OnAccess(const std::string& path);
+  /// `path` (file or directory subtree) left the cache, by any route.
+  void OnDelete(const std::string& path);
+  void OnRename(const std::string& src, const std::string& dst);
+
+  /// Pins `path` (a file, or a directory covering files) against
+  /// eviction. Counted: nested Pin/Unpin pairs compose.
+  void Pin(const std::string& path);
+  void Unpin(const std::string& path);
+  bool IsPinned(const std::string& path) const;
+
+  void RecordHit() { Bump(&Counters::hits); }
+  void RecordMiss() { Bump(&Counters::misses); }
+
+  /// --- ReStore-style output reuse (m3r.cache.reuse=exact) ---
+  /// Associates a lineage signature with a finished job's output
+  /// directory and the cached files it produced.
+  void RegisterReuse(const std::string& signature,
+                     const std::string& output_dir,
+                     std::vector<std::string> files);
+  /// Output directory of a live registration: every registered file must
+  /// still be cached; stale registrations are dropped. Counts reuse_hits.
+  std::optional<std::string> LookupReuse(const std::string& signature);
+
+  /// Synchronously evicts until the cache fits its consumer budget (and
+  /// the governor's total fits the overall budget). Used by tests and the
+  /// engine's job-boundary sweep.
+  void EvictToBudget();
+
+  /// Re-reads every entry's size through `bytes_of` (0 erases the entry) —
+  /// used after a place crash evicted blocks behind the manager's back.
+  void Reconcile(const std::function<uint64_t(const std::string&)>& bytes_of);
+
+  uint64_t ResidentBytes() const;
+  size_t EntryCount() const;
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    uint64_t bytes = 0;
+    double fill_seconds = 0;
+    uint64_t last_tick = 0;
+    uint64_t access_count = 0;
+    /// Claimed by an in-flight eviction; invisible to victim selection.
+    bool evicting = false;
+  };
+
+  void Bump(uint64_t Counters::* field);
+  bool PinnedLocked(const std::string& path) const;
+  /// Bytes the cache must shed to fit `add_bytes` more, honoring both the
+  /// cache share and the governor's total budget.
+  uint64_t OverageLocked(uint64_t add_bytes) const;
+  /// Lowest-score evictable entry, or empty. Skips pins, in-flight
+  /// evictions, and `skip` (paths whose spill failed this round).
+  std::string PickVictimLocked(const std::vector<std::string>& skip) const;
+  /// Evicts until OverageLocked(add_bytes) == 0 or no victims remain.
+  /// Returns true when the target was reached. Caller must NOT hold mu_.
+  bool EvictUntilFits(uint64_t add_bytes);
+  /// Evicts one victim (spilling first if unbacked). Returns false when
+  /// nothing is evictable; paths whose spill failed are appended to `skip`
+  /// and retried no further this round. Caller must NOT hold mu_.
+  bool EvictOneVictim(std::vector<std::string>* skip);
+  void EraseSubtreeLocked(const std::string& path);
+  void InvalidateReuseLocked(const std::string& path);
+  void BackgroundLoop();
+
+  MemoryGovernor* const governor_;
+  const Hooks hooks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable evict_cv_;
+  /// Signalled whenever an in-flight eviction completes (or backs off), so
+  /// a concurrent EvictUntilFits can wait instead of giving up early.
+  std::condition_variable evict_done_cv_;
+  EvictionPolicy policy_ = EvictionPolicy::kLru;
+  double high_watermark_ = 0.90;
+  double low_watermark_ = 0.75;
+  uint64_t tick_ = 0;
+  uint64_t resident_bytes_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, int> pins_;
+  struct ReuseEntry {
+    std::string output_dir;
+    std::vector<std::string> files;
+  };
+  std::map<std::string, ReuseEntry> reuse_;
+  Counters counters_;
+  bool stop_ = false;
+  std::thread background_;
+};
+
+}  // namespace m3r::memgov
+
+#endif  // M3R_MEMGOV_CACHE_MANAGER_H_

@@ -1,0 +1,73 @@
+#include "memgov/lineage.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace m3r::memgov {
+namespace {
+
+constexpr std::array<const char*, 3> kVolatileKeys = {
+    api::conf::kJobName,
+    api::conf::kOutputDir,
+    api::conf::kJobEndNotificationUrl,
+};
+
+constexpr std::array<const char*, 7> kVolatilePrefixes = {
+    "m3r.memory.", "m3r.cache.", "m3r.job.",
+    "m3r.fault.",  "m3r.integrity.",
+    // Parallelism knobs change scheduling, not output bytes (the engines
+    // guarantee deterministic output regardless of strand count).
+    "m3r.place.",  "mapred.job.",
+};
+
+void Fold(uint32_t* crc, const std::string& s) {
+  // Length-prefix every field so concatenations cannot collide
+  // ("ab"+"c" vs "a"+"bc").
+  uint64_t n = s.size();
+  *crc = crc32c::Extend(*crc, &n, sizeof(n));
+  *crc = crc32c::Extend(*crc, s.data(), s.size());
+}
+
+}  // namespace
+
+bool IsVolatileLineageKey(const std::string& key) {
+  for (const char* k : kVolatileKeys) {
+    if (key == k) return true;
+  }
+  for (const char* prefix : kVolatilePrefixes) {
+    if (key.starts_with(prefix)) return true;
+  }
+  return false;
+}
+
+std::string LineageSignature(const api::JobConf& conf,
+                             const InputVersionFn& input_version) {
+  // Two independent CRC lanes (conf and inputs, seeded differently) give a
+  // 64-bit signature — collision odds are negligible for a registry that
+  // holds at most a few hundred live jobs.
+  uint32_t conf_crc = 0;
+  for (const auto& [key, value] : conf.raw()) {  // std::map: sorted order
+    if (IsVolatileLineageKey(key)) continue;
+    Fold(&conf_crc, key);
+    Fold(&conf_crc, value);
+  }
+
+  uint32_t input_crc = 0x9e3779b9u;
+  std::vector<std::string> inputs = conf.InputPaths();
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& path : inputs) {
+    Fold(&input_crc, path);
+    uint64_t version = input_version ? input_version(path) : 0;
+    input_crc = crc32c::Extend(input_crc, &version, sizeof(version));
+  }
+
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%08x%08x", conf_crc, input_crc);
+  return std::string(buf);
+}
+
+}  // namespace m3r::memgov

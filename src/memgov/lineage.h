@@ -1,0 +1,36 @@
+#ifndef M3R_MEMGOV_LINEAGE_H_
+#define M3R_MEMGOV_LINEAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "api/job_conf.h"
+
+namespace m3r::memgov {
+
+/// Version stamp for one input path, folded into the lineage signature so a
+/// rewritten input invalidates reuse. The engine supplies total bytes (a
+/// weak content version — SimDFS files are written once and replaced whole,
+/// so size + path is an adequate discriminator there).
+using InputVersionFn = std::function<uint64_t(const std::string& path)>;
+
+/// ReStore-style lineage signature of a job (DESIGN.md §11): a digest over
+/// the sorted input paths, their versions, and every configuration entry
+/// that can influence the job's output — user classes, formats,
+/// comparators, reducer count, app-specific keys. Volatile keys that vary
+/// between identical resubmissions (job name, output dir, notification
+/// URL) and governance knobs that change *how* the job runs but never
+/// *what* it produces (m3r.memory.*, m3r.cache.*, m3r.job.*, fault/
+/// integrity settings) are excluded. Two jobs with equal signatures would
+/// produce byte-identical output, so a live cached output may be served in
+/// place of running the second job (m3r.cache.reuse=exact).
+std::string LineageSignature(const api::JobConf& conf,
+                             const InputVersionFn& input_version);
+
+/// True when `key` is excluded from the signature.
+bool IsVolatileLineageKey(const std::string& key);
+
+}  // namespace m3r::memgov
+
+#endif  // M3R_MEMGOV_LINEAGE_H_

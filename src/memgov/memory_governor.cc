@@ -1,0 +1,115 @@
+#include "memgov/memory_governor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace m3r::memgov {
+
+void MemoryGovernor::SetBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+}
+
+uint64_t MemoryGovernor::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
+void MemoryGovernor::SetShare(const std::string& name, double share) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shares_[name] = std::clamp(share, 0.0, 1.0);
+}
+
+uint64_t MemoryGovernor::ConsumerBudget(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ == 0) return std::numeric_limits<uint64_t>::max();
+  auto it = shares_.find(name);
+  double share = it == shares_.end() ? 1.0 : it->second;
+  return static_cast<uint64_t>(static_cast<double>(budget_) * share);
+}
+
+void MemoryGovernor::SetUsage(const std::string& name, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pushed_[name] = bytes;
+  SamplePeakLocked();
+}
+
+void MemoryGovernor::AddUsage(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t next = static_cast<int64_t>(pushed_[name]) + delta;
+  pushed_[name] = next < 0 ? 0 : static_cast<uint64_t>(next);
+  SamplePeakLocked();
+}
+
+void MemoryGovernor::RegisterGauge(const std::string& name, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+uint64_t MemoryGovernor::Usage(const std::string& name) const {
+  GaugeFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto g = gauges_.find(name);
+    if (g == gauges_.end()) {
+      auto p = pushed_.find(name);
+      return p == pushed_.end() ? 0 : p->second;
+    }
+    fn = g->second;
+  }
+  // Poll outside the lock: gauges may take their owner's lock (BufferPool)
+  // and must never nest inside ours.
+  return fn();
+}
+
+uint64_t MemoryGovernor::TotalUsageLocked() const {
+  uint64_t total = 0;
+  for (const auto& [name, bytes] : pushed_) total += bytes;
+  return total;
+}
+
+void MemoryGovernor::SamplePeakLocked() const {
+  // Pushed consumers only — polling gauges here would nest foreign locks.
+  // TotalUsage() refreshes the peak with gauges included.
+  peak_ = std::max(peak_, TotalUsageLocked());
+}
+
+uint64_t MemoryGovernor::TotalUsage() const {
+  std::map<std::string, GaugeFn> gauges;
+  uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = TotalUsageLocked();
+    gauges = gauges_;
+  }
+  for (const auto& [name, fn] : gauges) total += fn();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_ = std::max(peak_, total);
+  }
+  return total;
+}
+
+uint64_t MemoryGovernor::PeakUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+void MemoryGovernor::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_ = TotalUsageLocked();
+}
+
+std::map<std::string, uint64_t> MemoryGovernor::Snapshot() const {
+  std::map<std::string, GaugeFn> gauges;
+  std::map<std::string, uint64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = pushed_;
+    gauges = gauges_;
+  }
+  for (const auto& [name, fn] : gauges) out[name] = fn();
+  return out;
+}
+
+}  // namespace m3r::memgov

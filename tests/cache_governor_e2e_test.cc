@@ -1,0 +1,385 @@
+// End-to-end memory-governance tests (DESIGN.md §11): a tight
+// m3r.memory.budget.mb must never change job output — WordCount and a
+// 10-iteration SpMV produce the same results as ungoverned runs, with
+// integrity repair and seeded cache corruption layered on top — while the
+// governor's counters show residency held to the budget. Also covers the
+// ReStore-style m3r.cache.reuse=exact short-circuit and the shuffle
+// buffer-pool release on cancellation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/class_registry.h"
+#include "api/counters.h"
+#include "api/job_conf.h"
+#include "dfs/local_fs.h"
+#include "hadoop/hadoop_engine.h"
+#include "m3r/m3r_engine.h"
+#include "workloads/matrix_gen.h"
+#include "workloads/spmv.h"
+#include "workloads/text_gen.h"
+#include "workloads/wordcount.h"
+
+namespace m3r {
+namespace {
+
+sim::ClusterSpec SmallCluster() {
+  sim::ClusterSpec spec;
+  spec.num_nodes = 4;
+  spec.slots_per_node = 2;
+  return spec;
+}
+
+constexpr int64_t kBudgetMb = 1;
+constexpr int64_t kBudgetBytes = kBudgetMb << 20;
+
+/// Governance + integrity-under-corruption knobs for a governed run. The
+/// corruption site flips a bit in served cache blocks; repair mode heals
+/// every flip from the in-memory source, so output must not change.
+void SetGovernedKnobs(api::JobConf* job, const std::string& policy) {
+  job->SetInt(api::conf::kMemoryBudgetMb, kBudgetMb);
+  job->Set(api::conf::kCachePolicy, policy);
+  job->Set(api::conf::kIntegrityMode, "repair");
+  job->Set("m3r.fault.seed", "11");
+  job->Set("m3r.fault.corrupt.cache.block.prob", "0.2");
+}
+
+/// Reads every part file under `dir` and returns sorted lines.
+std::vector<std::string> ReadOutputLines(dfs::FileSystem& fs,
+                                         const std::string& dir) {
+  std::vector<std::string> lines;
+  auto files = fs.ListStatus(dir);
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  if (!files.ok()) return lines;
+  for (const auto& f : *files) {
+    if (f.is_directory) continue;
+    if (f.path.find("part-") == std::string::npos) continue;
+    auto content = fs.ReadFile(f.path);
+    EXPECT_TRUE(content.ok());
+    std::string cur;
+    for (char c : *content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// Temporary (cache-only) outputs have no DFS bytes to read; their part
+/// files exist only as cached key/value pairs. Renders them as sorted
+/// "key\tvalue" lines, the same shape TextOutputFormat would emit.
+std::vector<std::string> ReadCachedLines(engine::M3REngine& engine,
+                                         const std::string& dir) {
+  std::vector<std::string> lines;
+  for (const std::string& f : engine.cache().FilesUnder(dir)) {
+    if (f.find("part-") == std::string::npos) continue;
+    auto blocks = engine.cache().GetFileBlocks(f);
+    EXPECT_TRUE(blocks.ok()) << blocks.status().ToString();
+    if (!blocks.ok()) continue;
+    for (const auto& b : *blocks) {
+      if (b.pairs == nullptr) continue;
+      for (const auto& [k, v] : *b.pairs) {
+        lines.push_back(k->ToString() + "\t" + v->ToString());
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// --- WordCount: a tight budget (well under the ~6 MB working set) must
+// leave the output byte-identical on both engines. ---
+
+TEST(CacheGovernorE2E, WordCountByteIdenticalUnderTightBudget) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 6 << 20, 4, 7).ok());
+
+  // Reference: ungoverned M3R.
+  std::vector<std::string> reference;
+  {
+    engine::M3REngine engine(fs, {SmallCluster()});
+    auto r = engine.Submit(workloads::MakeWordCountJob("/in", "/out-ref", 3,
+                                                       true));
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    reference = ReadOutputLines(*fs, "/out-ref");
+    ASSERT_FALSE(reference.empty());
+  }
+
+  for (const std::string policy : {"lru", "lfu", "cost"}) {
+    engine::M3REngine engine(fs, {SmallCluster()});
+    api::JobConf job = workloads::MakeWordCountJob(
+        "/in", "/out-gov-" + policy, 3, true);
+    SetGovernedKnobs(&job, policy);
+    auto r = engine.Submit(job);
+    ASSERT_TRUE(r.ok()) << policy << ": " << r.status.ToString();
+    EXPECT_EQ(ReadOutputLines(*fs, "/out-gov-" + policy), reference)
+        << policy;
+    // The governor held the cache to the budget, and the job reported it.
+    ASSERT_TRUE(r.metrics.count("cache_bytes_resident")) << policy;
+    EXPECT_LE(r.metrics.at("cache_bytes_resident"), kBudgetBytes) << policy;
+    EXPECT_EQ(r.metrics.at("memory_budget_bytes"), kBudgetBytes);
+    // 6 MB of droppable input fills against a 1 MB budget: some had to be
+    // turned away or evicted.
+    EXPECT_GT(r.metrics.at("cache_rejected_fills") +
+                  r.metrics.at("cache_evictions"),
+              0)
+        << policy;
+    // Satellite: the same numbers surface as job counters (the live view).
+    EXPECT_EQ(r.counters.Get(api::counters::kM3rGroup,
+                             api::counters::kCacheBytesResident),
+              r.metrics.at("cache_bytes_resident"));
+    EXPECT_EQ(r.counters.Get(api::counters::kM3rGroup,
+                             api::counters::kCacheEvictions),
+              r.metrics.at("cache_evictions"));
+    EXPECT_LE(engine.cache_manager().ResidentBytes(),
+              static_cast<uint64_t>(kBudgetBytes));
+  }
+
+  // Hadoop ignores the governance knobs entirely and still agrees.
+  {
+    hadoop::HadoopEngine engine(fs, {SmallCluster(), 0});
+    api::JobConf job =
+        workloads::MakeWordCountJob("/in", "/out-hadoop", 3, true);
+    job.SetInt(api::conf::kMemoryBudgetMb, kBudgetMb);
+    auto r = engine.Submit(job);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(ReadOutputLines(*fs, "/out-hadoop"), reference);
+  }
+}
+
+// --- Iterative SpMV under ~a quarter of the working set: temporary
+// outputs are force-admitted, evicted at job boundaries (spilling through
+// the checkpoint path), and healed when the next iteration needs them.
+// Ten iterations must match the locally computed reference exactly as
+// tightly as the ungoverned run does. ---
+
+void RunSpmvIterations(api::Engine& engine, dfs::FileSystem& gen_fs,
+                       dfs::FileSystem& read_fs,
+                       const workloads::SpmvDataParams& params,
+                       int iterations, bool governed,
+                       api::JobResult* last_result) {
+  const int row_blocks = static_cast<int>(
+      (params.n + params.block - 1) / params.block);
+  std::string v_in = "/spmv/v";
+  auto v_ref = workloads::ReadDenseVector(gen_fs, v_in, params.n,
+                                          params.block);
+  ASSERT_TRUE(v_ref.ok());
+  std::vector<double> expected = v_ref.take();
+  int64_t evictions = 0;
+  int64_t spilled = 0;
+
+  for (int it = 0; it < iterations; ++it) {
+    std::string partial = "/spmv/temp-partial-" + std::to_string(it);
+    std::string v_out = "/spmv/temp-v" + std::to_string(it + 1);
+    auto jobs = workloads::MakeSpmvIterationJobs(
+        "/spmv/g", v_in, partial, v_out, params.num_partitions, row_blocks);
+    for (auto& job : jobs) {
+      if (governed) SetGovernedKnobs(&job, "cost");
+      auto result = engine.Submit(job);
+      ASSERT_TRUE(result.ok()) << result.status.ToString();
+      if (governed) {
+        evictions += result.metrics.at("cache_evictions");
+        spilled += result.metrics.at("cache_spilled_evictions");
+        EXPECT_LE(result.metrics.at("cache_bytes_resident"), kBudgetBytes);
+      }
+      *last_result = std::move(result);
+    }
+    auto ref = workloads::ReferenceMultiply(gen_fs, "/spmv/g", expected,
+                                            params.n, params.block);
+    ASSERT_TRUE(ref.ok());
+    expected = ref.take();
+    v_in = v_out;
+  }
+
+  auto v_final = workloads::ReadDenseVector(read_fs, v_in, params.n,
+                                            params.block);
+  ASSERT_TRUE(v_final.ok()) << v_final.status().ToString();
+  ASSERT_EQ(v_final->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*v_final)[i], expected[i],
+                1e-9 + std::fabs(expected[i]) * 1e-9);
+  }
+  if (governed) {
+    // The working set (a multi-MB matrix plus per-iteration vectors) far
+    // exceeds the budget: real evictions had to happen, and cache-only
+    // temporaries had to spill rather than drop.
+    EXPECT_GT(evictions, 0);
+    EXPECT_GT(spilled, 0);
+  }
+}
+
+workloads::SpmvDataParams SpmvParams() {
+  workloads::SpmvDataParams params;
+  params.n = 3000;
+  params.block = 375;  // 8 row blocks over 4 places
+  params.sparsity = 0.02;
+  params.num_partitions = 8;
+  return params;
+}
+
+TEST(CacheGovernorE2E, SpmvTenIterationsUnderQuarterBudgetM3R) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  workloads::SpmvDataParams params = SpmvParams();
+  ASSERT_TRUE(workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v",
+                                          params).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  api::JobResult last;
+  RunSpmvIterations(engine, *fs, *engine.Fs(), params, 10,
+                    /*governed=*/true, &last);
+  // Steady state after the final job-boundary sweep: every byte the
+  // governor meters for the cache fits the budget.
+  EXPECT_LE(engine.governor().Usage(memgov::CacheManager::kConsumer),
+            static_cast<uint64_t>(kBudgetBytes));
+  EXPECT_EQ(engine.governor().Usage(memgov::CacheManager::kConsumer),
+            engine.cache_manager().ResidentBytes());
+}
+
+TEST(CacheGovernorE2E, SpmvTenIterationsGovernanceKeysInertOnHadoop) {
+  auto fs = dfs::MakeSimDfs(4, 256 * 1024);
+  workloads::SpmvDataParams params = SpmvParams();
+  ASSERT_TRUE(workloads::GenerateSpmvData(*fs, "/spmv/g", "/spmv/v",
+                                          params).ok());
+  hadoop::HadoopEngine engine(fs, {SmallCluster(), 0});
+  api::JobResult last;
+  // Hadoop materializes everything; the budget/policy keys must be inert
+  // (corruption knobs are omitted: governed=false).
+  RunSpmvIterations(engine, *fs, *fs, params, 10, /*governed=*/false,
+                    &last);
+}
+
+// --- ReStore-style exact reuse: resubmitting a job with identical lineage
+// serves the cached output and skips map/reduce. ---
+
+TEST(CacheGovernorE2E, ExactReuseShortCircuitsIdenticalResubmission) {
+  auto fs = dfs::MakeSimDfs(4, 64 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 256 * 1024, 2, 3).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+
+  // Temporary (cache-only) output, reuse enabled.
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/temp-wc", 3, true);
+  job.Set(api::conf::kCacheReuse, "exact");
+  auto first = engine.Submit(job);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(first.metrics.count("reused_from_cache"), 0u);
+  ASSERT_TRUE(first.metrics.count("map_tasks"));
+  std::vector<std::string> lines = ReadCachedLines(engine, "/temp-wc");
+  ASSERT_FALSE(lines.empty());
+
+  // Identical resubmission (same output path): served from the cache — no
+  // map tasks, reused_from_cache reported, counter incremented.
+  auto again = engine.Submit(job);
+  ASSERT_TRUE(again.ok()) << again.status.ToString();
+  EXPECT_EQ(again.metrics.count("map_tasks"), 0u);
+  ASSERT_TRUE(again.metrics.count("reused_from_cache"));
+  EXPECT_EQ(again.metrics.at("reused_from_cache"), 1);
+  EXPECT_EQ(again.counters.Get(api::counters::kM3rGroup,
+                               api::counters::kReusedFromCache),
+            1);
+  EXPECT_EQ(ReadCachedLines(engine, "/temp-wc"), lines);
+
+  // Same lineage under a new temporary name (the output dir is volatile in
+  // the signature): the cached blocks are cloned to the new path.
+  api::JobConf renamed = workloads::MakeWordCountJob("/in", "/temp-wc2", 3,
+                                                     true);
+  renamed.Set(api::conf::kCacheReuse, "exact");
+  renamed.SetJobName("same job, new name");
+  auto cloned = engine.Submit(renamed);
+  ASSERT_TRUE(cloned.ok()) << cloned.status.ToString();
+  ASSERT_TRUE(cloned.metrics.count("reused_from_cache"));
+  EXPECT_EQ(ReadCachedLines(engine, "/temp-wc2"), lines);
+
+  // A semantic change (different reducer count) misses and runs for real.
+  api::JobConf changed = workloads::MakeWordCountJob("/in", "/temp-wc3", 2,
+                                                     true);
+  changed.Set(api::conf::kCacheReuse, "exact");
+  auto ran = engine.Submit(changed);
+  ASSERT_TRUE(ran.ok()) << ran.status.ToString();
+  EXPECT_EQ(ran.metrics.count("reused_from_cache"), 0u);
+  ASSERT_TRUE(ran.metrics.count("map_tasks"));
+  EXPECT_EQ(ReadCachedLines(engine, "/temp-wc3"), lines);
+
+  // Reuse off (the default): an identical job with a fresh output path
+  // runs for real.
+  api::JobConf off = workloads::MakeWordCountJob("/in", "/temp-wc4", 3,
+                                                 true);
+  auto reran = engine.Submit(off);
+  ASSERT_TRUE(reran.ok()) << reran.status.ToString();
+  EXPECT_EQ(reran.metrics.count("reused_from_cache"), 0u);
+  ASSERT_TRUE(reran.metrics.count("map_tasks"));
+}
+
+TEST(CacheGovernorE2E, RewrittenInputInvalidatesExactReuse) {
+  auto fs = dfs::MakeSimDfs(4, 64 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 64 * 1024, 1, 3).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/temp-wc", 3, true);
+  job.Set(api::conf::kCacheReuse, "exact");
+  ASSERT_TRUE(engine.Submit(job).ok());
+
+  // Rewrite the input (different size => different version stamp). The
+  // cached input blocks are stale too — drop them so the rerun reads the
+  // new bytes.
+  ASSERT_TRUE(fs->Delete("/in", true).ok());
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 32 * 1024, 1, 4).ok());
+  engine.cache().Delete("/in");
+
+  api::JobConf job2 = workloads::MakeWordCountJob("/in", "/temp-wc5", 3,
+                                                  true);
+  job2.Set(api::conf::kCacheReuse, "exact");
+  auto r = engine.Submit(job2);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.metrics.count("reused_from_cache"), 0u);
+  ASSERT_TRUE(r.metrics.count("map_tasks"));
+}
+
+// --- Satellite: a cancelled job must not leave shuffle buffers pinned in
+// the pool — the governor's "shuffle.pool" gauge drops to zero. ---
+
+class NappingWordCountMapper : public workloads::WordCountMapperImmutable {
+ public:
+  static constexpr const char* kClassName = "NappingWordCountMapper";
+  void Map(const api::WritablePtr& key, const api::WritablePtr& value,
+           api::OutputCollector& output, api::Reporter& reporter) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    workloads::WordCountMapperImmutable::Map(key, value, output, reporter);
+  }
+};
+
+M3R_REGISTER_CLASS_AS(api::mapred::Mapper, NappingWordCountMapper,
+                      NappingWordCountMapper)
+
+TEST(CacheGovernorE2E, CancelledJobReleasesPooledShuffleBuffers) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 128 * 1024, 2, 11).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+
+  // A completed job may legitimately leave retained buffers (that is the
+  // pool's point); a cancelled one must not.
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out-cancel", 2,
+                                                 true);
+  job.Set(api::conf::kMapredMapper, NappingWordCountMapper::kClassName);
+  api::JobHandle handle = engine.SubmitAsync(job);
+  handle.Cancel();
+  const api::JobResult& result = handle.Wait();
+  ASSERT_TRUE(result.status.IsCancelled()) << result.status.ToString();
+  EXPECT_EQ(engine.governor().Usage("shuffle.pool"), 0u);
+
+  // And the engine still works afterwards.
+  auto ok = engine.Submit(
+      workloads::MakeWordCountJob("/in", "/out-after", 2, true));
+  ASSERT_TRUE(ok.ok()) << ok.status.ToString();
+}
+
+}  // namespace
+}  // namespace m3r

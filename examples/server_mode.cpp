@@ -1,12 +1,14 @@
 // Server mode (paper §5.3): run engines behind jobtracker-protocol
-// endpoints, poll asynchronous status/progress/counters, and swap the
-// Hadoop server for the M3R server on the same port — the BigSheets
-// deployment story.
+// endpoints, watch a typed JobTicket's asynchronous progress/counters,
+// swap the Hadoop server for the M3R server on the same port — the
+// BigSheets deployment story — then point two tenants at one M3R server
+// and watch the fair-share scheduler split service between their queues.
 //
 //   $ ./build/examples/server_mode
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "dfs/local_fs.h"
 #include "hadoop/hadoop_engine.h"
@@ -36,22 +38,20 @@ int main() {
   auto submit_and_watch = [&](const char* out) {
     api::JobConf job = workloads::MakeWordCountJob("/in", out, 4, true);
     job.SetInt(engine::kJobTrackerPortKey, kPort);
-    auto id = engine::SubmitViaPort(job);
-    M3R_CHECK(id.ok()) << id.status().ToString();
+    auto ticket = engine::SubmitViaPort(job);
+    M3R_CHECK(ticket.ok()) << ticket.status().ToString();
     auto server = engine::ServerRegistry::Instance().Lookup(kPort);
     // Poll asynchronous progress/counters while the job runs.
     for (;;) {
-      engine::ServerJobStatus st = server->GetJobStatus(*id);
-      std::printf("  job %d [%s] %-9s progress=%4.0f%% map_records=%lld\n",
-                  st.job_id, server->EngineName().c_str(),
-                  engine::JobStateName(st.state), st.progress * 100,
-                  (long long)st.counters.Get(
-                      api::counters::kTaskGroup,
-                      api::counters::kMapInputRecords));
-      if (st.state == engine::JobState::kSucceeded ||
-          st.state == engine::JobState::kFailed) {
-        return st.result.sim_seconds;
-      }
+      api::TicketInfo info = ticket->Poll();
+      std::printf(
+          "  job %lld [%s] %-9s progress=%4.0f%% map_records=%lld\n",
+          (long long)info.id, server->EngineName().c_str(),
+          api::TicketPhaseName(info.phase), info.progress * 100,
+          (long long)ticket->LiveCounters().Get(
+              api::counters::kTaskGroup,
+              api::counters::kMapInputRecords));
+      if (api::IsTerminal(info.phase)) return ticket->Wait().sim_seconds;
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   };
@@ -73,5 +73,41 @@ int main() {
   std::printf("\nsimulated seconds: hadoop=%.2f  m3r=%.2f  (%.1fx)\n",
               hadoop_s, m3r_s, hadoop_s / m3r_s);
   engine::ServerRegistry::Instance().Unbind(kPort);
+  m3r_server->Shutdown();
+
+  // Phase 3: two tenants share one server. The "batch" queue carries
+  // twice the weight of "adhoc", so over a backlogged interval it should
+  // receive about two thirds of the completed service.
+  engine::JobServer::Options options;
+  options.queue_weights["batch"] = 2.0;
+  options.queue_weights["adhoc"] = 1.0;
+  engine::JobServer shared(
+      std::make_shared<engine::M3REngine>(fs,
+                                          engine::M3REngineOptions{cluster}),
+      options);
+  std::vector<api::JobTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    for (const char* queue : {"batch", "adhoc"}) {
+      api::Submission sub;
+      sub.tenant = queue;  // one tenant per queue here
+      sub.queue = queue;
+      sub.conf = workloads::MakeWordCountJob(
+          "/in", std::string("/fair-") + queue + std::to_string(i), 4, true);
+      auto t = shared.Submit(std::move(sub));
+      M3R_CHECK(t.ok()) << t.status().ToString();
+      tickets.push_back(*t);
+    }
+  }
+  for (auto& t : tickets) t.Wait();
+  std::printf("\ntwo tenants on one M3R server (weights batch=2 adhoc=1):\n");
+  for (const auto& q : shared.Stats()) {
+    std::printf(
+        "  queue %-6s weight=%.0f completed=%lld share=%4.1f%% "
+        "avg_wait=%.3fs\n",
+        q.queue.c_str(), q.weight, (long long)q.completed,
+        100 * q.share_of_completed,
+        q.completed > 0 ? q.total_wait_seconds / q.completed : 0.0);
+  }
+  shared.Shutdown();
   return 0;
 }

@@ -71,6 +71,19 @@ inline constexpr char kCacheRejectedFills[] = "CACHE_REJECTED_FILLS";
 /// matching lineage signature (m3r.cache.reuse=exact) — no map or reduce
 /// task ran.
 inline constexpr char kReusedFromCache[] = "REUSED_FROM_CACHE";
+
+// Serving front end (m3r::engine::JobServer): live per-queue gauges
+// mirrored into a running ticket's LiveCounters on every progress sync —
+// current depth/occupancy of the job's queue, this job's queued wait, and
+// the queue's share of all completed simulated seconds (per-mille, so a
+// plain int64 counter can carry it).
+inline constexpr char kSchedulerGroup[] = "Scheduler";
+inline constexpr char kSchedQueueQueued[] = "QUEUE_QUEUED";
+inline constexpr char kSchedQueueRunning[] = "QUEUE_RUNNING";
+inline constexpr char kSchedQueueCompleted[] = "QUEUE_COMPLETED";
+inline constexpr char kSchedWaitMs[] = "WAIT_MS";
+inline constexpr char kSchedQueueShareMille[] = "QUEUE_SHARE_MILLE";
+inline constexpr char kSchedAttempts[] = "ATTEMPTS";
 }  // namespace counters
 
 }  // namespace m3r::api

@@ -127,6 +127,36 @@ inline constexpr char kCachePolicy[] = "m3r.cache.policy";
 inline constexpr char kCacheReuse[] = "m3r.cache.reuse";
 /// Deterministic seed shared by the fault injector and retry jitter.
 inline constexpr char kFaultSeed[] = "m3r.fault.seed";
+
+// --- Serving front end (m3r::engine::JobServer; DESIGN.md §12) ---
+/// Jobs the server keeps dispatched into the engine at once (in-flight
+/// slots). The engine still serializes execution internally; extra slots
+/// pipeline dispatch so the engine never idles between jobs.
+inline constexpr char kServerMaxInflight[] = "m3r.server.max.inflight";
+/// Bounded admission: per-queue cap on jobs waiting for dispatch. A full
+/// queue rejects (typed Overloaded) or blocks, per m3r.server.admission.
+inline constexpr char kServerQueueDepth[] = "m3r.server.queue.depth";
+/// "reject" (default; Submit returns Overloaded) or "block" (Submit waits
+/// for space — producer backpressure).
+inline constexpr char kServerAdmission[] = "m3r.server.admission";
+/// Allow a strictly higher-priority submission to cancel-and-requeue a
+/// running lower-priority job (default true).
+inline constexpr char kServerPreemption[] = "m3r.server.preemption";
+/// Fair-share weight of one named queue: m3r.server.queue.weight.<queue>,
+/// default 1.0. Service (completed simulated seconds) is divided among
+/// backlogged queues in proportion to weight.
+inline constexpr char kServerQueueWeightPrefix[] = "m3r.server.queue.weight.";
+/// Explicit memory-quota fraction for one tenant:
+/// m3r.server.tenant.quota.<tenant>. Tenants without an explicit quota
+/// split the unreserved remainder evenly (rebalanced on join/leave).
+inline constexpr char kServerTenantQuotaPrefix[] = "m3r.server.tenant.quota.";
+/// Conf-key fallbacks for the typed Submission fields, read by
+/// Submission::FromConf for bare-conf clients (port-based submission, the
+/// deprecated SubmitJob shim). Queue falls back to mapred.job.queue.name.
+inline constexpr char kSubmissionTenant[] = "m3r.server.tenant";
+inline constexpr char kSubmissionPriority[] = "m3r.server.priority";
+inline constexpr char kSubmissionDeadlineHint[] =
+    "m3r.server.deadline.hint.seconds";
 }  // namespace conf
 
 /// Job configuration: a Configuration plus convenience accessors for the

@@ -2,10 +2,12 @@
 #define M3R_API_JOB_CONTROL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "api/submission.h"
 
 namespace m3r::api {
 
@@ -14,13 +16,25 @@ namespace m3r::api {
 /// (like the paper's iterated matrix-vector sequence) are driven by
 /// Hadoop-stack tools; under M3R the same driver gets the cache/locality
 /// wins with no code change.
+///
+/// Jobs go through a JobSubmitter, so the same DAG runs standalone
+/// (EngineSubmitter) or through the multi-tenant fair-share JobServer —
+/// and independent ready branches are submitted concurrently and awaited
+/// through their tickets rather than run one at a time.
 class JobControl {
  public:
-  explicit JobControl(Engine* engine) : engine_(engine) {}
+  /// `submitter` must outlive this JobControl.
+  explicit JobControl(JobSubmitter* submitter) : submitter_(submitter) {}
+
+  /// Wraps a bare engine in an owned EngineSubmitter.
+  [[deprecated("construct with a JobSubmitter (EngineSubmitter/JobServer)")]]
+  explicit JobControl(Engine* engine);
 
   /// Adds a job; returns its handle id. `depends_on` lists handle ids that
   /// must succeed before this job runs.
   int AddJob(JobConf conf, std::vector<int> depends_on = {});
+  /// Typed variant: carries tenant/queue/priority through to the submitter.
+  int AddJob(Submission submission, std::vector<int> depends_on = {});
 
   enum class State { kWaiting, kSucceeded, kFailed, kSkipped };
 
@@ -31,18 +45,22 @@ class JobControl {
     double total_sim_seconds = 0;
   };
 
-  /// Runs the whole DAG in topological order (jobs whose dependencies
-  /// failed are skipped, matching Hadoop's DEPENDENT_FAILED state).
-  /// Aborts on dependency cycles.
+  /// Runs the whole DAG: every job whose dependencies have all succeeded
+  /// is submitted immediately (independent branches overlap in flight);
+  /// jobs whose dependencies failed are skipped, matching Hadoop's
+  /// DEPENDENT_FAILED state. Overloaded submissions (server backpressure)
+  /// are retried until admitted. Aborts on dependency cycles.
   RunSummary Run();
 
  private:
   struct Node {
-    JobConf conf;
+    Submission submission;
     std::vector<int> deps;
   };
 
-  Engine* engine_;
+  JobSubmitter* submitter_;
+  /// Set only by the deprecated Engine* constructor.
+  std::unique_ptr<EngineSubmitter> owned_submitter_;
   std::vector<Node> nodes_;
 };
 

@@ -1,0 +1,74 @@
+#include "common/fairshare.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3r {
+
+namespace {
+constexpr double kMinWeight = 1e-3;
+}  // namespace
+
+FairShareClock::Entry& FairShareClock::Touch(const std::string& key) {
+  return entries_[key];  // default weight 1.0, vtime 0
+}
+
+void FairShareClock::SetWeight(const std::string& key, double weight) {
+  Touch(key).weight = std::max(weight, kMinWeight);
+}
+
+double FairShareClock::Weight(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 1.0 : it->second.weight;
+}
+
+void FairShareClock::OnBacklogged(const std::string& key) {
+  Entry& e = Touch(key);
+  e.vtime = std::max(e.vtime, system_vtime_);
+}
+
+void FairShareClock::Charge(const std::string& key, double service_seconds) {
+  Entry& e = Touch(key);
+  e.vtime += std::max(0.0, service_seconds) / e.weight;
+}
+
+double FairShareClock::VirtualTime(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.vtime;
+}
+
+std::string FairShareClock::PickMin(
+    const std::vector<std::string>& candidates) {
+  const std::string* best = nullptr;
+  double best_vt = 0;
+  for (const std::string& key : candidates) {
+    double vt = VirtualTime(key);
+    if (best == nullptr || vt < best_vt || (vt == best_vt && key < *best)) {
+      best = &key;
+      best_vt = vt;
+    }
+  }
+  if (best == nullptr) return "";
+  system_vtime_ = std::max(system_vtime_, best_vt);
+  return *best;
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(100.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace m3r

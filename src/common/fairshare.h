@@ -1,0 +1,80 @@
+#ifndef M3R_COMMON_FAIRSHARE_H_
+#define M3R_COMMON_FAIRSHARE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace m3r {
+
+/// Weighted virtual-time accounting for a set of competing flows (queues,
+/// tenants, ...): start-time fair queueing over whole-job service.
+///
+/// Each key carries a weight and a virtual time. Serving `s` seconds of
+/// work from key k advances its virtual time by s / weight(k); the
+/// scheduler always serves the backlogged key with the smallest virtual
+/// time, so over any backlogged interval each key receives service in
+/// proportion to its weight. A key that joins the backlog after being idle
+/// is caught up to the system virtual time (the smallest backlogged
+/// virtual time at the last pick) instead of keeping its stale lag —
+/// idleness earns no credit, the classic SFQ rule.
+///
+/// Thread-compatible, not thread-safe: the scheduler calls it under its
+/// own lock.
+class FairShareClock {
+ public:
+  /// Weight for `key` (clamped to a small positive minimum). Keys default
+  /// to weight 1.0 on first touch.
+  void SetWeight(const std::string& key, double weight);
+  double Weight(const std::string& key) const;
+
+  /// `key` went from idle to backlogged: catch its virtual time up to the
+  /// system virtual time so an idle period earns no scheduling credit.
+  void OnBacklogged(const std::string& key);
+
+  /// Charge `service_seconds` of completed service to `key`, advancing its
+  /// virtual time by service / weight.
+  void Charge(const std::string& key, double service_seconds);
+
+  double VirtualTime(const std::string& key) const;
+
+  /// The backlogged candidate with the smallest virtual time (ties broken
+  /// lexicographically, keeping picks deterministic). Also advances the
+  /// system virtual time to the winner's — the reference new joiners are
+  /// caught up to. Empty string when `candidates` is empty.
+  std::string PickMin(const std::vector<std::string>& candidates);
+
+  /// System virtual time: the virtual time of the last picked key.
+  double SystemVirtualTime() const { return system_vtime_; }
+
+ private:
+  struct Entry {
+    double weight = 1.0;
+    double vtime = 0;
+  };
+  Entry& Touch(const std::string& key);
+
+  std::map<std::string, Entry> entries_;
+  double system_vtime_ = 0;
+};
+
+/// Latency sample accumulator with nearest-rank percentiles — the shape
+/// both the scheduler's per-queue wait statistics and the trace-replay
+/// bench report (p50/p99). Thread-compatible; callers lock.
+class LatencyRecorder {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t Count() const { return samples_.size(); }
+  double Mean() const;
+  /// Nearest-rank percentile, p in [0, 100]. 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_FAIRSHARE_H_

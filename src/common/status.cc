@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -37,8 +39,11 @@ bool IsRetriable(StatusCode code) {
   // corrupted bytes from their authoritative source (DFS replica, mapper
   // output, base file under a cache). Wrong data is never committed either
   // way — the difference is only which layer noticed.
+  // Overloaded is backpressure: the server stays healthy, the client backs
+  // off and resubmits once the queue has drained.
   return code == StatusCode::kIOError || code == StatusCode::kAborted ||
-         code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+         code == StatusCode::kUnavailable || code == StatusCode::kDataLoss ||
+         code == StatusCode::kOverloaded;
 }
 
 std::string Status::ToString() const {

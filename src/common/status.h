@@ -29,6 +29,10 @@ enum class StatusCode {
   /// replica was available. Retriable at task granularity: a fresh attempt
   /// re-reads/re-fetches the data from its authoritative source.
   kDataLoss,
+  /// Admission control rejected the request: a serving queue is at its
+  /// configured depth (m3r.server.queue.depth). Backpressure, not failure —
+  /// retriable after the backlog drains.
+  kOverloaded,
 };
 
 /// True for codes that denote transient conditions a caller may retry
@@ -84,6 +88,9 @@ class Status {
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,10 +98,17 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsRetriable() const { return ::m3r::IsRetriable(code_); }
 
   /// "OK" or "<CodeName>: <message>".

@@ -1,8 +1,36 @@
 #include "m3r/server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/fairshare.h"
 #include "common/logging.h"
+#include "m3r/m3r_engine.h"
 
 namespace m3r::engine {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsBetween(SteadyClock::time_point from, SteadyClock::time_point to) {
+  if (from.time_since_epoch().count() == 0 ||
+      to.time_since_epoch().count() == 0 || to < from) {
+    return 0;
+  }
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string CacheShareKey() {
+  return std::string(api::conf::kMemorySharePrefix) + "cache";
+}
+
+}  // namespace
 
 const char* JobStateName(JobState state) {
   switch (state) {
@@ -14,105 +42,635 @@ const char* JobStateName(JobState state) {
   return "?";
 }
 
-JobServer::JobServer(std::shared_ptr<api::Engine> engine)
-    : engine_(std::move(engine)), engine_name_(engine_->Name()) {
-  worker_ = std::thread([this] { WorkerLoop(); });
-}
+// ---------------------------------------------------------------------------
+// Core: all scheduler state, shared (shared_ptr) between the JobServer
+// facade, the dispatcher thread, per-job monitor threads, and ticket cancel
+// hooks (which hold only a weak_ptr so a ticket outliving the server cannot
+// touch freed state). Lock order is always core->mu, then a ticket's mu —
+// never the reverse.
+// ---------------------------------------------------------------------------
 
-JobServer::~JobServer() { Shutdown(); }
+struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
+  std::shared_ptr<api::Engine> engine;
+  Options options;
+  /// Non-null when the backing engine is M3R: tenant quotas are registered
+  /// with its memory governor.
+  M3REngine* m3r = nullptr;
 
-int JobServer::SubmitJob(const api::JobConf& conf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  M3R_CHECK(!shutdown_) << "submit to a shut-down server";
-  int id = next_job_id_++;
-  ServerJobStatus status;
-  status.job_id = id;
-  status.job_name = conf.JobName();
-  status.queue = conf.Get(api::conf::kQueueName, "default");
-  status.state = JobState::kQueued;
-  jobs_.emplace(id, std::move(status));
-  queue_.emplace_back(id, conf);
-  cv_.notify_all();
-  return id;
-}
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  /// Serializes Shutdown callers (join is single-threaded).
+  std::mutex shutdown_mu;
 
-ServerJobStatus JobServer::GetJobStatus(int job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = jobs_.find(job_id);
-  M3R_CHECK(it != jobs_.end()) << "unknown job id " << job_id;
-  return it->second;
-}
+  bool accepting = true;
+  bool abort = false;
+  int64_t next_id = 1;
+  int64_t next_seq = 1;
 
-api::JobResult JobServer::WaitForCompletion(int job_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    auto it = jobs_.find(job_id);
-    M3R_CHECK(it != jobs_.end()) << "unknown job id " << job_id;
-    return it->second.state == JobState::kSucceeded ||
-           it->second.state == JobState::kFailed;
-  });
-  return jobs_.at(job_id).result;
-}
+  /// One queued job: its ticket state plus the submission to dispatch.
+  struct Pending {
+    std::shared_ptr<api::JobTicket::State> state;
+    api::Submission submission;
+    /// Admission order, the fair tie-break within a priority band. A
+    /// preempted job keeps its original seq so re-queueing does not send
+    /// it to the back of its band.
+    int64_t seq = 0;
+  };
 
-std::vector<int> JobServer::ActiveJobs(const std::string& queue) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int> out;
-  for (const auto& [id, status] : jobs_) {
-    if (status.state != JobState::kQueued &&
-        status.state != JobState::kRunning) {
-      continue;
+  struct QueueState {
+    double weight = 1.0;
+    /// Ordered: priority descending, then seq ascending.
+    std::deque<Pending> pending;
+    int running = 0;
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t cancelled = 0;
+    int64_t preempted = 0;
+    int64_t rejected = 0;
+    double completed_sim_seconds = 0;
+    double total_wait_seconds = 0;
+  };
+  std::map<std::string, QueueState> queues;
+  FairShareClock clock;
+  double total_completed_sim = 0;
+
+  struct Running {
+    std::shared_ptr<api::JobTicket::State> state;
+    api::Submission submission;
+    std::shared_ptr<api::JobHandle> handle;
+    int64_t seq = 0;
+    bool preempt_requested = false;
+  };
+  std::map<int64_t, Running> running;
+
+  /// Every ticket ever admitted, for the bare-int status shims.
+  std::map<int64_t, std::shared_ptr<api::JobTicket::State>> tickets;
+
+  /// Live (queued + running) job count per tenant; a tenant is registered
+  /// with the memory governor exactly while its count is positive.
+  std::map<std::string, int> tenant_live;
+
+  std::thread dispatcher;
+  /// Monitor thread per running ticket id; a finishing monitor moves its
+  /// own entry to `retired` for the dispatcher (or Shutdown) to join.
+  std::map<int64_t, std::thread> monitors;
+  std::vector<std::thread> retired;
+
+  QueueState& QueueLocked(const std::string& name) {
+    auto it = queues.find(name);
+    if (it == queues.end()) {
+      it = queues.emplace(name, QueueState{}).first;
+      auto w = options.queue_weights.find(name);
+      it->second.weight = w == options.queue_weights.end()
+                              ? options.default_queue_weight
+                              : w->second;
+      clock.SetWeight(name, it->second.weight);
     }
-    if (!queue.empty() && status.queue != queue) continue;
-    out.push_back(id);
+    return it->second;
+  }
+
+  bool PendingEmptyLocked() const {
+    for (const auto& [name, q] : queues) {
+      if (!q.pending.empty()) return false;
+    }
+    return true;
+  }
+
+  void EnqueueLocked(Pending p) {
+    QueueState& q = QueueLocked(p.submission.queue);
+    if (q.pending.empty() && q.running == 0) {
+      clock.OnBacklogged(p.submission.queue);
+    }
+    int priority = p.submission.priority;
+    auto pos = std::find_if(
+        q.pending.begin(), q.pending.end(), [&](const Pending& other) {
+          return other.submission.priority < priority ||
+                 (other.submission.priority == priority && other.seq > p.seq);
+        });
+    q.pending.insert(pos, std::move(p));
+  }
+
+  void TenantAcquireLocked(const std::string& tenant) {
+    if (++tenant_live[tenant] != 1 || m3r == nullptr) return;
+    auto it = options.tenant_quotas.find(tenant);
+    m3r->governor().TenantJoin(tenant,
+                               it == options.tenant_quotas.end() ? 0
+                                                                 : it->second);
+  }
+
+  void TenantReleaseLocked(const std::string& tenant) {
+    auto it = tenant_live.find(tenant);
+    if (it == tenant_live.end()) return;
+    if (--it->second > 0) return;
+    tenant_live.erase(it);
+    if (m3r != nullptr) m3r->governor().TenantLeave(tenant);
+  }
+
+  /// Ticket cancel hook: a running job is cancelled through its handle
+  /// (the monitor sees the terminal result); a queued job is failed with
+  /// Cancelled without ever dispatching.
+  void CancelTicket(int64_t id) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto rit = running.find(id);
+    if (rit != running.end()) {
+      rit->second.handle->Cancel();
+      return;
+    }
+    for (auto& [name, q] : queues) {
+      for (auto it = q.pending.begin(); it != q.pending.end(); ++it) {
+        if (it->state->id != id) continue;
+        Pending p = std::move(*it);
+        q.pending.erase(it);
+        q.cancelled++;
+        TenantReleaseLocked(p.submission.tenant);
+        api::JobResult result;
+        result.status = Status::Cancelled("cancelled while queued");
+        p.state->Complete(std::move(result), api::TicketPhase::kCancelled);
+        lock.unlock();
+        cv.notify_all();
+        return;
+      }
+    }
+    // Terminal or unknown: nothing to do.
+  }
+
+  /// Preempt the lowest-priority running job if the incoming priority is
+  /// strictly higher (ties keep running — preemption must buy priority,
+  /// not churn). Called at admission with `mu` held.
+  void MaybePreemptLocked(int incoming_priority) {
+    if (!options.preemption) return;
+    if (static_cast<int>(running.size()) < options.max_inflight) return;
+    Running* victim = nullptr;
+    for (auto& [id, r] : running) {
+      if (r.preempt_requested) continue;
+      if (r.state->priority >= incoming_priority) continue;
+      if (victim == nullptr || r.state->priority < victim->state->priority ||
+          (r.state->priority == victim->state->priority &&
+           r.state->id > victim->state->id)) {
+        victim = &r;
+      }
+    }
+    if (victim == nullptr) return;
+    victim->preempt_requested = true;
+    victim->handle->Cancel();
+  }
+
+  /// Pick the next job: the highest priority at the head of any backlogged
+  /// queue wins; within that band, the queue with the smallest fair-share
+  /// virtual time. Returns true when a job was dispatched.
+  bool DispatchOneLocked() {
+    int best_priority = 0;
+    std::vector<std::string> candidates;
+    for (auto& [name, q] : queues) {
+      if (q.pending.empty()) continue;
+      int head = q.pending.front().submission.priority;
+      if (candidates.empty() || head > best_priority) {
+        best_priority = head;
+        candidates.assign(1, name);
+      } else if (head == best_priority) {
+        candidates.push_back(name);
+      }
+    }
+    if (candidates.empty()) return false;
+    std::string chosen = clock.PickMin(candidates);
+    QueueState& q = queues[chosen];
+    Pending p = std::move(q.pending.front());
+    q.pending.pop_front();
+    q.running++;
+
+    api::JobConf conf = p.submission.conf;
+    if (m3r != nullptr) {
+      // Make the tenant quota bind: clamp this job's cache share to its
+      // tenant's current quota (M3REngine re-reads share keys per submit)
+      // and expose the quota itself as a share the governor mirrors.
+      double quota = m3r->governor().TenantQuota(p.submission.tenant);
+      if (quota < 1.0) {
+        conf.SetDouble(CacheShareKey(),
+                       std::min(conf.GetDouble(CacheShareKey(), 1.0), quota));
+      }
+      conf.SetDouble(std::string(api::conf::kMemorySharePrefix) + "tenant." +
+                         p.submission.tenant,
+                     quota);
+    }
+
+    int64_t id = p.state->id;
+    p.state->MarkRunning();
+    auto handle =
+        std::make_shared<api::JobHandle>(engine->SubmitAsync(conf));
+    Running r;
+    r.state = p.state;
+    r.submission = std::move(p.submission);
+    r.handle = handle;
+    r.seq = p.seq;
+    std::string queue_name = r.submission.queue;
+    auto state = r.state;
+    running.emplace(id, std::move(r));
+    monitors[id] = std::thread([this, id, handle, state, queue_name] {
+      MonitorJob(id, handle, state, queue_name);
+    });
+    return true;
+  }
+
+  /// One thread per running job: mirrors engine progress/counters plus the
+  /// scheduler's live gauges into the ticket, then settles the outcome.
+  void MonitorJob(int64_t id, std::shared_ptr<api::JobHandle> handle,
+                  std::shared_ptr<api::JobTicket::State> state,
+                  const std::string& queue_name) {
+    while (!handle->WaitFor(/*seconds=*/0.002)) {
+      double progress = handle->Progress();
+      api::Counters live = handle->LiveCounters();
+      int64_t queued = 0, running_now = 0, completed = 0, share_mille = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = queues.find(queue_name);
+        if (it != queues.end()) {
+          queued = static_cast<int64_t>(it->second.pending.size());
+          running_now = it->second.running;
+          completed = it->second.completed;
+          if (total_completed_sim > 0) {
+            share_mille = static_cast<int64_t>(
+                1000.0 * it->second.completed_sim_seconds /
+                total_completed_sim);
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->progress = progress;
+        state->live = live;
+        namespace c = api::counters;
+        state->live.Increment(c::kSchedulerGroup, c::kSchedQueueQueued,
+                              queued);
+        state->live.Increment(c::kSchedulerGroup, c::kSchedQueueRunning,
+                              running_now);
+        state->live.Increment(c::kSchedulerGroup, c::kSchedQueueCompleted,
+                              completed);
+        state->live.Increment(c::kSchedulerGroup, c::kSchedQueueShareMille,
+                              share_mille);
+        state->live.Increment(
+            c::kSchedulerGroup, c::kSchedWaitMs,
+            static_cast<int64_t>(
+                1000 * SecondsBetween(state->admitted_at,
+                                      state->dispatched_at)));
+        state->live.Increment(c::kSchedulerGroup, c::kSchedAttempts,
+                              state->attempts);
+      }
+    }
+    api::JobResult result = handle->Wait();
+    SettleJob(id, std::move(result));
+  }
+
+  void SettleJob(int64_t id, api::JobResult result) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto rit = running.find(id);
+    M3R_CHECK(rit != running.end()) << "settled job " << id << " not running";
+    Running r = std::move(rit->second);
+    running.erase(rit);
+    QueueState& q = queues[r.submission.queue];
+    q.running--;
+    // Service consumed is charged whether or not the run completed —
+    // preempted/cancelled runs used the engine too.
+    clock.Charge(r.submission.queue, std::max(result.sim_seconds, 0.0));
+
+    bool user_cancel = false;
+    {
+      std::lock_guard<std::mutex> ticket_lock(r.state->mu);
+      user_cancel = r.state->cancel_requested;
+    }
+
+    if (result.status.IsCancelled() && r.preempt_requested && !user_cancel &&
+        accepting && !abort) {
+      // Preempted to make room for a higher priority: back into its queue
+      // at its original position in the band. The engine aborted the run
+      // cleanly (partial output removed), so the re-run starts fresh.
+      q.preempted++;
+      r.state->MarkPreempted();
+      EnqueueLocked(Pending{r.state, std::move(r.submission), r.seq});
+    } else {
+      api::TicketPhase phase;
+      if (result.ok()) {
+        phase = api::TicketPhase::kSucceeded;
+        q.completed++;
+        q.completed_sim_seconds += result.sim_seconds;
+        total_completed_sim += result.sim_seconds;
+      } else if (result.status.IsCancelled()) {
+        phase = api::TicketPhase::kCancelled;
+        q.cancelled++;
+      } else {
+        phase = api::TicketPhase::kFailed;
+        q.failed++;
+      }
+      double wait_seconds = 0;
+      {
+        std::lock_guard<std::mutex> ticket_lock(r.state->mu);
+        wait_seconds =
+            SecondsBetween(r.state->admitted_at, r.state->dispatched_at);
+        result.metrics["sched_wait_ms"] =
+            static_cast<int64_t>(1000 * wait_seconds);
+        result.metrics["sched_attempts"] = r.state->attempts;
+        result.metrics["sched_preemptions"] = r.state->preemptions;
+      }
+      q.total_wait_seconds += wait_seconds;
+      TenantReleaseLocked(r.submission.tenant);
+      r.state->Complete(std::move(result), phase);
+    }
+
+    // Retire this monitor's own thread object for the dispatcher to join.
+    auto mit = monitors.find(id);
+    if (mit != monitors.end()) {
+      retired.push_back(std::move(mit->second));
+      monitors.erase(mit);
+    }
+    lock.unlock();
+    cv.notify_all();
+  }
+
+  void FlushPendingLocked() {
+    for (auto& [name, q] : queues) {
+      while (!q.pending.empty()) {
+        Pending p = std::move(q.pending.front());
+        q.pending.pop_front();
+        q.cancelled++;
+        TenantReleaseLocked(p.submission.tenant);
+        api::JobResult result;
+        result.status = Status::Cancelled("server shut down (abort)");
+        p.state->Complete(std::move(result), api::TicketPhase::kCancelled);
+      }
+    }
+  }
+
+  void DispatcherLoop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (!retired.empty()) {
+        std::vector<std::thread> done;
+        done.swap(retired);
+        lock.unlock();
+        for (auto& t : done) {
+          if (t.joinable()) t.join();
+        }
+        lock.lock();
+        continue;  // state may have moved while unlocked
+      }
+      if (abort) FlushPendingLocked();
+      if (!abort && static_cast<int>(running.size()) < options.max_inflight &&
+          DispatchOneLocked()) {
+        cv.notify_all();
+        continue;
+      }
+      if (!accepting && PendingEmptyLocked() && running.empty()) return;
+      cv.wait(lock);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// JobServer facade
+// ---------------------------------------------------------------------------
+
+JobServer::Options JobServer::OptionsFromConf(const api::Configuration& conf) {
+  namespace ck = api::conf;
+  Options o;
+  o.max_inflight =
+      std::max<int>(1, static_cast<int>(conf.GetInt(ck::kServerMaxInflight, 1)));
+  o.queue_depth =
+      std::max<int>(1, static_cast<int>(conf.GetInt(ck::kServerQueueDepth, 64)));
+  o.preemption = conf.GetBool(ck::kServerPreemption, true);
+  o.admission = conf.Get(ck::kServerAdmission, "reject") == "block"
+                    ? AdmissionMode::kBlock
+                    : AdmissionMode::kReject;
+  const std::string weight_prefix = ck::kServerQueueWeightPrefix;
+  const std::string quota_prefix = ck::kServerTenantQuotaPrefix;
+  for (const auto& [key, value] : conf.raw()) {
+    if (key.rfind(weight_prefix, 0) == 0) {
+      o.queue_weights[key.substr(weight_prefix.size())] =
+          std::strtod(value.c_str(), nullptr);
+    } else if (key.rfind(quota_prefix, 0) == 0) {
+      o.tenant_quotas[key.substr(quota_prefix.size())] =
+          std::strtod(value.c_str(), nullptr);
+    }
+  }
+  return o;
+}
+
+JobServer::JobServer(std::shared_ptr<api::Engine> engine)
+    : JobServer(std::move(engine), Options()) {}
+
+JobServer::JobServer(std::shared_ptr<api::Engine> engine, Options options)
+    : core_(std::make_shared<Core>()) {
+  M3R_CHECK(engine != nullptr) << "JobServer needs an engine";
+  core_->engine = std::move(engine);
+  options.max_inflight = std::max(1, options.max_inflight);
+  options.queue_depth = std::max(1, options.queue_depth);
+  core_->options = std::move(options);
+  core_->m3r = dynamic_cast<M3REngine*>(core_->engine.get());
+  engine_name_ = core_->engine->Name();
+  std::shared_ptr<Core> core = core_;
+  core_->dispatcher = std::thread([core] { core->DispatcherLoop(); });
+}
+
+JobServer::~JobServer() { Shutdown(DrainMode::kDrain); }
+
+Result<api::JobTicket> JobServer::Submit(api::Submission submission) {
+  return SubmitInternal(std::move(submission),
+                        core_->options.admission == AdmissionMode::kBlock);
+}
+
+Result<api::JobTicket> JobServer::SubmitInternal(api::Submission submission,
+                                                 bool block_when_full) {
+  Status valid = submission.Validate();
+  if (!valid.ok()) return valid;
+
+  std::shared_ptr<Core> core = core_;
+  std::unique_lock<std::mutex> lock(core->mu);
+  if (!core->accepting) {
+    return Status::FailedPrecondition("job server is shut down");
+  }
+  Core::QueueState& q = core->QueueLocked(submission.queue);
+  if (static_cast<int>(q.pending.size()) >= core->options.queue_depth) {
+    if (!block_when_full) {
+      q.rejected++;
+      return Status::Overloaded(
+          "queue '" + submission.queue + "' is at its depth limit (" +
+          std::to_string(core->options.queue_depth) + " jobs waiting)");
+    }
+    core->cv.wait(lock, [&] {
+      return !core->accepting ||
+             static_cast<int>(q.pending.size()) < core->options.queue_depth;
+    });
+    if (!core->accepting) {
+      return Status::FailedPrecondition("job server is shut down");
+    }
+  }
+
+  int64_t id = core->next_id++;
+  auto state = std::make_shared<api::JobTicket::State>();
+  state->id = id;
+  state->tenant = submission.tenant;
+  state->queue = submission.queue;
+  state->job_name = submission.conf.JobName();
+  state->priority = submission.priority;
+  state->deadline_hint = submission.deadline_hint;
+  state->MarkAdmitted();
+  std::weak_ptr<Core> weak = core->weak_from_this();
+  state->on_cancel = [weak, id] {
+    if (std::shared_ptr<Core> c = weak.lock()) c->CancelTicket(id);
+  };
+  core->tickets[id] = state;
+  core->TenantAcquireLocked(submission.tenant);
+  q.submitted++;
+  int priority = submission.priority;
+  core->EnqueueLocked(
+      Core::Pending{state, std::move(submission), core->next_seq++});
+  core->MaybePreemptLocked(priority);
+  lock.unlock();
+  core->cv.notify_all();
+  return api::JobTicket(state);
+}
+
+std::vector<JobServer::QueueStats> JobServer::Stats() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::vector<QueueStats> out;
+  out.reserve(core_->queues.size());
+  for (const auto& [name, q] : core_->queues) {
+    QueueStats s;
+    s.queue = name;
+    s.weight = q.weight;
+    s.queued = static_cast<int>(q.pending.size());
+    s.running = q.running;
+    s.submitted = q.submitted;
+    s.completed = q.completed;
+    s.failed = q.failed;
+    s.cancelled = q.cancelled;
+    s.preempted = q.preempted;
+    s.rejected = q.rejected;
+    s.completed_sim_seconds = q.completed_sim_seconds;
+    s.total_wait_seconds = q.total_wait_seconds;
+    s.virtual_time = core_->clock.VirtualTime(name);
+    s.share_of_completed = core_->total_completed_sim > 0
+                               ? q.completed_sim_seconds /
+                                     core_->total_completed_sim
+                               : 0;
+    out.push_back(std::move(s));
   }
   return out;
 }
 
-void JobServer::Shutdown() {
+std::vector<int64_t> JobServer::ActiveTickets(const std::string& queue) const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::vector<int64_t> out;
+  for (const auto& [id, state] : core_->tickets) {
+    if (!queue.empty() && state->queue != queue) continue;
+    std::lock_guard<std::mutex> ticket_lock(state->mu);
+    if (!api::IsTerminal(state->phase)) out.push_back(id);
+  }
+  return out;
+}
+
+void JobServer::Shutdown(DrainMode mode) {
+  std::shared_ptr<Core> core = core_;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->accepting = false;
+    if (mode == DrainMode::kAbort) {
+      core->abort = true;
+      for (auto& [id, r] : core->running) r.handle->Cancel();
+    }
   }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
-}
+  core->cv.notify_all();
 
-void JobServer::WorkerLoop() {
-  for (;;) {
-    std::pair<int, api::JobConf> next;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      next = std::move(queue_.front());
-      queue_.pop_front();
-      jobs_[next.first].state = JobState::kRunning;
-    }
-    cv_.notify_all();
-
-    // Run through the async handle and mirror its progress/counters into
-    // the job's externally visible status while it runs (paper §5.3).
-    api::JobHandle handle = engine_->SubmitAsync(next.second);
-    while (!handle.WaitFor(/*seconds=*/0.005)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ServerJobStatus& status = jobs_[next.first];
-      status.progress = handle.Progress();
-      status.counters = handle.LiveCounters();
-    }
-    api::JobResult result = handle.Wait();
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ServerJobStatus& status = jobs_[next.first];
-      status.state = result.ok() ? JobState::kSucceeded : JobState::kFailed;
-      status.progress = 1.0;
-      status.counters = result.counters;
-      status.result = std::move(result);
-    }
-    cv_.notify_all();
+  std::lock_guard<std::mutex> shutdown_lock(core->shutdown_mu);
+  if (core->dispatcher.joinable()) core->dispatcher.join();
+  // The dispatcher exits only once every queue is empty and nothing runs;
+  // whatever monitor threads remain are terminal and just need joining.
+  std::map<int64_t, std::thread> monitors;
+  std::vector<std::thread> retired;
+  {
+    std::lock_guard<std::mutex> lock(core->mu);
+    monitors.swap(core->monitors);
+    retired.swap(core->retired);
+  }
+  for (auto& [id, t] : monitors) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& t : retired) {
+    if (t.joinable()) t.join();
   }
 }
+
+// --- deprecated shims -------------------------------------------------------
+
+int JobServer::SubmitJob(const api::JobConf& conf) {
+  // The legacy contract accepted unboundedly, so a full queue blocks
+  // rather than rejecting; submitting to a shut-down server still aborts.
+  Result<api::JobTicket> ticket =
+      SubmitInternal(api::Submission::FromConf(conf), /*block_when_full=*/true);
+  M3R_CHECK(ticket.ok()) << "submit to a shut-down server: "
+                         << ticket.status().ToString();
+  return static_cast<int>(ticket->id());
+}
+
+ServerJobStatus JobServer::StatusOfTicket(int job_id) const {
+  std::shared_ptr<api::JobTicket::State> state;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    auto it = core_->tickets.find(job_id);
+    M3R_CHECK(it != core_->tickets.end()) << "unknown job id " << job_id;
+    state = it->second;
+  }
+  ServerJobStatus status;
+  status.job_id = job_id;
+  std::lock_guard<std::mutex> ticket_lock(state->mu);
+  status.job_name = state->job_name;
+  status.queue = state->queue;
+  switch (state->phase) {
+    case api::TicketPhase::kQueued:
+    case api::TicketPhase::kPreempted:
+      status.state = JobState::kQueued;
+      break;
+    case api::TicketPhase::kRunning:
+      status.state = JobState::kRunning;
+      break;
+    case api::TicketPhase::kSucceeded:
+      status.state = JobState::kSucceeded;
+      break;
+    case api::TicketPhase::kFailed:
+    case api::TicketPhase::kCancelled:
+      status.state = JobState::kFailed;
+      break;
+  }
+  status.progress = state->progress;
+  status.counters =
+      api::IsTerminal(state->phase) ? state->result.counters : state->live;
+  if (api::IsTerminal(state->phase)) status.result = state->result;
+  return status;
+}
+
+ServerJobStatus JobServer::GetJobStatus(int job_id) const {
+  return StatusOfTicket(job_id);
+}
+
+api::JobResult JobServer::WaitForCompletion(int job_id) {
+  std::shared_ptr<api::JobTicket::State> state;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    auto it = core_->tickets.find(job_id);
+    M3R_CHECK(it != core_->tickets.end()) << "unknown job id " << job_id;
+    state = it->second;
+  }
+  return api::JobTicket(std::move(state)).Wait();
+}
+
+std::vector<int> JobServer::ActiveJobs(const std::string& queue) const {
+  std::vector<int> out;
+  for (int64_t id : ActiveTickets(queue)) out.push_back(static_cast<int>(id));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry + port-based submission
+// ---------------------------------------------------------------------------
 
 ServerRegistry& ServerRegistry::Instance() {
   static ServerRegistry* instance = new ServerRegistry();
@@ -135,14 +693,19 @@ void ServerRegistry::Unbind(int port) {
   servers_.erase(port);
 }
 
-Result<int> SubmitViaPort(const api::JobConf& conf) {
-  int port = static_cast<int>(conf.GetInt(kJobTrackerPortKey, 9001));
+Result<api::JobTicket> SubmitViaPort(api::Submission submission) {
+  int port =
+      static_cast<int>(submission.conf.GetInt(kJobTrackerPortKey, 9001));
   std::shared_ptr<JobServer> server = ServerRegistry::Instance().Lookup(port);
   if (server == nullptr) {
     return Status::NotFound("no job server bound to port " +
                             std::to_string(port));
   }
-  return server->SubmitJob(conf);
+  return server->Submit(std::move(submission));
+}
+
+Result<api::JobTicket> SubmitViaPort(const api::JobConf& conf) {
+  return SubmitViaPort(api::Submission::FromConf(conf));
 }
 
 }  // namespace m3r::engine

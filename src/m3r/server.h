@@ -1,26 +1,26 @@
 #ifndef M3R_M3R_SERVER_H_
 #define M3R_M3R_SERVER_H_
 
-#include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "api/configuration.h"
 #include "api/engine.h"
+#include "api/submission.h"
 
 namespace m3r::engine {
 
-/// Lifecycle states reported by the jobtracker protocol.
+/// Lifecycle states reported by the legacy jobtracker protocol surface
+/// (the deprecated bare-int shims). New code reads api::TicketPhase.
 enum class JobState { kQueued, kRunning, kSucceeded, kFailed };
 
 const char* JobStateName(JobState state);
 
-/// One job's externally visible status: state, asynchronously updated
-/// progress and counters (paper §5.3), and — once terminal — the result.
+/// One job's externally visible status on the legacy protocol surface.
 struct ServerJobStatus {
   int job_id = -1;
   std::string job_name;
@@ -31,53 +31,142 @@ struct ServerJobStatus {
   api::JobResult result;  // meaningful when state is terminal
 };
 
-/// Server mode (paper §5.3): a long-running endpoint implementing the
-/// Hadoop JobTracker protocol surface — submit, poll status, wait — backed
-/// by any Engine. "It is possible to simply replace the Hadoop server
-/// daemon with the M3R one": bind an M3RJobServer where a Hadoop-backed
-/// JobServer used to be (see ServerRegistry) and clients keep working.
+/// Server mode (paper §5.3) grown into a multi-tenant serving front end:
+/// a long-running endpoint backed by any Engine, scheduling thousands of
+/// queued jobs from many tenants so that none starves the rest.
 ///
-/// Jobs are executed one at a time, FIFO per submission order (queue names
-/// from mapred.job.queue.name are tracked and reported). Progress and
-/// counters update asynchronously while a job runs.
-class JobServer {
+///  - Named queues with weighted fair-share: service (completed simulated
+///    seconds) is divided among backlogged queues in proportion to
+///    m3r.server.queue.weight.<queue>, via start-time-fair virtual time
+///    (common/fairshare.h). Priorities are strict bands above the
+///    fair-share order.
+///  - K in-flight jobs (m3r.server.max.inflight) dispatched through
+///    Engine::SubmitAsync. The engine still serializes execution
+///    internally; extra slots pipeline dispatch so the engine never idles
+///    between jobs.
+///  - Bounded admission (m3r.server.queue.depth) with typed backpressure:
+///    a full queue rejects with Status::Overloaded or blocks the
+///    submitter, per m3r.server.admission.
+///  - Priority preemption (m3r.server.preemption): a strictly higher
+///    priority submission cancels the lowest-priority running job through
+///    its JobHandle; the preempted job is re-queued, not lost, and runs
+///    again from scratch (engines abort cancelled jobs cleanly, removing
+///    partial output).
+///  - Per-tenant memory quotas: while a tenant has jobs in the system it
+///    is registered with the M3R engine's MemoryGovernor
+///    (m3r.memory.share.<tenant>); the cache share of each dispatched job
+///    is clamped to its tenant's quota. Quotas rebalance on tenant
+///    join/leave.
+///  - Live metrics: per-queue gauges in every running ticket's
+///    LiveCounters (Scheduler group), scheduler fields in job-end
+///    metrics (sched_wait_ms, sched_attempts, sched_preemptions), and the
+///    Stats() snapshot (queued/running/completed, wait time, share of
+///    completed service).
+///
+/// "It is possible to simply replace the Hadoop server daemon with the
+/// M3R one": bind an M3R-backed JobServer where a Hadoop-backed one used
+/// to be (ServerRegistry) and clients keep working.
+class JobServer : public api::JobSubmitter {
  public:
+  enum class AdmissionMode { kReject, kBlock };
+  enum class DrainMode {
+    kDrain,  ///< run every queued job to completion, then stop
+    kAbort,  ///< cancel running jobs, fail queued jobs with Cancelled
+  };
+
+  struct Options {
+    /// Jobs concurrently dispatched into the engine (>= 1).
+    int max_inflight = 1;
+    /// Per-queue cap on jobs awaiting dispatch (>= 1).
+    int queue_depth = 64;
+    /// Allow higher-priority submissions to preempt running jobs.
+    bool preemption = true;
+    AdmissionMode admission = AdmissionMode::kReject;
+    /// Fair-share weight for queues not named in `queue_weights`.
+    double default_queue_weight = 1.0;
+    std::map<std::string, double> queue_weights;
+    /// Explicit tenant quota fractions; absent tenants split the
+    /// unreserved remainder evenly (memgov::MemoryGovernor::TenantJoin).
+    std::map<std::string, double> tenant_quotas;
+  };
+
+  /// Reads the m3r.server.* keys (max.inflight, queue.depth, admission,
+  /// preemption, queue.weight.<q>, tenant.quota.<t>) from `conf`.
+  static Options OptionsFromConf(const api::Configuration& conf);
+
   explicit JobServer(std::shared_ptr<api::Engine> engine);
-  ~JobServer();
+  JobServer(std::shared_ptr<api::Engine> engine, Options options);
+  /// Drains: equivalent to Shutdown(DrainMode::kDrain).
+  ~JobServer() override;
 
   JobServer(const JobServer&) = delete;
   JobServer& operator=(const JobServer&) = delete;
 
   const std::string& EngineName() const { return engine_name_; }
 
-  /// Enqueues the job and returns its id immediately.
+  /// Typed submission: validates, admits against the queue depth, and
+  /// returns a ticket. Typed failures: InvalidArgument (malformed
+  /// submission), Overloaded (queue full in reject mode),
+  /// FailedPrecondition (server shut down).
+  Result<api::JobTicket> Submit(api::Submission submission) override;
+
+  /// Per-queue scheduling statistics snapshot.
+  struct QueueStats {
+    std::string queue;
+    double weight = 1.0;
+    int queued = 0;       ///< awaiting dispatch right now
+    int running = 0;      ///< dispatched, not yet terminal
+    int64_t submitted = 0;
+    int64_t completed = 0;  ///< terminal successes
+    int64_t failed = 0;     ///< terminal failures (excluding cancels)
+    int64_t cancelled = 0;
+    int64_t preempted = 0;  ///< preemption re-queues (not terminal)
+    int64_t rejected = 0;   ///< admission rejections (Overloaded)
+    double completed_sim_seconds = 0;  ///< service received (successes)
+    double total_wait_seconds = 0;     ///< sum of admission->dispatch waits
+    double virtual_time = 0;
+    /// completed_sim_seconds / sum over all queues (0 when nothing
+    /// completed yet) — the measured fair share.
+    double share_of_completed = 0;
+  };
+  std::vector<QueueStats> Stats() const;
+
+  /// Ids of non-terminal tickets in `queue` ("" = all queues).
+  std::vector<int64_t> ActiveTickets(const std::string& queue = "") const;
+
+  /// Stops accepting jobs and shuts the scheduler down. kDrain awaits
+  /// every queued and running job; kAbort cancels running jobs at their
+  /// next task boundary and fails queued jobs with Cancelled. Either way
+  /// all worker threads are joined — in-flight jobs are never leaked.
+  /// Idempotent; concurrent callers block until shutdown completes.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  // --- Deprecated bare-int jobtracker shims -------------------------------
+  // The pre-typed protocol (SubmitJob -> int, GetJobStatus, Wait). Thin
+  // wrappers over the Submission/JobTicket surface; admission blocks
+  // rather than rejecting, preserving the old unbounded-accept contract.
+
+  [[deprecated("use Submit(Submission) -> Result<JobTicket>")]]
   int SubmitJob(const api::JobConf& conf);
 
-  /// Snapshot of a job's status; aborts on unknown id.
+  [[deprecated("use JobTicket::Poll()")]]
   ServerJobStatus GetJobStatus(int job_id) const;
 
-  /// Blocks until the job reaches a terminal state; returns its result.
+  [[deprecated("use JobTicket::Wait()")]]
   api::JobResult WaitForCompletion(int job_id);
 
-  /// Ids of non-terminal jobs in `queue` ("" = all queues).
+  [[deprecated("use ActiveTickets()")]]
   std::vector<int> ActiveJobs(const std::string& queue = "") const;
 
-  /// Stops accepting jobs, finishes the queue, joins the worker.
-  void Shutdown();
-
  private:
-  void WorkerLoop();
+  struct Core;
 
-  std::shared_ptr<api::Engine> engine_;
+  Result<api::JobTicket> SubmitInternal(api::Submission submission,
+                                        bool block_when_full);
+  ServerJobStatus StatusOfTicket(int job_id) const;
+
+  std::shared_ptr<Core> core_;
   std::string engine_name_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::pair<int, api::JobConf>> queue_;
-  std::map<int, ServerJobStatus> jobs_;
-  int next_job_id_ = 1;
-  bool shutdown_ = false;
-  std::thread worker_;
 };
 
 /// The "different ports" device of §5.3: servers bind to integer ports;
@@ -100,11 +189,15 @@ class ServerRegistry {
 /// Configuration key naming the server port a client submits to.
 inline constexpr char kJobTrackerPortKey[] = "mapred.job.tracker.port";
 
-/// Client-side submit: looks up the server bound to the port in `conf`
-/// (default 9001) and submits there — the paper's "a client can
-/// dynamically choose which server to submit a job to by altering the
-/// appropriate port setting in their job configuration".
-Result<int> SubmitViaPort(const api::JobConf& conf);
+/// Client-side submit: looks up the server bound to the port in the
+/// submission's conf (default 9001) and submits there — the paper's "a
+/// client can dynamically choose which server to submit a job to by
+/// altering the appropriate port setting in their job configuration".
+Result<api::JobTicket> SubmitViaPort(api::Submission submission);
+
+/// Bare-conf convenience: scheduling fields are read from their conf-key
+/// fallbacks (Submission::FromConf).
+Result<api::JobTicket> SubmitViaPort(const api::JobConf& conf);
 
 }  // namespace m3r::engine
 

@@ -100,6 +100,68 @@ void MemoryGovernor::ResetPeak() {
   peak_ = TotalUsageLocked();
 }
 
+double MemoryGovernor::TenantQuotaLocked(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 1.0;
+  if (it->second > 0) return std::min(it->second, 1.0);
+  double reserved = 0;
+  int automatic = 0;
+  for (const auto& [name, quota] : tenants_) {
+    if (quota > 0) {
+      reserved += quota;
+    } else {
+      ++automatic;
+    }
+  }
+  double remainder = std::max(0.0, 1.0 - reserved);
+  return automatic > 0 ? remainder / automatic : remainder;
+}
+
+void MemoryGovernor::RebalanceTenantsLocked() {
+  // Refresh the mirrored "tenant.<name>" share entries so budgets and
+  // snapshots reflect the post-join/leave split.
+  for (auto it = shares_.begin(); it != shares_.end();) {
+    if (it->first.rfind("tenant.", 0) == 0 &&
+        tenants_.find(it->first.substr(7)) == tenants_.end()) {
+      it = shares_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, quota] : tenants_) {
+    (void)quota;
+    shares_["tenant." + name] = std::clamp(TenantQuotaLocked(name), 0.0, 1.0);
+  }
+}
+
+void MemoryGovernor::TenantJoin(const std::string& tenant,
+                                double explicit_quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_[tenant] = std::clamp(explicit_quota, 0.0, 1.0);
+  RebalanceTenantsLocked();
+}
+
+void MemoryGovernor::TenantLeave(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(tenant);
+  RebalanceTenantsLocked();
+}
+
+double MemoryGovernor::TenantQuota(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TenantQuotaLocked(tenant);
+}
+
+std::map<std::string, double> MemoryGovernor::TenantQuotas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, quota] : tenants_) {
+    (void)quota;
+    out[name] = TenantQuotaLocked(name);
+  }
+  return out;
+}
+
 std::map<std::string, uint64_t> MemoryGovernor::Snapshot() const {
   std::map<std::string, GaugeFn> gauges;
   std::map<std::string, uint64_t> out;

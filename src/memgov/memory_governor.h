@@ -62,13 +62,40 @@ class MemoryGovernor {
   /// Per-consumer usage snapshot (gauges polled), for metrics export.
   std::map<std::string, uint64_t> Snapshot() const;
 
+  // --- Tenant quotas (serving front end, DESIGN.md §12) ---
+  // A tenant is an accounting identity the JobServer registers while that
+  // tenant has jobs queued or running. Its quota is a fraction of the
+  // budget: explicit (m3r.server.tenant.quota.<tenant>) or automatic —
+  // tenants without an explicit quota split the unreserved remainder
+  // (1 - sum of explicit quotas) evenly, re-split on every join/leave.
+  // Quotas are mirrored into the share table as "tenant.<name>" so
+  // Snapshot/ConsumerBudget expose them alongside consumer shares; the
+  // server additionally clamps the cache share of a job it dispatches to
+  // its tenant's quota, which is what makes the quota bind.
+
+  /// Registers `tenant`; explicit_quota in (0,1] pins its fraction, 0
+  /// requests an automatic (rebalanced) share. Idempotent re-join updates
+  /// the explicit quota.
+  void TenantJoin(const std::string& tenant, double explicit_quota = 0);
+  /// Unregisters `tenant` and rebalances the automatic tenants.
+  void TenantLeave(const std::string& tenant);
+  /// Current quota fraction for `tenant` (1.0 when unknown — an
+  /// unregistered tenant is unconstrained, like an unset share).
+  double TenantQuota(const std::string& tenant) const;
+  /// All registered tenants with their current (rebalanced) quotas.
+  std::map<std::string, double> TenantQuotas() const;
+
  private:
   uint64_t TotalUsageLocked() const;
   void SamplePeakLocked() const;
+  double TenantQuotaLocked(const std::string& tenant) const;
+  void RebalanceTenantsLocked();
 
   mutable std::mutex mu_;
   uint64_t budget_ = 0;
   std::map<std::string, double> shares_;
+  /// tenant -> explicit quota fraction (0 = automatic).
+  std::map<std::string, double> tenants_;
   std::map<std::string, uint64_t> pushed_;
   std::map<std::string, GaugeFn> gauges_;
   mutable uint64_t peak_ = 0;

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "common/fairshare.h"
 #include "common/path.h"
 #include "common/retry.h"
 #include "common/rng.h"
@@ -155,6 +158,86 @@ TEST(StatusTest, ResultCarriesValueOrStatus) {
   Result<int> bad(Status::IOError("disk"));
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, OverloadedIsTypedAndRetriable) {
+  Status s = Status::Overloaded("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOverloaded());
+  EXPECT_TRUE(s.IsRetriable());  // backpressure drains; retry is sane
+  EXPECT_NE(s.ToString().find("Overloaded"), std::string::npos);
+}
+
+TEST(FairShareClockTest, ServiceDividesByWeight) {
+  FairShareClock clock;
+  clock.SetWeight("a", 1.0);
+  clock.SetWeight("b", 2.0);
+  // Same service charged to both: the heavier key's virtual time advances
+  // half as fast, so it keeps winning picks twice as often.
+  clock.Charge("a", 10);
+  clock.Charge("b", 10);
+  EXPECT_DOUBLE_EQ(clock.VirtualTime("a"), 10.0);
+  EXPECT_DOUBLE_EQ(clock.VirtualTime("b"), 5.0);
+  EXPECT_EQ(clock.PickMin({"a", "b"}), "b");
+}
+
+TEST(FairShareClockTest, PicksTrackWeightsOverALongRun) {
+  FairShareClock clock;
+  clock.SetWeight("bronze", 1.0);
+  clock.SetWeight("silver", 2.0);
+  clock.SetWeight("gold", 3.0);
+  std::map<std::string, int> served;
+  for (int i = 0; i < 600; ++i) {
+    std::string pick = clock.PickMin({"bronze", "silver", "gold"});
+    served[pick]++;
+    clock.Charge(pick, 1.0);  // equal-cost jobs
+  }
+  EXPECT_NEAR(served["bronze"] / 600.0, 1.0 / 6, 0.02);
+  EXPECT_NEAR(served["silver"] / 600.0, 2.0 / 6, 0.02);
+  EXPECT_NEAR(served["gold"] / 600.0, 3.0 / 6, 0.02);
+}
+
+TEST(FairShareClockTest, IdlenessEarnsNoCredit) {
+  FairShareClock clock;
+  clock.SetWeight("busy", 1.0);
+  clock.SetWeight("idler", 1.0);
+  // "busy" runs alone for a while; "idler" then joins the backlog. Without
+  // the catch-up rule the idler's vtime 0 would let it monopolize service
+  // until it "repaid" the idle period.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(clock.PickMin({"busy"}), "busy");
+    clock.Charge("busy", 1.0);
+  }
+  clock.OnBacklogged("idler");
+  EXPECT_GE(clock.VirtualTime("idler"), clock.SystemVirtualTime() - 1e-9);
+  std::map<std::string, int> served;
+  for (int i = 0; i < 20; ++i) {
+    std::string pick = clock.PickMin({"busy", "idler"});
+    served[pick]++;
+    clock.Charge(pick, 1.0);
+  }
+  // Equal weights from here on: service alternates instead of the idler
+  // taking all 20.
+  EXPECT_GE(served["busy"], 9);
+  EXPECT_GE(served["idler"], 9);
+}
+
+TEST(FairShareClockTest, TiesBreakDeterministically) {
+  FairShareClock clock;
+  EXPECT_EQ(clock.PickMin({"b", "a", "c"}), "a");  // lexicographic at 0
+  EXPECT_EQ(clock.PickMin({}), "");
+}
+
+TEST(LatencyRecorderTest, PercentilesNearestRank) {
+  LatencyRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.Percentile(50), 0.0);
+  for (int i = 1; i <= 100; ++i) rec.Add(i);  // 1..100, shuffled order ok
+  EXPECT_EQ(rec.Count(), 100u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(rec.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(0), 1.0);
 }
 
 }  // namespace

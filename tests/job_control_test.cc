@@ -4,10 +4,14 @@
 // as an input to the second").
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "dfs/local_fs.h"
 #include "api/job_control.h"
+#include "api/submission.h"
 #include "hadoop/hadoop_engine.h"
 #include "m3r/m3r_engine.h"
+#include "m3r/server.h"
 #include "workloads/text_gen.h"
 #include "workloads/wordcount.h"
 
@@ -45,7 +49,8 @@ TEST(JobControlTest, PipelineRunsInDependencyOrder) {
   auto fs = dfs::MakeSimDfs(4, 16 * 1024);
   ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 32 * 1024, 2, 3).ok());
   engine::M3REngine engine(fs, {SmallCluster()});
-  JobControl control(&engine);
+  EngineSubmitter submitter(&engine);
+  JobControl control(&submitter);
 
   int stage1 = control.AddJob(MakeStage1Job("/in", "/stage1"));
   int stage2 = control.AddJob(MakeRecountJob("/stage1", "/stage2"),
@@ -63,7 +68,8 @@ TEST(JobControlTest, DependentsOfFailedJobsAreSkipped) {
   auto fs = dfs::MakeSimDfs(4, 16 * 1024);
   ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
   hadoop::HadoopEngine engine(fs, {SmallCluster(), 0});
-  JobControl control(&engine);
+  EngineSubmitter submitter(&engine);
+  JobControl control(&submitter);
 
   int bad = control.AddJob(
       workloads::MakeWordCountJob("/missing-input", "/b1", 1, true));
@@ -85,7 +91,8 @@ TEST(JobControlTest, DiamondDependencies) {
   auto fs = dfs::MakeSimDfs(4, 16 * 1024);
   ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
   engine::M3REngine engine(fs, {SmallCluster()});
-  JobControl control(&engine);
+  EngineSubmitter submitter(&engine);
+  JobControl control(&submitter);
 
   int root = control.AddJob(MakeStage1Job("/in", "/root"));
   int left = control.AddJob(MakeRecountJob("/root", "/left"), {root});
@@ -100,6 +107,69 @@ TEST(JobControlTest, DiamondDependencies) {
   auto summary = control.Run();
   EXPECT_TRUE(summary.all_succeeded);
   EXPECT_EQ(summary.states.at(join), JobControl::State::kSucceeded);
+}
+
+TEST(JobControlTest, DeprecatedEngineConstructorStillDrivesDags) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
+  engine::M3REngine engine(fs, {SmallCluster()});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  JobControl control(&engine);
+#pragma GCC diagnostic pop
+  int stage1 = control.AddJob(MakeStage1Job("/in", "/compat1"));
+  int stage2 =
+      control.AddJob(MakeRecountJob("/compat1", "/compat2"), {stage1});
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(stage2), JobControl::State::kSucceeded);
+}
+
+TEST(JobControlTest, IndependentBranchesOverlapThroughJobServer) {
+  // The same DAG driver pointed at a fair-share JobServer: the two
+  // independent middle branches are submitted concurrently (both tickets
+  // in flight at once) and routed to their own queues.
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 16 * 1024, 1, 3).ok());
+  engine::JobServer::Options options;
+  options.max_inflight = 2;
+  auto server = std::make_shared<engine::JobServer>(
+      std::make_shared<engine::M3REngine>(
+          fs, engine::M3REngineOptions{SmallCluster()}),
+      options);
+  JobControl control(server.get());
+
+  auto typed = [](JobConf conf, const std::string& queue) {
+    Submission sub = Submission::FromConf(std::move(conf));
+    sub.queue = queue;
+    return sub;
+  };
+  int root = control.AddJob(typed(MakeStage1Job("/in", "/root"), "prep"));
+  int left = control.AddJob(
+      typed(MakeRecountJob("/root", "/left"), "analytics"), {root});
+  int right =
+      control.AddJob(typed(MakeRecountJob("/root", "/right"), "etl"), {root});
+  int join = control.AddJob(
+      typed(
+          [&] {
+            JobConf job = MakeRecountJob("/left", "/join");
+            job.AddInputPath("/right");
+            return job;
+          }(),
+          "prep"),
+      {left, right});
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(join), JobControl::State::kSucceeded);
+  EXPECT_TRUE(fs->Exists("/join/_SUCCESS"));
+
+  // The scheduler saw all three queues.
+  int queues_used = 0;
+  for (const auto& q : server->Stats()) {
+    if (q.completed > 0) ++queues_used;
+  }
+  EXPECT_EQ(queues_used, 3);
+  server->Shutdown();
 }
 
 }  // namespace

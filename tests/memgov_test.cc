@@ -375,5 +375,58 @@ TEST(Lineage, SignatureIgnoresVolatileKeysOnly) {
   EXPECT_FALSE(IsVolatileLineageKey("mapred.mapper.class"));
 }
 
+TEST(MemoryGovernor, TenantQuotasExplicitAndAutomatic) {
+  MemoryGovernor gov;
+  // Unknown tenants are unconstrained.
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("nobody"), 1.0);
+
+  gov.TenantJoin("pinned", 0.5);
+  gov.TenantJoin("auto1");
+  gov.TenantJoin("auto2");
+  // Explicit quota is pinned; automatic tenants split the remainder.
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("pinned"), 0.5);
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("auto1"), 0.25);
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("auto2"), 0.25);
+
+  // A leave rebalances the automatic split.
+  gov.TenantLeave("auto2");
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("auto1"), 0.5);
+  auto quotas = gov.TenantQuotas();
+  EXPECT_EQ(quotas.size(), 2u);
+  EXPECT_EQ(quotas.count("auto2"), 0u);
+
+  gov.TenantLeave("pinned");
+  gov.TenantLeave("auto1");
+  EXPECT_TRUE(gov.TenantQuotas().empty());
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("auto1"), 1.0);
+}
+
+TEST(MemoryGovernor, TenantQuotasMirrorIntoSharesAndBudgets) {
+  MemoryGovernor gov;
+  gov.SetBudget(1000);
+  gov.TenantJoin("heavy", 0.6);
+  gov.TenantJoin("light", 0.2);
+  // Quotas are mirrored as "tenant.<name>" shares, so consumer budgets
+  // and snapshots see them like any other share.
+  EXPECT_EQ(gov.ConsumerBudget("tenant.heavy"), 600u);
+  EXPECT_EQ(gov.ConsumerBudget("tenant.light"), 200u);
+
+  gov.TenantLeave("heavy");
+  // The stale mirrored share is erased, not left at its old value.
+  EXPECT_EQ(gov.ConsumerBudget("tenant.heavy"), 1000u);
+}
+
+TEST(MemoryGovernor, ExplicitQuotasOversubscribedClampAutomaticToZero) {
+  MemoryGovernor gov;
+  gov.TenantJoin("a", 0.8);
+  gov.TenantJoin("b", 0.7);
+  gov.TenantJoin("auto");
+  // Explicit quotas stay as pinned; the automatic tenant gets the
+  // (empty) remainder rather than a negative share.
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("a"), 0.8);
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("b"), 0.7);
+  EXPECT_DOUBLE_EQ(gov.TenantQuota("auto"), 0.0);
+}
+
 }  // namespace
 }  // namespace m3r::memgov

@@ -1,7 +1,11 @@
-// Server mode (paper §5.3): jobtracker-protocol submission, asynchronous
-// status/progress/counter polling, queues, and the BigSheets-style
-// drop-in replacement of the Hadoop server by the M3R server.
+// Server mode (paper §5.3): typed Submission/JobTicket submission,
+// asynchronous status/progress/counter polling, queues, drain-vs-abort
+// shutdown, and the BigSheets-style drop-in replacement of the Hadoop
+// server by the M3R server. Scheduling behavior (fair share, preemption,
+// admission control) is exercised in sched_stress_test.cc.
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "dfs/local_fs.h"
 #include "hadoop/hadoop_engine.h"
@@ -26,68 +30,171 @@ std::shared_ptr<dfs::FileSystem> FsWithText() {
   return fs;
 }
 
+api::Submission WordCount(const std::string& out,
+                          const std::string& queue = "default") {
+  api::Submission sub;
+  sub.queue = queue;
+  sub.conf = workloads::MakeWordCountJob("/in", out, 2, true);
+  return sub;
+}
+
 TEST(JobServerTest, SubmitPollWait) {
   auto fs = FsWithText();
-  JobServer server(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
-  int id = server.SubmitJob(
-      workloads::MakeWordCountJob("/in", "/out", 2, true));
-  api::JobResult result = server.WaitForCompletion(id);
+  JobServer server(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  auto ticket = server.Submit(WordCount("/out"));
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  api::JobResult result = ticket->Wait();
   EXPECT_TRUE(result.ok()) << result.status.ToString();
 
-  ServerJobStatus status = server.GetJobStatus(id);
-  EXPECT_EQ(status.state, JobState::kSucceeded);
-  EXPECT_DOUBLE_EQ(status.progress, 1.0);
-  // Counters were propagated to the protocol surface.
-  EXPECT_GT(status.counters.Get(api::counters::kTaskGroup,
+  api::TicketInfo info = ticket->Poll();
+  EXPECT_EQ(info.phase, api::TicketPhase::kSucceeded);
+  EXPECT_DOUBLE_EQ(info.progress, 1.0);
+  EXPECT_EQ(info.attempts, 1);
+  // Counters were propagated to the protocol surface, and the scheduler
+  // stamped its job-end metrics.
+  EXPECT_GT(result.counters.Get(api::counters::kTaskGroup,
                                 api::counters::kMapInputRecords),
             0);
+  EXPECT_EQ(result.metrics.at("sched_attempts"), 1);
   EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
 }
 
-TEST(JobServerTest, JobsRunFifoAndQueuesAreTracked) {
+TEST(JobServerTest, QueuesAreTrackedInStats) {
   auto fs = FsWithText();
-  JobServer server(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
-  api::JobConf j1 = workloads::MakeWordCountJob("/in", "/o1", 2, true);
-  j1.Set(api::conf::kQueueName, "analytics");
-  api::JobConf j2 = workloads::MakeWordCountJob("/in", "/o2", 2, true);
-  j2.Set(api::conf::kQueueName, "etl");
-  int id1 = server.SubmitJob(j1);
-  int id2 = server.SubmitJob(j2);
-  EXPECT_LT(id1, id2);
+  JobServer server(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  auto t1 = server.Submit(WordCount("/o1", "analytics"));
+  auto t2 = server.Submit(WordCount("/o2", "etl"));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_LT(t1->id(), t2->id());
+  EXPECT_EQ(t1->queue(), "analytics");
+  ASSERT_TRUE(t1->Wait().ok());
+  ASSERT_TRUE(t2->Wait().ok());
 
-  ASSERT_TRUE(server.WaitForCompletion(id2).ok());
-  // FIFO: by the time job 2 is done, job 1 must be too.
-  EXPECT_EQ(server.GetJobStatus(id1).state, JobState::kSucceeded);
-  EXPECT_EQ(server.GetJobStatus(id1).queue, "analytics");
-  EXPECT_EQ(server.GetJobStatus(id2).queue, "etl");
-  EXPECT_TRUE(server.ActiveJobs().empty());
+  bool saw_analytics = false, saw_etl = false;
+  for (const auto& q : server.Stats()) {
+    if (q.queue == "analytics") {
+      saw_analytics = true;
+      EXPECT_EQ(q.completed, 1);
+      EXPECT_GT(q.completed_sim_seconds, 0);
+    }
+    if (q.queue == "etl") {
+      saw_etl = true;
+      EXPECT_EQ(q.completed, 1);
+    }
+    EXPECT_EQ(q.queued, 0);
+    EXPECT_EQ(q.running, 0);
+  }
+  EXPECT_TRUE(saw_analytics);
+  EXPECT_TRUE(saw_etl);
+  EXPECT_TRUE(server.ActiveTickets().empty());
 }
 
-TEST(JobServerTest, FailedJobReportsFailedState) {
+TEST(JobServerTest, FailedJobReportsFailedPhase) {
   auto fs = FsWithText();
   ASSERT_TRUE(fs->Mkdirs("/occupied").ok());
-  JobServer server(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
-  int id = server.SubmitJob(
-      workloads::MakeWordCountJob("/in", "/occupied", 2, true));
-  api::JobResult result = server.WaitForCompletion(id);
-  EXPECT_FALSE(result.ok());
-  EXPECT_EQ(server.GetJobStatus(id).state, JobState::kFailed);
+  JobServer server(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  auto ticket = server.Submit(WordCount("/occupied"));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_FALSE(ticket->Wait().ok());
+  EXPECT_EQ(ticket->Poll().phase, api::TicketPhase::kFailed);
+}
+
+TEST(JobServerTest, InvalidSubmissionIsRejectedTyped) {
+  auto fs = FsWithText();
+  JobServer server(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  api::Submission bad = WordCount("/never");
+  bad.queue = "no spaces allowed";
+  auto ticket = server.Submit(std::move(bad));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_TRUE(ticket.status().IsInvalidArgument())
+      << ticket.status().ToString();
 }
 
 TEST(JobServerTest, ShutdownDrainsQueue) {
   auto fs = FsWithText();
-  auto server = std::make_unique<JobServer>(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
-  int id1 = server->SubmitJob(
-      workloads::MakeWordCountJob("/in", "/d1", 2, true));
-  int id2 = server->SubmitJob(
-      workloads::MakeWordCountJob("/in", "/d2", 2, true));
-  server->Shutdown();  // must finish both queued jobs first
-  EXPECT_EQ(server->GetJobStatus(id1).state, JobState::kSucceeded);
-  EXPECT_EQ(server->GetJobStatus(id2).state, JobState::kSucceeded);
+  auto server = std::make_unique<JobServer>(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  auto t1 = server->Submit(WordCount("/d1"));
+  auto t2 = server->Submit(WordCount("/d2"));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  server->Shutdown(JobServer::DrainMode::kDrain);  // finishes both first
+  EXPECT_EQ(t1->Poll().phase, api::TicketPhase::kSucceeded);
+  EXPECT_EQ(t2->Poll().phase, api::TicketPhase::kSucceeded);
+  EXPECT_TRUE(fs->Exists("/d1/_SUCCESS"));
+  EXPECT_TRUE(fs->Exists("/d2/_SUCCESS"));
+}
+
+TEST(JobServerTest, AbortShutdownUnderLoadCancelsPromptly) {
+  auto fs = FsWithText();
+  auto server = std::make_unique<JobServer>(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  std::vector<api::JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    auto t = server->Submit(WordCount("/abort" + std::to_string(i)));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  server->Shutdown(JobServer::DrainMode::kAbort);
+  // Every ticket is terminal (no leaked threads / hung waiters), and the
+  // backlog was cancelled rather than run to completion.
+  int cancelled = 0;
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.Done());
+    api::TicketInfo info = t.Poll();
+    EXPECT_TRUE(api::IsTerminal(info.phase));
+    if (info.phase == api::TicketPhase::kCancelled) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 4);  // at most the in-flight ones could finish
+  // Submission after shutdown fails typed, not crashing.
+  auto late = server->Submit(WordCount("/late"));
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsFailedPrecondition());
+}
+
+TEST(JobServerTest, CancelQueuedTicketNeverRuns) {
+  auto fs = FsWithText();
+  auto server = std::make_unique<JobServer>(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+  auto first = server->Submit(WordCount("/c0"));
+  ASSERT_TRUE(first.ok());
+  auto queued = server->Submit(WordCount("/c1"));
+  ASSERT_TRUE(queued.ok());
+  queued->Cancel();
+  // Cancellation may race the dispatcher: the job is either cancelled
+  // while queued (never runs) or cancelled mid-run — never successful.
+  EXPECT_FALSE(queued->Wait().ok());
+  EXPECT_EQ(queued->Poll().phase, api::TicketPhase::kCancelled);
+  EXPECT_TRUE(first->Wait().ok());
+  server->Shutdown();
+  EXPECT_FALSE(fs->Exists("/c1/_SUCCESS"));
+}
+
+TEST(JobServerTest, DeprecatedBareIntShimsStillWork) {
+  // The pre-typed jobtracker protocol keeps working for old clients.
+  auto fs = FsWithText();
+  JobServer server(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  int id = server.SubmitJob(workloads::MakeWordCountJob("/in", "/shim", 2,
+                                                        true));
+  api::JobResult result = server.WaitForCompletion(id);
+  EXPECT_TRUE(result.ok()) << result.status.ToString();
+  ServerJobStatus status = server.GetJobStatus(id);
+  EXPECT_EQ(status.state, JobState::kSucceeded);
+  EXPECT_DOUBLE_EQ(status.progress, 1.0);
+  EXPECT_GT(status.counters.Get(api::counters::kTaskGroup,
+                                api::counters::kMapInputRecords),
+            0);
+  EXPECT_TRUE(server.ActiveJobs().empty());
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(fs->Exists("/shim/_SUCCESS"));
 }
 
 TEST(ServerRegistryTest, M3RServerReplacesHadoopServerOnSamePort) {
@@ -105,22 +212,22 @@ TEST(ServerRegistryTest, M3RServerReplacesHadoopServerOnSamePort) {
   api::JobConf client_job =
       workloads::MakeWordCountJob("/in", "/via-hadoop", 2, true);
   client_job.SetInt(kJobTrackerPortKey, kPort);
-  auto id1 = SubmitViaPort(client_job);
-  ASSERT_TRUE(id1.ok());
-  api::JobResult r1 = hadoop_server->WaitForCompletion(*id1);
+  auto t1 = SubmitViaPort(client_job);
+  ASSERT_TRUE(t1.ok());
+  api::JobResult r1 = t1->Wait();
   ASSERT_TRUE(r1.ok());
 
   // "We stopped the running Hadoop server and started the M3R server on
   // the same port."
   hadoop_server->Shutdown();
-  auto m3r_server = std::make_shared<JobServer>(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
+  auto m3r_server = std::make_shared<JobServer>(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
   ServerRegistry::Instance().Bind(kPort, m3r_server);
 
   client_job.SetOutputPath("/via-m3r");
-  auto id2 = SubmitViaPort(client_job);
-  ASSERT_TRUE(id2.ok());
-  api::JobResult r2 = m3r_server->WaitForCompletion(*id2);
+  auto t2 = SubmitViaPort(client_job);
+  ASSERT_TRUE(t2.ok());
+  api::JobResult r2 = t2->Wait();
   ASSERT_TRUE(r2.ok());
   // Same client, same port, much cheaper engine.
   EXPECT_LT(r2.sim_seconds, r1.sim_seconds);
@@ -134,23 +241,23 @@ TEST(ServerRegistryTest, CoexistingServersOnDifferentPorts) {
   auto hadoop_server = std::make_shared<JobServer>(
       std::make_shared<hadoop::HadoopEngine>(
           fs, hadoop::HadoopEngineOptions{SmallCluster(), 0}));
-  auto m3r_server = std::make_shared<JobServer>(std::make_shared<M3REngine>(
-      fs, M3REngineOptions{SmallCluster()}));
+  auto m3r_server = std::make_shared<JobServer>(
+      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
   ServerRegistry::Instance().Bind(9001, hadoop_server);
   ServerRegistry::Instance().Bind(9101, m3r_server);
 
   api::JobConf job = workloads::MakeWordCountJob("/in", "/p1", 1, true);
   job.SetInt(kJobTrackerPortKey, 9101);
-  auto id = SubmitViaPort(job);
-  ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(m3r_server->WaitForCompletion(*id).ok());
-  EXPECT_TRUE(hadoop_server->ActiveJobs().empty());
+  auto t = SubmitViaPort(job);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->Wait().ok());
+  EXPECT_TRUE(hadoop_server->ActiveTickets().empty());
 
   job.SetOutputPath("/p2");
   job.SetInt(kJobTrackerPortKey, 9001);
-  auto id2 = SubmitViaPort(job);
-  ASSERT_TRUE(id2.ok());
-  ASSERT_TRUE(hadoop_server->WaitForCompletion(*id2).ok());
+  auto t2 = SubmitViaPort(job);
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t2->Wait().ok());
 
   job.SetInt(kJobTrackerPortKey, 7777);  // nothing bound there
   EXPECT_FALSE(SubmitViaPort(job).ok());

@@ -162,10 +162,27 @@ SweepResult RunSpmvSweepPoint(int64_t budget_mb, int iterations) {
       workloads::ReadDenseVector(*engine.Fs(), v_in, params.n, params.block);
   M3R_CHECK(v_final.ok()) << v_final.status().ToString();
   M3R_CHECK(v_final->size() == expected.size());
-  for (size_t i = 0; i < expected.size(); ++i) {
-    double tol = 1e-9 + std::fabs(expected[i]) * 1e-9;
-    M3R_CHECK(std::fabs((*v_final)[i] - expected[i]) <= tol)
-        << "budget=" << budget_mb << "mb row " << i << " diverged";
+  {
+    size_t bad = 0, first_bad = expected.size();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      double tol = 1e-9 + std::fabs(expected[i]) * 1e-9;
+      if (std::fabs((*v_final)[i] - expected[i]) > tol) {
+        if (bad < 8) {
+          std::fprintf(stderr,
+                       "DIAG row %zu: got=%.17g expected=%.17g ratio=%.6f\n",
+                       i, (*v_final)[i], expected[i],
+                       expected[i] != 0 ? (*v_final)[i] / expected[i] : 0.0);
+        }
+        if (first_bad == expected.size()) first_bad = i;
+        ++bad;
+      }
+    }
+    if (bad > 0) {
+      std::fprintf(stderr, "DIAG budget=%lld total_bad=%zu first=%zu\n",
+                   static_cast<long long>(budget_mb), bad, first_bad);
+    }
+    M3R_CHECK(bad == 0) << "budget=" << budget_mb << "mb row " << first_bad
+                        << " diverged";
   }
   return tally;
 }

@@ -1,0 +1,36 @@
+# Reruns a benchmark binary REPEATS times, failing fast with the iteration
+# number on the first non-zero exit.
+#
+# The cache bench's validity checks compare engine outputs byte-for-byte
+# under memory pressure, so a lost cache block shows up as a divergence in
+# *some* iteration — not reliably the first (the historical bench_cache
+# SpMV flake surfaced roughly once per hundred runs). The ctest smoke runs
+# a few iterations; `make bench-cache-soak` runs the full hundred.
+#
+# Usage:
+#   cmake -DBENCH_BIN=<binary> "-DBENCH_ARGS=<arg;arg;...>" -DREPEATS=<n>
+#         -P rerun_bench.cmake
+
+if(NOT DEFINED BENCH_BIN)
+  message(FATAL_ERROR "rerun_bench.cmake: BENCH_BIN not set")
+endif()
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "")
+endif()
+if(NOT DEFINED REPEATS)
+  set(REPEATS 3)
+endif()
+
+foreach(i RANGE 1 ${REPEATS})
+  execute_process(
+    COMMAND ${BENCH_BIN} ${BENCH_ARGS}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${BENCH_BIN}: run ${i}/${REPEATS} failed (exit ${rc})\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endforeach()
+message(STATUS "${BENCH_BIN}: all ${REPEATS} runs passed")

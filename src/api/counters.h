@@ -67,6 +67,16 @@ inline constexpr char kCacheEvictions[] = "CACHE_EVICTIONS";
 inline constexpr char kCacheEvictedBytes[] = "CACHE_EVICTED_BYTES";
 inline constexpr char kCacheBytesResident[] = "CACHE_BYTES_RESIDENT";
 inline constexpr char kCacheRejectedFills[] = "CACHE_REJECTED_FILLS";
+// Lease/epoch protocol health (DESIGN.md §13): live gauges sampled at
+// every progress sync plus job-end totals — a stuck lease or a
+// perpetually in-flight evictor shows up here before it shows up as a
+// watchdog kill.
+inline constexpr char kCacheLeasesActive[] = "CACHE_LEASES_ACTIVE";
+inline constexpr char kCacheEvictorInflight[] = "CACHE_EVICTOR_INFLIGHT";
+/// Evictions claimed and then abandoned because post-spill revalidation
+/// saw a new pin, lease, or fill epoch — each one is a lost-block race
+/// the protocol refused to lose.
+inline constexpr char kCacheAbortedEvictions[] = "CACHE_ABORTED_EVICTIONS";
 /// 1 when the whole job was served from a live cached output with a
 /// matching lineage signature (m3r.cache.reuse=exact) — no map or reduce
 /// task ran.
@@ -84,6 +94,10 @@ inline constexpr char kSchedQueueCompleted[] = "QUEUE_COMPLETED";
 inline constexpr char kSchedWaitMs[] = "WAIT_MS";
 inline constexpr char kSchedQueueShareMille[] = "QUEUE_SHARE_MILLE";
 inline constexpr char kSchedAttempts[] = "ATTEMPTS";
+/// Jobs this queue lost to the watchdog (m3r.job.timeout.sec /
+/// m3r.job.heartbeat.stall.sec) — mirrored live and recorded as
+/// sched_watchdog_kills in the job-end metrics.
+inline constexpr char kSchedWatchdogKills[] = "WATCHDOG_KILLS";
 }  // namespace counters
 
 }  // namespace m3r::api

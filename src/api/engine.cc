@@ -21,6 +21,8 @@ struct JobHandle::State {
   JobResult result;
   /// Set by JobHandle::Cancel, polled by the engine at task boundaries.
   std::atomic<bool> cancel_requested{false};
+  /// Bumped on every ReportProgress call — the watchdog's liveness signal.
+  std::atomic<uint64_t> heartbeat_epoch{0};
 };
 
 JobHandle::JobHandle(std::shared_ptr<State> state, std::thread worker)
@@ -88,6 +90,11 @@ Counters JobHandle::LiveCounters() const {
   return state_->live;
 }
 
+uint64_t JobHandle::HeartbeatEpoch() const {
+  M3R_CHECK(state_ != nullptr);
+  return state_->heartbeat_epoch.load(std::memory_order_relaxed);
+}
+
 JobHandle Engine::SubmitAsync(const JobConf& conf) {
   auto state = std::make_shared<JobHandle::State>();
   state->job_name = conf.JobName();
@@ -132,6 +139,7 @@ void Engine::ReportProgress(const JobConf& conf, double progress,
     async = active_async_;
   }
   if (async != nullptr) {
+    async->heartbeat_epoch.fetch_add(1, std::memory_order_relaxed);
     // Counters' copy goes through its own lock, so the live snapshot is
     // safe against concurrent task increments.
     std::lock_guard<std::mutex> lock(async->mu);

@@ -71,6 +71,13 @@ class JobHandle {
   /// full counters once the job is done).
   Counters LiveCounters() const;
 
+  /// Monotonic heartbeat: bumped on every progress report the engine makes
+  /// (task completions, phase milestones). A watchdog that sees the epoch
+  /// stand still across its stall budget knows the job is hung, not merely
+  /// slow — progress fraction alone can plateau legitimately (e.g. a long
+  /// reduce tail), the epoch cannot.
+  uint64_t HeartbeatEpoch() const;
+
  private:
   friend class Engine;
   JobHandle(std::shared_ptr<State> state, std::thread worker);
@@ -148,8 +155,9 @@ class JobClient {
 
   /// Blocking submit — SubmitJobAsync + Wait. When the job sets
   /// m3r.job.max.attempts > 1, retriable failures (IOError / Aborted /
-  /// Unavailable / DataLoss — e.g. injected faults, a place crash, or a
-  /// detected checksum mismatch) are resubmitted with exponential backoff
+  /// Unavailable / DataLoss / DeadlineExceeded — e.g. injected faults, a
+  /// place crash, a detected checksum mismatch, or a watchdog kill of a
+  /// stalled attempt) are resubmitted with exponential backoff
   /// starting at m3r.job.retry.backoff.ms, decorrelated-jittered with a
   /// deterministic stream seeded from m3r.fault.seed.
   JobResult SubmitJob(const JobConf& conf);

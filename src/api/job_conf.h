@@ -157,6 +157,27 @@ inline constexpr char kSubmissionTenant[] = "m3r.server.tenant";
 inline constexpr char kSubmissionPriority[] = "m3r.server.priority";
 inline constexpr char kSubmissionDeadlineHint[] =
     "m3r.server.deadline.hint.seconds";
+/// --- Job watchdog (JobServer; DESIGN.md §13) ---
+/// Hard cap on a dispatched job's wall-clock runtime, in seconds. The
+/// monitor cancels an over-deadline job and settles it with the typed
+/// retriable DeadlineExceeded. 0 (default) = no cap.
+inline constexpr char kJobTimeoutSec[] = "m3r.job.timeout.sec";
+/// Max seconds without a heartbeat (any task completion or phase
+/// milestone advances the job's heartbeat epoch) before the job is
+/// declared stalled and killed the same way. 0 (default) = disabled.
+inline constexpr char kJobHeartbeatStallSec[] = "m3r.job.heartbeat.stall.sec";
+
+// --- Chaos schedules (common/chaos; tests/chaos_soak_test) ---
+/// Master seed for a ChaosSchedule: per-job fault sites, budget pressure,
+/// and scenario actions all derive deterministically from it. 0 (default)
+/// = chaos off.
+inline constexpr char kChaosSeed[] = "m3r.chaos.seed";
+/// Fraction in [0,1] scaling how many fault sites each job arms and how
+/// hard the memory budget is squeezed (default 0.5).
+inline constexpr char kChaosIntensity[] = "m3r.chaos.intensity";
+/// Comma list restricting the fault-site vocabulary the schedule draws
+/// from; empty (default) = every site the injector knows.
+inline constexpr char kChaosSites[] = "m3r.chaos.sites";
 }  // namespace conf
 
 /// Job configuration: a Configuration plus convenience accessors for the

@@ -1,5 +1,6 @@
 #include "api/job_control.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -38,6 +39,10 @@ JobControl::RunSummary JobControl::Run() {
   }
 
   std::map<int, JobTicket> inflight;
+  // Dispatches per node, counting watchdog-killed attempts: a
+  // DeadlineExceeded result re-enters the submit loop like backpressure,
+  // bounded so a deterministically hung job cannot spin the DAG forever.
+  std::map<int, int> attempts;
   size_t settled = 0;
   while (settled < nodes_.size()) {
     // Submit every node whose dependencies have all succeeded. Independent
@@ -66,6 +71,7 @@ JobControl::RunSummary JobControl::Run() {
       Result<JobTicket> ticket = submitter_->Submit(nodes_[i].submission);
       if (ticket.ok()) {
         inflight.emplace(id, *ticket);
+        attempts[id] += 1;
         progressed = true;
       } else if (ticket.status().IsOverloaded()) {
         // Server backpressure: the queue will drain as in-flight jobs
@@ -101,6 +107,18 @@ JobControl::RunSummary JobControl::Run() {
         JobResult result = it->second.Wait();
         it = inflight.erase(it);
         summary.total_sim_seconds += result.sim_seconds;
+        if (!result.ok() && result.status.IsDeadlineExceeded()) {
+          // Watchdog kill: like Overloaded backpressure, the condition is
+          // transient (pressure, a mid-heal place crash), so leave the node
+          // kWaiting and let the submit loop redispatch it — bounded by the
+          // job's own retry budget.
+          int allowed = std::max<int64_t>(
+              2, nodes_[id].submission.conf.GetInt(conf::kJobMaxAttempts, 2));
+          if (attempts[id] < allowed) {
+            reaped = true;
+            continue;
+          }
+        }
         summary.states[id] =
             result.ok() ? State::kSucceeded : State::kFailed;
         summary.results.emplace(id, std::move(result));

@@ -49,7 +49,11 @@ class JobControl {
   /// is submitted immediately (independent branches overlap in flight);
   /// jobs whose dependencies failed are skipped, matching Hadoop's
   /// DEPENDENT_FAILED state. Overloaded submissions (server backpressure)
-  /// are retried until admitted. Aborts on dependency cycles.
+  /// are retried until admitted, and a job the watchdog killed
+  /// (DeadlineExceeded) is treated the same way — resubmitted rather than
+  /// failed, up to max(2, m3r.job.max.attempts) total attempts so a job
+  /// that hangs every time still terminates the DAG. Aborts on dependency
+  /// cycles.
   RunSummary Run();
 
  private:

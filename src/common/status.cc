@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -41,9 +43,13 @@ bool IsRetriable(StatusCode code) {
   // way — the difference is only which layer noticed.
   // Overloaded is backpressure: the server stays healthy, the client backs
   // off and resubmits once the queue has drained.
+  // DeadlineExceeded is a watchdog kill of a stalled job: the stall's cause
+  // (pressure, a crashed place mid-heal) is transient, so a fresh attempt
+  // with a fresh deadline is worth making.
   return code == StatusCode::kIOError || code == StatusCode::kAborted ||
          code == StatusCode::kUnavailable || code == StatusCode::kDataLoss ||
-         code == StatusCode::kOverloaded;
+         code == StatusCode::kOverloaded ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 std::string Status::ToString() const {

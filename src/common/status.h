@@ -33,6 +33,11 @@ enum class StatusCode {
   /// configured depth (m3r.server.queue.depth). Backpressure, not failure —
   /// retriable after the backlog drains.
   kOverloaded,
+  /// The job watchdog killed a job that exceeded m3r.job.timeout.sec or
+  /// stopped heartbeating for m3r.job.heartbeat.stall.sec. Retriable: a
+  /// stall is usually transient (memory pressure, a crashed place being
+  /// healed), and a fresh attempt starts with a fresh deadline.
+  kDeadlineExceeded,
 };
 
 /// True for codes that denote transient conditions a caller may retry
@@ -91,6 +96,9 @@ class Status {
   static Status Overloaded(std::string m) {
     return Status(StatusCode::kOverloaded, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -109,6 +117,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsRetriable() const { return ::m3r::IsRetriable(code_); }
 
   /// "OK" or "<CodeName>: <message>".

@@ -42,6 +42,13 @@ struct BlockInfo {
   /// identity). `has_crc` distinguishes "unstamped" from a genuine 0.
   uint32_t crc = 0;
   bool has_crc = false;
+  /// True when this block holds the file's entire record sequence (an
+  /// output-style fill, named "0"). Input-split fills leave it false even
+  /// at offset 0. Split planning's whole-file fallback requires it, so an
+  /// offset-0 input block left as the sole survivor of a place crash or
+  /// an admission bypass is never mistaken for the whole file (which
+  /// would silently serve the file's other splits as empty).
+  bool whole_file = false;
 
   bool operator==(const BlockInfo& o) const {
     return name == o.name && place == o.place;

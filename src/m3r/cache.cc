@@ -35,8 +35,20 @@ uint32_t Cache::ContentCrc(const kvstore::KVSeq& pairs,
 
 Status Cache::PutBlock(const std::string& path, const std::string& block_name,
                        int place, kvstore::KVSeq pairs, uint64_t bytes,
-                       double fill_seconds, bool droppable) {
+                       double fill_seconds, bool droppable, bool whole_file) {
   memgov::CacheManager* mgr = manager();
+  // Bracket the whole admit→publish window: while the fill is open the
+  // file's epoch is unsealed and the evictor cannot claim it, so a
+  // partially published file never becomes a victim mid-fill (not even of
+  // this fill's own synchronous EvictUntilFits).
+  if (mgr != nullptr) mgr->BeginFill(path);
+  struct FillGuard {
+    memgov::CacheManager* mgr;
+    const std::string& path;
+    ~FillGuard() {
+      if (mgr != nullptr) mgr->EndFill(path);
+    }
+  } fill_guard{mgr, path};
   if (mgr != nullptr && !mgr->AdmitFill(path, bytes, /*required=*/!droppable)) {
     // Silent bypass: the block stays uncached and a future job re-reads it
     // from the DFS. Only droppable fills can land here.
@@ -46,6 +58,7 @@ Status Cache::PutBlock(const std::string& path, const std::string& block_name,
   info.name = block_name;
   info.place = place;
   info.bytes = bytes;
+  info.whole_file = whole_file;
   auto ctx = integrity_snapshot();
   if (ctx != nullptr && ctx->enabled()) {
     uint64_t stamped_bytes = 0;
@@ -106,8 +119,17 @@ Status Cache::CheckBlock(const std::string& path, const Block& block) {
   return Status::DataLoss("cache block checksum mismatch: " + key);
 }
 
+memgov::CacheManager::ReadLease Cache::LeaseRead(const std::string& path) {
+  if (memgov::CacheManager* mgr = manager()) return mgr->AcquireRead(path);
+  return memgov::CacheManager::ReadLease();
+}
+
 std::optional<Cache::Block> Cache::GetBlock(const std::string& path,
                                             const std::string& block_name) {
+  // Lease before touching the store: an in-flight eviction of `path` is
+  // waited out, so the read sees either the whole file or a clean miss —
+  // never a half-deleted one.
+  memgov::CacheManager::ReadLease lease = LeaseRead(path);
   auto info_or = store_.GetInfo(path);
   if (!info_or.ok()) return std::nullopt;
   for (const kvstore::BlockInfo& bi : info_or->blocks) {
@@ -127,6 +149,7 @@ std::optional<Cache::Block> Cache::GetBlock(const std::string& path,
 
 Result<std::vector<Cache::Block>> Cache::GetFileBlocks(
     const std::string& path) {
+  memgov::CacheManager::ReadLease lease = LeaseRead(path);
   M3R_ASSIGN_OR_RETURN(auto blocks, store_.ReadAll(path));
   std::vector<Block> out;
   for (auto& [info, seq] : blocks) {
@@ -145,6 +168,15 @@ Result<std::vector<Cache::Block>> Cache::GetFileBlocks(
 Status Cache::Delete(const std::string& path) {
   Status s = store_.DeleteRecursive(path);
   if (s.ok()) {
+    ForgetManifests(path);
+    if (memgov::CacheManager* mgr = manager()) mgr->OnDelete(path);
+  }
+  return s;
+}
+
+Status Cache::Evict(const std::string& path) {
+  Status s = store_.DeleteRecursive(path);
+  if (s.ok()) {
     if (memgov::CacheManager* mgr = manager()) mgr->OnDelete(path);
   }
   return s;
@@ -153,6 +185,8 @@ Status Cache::Delete(const std::string& path) {
 Status Cache::Rename(const std::string& src, const std::string& dst) {
   Status s = store_.Rename(src, dst);
   if (s.ok()) {
+    ForgetManifests(src);
+    ForgetManifests(dst);
     if (memgov::CacheManager* mgr = manager()) mgr->OnRename(src, dst);
   }
   return s;
@@ -179,6 +213,48 @@ std::vector<std::string> Cache::FilesUnder(const std::string& dir) {
     if (!info.is_directory && !info.blocks.empty()) out.push_back(info.path);
   }
   return out;
+}
+
+void Cache::RecordManifest(const std::string& dir) {
+  std::map<std::string, uint64_t> files;
+  for (const std::string& f : FilesUnder(dir)) files[f] = FileBytes(f);
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  if (files.empty()) {
+    manifests_.erase(dir);
+  } else {
+    manifests_[dir] = std::move(files);
+  }
+}
+
+std::vector<std::string> Cache::ManifestMissing(const std::string& dir) {
+  std::map<std::string, uint64_t> recorded;
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    auto it = manifests_.find(dir);
+    if (it == manifests_.end()) return {};
+    recorded = it->second;
+  }
+  std::vector<std::string> missing;
+  for (const auto& [file, bytes] : recorded) {
+    uint64_t have = FileBytes(file);
+    if (have < bytes) {
+      missing.push_back(file + " (have " + std::to_string(have) + " of " +
+                        std::to_string(bytes) + " bytes)");
+    }
+  }
+  return missing;
+}
+
+void Cache::ForgetManifests(const std::string& path) {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  for (auto it = manifests_.begin(); it != manifests_.end();) {
+    if (it->first == path || path::IsUnder(it->first, path)) {
+      it = manifests_.erase(it);
+      continue;
+    }
+    it->second.erase(path);
+    ++it;
+  }
 }
 
 uint64_t Cache::TotalBytes() {

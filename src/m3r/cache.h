@@ -2,6 +2,7 @@
 #define M3R_M3R_CACHE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,9 +60,13 @@ class Cache {
   /// be reclaimed, while required fills (cache-only outputs, checkpoint
   /// heals) are always admitted. `fill_seconds` is the measured cost of
   /// producing the block, feeding the cost-aware eviction policy.
+  /// `whole_file` marks output-style fills whose single block "0" covers
+  /// the entire file (kvstore::BlockInfo::whole_file); split-offset input
+  /// fills must leave it false.
   Status PutBlock(const std::string& path, const std::string& block_name,
                   int place, kvstore::KVSeq pairs, uint64_t bytes,
-                  double fill_seconds = 0.0, bool droppable = false);
+                  double fill_seconds = 0.0, bool droppable = false,
+                  bool whole_file = false);
 
   /// Attaches (or detaches, with nullptr) the memory-governance manager.
   /// The cache reports every fill/serve/delete/rename so the manager's
@@ -83,6 +88,14 @@ class Cache {
   /// receives the byte count for cost accounting.
   static uint32_t ContentCrc(const kvstore::KVSeq& pairs,
                              uint64_t* serialized_bytes = nullptr);
+
+  /// Takes a read lease on `path` (a file or a directory) through the
+  /// attached manager: in-flight evictions covering it are waited out and
+  /// no new eviction can claim it while the lease lives. Returns an inert
+  /// lease when no manager is attached. GetBlock/GetFileBlocks lease
+  /// internally; callers spanning multiple lookups (directory listings,
+  /// reuse clones) hold one explicitly.
+  memgov::CacheManager::ReadLease LeaseRead(const std::string& path);
 
   /// Verifies a fetched block before it is served to a task. Applies any
   /// injected "corrupt.cache.block" bit flip (keyed "path#block") to the
@@ -108,10 +121,34 @@ class Cache {
   uint64_t FileBytes(const std::string& path);
 
   Status Delete(const std::string& path);
+
+  /// Drops `path` from the cache like Delete but KEEPS its directory's
+  /// manifest entry: eviction is a residency change, not a deletion — the
+  /// data still logically exists (the evictor spilled it to the
+  /// checkpoint first), and the surviving manifest is what lets
+  /// ManifestMissing/the CacheFS heal hook notice the gap and restore it
+  /// instead of silently serving the survivors (DESIGN.md §13).
+  Status Evict(const std::string& path);
+
   Status Rename(const std::string& src, const std::string& dst);
 
   /// Files (not directories) cached under directory `dir`.
   std::vector<std::string> FilesUnder(const std::string& dir);
+
+  /// Records the committed file set of a cache-only output directory
+  /// (file → serialized bytes). A later consumer checks it with
+  /// ManifestMissing: cache-only data has no DFS backing, so a file or
+  /// block lost to a place crash would otherwise just disappear from the
+  /// union view and the consumer would silently compute on the survivors
+  /// (DESIGN.md §13). Recording an empty directory clears the manifest.
+  void RecordManifest(const std::string& dir);
+
+  /// Compares `dir`'s recorded manifest (if any) against current cache
+  /// contents: returns a "file (have X of Y bytes)" entry per committed
+  /// file that is now short. Empty when no manifest was recorded or
+  /// everything is intact. Run after checkpoint heal, so only data that
+  /// is genuinely unrecoverable is reported.
+  std::vector<std::string> ManifestMissing(const std::string& dir);
 
   uint64_t TotalPairs() const { return store_.TotalPairs(); }
 
@@ -139,10 +176,18 @@ class Cache {
  private:
   std::shared_ptr<IntegrityContext> integrity_snapshot();
 
+  /// Drops manifests covering `path` (a deleted subtree) and removes
+  /// `path` itself from any directory manifest (an explicit file delete —
+  /// the user is done with the data, consumers must not fail over it).
+  void ForgetManifests(const std::string& path);
+
   kvstore::KVStore store_;
   std::mutex integrity_mu_;
   std::shared_ptr<IntegrityContext> integrity_;
   std::atomic<memgov::CacheManager*> manager_{nullptr};
+  std::mutex manifest_mu_;
+  /// dir → (file → committed serialized bytes).
+  std::map<std::string, std::map<std::string, uint64_t>> manifests_;
 };
 
 }  // namespace m3r::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/path.h"
 
 namespace m3r::engine {
@@ -82,6 +83,29 @@ dfs::FileStatus SyntheticStatus(const std::string& path, bool is_dir,
 
 }  // namespace
 
+void M3RFileSystem::HealMissing(const std::string& dir) {
+  if (!heal_) return;
+  const std::string cdir = path::Canonicalize(dir);
+  if (cache_->ManifestMissing(cdir).empty()) return;
+  Status st = heal_(cdir);
+  if (!st.ok()) {
+    M3R_LOG(Warn) << "checkpoint heal of " << cdir
+                  << " failed: " << st.ToString();
+  }
+}
+
+Result<std::vector<Cache::Block>> M3RFileSystem::LeasedFileBlocks(
+    const std::string& path) {
+  memgov::CacheManager::ReadLease lease = cache_->LeaseRead(path);
+  auto blocks_or = cache_->GetFileBlocks(path);
+  if (blocks_or.ok()) return blocks_or;
+  // Spill-evicted since the producing job ended: the lease taken above
+  // already covers the path, so a healed entry stays resident until the
+  // caller has copied the block handles out.
+  HealMissing(path::Parent(path));
+  return cache_->GetFileBlocks(path);
+}
+
 Result<std::unique_ptr<dfs::FileWriter>> M3RFileSystem::Create(
     const std::string& path, const dfs::CreateOptions& opts) {
   // A fresh byte-level write invalidates any cached pairs for the path.
@@ -104,7 +128,14 @@ Result<dfs::FileStatus> M3RFileSystem::GetFileStatus(
     const std::string& path) {
   auto st = base_->GetFileStatus(path);
   if (st.ok()) return st;
+  // Cache-only fallback: lease so a half-evicted multi-block file cannot
+  // report a partial length.
+  memgov::CacheManager::ReadLease lease = cache_->LeaseRead(path);
   auto info_or = cache_->store().GetInfo(path);
+  if (!info_or.ok()) {
+    HealMissing(path::Parent(path));
+    info_or = cache_->store().GetInfo(path);
+  }
   if (!info_or.ok()) return st;  // propagate the base error
   uint64_t bytes = 0;
   for (const auto& bi : info_or->blocks) bytes += bi.bytes;
@@ -113,6 +144,14 @@ Result<dfs::FileStatus> M3RFileSystem::GetFileStatus(
 
 Result<std::vector<dfs::FileStatus>> M3RFileSystem::ListStatus(
     const std::string& dir) {
+  // Lease the directory for the whole union listing: without it an
+  // in-flight eviction can delete a cache-only part file between the base
+  // and cache listings, silently shrinking the directory a downstream
+  // job's split planning sees. Files evicted *before* the lease are
+  // restored from their checkpoint spills first (the manifest says
+  // whether the committed set is short).
+  memgov::CacheManager::ReadLease lease = cache_->LeaseRead(dir);
+  HealMissing(dir);
   std::vector<dfs::FileStatus> out;
   auto base_list = base_->ListStatus(dir);
   if (base_list.ok()) out = base_list.take();
@@ -167,7 +206,7 @@ Result<std::vector<dfs::BlockLocation>> M3RFileSystem::GetBlockLocations(
   if (locs.ok()) return locs;
   // Cache-only file: synthesize one location per cached block, at the
   // place holding it (places correspond 1:1 to simulated nodes).
-  auto blocks_or = cache_->GetFileBlocks(path);
+  auto blocks_or = LeasedFileBlocks(path);
   if (!blocks_or.ok()) return locs.status();
   std::vector<dfs::BlockLocation> out;
   uint64_t offset = 0;
@@ -189,7 +228,7 @@ std::shared_ptr<dfs::FileSystem> M3RFileSystem::GetRawCache() {
 Result<std::unique_ptr<api::RecordReader>> M3RFileSystem::GetCacheRecordReader(
     const std::string& path) {
   M3R_ASSIGN_OR_RETURN(std::vector<Cache::Block> blocks,
-                       cache_->GetFileBlocks(path));
+                       LeasedFileBlocks(path));
   return std::unique_ptr<api::RecordReader>(
       new CachedSeqReader(std::move(blocks)));
 }
@@ -211,6 +250,7 @@ bool RawCacheFs::Exists(const std::string& path) {
 }
 
 Result<dfs::FileStatus> RawCacheFs::GetFileStatus(const std::string& path) {
+  memgov::CacheManager::ReadLease lease = cache_->LeaseRead(path);
   M3R_ASSIGN_OR_RETURN(kvstore::PathInfo info, cache_->store().GetInfo(path));
   uint64_t bytes = 0;
   for (const auto& bi : info.blocks) bytes += bi.bytes;
@@ -219,6 +259,7 @@ Result<dfs::FileStatus> RawCacheFs::GetFileStatus(const std::string& path) {
 
 Result<std::vector<dfs::FileStatus>> RawCacheFs::ListStatus(
     const std::string& dir) {
+  memgov::CacheManager::ReadLease lease = cache_->LeaseRead(dir);
   M3R_ASSIGN_OR_RETURN(std::vector<kvstore::PathInfo> infos,
                        cache_->store().List(dir));
   std::vector<dfs::FileStatus> out;

@@ -1,6 +1,7 @@
 #ifndef M3R_M3R_CACHE_FS_H_
 #define M3R_M3R_CACHE_FS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,9 +64,28 @@ class M3RFileSystem : public dfs::FileSystem, public CacheFS {
 
   dfs::FileSystem& base() { return *base_; }
 
+  /// Restores a directory's spill-evicted cache-only files from the
+  /// checkpoint (the engine installs RestoreDirFromCheckpoint). Without
+  /// it, a cache-only output file the background evictor spilled between
+  /// the producing job's end and a client's read would simply vanish from
+  /// the union view — the bytes are safe on disk, but ListStatus and
+  /// GetCacheRecordReader would silently serve the survivors.
+  using HealFn = std::function<Status(const std::string& dir)>;
+  void SetHealHook(HealFn heal) { heal_ = std::move(heal); }
+
  private:
+  /// Re-restores `dir` through the heal hook iff its manifest reports
+  /// missing files. Callers hold a read lease on `dir` (or a file under
+  /// it) first, so healed entries cannot be re-evicted mid-read.
+  void HealMissing(const std::string& dir);
+
+  /// GetFileBlocks under a read lease, healing the parent directory on a
+  /// miss before giving up.
+  Result<std::vector<Cache::Block>> LeasedFileBlocks(const std::string& path);
+
   std::shared_ptr<dfs::FileSystem> base_;
   Cache* cache_;
+  HealFn heal_;
 };
 
 /// The synthetic FS returned by GetRawCache(): metadata and mutations go to

@@ -379,7 +379,8 @@ class M3RNamedOutputSink : public api::NamedOutputSink {
       M3R_RETURN_NOT_OK(cache_->PutBlock(e.path, "0", place_,
                                          std::move(e.seq), e.bytes,
                                          /*fill_seconds=*/0.0,
-                                         /*droppable=*/!temporary_));
+                                         /*droppable=*/!temporary_,
+                                         /*whole_file=*/true));
     }
     entries_.clear();
     return Status::OK();
@@ -443,14 +444,23 @@ M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
   hooks.spill = [this](const std::string& path) {
     return SpillFileToCheckpoint(path);
   };
-  // Cache::Delete notifies the manager's OnDelete, closing the loop.
-  hooks.evict = [this](const std::string& path) { return cache_.Delete(path); };
+  // Cache::Evict notifies the manager's OnDelete (closing the loop) but
+  // keeps the directory manifest: the spill above preserved the data, and
+  // the manifest is how a later read notices the gap and heals it.
+  hooks.evict = [this](const std::string& path) { return cache_.Evict(path); };
   hooks.has_backing = [this](const std::string& path) {
     return base_fs_->Exists(path);
   };
   cache_manager_ =
       std::make_unique<memgov::CacheManager>(&governor_, std::move(hooks));
   cache_.SetManager(cache_manager_.get());
+  // Clients read cache-only outputs through fs_ (ListStatus union,
+  // GetCacheRecordReader) without going through job submission, so the
+  // FS must be able to restore what the background evictor spilled.
+  fs_->SetHealHook([this](const std::string& dir) {
+    return RestoreDirFromCheckpoint(dir, /*only_missing=*/true, nullptr,
+                                    nullptr, nullptr);
+  });
   governor_.RegisterGauge("shuffle.pool",
                           [this] { return buffer_pool_.ResidentBytes(); });
   governor_.RegisterGauge("hashcombine", [this] {
@@ -545,12 +555,14 @@ void M3REngine::ScheduleCheckpoint(std::vector<std::string> files) {
             ch.Send(v);
           }
           x10rt::Channel::Wire wire = ch.Finish();
-          // Header: home place, byte estimate, payload CRC32C. The stamp
-          // is unconditional (like the DFS's block checksums) so a restore
-          // under any future integrity mode can verify it.
+          // Header: home place, byte estimate, payload CRC32C, whole-file
+          // flag. The stamp is unconditional (like the DFS's block
+          // checksums) so a restore under any future integrity mode can
+          // verify it.
           std::string content = std::to_string(block.info.place) + " " +
                                 std::to_string(block.bytes) + " " +
                                 std::to_string(crc32c::Crc32c(wire.bytes)) +
+                                " " + (block.info.whole_file ? "1" : "0") +
                                 "\n";
           content += wire.bytes;
           Status st = base->WriteFile(
@@ -596,7 +608,8 @@ Status M3REngine::SpillFileToCheckpoint(const std::string& path) {
     x10rt::Channel::Wire wire = ch.Finish();
     std::string content = std::to_string(block.info.place) + " " +
                           std::to_string(block.bytes) + " " +
-                          std::to_string(crc32c::Crc32c(wire.bytes)) + "\n";
+                          std::to_string(crc32c::Crc32c(wire.bytes)) + " " +
+                          (block.info.whole_file ? "1" : "0") + "\n";
     content += wire.bytes;
     M3R_RETURN_NOT_OK(base_fs_->WriteFile(
         cdir + "/" + name + ".blk." + block.info.name, content));
@@ -663,6 +676,12 @@ Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
         return Status::DataLoss("checkpoint checksum mismatch: " + e.path);
       }
     }
+    // Fourth header field (absent in older spills): whole-file flag,
+    // restored so the replanner's whole-file fallback keeps working for
+    // healed output blocks without ever applying to healed input spills.
+    char* after_wf = nullptr;
+    uint64_t whole_file = std::strtoull(after_crc, &after_wf, 10);
+    if (after_wf == after_crc) whole_file = 0;
     std::vector<serialize::WritablePtr> objs = x10rt::Channel::Decode(payload);
     KVSeq seq;
     seq.reserve(objs.size() / 2);
@@ -671,7 +690,10 @@ Status M3REngine::RestoreDirFromCheckpoint(const std::string& dir,
     }
     M3R_RETURN_NOT_OK(cache_.PutBlock(target, block_name,
                                       static_cast<int>(place),
-                                      std::move(seq), est));
+                                      std::move(seq), est,
+                                      /*fill_seconds=*/0.0,
+                                      /*droppable=*/false,
+                                      whole_file != 0));
     if (files != nullptr) ++*files;
     if (bytes != nullptr) *bytes += est;
   }
@@ -871,6 +893,14 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
            static_cast<int64_t>(now.rejected_fills - mg0.rejected_fills));
     set_to(api::counters::kCacheBytesResident,
            static_cast<int64_t>(cache_manager_->ResidentBytes()));
+    set_to(api::counters::kCacheAbortedEvictions,
+           static_cast<int64_t>(now.aborted_evictions - mg0.aborted_evictions));
+    // Protocol-health gauges, not deltas: current leases (readers + open
+    // fills) and evictions claimed but not yet published.
+    set_to(api::counters::kCacheLeasesActive,
+           static_cast<int64_t>(cache_manager_->LeasesActive()));
+    set_to(api::counters::kCacheEvictorInflight,
+           static_cast<int64_t>(cache_manager_->EvictorInflight()));
   };
   auto record_memgov = [&]() {
     sync_memgov();
@@ -887,6 +917,12 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
         static_cast<int64_t>(now.rejected_fills - mg0.rejected_fills);
     result.metrics["cache_forced_fills"] =
         static_cast<int64_t>(now.forced_fills - mg0.forced_fills);
+    result.metrics["cache_aborted_evictions"] =
+        static_cast<int64_t>(now.aborted_evictions - mg0.aborted_evictions);
+    result.metrics["cache_leases_active"] =
+        static_cast<int64_t>(cache_manager_->LeasesActive());
+    result.metrics["cache_evictor_inflight"] =
+        static_cast<int64_t>(cache_manager_->EvictorInflight());
     if (governor_.governed()) {
       result.metrics["memory_budget_bytes"] =
           static_cast<int64_t>(governor_.budget());
@@ -912,7 +948,10 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
         served = true;
       } else if (temporary && !fs_->Exists(out)) {
         // Same lineage under a new temporary name: clone the registered
-        // output's cached blocks to the new path.
+        // output's cached blocks to the new path. Lease the source
+        // directory for the whole clone so the background evictor cannot
+        // claim one of its files between LookupReuse and the copy.
+        memgov::CacheManager::ReadLease reuse_lease = cache_.LeaseRead(*src);
         served = true;
         for (const std::string& f : cache_.FilesUnder(*src)) {
           auto blocks_or = cache_.GetFileBlocks(f);
@@ -924,7 +963,10 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           for (const auto& b : *blocks_or) {
             if (b.pairs == nullptr) continue;
             Status st = cache_.PutBlock(dst, b.info.name, b.info.place,
-                                        *b.pairs, b.bytes);
+                                        *b.pairs, b.bytes,
+                                        /*fill_seconds=*/0.0,
+                                        /*droppable=*/false,
+                                        b.info.whole_file);
             if (!st.ok()) {
               M3R_LOG(Warn) << "reuse clone of " << f
                             << " failed: " << st.ToString();
@@ -1044,6 +1086,26 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     }
   }
 
+  // Cache-only inputs must be complete: a committed temp directory's
+  // manifest says which files (and how many bytes) the producer published.
+  // Anything still short after the heal above is unrecoverable — fail with
+  // a retriable DataLoss rather than silently computing on the survivors.
+  if (options_.enable_cache) {
+    for (const std::string& in : conf.InputPaths()) {
+      std::vector<std::string> missing =
+          cache_.ManifestMissing(path::Canonicalize(in));
+      if (!missing.empty()) {
+        std::string what;
+        for (const std::string& m : missing) {
+          if (!what.empty()) what += ", ";
+          what += m;
+        }
+        return fail_job(Status::DataLoss(
+            "cache-only input '" + in + "' is incomplete: " + what));
+      }
+    }
+  }
+
   // --- Plan splits: cache lookups and placement ---
   auto input_format = api::MakeInputFormat(conf);
   auto splits_or = input_format->GetSplits(conf, *fs_, spec.total_slots());
@@ -1065,10 +1127,14 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       ++cache_hits;
     } else if (options_.enable_cache && t.cache_path) {
       // Geometry mismatch: serve from the cache anyway iff the whole file
-      // is cached as a single block named "0".
+      // is cached as a single block named "0". The block must carry the
+      // fill-time whole_file stamp: an offset-0 *input* block left as the
+      // sole survivor of a place crash or an admission bypass looks
+      // identical by name, and treating it as the whole file would serve
+      // the file's other splits as empty — silent record loss.
       auto info = cache_.store().GetInfo(*t.cache_path);
       if (info.ok() && info->blocks.size() == 1 &&
-          info->blocks[0].name == "0") {
+          info->blocks[0].name == "0" && info->blocks[0].whole_file) {
         // Unwrap MultipleInputs' tagged splits etc.: exactly one split of
         // the file (the one starting at offset 0) serves the block.
         const api::FileSplit* fsplit = FindFileSplit(*t.split);
@@ -1314,7 +1380,8 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           OutputSeqCollector* c = &collector;
           t.status = cache_.PutBlock(out_file, "0", place, c->TakeSeq(),
                                      c->bytes(), sw.ElapsedSeconds(),
-                                     /*droppable=*/!temporary);
+                                     /*droppable=*/!temporary,
+                                     /*whole_file=*/true);
           if (!t.status.ok()) return;
         }
       }
@@ -1612,7 +1679,8 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           rr.status = cache_.PutBlock(out_file, "0", place,
                                       collector.TakeSeq(),
                                       collector.bytes(), sw.ElapsedSeconds(),
-                                      /*droppable=*/!temporary);
+                                      /*droppable=*/!temporary,
+                                      /*whole_file=*/true);
           if (!rr.status.ok()) return;
         }
         rr.cpu_seconds += std::max(0.0, sw.ElapsedSeconds() - sort_caller);
@@ -1679,6 +1747,14 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     api::FileOutputCommitter committer;
     Status st = committer.CommitJob(conf, *fs_);
     if (!st.ok()) return fail_job(std::move(st));
+  }
+
+  // Commit the cache-only output's manifest: the file set a consumer is
+  // entitled to. If a place crash later takes blocks with it, the consumer
+  // compares against this record and fails loudly instead of silently
+  // computing on the survivors (DESIGN.md §13).
+  if (temporary && options_.enable_cache) {
+    cache_.RecordManifest(path::Canonicalize(conf.OutputPath()));
   }
 
   // Spill cache-only outputs to the DFS in the background: "tempout"

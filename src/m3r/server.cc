@@ -88,6 +88,9 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
     int64_t cancelled = 0;
     int64_t preempted = 0;
     int64_t rejected = 0;
+    /// Jobs the watchdog cancelled for exceeding m3r.job.timeout.sec or
+    /// stalling past m3r.job.heartbeat.stall.sec.
+    int64_t watchdog_kills = 0;
     double completed_sim_seconds = 0;
     double total_wait_seconds = 0;
   };
@@ -101,6 +104,10 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
     std::shared_ptr<api::JobHandle> handle;
     int64_t seq = 0;
     bool preempt_requested = false;
+    /// The monitor's watchdog cancelled this run; SettleJob rewrites the
+    /// engine's Cancelled into the typed retriable DeadlineExceeded.
+    bool watchdog_fired = false;
+    std::string watchdog_reason;
   };
   std::map<int64_t, Running> running;
 
@@ -265,22 +272,67 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
     r.seq = p.seq;
     std::string queue_name = r.submission.queue;
     auto state = r.state;
+    // Watchdog budgets come from the job's own conf: a deadline is a
+    // property of the submission, not of the server.
+    double timeout_sec = conf.GetDouble(api::conf::kJobTimeoutSec, 0);
+    double stall_sec = conf.GetDouble(api::conf::kJobHeartbeatStallSec, 0);
     running.emplace(id, std::move(r));
-    monitors[id] = std::thread([this, id, handle, state, queue_name] {
-      MonitorJob(id, handle, state, queue_name);
-    });
+    monitors[id] = std::thread(
+        [this, id, handle, state, queue_name, timeout_sec, stall_sec] {
+          MonitorJob(id, handle, state, queue_name, timeout_sec, stall_sec);
+        });
     return true;
   }
 
   /// One thread per running job: mirrors engine progress/counters plus the
-  /// scheduler's live gauges into the ticket, then settles the outcome.
+  /// scheduler's live gauges into the ticket, enforces the job's watchdog
+  /// budgets, then settles the outcome.
   void MonitorJob(int64_t id, std::shared_ptr<api::JobHandle> handle,
                   std::shared_ptr<api::JobTicket::State> state,
-                  const std::string& queue_name) {
+                  const std::string& queue_name, double timeout_sec,
+                  double stall_sec) {
+    const auto started = std::chrono::steady_clock::now();
+    uint64_t last_epoch = handle->HeartbeatEpoch();
+    auto last_beat = started;
     while (!handle->WaitFor(/*seconds=*/0.002)) {
+      // Watchdog: total-runtime cap, plus a heartbeat stall budget — the
+      // epoch advances on every task completion and phase milestone, so a
+      // frozen epoch across the budget means the job is hung, not slow.
+      const auto now = std::chrono::steady_clock::now();
+      uint64_t epoch = handle->HeartbeatEpoch();
+      if (epoch != last_epoch) {
+        last_epoch = epoch;
+        last_beat = now;
+      }
+      std::string why;
+      double elapsed = std::chrono::duration<double>(now - started).count();
+      double stalled = std::chrono::duration<double>(now - last_beat).count();
+      if (timeout_sec > 0 && elapsed > timeout_sec) {
+        why = "exceeded m3r.job.timeout.sec=" + std::to_string(timeout_sec);
+      } else if (stall_sec > 0 && stalled > stall_sec) {
+        why = "no heartbeat for m3r.job.heartbeat.stall.sec=" +
+              std::to_string(stall_sec);
+      }
+      if (!why.empty()) {
+        bool fire = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          auto it = running.find(id);
+          // A preemption already in flight keeps its own settling path;
+          // firing once is enough for everyone else.
+          if (it != running.end() && !it->second.watchdog_fired &&
+              !it->second.preempt_requested) {
+            it->second.watchdog_fired = true;
+            it->second.watchdog_reason = why;
+            fire = true;
+          }
+        }
+        if (fire) handle->Cancel();
+      }
       double progress = handle->Progress();
       api::Counters live = handle->LiveCounters();
       int64_t queued = 0, running_now = 0, completed = 0, share_mille = 0;
+      int64_t watchdog_kills_now = 0;
       {
         std::lock_guard<std::mutex> lock(mu);
         auto it = queues.find(queue_name);
@@ -288,6 +340,7 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
           queued = static_cast<int64_t>(it->second.pending.size());
           running_now = it->second.running;
           completed = it->second.completed;
+          watchdog_kills_now = it->second.watchdog_kills;
           if (total_completed_sim > 0) {
             share_mille = static_cast<int64_t>(
                 1000.0 * it->second.completed_sim_seconds /
@@ -315,6 +368,8 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
                                       state->dispatched_at)));
         state->live.Increment(c::kSchedulerGroup, c::kSchedAttempts,
                               state->attempts);
+        state->live.Increment(c::kSchedulerGroup, c::kSchedWatchdogKills,
+                              watchdog_kills_now);
       }
     }
     api::JobResult result = handle->Wait();
@@ -340,7 +395,7 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
     }
 
     if (result.status.IsCancelled() && r.preempt_requested && !user_cancel &&
-        accepting && !abort) {
+        !r.watchdog_fired && accepting && !abort) {
       // Preempted to make room for a higher priority: back into its queue
       // at its original position in the band. The engine aborted the run
       // cleanly (partial output removed), so the re-run starts fresh.
@@ -348,6 +403,16 @@ struct JobServer::Core : std::enable_shared_from_this<JobServer::Core> {
       r.state->MarkPreempted();
       EnqueueLocked(Pending{r.state, std::move(r.submission), r.seq});
     } else {
+      if (result.status.IsCancelled() && r.watchdog_fired && !user_cancel) {
+        // The watchdog cancelled this run, not the user: surface the typed
+        // retriable DeadlineExceeded so clients back off and resubmit
+        // instead of treating the job as deliberately cancelled.
+        result.status = Status::DeadlineExceeded(
+            "job '" + r.state->job_name + "' killed by watchdog: " +
+            r.watchdog_reason);
+        q.watchdog_kills++;
+        result.metrics["sched_watchdog_kills"] = 1;
+      }
       api::TicketPhase phase;
       if (result.ok()) {
         phase = api::TicketPhase::kSucceeded;
@@ -545,6 +610,7 @@ std::vector<JobServer::QueueStats> JobServer::Stats() const {
     s.cancelled = q.cancelled;
     s.preempted = q.preempted;
     s.rejected = q.rejected;
+    s.watchdog_kills = q.watchdog_kills;
     s.completed_sim_seconds = q.completed_sim_seconds;
     s.total_wait_seconds = q.total_wait_seconds;
     s.virtual_time = core_->clock.VirtualTime(name);

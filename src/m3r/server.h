@@ -122,6 +122,9 @@ class JobServer : public api::JobSubmitter {
     int64_t cancelled = 0;
     int64_t preempted = 0;  ///< preemption re-queues (not terminal)
     int64_t rejected = 0;   ///< admission rejections (Overloaded)
+    /// Runs cancelled by the watchdog (timeout or heartbeat stall) and
+    /// settled as the typed retriable DeadlineExceeded.
+    int64_t watchdog_kills = 0;
     double completed_sim_seconds = 0;  ///< service received (successes)
     double total_wait_seconds = 0;     ///< sum of admission->dispatch waits
     double virtual_time = 0;

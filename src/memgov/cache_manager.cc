@@ -15,6 +15,8 @@ bool InSubtree(const std::string& path, const std::string& root) {
 
 }  // namespace
 
+thread_local int CacheManager::evictor_depth_ = 0;
+
 Status ParseEvictionPolicy(const std::string& name, EvictionPolicy* out) {
   if (name.empty() || name == "lru") {
     *out = EvictionPolicy::kLru;
@@ -84,6 +86,90 @@ bool CacheManager::PinnedLocked(const std::string& path) const {
   return false;
 }
 
+bool CacheManager::LeasedLocked(const std::string& path) const {
+  // A lease root covers the path when either contains the other: a lease
+  // on a directory shields the files under it, and a lease on a file
+  // shields it from a subtree-wide claim.
+  for (const auto& [root, count] : leases_) {
+    if (count > 0 && (InSubtree(path, root) || InSubtree(root, path))) {
+      return true;
+    }
+  }
+  auto it = fills_.find(path);
+  return it != fills_.end() && it->second > 0;
+}
+
+bool CacheManager::EvictingUnderLocked(const std::string& root) const {
+  for (const auto& [path, entry] : entries_) {
+    if (entry.evicting && (InSubtree(path, root) || InSubtree(root, path))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CacheManager::ReadLease CacheManager::AcquireRead(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait out any eviction already claiming a covered entry — the reader
+  // then sees the settled post-eviction state (a clean miss it can heal or
+  // re-read from DFS) instead of a spill+delete in progress. The evictor
+  // thread itself (spilling its victim) must not wait on its own claim.
+  if (evictor_depth_ == 0) {
+    evict_done_cv_.wait(lock, [&] { return !EvictingUnderLocked(path); });
+  }
+  leases_[path] += 1;
+  leases_active_ += 1;
+  return ReadLease(this, path);
+}
+
+void CacheManager::ReleaseRead(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = leases_.find(path);
+    if (it != leases_.end() && --it->second <= 0) leases_.erase(it);
+    if (leases_active_ > 0) leases_active_ -= 1;
+  }
+  evict_done_cv_.notify_all();
+}
+
+void CacheManager::ReadLease::Release() {
+  if (mgr_ == nullptr) return;
+  mgr_->ReleaseRead(path_);
+  mgr_ = nullptr;
+}
+
+void CacheManager::BeginFill(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (evictor_depth_ == 0) {
+    evict_done_cv_.wait(lock, [&] {
+      auto it = entries_.find(path);
+      return it == entries_.end() || !it->second.evicting;
+    });
+  }
+  fills_[path] += 1;
+  leases_active_ += 1;
+}
+
+void CacheManager::EndFill(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fills_.find(path);
+    if (it != fills_.end() && --it->second <= 0) fills_.erase(it);
+    if (leases_active_ > 0) leases_active_ -= 1;
+  }
+  evict_done_cv_.notify_all();
+}
+
+uint64_t CacheManager::LeasesActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leases_active_;
+}
+
+uint64_t CacheManager::EvictorInflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictor_inflight_;
+}
+
 uint64_t CacheManager::OverageLocked(uint64_t add_bytes) const {
   uint64_t budget = governor_->budget();
   if (budget == 0) return 0;
@@ -109,6 +195,9 @@ std::string CacheManager::PickVictimLocked(
     if (entry.evicting || entry.bytes == 0) continue;
     if (std::find(skip.begin(), skip.end(), path) != skip.end()) continue;
     if (PinnedLocked(path)) continue;
+    // Leased readers and unsealed fills make the entry unclaimable: this
+    // is what keeps a partially filled file out of the victim pool.
+    if (LeasedLocked(path)) continue;
     if (best_entry == nullptr) {
       best = path;
       best_entry = &entry;
@@ -145,6 +234,7 @@ std::string CacheManager::PickVictimLocked(
 bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
   std::string victim;
   uint64_t victim_bytes = 0;
+  uint64_t claim_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     victim = PickVictimLocked(*skip);
@@ -152,9 +242,14 @@ bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
     Entry& e = entries_[victim];
     e.evicting = true;
     victim_bytes = e.bytes;
+    claim_epoch = e.fill_epoch;
+    evictor_inflight_ += 1;
   }
   // Hooks run unlocked: spill reads cache blocks (which notifies OnAccess)
   // and evict deletes them (which notifies OnDelete) — both re-enter mu_.
+  // evictor_depth_ marks this thread so the spill's own reads of the
+  // victim bypass the lease wait-out instead of deadlocking on the claim.
+  ++evictor_depth_;
   bool need_spill =
       hooks_.has_backing ? !hooks_.has_backing(victim) : false;
   if (need_spill) {
@@ -167,12 +262,39 @@ bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
         auto it = entries_.find(victim);
         if (it != entries_.end()) it->second.evicting = false;
         skip->push_back(victim);  // unevictable this round, try the next one
+        if (evictor_inflight_ > 0) evictor_inflight_ -= 1;
       }
+      --evictor_depth_;
       evict_done_cv_.notify_all();
       return true;
     }
   }
+  // Revalidate the claim before publishing the eviction: the spill ran
+  // unlocked, so the victim may have been pinned (a new job's inputs),
+  // leased (a reader arrived), or refilled (epoch moved — the spilled
+  // bytes no longer match the cache). Any of those aborts the eviction;
+  // deleting anyway is exactly the lost-block race behind the historical
+  // bench_cache SpMV divergence.
+  bool valid = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(victim);
+    valid = it != entries_.end() && !PinnedLocked(victim) &&
+            !LeasedLocked(victim) && it->second.fill_epoch == claim_epoch;
+    if (!valid) {
+      if (it != entries_.end()) it->second.evicting = false;
+      skip->push_back(victim);
+      counters_.aborted_evictions += 1;
+      if (evictor_inflight_ > 0) evictor_inflight_ -= 1;
+    }
+  }
+  if (!valid) {
+    --evictor_depth_;
+    evict_done_cv_.notify_all();
+    return true;
+  }
   if (hooks_.evict) (void)hooks_.evict(victim);
+  --evictor_depth_;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Normally the evict hook already notified OnDelete; clean up directly
@@ -188,6 +310,7 @@ bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
     counters_.evictions += 1;
     counters_.evicted_bytes += victim_bytes;
     if (need_spill) counters_.spilled_evictions += 1;
+    if (evictor_inflight_ > 0) evictor_inflight_ -= 1;
   }
   evict_done_cv_.notify_all();
   return true;
@@ -205,14 +328,7 @@ bool CacheManager::EvictUntilFits(uint64_t add_bytes) {
     // background evictor) has entries claimed mid-eviction, wait for it to
     // finish and re-evaluate rather than under-reporting eviction capacity.
     std::unique_lock<std::mutex> lock(mu_);
-    bool in_flight = false;
-    for (const auto& [path, entry] : entries_) {
-      if (entry.evicting) {
-        in_flight = true;
-        break;
-      }
-    }
-    if (!in_flight) return OverageLocked(add_bytes) == 0;
+    if (evictor_inflight_ == 0) return OverageLocked(add_bytes) == 0;
     evict_done_cv_.wait_for(lock, std::chrono::milliseconds(50));
   }
 }
@@ -259,6 +375,7 @@ void CacheManager::OnFill(const std::string& path, uint64_t add_bytes,
     e.bytes += add_bytes;
     e.fill_seconds += fill_seconds;
     e.last_tick = ++tick_;
+    e.fill_epoch += 1;
     resident_bytes_ += add_bytes;
     governor_->AddUsage(kConsumer, static_cast<int64_t>(add_bytes));
     uint64_t cache_budget = governor_->ConsumerBudget(kConsumer);
@@ -298,8 +415,15 @@ void CacheManager::OnRename(const std::string& src, const std::string& dst) {
 }
 
 void CacheManager::Pin(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Count the pin first so no new eviction can claim under the subtree,
+  // then wait out claims already in flight: once Pin returns, nothing a
+  // stale evictor had picked before the pin can still delete these blocks
+  // (its post-spill revalidation sees the pin and aborts).
   pins_[path] += 1;
+  if (evictor_depth_ == 0) {
+    evict_done_cv_.wait(lock, [&] { return !EvictingUnderLocked(path); });
+  }
 }
 
 void CacheManager::Unpin(const std::string& path) {

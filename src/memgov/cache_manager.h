@@ -65,6 +65,10 @@ class CacheManager {
     /// Required fills admitted over budget (pinned inputs, temp outputs).
     uint64_t forced_fills = 0;
     uint64_t reuse_hits = 0;
+    /// Evictions claimed, spilled, and then abandoned because post-spill
+    /// revalidation found the victim pinned, leased, or refilled — the
+    /// lease/epoch protocol turning a would-be lost block into a no-op.
+    uint64_t aborted_evictions = 0;
   };
 
   CacheManager(MemoryGovernor* governor, Hooks hooks);
@@ -72,6 +76,62 @@ class CacheManager {
 
   CacheManager(const CacheManager&) = delete;
   CacheManager& operator=(const CacheManager&) = delete;
+
+  /// --- Read-lease / fill-epoch protocol (DESIGN.md §13) ---
+  ///
+  /// Block lifetime is made explicit: a reader holds a counted lease on the
+  /// file (or directory subtree) it is reading, a fill brackets the whole
+  /// admit→publish window, and the evictor may only claim entries with zero
+  /// covering leases and a sealed fill epoch. An eviction already in flight
+  /// when a lease is requested is waited out, so a reader never observes
+  /// the torn half of a spill+delete; conversely the evictor revalidates
+  /// the claimed epoch after its unlocked spill and aborts (rather than
+  /// deletes) when a lease, pin, or refill arrived meanwhile.
+
+  /// RAII read lease over `path` (a file, or a directory covering files).
+  /// Movable; releases on destruction.
+  class ReadLease {
+   public:
+    ReadLease() = default;
+    ReadLease(CacheManager* mgr, std::string path)
+        : mgr_(mgr), path_(std::move(path)) {}
+    ReadLease(ReadLease&& other) noexcept { *this = std::move(other); }
+    ReadLease& operator=(ReadLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mgr_ = other.mgr_;
+        path_ = std::move(other.path_);
+        other.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    ReadLease(const ReadLease&) = delete;
+    ReadLease& operator=(const ReadLease&) = delete;
+    ~ReadLease() { Release(); }
+
+    void Release();
+
+   private:
+    CacheManager* mgr_ = nullptr;
+    std::string path_;
+  };
+
+  /// Takes a counted read lease on `path`, first waiting out any in-flight
+  /// eviction covering it (the evictor's own spill reads are exempt, so
+  /// spill hooks can read their victim without deadlocking). While the
+  /// lease is held no covered entry can be claimed for eviction.
+  ReadLease AcquireRead(const std::string& path);
+
+  /// Brackets a fill of `path`: from BeginFill to EndFill the file's fill
+  /// epoch is unsealed and the entry is never evictable, so a partially
+  /// published file cannot be claimed between admission and publish.
+  /// BeginFill waits out an in-flight eviction of `path` itself.
+  void BeginFill(const std::string& path);
+  void EndFill(const std::string& path);
+
+  /// Live protocol gauges (cache_leases_active / cache_evictor_inflight).
+  uint64_t LeasesActive() const;
+  uint64_t EvictorInflight() const;
 
   /// Name under which cache bytes are pushed to the governor.
   static constexpr const char* kConsumer = "cache";
@@ -102,7 +162,9 @@ class CacheManager {
   void OnRename(const std::string& src, const std::string& dst);
 
   /// Pins `path` (a file, or a directory covering files) against
-  /// eviction. Counted: nested Pin/Unpin pairs compose.
+  /// eviction. Counted: nested Pin/Unpin pairs compose. Waits out any
+  /// eviction already in flight under `path`, so after Pin returns no
+  /// stale eviction can delete a pinned block behind the caller's back.
   void Pin(const std::string& path);
   void Unpin(const std::string& path);
   bool IsPinned(const std::string& path) const;
@@ -141,15 +203,25 @@ class CacheManager {
     uint64_t access_count = 0;
     /// Claimed by an in-flight eviction; invisible to victim selection.
     bool evicting = false;
+    /// Bumped on every published block. The evictor records the epoch at
+    /// claim time and revalidates it after the unlocked spill: a mismatch
+    /// means the file changed under the spill and the eviction aborts.
+    uint64_t fill_epoch = 0;
   };
 
   void Bump(uint64_t Counters::* field);
   bool PinnedLocked(const std::string& path) const;
+  /// True when a read lease or unsealed fill covers `path`.
+  bool LeasedLocked(const std::string& path) const;
+  /// True when an in-flight eviction claims an entry under `root`.
+  bool EvictingUnderLocked(const std::string& root) const;
+  void ReleaseRead(const std::string& path);
   /// Bytes the cache must shed to fit `add_bytes` more, honoring both the
   /// cache share and the governor's total budget.
   uint64_t OverageLocked(uint64_t add_bytes) const;
-  /// Lowest-score evictable entry, or empty. Skips pins, in-flight
-  /// evictions, and `skip` (paths whose spill failed this round).
+  /// Lowest-score evictable entry, or empty. Skips pins, read leases,
+  /// unsealed fills, in-flight evictions, and `skip` (paths whose spill
+  /// failed or whose eviction aborted this round).
   std::string PickVictimLocked(const std::vector<std::string>& skip) const;
   /// Evicts until OverageLocked(add_bytes) == 0 or no victims remain.
   /// Returns true when the target was reached. Caller must NOT hold mu_.
@@ -177,6 +249,16 @@ class CacheManager {
   uint64_t resident_bytes_ = 0;
   std::map<std::string, Entry> entries_;
   std::map<std::string, int> pins_;
+  /// Counted read leases by lease root (file or directory).
+  std::map<std::string, int> leases_;
+  /// Fills in flight by file path; an entry here means the file's fill
+  /// epoch is unsealed and the file must not be claimed for eviction.
+  std::map<std::string, int> fills_;
+  uint64_t leases_active_ = 0;
+  uint64_t evictor_inflight_ = 0;
+  /// Nonzero on a thread currently running eviction hooks: its own reads
+  /// of the victim (the spill path) bypass the wait-out in AcquireRead.
+  static thread_local int evictor_depth_;
   struct ReuseEntry {
     std::string output_dir;
     std::vector<std::string> files;

@@ -69,6 +69,31 @@ TEST(CacheTest, TemporaryNamingRules) {
   EXPECT_FALSE(Cache::IsTemporary(conf, "/exact/one/child"));
 }
 
+TEST(CacheTest, EvictKeepsManifestDeleteForgetsIt) {
+  Cache cache(2);
+  ASSERT_TRUE(cache.PutBlock("/temp-out/part-00000", "0", 0, MakeSeq(2), 20)
+                  .ok());
+  ASSERT_TRUE(cache.PutBlock("/temp-out/part-00001", "0", 1, MakeSeq(2), 30)
+                  .ok());
+  cache.RecordManifest("/temp-out");
+  EXPECT_TRUE(cache.ManifestMissing("/temp-out").empty());
+
+  // Eviction is a residency change, not a deletion: the directory manifest
+  // survives so a later reader can notice the gap and heal it from the
+  // checkpoint spill.
+  ASSERT_TRUE(cache.Evict("/temp-out/part-00000").ok());
+  auto missing = cache.ManifestMissing("/temp-out");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("part-00000"), std::string::npos);
+
+  // An explicit Delete means the data is gone on purpose: the file leaves
+  // the manifest and consumers must not fail over it.
+  ASSERT_TRUE(cache.Delete("/temp-out/part-00001").ok());
+  EXPECT_EQ(cache.ManifestMissing("/temp-out").size(), 1u);  // still 00000
+  ASSERT_TRUE(cache.Delete("/temp-out").ok());
+  EXPECT_TRUE(cache.ManifestMissing("/temp-out").empty());
+}
+
 TEST(M3RFileSystemTest, UnionViewSynthesizesCacheOnlyEntries) {
   auto base = dfs::MakeLocalFs();
   Cache cache(4);

@@ -168,6 +168,16 @@ TEST(StatusTest, OverloadedIsTypedAndRetriable) {
   EXPECT_NE(s.ToString().find("Overloaded"), std::string::npos);
 }
 
+TEST(StatusTest, DeadlineExceededIsTypedAndRetriable) {
+  Status s = Status::DeadlineExceeded("job 'slow' killed by watchdog");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  // A watchdog kill's cause (pressure, a crashed place mid-heal) is
+  // transient: a fresh attempt with a fresh deadline is worth making.
+  EXPECT_TRUE(s.IsRetriable());
+  EXPECT_NE(s.ToString().find("DeadlineExceeded"), std::string::npos);
+}
+
 TEST(FairShareClockTest, ServiceDividesByWeight) {
   FairShareClock clock;
   clock.SetWeight("a", 1.0);

@@ -172,5 +172,103 @@ TEST(JobControlTest, IndependentBranchesOverlapThroughJobServer) {
   server->Shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Redispatch semantics, isolated with a scripted submitter: a watchdog
+// kill (DeadlineExceeded) re-enters the submit loop like Overloaded
+// backpressure — the node is retried, bounded by the job's retry budget —
+// while any other failure settles the node immediately.
+// ---------------------------------------------------------------------------
+
+/// Scripted JobSubmitter: pops one outcome per Submit. An errored Status
+/// outcome is returned from Submit itself (admission failure); a JobResult
+/// outcome completes the ticket synchronously.
+class ScriptedSubmitter : public JobSubmitter {
+ public:
+  struct Outcome {
+    Status admission = Status::OK();
+    Status result = Status::OK();
+  };
+
+  explicit ScriptedSubmitter(std::vector<Outcome> script)
+      : script_(std::move(script)) {}
+
+  Result<JobTicket> Submit(Submission submission) override {
+    size_t i = submissions_++;
+    Outcome outcome =
+        i < script_.size() ? script_[i] : Outcome{};
+    if (!outcome.admission.ok()) return outcome.admission;
+    auto state = std::make_shared<JobTicket::State>();
+    state->id = static_cast<int64_t>(i) + 1;
+    state->job_name = submission.conf.JobName();
+    state->MarkAdmitted();
+    state->MarkRunning();
+    JobResult result;
+    result.status = outcome.result;
+    state->Complete(std::move(result), outcome.result.ok()
+                                           ? TicketPhase::kSucceeded
+                                           : TicketPhase::kFailed);
+    return JobTicket(std::move(state));
+  }
+
+  int submissions() const { return submissions_; }
+
+ private:
+  std::vector<Outcome> script_;
+  std::atomic<int> submissions_{0};
+};
+
+TEST(JobControlTest, WatchdogKillIsRedispatchedThenSucceeds) {
+  ScriptedSubmitter submitter(
+      {{Status::OK(), Status::DeadlineExceeded("killed by watchdog")},
+       {Status::OK(), Status::OK()}});
+  JobControl control(&submitter);
+  int node = control.AddJob([] {
+    Submission sub;
+    sub.conf = workloads::MakeWordCountJob("/in", "/out", 1, true);
+    return sub;
+  }());
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(node), JobControl::State::kSucceeded);
+  EXPECT_EQ(submitter.submissions(), 2);
+}
+
+TEST(JobControlTest, WatchdogKillRetriesAreBoundedByJobBudget) {
+  // Every attempt is killed: the node must settle kFailed after the
+  // job's own retry budget (m3r.job.max.attempts), not spin forever.
+  ScriptedSubmitter submitter(
+      {{Status::OK(), Status::DeadlineExceeded("killed by watchdog")},
+       {Status::OK(), Status::DeadlineExceeded("killed by watchdog")},
+       {Status::OK(), Status::DeadlineExceeded("killed by watchdog")},
+       {Status::OK(), Status::DeadlineExceeded("killed by watchdog")}});
+  JobControl control(&submitter);
+  Submission sub;
+  sub.conf = workloads::MakeWordCountJob("/in", "/out", 1, true);
+  sub.conf.Set(conf::kJobMaxAttempts, "3");
+  int node = control.AddJob(std::move(sub));
+  auto summary = control.Run();
+  EXPECT_FALSE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(node), JobControl::State::kFailed);
+  EXPECT_EQ(submitter.submissions(), 3);
+  EXPECT_TRUE(
+      summary.results.at(node).status.IsDeadlineExceeded());
+}
+
+TEST(JobControlTest, OverloadedAdmissionBacksOffWithoutFailingTheBranch) {
+  ScriptedSubmitter submitter({{Status::Overloaded("queue full"), {}},
+                               {Status::Overloaded("queue full"), {}},
+                               {Status::OK(), Status::OK()}});
+  JobControl control(&submitter);
+  int node = control.AddJob([] {
+    Submission sub;
+    sub.conf = workloads::MakeWordCountJob("/in", "/out", 1, true);
+    return sub;
+  }());
+  auto summary = control.Run();
+  EXPECT_TRUE(summary.all_succeeded);
+  EXPECT_EQ(summary.states.at(node), JobControl::State::kSucceeded);
+  EXPECT_EQ(submitter.submissions(), 3);
+}
+
 }  // namespace
 }  // namespace m3r::api

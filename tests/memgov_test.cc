@@ -80,14 +80,21 @@ struct Harness {
   std::vector<std::string> evicted;
   std::vector<std::string> spilled;
   std::atomic<bool> backed{true};
+  std::function<void(const std::string&)> spill_observer;
   std::unique_ptr<CacheManager> mgr;
 
   explicit Harness(uint64_t budget) {
     gov.SetBudget(budget);
     CacheManager::Hooks hooks;
     hooks.spill = [this](const std::string& p) {
-      std::lock_guard<std::mutex> lock(mu);
-      spilled.push_back(p);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        spilled.push_back(p);
+      }
+      // Mid-eviction interleaving hook: runs unlocked on the evictor
+      // thread, exactly where a concurrent reader or filler lands while
+      // the claim's spill is in flight.
+      if (spill_observer) spill_observer(p);
       return Status::OK();
     };
     hooks.evict = [this](const std::string& p) {
@@ -181,6 +188,91 @@ TEST(CacheManager, UnbackedVictimsSpillBeforeEviction) {
   ASSERT_TRUE(h.mgr->AdmitFill("/t/b", 80, false));
   EXPECT_EQ(h.Spilled(), std::vector<std::string>{"/t/a"});
   EXPECT_EQ(h.Evicted(), std::vector<std::string>{"/t/a"});
+  EXPECT_EQ(h.mgr->counters().spilled_evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic regressions for the fill/evict race behind the historical
+// bench_cache SpMV divergence: the read-lease/epoch protocol must make a
+// claimed eviction abort — never delete — when a lease, an open fill, a
+// pin, or a refill lands while the claim's spill runs unlocked.
+// ---------------------------------------------------------------------------
+
+TEST(CacheManager, ReadLeaseBlocksEvictionUntilReleased) {
+  Harness h(100);
+  ASSERT_TRUE(h.mgr->AdmitFill("/hot", 60, false));
+  h.mgr->OnFill("/hot", 60, 0.1);
+  h.Insert("/hot");
+  {
+    CacheManager::ReadLease lease = h.mgr->AcquireRead("/hot");
+    EXPECT_EQ(h.mgr->LeasesActive(), 1u);
+    // The only victim is leased: unclaimable, so the droppable fill is
+    // bypassed and the leased file survives untouched.
+    EXPECT_FALSE(h.mgr->AdmitFill("/b", 60, false));
+    EXPECT_TRUE(h.Evicted().empty());
+    EXPECT_EQ(h.mgr->counters().aborted_evictions, 0u);
+  }
+  EXPECT_EQ(h.mgr->LeasesActive(), 0u);
+  EXPECT_TRUE(h.mgr->AdmitFill("/b", 60, false));
+  EXPECT_EQ(h.Evicted(), std::vector<std::string>{"/hot"});
+}
+
+TEST(CacheManager, OpenFillSealsFileAgainstEviction) {
+  Harness h(100);
+  // Bracket a block-by-block fill: while the fill is open the file's
+  // epoch is unsealed and the evictor must not claim it — a partially
+  // published file is never a victim, not even of its own admissions.
+  h.mgr->BeginFill("/f");
+  ASSERT_TRUE(h.mgr->AdmitFill("/f", 60, true));
+  h.mgr->OnFill("/f", 60, 0.1);
+  h.Insert("/f");
+  EXPECT_FALSE(h.mgr->AdmitFill("/g", 60, false));
+  EXPECT_TRUE(h.Evicted().empty());
+  h.mgr->EndFill("/f");
+  EXPECT_TRUE(h.mgr->AdmitFill("/g", 60, false));
+  EXPECT_EQ(h.Evicted(), std::vector<std::string>{"/f"});
+}
+
+TEST(CacheManager, RefillDuringSpillAbortsEviction) {
+  Harness h(100);
+  ASSERT_TRUE(h.mgr->AdmitFill("/v", 60, true));
+  h.mgr->OnFill("/v", 60, 0.1);
+  h.Insert("/v");
+  h.backed.store(false);  // unbacked: eviction must spill first
+  // While the claim's spill runs unlocked, a refill of the victim lands
+  // and moves its epoch: the spilled bytes no longer match the cache, so
+  // the post-spill revalidation must abort the eviction.
+  h.spill_observer = [&](const std::string& p) {
+    if (p == "/v") h.mgr->OnFill("/v", 0, 0.0);
+  };
+  EXPECT_FALSE(h.mgr->AdmitFill("/b", 60, false));
+  EXPECT_EQ(h.Spilled(), std::vector<std::string>{"/v"});
+  EXPECT_TRUE(h.Evicted().empty());
+  EXPECT_EQ(h.mgr->counters().aborted_evictions, 1u);
+  EXPECT_EQ(h.mgr->counters().evictions, 0u);
+  EXPECT_EQ(h.mgr->ResidentBytes(), 60u);
+}
+
+TEST(CacheManager, PinDuringSpillAbortsEviction) {
+  Harness h(100);
+  ASSERT_TRUE(h.mgr->AdmitFill("/v", 60, true));
+  h.mgr->OnFill("/v", 60, 0.1);
+  h.Insert("/v");
+  h.backed.store(false);
+  // A new job pins its inputs while the stale claim's spill is in
+  // flight; the revalidation sees the pin and aborts (pin once only, so
+  // the post-unpin eviction below is not re-blocked).
+  std::atomic<bool> pinned{false};
+  h.spill_observer = [&](const std::string& p) {
+    if (p == "/v" && !pinned.exchange(true)) h.mgr->Pin("/v");
+  };
+  EXPECT_FALSE(h.mgr->AdmitFill("/b", 60, false));
+  EXPECT_TRUE(h.Evicted().empty());
+  EXPECT_EQ(h.mgr->counters().aborted_evictions, 1u);
+
+  h.mgr->Unpin("/v");
+  EXPECT_TRUE(h.mgr->AdmitFill("/b", 60, false));
+  EXPECT_EQ(h.Evicted(), std::vector<std::string>{"/v"});
   EXPECT_EQ(h.mgr->counters().spilled_evictions, 1u);
 }
 

@@ -81,6 +81,18 @@ inline constexpr char kCacheAbortedEvictions[] = "CACHE_ABORTED_EVICTIONS";
 /// matching lineage signature (m3r.cache.reuse=exact) — no map or reduce
 /// task ran.
 inline constexpr char kReusedFromCache[] = "REUSED_FROM_CACHE";
+// Place-failure recovery (DESIGN.md §14): crash/teardown/replay tallies,
+// incremented at each quiesce point so a watching client sees recovery
+// progress live, and mirrored into the job-end metrics on both the
+// recovered and failed paths.
+inline constexpr char kPlaceCrashes[] = "PLACE_CRASHES";
+inline constexpr char kCacheEvictedByCrashBlocks[] =
+    "CACHE_EVICTED_BY_CRASH_BLOCKS";
+inline constexpr char kRecoveredMapTasks[] = "RECOVERED_MAP_TASKS";
+/// Simulated recovery span (replayed tasks + checkpoint heal reads) in
+/// milliseconds — the makespan cost of surviving the crash, also charged
+/// to time_breakdown["recovery"].
+inline constexpr char kRecoveryMillis[] = "RECOVERY_MILLIS";
 
 // Serving front end (m3r::engine::JobServer): live per-queue gauges
 // mirrored into a running ticket's LiveCounters on every progress sync —

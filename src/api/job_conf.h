@@ -95,6 +95,24 @@ inline constexpr char kSpeculativeSlowTaskThreshold[] =
 /// M3R checkpoint policy: "off" (default), "tempout" (spill cache-only
 /// temporary outputs to the DFS in the background), or "all".
 inline constexpr char kCacheCheckpoint[] = "m3r.cache.checkpoint";
+/// M3R mid-job place-failure recovery (DESIGN.md §14): "replay" (default —
+/// quiesce the map phase, re-home the dead place's partitions onto
+/// survivors, replay only the lost map tasks, continue into reduce) or
+/// "off" (the paper's behavior: any place crash fails the whole job with a
+/// retriable Unavailable). Crashes past the recovery horizon — during the
+/// reduce phase, or beyond the crash budget — always fall back to the
+/// whole-job failure.
+inline constexpr char kPlaceRecovery[] = "m3r.place.recovery";
+/// Crash budget for m3r.place.recovery=replay: total dead places tolerated
+/// per job before recovery gives up and fails the job (default 2).
+inline constexpr char kPlaceRecoveryMaxCrashes[] =
+    "m3r.place.recovery.max.crashes";
+/// Scripted mid-map crash points, "P:N[,P:N...]": place P crashes when it
+/// is about to start its (N+1)-th map task (N = 0 crashes it before any
+/// task runs). Deterministic mid-phase timing for recovery tests and the
+/// chaos harness; entries naming places the job doesn't have are inert,
+/// and so is the whole key on the Hadoop engine.
+inline constexpr char kPlaceCrashAt[] = "m3r.place.crash.at";
 /// Job-level retries by JobClient::SubmitJob on retriable failures.
 inline constexpr char kJobMaxAttempts[] = "m3r.job.max.attempts";
 inline constexpr char kJobRetryBackoffMs[] = "m3r.job.retry.backoff.ms";

@@ -111,6 +111,30 @@ std::vector<std::pair<std::string, std::string>> ChaosSchedule::JobOverrides(
   }
   if (crash_possible) {
     out.emplace_back("m3r.cache.checkpoint", "tempout");
+    // Mid-phase crash timing: the "m3r.place" site only fires at phase
+    // start, so some jobs also get a scripted crash ("P:N" = place P dies
+    // before starting its (N+1)-th map task). That exercises the quiesce /
+    // re-home / bounded-replay machinery (DESIGN.md §14) at arbitrary
+    // points inside the map phase, and occasionally a second crash or a
+    // pinned-off recovery so the whole-job fallback path soaks too.
+    if (Mix(job, 5) % 2 == 0) {
+      const int first = static_cast<int>(Mix(job, 6) % 4);
+      std::string script = std::to_string(first) + ":" +
+                           std::to_string(1 + Mix(job, 7) % 3);
+      if (Mix(job, 8) % 3 == 0) {
+        const int second =
+            (first + 1 + static_cast<int>(Mix(job, 8) % 3)) % 4;
+        script += "," + std::to_string(second) + ":" +
+                  std::to_string(1 + Mix(job, 8) % 2);
+      }
+      out.emplace_back("m3r.place.crash.at", script);
+      const uint64_t mode = Mix(job, 9) % 6;
+      if (mode == 0) {
+        out.emplace_back("m3r.place.recovery", "off");
+      } else if (mode == 1) {
+        out.emplace_back("m3r.place.recovery.max.crashes", "1");
+      }
+    }
   }
 
   // Injected faults surface as retriable statuses; one resubmission

@@ -1,0 +1,135 @@
+#include "common/membership.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace m3r {
+
+int MembershipView::AliveCount() const {
+  int n = 0;
+  for (PlaceHealth h : health) {
+    if (h == PlaceHealth::kHealthy) ++n;
+  }
+  return n;
+}
+
+void MembershipService::Reset(int num_places) {
+  std::lock_guard<std::mutex> lock(mu_);
+  M3R_CHECK(num_places > 0);
+  ++epoch_;
+  health_.assign(static_cast<size_t>(num_places), PlaceHealth::kHealthy);
+  heartbeats_.assign(static_cast<size_t>(num_places), 0);
+  reasons_.assign(static_cast<size_t>(num_places), std::string());
+}
+
+int MembershipService::num_places() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(health_.size());
+}
+
+uint64_t MembershipService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+MembershipView MembershipService::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MembershipView v;
+  v.epoch = epoch_;
+  v.health = health_;
+  v.heartbeats = heartbeats_;
+  return v;
+}
+
+void MembershipService::Heartbeat(int place) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (place < 0 || place >= static_cast<int>(heartbeats_.size())) return;
+  ++heartbeats_[static_cast<size_t>(place)];
+}
+
+bool MembershipService::Suspect(int place, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  M3R_CHECK(place >= 0 && place < static_cast<int>(health_.size()));
+  if (health_[static_cast<size_t>(place)] != PlaceHealth::kHealthy) {
+    return false;
+  }
+  health_[static_cast<size_t>(place)] = PlaceHealth::kSuspect;
+  reasons_[static_cast<size_t>(place)] = reason;
+  return true;
+}
+
+std::vector<int> MembershipService::ConfirmDeaths() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> newly_dead;
+  for (size_t p = 0; p < health_.size(); ++p) {
+    if (health_[p] == PlaceHealth::kSuspect) {
+      health_[p] = PlaceHealth::kDead;
+      newly_dead.push_back(static_cast<int>(p));
+    }
+  }
+  if (!newly_dead.empty()) ++epoch_;  // ascending by construction
+  return newly_dead;
+}
+
+bool MembershipService::IsDead(int place) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (place < 0 || place >= static_cast<int>(health_.size())) return false;
+  return health_[static_cast<size_t>(place)] == PlaceHealth::kDead;
+}
+
+bool MembershipService::IsSuspectOrDead(int place) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (place < 0 || place >= static_cast<int>(health_.size())) return false;
+  return health_[static_cast<size_t>(place)] != PlaceHealth::kHealthy;
+}
+
+std::vector<int> MembershipService::AlivePlaces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> alive;
+  for (size_t p = 0; p < health_.size(); ++p) {
+    if (health_[p] == PlaceHealth::kHealthy) {
+      alive.push_back(static_cast<int>(p));
+    }
+  }
+  return alive;
+}
+
+int MembershipService::AliveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (PlaceHealth h : health_) {
+    if (h == PlaceHealth::kHealthy) ++n;
+  }
+  return n;
+}
+
+PartitionMap::PartitionMap(int num_partitions, int num_places, bool stable,
+                           int salt) {
+  M3R_CHECK(num_partitions >= 0 && num_places > 0);
+  home_.resize(static_cast<size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    home_[static_cast<size_t>(p)] =
+        stable ? p % num_places : (p + salt) % num_places;
+  }
+}
+
+std::vector<int> PartitionMap::Rehome(const std::vector<int>& dead,
+                                      const std::vector<int>& survivors) {
+  M3R_CHECK(!survivors.empty());
+  M3R_CHECK(std::is_sorted(survivors.begin(), survivors.end()));
+  std::vector<int> moved;
+  for (int p = 0; p < num_partitions(); ++p) {
+    if (!std::binary_search(dead.begin(), dead.end(),
+                            home_[static_cast<size_t>(p)])) {
+      continue;
+    }
+    home_[static_cast<size_t>(p)] =
+        survivors[static_cast<size_t>(p) % survivors.size()];
+    moved.push_back(p);
+  }
+  ++version_;
+  return moved;
+}
+
+}  // namespace m3r

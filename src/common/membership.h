@@ -1,0 +1,122 @@
+#ifndef M3R_COMMON_MEMBERSHIP_H_
+#define M3R_COMMON_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m3r {
+
+/// Health of one place in a membership view (DESIGN.md §14).
+///
+/// Healthy -> Suspect happens the moment a crash signal is observed (an
+/// "m3r.place" fault firing, a scripted crash point) — mid-round, from any
+/// strand. Suspect -> Dead is confirmed only at a quiesce point, where the
+/// engine runs the one-time teardown (cache eviction, partition re-homing)
+/// and bumps the view epoch. A dead place never comes back within the job;
+/// the next submission resets the view.
+enum class PlaceHealth { kHealthy, kSuspect, kDead };
+
+/// An epoch-numbered snapshot of the cluster's place health.
+struct MembershipView {
+  uint64_t epoch = 0;
+  std::vector<PlaceHealth> health;
+  /// Monotonic liveness counters: one tick per completed task at the place
+  /// (the job heartbeat plumbing's per-place view).
+  std::vector<uint64_t> heartbeats;
+
+  int AliveCount() const;
+};
+
+/// Tracks per-place health in epoch-numbered views for one job submission.
+///
+/// Thread-safety: every method is safe to call concurrently; Suspect and
+/// Heartbeat are designed for the hot path (task boundaries), while
+/// ConfirmDeaths is meant to run single-threaded at a quiesce point
+/// between execution rounds.
+class MembershipService {
+ public:
+  explicit MembershipService(int num_places) { Reset(num_places); }
+
+  /// Starts a fresh view: all places healthy, heartbeats zeroed, epoch
+  /// bumped (a view change, like any other).
+  void Reset(int num_places);
+
+  int num_places() const;
+  uint64_t epoch() const;
+  MembershipView View() const;
+
+  /// Records liveness for `place` (a task completed there).
+  void Heartbeat(int place);
+
+  /// Marks a healthy place suspect. Returns true only for the transition
+  /// (callers use it to record the crash status exactly once); an already
+  /// suspect or dead place returns false.
+  bool Suspect(int place, const std::string& reason);
+
+  /// Quiesce point: every suspect becomes dead and the epoch is bumped
+  /// once for the batch. Returns the newly dead places in ascending order
+  /// (the deterministic processing order for re-homing), or empty — with
+  /// no epoch bump — when nothing was suspect.
+  std::vector<int> ConfirmDeaths();
+
+  bool IsDead(int place) const;
+  /// True once a crash signal was observed, even before confirmation —
+  /// the "stop taking work" check at task boundaries.
+  bool IsSuspectOrDead(int place) const;
+
+  /// Healthy places in ascending order (suspects are excluded: by the time
+  /// survivors matter, a quiesce has confirmed them dead).
+  std::vector<int> AlivePlaces() const;
+  int AliveCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::vector<PlaceHealth> health_;
+  std::vector<uint64_t> heartbeats_;
+  std::vector<std::string> reasons_;
+};
+
+/// Versioned partition -> place map (DESIGN.md §14).
+///
+/// Within one map version this is exactly M3R's partition-stability
+/// contract: partition p lives at a fixed place for the whole epoch. A
+/// place failure bumps the version by deterministically re-homing the dead
+/// places' partitions onto the sorted survivor list — a pure function of
+/// (current map, dead set, survivor set), so every participant derives the
+/// same new map with no coordination.
+///
+/// Thread-safety: HomeOf is lock-free and safe concurrently with other
+/// reads; Rehome must only run at a quiesce point (no concurrent readers).
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+  /// Initial homes: partition p at p % num_places (the stable assignment),
+  /// or salted (p + salt) % num_places when `stable` is false (the
+  /// partition-stability ablation).
+  PartitionMap(int num_partitions, int num_places, bool stable, int salt);
+
+  int num_partitions() const { return static_cast<int>(home_.size()); }
+  uint64_t version() const { return version_; }
+
+  int HomeOf(int partition) const {
+    return home_[static_cast<size_t>(partition)];
+  }
+
+  /// Moves every partition currently homed at a place in `dead` to
+  /// survivors[p % survivors.size()] and bumps the version. `survivors`
+  /// must be sorted, non-empty, and disjoint from `dead`. Returns the
+  /// re-homed partition ids in ascending order.
+  std::vector<int> Rehome(const std::vector<int>& dead,
+                          const std::vector<int>& survivors);
+
+ private:
+  std::vector<int> home_;
+  uint64_t version_ = 1;  // pristine map; every Rehome bumps it
+};
+
+}  // namespace m3r
+
+#endif  // M3R_COMMON_MEMBERSHIP_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include "common/fault_injector.h"
 #include "common/integrity.h"
 #include "common/logging.h"
+#include "common/membership.h"
 #include "common/path.h"
 #include "common/stopwatch.h"
 #include "m3r/shuffle.h"
@@ -430,6 +432,10 @@ struct M3REngine::TaskPlan {
   Status status;
   double cpu_seconds = 0;
   uint64_t output_bytes = 0;  // map-only jobs
+  /// Completed once at a place that later died, and re-run on a survivor:
+  /// the re-execution is charged to time_breakdown["recovery"], not to the
+  /// crash-free map phase.
+  bool replayed = false;
 };
 
 M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
@@ -798,6 +804,52 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
         ckpt_policy));
   }
 
+  // --- Mid-job place-failure recovery (DESIGN.md §14) ---
+  const std::string recovery_mode =
+      conf.Get(api::conf::kPlaceRecovery, "replay");
+  if (recovery_mode != "off" && recovery_mode != "replay") {
+    return Fail(Status::InvalidArgument(
+        std::string("bad ") + api::conf::kPlaceRecovery + ": " +
+        recovery_mode));
+  }
+  const bool recovery_on = recovery_mode == "replay";
+  const int max_crashes = static_cast<int>(
+      conf.GetInt(api::conf::kPlaceRecoveryMaxCrashes, 2));
+  if (max_crashes < 0) {
+    return Fail(Status::InvalidArgument(
+        std::string("bad ") + api::conf::kPlaceRecoveryMaxCrashes));
+  }
+  // Scripted crash points "P:N[,P:N...]": place P dies when it is about to
+  // start its (N+1)-th map task. Entries for places the job doesn't have
+  // never trigger.
+  std::map<int, int> crash_script;
+  {
+    const std::string script = conf.Get(api::conf::kPlaceCrashAt, "");
+    size_t pos = 0;
+    while (pos < script.size()) {
+      size_t comma = script.find(',', pos);
+      const std::string item = script.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? script.size() : comma + 1;
+      if (item.empty()) continue;
+      char* after_place = nullptr;
+      long p = std::strtol(item.c_str(), &after_place, 10);
+      char* after_ordinal = nullptr;
+      long n = after_place != nullptr && *after_place == ':'
+                   ? std::strtol(after_place + 1, &after_ordinal, 10)
+                   : -1;
+      if (after_place == item.c_str() || *after_place != ':' ||
+          after_ordinal == after_place + 1 ||
+          (after_ordinal != nullptr && *after_ordinal != '\0') || p < 0 ||
+          n < 0) {
+        return Fail(Status::InvalidArgument(
+            std::string("bad ") + api::conf::kPlaceCrashAt + " entry: " +
+            item));
+      }
+      crash_script[static_cast<int>(p)] = static_cast<int>(n);
+    }
+  }
+
   // --- Memory governance (DESIGN.md §11): re-read per submission so a job
   // sequence can tighten or lift the budget between jobs. ---
   governor_.SetBudget(static_cast<uint64_t>(std::max<int64_t>(
@@ -1052,6 +1104,32 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     result.metrics["integrity_bytes_checksummed"] =
         integrity->counters->bytes_checksummed.load();
   };
+  // --- Place membership for this submission (DESIGN.md §14): one view per
+  // job, fed by the m3r.place fault site and the scripted crash knob.
+  // Suspicion is raised mid-round from any strand; deaths are confirmed
+  // (and torn down exactly once per place) only at quiesce points. ---
+  MembershipService membership(num_places);
+  std::mutex crash_mu;
+  Status crash_status;  // first *unrecovered* crash; cleared per recovery
+  int64_t place_crashes = 0;
+  int64_t crash_evicted_blocks = 0;
+  int64_t recovered_map_tasks_total = 0;
+  uint64_t pmap_version = 1;
+  // Crash observability on every exit path. Runs post-join (no concurrent
+  // strand mutates the tallies), so no lock is needed.
+  auto record_crashes = [&]() {
+    if (place_crashes == 0) return;
+    result.metrics["place_crashes"] = place_crashes;
+    result.metrics["cache_evicted_by_crash_blocks"] = crash_evicted_blocks;
+    // Pre-recovery name for the same tally, kept for existing consumers.
+    result.metrics["evicted_blocks"] = crash_evicted_blocks;
+    result.metrics["recovered_map_tasks"] = recovered_map_tasks_total;
+    result.metrics["membership_epoch"] =
+        static_cast<int64_t>(membership.epoch());
+    result.metrics["partition_map_version"] =
+        static_cast<int64_t>(pmap_version);
+  };
+
   auto fail_job = [&](Status status) {
     if (!temporary) {
       api::FileOutputCommitter committer;
@@ -1063,6 +1141,7 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     if (fault != nullptr) {
       result.metrics["injected_faults"] = fault->InjectedCount();
     }
+    record_crashes();
     record_integrity();
     record_memgov();
     result.status = std::move(status);
@@ -1220,28 +1299,70 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   std::atomic<size_t> map_tasks_done{0};
   std::atomic<bool> map_aborted{false};
   std::atomic<bool> cancelled{false};
-  // Whole-place crash ("m3r.place" site, keyed by place id): the lost
-  // place takes exactly its homed cache blocks with it; the in-flight job
-  // fails with a retriable status and a resubmission re-reads the evicted
-  // data from the DFS (or a checkpoint heals it).
-  std::mutex crash_mu;
-  Status crash_status;
-  int64_t evicted_blocks = 0;
+  // Whole-place crash ("m3r.place" site or the scripted knob, keyed by
+  // place id): the place goes Suspect immediately — its strands stop
+  // taking work at the next task boundary — and the heavyweight teardown
+  // (cache eviction, reconcile, partition re-homing) runs exactly once per
+  // place, at the next quiesce point.
+  auto report_crash = [&](int place, Status st) {
+    if (!membership.Suspect(place, st.ToString())) return;
+    M3R_LOG(Warn) << "place " << place << " crashed: " << st.ToString();
+    std::lock_guard<std::mutex> lock(crash_mu);
+    ++place_crashes;
+    if (crash_status.ok()) crash_status = std::move(st);
+  };
   auto place_alive = [&](int place) {
+    if (membership.IsSuspectOrDead(place)) return false;
     if (fault == nullptr) return true;
     Status st = fault->Check("m3r.place", std::to_string(place));
     if (st.ok()) return true;
-    int64_t evicted = cache_.store().EvictPlace(place);
-    M3R_LOG(Warn) << "injected crash of place " << place << ": evicted "
-                  << evicted << " cache blocks";
+    report_crash(place, std::move(st));
+    return false;
+  };
+  // Scripted mid-map crash points: the per-place counter ticks once per
+  // task this place starts, so "P:N" kills it between its N-th and
+  // (N+1)-th task — deterministic mid-phase timing whatever the strand
+  // interleaving (exactly N tasks begin before the place dies).
+  std::vector<std::atomic<int>> place_attempts(
+      static_cast<size_t>(num_places));
+  auto scripted_crash_check = [&](int place) {
+    if (crash_script.empty()) return false;
+    auto it = crash_script.find(place);
+    if (it == crash_script.end()) return false;
+    if (place_attempts[static_cast<size_t>(place)].fetch_add(
+            1, std::memory_order_relaxed) < it->second) {
+      return false;
+    }
+    report_crash(place,
+                 Status::Unavailable("scripted crash of place " +
+                                     std::to_string(place)));
+    return true;
+  };
+  // Quiesce-point teardown: confirm every suspect dead (one epoch bump per
+  // batch), evict exactly the dead places' cache blocks, and reconcile the
+  // cache manager once for the batch.
+  auto confirm_and_teardown = [&]() {
+    std::vector<int> newly_dead = membership.ConfirmDeaths();
+    if (newly_dead.empty()) return newly_dead;
+    int64_t evicted = 0;
+    for (int d : newly_dead) {
+      int64_t e = cache_.store().EvictPlace(d);
+      evicted += e;
+      M3R_LOG(Warn) << "place " << d << " confirmed dead: evicted " << e
+                    << " cache blocks";
+    }
     // EvictPlace bypasses the manager's per-file notifications; re-derive
     // the entry table and resident bytes from what actually survived.
     cache_manager_->Reconcile(
         [this](const std::string& p) { return cache_.FileBytes(p); });
-    std::lock_guard<std::mutex> lock(crash_mu);
-    if (crash_status.ok()) crash_status = std::move(st);
-    evicted_blocks += evicted;
-    return false;
+    crash_evicted_blocks += evicted;
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kPlaceCrashes,
+                              static_cast<int64_t>(newly_dead.size()));
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kCacheEvictedByCrashBlocks,
+                              evicted);
+    return newly_dead;
   };
   // Map-side hash aggregation (decided at job scope: combiner, map-output
   // types, and grouping comparator are job-level settings, so per-split
@@ -1252,6 +1373,10 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       api::HashCombineCollector::Eligible(conf);
   std::mutex hash_mu;
   Status hash_status;
+  // Per-task completion, read at quiesce points (after the round's join)
+  // to tell lost-and-replayable work from never-started work. Each index is
+  // written by exactly one strand per round.
+  std::vector<char> task_done(tasks.size(), 0);
   auto run_map_task = [&](size_t i, int place, int lane,
                           api::HashCombineCollector* lane_hasher) {
       TaskPlan& t = tasks[i];
@@ -1386,6 +1511,8 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
         }
       }
       t.cpu_seconds = sw.ElapsedSeconds();
+      task_done[i] = 1;
+      membership.Heartbeat(place);
       size_t done = ++map_tasks_done;
       sync_memgov();
       ReportProgress(conf,
@@ -1394,76 +1521,263 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
                                     tasks.size(), 1)),
                      &result.counters);
   };
-  places_.FinishForAll([&](int place) {
-    if (!place_alive(place)) {
-      map_aborted.store(true);
-      return;
-    }
-    const std::vector<size_t>& mine =
-        tasks_of_place[static_cast<size_t>(place)];
-    if (mine.empty()) return;
-    // Strand s runs tasks j with j % strands == s and owns serialization
-    // lane s, so each remote stream has exactly one writer and wire bytes
-    // stay deterministic for a fixed worker count.
-    const int strands =
-        static_cast<int>(std::min<size_t>(mine.size(),
-                                          static_cast<size_t>(workers)));
-    auto run_strand = [&](size_t s) {
-      // Lane-persistent hash aggregation (the in-node combiner): one table
-      // lives across every map task this strand runs, so a key repeated in
-      // different splits of the place still collapses to one wire record —
-      // scope no per-task (or per-spill) combiner can reach. Each strand
-      // owns its lane's serialization stream, so the table drains into a
-      // single-writer lane and wire bytes stay deterministic.
-      std::shared_ptr<api::Partitioner> lane_partitioner;
-      std::unique_ptr<ShuffleCollector> lane_sink;
-      std::unique_ptr<api::CountersReporter> lane_reporter;
-      std::unique_ptr<api::HashCombineCollector> lane_hasher;
-      if (lane_hash_combine) {
-        lane_partitioner = api::MakePartitioner(conf);
-        lane_reporter =
-            std::make_unique<api::CountersReporter>(&result.counters);
-        lane_sink = std::make_unique<ShuffleCollector>(
-            &shuffle, lane_partitioner.get(), place, static_cast<int>(s),
-            num_reduce, /*immutable=*/true, lane_reporter.get());
-        lane_hasher = std::make_unique<api::HashCombineCollector>(
-            conf, lane_sink.get(), lane_reporter.get(),
-            &hash_combine_bytes_);
+  const double t0 = spec.m3r_job_overhead_s;
+  int crashes_handled = 0;
+  double recovery_heal_seconds = 0;
+  Status recovery_abandoned;  // recovery gave up (lost data) mid-flight
+  for (;;) {
+    places_.FinishForAll([&](int place) {
+      if (membership.IsSuspectOrDead(place)) return;
+      if (!place_alive(place)) {
+        if (!recovery_on) map_aborted.store(true);
+        return;
       }
-      for (size_t j = s; j < mine.size();
-           j += static_cast<size_t>(strands)) {
-        if (map_aborted.load(std::memory_order_relaxed)) return;
-        if (CancelRequested()) {
-          cancelled.store(true, std::memory_order_relaxed);
-          map_aborted.store(true);
-          return;
+      const std::vector<size_t>& mine =
+          tasks_of_place[static_cast<size_t>(place)];
+      if (mine.empty()) return;
+      // Strand s runs tasks j with j % strands == s and owns serialization
+      // lane s, so each remote stream has exactly one writer and wire bytes
+      // stay deterministic for a fixed worker count.
+      const int strands =
+          static_cast<int>(std::min<size_t>(mine.size(),
+                                            static_cast<size_t>(workers)));
+      auto run_strand = [&](size_t s) {
+        // Lane-persistent hash aggregation (the in-node combiner): one table
+        // lives across every map task this strand runs, so a key repeated in
+        // different splits of the place still collapses to one wire record —
+        // scope no per-task (or per-spill) combiner can reach. Each strand
+        // owns its lane's serialization stream, so the table drains into a
+        // single-writer lane and wire bytes stay deterministic. A replay
+        // round gets fresh tables, so a recovered job may carry more than
+        // one partial aggregate per key — the combiner contract (run 0+
+        // times over any subset) already promises that is legal.
+        std::shared_ptr<api::Partitioner> lane_partitioner;
+        std::unique_ptr<ShuffleCollector> lane_sink;
+        std::unique_ptr<api::CountersReporter> lane_reporter;
+        std::unique_ptr<api::HashCombineCollector> lane_hasher;
+        if (lane_hash_combine) {
+          lane_partitioner = api::MakePartitioner(conf);
+          lane_reporter =
+              std::make_unique<api::CountersReporter>(&result.counters);
+          lane_sink = std::make_unique<ShuffleCollector>(
+              &shuffle, lane_partitioner.get(), place, static_cast<int>(s),
+              num_reduce, /*immutable=*/true, lane_reporter.get());
+          lane_hasher = std::make_unique<api::HashCombineCollector>(
+              conf, lane_sink.get(), lane_reporter.get(),
+              &hash_combine_bytes_);
         }
-        run_map_task(mine[j], place, static_cast<int>(s),
-                     lane_hasher.get());
-        if (!tasks[mine[j]].status.ok()) map_aborted.store(true);
+        for (size_t j = s; j < mine.size();
+             j += static_cast<size_t>(strands)) {
+          if (map_aborted.load(std::memory_order_relaxed)) return;
+          if (CancelRequested()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            map_aborted.store(true);
+            return;
+          }
+          if (membership.IsSuspectOrDead(place)) return;
+          if (scripted_crash_check(place)) {
+            if (!recovery_on) map_aborted.store(true);
+            return;
+          }
+          run_map_task(mine[j], place, static_cast<int>(s),
+                       lane_hasher.get());
+          if (!tasks[mine[j]].status.ok()) map_aborted.store(true);
+        }
+        // Survivors MUST drain their tables even when another place died
+        // this round: their buffered pairs feed lanes that will be
+        // delivered. A suspect place's drain would be discarded at quiesce
+        // anyway; skip it.
+        if (lane_hasher != nullptr &&
+            !map_aborted.load(std::memory_order_relaxed) &&
+            !membership.IsSuspectOrDead(place)) {
+          Status st = lane_hasher->Flush();
+          if (!st.ok()) {
+            map_aborted.store(true);
+            std::lock_guard<std::mutex> lock(hash_mu);
+            if (hash_status.ok()) hash_status = std::move(st);
+          }
+        }
+      };
+      if (strands <= 1) {
+        run_strand(0);
+      } else {
+        places_.pool().ParallelFor(static_cast<size_t>(strands), run_strand);
       }
-      if (lane_hasher != nullptr &&
-          !map_aborted.load(std::memory_order_relaxed)) {
-        Status st = lane_hasher->Flush();
+    });
+
+    // --- Quiesce: the round's strands are all joined. Confirm deaths,
+    // tear down once per dead place, and either recover (bounded replay,
+    // DESIGN.md §14) or break to the failure paths below. ---
+    std::vector<int> newly_dead = confirm_and_teardown();
+    if (newly_dead.empty()) break;  // crash-free round: the phase is done
+    crashes_handled += static_cast<int>(newly_dead.size());
+    std::vector<int> alive = membership.AlivePlaces();
+    sync_memgov();
+    if (!recovery_on || crashes_handled > max_crashes || alive.empty() ||
+        map_aborted.load() || cancelled.load()) {
+      // Recovery off, budget exhausted, nobody left, or the job is failing
+      // for its own reasons — fall back to the whole-job retriable failure.
+      break;
+    }
+
+    // Re-home the dead places' partitions and lanes onto the survivors
+    // (partition-map version bump; orphan lanes delivered at the barrier).
+    if (num_reduce > 0) {
+      ShuffleExchange::RecoveryStats rs =
+          shuffle.DropDeadPlaces(newly_dead, alive);
+      pmap_version = shuffle.map_version();
+      M3R_LOG(Warn) << "recovery: re-homed " << rs.rehomed_partitions
+                    << " partitions, dropped " << rs.dropped_local_pairs
+                    << " pre-barrier pairs and " << rs.dropped_lanes
+                    << " dead lanes (map v" << pmap_version << ")";
+    }
+
+    // Heal evicted inputs from the checkpoint (the PR 7 lease/heal path);
+    // the DFS reads are charged to the recovery span.
+    if (ckpt_policy != "off" || governor_.governed()) {
+      int healed_files = 0;
+      uint64_t healed_bytes = 0;
+      for (const std::string& in : conf.InputPaths()) {
+        Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
+                                             &healed_files, &healed_bytes,
+                                             integrity.get());
         if (!st.ok()) {
-          map_aborted.store(true);
-          std::lock_guard<std::mutex> lock(hash_mu);
-          if (hash_status.ok()) hash_status = std::move(st);
+          M3R_LOG(Warn) << "recovery heal of " << in
+                        << " failed: " << st.ToString();
         }
       }
-    };
-    if (strands <= 1) {
-      run_strand(0);
-    } else {
-      places_.pool().ParallelFor(static_cast<size_t>(strands), run_strand);
+      if (healed_bytes > 0) {
+        recovery_heal_seconds += cost_.DfsRead(healed_bytes, false);
+      }
     }
-  });
+    // Cache-only inputs must still be complete after the heal; anything
+    // short is unrecoverable in-flight (same contract as job entry).
+    if (options_.enable_cache) {
+      for (const std::string& in : conf.InputPaths()) {
+        std::vector<std::string> missing =
+            cache_.ManifestMissing(path::Canonicalize(in));
+        if (!missing.empty()) {
+          recovery_abandoned = Status::DataLoss(
+              "place crash lost cache-only input '" + in + "': " +
+              missing.front());
+          break;
+        }
+      }
+    }
+
+    // Classify the dead places' tasks: never-started work is reassigned as
+    // normal work; completed work whose output died with the place (shuffle
+    // state, or a cache-only output) is replayed. Completed map-only tasks
+    // with materialized output keep their DFS files — never re-committed.
+    int64_t replayed_round = 0;
+    for (size_t i = 0; i < tasks.size() && recovery_abandoned.ok(); ++i) {
+      TaskPlan& t = tasks[i];
+      if (!std::binary_search(newly_dead.begin(), newly_dead.end(),
+                              t.place)) {
+        continue;
+      }
+      if (task_done[i]) {
+        if (num_reduce == 0 && !temporary) continue;
+        task_done[i] = 0;
+        t.replayed = true;
+        t.status = Status::OK();
+        t.output_bytes = 0;
+        map_tasks_done.fetch_sub(1, std::memory_order_relaxed);
+        ++replayed_round;
+      }
+      // Revalidate the cache plan: the dead place took its blocks with it.
+      // A DFS-backed split degrades to a re-read; a cache-only block that
+      // the heal could not restore is lost for good.
+      if (t.cache_hit && !cache_.GetBlock(*t.cache_path, t.block_name)) {
+        if (t.whole_file_hit || t.empty_hit ||
+            !base_fs_->Exists(*t.cache_path)) {
+          recovery_abandoned = Status::DataLoss(
+              "place crash lost cached input block " + *t.cache_path + "#" +
+              t.block_name);
+          break;
+        }
+        t.cache_hit = false;
+        t.block_name = Cache::BlockNameForSplit(*t.split);
+      }
+      // Re-plan onto a survivor: partitioned splits follow the re-homed
+      // partition map (stability within the new epoch); everything else
+      // keeps its planning preference, deterministically re-hashed onto
+      // the alive list when the preferred place died.
+      auto locations = t.split->GetLocations();
+      int pref;
+      if (const auto* placed = FindPlacedSplit(*t.split)) {
+        const int part = placed->GetPlacedPartition();
+        pref = num_reduce > 0 && part >= 0 && part < shuffle_partitions
+                   ? shuffle.PlaceOfPartition(part)
+                   : (options_.partition_stability
+                          ? StablePlaceOfPartition(part, num_places)
+                          : (part + salt) % num_places);
+      } else if (t.cache_hit) {
+        pref = cache_.GetBlock(*t.cache_path, t.block_name)->info.place;
+      } else if (!locations.empty()) {
+        pref = locations[0] % num_places;
+      } else {
+        pref = alive[i % alive.size()];
+      }
+      if (membership.IsSuspectOrDead(pref)) {
+        pref = alive[static_cast<size_t>(pref) % alive.size()];
+      }
+      t.place = pref;
+      t.local_read =
+          t.cache_hit ||
+          std::find_if(locations.begin(), locations.end(), [&](int n) {
+            return n % num_places == t.place;
+          }) != locations.end();
+    }
+    if (!recovery_abandoned.ok()) break;
+
+    recovered_map_tasks_total += replayed_round;
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kRecoveredMapTasks,
+                              replayed_round);
+    // This crash is handled; clear the verdict so a later crash (next
+    // round, or mid-reduce) is judged on its own.
+    {
+      std::lock_guard<std::mutex> lock(crash_mu);
+      crash_status = Status::OK();
+    }
+    // Next round runs exactly the not-done work (all of it re-planned onto
+    // survivors — a finished round leaves nothing pending anywhere else).
+    for (auto& v : tasks_of_place) v.clear();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (!task_done[i]) {
+        tasks_of_place[static_cast<size_t>(tasks[i].place)].push_back(i);
+      }
+    }
+    ReportProgress(conf,
+                   0.05 + 0.55 * static_cast<double>(map_tasks_done.load()) /
+                              static_cast<double>(std::max<size_t>(
+                                  tasks.size(), 1)),
+                   &result.counters);
+  }
+
+  Status map_crash;
   {
     std::lock_guard<std::mutex> lock(crash_mu);
-    if (!crash_status.ok()) {
-      result.metrics["evicted_blocks"] = evicted_blocks;
-      return fail_job(std::move(crash_status));
+    map_crash = crash_status;
+  }
+  if (!map_crash.ok()) {
+    // Unrecovered crash (recovery off, horizon passed, or data loss): the
+    // whole-job retriable failure, charging the work that did complete so
+    // the failed attempt has an honest simulated cost.
+    sim::SlotTimeline part_tl(spec, t0);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (!task_done[i]) continue;
+      const TaskPlan& t = tasks[i];
+      double d = t.cpu_seconds * spec.data_scale;
+      if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+      if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
+      part_tl.ScheduleOnNode(t.place, t0, d);
     }
+    result.time_breakdown["map_phase_partial"] = part_tl.Makespan() - t0;
+    result.sim_seconds = part_tl.Makespan() + recovery_heal_seconds;
+    return fail_job(recovery_abandoned.ok() ? std::move(map_crash)
+                                            : std::move(recovery_abandoned));
   }
   if (cancelled.load()) return fail_job(Status::Cancelled("job cancelled"));
   for (const TaskPlan& t : tasks) {
@@ -1477,13 +1791,17 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   // --- Simulated map phase time ---
   result.metrics["hdfs_read_bytes"] = 0;
   result.metrics["hdfs_write_bytes"] = 0;
-  double t0 = spec.m3r_job_overhead_s;
   sim::SlotTimeline map_tl(spec, t0);
+  int64_t replayed_tasks = 0;
   for (const TaskPlan& t : tasks) {
     double d = t.cpu_seconds * spec.data_scale;
     if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
     if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
-    map_tl.ScheduleOnNode(t.place, t0, d);
+    if (t.replayed) {
+      ++replayed_tasks;  // charged to the recovery span below
+    } else {
+      map_tl.ScheduleOnNode(t.place, t0, d);
+    }
     if (!t.cache_hit) {
       result.metrics["hdfs_read_bytes"] += static_cast<int64_t>(
           t.input_bytes);
@@ -1495,16 +1813,45 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   double map_end = tasks.empty() ? t0 : map_tl.Makespan();
   result.time_breakdown["map_phase"] = map_end - t0;
 
+  // Replayed work runs after the crash-free portion of the phase, on the
+  // survivors, plus the checkpoint heal reads — the price of surviving the
+  // crash instead of re-running the whole job. (The dead places' wasted
+  // pre-crash work is parallel loss and does not extend the makespan.)
+  double recovery_span = recovery_heal_seconds;
+  if (replayed_tasks > 0) {
+    sim::SlotTimeline rec_tl(spec, map_end);
+    for (const TaskPlan& t : tasks) {
+      if (!t.replayed) continue;
+      double d = t.cpu_seconds * spec.data_scale;
+      if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+      if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
+      rec_tl.ScheduleOnNode(t.place, map_end, d);
+    }
+    recovery_span += rec_tl.Makespan() - map_end;
+  }
+  if (recovery_span > 0) {
+    const int64_t ms = static_cast<int64_t>(
+        std::llround(recovery_span * 1000.0));
+    result.time_breakdown["recovery"] = recovery_span;
+    result.metrics["recovery_millis"] = ms;
+    result.counters.Increment(api::counters::kM3rGroup,
+                              api::counters::kRecoveryMillis, ms);
+  }
+  const double phase_end = map_end + recovery_span;
+
   double total;
   if (num_reduce == 0) {
-    total = map_end + spec.m3r_barrier_s;
+    total = phase_end + spec.m3r_barrier_s;
     for (const TaskPlan& t : tasks) {
       result.metrics["hdfs_write_bytes"] +=
           static_cast<int64_t>(t.output_bytes);
     }
   } else {
     // --- Shuffle delivery (after the Team barrier, §5.1) ---
+    // Dead places deliver nothing; their inbound (orphan) lanes are
+    // delivered by round-robin survivors inside DeliverTo.
     places_.FinishForAll([&](int place) {
+      if (membership.IsDead(place)) return;
       shuffle.DeliverTo(place, workers > 1 ? &places_.pool() : nullptr,
                         workers);
     });
@@ -1514,8 +1861,11 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
 
     double shuffle_span = 0;
     for (int p = 0; p < num_places; ++p) {
+      if (membership.IsDead(p)) continue;  // no lanes, no decode
       uint64_t send = 0;
-      uint64_t recv = 0;
+      // Orphan lanes this survivor delivers for dead destinations count as
+      // its received traffic (it pulls them over the wire to decode).
+      uint64_t recv = shuffle.OrphanWireBytesFor(p);
       for (int q = 0; q < num_places; ++q) {
         if (q != p) {
           send += shuffle.WireBytes(p, q);
@@ -1576,6 +1926,7 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
                               api::counters::kClonedPairs,
                               static_cast<int64_t>(sstats.cloned_pairs));
     result.time_breakdown["shuffle"] = shuffle_span + spec.m3r_barrier_s;
+    const double reduce_start = phase_end + spec.m3r_barrier_s + shuffle_span;
 
     // --- Reduce phase ---
     struct ReduceResult {
@@ -1684,8 +2035,10 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           if (!rr.status.ok()) return;
         }
         rr.cpu_seconds += std::max(0.0, sw.ElapsedSeconds() - sort_caller);
+        membership.Heartbeat(place);
     };
     places_.FinishForAll([&](int place) {
+      if (membership.IsDead(place)) return;
       if (!place_alive(place)) return;
       std::vector<int> mine;
       for (int p = 0; p < num_reduce; ++p) {
@@ -1699,12 +2052,21 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
             [&](size_t k) { run_reduce_task(mine[k], place); }, workers);
       }
     });
+    Status reduce_crash;
     {
       std::lock_guard<std::mutex> lock(crash_mu);
-      if (!crash_status.ok()) {
-        result.metrics["evicted_blocks"] = evicted_blocks;
-        return fail_job(std::move(crash_status));
-      }
+      reduce_crash = crash_status;
+    }
+    if (!reduce_crash.ok()) {
+      // A crash past the map barrier is past the recovery horizon: the
+      // dead place's reduce state (sorted runs, partial writers) is not
+      // reconstructible from retained shuffle lanes. Tear the place down
+      // so its cache blocks don't serve stale data, then fall back to the
+      // whole-job retriable failure — the resubmitted attempt heals its
+      // inputs from the checkpoint.
+      confirm_and_teardown();
+      result.sim_seconds = reduce_start;
+      return fail_job(std::move(reduce_crash));
     }
     if (cancelled.load()) {
       return fail_job(Status::Cancelled("job cancelled"));
@@ -1713,7 +2075,6 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       if (!rr.status.ok()) return fail_job(rr.status);
     }
 
-    double reduce_start = map_end + spec.m3r_barrier_s + shuffle_span;
     sim::SlotTimeline red_tl(spec, reduce_start);
     for (int p = 0; p < num_reduce; ++p) {
       const ReduceResult& rr = reduce_results[static_cast<size_t>(p)];
@@ -1768,6 +2129,8 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   if (fault != nullptr) {
     result.metrics["injected_faults"] = fault->InjectedCount();
   }
+  // A recovered job still reports its crash history.
+  record_crashes();
   // Integrity tallies + checksum CPU, amortized over the cluster's slots
   // (the stamps and verifies ran inside tasks on every place).
   record_integrity();

@@ -48,13 +48,21 @@ struct M3REngineOptions {
 /// co-location fast path, and deterministic partition->place assignment
 /// (partition stability).
 ///
-/// Like the paper's engine it does not retry tasks: any task failure fails
-/// the whole instance's job. It degrades gracefully rather than crashing —
-/// a lost place ("m3r.place" fault site) evicts exactly the cache blocks
-/// homed there and fails the in-flight job with a retriable
-/// Status::Unavailable, committing no partial _SUCCESS — and the optional
-/// checkpoint policy (m3r.cache.checkpoint=off|tempout|all) spills
-/// cache-only temporary outputs to the DFS in the background, so a
+/// Like the paper's engine it does not retry failed *tasks*: any task
+/// failure fails the whole instance's job. Whole-place crashes are a
+/// different story (DESIGN.md §14): a per-job membership service tracks
+/// places Healthy -> Suspect -> Dead in epoch-numbered views, and with
+/// m3r.place.recovery=replay (the default) a crash inside the map phase is
+/// survived in-flight — at the next quiesce point the dead place's cache
+/// blocks are evicted, its shuffle partitions are re-homed onto survivors
+/// under a versioned partition map, evicted inputs are healed from the
+/// checkpoint, and only the lost map tasks are replayed before the job
+/// continues into reduce. Crashes past the recovery horizon (mid-reduce,
+/// more than m3r.place.recovery.max.crashes places, or unrecoverable data
+/// loss) fall back to the pre-recovery behavior: the job fails with a
+/// retriable Status::Unavailable, committing no partial _SUCCESS. The
+/// optional checkpoint policy (m3r.cache.checkpoint=off|tempout|all)
+/// spills cache-only temporary outputs to the DFS in the background, so a
 /// restarted instance replays a job sequence from the last materialized
 /// output instead of re-running completed jobs.
 class M3REngine : public api::Engine {

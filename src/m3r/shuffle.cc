@@ -24,6 +24,8 @@ ShuffleExchange::ShuffleExchange(int num_places,
       fault_(options.fault),
       integrity_(options.integrity),
       pool_(options.buffer_pool),
+      map_(options.num_partitions, num_places, options.partition_stability,
+           options.instability_salt),
       lanes_(static_cast<size_t>(num_places) * num_places * workers_),
       partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
       partition_mu_(new std::mutex[static_cast<size_t>(
@@ -52,8 +54,13 @@ ShuffleExchange::~ShuffleExchange() {
 }
 
 int ShuffleExchange::PlaceOfPartition(int partition) const {
+  // The versioned map starts as the stable (or per-job salted, under the
+  // ablation) assignment and only ever diverges when a place dies.
+  if (partition >= 0 && partition < map_.num_partitions()) {
+    return map_.HomeOf(partition);
+  }
+  // Out-of-range probes (planning heuristics) keep the formulaic answer.
   if (stability_) return StablePlaceOfPartition(partition, num_places_);
-  // Ablation: Hadoop-style arbitrary assignment, re-shuffled per job.
   return (partition + salt_) % num_places_;
 }
 
@@ -135,8 +142,138 @@ Status ShuffleExchange::status() const {
   return status_;
 }
 
+void ShuffleExchange::DiscardLane(Lane* lane) {
+  if (lane->out != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->Release(kLaneWireCategory, lane->out->TakeBuffer());
+    }
+    lane->out.reset();
+  }
+  if (lane->wire.capacity() > 0) {
+    if (pool_ != nullptr) {
+      pool_->Release(kLaneWireCategory, std::move(lane->wire));
+    }
+    lane->wire = std::string();
+  }
+  lane->objects = 0;
+  lane->deduped = 0;
+  lane->saved_bytes = 0;
+  lane->finished = false;
+}
+
+ShuffleExchange::RecoveryStats ShuffleExchange::DropDeadPlaces(
+    const std::vector<int>& newly_dead, const std::vector<int>& survivors) {
+  RecoveryStats rs;
+  M3R_CHECK(!survivors.empty());
+  if (dead_.empty()) dead_.assign(static_cast<size_t>(num_places_), 0);
+  for (int d : newly_dead) {
+    M3R_CHECK(d >= 0 && d < num_places_ && !dead_[static_cast<size_t>(d)]);
+    dead_[static_cast<size_t>(d)] = 1;
+  }
+  survivors_ = survivors;
+  any_dead_ = true;
+
+  // Re-home the dead places' partitions (map version bump) and drop their
+  // pre-barrier pairs. Before the barrier partitions_[p] holds exactly the
+  // home place's *local* emissions — every remote emission is still
+  // buffered in its sender's lane — so the drop loses only work that the
+  // dead places' task replay regenerates.
+  std::vector<int> moved = map_.Rehome(newly_dead, survivors);
+  rs.rehomed_partitions = static_cast<int>(moved.size());
+  for (int p : moved) {
+    std::lock_guard<std::mutex> lock(
+        partition_mu_[static_cast<size_t>(p)]);
+    rs.dropped_local_pairs += partitions_[static_cast<size_t>(p)].size();
+    kvstore::KVSeq().swap(partitions_[static_cast<size_t>(p)]);
+  }
+
+  // The dead places' own outbound lanes (to anyone, dead or alive) carry
+  // emissions of tasks that will be replayed; discard them and zero the
+  // places' emit stats so nothing is counted twice. Surviving senders'
+  // lanes toward the dead places stay put — they are delivered as orphan
+  // lanes at the barrier.
+  for (int d : newly_dead) {
+    for (int dst = 0; dst < num_places_; ++dst) {
+      for (int w = 0; w < workers_; ++w) {
+        Lane& lane = LaneFor(d, dst, w);
+        if (lane.out != nullptr || !lane.wire.empty()) ++rs.dropped_lanes;
+        DiscardLane(&lane);
+      }
+    }
+    local_pairs_[static_cast<size_t>(d)].store(0, std::memory_order_relaxed);
+    remote_pairs_[static_cast<size_t>(d)].store(0, std::memory_order_relaxed);
+    aliased_pairs_[static_cast<size_t>(d)].store(0,
+                                                 std::memory_order_relaxed);
+    cloned_pairs_[static_cast<size_t>(d)].store(0, std::memory_order_relaxed);
+  }
+  return rs;
+}
+
+void ShuffleExchange::CollectOrphanLanes(int dst_place,
+                                         std::vector<Lane*>* lanes,
+                                         std::vector<std::string>* keys) {
+  if (!any_dead_) return;
+  int my_index = -1;
+  for (size_t i = 0; i < survivors_.size(); ++i) {
+    if (survivors_[i] == dst_place) {
+      my_index = static_cast<int>(i);
+      break;
+    }
+  }
+  M3R_CHECK(my_index >= 0) << "DeliverTo at dead place " << dst_place;
+  // Positional round-robin over every (dead dst, live src, worker) slot:
+  // the count advances whether or not the lane has data, so every survivor
+  // derives the same assignment with no coordination. Keys keep the lane's
+  // original address so fault-site decisions stay stable across recovery.
+  size_t k = 0;
+  for (int d = 0; d < num_places_; ++d) {
+    if (!dead_[static_cast<size_t>(d)]) continue;
+    for (int src = 0; src < num_places_; ++src) {
+      if (dead_[static_cast<size_t>(src)]) continue;
+      for (int w = 0; w < workers_; ++w) {
+        bool mine =
+            (k++ % survivors_.size()) == static_cast<size_t>(my_index);
+        if (!mine) continue;
+        Lane& lane = LaneFor(src, d, w);
+        if (lane.out == nullptr) continue;
+        lanes->push_back(&lane);
+        keys->push_back(std::to_string(src) + "->" + std::to_string(d) +
+                        "#" + std::to_string(w));
+      }
+    }
+  }
+}
+
+uint64_t ShuffleExchange::OrphanWireBytesFor(int dst_place) const {
+  if (!any_dead_) return 0;
+  int my_index = -1;
+  for (size_t i = 0; i < survivors_.size(); ++i) {
+    if (survivors_[i] == dst_place) {
+      my_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (my_index < 0) return 0;
+  // Mirrors CollectOrphanLanes' positional assignment exactly.
+  uint64_t bytes = 0;
+  size_t k = 0;
+  for (int d = 0; d < num_places_; ++d) {
+    if (!dead_[static_cast<size_t>(d)]) continue;
+    for (int src = 0; src < num_places_; ++src) {
+      if (dead_[static_cast<size_t>(src)]) continue;
+      for (int w = 0; w < workers_; ++w) {
+        bool mine =
+            (k++ % survivors_.size()) == static_cast<size_t>(my_index);
+        if (mine) bytes += LaneAt(src, d, w).wire.size();
+      }
+    }
+  }
+  return bytes;
+}
+
 void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
-                                 int dst_place, double* cpu_seconds) {
+                                 int dst_place, bool orphan,
+                                 double* cpu_seconds) {
   CpuStopwatch sw;
   lane->objects = lane->out->objects_written();
   lane->deduped = lane->out->objects_deduped();
@@ -187,7 +324,14 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
     serialize::WritablePtr key = in.ReadObject();
     serialize::WritablePtr value = in.ReadObject();
     M3R_CHECK(partition >= 0 && partition < num_partitions_);
-    M3R_CHECK(PlaceOfPartition(partition) == dst_place);
+    if (orphan) {
+      // The lane was addressed to a dead place; its partitions have been
+      // re-homed, so only require that the current home is alive.
+      M3R_CHECK(dead_.empty() ||
+                !dead_[static_cast<size_t>(PlaceOfPartition(partition))]);
+    } else {
+      M3R_CHECK(PlaceOfPartition(partition) == dst_place);
+    }
     if (scratch.empty() || scratch.back().first != partition) {
       scratch.emplace_back(partition, kvstore::KVSeq());
     }
@@ -211,6 +355,7 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
   std::vector<Lane*> inbound;
   std::vector<std::string> keys;
   for (int src = 0; src < num_places_; ++src) {
+    if (any_dead_ && dead_[static_cast<size_t>(src)]) continue;
     for (int w = 0; w < workers_; ++w) {
       Lane& lane = LaneFor(src, dst_place, w);
       if (lane.out == nullptr) continue;
@@ -220,6 +365,10 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
                      "#" + std::to_string(w));
     }
   }
+  // After a recovery round, survivors also pick up their share of the
+  // lanes addressed to dead places (decoded under the current map).
+  size_t first_orphan = inbound.size();
+  CollectOrphanLanes(dst_place, &inbound, &keys);
   std::vector<double>& seconds = decode_seconds_[static_cast<size_t>(
       dst_place)];
   seconds.assign(inbound.size(), 0.0);
@@ -227,12 +376,14 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
     executor->ParallelFor(
         inbound.size(),
         [&](size_t i) {
-          DecodeLane(inbound[i], keys[i], dst_place, &seconds[i]);
+          DecodeLane(inbound[i], keys[i], dst_place, i >= first_orphan,
+                     &seconds[i]);
         },
         max_workers);
   } else {
     for (size_t i = 0; i < inbound.size(); ++i) {
-      DecodeLane(inbound[i], keys[i], dst_place, &seconds[i]);
+      DecodeLane(inbound[i], keys[i], dst_place, i >= first_orphan,
+                 &seconds[i]);
     }
   }
 }

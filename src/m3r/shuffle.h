@@ -11,6 +11,7 @@
 #include "common/executor.h"
 #include "common/fault_injector.h"
 #include "common/integrity.h"
+#include "common/membership.h"
 #include "common/status.h"
 #include "kvstore/kv_store.h"
 #include "serialize/dedup.h"
@@ -78,7 +79,13 @@ class ShuffleExchange {
   /// Releases lane wire buffers back to the pool (when one is configured).
   ~ShuffleExchange();
 
+  /// Current home of `partition` under the versioned partition map
+  /// (DESIGN.md §14). Within one map version this is exactly the stable
+  /// assignment; a DropDeadPlaces call bumps the version by re-homing the
+  /// dead places' partitions onto survivors.
   int PlaceOfPartition(int partition) const;
+  /// Partition-map version: 1 until a place dies, +1 per recovery round.
+  uint64_t map_version() const { return map_.version(); }
   int workers_per_place() const { return workers_; }
 
   /// Called by the map phase at `src_place` from the strand owning
@@ -122,6 +129,34 @@ class ShuffleExchange {
   };
   Stats ComputeStats() const;
 
+  struct RecoveryStats {
+    int rehomed_partitions = 0;
+    /// Pre-barrier pairs dropped from the re-homed partitions. These were
+    /// exactly the dead homes' local emissions (remote emissions live in
+    /// sender lanes until the barrier), so replaying every task of the dead
+    /// places regenerates them at the new homes.
+    uint64_t dropped_local_pairs = 0;
+    /// Outbound lanes of the dead places released back to the pool.
+    int dropped_lanes = 0;
+  };
+
+  /// Quiesce-point recovery (DESIGN.md §14): marks `newly_dead` places dead,
+  /// re-homes their partitions onto the sorted `survivors` (partition-map
+  /// version bump), drops the dead homes' pre-barrier local pairs, and
+  /// discards the dead places' own outbound lanes and emit stats (their map
+  /// tasks are replayed at survivors, so their emissions must not count
+  /// twice). Surviving senders' lanes *toward* a dead place are retained as
+  /// "orphan lanes": at the barrier each is delivered by a deterministic
+  /// round-robin survivor and decoded under the current map. Both input
+  /// vectors must be ascending and disjoint; never call concurrently with
+  /// Emit or DeliverTo.
+  RecoveryStats DropDeadPlaces(const std::vector<int>& newly_dead,
+                               const std::vector<int>& survivors);
+
+  /// Wire bytes of the orphan lanes this (surviving) place delivers at the
+  /// barrier, for the sim's network attribution. Valid after DeliverTo.
+  uint64_t OrphanWireBytesFor(int dst_place) const;
+
  private:
   struct Lane {
     // Remote stream src -> dst place for one worker strand (lazily
@@ -136,9 +171,18 @@ class ShuffleExchange {
 
   Lane& LaneFor(int src, int dst, int worker);
   const Lane& LaneAt(int src, int dst, int worker) const;
+  /// `orphan` lanes were addressed to a now-dead place, so the
+  /// decoded-partition home check is against the current map's (alive)
+  /// home instead of the delivering place.
   void DecodeLane(Lane* lane, const std::string& lane_key, int dst_place,
-                  double* cpu_seconds);
+                  bool orphan, double* cpu_seconds);
   void RecordFailure(Status s);
+  /// Releases a lane's stream/wire back to the pool and zeroes its stats.
+  void DiscardLane(Lane* lane);
+  /// Appends the orphan lanes round-robin-assigned to `dst_place`, with
+  /// their original "src->dead_dst#w" fault keys, in deterministic order.
+  void CollectOrphanLanes(int dst_place, std::vector<Lane*>* lanes,
+                          std::vector<std::string>* keys);
 
   const int num_places_;
   const int num_partitions_;
@@ -152,6 +196,13 @@ class ShuffleExchange {
 
   mutable std::mutex status_mu_;
   Status status_;  // first DeliverTo failure
+
+  // Recovery state, mutated only at quiesce points (DropDeadPlaces) and
+  // read after the barrier — never concurrently with Emit/DeliverTo.
+  PartitionMap map_;
+  std::vector<char> dead_;     // per place; lazily sized on first death
+  std::vector<int> survivors_; // ascending, set by last DropDeadPlaces
+  bool any_dead_ = false;
 
   std::vector<Lane> lanes_;  // num_places^2 * workers_
   std::vector<kvstore::KVSeq> partitions_;             // per partition

@@ -559,6 +559,166 @@ TEST(ChaosSoak, WatchdogTimeoutCapsTotalRuntime) {
 }
 
 // ---------------------------------------------------------------------------
+// Mid-job place-failure recovery (DESIGN.md §14): a scripted crash inside
+// the map phase is survived in-flight with m3r.place.recovery=replay (the
+// default) and the recovered output is byte-identical to a crash-free run
+// and to the Hadoop engine; with recovery off the same crash is the old
+// whole-job retriable failure.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, MidMapCrashRecoversByteIdenticalOnBothEngines) {
+  auto fs_h = dfs::MakeSimDfs(4, 16 * 1024);
+  auto fs_m = dfs::MakeSimDfs(4, 16 * 1024);
+  // 256 KiB over 16 KiB blocks: 16 splits, several map tasks per place, so
+  // a "crash before the place's 2nd task" point always exists.
+  ASSERT_TRUE(workloads::GenerateText(*fs_h, "/in", 256 * 1024, 4, 13).ok());
+  ASSERT_TRUE(workloads::GenerateText(*fs_m, "/in", 256 * 1024, 4, 13).ok());
+
+  auto hadoop = std::make_shared<hadoop::HadoopEngine>(
+      fs_h, hadoop::HadoopEngineOptions{TestCluster(), 0});
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs_m, engine::M3REngineOptions{TestCluster()});
+
+  // The scripted-crash knob is M3R-only and must be inert on Hadoop.
+  api::JobConf hj = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  hj.Set(api::conf::kPlaceCrashAt, "1:1");
+  api::JobResult hr = hadoop->Submit(hj);
+  ASSERT_TRUE(hr.ok()) << hr.status.ToString();
+  auto truth = ReadOutputLines(*fs_h, "/out");
+  ASSERT_FALSE(truth.empty());
+
+  // Crash-free M3R baseline.
+  api::JobResult base = m3r->Submit(
+      workloads::MakeWordCountJob("/in", "/out-base", 3, true));
+  ASSERT_TRUE(base.ok()) << base.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*fs_m, "/out-base"));
+
+  // Recovery pinned off first (while place 1 still owns its splits — a
+  // crash evicts its blocks and replants them on survivors, which would
+  // defuse a later scripted crash): the pre-recovery contract — a clean,
+  // typed-retriable whole-job failure, no partial commit.
+  api::JobConf oj = workloads::MakeWordCountJob("/in", "/out-off", 3, true);
+  oj.Set(api::conf::kPlaceCrashAt, "1:1");
+  oj.Set(api::conf::kPlaceRecovery, "off");
+  api::JobResult orr = m3r->Submit(oj);
+  ASSERT_FALSE(orr.ok());
+  EXPECT_TRUE(orr.status.IsUnavailable()) << orr.status.ToString();
+  EXPECT_TRUE(orr.status.IsRetriable());
+  EXPECT_FALSE(fs_m->Exists("/out-off"));
+  EXPECT_EQ(orr.metrics.at("place_crashes"), 1);
+  // A pristine resubmission converges to the same bytes.
+  api::JobResult retry = m3r->Submit(
+      workloads::MakeWordCountJob("/in", "/out-off", 3, true));
+  ASSERT_TRUE(retry.ok()) << retry.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*fs_m, "/out-off"));
+
+  // Place 1 dies right before starting its second map task; the default
+  // replay mode recovers in-flight and the job still succeeds.
+  api::JobConf rj = workloads::MakeWordCountJob("/in", "/out-rec", 3, true);
+  rj.Set(api::conf::kPlaceCrashAt, "1:1");
+  api::JobResult rr = m3r->Submit(rj);
+  ASSERT_TRUE(rr.ok()) << rr.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*fs_m, "/out-rec"));
+  EXPECT_TRUE(fs_m->Exists("/out-rec/_SUCCESS"));
+  EXPECT_EQ(rr.metrics.at("place_crashes"), 1);
+  // The crashed place had completed its first task; exactly the lost work
+  // replays — never the whole phase.
+  EXPECT_GE(rr.metrics.at("recovered_map_tasks"), 1);
+  EXPECT_LT(rr.metrics.at("recovered_map_tasks"),
+            rr.metrics.at("map_tasks"));
+  EXPECT_GE(rr.metrics.at("membership_epoch"), 2);
+  EXPECT_GE(rr.metrics.at("partition_map_version"), 2);
+  // Recovery is charged to the simulated makespan.
+  ASSERT_EQ(rr.metrics.count("recovery_millis"), 1u);
+  EXPECT_GT(rr.time_breakdown.at("recovery"), 0.0);
+  EXPECT_GT(rr.counters.Get(api::counters::kM3rGroup,
+                            api::counters::kPlaceCrashes), 0);
+  EXPECT_GT(rr.counters.Get(api::counters::kM3rGroup,
+                            api::counters::kRecoveredMapTasks), 0);
+}
+
+TEST(ChaosSoak, TwoPlaceCrashesInOneJobBothRecover) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 256 * 1024, 4, 29).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{TestCluster()});
+
+  api::JobResult base = m3r->Submit(
+      workloads::MakeWordCountJob("/in", "/out-base", 3, true));
+  ASSERT_TRUE(base.ok()) << base.status.ToString();
+  auto truth = ReadOutputLines(*fs, "/out-base");
+  ASSERT_FALSE(truth.empty());
+
+  // Two distinct places die at different points of the map phase; the
+  // default budget (2) covers both, whichever round order they surface in.
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out-two", 3, true);
+  job.Set(api::conf::kPlaceCrashAt, "1:1,3:2");
+  api::JobResult r = m3r->Submit(job);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*fs, "/out-two"));
+  EXPECT_EQ(r.metrics.at("place_crashes"), 2);
+  EXPECT_GE(r.metrics.at("recovered_map_tasks"), 1);
+  // Two survivors carried the whole job to the same bytes.
+  EXPECT_GE(r.metrics.at("membership_epoch"), 2);
+}
+
+TEST(ChaosSoak, ReducePhaseCrashFallsBackToWholeJobRetry) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 128 * 1024, 4, 31).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{TestCluster()});
+
+  // The "m3r.place" site is evaluated once per place per phase: a clean
+  // map round burns evaluations 1..4, so the 5th lands on the first
+  // reduce-phase liveness check — a crash past the recovery horizon.
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set("m3r.fault.seed", "7");
+  job.Set("m3r.fault.m3r.place.nth", "5");
+  api::JobResult r = m3r->Submit(job);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status.IsUnavailable()) << r.status.ToString();
+  EXPECT_TRUE(r.status.IsRetriable());
+  EXPECT_FALSE(fs->Exists("/out/_SUCCESS"));
+  EXPECT_FALSE(fs->Exists("/out"));
+  EXPECT_EQ(r.metrics.at("place_crashes"), 1);
+  // Nothing was replayed: past the horizon the whole job is the retry unit.
+  EXPECT_EQ(r.metrics.at("recovered_map_tasks"), 0);
+
+  // The engine stays healthy: a clean resubmission (the fault fired its
+  // once-only nth) succeeds and commits.
+  api::JobResult retry = m3r->Submit(
+      workloads::MakeWordCountJob("/in", "/out", 3, true));
+  ASSERT_TRUE(retry.ok()) << retry.status.ToString();
+  EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+  ASSERT_FALSE(ReadOutputLines(*fs, "/out").empty());
+}
+
+TEST(ChaosSoak, CrashBudgetExhaustionFallsBackToWholeJobRetry) {
+  auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 256 * 1024, 4, 37).ok());
+  auto m3r = std::make_shared<engine::M3REngine>(
+      fs, engine::M3REngineOptions{TestCluster()});
+
+  // Two crashes against a budget of one: recovery starts, the second
+  // crash exceeds m3r.place.recovery.max.crashes, and the job falls back
+  // to the whole-job retriable failure.
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  job.Set(api::conf::kPlaceCrashAt, "0:1,2:1");
+  job.Set(api::conf::kPlaceRecoveryMaxCrashes, "1");
+  api::JobResult r = m3r->Submit(job);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status.IsUnavailable()) << r.status.ToString();
+  EXPECT_TRUE(r.status.IsRetriable());
+  EXPECT_FALSE(fs->Exists("/out"));
+  EXPECT_EQ(r.metrics.at("place_crashes"), 2);
+
+  api::JobResult retry = m3r->Submit(
+      workloads::MakeWordCountJob("/in", "/out", 3, true));
+  ASSERT_TRUE(retry.ok()) << retry.status.ToString();
+  ASSERT_FALSE(ReadOutputLines(*fs, "/out").empty());
+}
+
+// ---------------------------------------------------------------------------
 // Schedule determinism: the same seed always yields the same overrides —
 // the property that makes a soak failure replayable from its seed alone.
 // ---------------------------------------------------------------------------

@@ -94,6 +94,62 @@ TEST(EngineEquivalence, WordCountSameOutputOnBothEngines) {
             mr.counters.Get(kTaskGroup, kReduceOutputRecords));
 }
 
+TEST(EngineEquivalence, MidMapCrashRecoveryMatchesHadoopOutput) {
+  auto hadoop_fs = dfs::MakeSimDfs(4, 16 * 1024);
+  auto m3r_fs = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*hadoop_fs, "/in", 200 * 1024, 4, 23)
+                  .ok());
+  ASSERT_TRUE(workloads::GenerateText(*m3r_fs, "/in", 200 * 1024, 4, 23)
+                  .ok());
+
+  hadoop::HadoopEngine hadoop(hadoop_fs, {TestCluster(), 0});
+  engine::M3REngine m3r(m3r_fs, {TestCluster()});
+
+  api::JobResult hr = hadoop.Submit(
+      workloads::MakeWordCountJob("/in", "/out", 3, true));
+  ASSERT_TRUE(hr.ok()) << hr.status.ToString();
+  auto truth = ReadOutputLines(*hadoop_fs, "/out");
+  ASSERT_FALSE(truth.empty());
+
+  // One mid-map place crash, recovered in-flight by the default replay
+  // mode: the surviving places' output must still match Hadoop's exactly.
+  api::JobConf one = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  one.Set(api::conf::kPlaceCrashAt, "2:1");
+  api::JobResult mr = m3r.Submit(one);
+  ASSERT_TRUE(mr.ok()) << mr.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*m3r_fs, "/out"));
+  EXPECT_EQ(mr.metrics.at("place_crashes"), 1);
+  using api::counters::kMapInputRecords;
+  using api::counters::kTaskGroup;
+  // Replayed tasks re-run their mapper, so the recovered run counts at
+  // least every record once (replays re-count, they never drop).
+  EXPECT_GE(mr.counters.Get(kTaskGroup, kMapInputRecords),
+            hr.counters.Get(kTaskGroup, kMapInputRecords));
+
+  // Two distinct places crash in one job; two survivors still converge to
+  // Hadoop's bytes.
+  api::JobConf two = workloads::MakeWordCountJob("/in", "/out-two", 3, true);
+  two.Set(api::conf::kPlaceCrashAt, "0:2,3:1");
+  api::JobResult m2 = m3r.Submit(two);
+  ASSERT_TRUE(m2.ok()) << m2.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*m3r_fs, "/out-two"));
+  EXPECT_EQ(m2.metrics.at("place_crashes"), 2);
+
+  // A reduce-phase crash is past the recovery horizon: whole-job
+  // retriable failure, then a clean resubmission matches Hadoop again.
+  api::JobConf red = workloads::MakeWordCountJob("/in", "/out-red", 3, true);
+  red.Set("m3r.fault.seed", "11");
+  red.Set("m3r.fault.m3r.place.nth", "5");  // first reduce liveness check
+  api::JobResult m3 = m3r.Submit(red);
+  ASSERT_FALSE(m3.ok());
+  EXPECT_TRUE(m3.status.IsUnavailable()) << m3.status.ToString();
+  EXPECT_TRUE(m3.status.IsRetriable());
+  api::JobResult m4 = m3r.Submit(
+      workloads::MakeWordCountJob("/in", "/out-red", 3, true));
+  ASSERT_TRUE(m4.ok()) << m4.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*m3r_fs, "/out-red"));
+}
+
 TEST(EngineEquivalence, ReuseAndImmutableMappersAgree) {
   auto fs = dfs::MakeSimDfs(4, 16 * 1024);
   ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 100 * 1024, 2, 7).ok());

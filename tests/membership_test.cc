@@ -1,0 +1,176 @@
+// Unit tests for the place-membership service and the versioned partition
+// map (DESIGN.md §14) — the coordination substrate of mid-job place-failure
+// recovery. The concurrency tests mirror the engine's real call pattern
+// (hot-path Heartbeat/Suspect/IsSuspectOrDead from task strands, quiesce
+// from one thread) so a TSan run of this binary is meaningful.
+#include "common/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace m3r {
+namespace {
+
+TEST(MembershipServiceTest, FreshViewIsAllHealthy) {
+  MembershipService m(4);
+  EXPECT_EQ(m.num_places(), 4);
+  EXPECT_EQ(m.AliveCount(), 4);
+  EXPECT_EQ(m.AlivePlaces(), (std::vector<int>{0, 1, 2, 3}));
+  MembershipView v = m.View();
+  EXPECT_EQ(v.AliveCount(), 4);
+  EXPECT_EQ(v.heartbeats, (std::vector<uint64_t>{0, 0, 0, 0}));
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_FALSE(m.IsDead(p));
+    EXPECT_FALSE(m.IsSuspectOrDead(p));
+  }
+}
+
+TEST(MembershipServiceTest, SuspectTransitionReportsExactlyOnce) {
+  MembershipService m(4);
+  EXPECT_TRUE(m.Suspect(2, "fault"));
+  // Duplicate signals (other strands observing the same crash) are folded.
+  EXPECT_FALSE(m.Suspect(2, "fault again"));
+  EXPECT_TRUE(m.IsSuspectOrDead(2));
+  EXPECT_FALSE(m.IsDead(2));  // not confirmed yet
+  // Suspects are excluded from the survivor list already.
+  EXPECT_EQ(m.AlivePlaces(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(MembershipServiceTest, ConfirmDeathsBatchesWithOneEpochBump) {
+  MembershipService m(4);
+  const uint64_t e0 = m.epoch();
+  EXPECT_TRUE(m.ConfirmDeaths().empty());
+  EXPECT_EQ(m.epoch(), e0);  // nothing suspect: no view change
+
+  EXPECT_TRUE(m.Suspect(3, "a"));
+  EXPECT_TRUE(m.Suspect(1, "b"));
+  std::vector<int> dead = m.ConfirmDeaths();
+  EXPECT_EQ(dead, (std::vector<int>{1, 3}));  // ascending
+  EXPECT_EQ(m.epoch(), e0 + 1);               // one bump for the batch
+  EXPECT_TRUE(m.IsDead(1));
+  EXPECT_TRUE(m.IsDead(3));
+  EXPECT_EQ(m.AliveCount(), 2);
+  // A dead place never un-dies within the view.
+  EXPECT_FALSE(m.Suspect(1, "again"));
+  EXPECT_TRUE(m.ConfirmDeaths().empty());
+}
+
+TEST(MembershipServiceTest, ResetStartsAFreshEpochedView) {
+  MembershipService m(4);
+  m.Suspect(0, "x");
+  m.ConfirmDeaths();
+  const uint64_t e = m.epoch();
+  m.Reset(2);
+  EXPECT_GT(m.epoch(), e);  // a reset is a view change like any other
+  EXPECT_EQ(m.num_places(), 2);
+  EXPECT_EQ(m.AliveCount(), 2);
+  EXPECT_EQ(m.View().heartbeats, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(MembershipServiceTest, OutOfRangeProbesAreSafelyFalse) {
+  MembershipService m(2);
+  EXPECT_FALSE(m.IsDead(-1));
+  EXPECT_FALSE(m.IsDead(7));
+  EXPECT_FALSE(m.IsSuspectOrDead(7));
+  m.Heartbeat(-3);  // ignored, no crash
+  m.Heartbeat(9);
+  EXPECT_EQ(m.View().heartbeats, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(MembershipServiceTest, HeartbeatsTickPerPlace) {
+  MembershipService m(3);
+  m.Heartbeat(1);
+  m.Heartbeat(1);
+  m.Heartbeat(2);
+  EXPECT_EQ(m.View().heartbeats, (std::vector<uint64_t>{0, 2, 1}));
+}
+
+// The engine's real shape: strands heartbeat and poll health at task
+// boundaries while crash signals race in; a single quiesce thread confirms.
+// Run under TSan (check-sanitize) this is the lock-discipline proof.
+TEST(MembershipServiceTest, ConcurrentSignalsFoldToOneTransitionPerPlace) {
+  constexpr int kPlaces = 8;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  MembershipService m(kPlaces);
+  std::atomic<int> transitions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int place = (t + i) % kPlaces;
+        m.Heartbeat(place);
+        (void)m.IsSuspectOrDead(place);
+        if (i % 100 == 17 && place % 2 == 1) {
+          if (m.Suspect(place, "concurrent crash")) ++transitions;
+        }
+        (void)m.AliveCount();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every odd place was suspected by several threads; each transitioned
+  // exactly once.
+  EXPECT_EQ(transitions.load(), kPlaces / 2);
+  std::vector<int> dead = m.ConfirmDeaths();
+  EXPECT_EQ(dead, (std::vector<int>{1, 3, 5, 7}));
+  EXPECT_EQ(m.AlivePlaces(), (std::vector<int>{0, 2, 4, 6}));
+  uint64_t beats = 0;
+  for (uint64_t b : m.View().heartbeats) beats += b;
+  EXPECT_EQ(beats, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(PartitionMapTest, StableInitialAssignmentAndVersion) {
+  PartitionMap map(6, 4, /*stable=*/true, /*salt=*/0);
+  EXPECT_EQ(map.num_partitions(), 6);
+  EXPECT_EQ(map.version(), 1u);
+  for (int p = 0; p < 6; ++p) EXPECT_EQ(map.HomeOf(p), p % 4);
+
+  PartitionMap salted(6, 4, /*stable=*/false, /*salt=*/3);
+  for (int p = 0; p < 6; ++p) EXPECT_EQ(salted.HomeOf(p), (p + 3) % 4);
+}
+
+TEST(PartitionMapTest, RehomeMovesExactlyTheDeadHomesDeterministically) {
+  PartitionMap map(8, 4, /*stable=*/true, /*salt=*/0);
+  // Place 1 dies; survivors {0, 2, 3}.
+  std::vector<int> moved = map.Rehome({1}, {0, 2, 3});
+  EXPECT_EQ(moved, (std::vector<int>{1, 5}));  // partitions homed at 1
+  EXPECT_EQ(map.version(), 2u);
+  // Deterministic re-hash: survivors[p % survivors.size()].
+  EXPECT_EQ(map.HomeOf(1), 2);  // survivors[1 % 3]
+  EXPECT_EQ(map.HomeOf(5), 3);  // survivors[5 % 3]
+  // Partition stability within the new version: untouched homes unmoved.
+  EXPECT_EQ(map.HomeOf(0), 0);
+  EXPECT_EQ(map.HomeOf(2), 2);
+  EXPECT_EQ(map.HomeOf(3), 3);
+  EXPECT_EQ(map.HomeOf(4), 0);
+  EXPECT_EQ(map.HomeOf(6), 2);
+  EXPECT_EQ(map.HomeOf(7), 3);
+
+  // Second crash: the re-homed partitions move again, others stay.
+  moved = map.Rehome({2}, {0, 3});
+  EXPECT_EQ(moved, (std::vector<int>{1, 2, 6}));
+  EXPECT_EQ(map.version(), 3u);
+  EXPECT_EQ(map.HomeOf(1), 3);  // survivors[1 % 2]
+  EXPECT_EQ(map.HomeOf(2), 0);
+  EXPECT_EQ(map.HomeOf(6), 0);
+  EXPECT_EQ(map.HomeOf(5), 3);  // still at its round-1 home
+}
+
+TEST(PartitionMapTest, IndependentReplicasDeriveTheSameMap) {
+  // The pure-function property the design leans on: every participant
+  // computes the same new map from (map, dead, survivors) alone.
+  PartitionMap a(16, 4, true, 0);
+  PartitionMap b(16, 4, true, 0);
+  a.Rehome({0, 3}, {1, 2});
+  b.Rehome({0, 3}, {1, 2});
+  for (int p = 0; p < 16; ++p) EXPECT_EQ(a.HomeOf(p), b.HomeOf(p));
+  EXPECT_EQ(a.version(), b.version());
+}
+
+}  // namespace
+}  // namespace m3r

@@ -46,12 +46,14 @@ void RunHadoop(double ratios[], int num_ratios) {
   }
 }
 
-void RunM3R(double ratios[], int num_ratios) {
-  bench::Banner("Figure 6 (right): M3R engine, seconds per iteration");
+void RunM3R(double ratios[], int num_ratios, const char* pipeline) {
+  bench::Banner(std::string("Figure 6 (right): M3R engine, seconds per "
+                            "iteration, shuffle pipeline=") +
+                pipeline);
   std::printf("(input repartitioned once ahead of time; intermediate\n"
               " outputs marked temporary; previous input deleted per §6.1)\n");
-  bench::Table table(
-      {"remote_pct", "repart_s", "iter1_s", "iter2_s", "iter3_s"});
+  bench::Table table({"remote_pct", "repart_s", "iter1_s", "iter2_s",
+                      "iter3_s", "first_reduce_ms"});
   for (int r = 0; r < num_ratios; ++r) {
     auto fs = bench::PaperDfs();
     M3R_CHECK_OK(workloads::GenerateMicroInput(
@@ -75,6 +77,7 @@ void RunM3R(double ratios[], int num_ratios) {
 
     std::vector<double> row = {ratios[r] * 100, repart.sim_seconds};
     std::string input = "/micro/stable";
+    double first_reduce_ms = 0;
     for (int it = 0; it < kIterations; ++it) {
       // All but the final iteration's output are temporary.
       std::string output = it + 1 < kIterations
@@ -83,13 +86,23 @@ void RunM3R(double ratios[], int num_ratios) {
       api::JobConf job = workloads::MakeMicroJob(
           input, output, kPartitions, ratios[r],
           static_cast<uint64_t>(it + 1));
+      job.Set(api::conf::kShufflePipeline, pipeline);
+      // Small enough that every lane ships several runs at this scale.
+      if (std::string(pipeline) == "on") {
+        job.Set(api::conf::kShuffleFlushBytes, "16384");
+      }
       api::JobResult result = engine.Submit(job);
       M3R_CHECK(result.ok()) << result.status.ToString();
       row.push_back(result.sim_seconds);
+      if (result.metrics.count("time_to_first_reduce_ms")) {
+        first_reduce_ms = static_cast<double>(
+            result.metrics.at("time_to_first_reduce_ms"));
+      }
       // Delete the consumed input (cache hygiene, §6.1).
       if (it > 0) M3R_CHECK_OK(engine.Fs()->Delete(input, true));
       input = output;
     }
+    row.push_back(first_reduce_ms);
     table.Row(row);
   }
 }
@@ -104,6 +117,10 @@ int main() {
               (unsigned long long)m3r::kValueBytes, m3r::kPartitions);
   double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   m3r::RunHadoop(ratios, 6);
-  m3r::RunM3R(ratios, 6);
+  // The M3R side sweeps both shuffle modes: the barrier batch (the paper's
+  // shape) and the §15 pipelined runs that overlap map compute with wire
+  // time.
+  m3r::RunM3R(ratios, 6, "off");
+  m3r::RunM3R(ratios, 6, "on");
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "api/counters.h"
+#include "api/sequence_file.h"
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -129,6 +130,20 @@ int64_t Counter(const api::JobResult& r, const char* name) {
   return r.counters.Get(api::counters::kTaskGroup, name);
 }
 
+/// Copies the §15 pipelined-shuffle metrics (first-reduce latency, runs
+/// shipped, overflow spills, peak run-pool bytes) into a record's counter
+/// map when the run produced them.
+void AddShuffleMetrics(const api::JobResult& result, Record* r) {
+  for (const char* name :
+       {"time_to_first_reduce_ms", "shuffle_runs_shipped",
+        "shuffle_overflow_spills", "shuffle_pool_peak_bytes",
+        "shuffle_max_partition_run_bytes"}) {
+    if (result.metrics.count(name)) {
+      r->counters.emplace_back(name, result.metrics.at(name));
+    }
+  }
+}
+
 // --- Sort micro: the tentpole's before/after, 1M random 16-byte keys ---
 
 void RunSortMicro(std::vector<Record>* out) {
@@ -198,20 +213,33 @@ void RunSortMicro(std::vector<Record>* out) {
 // --- fig6 shuffle micro, small scale ---
 
 void RunShuffleMicro(std::vector<Record>* out) {
-  bench::Banner("Figure 6 smoke: shuffle micro (4000 x 512B, 32 parts)");
+  bench::Banner(
+      "Figure 6 smoke: shuffle micro (4000 x 512B, 32 parts), "
+      "pipeline off/on");
   constexpr uint64_t kPairs = 4000;
   constexpr uint64_t kValueBytes = 512;
   constexpr int kPartitions = 32;
   constexpr double kRemoteRatio = 0.5;
-  bench::Table table({"engine", "wall_s", "sim_s", "wire_kb"});
-  int64_t reduce_records[2] = {0, 0};
-  for (bool use_m3r : {false, true}) {
+  struct Arm {
+    const char* config;
+    bool use_m3r;
+    const char* pipeline;  // nullptr = not an M3R knob run (Hadoop)
+  };
+  const Arm arms[] = {
+      {"hadoop", false, nullptr},
+      {"m3r pipeline=off", true, "off"},
+      {"m3r pipeline=on", true, "on"},
+  };
+  bench::Table table({"m3r", "pipelined", "wall_s", "sim_s", "wire_kb"});
+  int64_t reference_records = -1;
+  double sim_off = 0, sim_on = 0;
+  for (const Arm& arm : arms) {
     auto fs = bench::PaperDfs();
     M3R_CHECK_OK(workloads::GenerateMicroInput(*fs, "/micro/in", kPairs,
                                                kValueBytes, kPartitions, 42,
                                                /*hadoop_placement=*/true));
     std::unique_ptr<api::Engine> engine;
-    if (use_m3r) {
+    if (arm.use_m3r) {
       engine = std::make_unique<engine::M3REngine>(fs, bench::M3ROpts());
     } else {
       engine =
@@ -219,32 +247,149 @@ void RunShuffleMicro(std::vector<Record>* out) {
     }
     api::JobConf job = workloads::MakeMicroJob("/micro/in", "/micro/out",
                                                kPartitions, kRemoteRatio, 1);
+    const bool pipelined =
+        arm.pipeline != nullptr && std::string(arm.pipeline) == "on";
+    if (arm.pipeline != nullptr) {
+      job.Set(api::conf::kShufflePipeline, arm.pipeline);
+      // A flush threshold small enough that every lane streams several
+      // runs at this scale — the overlap the figure is about.
+      if (pipelined) job.Set(api::conf::kShuffleFlushBytes, "16384");
+    }
     api::JobResult result;
     double wall = WallSeconds([&] { result = engine->Submit(job); });
     M3R_CHECK(result.ok()) << result.status.ToString();
     Record r;
     r.bench = "fig6_shuffle_micro";
-    r.config = std::string(use_m3r ? "m3r" : "hadoop") +
+    r.config = std::string(arm.config) +
                " pairs=4000 value=512 partitions=32 remote=0.5";
     r.wall_seconds = wall;
     r.sim_seconds = result.sim_seconds;
     if (result.metrics.count("shuffle_wire_bytes")) {
       r.wire_bytes = result.metrics.at("shuffle_wire_bytes");
     }
-    reduce_records[use_m3r] =
+    int64_t reduce_records =
         Counter(result, api::counters::kReduceOutputRecords);
+    if (reference_records < 0) reference_records = reduce_records;
+    M3R_CHECK(reduce_records == reference_records &&
+              reference_records == static_cast<int64_t>(kPairs))
+        << arm.config << ": disagrees on shuffle micro output";
     r.counters = {
         {"map_output_records",
          Counter(result, api::counters::kMapOutputRecords)},
-        {"reduce_output_records", reduce_records[use_m3r]},
+        {"reduce_output_records", reduce_records},
     };
-    table.Row({use_m3r ? 1.0 : 0.0, wall, r.sim_seconds,
-               r.wire_bytes / 1024.0});
+    AddShuffleMetrics(result, &r);
+    if (arm.pipeline != nullptr) {
+      (pipelined ? sim_on : sim_off) = r.sim_seconds;
+      if (pipelined) {
+        M3R_CHECK(result.metrics.at("shuffle_runs_shipped") > 0)
+            << "pipelined arm shipped no runs";
+      }
+    }
+    table.Row({arm.use_m3r ? 1.0 : 0.0, pipelined ? 1.0 : 0.0, wall,
+               r.sim_seconds, r.wire_bytes / 1024.0});
     out->push_back(std::move(r));
   }
-  M3R_CHECK(reduce_records[0] == reduce_records[1] &&
-            reduce_records[0] == static_cast<int64_t>(kPairs))
-      << "engines disagree on shuffle micro output";
+  M3R_CHECK(sim_on < sim_off)
+      << "pipelined shuffle must beat the barrier batch: on=" << sim_on
+      << " off=" << sim_off;
+  std::printf("pipelined sim %.3fs vs barrier %.3fs (%.1f%% faster)\n",
+              sim_on, sim_off, 100.0 * (1.0 - sim_on / sim_off));
+}
+
+// --- Overflow config: partition budget below the working set ---
+
+/// All decoded (key, value) rows of every part file under `dir`, sorted —
+/// sequence files carry per-writer sync markers, so byte-level comparison
+/// goes through the records.
+std::vector<std::string> SortedSequenceRecords(dfs::FileSystem& fs,
+                                               const std::string& dir) {
+  std::vector<std::string> rows;
+  auto files = fs.ListStatus(dir);
+  M3R_CHECK(files.ok()) << files.status().ToString();
+  for (const auto& f : *files) {
+    if (f.is_directory || f.path.find("part-") == std::string::npos) {
+      continue;
+    }
+    auto pairs = api::ReadSequenceFile(fs, f.path);
+    M3R_CHECK(pairs.ok()) << pairs.status().ToString();
+    for (const auto& [k, v] : *pairs) {
+      rows.push_back(k->ToString() + "\x1f" + v->ToString());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// All-remote micro shuffle whose per-partition run bytes are several times
+/// m3r.shuffle.partition.budget.mb: the barrier batch holds the whole
+/// working set resident, the budgeted pipelined run cannot — whole runs
+/// overflow through the checkpoint spill and merge back lazily at reduce,
+/// with identical records out.
+void RunShuffleOverflow(std::vector<Record>* out) {
+  bench::Banner(
+      "Overflow: 8000 x 1KB all-remote into 4 partitions, budget 1MB");
+  constexpr uint64_t kPairs = 8000;
+  constexpr uint64_t kValueBytes = 1024;
+  constexpr int kPartitions = 4;
+  bench::Table table({"pipelined", "budget_mb", "sim_s", "spills"});
+  std::vector<std::string> reference;
+  for (const char* pipeline : {"off", "on"}) {
+    const bool pipelined = std::string(pipeline) == "on";
+    auto fs = bench::PaperDfs();
+    M3R_CHECK_OK(workloads::GenerateMicroInput(*fs, "/micro/in", kPairs,
+                                               kValueBytes, kPartitions, 42,
+                                               /*hadoop_placement=*/false));
+    engine::M3REngine engine(fs, bench::M3ROpts());
+    api::JobConf job = workloads::MakeMicroJob("/micro/in", "/micro/out",
+                                               kPartitions, 1.0, 1);
+    job.Set(api::conf::kShufflePipeline, pipeline);
+    if (pipelined) {
+      job.Set(api::conf::kShuffleFlushBytes, "16384");
+      job.Set(api::conf::kShufflePartitionBudgetMb, "1");
+    }
+    api::JobResult result;
+    double wall = WallSeconds([&] { result = engine.Submit(job); });
+    M3R_CHECK(result.ok()) << result.status.ToString();
+
+    auto rows = SortedSequenceRecords(*engine.Fs(), "/micro/out");
+    if (reference.empty()) {
+      reference = rows;
+      M3R_CHECK(reference.size() == kPairs);
+    } else {
+      M3R_CHECK(rows == reference)
+          << "overflow run diverged from the barrier baseline";
+    }
+
+    Record r;
+    r.bench = "shuffle_overflow";
+    r.config = std::string("m3r pipeline=") + pipeline +
+               (pipelined ? " budget=1MB" : "") +
+               " pairs=8000 value=1024 partitions=4 remote=1.0";
+    r.wall_seconds = wall;
+    r.sim_seconds = result.sim_seconds;
+    if (result.metrics.count("shuffle_wire_bytes")) {
+      r.wire_bytes = result.metrics.at("shuffle_wire_bytes");
+    }
+    r.counters = {
+        {"reduce_output_records",
+         Counter(result, api::counters::kReduceOutputRecords)},
+    };
+    AddShuffleMetrics(result, &r);
+    int64_t spills = 0;
+    if (pipelined) {
+      spills = result.metrics.at("shuffle_overflow_spills");
+      M3R_CHECK(spills > 0) << "budget never bit: no overflow spills";
+      M3R_CHECK(result.metrics.at("shuffle_max_partition_run_bytes") >
+                (int64_t{1} << 20))
+          << "working set fit the budget; config too small";
+    }
+    table.Row({pipelined ? 1.0 : 0.0, pipelined ? 1.0 : 0.0,
+               r.sim_seconds, static_cast<double>(spills)});
+    out->push_back(std::move(r));
+  }
+  std::printf("budgeted pipelined run spilled and matched the barrier "
+              "baseline record-for-record\n");
 }
 
 // --- fig8 WordCount, small scale, hash-combine off/on + repair mode ---
@@ -291,18 +436,21 @@ void RunWordCount(std::vector<Record>* out) {
     bool use_m3r;
     bool hash_combine;
     bool repair;
+    const char* pipeline = nullptr;  // nullptr = engine default
   };
   const Run runs[] = {
       {"hadoop combine=off", false, false, false},
       {"hadoop combine=on", false, true, false},
       {"m3r combine=off", true, false, false},
-      {"m3r combine=on", true, true, false},
+      {"m3r combine=on pipeline=off", true, true, false, "off"},
+      {"m3r combine=on", true, true, false, "on"},
       {"hadoop combine=on repair+corrupt.spill", false, true, true},
       {"m3r combine=on repair+corrupt.channel.frame", true, true, true},
   };
   bench::Table table({"m3r", "combine", "repair", "sim_s", "wire_kb"});
   std::vector<std::string> reference;
   int64_t wire_off = 0, wire_on = 0;
+  double sim_barrier = 0, sim_pipelined = 0;
   for (const Run& run : runs) {
     auto fs = dfs::MakeSimDfs(spec.num_nodes, 16 * 1024);
     M3R_CHECK_OK(
@@ -319,6 +467,12 @@ void RunWordCount(std::vector<Record>* out) {
                                                    kReducers, true);
     job.Set(api::conf::kPlaceWorkers, "1");
     if (run.hash_combine) job.Set(api::conf::kMapHashCombine, "true");
+    if (run.pipeline != nullptr) {
+      job.Set(api::conf::kShufflePipeline, run.pipeline);
+      if (std::string(run.pipeline) == "on") {
+        job.Set(api::conf::kShuffleFlushBytes, "16384");
+      }
+    }
     if (run.repair) {
       job.Set(api::conf::kIntegrityMode, "repair");
       job.Set("m3r.fault.seed", "9");
@@ -367,8 +521,13 @@ void RunWordCount(std::vector<Record>* out) {
                 result.metrics.at("integrity_repaired") >= 1)
           << run.config << ": no repair happened";
     }
+    AddShuffleMetrics(result, &r);
     if (run.use_m3r && !run.repair) {
       (run.hash_combine ? wire_on : wire_off) = r.wire_bytes;
+    }
+    if (run.pipeline != nullptr) {
+      (std::string(run.pipeline) == "on" ? sim_pipelined : sim_barrier) =
+          r.sim_seconds;
     }
     table.Row({run.use_m3r ? 1.0 : 0.0, run.hash_combine ? 1.0 : 0.0,
                run.repair ? 1.0 : 0.0, r.sim_seconds,
@@ -376,11 +535,16 @@ void RunWordCount(std::vector<Record>* out) {
     out->push_back(std::move(r));
   }
   M3R_CHECK(wire_off > 0 && wire_on > 0);
-  std::printf("all six runs byte-identical; m3r shuffle wire bytes: "
-              "off=%lld on=%lld (cut %.1f%%)\n",
+  M3R_CHECK(sim_pipelined < sim_barrier)
+      << "pipelined WordCount must beat the barrier batch: on="
+      << sim_pipelined << " off=" << sim_barrier;
+  std::printf("all seven runs byte-identical; m3r shuffle wire bytes: "
+              "off=%lld on=%lld (cut %.1f%%); pipelined sim %.3fs vs "
+              "barrier %.3fs\n",
               static_cast<long long>(wire_off),
               static_cast<long long>(wire_on),
-              100.0 * (1.0 - double(wire_on) / double(wire_off)));
+              100.0 * (1.0 - double(wire_on) / double(wire_off)),
+              sim_pipelined, sim_barrier);
 }
 
 }  // namespace
@@ -406,6 +570,7 @@ int main(int argc, char** argv) {
   std::vector<m3r::Record> shuffle_records;
   m3r::RunSortMicro(&shuffle_records);
   m3r::RunShuffleMicro(&shuffle_records);
+  m3r::RunShuffleOverflow(&shuffle_records);
   std::vector<m3r::Record> wordcount_records;
   m3r::RunWordCount(&wordcount_records);
 

@@ -74,6 +74,19 @@ inline constexpr char kMapHashCombineMemoryMb[] =
 /// (parallel sorted runs + pairwise merges).
 inline constexpr char kSortParallelThreshold[] =
     "m3r.sort.parallel.threshold";
+/// Pipelined shuffle: "on" (default) streams map output to reducer places
+/// as sorted runs whenever a lane crosses the flush threshold, so wire time
+/// and run sorting overlap map compute and the post-barrier shuffle span
+/// only pays the residual; "off" restores the barrier-batch exchange.
+inline constexpr char kShufflePipeline[] = "m3r.shuffle.pipeline";
+/// Buffered bytes per shuffle lane before the lane segment is sealed as a
+/// sorted run and shipped (pipelined mode only; default 262144).
+inline constexpr char kShuffleFlushBytes[] = "m3r.shuffle.flush.bytes";
+/// Resident-run budget per reduce partition in MiB; crossing it spills
+/// whole sorted runs through the checkpoint path, to be merged back lazily
+/// at reduce time. 0 (default) = unlimited.
+inline constexpr char kShufflePartitionBudgetMb[] =
+    "m3r.shuffle.partition.budget.mb";
 
 // --- Resilience (Hadoop task retry/speculation, M3R recovery) ---
 /// Attempts allowed per map/reduce task before the job fails (Hadoop

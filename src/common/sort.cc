@@ -190,4 +190,66 @@ std::vector<uint32_t> StableSortPermutation(
   return perm;
 }
 
+bool RunMerger::Greater(const Head& a, const Head& b) const {
+  if (comparator_ == nullptr) {
+    // Equal prefixes mean the first min(8, size) bytes matched, so the
+    // byte tie-break can skip straight to offset 8; shorter keys are
+    // fully consumed by the prefix and length alone decides.
+    if (a.prefix != b.prefix) return a.prefix > b.prefix;
+    if (a.key.size() > 8 && b.key.size() > 8) {
+      const size_t n =
+          (a.key.size() < b.key.size() ? a.key.size() : b.key.size()) - 8;
+      const int c = std::memcmp(a.key.data() + 8, b.key.data() + 8, n);
+      if (c != 0) return c > 0;
+    }
+    if (a.key.size() != b.key.size()) return a.key.size() > b.key.size();
+  } else {
+    const int c = (*comparator_)(a.key, b.key);
+    if (c != 0) return c > 0;
+  }
+  if (a.ordinal != b.ordinal) return a.ordinal > b.ordinal;
+  return a.run > b.run;  // total order even under duplicate ordinals
+}
+
+void RunMerger::Push(Head h) {
+  heap_.push_back(h);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [this](const Head& a, const Head& b) { return Greater(a, b); });
+}
+
+void RunMerger::Refill(size_t run) {
+  Head h;
+  h.run = run;
+  h.ordinal = ordinals_[run];
+  if (!cursors_[run](&h.key, &h.value)) return;
+  h.prefix = comparator_ == nullptr ? KeyPrefix(h.key) : 0;
+  Push(h);
+}
+
+void RunMerger::AddRun(RunCursor next, uint64_t ordinal) {
+  cursors_.push_back(std::move(next));
+  ordinals_.push_back(ordinal);
+  Refill(cursors_.size() - 1);
+}
+
+bool RunMerger::Next(std::string_view* key, std::string_view* value,
+                     uint64_t* run_ordinal) {
+  if (pending_ != kNone) {
+    const size_t run = pending_;
+    pending_ = kNone;
+    Refill(run);
+  }
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [this](const Head& a, const Head& b) { return Greater(a, b); });
+  const Head h = heap_.back();
+  heap_.pop_back();
+  *key = h.key;
+  *value = h.value;
+  if (run_ordinal != nullptr) *run_ordinal = h.ordinal;
+  pending_ = h.run;
+  ++records_;
+  return true;
+}
+
 }  // namespace m3r::sortkit

@@ -72,6 +72,64 @@ std::vector<uint32_t> StableSortPermutation(
     const std::vector<std::string_view>& keys, const SortOptions& options,
     SortStats* stats = nullptr);
 
+/// One source of a k-way merge: yields (key, value) records in
+/// non-descending key order, returning false once exhausted. The views a
+/// cursor yields must stay valid until the cursor is advanced again (the
+/// merger never advances a cursor while its previous record is still
+/// outstanding).
+using RunCursor =
+    std::function<bool(std::string_view* key, std::string_view* value)>;
+
+/// Incremental k-way merge over independently sorted runs — the heap the
+/// Hadoop spill/merge path and the pipelined shuffle share. Runs can be
+/// added at any time before the first record they should contribute is
+/// popped; `ordinal` is the stability tie-break: among equal keys, records
+/// from lower-ordinal runs drain first and records within one run keep
+/// their order, so callers encode emission order into ordinals to
+/// reproduce a stable sort's output exactly.
+class RunMerger {
+ public:
+  /// Null comparator selects the branch-light prefix/memcmp byte order;
+  /// non-null routes every comparison through the callback (which must
+  /// outlive the merger).
+  explicit RunMerger(const RawCompareFn* comparator = nullptr)
+      : comparator_(comparator) {}
+
+  void AddRun(RunCursor next, uint64_t ordinal);
+
+  /// Pops the globally smallest record. The returned views stay valid until
+  /// the next call to Next(). `run_ordinal` (optional) reports which run
+  /// the record came from.
+  bool Next(std::string_view* key, std::string_view* value,
+            uint64_t* run_ordinal = nullptr);
+
+  size_t runs() const { return cursors_.size(); }
+  /// Records popped so far.
+  uint64_t records() const { return records_; }
+
+ private:
+  struct Head {
+    uint64_t prefix;  // big-endian first 8 key bytes; 0 under custom orders
+    std::string_view key;
+    std::string_view value;
+    uint64_t ordinal;
+    size_t run;
+  };
+  bool Greater(const Head& a, const Head& b) const;
+  void Push(Head h);
+  void Refill(size_t run);
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  const RawCompareFn* comparator_;
+  std::vector<RunCursor> cursors_;
+  std::vector<uint64_t> ordinals_;
+  std::vector<Head> heap_;
+  /// Run whose popped record is still outstanding; advanced lazily on the
+  /// next Next() so yielded views are never invalidated under the caller.
+  size_t pending_ = kNone;
+  uint64_t records_ = 0;
+};
+
 }  // namespace m3r::sortkit
 
 #endif  // M3R_COMMON_SORT_H_

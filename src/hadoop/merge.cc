@@ -1,8 +1,5 @@
 #include "hadoop/merge.h"
 
-#include <cstring>
-#include <queue>
-
 #include "common/sort.h"
 #include "serialize/registry.h"
 
@@ -11,61 +8,32 @@ namespace m3r::hadoop {
 std::string MergeSegments(const std::vector<const std::string*>& segments,
                           const serialize::RawComparatorPtr& cmp,
                           uint64_t* merged_records) {
-  struct Head {
-    uint64_t prefix;  // big-endian first 8 key bytes; 0 under custom orders
-    std::string_view key;
-    std::string_view value;
-    size_t segment_index;
-  };
   std::vector<SegmentReader> readers;
   readers.reserve(segments.size());
   for (const std::string* s : segments) readers.emplace_back(s);
 
+  // The merge heap itself lives in sortkit (shared with the pipelined
+  // shuffle); segment index doubles as the stability ordinal, so equal keys
+  // drain in segment order exactly as the old in-place heap did.
   const bool bytes_order =
       std::string_view(cmp->Name()) == serialize::BytesComparator::kName;
-  auto greater = [&cmp, bytes_order](const Head& a, const Head& b) {
-    if (bytes_order) {
-      // Equal prefixes mean the first min(8, size) bytes matched, so the
-      // byte tie-break can skip straight to offset 8; shorter keys are
-      // fully consumed by the prefix and length alone decides.
-      if (a.prefix != b.prefix) return a.prefix > b.prefix;
-      if (a.key.size() > 8 && b.key.size() > 8) {
-        const size_t n =
-            (a.key.size() < b.key.size() ? a.key.size() : b.key.size()) - 8;
-        int c = std::memcmp(a.key.data() + 8, b.key.data() + 8, n);
-        if (c != 0) return c > 0;
-      }
-      if (a.key.size() != b.key.size()) return a.key.size() > b.key.size();
-    } else {
-      int c = cmp->Compare(a.key, b.key);
-      if (c != 0) return c > 0;
-    }
-    return a.segment_index > b.segment_index;  // stability across segments
+  sortkit::RawCompareFn custom = [&cmp](std::string_view a,
+                                        std::string_view b) {
+    return cmp->Compare(a, b);
   };
-  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(
-      greater);
-
+  sortkit::RunMerger merger(bytes_order ? nullptr : &custom);
   for (size_t i = 0; i < readers.size(); ++i) {
-    Head h;
-    h.segment_index = i;
-    if (readers[i].Next(&h.key, &h.value)) {
-      h.prefix = bytes_order ? sortkit::KeyPrefix(h.key) : 0;
-      heap.push(h);
-    }
+    SegmentReader* reader = &readers[i];
+    merger.AddRun(
+        [reader](std::string_view* k, std::string_view* v) {
+          return reader->Next(k, v);
+        },
+        i);
   }
 
   SegmentWriter out;
-  while (!heap.empty()) {
-    Head h = heap.top();
-    heap.pop();
-    out.Add(h.key, h.value);
-    Head next;
-    next.segment_index = h.segment_index;
-    if (readers[h.segment_index].Next(&next.key, &next.value)) {
-      next.prefix = bytes_order ? sortkit::KeyPrefix(next.key) : 0;
-      heap.push(next);
-    }
-  }
+  std::string_view key, value;
+  while (merger.Next(&key, &value)) out.Add(key, value);
   if (merged_records != nullptr) *merged_records = out.records();
   return out.Take();
 }

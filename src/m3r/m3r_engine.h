@@ -155,6 +155,10 @@ class M3REngine : public api::Engine {
   /// stops paying allocator round trips and re-reserves capacity sized
   /// from the previous job.
   BufferPool buffer_pool_;
+  /// Live bytes of the running job's resident shuffle runs (pipelined
+  /// mode), mirrored by the exchange and folded into the "shuffle.pool"
+  /// gauge alongside the buffer pool.
+  std::atomic<uint64_t> shuffle_run_bytes_{0};
   /// Live bytes across every worker lane's hash-combine table, polled by
   /// the governor as the "hashcombine" consumer.
   std::atomic<int64_t> hash_combine_bytes_{0};

@@ -1,9 +1,12 @@
 #include "m3r/shuffle.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "serialize/io.h"
+#include "serialize/writable.h"
 
 namespace m3r::engine {
 
@@ -11,6 +14,10 @@ namespace {
 /// BufferPool categories shared across every job of an engine's sequence.
 constexpr char kLaneWireCategory[] = "shuffle.lane.wire";
 constexpr char kScratchCategory[] = "shuffle.decode.scratch";
+/// Resident same-lane runs of one partition before the incremental merge
+/// folds them into one (keeps the reduce-time heap narrow without waiting
+/// for the barrier).
+constexpr size_t kCompactFanIn = 4;
 }  // namespace
 
 ShuffleExchange::ShuffleExchange(int num_places,
@@ -24,10 +31,18 @@ ShuffleExchange::ShuffleExchange(int num_places,
       fault_(options.fault),
       integrity_(options.integrity),
       pool_(options.buffer_pool),
+      pipeline_(options.pipeline),
+      flush_bytes_(std::max<size_t>(options.flush_bytes, 1)),
+      partition_budget_bytes_(options.partition_budget_bytes),
+      run_comparator_(options.run_comparator),
+      spill_sink_(options.spill_sink),
+      resident_gauge_(options.resident_gauge),
       map_(options.num_partitions, num_places, options.partition_stability,
            options.instability_salt),
       lanes_(static_cast<size_t>(num_places) * num_places * workers_),
       partitions_(static_cast<size_t>(std::max(options.num_partitions, 1))),
+      partition_runs_(static_cast<size_t>(std::max(options.num_partitions,
+                                                   1))),
       partition_mu_(new std::mutex[static_cast<size_t>(
           std::max(options.num_partitions, 1))]),
       decode_seconds_(static_cast<size_t>(num_places)),
@@ -36,12 +51,20 @@ ShuffleExchange::ShuffleExchange(int num_places,
       aliased_pairs_(static_cast<size_t>(num_places)),
       cloned_pairs_(static_cast<size_t>(num_places)) {
   M3R_CHECK(num_places > 0 && options.num_partitions >= 0);
+  M3R_CHECK(partition_budget_bytes_ == 0 || spill_sink_ != nullptr)
+      << "partition budget requires a spill sink";
 }
 
 ShuffleExchange::~ShuffleExchange() {
+  // Undrained runs (failed or cancelled job) leave the external gauge.
+  if (resident_gauge_ != nullptr) {
+    resident_gauge_->fetch_sub(resident_run_bytes_.load(),
+                               std::memory_order_relaxed);
+  }
   if (pool_ == nullptr) return;
   // Wire buffers must stay alive for the exchange's whole life (WireBytes
-  // and ComputeStats read them), so recycling happens only here.
+  // and ComputeStats read them), so recycling happens only here. Pipelined
+  // lanes recycled per run at flush time; only unflushed residue remains.
   for (Lane& lane : lanes_) {
     if (lane.out != nullptr) {
       pool_->Release(kLaneWireCategory, lane.out->TakeBuffer());
@@ -130,6 +153,18 @@ void ShuffleExchange::Emit(int src_place, int partition,
   lane.out->WriteControl(static_cast<uint64_t>(partition));
   lane.out->WriteObject(k);
   lane.out->WriteObject(v);
+
+  // Pipelined mode: crossing the flush threshold seals the lane segment as
+  // a sorted run and ships it now, on the emitting strand — the sort and
+  // decode CPU lands inside the map task's stopwatch, which is exactly the
+  // overlap the pipeline buys (cpu_seconds stays null).
+  if (pipeline_ && lane.out->buffer().size() >= flush_bytes_) {
+    std::string lane_key = std::to_string(src_place) + "->" +
+                           std::to_string(dst) + "#" +
+                           std::to_string(worker_lane);
+    FlushLane(&lane, lane_key, src_place, worker_lane, dst,
+              /*orphan=*/false, /*barrier=*/false, nullptr);
+  }
 }
 
 void ShuffleExchange::RecordFailure(Status s) {
@@ -159,6 +194,9 @@ void ShuffleExchange::DiscardLane(Lane* lane) {
   lane->deduped = 0;
   lane->saved_bytes = 0;
   lane->finished = false;
+  lane->flush_seq = 0;
+  lane->wire_shipped = 0;
+  lane->barrier_shipped = 0;
 }
 
 ShuffleExchange::RecoveryStats ShuffleExchange::DropDeadPlaces(
@@ -206,12 +244,43 @@ ShuffleExchange::RecoveryStats ShuffleExchange::DropDeadPlaces(
                                                  std::memory_order_relaxed);
     cloned_pairs_[static_cast<size_t>(d)].store(0, std::memory_order_relaxed);
   }
+
+  // Pipelined mode: pre-barrier runs already shipped *from* the dead places
+  // are replay duplicates — their source tasks re-run at survivors and
+  // re-ship under the bumped map version — so drop them by source tag.
+  // Runs shipped *to* a re-homed partition from live senders stay put: the
+  // partition moved, its delivered data did not have to.
+  if (pipeline_) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      std::lock_guard<std::mutex> lock(
+          partition_mu_[static_cast<size_t>(p)]);
+      PartitionRuns& pr = partition_runs_[static_cast<size_t>(p)];
+      size_t kept = 0;
+      for (size_t i = 0; i < pr.runs.size(); ++i) {
+        SortedRun& run = pr.runs[i];
+        if (std::binary_search(newly_dead.begin(), newly_dead.end(),
+                               run.src_place)) {
+          ++rs.dropped_runs;
+          if (run.resident) {
+            pr.resident_bytes -= run.bytes.size();
+            AddResidentRunBytes(-static_cast<int64_t>(run.bytes.size()));
+          }
+          // A spilled dead run leaves its file behind; the engine sweeps
+          // the job's spill directory at completion.
+          continue;
+        }
+        if (kept != i) pr.runs[kept] = std::move(run);
+        ++kept;
+      }
+      pr.runs.resize(kept);
+    }
+  }
   return rs;
 }
 
-void ShuffleExchange::CollectOrphanLanes(int dst_place,
-                                         std::vector<Lane*>* lanes,
-                                         std::vector<std::string>* keys) {
+void ShuffleExchange::CollectOrphanLanes(
+    int dst_place, std::vector<Lane*>* lanes, std::vector<std::string>* keys,
+    std::vector<std::pair<int, int>>* srcs) {
   if (!any_dead_) return;
   int my_index = -1;
   for (size_t i = 0; i < survivors_.size(); ++i) {
@@ -239,6 +308,7 @@ void ShuffleExchange::CollectOrphanLanes(int dst_place,
         lanes->push_back(&lane);
         keys->push_back(std::to_string(src) + "->" + std::to_string(d) +
                         "#" + std::to_string(w));
+        srcs->emplace_back(src, w);
       }
     }
   }
@@ -264,7 +334,9 @@ uint64_t ShuffleExchange::OrphanWireBytesFor(int dst_place) const {
       for (int w = 0; w < workers_; ++w) {
         bool mine =
             (k++ % survivors_.size()) == static_cast<size_t>(my_index);
-        if (mine) bytes += LaneAt(src, d, w).wire.size();
+        if (!mine) continue;
+        const Lane& lane = LaneAt(src, d, w);
+        bytes += pipeline_ ? lane.barrier_shipped : lane.wire.size();
       }
     }
   }
@@ -275,9 +347,9 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
                                  int dst_place, bool orphan,
                                  double* cpu_seconds) {
   CpuStopwatch sw;
-  lane->objects = lane->out->objects_written();
-  lane->deduped = lane->out->objects_deduped();
-  lane->saved_bytes = lane->out->bytes_saved();
+  lane->objects += lane->out->objects_written();
+  lane->deduped += lane->out->objects_deduped();
+  lane->saved_bytes += lane->out->bytes_saved();
   lane->wire = lane->out->TakeBuffer();
   lane->out.reset();
   lane->finished = true;
@@ -348,12 +420,320 @@ void ShuffleExchange::DecodeLane(Lane* lane, const std::string& lane_key,
   *cpu_seconds = sw.ElapsedSeconds();
 }
 
+void ShuffleExchange::AddResidentRunBytes(int64_t delta) {
+  uint64_t now;
+  if (delta >= 0) {
+    const uint64_t d = static_cast<uint64_t>(delta);
+    now = resident_run_bytes_.fetch_add(d, std::memory_order_relaxed) + d;
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->fetch_add(d, std::memory_order_relaxed);
+    }
+  } else {
+    const uint64_t d = static_cast<uint64_t>(-delta);
+    now = resident_run_bytes_.fetch_sub(d, std::memory_order_relaxed) - d;
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->fetch_sub(d, std::memory_order_relaxed);
+    }
+  }
+  uint64_t prev = peak_resident_run_bytes_.load(std::memory_order_relaxed);
+  while (now > prev && !peak_resident_run_bytes_.compare_exchange_weak(
+                           prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void ShuffleExchange::CompactLaneRunsLocked(PartitionRuns* pr, int src_place,
+                                            int worker) {
+  std::vector<size_t> chain;
+  for (size_t i = 0; i < pr->runs.size(); ++i) {
+    const SortedRun& r = pr->runs[i];
+    if (r.resident && r.src_place == src_place && r.worker_lane == worker) {
+      chain.push_back(i);
+    }
+  }
+  if (chain.size() < kCompactFanIn) return;
+  // Only fold a consecutive-seq chain: a spilled run sitting between two
+  // resident ones carries records that must interleave (by ordinal) with
+  // both sides, so folding across the gap would break the equal-key order.
+  for (size_t i = 1; i < chain.size(); ++i) {
+    if (pr->runs[chain[i]].seq != pr->runs[chain[i - 1]].seq_last + 1) {
+      return;
+    }
+  }
+
+  std::vector<serialize::DataInput> ins;
+  ins.reserve(chain.size());
+  for (size_t idx : chain) {
+    ins.emplace_back(std::string_view(pr->runs[idx].bytes));
+  }
+  sortkit::RunMerger merger(run_comparator_);
+  for (size_t i = 0; i < ins.size(); ++i) {
+    serialize::DataInput* in = &ins[i];
+    merger.AddRun(
+        [in](std::string_view* k, std::string_view* v) {
+          if (in->AtEnd()) return false;
+          *k = in->ReadStringView();
+          *v = in->ReadStringView();
+          return true;
+        },
+        pr->runs[chain[i]].seq);
+  }
+  serialize::DataOutput out;
+  std::string_view key, value;
+  while (merger.Next(&key, &value)) {
+    out.WriteString(key);
+    out.WriteString(value);
+  }
+
+  SortedRun merged;
+  const SortedRun& first = pr->runs[chain.front()];
+  const SortedRun& last = pr->runs[chain.back()];
+  merged.src_place = src_place;
+  merged.worker_lane = worker;
+  merged.seq = first.seq;
+  merged.seq_last = last.seq_last;
+  merged.map_version = last.map_version;
+  merged.records = merger.records();
+  merged.bytes = out.Take();
+  merged.key_type = first.key_type;
+  merged.value_type = first.value_type;
+
+  uint64_t dropped_bytes = 0;
+  for (size_t idx : chain) dropped_bytes += pr->runs[idx].bytes.size();
+  runs_compacted_.fetch_add(chain.size(), std::memory_order_relaxed);
+  // Size must be read before the move below empties `merged`.
+  const uint64_t merged_bytes = merged.bytes.size();
+
+  // Replace the chain with the merged run at the chain head's position.
+  std::vector<SortedRun> next;
+  next.reserve(pr->runs.size() - chain.size() + 1);
+  size_t c = 0;
+  for (size_t i = 0; i < pr->runs.size(); ++i) {
+    if (c < chain.size() && chain[c] == i) {
+      if (c == 0) next.push_back(std::move(merged));
+      ++c;
+      continue;
+    }
+    next.push_back(std::move(pr->runs[i]));
+  }
+  pr->runs = std::move(next);
+  const int64_t delta = static_cast<int64_t>(merged_bytes) -
+                        static_cast<int64_t>(dropped_bytes);
+  pr->resident_bytes =
+      static_cast<uint64_t>(static_cast<int64_t>(pr->resident_bytes) + delta);
+  AddResidentRunBytes(delta);
+}
+
+void ShuffleExchange::SpillOverBudgetLocked(int partition,
+                                            PartitionRuns* pr) {
+  if (partition_budget_bytes_ == 0) return;
+  for (SortedRun& run : pr->runs) {
+    if (pr->resident_bytes <= partition_budget_bytes_) break;
+    if (!run.resident || run.bytes.empty()) continue;
+    std::string id =
+        "p" + std::to_string(partition) + ".run." +
+        std::to_string(spill_counter_.fetch_add(1, std::memory_order_relaxed));
+    run.spill_crc = StampCrc(integrity_.get(), run.bytes);
+    Status s = spill_sink_->Write(id, run.bytes);
+    if (!s.ok()) {
+      // Keep the run resident over budget rather than lose data.
+      RecordFailure(std::move(s));
+      return;
+    }
+    const uint64_t bytes = run.bytes.size();
+    pr->resident_bytes -= bytes;
+    AddResidentRunBytes(-static_cast<int64_t>(bytes));
+    run.bytes.clear();
+    run.bytes.shrink_to_fit();
+    run.resident = false;
+    run.spill_id = std::move(id);
+    overflow_spills_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShuffleExchange::AppendRun(int partition, SortedRun run) {
+  const int src = run.src_place;
+  const int worker = run.worker_lane;
+  const uint64_t bytes = run.bytes.size();
+  std::lock_guard<std::mutex> lock(
+      partition_mu_[static_cast<size_t>(partition)]);
+  PartitionRuns& pr = partition_runs_[static_cast<size_t>(partition)];
+  pr.resident_bytes += bytes;
+  pr.total_bytes += bytes;
+  AddResidentRunBytes(static_cast<int64_t>(bytes));
+  pr.runs.push_back(std::move(run));
+  CompactLaneRunsLocked(&pr, src, worker);
+  SpillOverBudgetLocked(partition, &pr);
+}
+
+void ShuffleExchange::FlushLane(Lane* lane, const std::string& lane_key,
+                                int src_place, int worker, int dst_place,
+                                bool orphan, bool barrier,
+                                double* cpu_seconds) {
+  CpuStopwatch sw;
+  lane->objects += lane->out->objects_written();
+  lane->deduped += lane->out->objects_deduped();
+  lane->saved_bytes += lane->out->bytes_saved();
+  std::string wire = lane->out->TakeBuffer();
+  if (barrier) {
+    lane->out.reset();
+    lane->finished = true;
+  } else {
+    // Fresh stream per run: the de-dup identity map resets (runs decode
+    // independently), and the pooled buffer cycles per run so the decaying
+    // size hint tracks run size, not whole-lane size.
+    lane->out = pool_ != nullptr
+                    ? std::make_unique<serialize::DedupOutputStream>(
+                          dedup_mode_, pool_->Acquire(kLaneWireCategory))
+                    : std::make_unique<serialize::DedupOutputStream>(
+                          dedup_mode_);
+  }
+  auto recycle = [&] {
+    if (pool_ != nullptr && wire.capacity() > 0) {
+      pool_->Release(kLaneWireCategory, std::move(wire));
+    }
+  };
+  auto record_cpu = [&] {
+    if (cpu_seconds != nullptr) *cpu_seconds = sw.ElapsedSeconds();
+  };
+  if (wire.empty()) {
+    // The lane flushed on its last emission; nothing residual to ship.
+    recycle();
+    record_cpu();
+    return;
+  }
+  const uint64_t seq = lane->flush_seq++;
+  lane->wire_shipped += wire.size();
+  if (barrier) lane->barrier_shipped += wire.size();
+
+  if (fault_ != nullptr) {
+    Status s = fault_->Check("channel.send", lane_key);
+    if (s.ok()) s = fault_->Check("channel.decode", lane_key);
+    if (!s.ok()) {
+      // The run's pairs are lost; the partitions it fed are incomplete, so
+      // the caller must treat status() as fatal for the job.
+      RecordFailure(std::move(s));
+      recycle();
+      record_cpu();
+      return;
+    }
+  }
+
+  // Same send-side stamp / receive-side verify as the barrier path — a run
+  // is one checksummed hop whether it ships early or at the drain.
+  uint32_t crc = StampCrc(integrity_.get(), wire);
+  std::string corrupted;
+  const std::string* served = &wire;
+  Status verdict =
+      ReceiveChecked(integrity_.get(), kCorruptChannelFrame, lane_key, crc,
+                     wire, &corrupted, &served);
+  if (!verdict.ok()) {
+    RecordFailure(std::move(verdict));
+    recycle();
+    record_cpu();
+    return;
+  }
+
+  // Decode in emission order, bucketed per partition; record bytes keep
+  // their serialized form so the run can merge, spill, and reload without
+  // touching the object layer again.
+  struct Bucket {
+    std::vector<std::string> keys;
+    std::vector<std::string> values;
+    std::string key_type;
+    std::string value_type;
+  };
+  std::map<int, Bucket> buckets;
+  serialize::DedupInputStream in(*served);
+  while (!in.AtEnd()) {
+    int partition = static_cast<int>(in.ReadControl());
+    serialize::WritablePtr key = in.ReadObject();
+    serialize::WritablePtr value = in.ReadObject();
+    M3R_CHECK(partition >= 0 && partition < num_partitions_);
+    if (orphan) {
+      M3R_CHECK(dead_.empty() ||
+                !dead_[static_cast<size_t>(PlaceOfPartition(partition))]);
+    } else {
+      M3R_CHECK(PlaceOfPartition(partition) == dst_place);
+    }
+    Bucket& b = buckets[partition];
+    if (b.keys.empty()) {
+      b.key_type = key->TypeName();
+      b.value_type = value->TypeName();
+    }
+    b.keys.push_back(serialize::SerializeToString(*key));
+    b.values.push_back(serialize::SerializeToString(*value));
+  }
+  recycle();
+
+  // Seal one sorted run per partition touched: sortkit prefix sort over
+  // the serialized keys (the custom comparator only when the job overrides
+  // byte order), then re-encode in sorted order.
+  const uint64_t version = map_.version();
+  for (auto& [partition, b] : buckets) {
+    std::vector<std::string_view> views(b.keys.begin(), b.keys.end());
+    sortkit::SortOptions sort_options;
+    sort_options.comparator = run_comparator_;
+    std::vector<uint32_t> perm =
+        sortkit::StableSortPermutation(views, sort_options);
+    serialize::DataOutput out;
+    for (uint32_t i : perm) {
+      out.WriteString(b.keys[i]);
+      out.WriteString(b.values[i]);
+    }
+    SortedRun run;
+    run.src_place = src_place;
+    run.worker_lane = worker;
+    run.seq = seq;
+    run.seq_last = seq;
+    run.map_version = version;
+    run.records = b.keys.size();
+    run.bytes = out.Take();
+    run.key_type = std::move(b.key_type);
+    run.value_type = std::move(b.value_type);
+    AppendRun(partition, std::move(run));
+  }
+  runs_shipped_.fetch_add(1, std::memory_order_relaxed);
+  record_cpu();
+}
+
+Status ShuffleExchange::CollectPartitionRuns(int partition,
+                                             std::vector<SortedRun>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(
+      partition_mu_[static_cast<size_t>(partition)]);
+  PartitionRuns& pr = partition_runs_[static_cast<size_t>(partition)];
+  for (SortedRun& run : pr.runs) {
+    if (!run.resident) {
+      // Lazy merge-back: an overflow run only returns to memory here, when
+      // its reduce task is about to merge it.
+      std::string payload;
+      Status s = spill_sink_->Read(run.spill_id, &payload);
+      if (!s.ok()) return s;
+      std::string corrupted;
+      const std::string* served = &payload;
+      Status verdict =
+          ReceiveChecked(integrity_.get(), kCorruptSpill, run.spill_id,
+                         run.spill_crc, payload, &corrupted, &served);
+      if (!verdict.ok()) return verdict;
+      run.bytes = served == &payload ? std::move(payload) : *served;
+      run.resident = true;
+    }
+    out->push_back(std::move(run));
+  }
+  // The drained bytes now belong to the reduce task's working set.
+  AddResidentRunBytes(-static_cast<int64_t>(pr.resident_bytes));
+  pr.runs.clear();
+  pr.resident_bytes = 0;
+  return Status::OK();
+}
+
 void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
                                 int max_workers) {
   // Gather this destination's non-empty streams in deterministic
   // (source place, lane) order.
   std::vector<Lane*> inbound;
   std::vector<std::string> keys;
+  std::vector<std::pair<int, int>> srcs;
   for (int src = 0; src < num_places_; ++src) {
     if (any_dead_ && dead_[static_cast<size_t>(src)]) continue;
     for (int w = 0; w < workers_; ++w) {
@@ -363,28 +743,32 @@ void ShuffleExchange::DeliverTo(int dst_place, Executor* executor,
       inbound.push_back(&lane);
       keys.push_back(std::to_string(src) + "->" + std::to_string(dst_place) +
                      "#" + std::to_string(w));
+      srcs.emplace_back(src, w);
     }
   }
   // After a recovery round, survivors also pick up their share of the
   // lanes addressed to dead places (decoded under the current map).
   size_t first_orphan = inbound.size();
-  CollectOrphanLanes(dst_place, &inbound, &keys);
+  CollectOrphanLanes(dst_place, &inbound, &keys, &srcs);
   std::vector<double>& seconds = decode_seconds_[static_cast<size_t>(
       dst_place)];
   seconds.assign(inbound.size(), 0.0);
-  if (executor != nullptr && inbound.size() > 1 && max_workers > 1) {
-    executor->ParallelFor(
-        inbound.size(),
-        [&](size_t i) {
-          DecodeLane(inbound[i], keys[i], dst_place, i >= first_orphan,
-                     &seconds[i]);
-        },
-        max_workers);
-  } else {
-    for (size_t i = 0; i < inbound.size(); ++i) {
+  // Pipelined mode: the barrier drain ships each lane's residual segment as
+  // one last sorted run (decoded + sealed by FlushLane); its decode CPU is
+  // attributed here, like the barrier path's DecodeLane.
+  auto deliver_one = [&](size_t i) {
+    if (pipeline_) {
+      FlushLane(inbound[i], keys[i], srcs[i].first, srcs[i].second, dst_place,
+                i >= first_orphan, /*barrier=*/true, &seconds[i]);
+    } else {
       DecodeLane(inbound[i], keys[i], dst_place, i >= first_orphan,
                  &seconds[i]);
     }
+  };
+  if (executor != nullptr && inbound.size() > 1 && max_workers > 1) {
+    executor->ParallelFor(inbound.size(), deliver_one, max_workers);
+  } else {
+    for (size_t i = 0; i < inbound.size(); ++i) deliver_one(i);
   }
 }
 
@@ -400,7 +784,18 @@ const kvstore::KVSeq& ShuffleExchange::PartitionPairs(int partition) const {
 uint64_t ShuffleExchange::WireBytes(int src_place, int dst_place) const {
   uint64_t bytes = 0;
   for (int w = 0; w < workers_; ++w) {
-    bytes += LaneAt(src_place, dst_place, w).wire.size();
+    const Lane& lane = LaneAt(src_place, dst_place, w);
+    bytes += pipeline_ ? lane.wire_shipped : lane.wire.size();
+  }
+  return bytes;
+}
+
+uint64_t ShuffleExchange::BarrierWireBytes(int src_place,
+                                           int dst_place) const {
+  if (!pipeline_) return WireBytes(src_place, dst_place);
+  uint64_t bytes = 0;
+  for (int w = 0; w < workers_; ++w) {
+    bytes += LaneAt(src_place, dst_place, w).barrier_shipped;
   }
   return bytes;
 }
@@ -416,7 +811,21 @@ ShuffleExchange::Stats ShuffleExchange::ComputeStats() const {
   for (const Lane& lane : lanes_) {
     s.deduped_objects += lane.deduped;
     s.dedup_saved_bytes += lane.saved_bytes;
-    s.total_wire_bytes += lane.wire.size();
+    s.total_wire_bytes += pipeline_ ? lane.wire_shipped : lane.wire.size();
+  }
+  s.runs_shipped = runs_shipped_.load(std::memory_order_relaxed);
+  s.runs_compacted = runs_compacted_.load(std::memory_order_relaxed);
+  s.overflow_spills = overflow_spills_.load(std::memory_order_relaxed);
+  s.peak_resident_run_bytes =
+      peak_resident_run_bytes_.load(std::memory_order_relaxed);
+  if (pipeline_) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      std::lock_guard<std::mutex> lock(
+          partition_mu_[static_cast<size_t>(p)]);
+      s.max_partition_run_bytes =
+          std::max(s.max_partition_run_bytes,
+                   partition_runs_[static_cast<size_t>(p)].total_bytes);
+    }
   }
   return s;
 }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/buffer_pool.h"
@@ -12,6 +14,7 @@
 #include "common/fault_injector.h"
 #include "common/integrity.h"
 #include "common/membership.h"
+#include "common/sort.h"
 #include "common/status.h"
 #include "kvstore/kv_store.h"
 #include "serialize/dedup.h"
@@ -23,6 +26,51 @@ namespace m3r::engine {
 /// always runs at the same place, across every job of the sequence.
 inline int StablePlaceOfPartition(int partition, int num_places) {
   return partition % num_places;
+}
+
+/// Overflow-run storage for the pipelined shuffle (DESIGN.md §15): whole
+/// sorted runs evicted from a partition's resident budget are written here
+/// and read back lazily at reduce time. The engine backs this with the
+/// /_m3r_ckpt spill path.
+class RunSpillSink {
+ public:
+  virtual ~RunSpillSink() = default;
+  virtual Status Write(const std::string& id, const std::string& bytes) = 0;
+  virtual Status Read(const std::string& id, std::string* bytes) = 0;
+};
+
+/// One sealed, sorted slice of a reduce partition's input (pipelined mode).
+/// Records are (varint key length, serialized key bytes, varint value
+/// length, serialized value bytes), sorted by the job's sort comparator at
+/// flush time.
+struct SortedRun {
+  int src_place = 0;
+  int worker_lane = 0;
+  /// Flush sequence within the source lane; `seq_last` > `seq` after
+  /// same-lane runs were compacted into one.
+  uint64_t seq = 0;
+  uint64_t seq_last = 0;
+  /// Partition-map version when the run was sealed — the discard tag for
+  /// pre-barrier runs of a place that later dies (DESIGN.md §14/§15).
+  uint64_t map_version = 1;
+  uint64_t records = 0;
+  std::string bytes;
+  /// Registry type names of the records, for reduce-time reconstruction.
+  std::string key_type;
+  std::string value_type;
+  bool resident = true;  // false once spilled through the sink
+  std::string spill_id;
+  uint32_t spill_crc = 0;
+};
+
+/// Stability ordinal of a run for sortkit::RunMerger: among equal keys,
+/// records drain local-first (ordinal 0 is reserved for the home place's
+/// local pairs), then in (source place, worker lane, flush seq) order —
+/// the same order the barrier-batch path splices lanes, so a pipelined
+/// merge reproduces the legacy stable sort byte for byte.
+inline uint64_t RunOrdinal(int src_place, int worker_lane, uint64_t seq) {
+  return ((static_cast<uint64_t>(src_place) + 1) << 42) |
+         (static_cast<uint64_t>(worker_lane) << 21) | (seq + 1);
 }
 
 /// Construction-time knobs for one job's shuffle.
@@ -52,8 +100,31 @@ struct ShuffleOptions {
   /// Optional engine-lifetime buffer pool. Lane wire buffers are acquired
   /// from it (pre-sized from the previous job's lanes) and released back
   /// when the exchange is destroyed; decode scratch sizes are tracked the
-  /// same way.
+  /// same way. In pipelined mode each flushed wire buffer is returned per
+  /// run instead, so the decaying size hints track run size.
   BufferPool* buffer_pool = nullptr;
+
+  // --- Pipelined mode (m3r.shuffle.pipeline, DESIGN.md §15) ---
+  /// When true, a lane crossing `flush_bytes` is sealed as a sorted run and
+  /// shipped to its destination immediately; DeliverTo only drains the
+  /// residuals. When false (default), the exchange is the barrier-batch
+  /// original.
+  bool pipeline = false;
+  /// Buffered bytes per lane before an early flush (pipelined mode).
+  size_t flush_bytes = 256 * 1024;
+  /// Resident-run budget per partition in bytes; crossing it spills whole
+  /// runs (oldest first) through `spill_sink`. 0 = unlimited.
+  size_t partition_budget_bytes = 0;
+  /// Run sort order; must match the job's sort comparator. Null selects
+  /// the raw-byte default (prefix-cached kernel). The callback must
+  /// outlive the exchange.
+  const sortkit::RawCompareFn* run_comparator = nullptr;
+  /// Overflow-run storage; required when partition_budget_bytes > 0.
+  RunSpillSink* spill_sink = nullptr;
+  /// Optional external mirror of the resident run bytes, so an
+  /// engine-lifetime MemoryGovernor gauge ("shuffle.pool") can see a live
+  /// job's run footprint. Kept exact across append/spill/drain/destruct.
+  std::atomic<uint64_t>* resident_gauge = nullptr;
 };
 
 /// One job's in-memory shuffle (paper §3.2.2).
@@ -112,11 +183,23 @@ class ShuffleExchange {
   Status status() const;
 
   /// Pairs destined for `partition` (call after DeliverTo on its place).
+  /// In pipelined mode this holds only the home place's *local* emissions;
+  /// remote pairs arrive as sorted runs (CollectPartitionRuns).
   const kvstore::KVSeq& PartitionPairs(int partition) const;
 
+  /// Moves out every sorted run of `partition`, reloading spilled runs from
+  /// the sink (CRC-verified). Call after DeliverTo on the partition's
+  /// place; each partition may be drained once. Non-ok when a spilled run
+  /// cannot be read back intact.
+  Status CollectPartitionRuns(int partition, std::vector<SortedRun>* out);
+
   /// Wire bytes queued from src to dst (after de-duplication), summed
-  /// over all worker lanes.
+  /// over all worker lanes. In pipelined mode: total bytes shipped,
+  /// including pre-barrier run flushes.
   uint64_t WireBytes(int src_place, int dst_place) const;
+  /// The subset of WireBytes shipped at the barrier (the residual drain).
+  /// Equals WireBytes when the pipeline is off. Valid after DeliverTo.
+  uint64_t BarrierWireBytes(int src_place, int dst_place) const;
 
   struct Stats {
     uint64_t local_pairs = 0;
@@ -126,6 +209,14 @@ class ShuffleExchange {
     uint64_t deduped_objects = 0;
     uint64_t dedup_saved_bytes = 0;
     uint64_t total_wire_bytes = 0;
+    // Pipelined mode only (all zero when off):
+    uint64_t runs_shipped = 0;      // lane segments sealed and shipped
+    uint64_t runs_compacted = 0;    // runs folded by incremental merge
+    uint64_t overflow_spills = 0;   // whole runs spilled through the sink
+    uint64_t peak_resident_run_bytes = 0;
+    /// Largest cumulative run footprint any one partition ever produced
+    /// (spilled or not) — what the barrier path would have had to hold.
+    uint64_t max_partition_run_bytes = 0;
   };
   Stats ComputeStats() const;
 
@@ -138,6 +229,10 @@ class ShuffleExchange {
     uint64_t dropped_local_pairs = 0;
     /// Outbound lanes of the dead places released back to the pool.
     int dropped_lanes = 0;
+    /// Pipelined mode: pre-barrier shipped runs discarded because their
+    /// source place died (identified by source + map-version tag; the
+    /// replayed tasks re-ship them under the bumped version).
+    int dropped_runs = 0;
   };
 
   /// Quiesce-point recovery (DESIGN.md §14): marks `newly_dead` places dead,
@@ -167,6 +262,17 @@ class ShuffleExchange {
     uint64_t deduped = 0;
     uint64_t saved_bytes = 0;
     bool finished = false;
+    // Pipelined mode (lane-confined until the barrier, read after it):
+    uint64_t flush_seq = 0;        // runs sealed from this lane so far
+    uint64_t wire_shipped = 0;     // total bytes shipped (all flushes)
+    uint64_t barrier_shipped = 0;  // the residual shipped at DeliverTo
+  };
+
+  /// Per-partition run set, guarded by the partition's mutex.
+  struct PartitionRuns {
+    std::vector<SortedRun> runs;
+    uint64_t resident_bytes = 0;
+    uint64_t total_bytes = 0;  // cumulative, spilled included
   };
 
   Lane& LaneFor(int src, int dst, int worker);
@@ -176,13 +282,35 @@ class ShuffleExchange {
   /// home instead of the delivering place.
   void DecodeLane(Lane* lane, const std::string& lane_key, int dst_place,
                   bool orphan, double* cpu_seconds);
+  /// Pipelined counterpart of DecodeLane: seals the lane segment, ships it
+  /// (fault + CRC checks at send time), decodes it and appends one sorted
+  /// run per partition touched. `barrier` marks the final residual drain;
+  /// early flushes recreate the lane stream and recycle the wire buffer
+  /// per run. Null `cpu_seconds` leaves the cost on the caller's clock
+  /// (an emit-time flush runs inside the map task's stopwatch).
+  void FlushLane(Lane* lane, const std::string& lane_key, int src_place,
+                 int worker, int dst_place, bool orphan, bool barrier,
+                 double* cpu_seconds);
+  /// Appends a sealed run under the partition lock, then runs incremental
+  /// compaction and the overflow-budget check.
+  void AppendRun(int partition, SortedRun run);
+  /// Folds resident same-lane runs with consecutive seqs into one run once
+  /// enough of them pile up, so the reduce-time heap stays narrow. Caller
+  /// holds the partition lock.
+  void CompactLaneRunsLocked(PartitionRuns* pr, int src_place, int worker);
+  /// Spills whole resident runs (oldest first) until the partition is back
+  /// under budget. Caller holds the partition lock.
+  void SpillOverBudgetLocked(int partition, PartitionRuns* pr);
+  void AddResidentRunBytes(int64_t delta);
   void RecordFailure(Status s);
   /// Releases a lane's stream/wire back to the pool and zeroes its stats.
   void DiscardLane(Lane* lane);
   /// Appends the orphan lanes round-robin-assigned to `dst_place`, with
   /// their original "src->dead_dst#w" fault keys, in deterministic order.
+  /// `srcs` receives each lane's (source place, worker) address.
   void CollectOrphanLanes(int dst_place, std::vector<Lane*>* lanes,
-                          std::vector<std::string>* keys);
+                          std::vector<std::string>* keys,
+                          std::vector<std::pair<int, int>>* srcs);
 
   const int num_places_;
   const int num_partitions_;
@@ -193,6 +321,12 @@ class ShuffleExchange {
   const std::shared_ptr<FaultInjector> fault_;
   const std::shared_ptr<IntegrityContext> integrity_;
   BufferPool* const pool_;
+  const bool pipeline_;
+  const size_t flush_bytes_;
+  const size_t partition_budget_bytes_;
+  const sortkit::RawCompareFn* const run_comparator_;
+  RunSpillSink* const spill_sink_;
+  std::atomic<uint64_t>* const resident_gauge_;
 
   mutable std::mutex status_mu_;
   Status status_;  // first DeliverTo failure
@@ -206,12 +340,20 @@ class ShuffleExchange {
 
   std::vector<Lane> lanes_;  // num_places^2 * workers_
   std::vector<kvstore::KVSeq> partitions_;             // per partition
+  std::vector<PartitionRuns> partition_runs_;          // per partition
   std::unique_ptr<std::mutex[]> partition_mu_;         // per partition
   std::vector<std::vector<double>> decode_seconds_;    // per dst place
   std::vector<std::atomic<uint64_t>> local_pairs_;     // per src place
   std::vector<std::atomic<uint64_t>> remote_pairs_;    // per src place
   std::vector<std::atomic<uint64_t>> aliased_pairs_;   // per src place
   std::vector<std::atomic<uint64_t>> cloned_pairs_;    // per src place
+
+  std::atomic<uint64_t> resident_run_bytes_{0};
+  std::atomic<uint64_t> peak_resident_run_bytes_{0};
+  std::atomic<uint64_t> runs_shipped_{0};
+  std::atomic<uint64_t> runs_compacted_{0};
+  std::atomic<uint64_t> overflow_spills_{0};
+  std::atomic<uint64_t> spill_counter_{0};
 };
 
 }  // namespace m3r::engine

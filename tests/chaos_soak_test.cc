@@ -637,6 +637,70 @@ TEST(ChaosSoak, MidMapCrashRecoversByteIdenticalOnBothEngines) {
                             api::counters::kRecoveredMapTasks), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Crash during the pipelined shuffle (DESIGN.md §15): by the time a place
+// dies mid-map it has already shipped sorted runs to every reducer home.
+// Recovery must discard those pre-barrier runs by source tag and replay the
+// lost maps, landing on bytes identical to the barrier batch (pipeline=off,
+// same crash) and to the Hadoop engine.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, MidMapCrashDuringPipelinedShuffleStaysByteIdentical) {
+  auto fs_h = dfs::MakeSimDfs(4, 16 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs_h, "/in", 256 * 1024, 4, 17).ok());
+
+  // The crash knob is inert on Hadoop, so this doubles as the truth run for
+  // "same crash conf on both engines".
+  auto hadoop = std::make_shared<hadoop::HadoopEngine>(
+      fs_h, hadoop::HadoopEngineOptions{TestCluster(), 0});
+  api::JobConf hj = workloads::MakeWordCountJob("/in", "/out", 3, true);
+  hj.Set(api::conf::kPlaceCrashAt, "1:1");
+  api::JobResult hr = hadoop->Submit(hj);
+  ASSERT_TRUE(hr.ok()) << hr.status.ToString();
+  auto truth = ReadOutputLines(*fs_h, "/out");
+  ASSERT_FALSE(truth.empty());
+
+  // Each crash run gets a fresh engine and DFS: a crash evicts place 1's
+  // input blocks and replants its splits on survivors, which would defuse
+  // the scripted crash for any later run on the same engine.
+  struct Case {
+    const char* name;
+    const char* pipeline;
+    const char* budget_mb;  // nullptr = unbudgeted
+  };
+  for (const Case& c : {Case{"barrier", "off", nullptr},
+                        Case{"pipelined", "on", nullptr},
+                        Case{"pipelined-overflow", "on", "1"}}) {
+    SCOPED_TRACE(c.name);
+    auto fs = dfs::MakeSimDfs(4, 16 * 1024);
+    ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 256 * 1024, 4, 17).ok());
+    engine::M3REngine m3r(fs, engine::M3REngineOptions{TestCluster()});
+    api::JobConf job = workloads::MakeWordCountJob("/in", "/out", 3, true);
+    job.Set(api::conf::kPlaceCrashAt, "1:1");
+    job.Set(api::conf::kShufflePipeline, c.pipeline);
+    if (std::string(c.pipeline) == "on") {
+      // Tiny flush threshold: place 1 ships many runs before it dies, all
+      // of which recovery must discard by source tag and replace via
+      // replay. The budget variant additionally pushes some of those runs
+      // through the overflow spill before their source dies.
+      job.Set(api::conf::kShuffleFlushBytes, "1024");
+    }
+    if (c.budget_mb != nullptr) {
+      job.Set(api::conf::kShufflePartitionBudgetMb, c.budget_mb);
+    }
+    api::JobResult r = m3r.Submit(job);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_EQ(truth, ReadOutputLines(*fs, "/out"));
+    EXPECT_TRUE(fs->Exists("/out/_SUCCESS"));
+    EXPECT_EQ(r.metrics.at("place_crashes"), 1);
+    EXPECT_GE(r.metrics.at("recovered_map_tasks"), 1);
+    if (std::string(c.pipeline) == "on") {
+      // The pipeline actually streamed before and after the crash.
+      EXPECT_GT(r.metrics.at("shuffle_runs_shipped"), 0);
+    }
+  }
+}
+
 TEST(ChaosSoak, TwoPlaceCrashesInOneJobBothRecover) {
   auto fs = dfs::MakeSimDfs(4, 16 * 1024);
   ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 256 * 1024, 4, 29).ok());

@@ -1,0 +1,305 @@
+// Stress + protocol tests for the pipelined shuffle (m3r.shuffle.pipeline):
+// concurrent emit strands trigger early run flushes on their own threads
+// while other strands append/compact/spill runs into the same partitions,
+// then concurrent barrier drains seal the residuals. The delivered record
+// multiset must match the barrier-batch exchange run over the same plan,
+// the merged drain must be globally sorted, overflow budgets must spill
+// whole runs through the sink without losing a record, and recovery must
+// discard exactly the dead places' pre-barrier runs.
+//
+// Meant to run under -DM3R_SANITIZE=thread as the data-race check for the
+// emit-time flush path (see check-sanitize).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.h"
+#include "common/executor.h"
+#include "common/sort.h"
+#include "m3r/shuffle.h"
+#include "serialize/basic_writables.h"
+#include "serialize/io.h"
+#include "serialize/writable.h"
+
+namespace m3r::engine {
+namespace {
+
+using serialize::LongWritable;
+using serialize::SerializeToString;
+using serialize::Text;
+using serialize::WritablePtr;
+
+constexpr int kPlaces = 4;
+constexpr int kWorkers = 3;
+constexpr int kPartitions = 8;
+constexpr int kEmitsPerStrand = 300;
+
+/// In-memory RunSpillSink; thread-safe (Write runs under partition locks on
+/// several strands at once).
+class MapSpillSink : public RunSpillSink {
+ public:
+  Status Write(const std::string& id, const std::string& bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_[id] = bytes;
+    return Status::OK();
+  }
+  Status Read(const std::string& id, std::string* bytes) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(id);
+    if (it == store_.end()) return Status::NotFound("no spilled run " + id);
+    *bytes = it->second;
+    return Status::OK();
+  }
+  size_t spilled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> store_;
+};
+
+ShuffleOptions PipelinedOptions(size_t flush_bytes) {
+  ShuffleOptions opts;
+  opts.num_partitions = kPartitions;
+  opts.workers_per_place = kWorkers;
+  opts.pipeline = true;
+  opts.flush_bytes = flush_bytes;
+  return opts;
+}
+
+/// One strand's deterministic emission plan (mix of local/remote
+/// destinations, duplicate keys, cloned pairs).
+void EmitStrand(ShuffleExchange* shuffle, int place, int lane) {
+  for (int j = 0; j < kEmitsPerStrand; ++j) {
+    int partition = (place + 3 * lane + j) % kPartitions;
+    bool immutable = (j % 7) != 0;
+    WritablePtr key =
+        std::make_shared<LongWritable>((place + lane + j) % 50);
+    WritablePtr value = std::make_shared<Text>(
+        "v" + std::to_string(place) + "." + std::to_string(lane) + "." +
+        std::to_string(j));
+    shuffle->Emit(place, partition, key, value, immutable, lane);
+  }
+}
+
+void RunPlan(ShuffleExchange* shuffle, bool concurrent) {
+  if (concurrent) {
+    std::vector<std::thread> strands;
+    for (int place = 0; place < kPlaces; ++place) {
+      for (int lane = 0; lane < kWorkers; ++lane) {
+        strands.emplace_back(EmitStrand, shuffle, place, lane);
+      }
+    }
+    for (auto& t : strands) t.join();
+    Executor pool(4);
+    std::vector<std::thread> deliverers;
+    for (int place = 0; place < kPlaces; ++place) {
+      deliverers.emplace_back(
+          [shuffle, &pool, place] { shuffle->DeliverTo(place, &pool, kWorkers); });
+    }
+    for (auto& t : deliverers) t.join();
+  } else {
+    for (int place = 0; place < kPlaces; ++place) {
+      for (int lane = 0; lane < kWorkers; ++lane) {
+        EmitStrand(shuffle, place, lane);
+      }
+    }
+    for (int place = 0; place < kPlaces; ++place) shuffle->DeliverTo(place);
+  }
+}
+
+/// Canonical multiset of everything a partition delivered: local pairs plus
+/// every sorted-run record, serialized the same way. Drains the runs.
+std::vector<std::string> PipelinedView(ShuffleExchange* shuffle,
+                                       int partition) {
+  std::vector<std::string> view;
+  for (const auto& [k, v] : shuffle->PartitionPairs(partition)) {
+    view.push_back(SerializeToString(*k) + "|" + SerializeToString(*v));
+  }
+  std::vector<SortedRun> runs;
+  EXPECT_TRUE(shuffle->CollectPartitionRuns(partition, &runs).ok());
+  for (const SortedRun& run : runs) {
+    serialize::DataInput in(std::string_view(run.bytes));
+    uint64_t records = 0;
+    while (!in.AtEnd()) {
+      std::string_view k = in.ReadStringView();
+      std::string_view v = in.ReadStringView();
+      view.push_back(std::string(k) + "|" + std::string(v));
+      ++records;
+    }
+    EXPECT_EQ(records, run.records);
+  }
+  std::sort(view.begin(), view.end());
+  return view;
+}
+
+std::vector<std::string> BarrierView(const ShuffleExchange& shuffle,
+                                     int partition) {
+  std::vector<std::string> view;
+  for (const auto& [k, v] : shuffle.PartitionPairs(partition)) {
+    view.push_back(SerializeToString(*k) + "|" + SerializeToString(*v));
+  }
+  std::sort(view.begin(), view.end());
+  return view;
+}
+
+TEST(PipelinedShuffleTest, ConcurrentPipelineMatchesBarrierExchange) {
+  // Tiny flush threshold: every strand seals many runs mid-emit, so the
+  // emit / flush / append / compact interleaving is exercised for real.
+  ShuffleExchange pipelined(kPlaces, PipelinedOptions(/*flush_bytes=*/512));
+  RunPlan(&pipelined, /*concurrent=*/true);
+  ASSERT_TRUE(pipelined.status().ok());
+
+  ShuffleOptions barrier_opts;
+  barrier_opts.num_partitions = kPartitions;
+  barrier_opts.workers_per_place = kWorkers;
+  ShuffleExchange barrier(kPlaces, barrier_opts);
+  RunPlan(&barrier, /*concurrent=*/false);
+
+  ShuffleExchange::Stats ps = pipelined.ComputeStats();
+  EXPECT_GT(ps.runs_shipped, static_cast<uint64_t>(kPlaces * kWorkers));
+  EXPECT_GT(ps.peak_resident_run_bytes, 0u);
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(PipelinedView(&pipelined, p), BarrierView(barrier, p))
+        << "partition " << p;
+  }
+  ShuffleExchange::Stats bs = barrier.ComputeStats();
+  EXPECT_EQ(ps.local_pairs, bs.local_pairs);
+  EXPECT_EQ(ps.remote_pairs, bs.remote_pairs);
+}
+
+TEST(PipelinedShuffleTest, RunsMergeIntoGlobalKeyOrderWithStableOrdinals) {
+  ShuffleExchange shuffle(kPlaces, PipelinedOptions(/*flush_bytes=*/512));
+  RunPlan(&shuffle, /*concurrent=*/false);
+  ASSERT_TRUE(shuffle.status().ok());
+
+  for (int p = 0; p < kPartitions; ++p) {
+    std::vector<SortedRun> runs;
+    ASSERT_TRUE(shuffle.CollectPartitionRuns(p, &runs).ok());
+    ASSERT_FALSE(runs.empty());
+    std::vector<serialize::DataInput> ins;
+    ins.reserve(runs.size());
+    uint64_t expected = 0;
+    for (const SortedRun& run : runs) {
+      EXPECT_GT(run.records, 0u);
+      EXPECT_EQ(run.key_type, LongWritable().TypeName());
+      ins.emplace_back(std::string_view(run.bytes));
+      expected += run.records;
+    }
+    sortkit::RunMerger merger;
+    for (size_t i = 0; i < ins.size(); ++i) {
+      serialize::DataInput* in = &ins[i];
+      merger.AddRun(
+          [in](std::string_view* k, std::string_view* v) {
+            if (in->AtEnd()) return false;
+            *k = in->ReadStringView();
+            *v = in->ReadStringView();
+            return true;
+          },
+          RunOrdinal(runs[i].src_place, runs[i].worker_lane, runs[i].seq));
+    }
+    std::string prev;
+    std::string_view k, v;
+    uint64_t merged = 0;
+    while (merger.Next(&k, &v)) {
+      if (merged > 0) EXPECT_LE(prev, std::string(k));
+      prev.assign(k.data(), k.size());
+      ++merged;
+    }
+    EXPECT_EQ(merged, expected);
+  }
+}
+
+TEST(PipelinedShuffleTest, OverBudgetPartitionsSpillWholeRunsAndReload) {
+  MapSpillSink sink;
+  ShuffleOptions opts = PipelinedOptions(/*flush_bytes=*/512);
+  opts.partition_budget_bytes = 2048;  // far below the per-partition load
+  opts.spill_sink = &sink;
+  std::atomic<uint64_t> gauge{0};
+  opts.resident_gauge = &gauge;
+  ShuffleExchange pipelined(kPlaces, opts);
+  RunPlan(&pipelined, /*concurrent=*/true);
+  ASSERT_TRUE(pipelined.status().ok());
+
+  ShuffleExchange::Stats ps = pipelined.ComputeStats();
+  EXPECT_GT(ps.overflow_spills, 0u);
+  EXPECT_GT(sink.spilled(), 0u);
+  // The whole working set never fit the budget...
+  EXPECT_GT(ps.max_partition_run_bytes, opts.partition_budget_bytes);
+  // ...but no record was lost: the reloaded multiset still matches the
+  // barrier exchange.
+  ShuffleOptions barrier_opts;
+  barrier_opts.num_partitions = kPartitions;
+  barrier_opts.workers_per_place = kWorkers;
+  ShuffleExchange barrier(kPlaces, barrier_opts);
+  RunPlan(&barrier, /*concurrent=*/false);
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(PipelinedView(&pipelined, p), BarrierView(barrier, p))
+        << "partition " << p;
+  }
+  // Every partition was drained, so the external gauge is settled.
+  EXPECT_EQ(gauge.load(), 0u);
+}
+
+TEST(PipelinedShuffleTest, DropDeadPlacesDiscardsDeadSourcesRuns) {
+  ShuffleExchange shuffle(kPlaces, PipelinedOptions(/*flush_bytes=*/512));
+  // Pre-barrier emissions from every place, enough to ship runs.
+  for (int place = 0; place < kPlaces; ++place) {
+    for (int lane = 0; lane < kWorkers; ++lane) {
+      EmitStrand(&shuffle, place, lane);
+    }
+  }
+  ShuffleExchange::Stats before = shuffle.ComputeStats();
+  ASSERT_GT(before.runs_shipped, 0u);
+
+  const int dead = 1;
+  ShuffleExchange::RecoveryStats rs =
+      shuffle.DropDeadPlaces({dead}, {0, 2, 3});
+  EXPECT_GT(rs.dropped_runs, 0);
+  EXPECT_GT(rs.dropped_lanes, 0);
+
+  // Survivors drain; the dead place delivers nothing.
+  for (int place : {0, 2, 3}) shuffle.DeliverTo(place);
+  ASSERT_TRUE(shuffle.status().ok());
+  for (int p = 0; p < kPartitions; ++p) {
+    std::vector<SortedRun> runs;
+    ASSERT_TRUE(shuffle.CollectPartitionRuns(p, &runs).ok());
+    for (const SortedRun& run : runs) {
+      EXPECT_NE(run.src_place, dead) << "dead place's run survived";
+    }
+  }
+}
+
+TEST(PipelinedShuffleTest, EarlyFlushesRecycleWireBuffersThroughThePool) {
+  BufferPool pool;
+  ShuffleOptions opts = PipelinedOptions(/*flush_bytes=*/512);
+  opts.workers_per_place = 1;
+  opts.buffer_pool = &pool;
+  ShuffleExchange shuffle(kPlaces, opts);
+  // One strand, many flushes on the same lane: from the second flush on,
+  // Acquire must be served from the buffers the earlier flushes released —
+  // the per-run recycle contract (a barrier-batch lane only recycles at
+  // exchange teardown).
+  for (int j = 0; j < 2000; ++j) {
+    shuffle.Emit(/*src_place=*/0, /*partition=*/1,
+                 std::make_shared<LongWritable>(j),
+                 std::make_shared<Text>("value-" + std::to_string(j)),
+                 /*immutable=*/true, /*worker_lane=*/0);
+  }
+  EXPECT_GT(pool.reused(), 0u);
+  EXPECT_GT(shuffle.ComputeStats().runs_shipped, 1u);
+  for (int place = 0; place < kPlaces; ++place) shuffle.DeliverTo(place);
+  ASSERT_TRUE(shuffle.status().ok());
+}
+
+}  // namespace
+}  // namespace m3r::engine

@@ -9,7 +9,10 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -352,6 +355,177 @@ TEST(BufferPoolTest, ConcurrentAcquireReleaseIsSafe) {
   EXPECT_EQ(total.load(), 2000);
   EXPECT_EQ(pool.acquired(), 2000u);
   EXPECT_GT(pool.reused(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RunMerger (the k-way merge heap shared by the Hadoop spill/merge path and
+// the pipelined shuffle)
+
+using KvRun = std::vector<std::pair<std::string, std::string>>;
+
+/// Feeds a pre-sorted in-memory run to the merger.
+sortkit::RunCursor CursorOver(const KvRun& run, size_t* pos) {
+  return [&run, pos](std::string_view* k, std::string_view* v) {
+    if (*pos >= run.size()) return false;
+    *k = run[*pos].first;
+    *v = run[*pos].second;
+    ++*pos;
+    return true;
+  };
+}
+
+/// Drains the merger into (key, value, ordinal) triples.
+std::vector<std::tuple<std::string, std::string, uint64_t>> Drain(
+    sortkit::RunMerger* merger) {
+  std::vector<std::tuple<std::string, std::string, uint64_t>> out;
+  std::string_view k, v;
+  uint64_t ord = 0;
+  while (merger->Next(&k, &v, &ord)) {
+    out.emplace_back(std::string(k), std::string(v), ord);
+  }
+  return out;
+}
+
+TEST(RunMergerTest, MergesRandomRunsIntoGlobalSortedOrder) {
+  Rng rng(7);
+  std::vector<KvRun> runs(5);
+  std::vector<std::pair<std::string, std::string>> all;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    size_t n = 50 + rng.NextBelow(200);
+    for (size_t i = 0; i < n; ++i) {
+      // Narrow key space forces duplicates within and across runs.
+      std::string key = "k" + std::to_string(rng.NextBelow(40));
+      std::string value = std::to_string(r) + ":" + std::to_string(i);
+      runs[r].emplace_back(key, value);
+    }
+    std::stable_sort(runs[r].begin(), runs[r].end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& kv : runs[r]) all.push_back(kv);
+  }
+
+  sortkit::RunMerger merger;
+  std::vector<size_t> cursors(runs.size(), 0);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    merger.AddRun(CursorOver(runs[r], &cursors[r]), r);
+  }
+  auto merged = Drain(&merger);
+  ASSERT_EQ(merged.size(), all.size());
+  EXPECT_EQ(merger.records(), all.size());
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(std::get<0>(merged[i - 1]), std::get<0>(merged[i]));
+  }
+}
+
+TEST(RunMergerTest, EqualKeysDrainInOrdinalOrderAndStayStableWithinRun) {
+  // Every run contributes several records of the same key; the merge must
+  // drain all of run 0's, then run 1's, ... and keep each run's own order.
+  std::vector<KvRun> runs(3);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    for (int i = 0; i < 4; ++i) {
+      runs[r].emplace_back("dup",
+                           std::to_string(r) + ":" + std::to_string(i));
+    }
+  }
+  sortkit::RunMerger merger;
+  std::vector<size_t> cursors(runs.size(), 0);
+  // Ordinals added out of order: insertion order must not matter.
+  std::vector<size_t> order = {2, 0, 1};
+  for (size_t r : order) {
+    merger.AddRun(CursorOver(runs[r], &cursors[r]), r);
+  }
+  auto merged = Drain(&merger);
+  ASSERT_EQ(merged.size(), 12u);
+  std::vector<std::string> values;
+  for (const auto& [k, v, ord] : merged) {
+    EXPECT_EQ(k, "dup");
+    values.push_back(v);
+  }
+  EXPECT_EQ(values,
+            (std::vector<std::string>{"0:0", "0:1", "0:2", "0:3", "1:0",
+                                      "1:1", "1:2", "1:3", "2:0", "2:1",
+                                      "2:2", "2:3"}));
+}
+
+TEST(RunMergerTest, EmptyRunsAreHarmless) {
+  KvRun empty;
+  KvRun full = {{"a", "1"}, {"b", "2"}};
+  sortkit::RunMerger merger;
+  size_t p0 = 0, p1 = 0, p2 = 0;
+  merger.AddRun(CursorOver(empty, &p0), 0);
+  merger.AddRun(CursorOver(full, &p1), 1);
+  merger.AddRun(CursorOver(empty, &p2), 2);
+  auto merged = Drain(&merger);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(std::get<0>(merged[0]), "a");
+  EXPECT_EQ(std::get<0>(merged[1]), "b");
+  EXPECT_EQ(std::get<2>(merged[0]), 1u);
+
+  sortkit::RunMerger none;
+  std::string_view k, v;
+  EXPECT_FALSE(none.Next(&k, &v));
+  EXPECT_EQ(none.records(), 0u);
+}
+
+TEST(RunMergerTest, SingleRunPassesThroughVerbatim) {
+  KvRun run;
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    run.emplace_back("k" + std::to_string(rng.NextBelow(20)),
+                     std::to_string(i));
+  }
+  std::stable_sort(run.begin(), run.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  sortkit::RunMerger merger;
+  size_t pos = 0;
+  merger.AddRun(CursorOver(run, &pos), 42);
+  auto merged = Drain(&merger);
+  ASSERT_EQ(merged.size(), run.size());
+  for (size_t i = 0; i < run.size(); ++i) {
+    EXPECT_EQ(std::get<0>(merged[i]), run[i].first);
+    EXPECT_EQ(std::get<1>(merged[i]), run[i].second);
+    EXPECT_EQ(std::get<2>(merged[i]), 42u);
+  }
+}
+
+TEST(RunMergerTest, CustomComparatorOverridesByteOrder) {
+  // Reverse byte order: the merge must follow the comparator, not the
+  // prefix fast path.
+  sortkit::RawCompareFn reverse = [](std::string_view a, std::string_view b) {
+    return a < b ? 1 : (b < a ? -1 : 0);
+  };
+  KvRun r0 = {{"z", "r0"}, {"m", "r0"}, {"a", "r0"}};
+  KvRun r1 = {{"z", "r1"}, {"b", "r1"}};
+  sortkit::RunMerger merger(&reverse);
+  size_t p0 = 0, p1 = 0;
+  merger.AddRun(CursorOver(r0, &p0), 0);
+  merger.AddRun(CursorOver(r1, &p1), 1);
+  auto merged = Drain(&merger);
+  std::vector<std::string> keys;
+  for (const auto& [k, v, ord] : merged) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "z", "m", "b", "a"}));
+  // Equal keys ("z") still drain in ordinal order.
+  EXPECT_EQ(std::get<1>(merged[0]), "r0");
+  EXPECT_EQ(std::get<1>(merged[1]), "r1");
+}
+
+TEST(RunMergerTest, LongSharedPrefixesBeyondPrefixWidthStillOrdered) {
+  // Keys identical through the 8-byte prefix exercise the memcmp tail.
+  KvRun r0 = {{"prefix-00-aaa", "0"}, {"prefix-00-ccc", "0"}};
+  KvRun r1 = {{"prefix-00-bbb", "1"}, {"prefix-00-ddd", "1"}};
+  sortkit::RunMerger merger;
+  size_t p0 = 0, p1 = 0;
+  merger.AddRun(CursorOver(r0, &p0), 0);
+  merger.AddRun(CursorOver(r1, &p1), 1);
+  auto merged = Drain(&merger);
+  std::vector<std::string> keys;
+  for (const auto& [k, v, ord] : merged) keys.push_back(k);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys.front(), "prefix-00-aaa");
+  EXPECT_EQ(keys.back(), "prefix-00-ddd");
 }
 
 }  // namespace

@@ -86,6 +86,15 @@ inline constexpr char kCacheAbortedEvictions[] = "CACHE_ABORTED_EVICTIONS";
 /// matching lineage signature (m3r.cache.reuse=exact) — no map or reduce
 /// task ran.
 inline constexpr char kReusedFromCache[] = "REUSED_FROM_CACHE";
+// Two-tier cache (src/l2cache; DESIGN.md §16): per-job deltas of the
+// consistent-hash L2 tier — promotions served, misses that fell through
+// to the DFS, L1 victims absorbed by demotion, cross-place tier traffic,
+// and dead shards reassigned to survivors after a confirmed place death.
+inline constexpr char kL2Hits[] = "L2_HITS";
+inline constexpr char kL2Misses[] = "L2_MISSES";
+inline constexpr char kL2Demotions[] = "L2_DEMOTIONS";
+inline constexpr char kL2RemoteBytes[] = "L2_REMOTE_BYTES";
+inline constexpr char kL2RingHeals[] = "L2_RING_HEALS";
 // Place-failure recovery (DESIGN.md §14): crash/teardown/replay tallies,
 // incremented at each quiesce point so a watching client sees recovery
 // progress live, and mirrored into the job-end metrics on both the

@@ -151,6 +151,15 @@ inline constexpr char kMemoryLowWatermark[] = "m3r.memory.low.watermark";
 /// (cost-aware: evict the lowest rebuild-cost-per-byte entry, using the
 /// recorded fill time).
 inline constexpr char kCachePolicy[] = "m3r.cache.policy";
+/// Two-tier cache (src/l2cache; DESIGN.md §16): fraction of the memory
+/// budget given to the consistent-hash L2 tier, in [0,1]. 0 (default)
+/// disables the tier; with it on, L1 evictions demote their victim to the
+/// victim's home shard instead of spilling to /_m3r_ckpt when the shard
+/// has room, and L1 misses promote from the tier before re-reading DFS.
+/// Only meaningful under a nonzero m3r.memory.budget.mb.
+inline constexpr char kCacheL2Share[] = "m3r.cache.l2.share";
+/// Virtual points per place on the L2 hash ring (default 16).
+inline constexpr char kCacheL2VNodes[] = "m3r.cache.l2.vnodes";
 /// ReStore-style cross-job output reuse: "off" (default) or "exact" — a
 /// submitted job whose lineage signature (inputs + conf digest + user
 /// class identity) matches a live cached output is served from the cache,
@@ -182,8 +191,8 @@ inline constexpr char kServerQueueWeightPrefix[] = "m3r.server.queue.weight.";
 /// split the unreserved remainder evenly (rebalanced on join/leave).
 inline constexpr char kServerTenantQuotaPrefix[] = "m3r.server.tenant.quota.";
 /// Conf-key fallbacks for the typed Submission fields, read by
-/// Submission::FromConf for bare-conf clients (port-based submission, the
-/// deprecated SubmitJob shim). Queue falls back to mapred.job.queue.name.
+/// Submission::FromConf for bare-conf clients (port-based submission).
+/// Queue falls back to mapred.job.queue.name.
 inline constexpr char kSubmissionTenant[] = "m3r.server.tenant";
 inline constexpr char kSubmissionPriority[] = "m3r.server.priority";
 inline constexpr char kSubmissionDeadlineHint[] =

@@ -44,8 +44,8 @@ struct Submission {
 
   /// Builds a Submission from a bare JobConf, reading the scheduling
   /// fields from their conf-key fallbacks (mapred.job.queue.name,
-  /// m3r.server.tenant, m3r.server.priority) — the compatibility path the
-  /// deprecated SubmitJob shim and port-based clients use.
+  /// m3r.server.tenant, m3r.server.priority) — the compatibility path
+  /// port-based clients use.
   static Submission FromConf(JobConf conf);
 };
 

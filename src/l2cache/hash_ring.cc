@@ -1,0 +1,60 @@
+#include "l2cache/hash_ring.h"
+
+#include <algorithm>
+
+namespace m3r::l2cache {
+
+uint64_t HashRing::Hash(const std::string& key) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // FNV-1a alone clusters short keys in the upper bits, and ring order is
+  // decided by the upper bits — finalize with a full-width mix so vnode
+  // points (and therefore shard arcs) spread evenly.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+void HashRing::Reset(const std::vector<int>& places, int vnodes) {
+  points_.clear();
+  places_ = places;
+  std::sort(places_.begin(), places_.end());
+  places_.erase(std::unique(places_.begin(), places_.end()), places_.end());
+  vnodes_ = std::max(1, vnodes);
+  for (int place : places_) {
+    for (int v = 0; v < vnodes_; ++v) {
+      points_.emplace(
+          Hash(std::to_string(place) + "#" + std::to_string(v)), place);
+    }
+  }
+}
+
+void HashRing::RemovePlace(int place) {
+  auto it = std::find(places_.begin(), places_.end(), place);
+  if (it == places_.end()) return;
+  places_.erase(it);
+  for (auto p = points_.begin(); p != points_.end();) {
+    p = p->second == place ? points_.erase(p) : std::next(p);
+  }
+}
+
+int HashRing::HomeOf(const std::string& key) const {
+  if (points_.empty()) return -1;
+  auto it = points_.lower_bound(Hash(key));
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+bool HashRing::Contains(int place) const {
+  return std::binary_search(places_.begin(), places_.end(), place);
+}
+
+std::vector<int> HashRing::Places() const { return places_; }
+
+}  // namespace m3r::l2cache

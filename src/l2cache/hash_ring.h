@@ -1,0 +1,50 @@
+#ifndef M3R_L2CACHE_HASH_RING_H_
+#define M3R_L2CACHE_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace m3r::l2cache {
+
+/// Deterministic consistent-hash ring mapping cache paths onto places —
+/// the MCache/RedisGroup routing idiom: each place contributes `vnodes`
+/// virtual points, a key routes to the first point at or clockwise of its
+/// hash (wrapping), and removing a place hands exactly that place's arcs
+/// to the surviving points. No other key moves, which is what keeps a
+/// ring heal from invalidating the whole tier.
+///
+/// Not thread-safe; the owning TieredCacheManager serializes access.
+class HashRing {
+ public:
+  /// Rebuilds the ring over `places` with `vnodes` points per place.
+  /// An empty place list clears the ring.
+  void Reset(const std::vector<int>& places, int vnodes);
+
+  /// Removes one place's virtual points (ring heal after a confirmed
+  /// death). Unknown places are a no-op.
+  void RemovePlace(int place);
+
+  /// Home place of `key`, or -1 when the ring is empty.
+  int HomeOf(const std::string& key) const;
+
+  bool Contains(int place) const;
+  std::vector<int> Places() const;
+  size_t NumPlaces() const { return places_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// FNV-1a 64 over `key` — stable across runs and platforms, so ring
+  /// layout (and therefore every routing decision) is deterministic.
+  static uint64_t Hash(const std::string& key);
+
+ private:
+  /// hash point -> place, ordered: lower_bound walks clockwise.
+  std::map<uint64_t, int> points_;
+  std::vector<int> places_;  // sorted, unique
+  int vnodes_ = 16;
+};
+
+}  // namespace m3r::l2cache
+
+#endif  // M3R_L2CACHE_HASH_RING_H_

@@ -50,8 +50,16 @@ Status Cache::PutBlock(const std::string& path, const std::string& block_name,
     }
   } fill_guard{mgr, path};
   if (mgr != nullptr && !mgr->AdmitFill(path, bytes, /*required=*/!droppable)) {
-    // Silent bypass: the block stays uncached and a future job re-reads it
-    // from the DFS. Only droppable fills can land here.
+    // Rejected: the block stays out of L1 and a future job re-reads it
+    // from the DFS. Only droppable fills land here. A tiered engine's
+    // overflow sink may still capture the block into its L2 home shard
+    // (DESIGN.md §16.2) — best effort, failures change nothing.
+    OverflowSink sink;
+    {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      sink = overflow_sink_;
+    }
+    if (sink) sink(path, block_name, place, pairs, bytes, whole_file);
     return Status::OK();
   }
   kvstore::BlockInfo info;

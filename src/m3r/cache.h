@@ -2,6 +2,7 @@
 #define M3R_M3R_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,6 +78,19 @@ class Cache {
   }
   memgov::CacheManager* manager() const {
     return manager_.load(std::memory_order_acquire);
+  }
+
+  /// Best-effort sink for blocks AdmitFill rejected (DESIGN.md §16.2): a
+  /// tiered engine routes the bounced block into its L2 home shard instead
+  /// of forgetting it, so losing the L1 admission race does not cost the
+  /// next pass a DFS re-read. Cleared with nullptr; failures are
+  /// swallowed — rejection already meant "re-readable later".
+  using OverflowSink = std::function<void(
+      const std::string& path, const std::string& block_name, int place,
+      const kvstore::KVSeq& pairs, uint64_t bytes, bool whole_file)>;
+  void SetOverflowSink(OverflowSink sink) {
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    overflow_sink_ = std::move(sink);
   }
 
   /// Installs (or clears) the per-job integrity context, like the file
@@ -185,6 +199,8 @@ class Cache {
   std::mutex integrity_mu_;
   std::shared_ptr<IntegrityContext> integrity_;
   std::atomic<memgov::CacheManager*> manager_{nullptr};
+  std::mutex overflow_mu_;
+  OverflowSink overflow_sink_;
   std::mutex manifest_mu_;
   /// dir → (file → committed serialized bytes).
   std::map<std::string, std::map<std::string, uint64_t>> manifests_;

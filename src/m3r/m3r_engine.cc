@@ -430,6 +430,11 @@ struct M3REngine::TaskPlan {
   std::optional<std::string> cache_path;
   std::string block_name;
   bool local_read = false;
+  /// Served by promoting the split's file from the L2 tier back into L1:
+  /// charged the tier's memory/network cost instead of a DFS re-read.
+  bool l2_hit = false;
+  /// The promotion's bytes crossed places (home shard elsewhere).
+  bool l2_remote = false;
   uint64_t input_bytes = 0;
   // Filled during execution.
   Status status;
@@ -492,13 +497,62 @@ M3REngine::M3REngine(std::shared_ptr<dfs::FileSystem> base_fs,
   hooks.has_backing = [this](const std::string& path) {
     return base_fs_->Exists(path);
   };
-  cache_manager_ =
-      std::make_unique<memgov::CacheManager>(&governor_, std::move(hooks));
+  // The manager is the two-tier subclass (DESIGN.md §16); the L2 tier
+  // stays dormant until a job enables it (m3r.cache.l2.share > 0 under a
+  // governed budget), at which point evictions demote through `freeze`
+  // and misses promote through `thaw`.
+  l2cache::L2Hooks l2_hooks;
+  l2_hooks.freeze = [this](const std::string& path,
+                           std::vector<l2cache::BlockPayload>* out) {
+    return FreezePayloads(path, out);
+  };
+  l2_hooks.thaw = [this](const std::string& path,
+                         const std::vector<l2cache::BlockPayload>& payloads) {
+    return ThawPayloads(path, payloads);
+  };
+  l2_hooks.spill = [this](const std::string& path,
+                          const std::vector<l2cache::BlockPayload>& payloads) {
+    return SpillPayloadsToCheckpoint(path, payloads);
+  };
+  l2_hooks.has_backing = [this](const std::string& path) {
+    return base_fs_->Exists(path);
+  };
+  auto tiered = std::make_unique<l2cache::TieredCacheManager>(
+      &governor_, std::move(hooks), std::move(l2_hooks));
+  tiered_ = tiered.get();
+  cache_manager_ = std::move(tiered);
   cache_.SetManager(cache_manager_.get());
+  // Victim-cache overflow (DESIGN.md §16.2): a fill L1's admission bounced
+  // is serialized straight into its L2 home shard, so a block that lost
+  // the L1 race — typically to another consumer's pressure mid-phase — is
+  // still tier-resident for the next pass instead of a DFS re-read.
+  cache_.SetOverflowSink([this](const std::string& path,
+                                const std::string& block_name, int place,
+                                const kvstore::KVSeq& pairs, uint64_t bytes,
+                                bool whole_file) {
+    if (!tiered_->L2Enabled()) return;
+    x10rt::Channel ch(options_.dedup_mode);
+    for (const auto& [k, v] : pairs) {
+      ch.Send(k);
+      ch.Send(v);
+    }
+    x10rt::Channel::Wire wire = ch.Finish();
+    l2cache::BlockPayload p;
+    p.block_name = block_name;
+    p.place = place;
+    p.bytes = bytes;
+    p.whole_file = whole_file;
+    p.crc = crc32c::Crc32c(wire.bytes);
+    p.wire = std::move(wire.bytes);
+    (void)tiered_->AcceptOverflow(path, base_fs_->Exists(path),
+                                  std::move(p));
+  });
   // Clients read cache-only outputs through fs_ (ListStatus union,
   // GetCacheRecordReader) without going through job submission, so the
-  // FS must be able to restore what the background evictor spilled.
+  // FS must be able to restore what the background evictor spilled — from
+  // the L2 tier first (a move back into L1), then from the checkpoint.
   fs_->SetHealHook([this](const std::string& dir) {
+    tiered_->PromoteUnder(dir, /*only_unbacked=*/true, nullptr);
     return RestoreDirFromCheckpoint(dir, /*only_missing=*/true, nullptr,
                                     nullptr, nullptr);
   });
@@ -661,6 +715,73 @@ Status M3REngine::SpillFileToCheckpoint(const std::string& path) {
         cdir + "/" + name + ".blk." + block.info.name, content));
   }
   // The file's spill is complete; (re)commit the directory so heals see it.
+  return base_fs_->WriteFile(cdir + "/_DONE", "1\n");
+}
+
+Status M3REngine::FreezePayloads(const std::string& path,
+                                 std::vector<l2cache::BlockPayload>* out) {
+  M3R_ASSIGN_OR_RETURN(std::vector<Cache::Block> blocks,
+                       cache_.GetFileBlocks(path));
+  if (blocks.empty()) return Status::NotFound("nothing cached: " + path);
+  for (const Cache::Block& block : blocks) {
+    x10rt::Channel ch(options_.dedup_mode);
+    for (const auto& [k, v] : *block.pairs) {
+      ch.Send(k);
+      ch.Send(v);
+    }
+    x10rt::Channel::Wire wire = ch.Finish();
+    l2cache::BlockPayload p;
+    p.block_name = block.info.name;
+    p.place = block.info.place;
+    p.bytes = block.bytes;
+    p.whole_file = block.info.whole_file;
+    p.crc = crc32c::Crc32c(wire.bytes);
+    p.wire = std::move(wire.bytes);
+    out->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+Status M3REngine::ThawPayloads(
+    const std::string& path,
+    const std::vector<l2cache::BlockPayload>& payloads) {
+  for (const l2cache::BlockPayload& p : payloads) {
+    if (cache_.GetBlock(path, p.block_name)) continue;  // already resident
+    if (crc32c::Crc32c(p.wire) != p.crc) {
+      return Status::DataLoss("L2 payload checksum mismatch: " + path);
+    }
+    std::vector<serialize::WritablePtr> objs = x10rt::Channel::Decode(p.wire);
+    KVSeq seq;
+    seq.reserve(objs.size() / 2);
+    for (size_t i = 0; i + 1 < objs.size(); i += 2) {
+      seq.emplace_back(objs[i], objs[i + 1]);
+    }
+    M3R_RETURN_NOT_OK(cache_.PutBlock(path, p.block_name, p.place,
+                                      std::move(seq), p.bytes,
+                                      /*fill_seconds=*/0.0,
+                                      /*droppable=*/false, p.whole_file));
+  }
+  return Status::OK();
+}
+
+Status M3REngine::SpillPayloadsToCheckpoint(
+    const std::string& path,
+    const std::vector<l2cache::BlockPayload>& payloads) {
+  if (payloads.empty()) return Status::NotFound("no payloads: " + path);
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == 0 ? "/" : path.substr(0, slash);
+  const std::string name = path.substr(slash + 1);
+  const std::string cdir =
+      std::string(kCheckpointRoot) + (dir == "/" ? "" : dir);
+  for (const l2cache::BlockPayload& p : payloads) {
+    std::string content = std::to_string(p.place) + " " +
+                          std::to_string(p.bytes) + " " +
+                          std::to_string(p.crc) + " " +
+                          (p.whole_file ? "1" : "0") + "\n";
+    content += p.wire;
+    M3R_RETURN_NOT_OK(base_fs_->WriteFile(
+        cdir + "/" + name + ".blk." + p.block_name, content));
+  }
   return base_fs_->WriteFile(cdir + "/_DONE", "1\n");
 }
 
@@ -911,6 +1032,29 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   cache_manager_->Configure(
       cache_policy, conf.GetDouble(api::conf::kMemoryHighWatermark, 0.90),
       conf.GetDouble(api::conf::kMemoryLowWatermark, 0.75));
+  // Two-tier cache (DESIGN.md §16): every place donates m3r.cache.l2.share
+  // of the budget to the tier, so ring-wide capacity is share * budget *
+  // places — the aggregate-memory thesis: the cluster holds N times what
+  // one place can. Re-rung per submission (a place dead last job is
+  // healthy again on the next).
+  {
+    const double l2_share = conf.GetDouble(api::conf::kCacheL2Share, 0.0);
+    if (l2_share < 0.0 || l2_share > 1.0) {
+      return Fail(Status::InvalidArgument(
+          std::string("bad ") + api::conf::kCacheL2Share + ": " +
+          conf.Get(api::conf::kCacheL2Share, "")));
+    }
+    std::vector<int> ring_places(static_cast<size_t>(places_.NumPlaces()));
+    for (size_t i = 0; i < ring_places.size(); ++i) {
+      ring_places[i] = static_cast<int>(i);
+    }
+    tiered_->ConfigureL2(
+        governor_.governed() && l2_share > 0.0, ring_places,
+        conf.GetInt(api::conf::kCacheL2VNodes, 16),
+        static_cast<uint64_t>(l2_share *
+                              static_cast<double>(governor_.budget()) *
+                              static_cast<double>(ring_places.size())));
+  }
   const std::string reuse_mode = conf.Get(api::conf::kCacheReuse, "off");
   if (reuse_mode != "off" && reuse_mode != "exact") {
     return Fail(Status::InvalidArgument(
@@ -968,9 +1112,12 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   // Memory-governance counter baseline: deltas against the engine-lifetime
   // cache-manager counters become this job's counters/metrics.
   const memgov::CacheManager::Counters mg0 = cache_manager_->counters();
+  const l2cache::L2Counters l20 = tiered_->l2_counters();
+  const bool l2_on = tiered_->L2Enabled();
   std::mutex memgov_sync_mu;
   auto sync_memgov = [&]() {
     const memgov::CacheManager::Counters now = cache_manager_->counters();
+    const l2cache::L2Counters l2now = tiered_->l2_counters();
     std::lock_guard<std::mutex> lock(memgov_sync_mu);
     auto set_to = [&](const char* name, int64_t target) {
       result.counters.Increment(
@@ -993,6 +1140,18 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
            static_cast<int64_t>(cache_manager_->LeasesActive()));
     set_to(api::counters::kCacheEvictorInflight,
            static_cast<int64_t>(cache_manager_->EvictorInflight()));
+    if (l2_on) {
+      set_to(api::counters::kL2Hits,
+             static_cast<int64_t>(l2now.hits - l20.hits));
+      set_to(api::counters::kL2Misses,
+             static_cast<int64_t>(l2now.misses - l20.misses));
+      set_to(api::counters::kL2Demotions,
+             static_cast<int64_t>(l2now.demotions - l20.demotions));
+      set_to(api::counters::kL2RemoteBytes,
+             static_cast<int64_t>(l2now.remote_bytes - l20.remote_bytes));
+      set_to(api::counters::kL2RingHeals,
+             static_cast<int64_t>(l2now.ring_heals - l20.ring_heals));
+    }
   };
   auto record_memgov = [&]() {
     sync_memgov();
@@ -1020,6 +1179,22 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           static_cast<int64_t>(governor_.budget());
       result.metrics["memory_peak_bytes"] =
           static_cast<int64_t>(governor_.PeakUsage());
+    }
+    if (l2_on) {
+      const l2cache::L2Counters l2now = tiered_->l2_counters();
+      result.metrics["l2_hits"] = static_cast<int64_t>(l2now.hits - l20.hits);
+      result.metrics["l2_misses"] =
+          static_cast<int64_t>(l2now.misses - l20.misses);
+      result.metrics["l2_demotions"] =
+          static_cast<int64_t>(l2now.demotions - l20.demotions);
+      result.metrics["l2_remote_bytes"] =
+          static_cast<int64_t>(l2now.remote_bytes - l20.remote_bytes);
+      result.metrics["l2_ring_heals"] =
+          static_cast<int64_t>(l2now.ring_heals - l20.ring_heals);
+      result.metrics["l2_overflow_fills"] =
+          static_cast<int64_t>(l2now.overflow_fills - l20.overflow_fills);
+      result.metrics["l2_bytes_resident"] =
+          static_cast<int64_t>(tiered_->L2ResidentBytes());
     }
   };
 
@@ -1161,8 +1336,6 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     if (place_crashes == 0) return;
     result.metrics["place_crashes"] = place_crashes;
     result.metrics["cache_evicted_by_crash_blocks"] = crash_evicted_blocks;
-    // Pre-recovery name for the same tally, kept for existing consumers.
-    result.metrics["evicted_blocks"] = crash_evicted_blocks;
     result.metrics["recovered_map_tasks"] = recovered_map_tasks_total;
     result.metrics["membership_epoch"] =
         static_cast<int64_t>(membership.epoch());
@@ -1196,6 +1369,12 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   // with checkpointing otherwise off).
   if (ckpt_policy != "off" || governor_.governed()) {
     for (const std::string& in : conf.InputPaths()) {
+      // Demoted cache-only inputs come back from the L2 tier first (a
+      // memory move, no DFS read); the checkpoint fills whatever the tier
+      // no longer holds. Without the promote, a demoted file would trip
+      // the manifest-completeness check below as a false DataLoss.
+      tiered_->PromoteUnder(path::Canonicalize(in), /*only_unbacked=*/true,
+                            nullptr);
       Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
                                            nullptr, nullptr, integrity.get());
       if (!st.ok()) {
@@ -1234,12 +1413,27 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   std::vector<TaskPlan> tasks(splits.size());
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Files this job pulled back from the L2 tier (path -> crossed places):
+  // every split the promotion turned into a hit charges the tier's cost
+  // instead of a DFS re-read.
+  std::map<std::string, bool> l2_promoted;
   for (size_t i = 0; i < splits.size(); ++i) {
     TaskPlan& t = tasks[i];
     t.split = splits[i];
     t.cache_path = Cache::NameForSplit(*t.split);
     t.block_name = Cache::BlockNameForSplit(*t.split);
     t.input_bytes = t.split->GetLength();
+    // L1 miss, L2 probe (DESIGN.md §16): promote the whole demoted file
+    // back into the cache before deciding hit vs DFS re-read.
+    if (options_.enable_cache && t.cache_path && tiered_->L2Enabled() &&
+        l2_promoted.find(*t.cache_path) == l2_promoted.end() &&
+        !cache_.GetBlock(*t.cache_path, t.block_name) &&
+        tiered_->L2Contains(*t.cache_path)) {
+      bool remote = false;
+      if (tiered_->TryPromote(*t.cache_path, &remote, nullptr).ok()) {
+        l2_promoted[*t.cache_path] = remote;
+      }
+    }
     if (options_.enable_cache && t.cache_path &&
         cache_.GetBlock(*t.cache_path, t.block_name)) {
       t.cache_hit = true;
@@ -1268,6 +1462,15 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       }
     } else {
       ++cache_misses;
+    }
+    if (t.cache_hit && !t.empty_hit && t.cache_path) {
+      auto promoted = l2_promoted.find(*t.cache_path);
+      if (promoted != l2_promoted.end()) {
+        t.l2_hit = true;
+        t.l2_remote = promoted->second;
+      }
+    } else if (!t.cache_hit && tiered_->L2Enabled()) {
+      tiered_->RecordL2Miss();  // fell through to the DFS
     }
 
     auto locations = t.split->GetLocations();
@@ -1432,6 +1635,10 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
     // the entry table and resident bytes from what actually survived.
     cache_manager_->Reconcile(
         [this](const std::string& p) { return cache_.FileBytes(p); });
+    // Ring heal (DESIGN.md §16): the dead places' L2 shards died with
+    // them — hand their hash ranges to the survivors and drop the lost
+    // entries; the data heals lazily from DFS/checkpoint on first touch.
+    tiered_->RingHeal(newly_dead);
     crash_evicted_blocks += evicted;
     result.counters.Increment(api::counters::kM3rGroup,
                               api::counters::kPlaceCrashes,
@@ -1716,6 +1923,16 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       int healed_files = 0;
       uint64_t healed_bytes = 0;
       for (const std::string& in : conf.InputPaths()) {
+        // Surviving L2 shards heal first: a promotion is a memory move
+        // (or one network hop), charged well below the checkpoint's DFS
+        // re-read that covers whatever the dead shards took down.
+        uint64_t promoted_bytes = 0;
+        tiered_->PromoteUnder(path::Canonicalize(in), /*only_unbacked=*/true,
+                              &promoted_bytes);
+        if (promoted_bytes > 0) {
+          recovery_heal_seconds +=
+              cost_.L2Read(promoted_bytes, /*local=*/false);
+        }
         Status st = RestoreDirFromCheckpoint(in, /*only_missing=*/true,
                                              &healed_files, &healed_bytes,
                                              integrity.get());
@@ -1775,6 +1992,7 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
           break;
         }
         t.cache_hit = false;
+        t.l2_hit = false;
         t.block_name = Cache::BlockNameForSplit(*t.split);
       }
       // Re-plan onto a survivor: partitioned splits follow the re-homed
@@ -1849,6 +2067,7 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       const TaskPlan& t = tasks[i];
       double d = t.cpu_seconds * spec.data_scale;
       if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+      else if (t.l2_hit) d += cost_.L2Read(t.input_bytes, !t.l2_remote);
       if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
       part_tl.ScheduleOnNode(t.place, t0, d);
     }
@@ -1874,6 +2093,9 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
   for (const TaskPlan& t : tasks) {
     double d = t.cpu_seconds * spec.data_scale;
     if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+    // L2-promoted splits pay the tier's memory/network cost, not a DFS
+    // re-read — the hierarchy the paper's in-memory thesis predicts.
+    else if (t.l2_hit) d += cost_.L2Read(t.input_bytes, !t.l2_remote);
     if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
     if (t.replayed) {
       ++replayed_tasks;  // charged to the recovery span below
@@ -1902,6 +2124,7 @@ api::JobResult M3REngine::SubmitImpl(const api::JobConf& submitted_conf) {
       if (!t.replayed) continue;
       double d = t.cpu_seconds * spec.data_scale;
       if (!t.cache_hit) d += cost_.DfsRead(t.input_bytes, t.local_read);
+      else if (t.l2_hit) d += cost_.L2Read(t.input_bytes, !t.l2_remote);
       if (num_reduce == 0 && !temporary) d += cost_.DfsWrite(t.output_bytes);
       rec_tl.ScheduleOnNode(t.place, map_end, d);
     }

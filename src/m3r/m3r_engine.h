@@ -15,6 +15,7 @@
 #include "dfs/file_system.h"
 #include "m3r/cache.h"
 #include "m3r/cache_fs.h"
+#include "l2cache/tiered_cache_manager.h"
 #include "memgov/cache_manager.h"
 #include "memgov/memory_governor.h"
 #include "serialize/dedup.h"
@@ -98,6 +99,10 @@ class M3REngine : public api::Engine {
   /// each submitted job's configuration.
   memgov::MemoryGovernor& governor() { return governor_; }
   memgov::CacheManager& cache_manager() { return *cache_manager_; }
+  /// The same manager through its two-tier interface (src/l2cache;
+  /// DESIGN.md §16). Always non-null; the tier itself is enabled per job
+  /// by m3r.cache.l2.share > 0 under a governed budget.
+  l2cache::TieredCacheManager& tiered_cache() { return *tiered_; }
 
   /// One-time instance spin-up cost (charged on construction, reported
   /// separately from per-job times, as the paper's measurements do).
@@ -140,6 +145,19 @@ class M3REngine : public api::Engine {
   /// (sibling files' spills must survive) and refreshes the _DONE marker
   /// itself.
   Status SpillFileToCheckpoint(const std::string& path);
+  /// L2 tier data movement (the TieredCacheManager's L2Hooks): freeze
+  /// serializes a victim's cached blocks to wire payloads, thaw publishes
+  /// payloads back into the cache (skipping blocks already resident), and
+  /// the payload spill writes them through the checkpoint format — the
+  /// last-replica fallback that never re-reads the (already evicted)
+  /// cache entry.
+  Status FreezePayloads(const std::string& path,
+                        std::vector<l2cache::BlockPayload>* out);
+  Status ThawPayloads(const std::string& path,
+                      const std::vector<l2cache::BlockPayload>& payloads);
+  Status SpillPayloadsToCheckpoint(
+      const std::string& path,
+      const std::vector<l2cache::BlockPayload>& payloads);
   /// Weak content version of an input path for the lineage signature:
   /// total bytes + modification stamps under the union (cache + DFS) view.
   uint64_t InputVersion(const std::string& path);
@@ -166,6 +184,8 @@ class M3REngine : public api::Engine {
   /// Declared after every subsystem its hooks touch (cache_, base_fs_):
   /// reverse destruction order joins its background evictor first.
   std::unique_ptr<memgov::CacheManager> cache_manager_;
+  /// Non-owning view of cache_manager_ as the tiered subclass it is.
+  l2cache::TieredCacheManager* tiered_ = nullptr;
   int job_counter_ = 0;
   int round_robin_ = 0;
   std::mutex ckpt_mu_;

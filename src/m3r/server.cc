@@ -32,16 +32,6 @@ std::string CacheShareKey() {
 
 }  // namespace
 
-const char* JobStateName(JobState state) {
-  switch (state) {
-    case JobState::kQueued: return "QUEUED";
-    case JobState::kRunning: return "RUNNING";
-    case JobState::kSucceeded: return "SUCCEEDED";
-    case JobState::kFailed: return "FAILED";
-  }
-  return "?";
-}
-
 // ---------------------------------------------------------------------------
 // Core: all scheduler state, shared (shared_ptr) between the JobServer
 // facade, the dispatcher thread, per-job monitor threads, and ticket cancel
@@ -663,75 +653,6 @@ void JobServer::Shutdown(DrainMode mode) {
   for (auto& t : retired) {
     if (t.joinable()) t.join();
   }
-}
-
-// --- deprecated shims -------------------------------------------------------
-
-int JobServer::SubmitJob(const api::JobConf& conf) {
-  // The legacy contract accepted unboundedly, so a full queue blocks
-  // rather than rejecting; submitting to a shut-down server still aborts.
-  Result<api::JobTicket> ticket =
-      SubmitInternal(api::Submission::FromConf(conf), /*block_when_full=*/true);
-  M3R_CHECK(ticket.ok()) << "submit to a shut-down server: "
-                         << ticket.status().ToString();
-  return static_cast<int>(ticket->id());
-}
-
-ServerJobStatus JobServer::StatusOfTicket(int job_id) const {
-  std::shared_ptr<api::JobTicket::State> state;
-  {
-    std::lock_guard<std::mutex> lock(core_->mu);
-    auto it = core_->tickets.find(job_id);
-    M3R_CHECK(it != core_->tickets.end()) << "unknown job id " << job_id;
-    state = it->second;
-  }
-  ServerJobStatus status;
-  status.job_id = job_id;
-  std::lock_guard<std::mutex> ticket_lock(state->mu);
-  status.job_name = state->job_name;
-  status.queue = state->queue;
-  switch (state->phase) {
-    case api::TicketPhase::kQueued:
-    case api::TicketPhase::kPreempted:
-      status.state = JobState::kQueued;
-      break;
-    case api::TicketPhase::kRunning:
-      status.state = JobState::kRunning;
-      break;
-    case api::TicketPhase::kSucceeded:
-      status.state = JobState::kSucceeded;
-      break;
-    case api::TicketPhase::kFailed:
-    case api::TicketPhase::kCancelled:
-      status.state = JobState::kFailed;
-      break;
-  }
-  status.progress = state->progress;
-  status.counters =
-      api::IsTerminal(state->phase) ? state->result.counters : state->live;
-  if (api::IsTerminal(state->phase)) status.result = state->result;
-  return status;
-}
-
-ServerJobStatus JobServer::GetJobStatus(int job_id) const {
-  return StatusOfTicket(job_id);
-}
-
-api::JobResult JobServer::WaitForCompletion(int job_id) {
-  std::shared_ptr<api::JobTicket::State> state;
-  {
-    std::lock_guard<std::mutex> lock(core_->mu);
-    auto it = core_->tickets.find(job_id);
-    M3R_CHECK(it != core_->tickets.end()) << "unknown job id " << job_id;
-    state = it->second;
-  }
-  return api::JobTicket(std::move(state)).Wait();
-}
-
-std::vector<int> JobServer::ActiveJobs(const std::string& queue) const {
-  std::vector<int> out;
-  for (int64_t id : ActiveTickets(queue)) out.push_back(static_cast<int>(id));
-  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -14,23 +14,6 @@
 
 namespace m3r::engine {
 
-/// Lifecycle states reported by the legacy jobtracker protocol surface
-/// (the deprecated bare-int shims). New code reads api::TicketPhase.
-enum class JobState { kQueued, kRunning, kSucceeded, kFailed };
-
-const char* JobStateName(JobState state);
-
-/// One job's externally visible status on the legacy protocol surface.
-struct ServerJobStatus {
-  int job_id = -1;
-  std::string job_name;
-  std::string queue;
-  JobState state = JobState::kQueued;
-  double progress = 0;
-  api::Counters counters;
-  api::JobResult result;  // meaningful when state is terminal
-};
-
 /// Server mode (paper §5.3) grown into a multi-tenant serving front end:
 /// a long-running endpoint backed by any Engine, scheduling thousands of
 /// queued jobs from many tenants so that none starves the rest.
@@ -144,29 +127,11 @@ class JobServer : public api::JobSubmitter {
   /// Idempotent; concurrent callers block until shutdown completes.
   void Shutdown(DrainMode mode = DrainMode::kDrain);
 
-  // --- Deprecated bare-int jobtracker shims -------------------------------
-  // The pre-typed protocol (SubmitJob -> int, GetJobStatus, Wait). Thin
-  // wrappers over the Submission/JobTicket surface; admission blocks
-  // rather than rejecting, preserving the old unbounded-accept contract.
-
-  [[deprecated("use Submit(Submission) -> Result<JobTicket>")]]
-  int SubmitJob(const api::JobConf& conf);
-
-  [[deprecated("use JobTicket::Poll()")]]
-  ServerJobStatus GetJobStatus(int job_id) const;
-
-  [[deprecated("use JobTicket::Wait()")]]
-  api::JobResult WaitForCompletion(int job_id);
-
-  [[deprecated("use ActiveTickets()")]]
-  std::vector<int> ActiveJobs(const std::string& queue = "") const;
-
  private:
   struct Core;
 
   Result<api::JobTicket> SubmitInternal(api::Submission submission,
                                         bool block_when_full);
-  ServerJobStatus StatusOfTicket(int job_id) const;
 
   std::shared_ptr<Core> core_;
   std::string engine_name_;

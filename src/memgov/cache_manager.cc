@@ -48,7 +48,9 @@ CacheManager::CacheManager(MemoryGovernor* governor, Hooks hooks)
   background_ = std::thread([this] { BackgroundLoop(); });
 }
 
-CacheManager::~CacheManager() {
+CacheManager::~CacheManager() { StopBackground(); }
+
+void CacheManager::StopBackground() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -231,6 +233,29 @@ std::string CacheManager::PickVictimLocked(
   return best;
 }
 
+Status CacheManager::PreserveVictim(const std::string& victim, bool backed,
+                                    bool* spilled) {
+  *spilled = false;
+  if (backed) return Status::OK();  // re-readable from the DFS; just drop
+  Status st = hooks_.spill ? hooks_.spill(victim)
+                           : Status::FailedPrecondition("no spill hook");
+  *spilled = st.ok();
+  return st;
+}
+
+void CacheManager::OnEvictionAborted(const std::string&) {}
+
+bool CacheManager::LeasedOrPinned(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinnedLocked(path) || LeasedLocked(path);
+}
+
+bool CacheManager::ResidentEntry(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  return it != entries_.end() && !it->second.evicting;
+}
+
 bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
   std::string victim;
   uint64_t victim_bytes = 0;
@@ -250,28 +275,24 @@ bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
   // evictor_depth_ marks this thread so the spill's own reads of the
   // victim bypass the lease wait-out instead of deadlocking on the claim.
   ++evictor_depth_;
-  bool need_spill =
-      hooks_.has_backing ? !hooks_.has_backing(victim) : false;
-  if (need_spill) {
-    Status spilled =
-        hooks_.spill ? hooks_.spill(victim)
-                     : Status::FailedPrecondition("no spill hook");
-    if (!spilled.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = entries_.find(victim);
-        if (it != entries_.end()) it->second.evicting = false;
-        skip->push_back(victim);  // unevictable this round, try the next one
-        if (evictor_inflight_ > 0) evictor_inflight_ -= 1;
-      }
-      --evictor_depth_;
-      evict_done_cv_.notify_all();
-      return true;
+  bool backed = hooks_.has_backing ? hooks_.has_backing(victim) : true;
+  bool need_spill = false;
+  Status preserved = PreserveVictim(victim, backed, &need_spill);
+  if (!preserved.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(victim);
+      if (it != entries_.end()) it->second.evicting = false;
+      skip->push_back(victim);  // unevictable this round, try the next one
+      if (evictor_inflight_ > 0) evictor_inflight_ -= 1;
     }
+    --evictor_depth_;
+    evict_done_cv_.notify_all();
+    return true;
   }
-  // Revalidate the claim before publishing the eviction: the spill ran
-  // unlocked, so the victim may have been pinned (a new job's inputs),
-  // leased (a reader arrived), or refilled (epoch moved — the spilled
+  // Revalidate the claim before publishing the eviction: the preserve step
+  // ran unlocked, so the victim may have been pinned (a new job's inputs),
+  // leased (a reader arrived), or refilled (epoch moved — the preserved
   // bytes no longer match the cache). Any of those aborts the eviction;
   // deleting anyway is exactly the lost-block race behind the historical
   // bench_cache SpMV divergence.
@@ -289,6 +310,9 @@ bool CacheManager::EvictOneVictim(std::vector<std::string>* skip) {
     }
   }
   if (!valid) {
+    // The entry stays live in L1; a tiered subclass drops the copy its
+    // preserve step just made (redundant now, stale after a refill).
+    OnEvictionAborted(victim);
     --evictor_depth_;
     evict_done_cv_.notify_all();
     return true;

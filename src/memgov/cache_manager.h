@@ -72,7 +72,7 @@ class CacheManager {
   };
 
   CacheManager(MemoryGovernor* governor, Hooks hooks);
-  ~CacheManager();
+  virtual ~CacheManager();
 
   CacheManager(const CacheManager&) = delete;
   CacheManager& operator=(const CacheManager&) = delete;
@@ -153,13 +153,15 @@ class CacheManager {
 
   /// A block of `path` was published (`fill_seconds` = measured cost of
   /// producing it, 0 when unknown — feeds the cost policy's rebuild cost).
-  void OnFill(const std::string& path, uint64_t add_bytes,
-              double fill_seconds);
+  /// Virtual: a tiered subclass invalidates its own stale copy of `path`
+  /// when a fresh fill supersedes it.
+  virtual void OnFill(const std::string& path, uint64_t add_bytes,
+                      double fill_seconds);
   /// A block of `path` was served.
   void OnAccess(const std::string& path);
   /// `path` (file or directory subtree) left the cache, by any route.
-  void OnDelete(const std::string& path);
-  void OnRename(const std::string& src, const std::string& dst);
+  virtual void OnDelete(const std::string& path);
+  virtual void OnRename(const std::string& src, const std::string& dst);
 
   /// Pins `path` (a file, or a directory covering files) against
   /// eviction. Counted: nested Pin/Unpin pairs compose. Waits out any
@@ -184,8 +186,9 @@ class CacheManager {
 
   /// Synchronously evicts until the cache fits its consumer budget (and
   /// the governor's total fits the overall budget). Used by tests and the
-  /// engine's job-boundary sweep.
-  void EvictToBudget();
+  /// engine's job-boundary sweep. Virtual: a tiered subclass also settles
+  /// its own in-flight demotions so the sweep is a real quiesce point.
+  virtual void EvictToBudget();
 
   /// Re-reads every entry's size through `bytes_of` (0 erases the entry) —
   /// used after a place crash evicted blocks behind the manager's back.
@@ -194,6 +197,42 @@ class CacheManager {
   uint64_t ResidentBytes() const;
   size_t EntryCount() const;
   Counters counters() const;
+
+ protected:
+  /// --- Extension points for tiered subclasses (src/l2cache) ---
+  ///
+  /// Preserves a claimed victim's data before the eviction deletes it from
+  /// the cache. Runs on the evictor thread, unlocked, between the claim
+  /// and the post-preserve revalidation; `backed` mirrors
+  /// Hooks::has_backing. The base behavior spills unbacked victims through
+  /// the checkpoint hook (`*spilled` reports whether a spill happened); a
+  /// tiered subclass may demote to another tier instead, keeping the base
+  /// spill as its final fallback. A non-OK status backs the eviction off:
+  /// the victim is skipped for the rest of the round and nothing was
+  /// deleted.
+  virtual Status PreserveVictim(const std::string& victim, bool backed,
+                                bool* spilled);
+  /// Called (unlocked, still on the evictor thread) when post-preserve
+  /// revalidation aborted the eviction — a pin, lease, or refill arrived
+  /// while PreserveVictim ran. A subclass drops whatever tier copy it just
+  /// made: the entry stays live in L1, so the copy is redundant at best
+  /// and stale after a refill.
+  virtual void OnEvictionAborted(const std::string& victim);
+  /// True on a thread currently inside eviction hooks (the marker that
+  /// lets the evictor's own cache reads bypass the lease wait-out).
+  static bool OnEvictorThread() { return evictor_depth_ > 0; }
+  /// True when a pin, read lease, or unsealed fill covers `path` — a
+  /// tiered subclass must refuse to evict such an entry from its own tier
+  /// exactly like L1 does (DESIGN.md §13).
+  bool LeasedOrPinned(const std::string& path) const;
+  /// True when `path` currently has a live L1 entry (not claimed by an
+  /// in-flight eviction) — i.e. another replica exists in this tier.
+  bool ResidentEntry(const std::string& path) const;
+  MemoryGovernor* governor() const { return governor_; }
+  /// Stops and joins the background evictor. Idempotent. Subclass
+  /// destructors call this first, so no in-flight eviction can dispatch a
+  /// virtual hook into a partially destroyed object.
+  void StopBackground();
 
  private:
   struct Entry {

@@ -46,6 +46,12 @@ double CostModel::DfsRead(uint64_t bytes, bool local) const {
   return t;
 }
 
+double CostModel::L2Read(uint64_t bytes, bool local) const {
+  if (bytes == 0) return 0;
+  if (local) return Scaled(spec_, bytes) / spec_.mem_bandwidth_bytes_per_s;
+  return NetTransfer(bytes);
+}
+
 double CostModel::Checksum(uint64_t bytes) const {
   if (bytes == 0) return 0;
   return Scaled(spec_, bytes) / spec_.checksum_bandwidth_bytes_per_s;

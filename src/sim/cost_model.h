@@ -35,6 +35,11 @@ struct ClusterSpec {
   /// comfortably memory-bound on the paper's blades).
   double checksum_bandwidth_bytes_per_s = 3e9;
 
+  /// Streaming copy bandwidth within a place's memory — the cost of
+  /// serving a block out of the local L2 cache shard. Far above disk and
+  /// network, so any L2 hit beats a DFS re-read.
+  double mem_bandwidth_bytes_per_s = 4e9;
+
   /// M3R per-phase Team barrier cost (X10 collectives are fast).
   double m3r_barrier_s = 0.01;
   /// M3R per-job bookkeeping (job wrapping, split routing) — small.
@@ -74,6 +79,10 @@ class CostModel {
   double DfsWrite(uint64_t bytes) const;
   /// Reading `bytes` from the DFS; remote reads add a network hop.
   double DfsRead(uint64_t bytes, bool local) const;
+  /// Serving `bytes` from the L2 cache tier: a memory copy when the home
+  /// shard is this place, one network transfer otherwise. Strictly below
+  /// DfsRead either way — no seek, no disk.
+  double L2Read(uint64_t bytes, bool local) const;
   /// CPU time to checksum `bytes` (the integrity layer's stamp+verify
   /// work; no seek or latency term — it is pure streaming compute).
   double Checksum(uint64_t bytes) const;

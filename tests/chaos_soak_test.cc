@@ -783,6 +783,86 @@ TEST(ChaosSoak, CrashBudgetExhaustionFallsBackToWholeJobRetry) {
 }
 
 // ---------------------------------------------------------------------------
+// Two-tier cache under chaos (DESIGN.md §16): demote/promote churn under a
+// tight budget, and a scripted place crash that takes an L2 shard with it
+// mid-job. Both must land on bytes identical to the ungoverned truth.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, L2DemotePromoteChurnStaysByteIdentical) {
+  // 6 MiB over 16 files of three 128 KiB blocks each: victims small enough
+  // to fit a shard, working set far over the budget.
+  auto fs = dfs::MakeSimDfs(4, 128 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 6 << 20, 16, 41).ok());
+
+  std::vector<std::string> truth;
+  {
+    engine::M3REngine ref(fs, engine::M3REngineOptions{TestCluster()});
+    api::JobResult r = ref.Submit(
+        workloads::MakeWordCountJob("/in", "/out-ref", 3, true));
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    truth = ReadOutputLines(*fs, "/out-ref");
+    ASSERT_FALSE(truth.empty());
+  }
+
+  // A 2 MiB budget against the 6 MiB working set: mid-job admission evicts
+  // (each victim demoting to its home shard) while split planning promotes
+  // the same paths back — the demote/promote interleaving the tier's lease
+  // interlock and settle sweep exist for. Two passes over the same input so
+  // the second planner finds pass-1 demotions to promote.
+  engine::M3REngine m3r(fs, engine::M3REngineOptions{TestCluster()});
+  int64_t demotions = 0;
+  int64_t hits = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::string out = "/out-l2-" + std::to_string(pass);
+    api::JobConf job = workloads::MakeWordCountJob("/in", out, 3, true);
+    job.SetInt(api::conf::kMemoryBudgetMb, 2);
+    job.Set(api::conf::kCacheL2Share, "1.0");
+    api::JobResult r = m3r.Submit(job);
+    ASSERT_TRUE(r.ok()) << "pass " << pass << ": " << r.status.ToString();
+    EXPECT_EQ(truth, ReadOutputLines(*fs, out)) << "pass " << pass;
+    demotions += r.metrics.at("l2_demotions");
+    hits += r.metrics.at("l2_hits");
+  }
+  EXPECT_GT(demotions, 0) << "the tier never absorbed an eviction";
+  EXPECT_GT(hits, 0) << "no demoted block was ever promoted back";
+}
+
+TEST(ChaosSoak, MidMapCrashTakingAnL2ShardHealsByteIdentical) {
+  auto fs = dfs::MakeSimDfs(4, 128 * 1024);
+  ASSERT_TRUE(workloads::GenerateText(*fs, "/in", 6 << 20, 16, 43).ok());
+
+  std::vector<std::string> truth;
+  {
+    engine::M3REngine ref(fs, engine::M3REngineOptions{TestCluster()});
+    api::JobResult r = ref.Submit(
+        workloads::MakeWordCountJob("/in", "/out-ref", 3, true));
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    truth = ReadOutputLines(*fs, "/out-ref");
+    ASSERT_FALSE(truth.empty());
+  }
+
+  // Place 1 dies before its second map task with the tier holding demoted
+  // blocks: its shard's hash range falls to the survivors, the dropped
+  // entries heal lazily from DFS/checkpoint, and recovery replays exactly
+  // the lost maps — never DataLoss, never divergent bytes.
+  engine::M3REngine m3r(fs, engine::M3REngineOptions{TestCluster()});
+  api::JobConf job = workloads::MakeWordCountJob("/in", "/out-crash", 3, true);
+  job.SetInt(api::conf::kMemoryBudgetMb, 2);
+  job.Set(api::conf::kCacheL2Share, "1.0");
+  job.Set(api::conf::kPlaceCrashAt, "1:1");
+  api::JobResult r = m3r.Submit(job);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(truth, ReadOutputLines(*fs, "/out-crash"));
+  EXPECT_TRUE(fs->Exists("/out-crash/_SUCCESS"));
+  EXPECT_EQ(r.metrics.at("place_crashes"), 1);
+  EXPECT_GE(r.metrics.at("recovered_map_tasks"), 1);
+  EXPECT_GE(r.metrics.at("l2_ring_heals"), 1)
+      << "the dead place's shard was never reassigned";
+  // The healed run still exercised the tier.
+  EXPECT_GT(r.metrics.at("l2_demotions"), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Schedule determinism: the same seed always yields the same overrides —
 // the property that makes a soak failure replayable from its seed alone.
 // ---------------------------------------------------------------------------

@@ -487,7 +487,7 @@ TEST(M3RPlaceCrashTest, CrashEvictsOnlyDeadPlaceAndFailsJobCleanly) {
   // No partial commit survives.
   EXPECT_FALSE(fs->Exists("/crashed/_SUCCESS"));
   EXPECT_FALSE(fs->Exists("/crashed"));
-  EXPECT_GT(result.metrics.at("evicted_blocks"), 0);
+  EXPECT_GT(result.metrics.at("cache_evicted_by_crash_blocks"), 0);
 
   // Exactly the dead place's blocks are gone; every other block survives.
   for (const Snap& s : warm_blocks) {

@@ -1,0 +1,499 @@
+// Unit tests for the two-tier cache (src/l2cache, DESIGN.md §16): hash-ring
+// determinism and minimal-movement healing, demote-on-evict with the
+// checkpoint spill as final fallback, promote-on-miss as a move, the
+// coordinated shard-eviction order (replicated entries first, last replica
+// spilled then last), lease protection, ring healing, and the settle sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "l2cache/hash_ring.h"
+#include "l2cache/tiered_cache_manager.h"
+#include "memgov/memory_governor.h"
+
+namespace m3r::l2cache {
+namespace {
+
+TEST(HashRing, DeterministicRoutingAndWrap) {
+  HashRing a;
+  HashRing b;
+  a.Reset({0, 1, 2, 3}, 64);
+  b.Reset({3, 2, 1, 0, 2}, 64);  // order and duplicates are irrelevant
+  EXPECT_EQ(a.NumPlaces(), 4u);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "/data/part-" + std::to_string(i);
+    int home = a.HomeOf(key);
+    EXPECT_EQ(home, b.HomeOf(key));
+    EXPECT_TRUE(a.Contains(home));
+    seen.insert(home);
+  }
+  // 64 vnodes per place spread 200 keys over every place.
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(HashRing().HomeOf("/anything"), -1);
+}
+
+TEST(HashRing, RemovePlaceMovesOnlyTheDeadArcs) {
+  HashRing ring;
+  ring.Reset({0, 1, 2, 3}, 16);
+  std::map<std::string, int> before;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "/d/f" + std::to_string(i);
+    before[key] = ring.HomeOf(key);
+  }
+  ring.RemovePlace(2);
+  EXPECT_FALSE(ring.Contains(2));
+  EXPECT_EQ(ring.NumPlaces(), 3u);
+  int moved = 0;
+  for (const auto& [key, home] : before) {
+    int now = ring.HomeOf(key);
+    if (home == 2) {
+      EXPECT_NE(now, 2);  // healed onto a survivor
+      ++moved;
+    } else {
+      EXPECT_EQ(now, home);  // consistent hashing: nobody else moves
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+/// Harness mirroring the engine's wiring: a mirror "store" of resident
+/// paths with per-path byte sizes, an L1 hook set whose evict drops from
+/// the mirror, and an L2 hook set whose freeze/thaw move fabricated
+/// payloads in and out. Hooks run on the background evictor thread too,
+/// so mirror state is mutex-guarded.
+struct Harness {
+  memgov::MemoryGovernor gov;
+  mutable std::mutex mu;
+  std::map<std::string, uint64_t> resident;   // L1 contents
+  std::set<std::string> backed;               // has DFS backing
+  std::vector<std::string> base_spilled;      // checkpoint spills (L1 path)
+  std::vector<std::string> l2_spilled;        // checkpoint spills (L2 path)
+  std::unique_ptr<TieredCacheManager> mgr;
+
+  explicit Harness(uint64_t budget) {
+    gov.SetBudget(budget);
+    memgov::CacheManager::Hooks hooks;
+    hooks.spill = [this](const std::string& p) {
+      std::lock_guard<std::mutex> lock(mu);
+      base_spilled.push_back(p);
+      return Status::OK();
+    };
+    hooks.evict = [this](const std::string& p) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        resident.erase(p);
+      }
+      mgr->OnDelete(p);
+      return Status::OK();
+    };
+    hooks.has_backing = [this](const std::string& p) {
+      std::lock_guard<std::mutex> lock(mu);
+      return backed.count(p) > 0;
+    };
+    L2Hooks l2;
+    l2.freeze = [this](const std::string& p, std::vector<BlockPayload>* out) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = resident.find(p);
+      if (it == resident.end()) return Status::NotFound("not resident: " + p);
+      BlockPayload payload;
+      payload.block_name = "0";
+      payload.place = 0;
+      payload.bytes = it->second;
+      payload.wire = std::string(8, 'x');
+      out->push_back(std::move(payload));
+      return Status::OK();
+    };
+    l2.thaw = [this](const std::string& p,
+                     const std::vector<BlockPayload>& payloads) {
+      // The engine's thaw publishes through the cache, which re-enters
+      // the manager exactly like any fill: admit, mirror, notify.
+      uint64_t bytes = 0;
+      for (const BlockPayload& pay : payloads) bytes += pay.bytes;
+      mgr->AdmitFill(p, bytes, /*required=*/true);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        resident[p] = bytes;
+      }
+      mgr->OnFill(p, bytes, 0.0);
+      return Status::OK();
+    };
+    l2.spill = [this](const std::string& p,
+                      const std::vector<BlockPayload>&) {
+      std::lock_guard<std::mutex> lock(mu);
+      l2_spilled.push_back(p);
+      return Status::OK();
+    };
+    l2.has_backing = hooks.has_backing;
+    mgr = std::make_unique<TieredCacheManager>(&gov, std::move(hooks),
+                                               std::move(l2));
+    mgr->Configure(memgov::EvictionPolicy::kLru, 1.0, 0.99);
+  }
+
+  /// A fill through the manager, as the cache would drive it.
+  void Fill(const std::string& p, uint64_t bytes, bool is_backed = false) {
+    if (is_backed) {
+      std::lock_guard<std::mutex> lock(mu);
+      backed.insert(p);
+    }
+    mgr->AdmitFill(p, bytes, /*required=*/true);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      resident[p] = bytes;
+    }
+    mgr->OnFill(p, bytes, 0.0);
+  }
+
+  bool Resident(const std::string& p) const {
+    std::lock_guard<std::mutex> lock(mu);
+    return resident.count(p) > 0;
+  }
+};
+
+TEST(TieredCacheManager, EvictionDemotesInsteadOfSpilling) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, /*l2_budget=*/800);  // shard cap 400
+  h.Fill("/t/a", 400);
+  h.Fill("/t/b", 400);
+  h.Fill("/t/c", 400);  // over budget: LRU evicts /t/a
+  h.mgr->EvictToBudget();
+  EXPECT_FALSE(h.Resident("/t/a"));
+  EXPECT_TRUE(h.mgr->L2Contains("/t/a"));
+  EXPECT_EQ(h.mgr->L2ResidentBytes(), 400u);
+  {
+    std::lock_guard<std::mutex> lock(h.mu);
+    EXPECT_TRUE(h.base_spilled.empty());  // demotion replaced the spill
+  }
+  L2Counters c = h.mgr->l2_counters();
+  EXPECT_EQ(c.demotions, 1u);
+  EXPECT_EQ(h.mgr->HomeOf("/t/a"), h.mgr->HomeOf("/t/a"));  // stable
+}
+
+TEST(TieredCacheManager, DisabledTierFallsBackToCheckpointSpill) {
+  Harness h(1000);
+  h.Fill("/t/a", 400);
+  h.Fill("/t/b", 400);
+  h.Fill("/t/c", 400);
+  h.mgr->EvictToBudget();
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));
+  std::lock_guard<std::mutex> lock(h.mu);
+  ASSERT_EQ(h.base_spilled.size(), 1u);
+  EXPECT_EQ(h.base_spilled[0], "/t/a");
+}
+
+TEST(TieredCacheManager, OversizedVictimFallsBackToCheckpointSpill) {
+  Harness h(1000);
+  // 4 places over a 800-byte tier: shard cap 200 < the 400-byte victim.
+  h.mgr->ConfigureL2(true, {0, 1, 2, 3}, 16, 800);
+  h.Fill("/t/a", 400);
+  h.Fill("/t/b", 400);
+  h.Fill("/t/c", 400);
+  h.mgr->EvictToBudget();
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));
+  std::lock_guard<std::mutex> lock(h.mu);
+  EXPECT_EQ(h.base_spilled.size(), 1u);
+}
+
+TEST(TieredCacheManager, PromoteIsAMoveAndCountsHit) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, 800);
+  h.Fill("/t/a", 400);
+  h.Fill("/t/b", 400);
+  h.Fill("/t/c", 400);
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/a"));
+
+  bool remote = false;
+  uint64_t bytes = 0;
+  ASSERT_TRUE(h.mgr->TryPromote("/t/a", &remote, &bytes).ok());
+  EXPECT_EQ(bytes, 400u);
+  EXPECT_TRUE(h.Resident("/t/a"));
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));  // a move, not a copy
+  L2Counters c = h.mgr->l2_counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_TRUE(h.mgr->TryPromote("/missing", nullptr, nullptr).IsNotFound());
+  h.mgr->RecordL2Miss();
+  EXPECT_EQ(h.mgr->l2_counters().misses, 1u);
+}
+
+namespace {
+BlockPayload MakePayload(const std::string& block_name, uint64_t bytes,
+                         int place = 0) {
+  BlockPayload p;
+  p.block_name = block_name;
+  p.place = place;
+  p.bytes = bytes;
+  p.wire = std::string(8, 'x');
+  return p;
+}
+}  // namespace
+
+TEST(TieredCacheManager, OverflowFillLandsInHomeShardAndPromotes) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, 800);
+  // L1 rejected the fill; the block never became resident. The overflow
+  // still captures it into the tier, and a later miss promotes it.
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/a", /*backed=*/true, MakePayload("0", 300))
+          .ok());
+  EXPECT_FALSE(h.Resident("/t/a"));
+  EXPECT_TRUE(h.mgr->L2Contains("/t/a"));
+  EXPECT_EQ(h.mgr->L2ResidentBytes(), 300u);
+  EXPECT_EQ(h.mgr->l2_counters().overflow_fills, 1u);
+  ASSERT_TRUE(h.mgr->TryPromote("/t/a", nullptr, nullptr).ok());
+  EXPECT_TRUE(h.Resident("/t/a"));
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));
+}
+
+TEST(TieredCacheManager, OverflowMergesBlocksAndReplacesStaleImages) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, 800);
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/a", true, MakePayload("0", 100)).ok());
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/a", true, MakePayload("16384", 100)).ok());
+  EXPECT_EQ(h.mgr->L2ResidentBytes(), 200u);
+  EXPECT_EQ(h.mgr->L2EntryCount(), 1u);
+  // A re-offer of block "0" replaces the stale image, not duplicates it.
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/a", true, MakePayload("0", 150)).ok());
+  EXPECT_EQ(h.mgr->L2ResidentBytes(), 250u);
+  EXPECT_EQ(h.mgr->l2_counters().overflow_fills, 3u);
+}
+
+TEST(TieredCacheManager, OverflowBouncesWhenTheShardCannotMakeRoom) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0}, 16, 200);  // single shard, cap 200
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/big", true, MakePayload("0", 400)).IsFailedPrecondition());
+  EXPECT_FALSE(h.mgr->L2Contains("/t/big"));
+  EXPECT_EQ(h.mgr->l2_counters().overflow_fills, 0u);
+  // Tier off: the overflow is refused outright.
+  h.mgr->ConfigureL2(false, {}, 16, 0);
+  EXPECT_FALSE(
+      h.mgr->AcceptOverflow("/t/a", true, MakePayload("0", 100)).ok());
+}
+
+TEST(TieredCacheManager, OverflowEvictsReplicatedEntriesForRoom) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0}, 16, 200);  // single shard, cap 200
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/a", /*backed=*/true, MakePayload("0", 150))
+          .ok());
+  // The second overflow needs the room; /t/a is DFS-backed so the
+  // coordinated order lets it go without a spill.
+  ASSERT_TRUE(
+      h.mgr->AcceptOverflow("/t/b", /*backed=*/true, MakePayload("0", 150))
+          .ok());
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));
+  EXPECT_TRUE(h.mgr->L2Contains("/t/b"));
+  {
+    std::lock_guard<std::mutex> lock(h.mu);
+    EXPECT_TRUE(h.l2_spilled.empty());
+  }
+}
+
+TEST(TieredCacheManager, FreshFillSupersedesTierCopy) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, 800);
+  h.Fill("/t/a", 400);
+  h.Fill("/t/b", 400);
+  h.Fill("/t/c", 400);
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/a"));
+  // A refill of the demoted file from outside the evictor (a producer
+  // rewrote it): the frozen copy is stale and must go.
+  h.Fill("/t/a", 100);
+  EXPECT_FALSE(h.mgr->L2Contains("/t/a"));
+}
+
+TEST(TieredCacheManager, ShardEvictsReplicatedEntriesBeforeLastReplicas) {
+  Harness h(10000);  // roomy L1: evictions below are tier-driven only
+  h.mgr->ConfigureL2(true, {0}, 16, 500);  // one shard, cap 500
+  // Seed the shard directly through the demotion path: fill, then evict
+  // by shrinking nothing — instead demote via PreserveVictim by pushing
+  // the files through a tight temporary budget. Simpler: configure the
+  // governor tight for the seeding fills.
+  h.gov.SetBudget(200);
+  h.Fill("/t/x", 200, /*is_backed=*/true);  // replicated (DFS copy)
+  h.Fill("/t/y", 200);                      // last replica ring-wide
+  h.Fill("/t/z", 200);  // evicts x then y into the shard (cap 500)
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/x"));
+  ASSERT_TRUE(h.mgr->L2Contains("/t/y"));
+  // A third demotion needs 200 more: the shard holds 400/500, so room
+  // must be made. The replicated /t/x goes first (free to drop); the
+  // last-replica /t/y survives.
+  h.Fill("/t/w", 200);
+  h.mgr->EvictToBudget();
+  EXPECT_FALSE(h.mgr->L2Contains("/t/x"));
+  EXPECT_TRUE(h.mgr->L2Contains("/t/y"));
+  EXPECT_TRUE(h.mgr->L2Contains("/t/z") || h.mgr->L2Contains("/t/w"));
+  {
+    std::lock_guard<std::mutex> lock(h.mu);
+    EXPECT_TRUE(h.l2_spilled.empty());  // no last replica left the tier
+  }
+  L2Counters c = h.mgr->l2_counters();
+  EXPECT_GE(c.evictions, 1u);
+  EXPECT_EQ(c.spilled_last_replicas, 0u);
+}
+
+TEST(TieredCacheManager, LastReplicaIsCheckpointSpilledBeforeDropping) {
+  Harness h(10000);
+  h.mgr->ConfigureL2(true, {0}, 16, 200);  // shard fits exactly one entry
+  h.gov.SetBudget(200);
+  h.Fill("/t/y", 200);  // unbacked
+  h.Fill("/t/z", 200);  // demotes y into the shard
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/y"));
+  h.Fill("/t/w", 200);  // demoting z needs y's slot: y is a last replica
+  h.mgr->EvictToBudget();
+  EXPECT_FALSE(h.mgr->L2Contains("/t/y"));
+  {
+    // Counters come after the guard: the tier invokes the spill sink (which
+    // takes h.mu) under its own lock, so holding h.mu across a manager call
+    // would invert that order.
+    std::lock_guard<std::mutex> lock(h.mu);
+    ASSERT_FALSE(h.l2_spilled.empty());
+    EXPECT_EQ(h.l2_spilled[0], "/t/y");
+  }
+  EXPECT_GE(h.mgr->l2_counters().spilled_last_replicas, 1u);
+}
+
+TEST(TieredCacheManager, LeasedEntryIsNeverEvictedFromTheTier) {
+  Harness h(10000);
+  h.mgr->ConfigureL2(true, {0}, 16, 200);
+  h.gov.SetBudget(200);
+  h.Fill("/t/a", 200);
+  h.Fill("/t/b", 200);  // demotes a
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/a"));
+  {
+    // A reader holds /t/a (an L2 serve in flight): the shard is full and
+    // its only entry untouchable, so the next victim takes the base
+    // checkpoint-spill fallback instead.
+    memgov::CacheManager::ReadLease lease = h.mgr->AcquireRead("/t/a");
+    h.Fill("/t/c", 200);  // wants to demote b
+    h.mgr->EvictToBudget();
+    EXPECT_TRUE(h.mgr->L2Contains("/t/a"));
+    std::lock_guard<std::mutex> lock(h.mu);
+    EXPECT_FALSE(h.base_spilled.empty());
+  }
+}
+
+TEST(TieredCacheManager, RingHealDropsDeadShardAndRewiresSurvivors) {
+  Harness h(10000);
+  h.mgr->ConfigureL2(true, {0, 1, 2, 3}, 16, 4000);
+  h.gov.SetBudget(400);
+  // Demote a spread of files across the shards.
+  std::vector<std::string> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back("/t/f" + std::to_string(i));
+    h.Fill(files.back(), 200, /*is_backed=*/true);
+  }
+  h.mgr->EvictToBudget();
+  std::map<std::string, int> home;
+  int dead = -1;
+  for (const std::string& f : files) {
+    if (h.mgr->L2Contains(f)) {
+      home[f] = h.mgr->HomeOf(f);
+      dead = home[f];
+    }
+  }
+  ASSERT_FALSE(home.empty());
+  ASSERT_GE(dead, 0);
+  const uint64_t heals_before = h.mgr->l2_counters().ring_heals;
+  h.mgr->RingHeal({dead});
+  EXPECT_EQ(h.mgr->l2_counters().ring_heals, heals_before + 1);
+  for (const auto& [f, hm] : home) {
+    if (hm == dead) {
+      EXPECT_FALSE(h.mgr->L2Contains(f)) << f;  // died with the place
+    } else {
+      EXPECT_TRUE(h.mgr->L2Contains(f)) << f;   // survivors untouched
+      EXPECT_EQ(h.mgr->HomeOf(f), hm) << f;     // and unmoved
+    }
+  }
+  EXPECT_NE(h.mgr->HomeOf(files[0]), dead);  // range handed to survivors
+  {
+    // The lost entries are gone for good, not spilled: the memory died.
+    std::lock_guard<std::mutex> lock(h.mu);
+    EXPECT_TRUE(h.l2_spilled.empty());
+  }
+}
+
+TEST(TieredCacheManager, DisablingTheTierSpillsUnbackedLastReplicas) {
+  Harness h(10000);
+  h.mgr->ConfigureL2(true, {0}, 16, 400);
+  h.gov.SetBudget(200);
+  h.Fill("/t/a", 200);                      // unbacked
+  h.Fill("/t/b", 200, /*is_backed=*/true);  // replicated
+  h.Fill("/t/c", 200, /*is_backed=*/true);  // demotes a then b
+  h.mgr->EvictToBudget();
+  ASSERT_TRUE(h.mgr->L2Contains("/t/a"));
+  h.mgr->ConfigureL2(false, {}, 16, 0);
+  EXPECT_EQ(h.mgr->L2EntryCount(), 0u);
+  EXPECT_EQ(h.mgr->L2ResidentBytes(), 0u);
+  std::lock_guard<std::mutex> lock(h.mu);
+  ASSERT_EQ(h.l2_spilled.size(), 1u);  // only the last replica needed it
+  EXPECT_EQ(h.l2_spilled[0], "/t/a");
+}
+
+TEST(TieredCacheManager, SettleSweepWaitsOutInflightDemotions) {
+  Harness h(1000);
+  h.mgr->ConfigureL2(true, {0, 1}, 16, 800);
+  for (int i = 0; i < 8; ++i) {
+    h.Fill("/t/f" + std::to_string(i), 300);
+  }
+  h.mgr->EvictToBudget();
+  EXPECT_EQ(h.mgr->DemotionsInflight(), 0u);
+  // Post-settle invariant: L1 fits its budget and the tier fits its own.
+  EXPECT_LE(h.mgr->ResidentBytes(), 1000u);
+  EXPECT_LE(h.mgr->L2ResidentBytes(), 800u);
+}
+
+TEST(TieredCacheManager, ConcurrentDemoteAndPromoteKeepEveryByteSomewhere) {
+  Harness h(600);
+  h.mgr->ConfigureL2(true, {0, 1, 2}, 16, 600);  // shard cap 200
+  // Every file is DFS-backed, so dropped tier entries lose nothing and
+  // the assertion below is purely about protocol self-consistency.
+  std::vector<std::string> files;
+  for (int i = 0; i < 6; ++i) {
+    files.push_back("/t/f" + std::to_string(i));
+    h.Fill(files.back(), 150, /*is_backed=*/true);
+  }
+  std::atomic<bool> stop{false};
+  std::thread promoter([&] {
+    int spin = 0;
+    while (!stop.load()) {
+      const std::string& f = files[static_cast<size_t>(spin++) % files.size()];
+      if (h.mgr->L2Contains(f)) {
+        h.mgr->TryPromote(f, nullptr, nullptr);
+      }
+    }
+  });
+  std::thread filler([&] {
+    for (int round = 0; round < 40; ++round) {
+      for (const std::string& f : files) h.Fill(f, 150, true);
+    }
+  });
+  filler.join();
+  stop.store(true);
+  promoter.join();
+  h.mgr->EvictToBudget();
+  EXPECT_EQ(h.mgr->DemotionsInflight(), 0u);
+  EXPECT_LE(h.mgr->L2ResidentBytes(), 600u);
+  // Both tiers settled: the sum of what survived fits both budgets, and
+  // every counter pair is self-consistent (no negative balance).
+  L2Counters c = h.mgr->l2_counters();
+  EXPECT_GE(c.demotions, c.aborted_demotions);
+}
+
+}  // namespace
+}  // namespace m3r::l2cache

@@ -175,28 +175,6 @@ TEST(JobServerTest, CancelQueuedTicketNeverRuns) {
   EXPECT_FALSE(fs->Exists("/c1/_SUCCESS"));
 }
 
-TEST(JobServerTest, DeprecatedBareIntShimsStillWork) {
-  // The pre-typed jobtracker protocol keeps working for old clients.
-  auto fs = FsWithText();
-  JobServer server(
-      std::make_shared<M3REngine>(fs, M3REngineOptions{SmallCluster()}));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  int id = server.SubmitJob(workloads::MakeWordCountJob("/in", "/shim", 2,
-                                                        true));
-  api::JobResult result = server.WaitForCompletion(id);
-  EXPECT_TRUE(result.ok()) << result.status.ToString();
-  ServerJobStatus status = server.GetJobStatus(id);
-  EXPECT_EQ(status.state, JobState::kSucceeded);
-  EXPECT_DOUBLE_EQ(status.progress, 1.0);
-  EXPECT_GT(status.counters.Get(api::counters::kTaskGroup,
-                                api::counters::kMapInputRecords),
-            0);
-  EXPECT_TRUE(server.ActiveJobs().empty());
-#pragma GCC diagnostic pop
-  EXPECT_TRUE(fs->Exists("/shim/_SUCCESS"));
-}
-
 TEST(ServerRegistryTest, M3RServerReplacesHadoopServerOnSamePort) {
   // The §5.3 BigSheets scenario: stop the Hadoop server, start the M3R
   // server on the same port; the (unmodified) client keeps submitting to
